@@ -1,0 +1,284 @@
+// Ablation studies for the design choices DESIGN.md calls out:
+//   A1 consistency tolerance — too loose accepts boundary-crossing probe
+//      sets (exactness lost), too tight only costs extra iterations.
+//   A2 initial edge length r0 and shrink factor — affects iteration count
+//      and query cost, never exactness (the paper's claim that r0 barely
+//      matters).
+//   A3 shared QR factorization across the C-1 systems vs re-factoring per
+//      class pair — identical answers, measurable speedup.
+//   A4 API probability rounding — maps where the closed form degrades when
+//      the endpoint truncates probabilities.
+
+#include "bench_common.h"
+
+#include "linalg/least_squares.h"
+#include "linalg/qr.h"
+
+namespace openapi::bench {
+namespace {
+
+struct EvalContext {
+  eval::TrainedModels models;
+  std::vector<size_t> eval_idx;
+};
+
+EvalContext MakeContext(const eval::ExperimentScale& scale) {
+  EvalContext ctx{
+      eval::BuildModels(data::SyntheticStyle::kDigits, scale, kBenchSeed),
+      {}};
+  util::Rng rng(kBenchSeed + 7);
+  size_t count = std::min<size_t>(scale.eval_instances, 50);
+  ctx.eval_idx = eval::PickEvalInstances(ctx.models.test, count, &rng);
+  return ctx;
+}
+
+struct SweepStats {
+  double mean_l1 = 0.0;
+  double max_l1 = 0.0;
+  double mean_iters = 0.0;
+  double mean_queries = 0.0;
+  size_t failures = 0;
+};
+
+SweepStats RunOpenApi(const EvalContext& ctx,
+                      const interpret::OpenApiConfig& config,
+                      const api::PredictionApi& api) {
+  interpret::OpenApiInterpreter interpreter(config);
+  util::Rng rng(kBenchSeed + 8);
+  SweepStats stats;
+  std::vector<double> errors;
+  double iter_sum = 0.0, query_sum = 0.0;
+  for (size_t idx : ctx.eval_idx) {
+    const Vec& x0 = ctx.models.test.x(idx);
+    size_t c = linalg::ArgMax(ctx.models.plnn->Predict(x0));
+    auto result = interpreter.Interpret(api, x0, c, &rng);
+    if (!result.ok()) {
+      ++stats.failures;
+      continue;
+    }
+    errors.push_back(eval::L1Dist(*ctx.models.plnn, x0, c, result->dc));
+    iter_sum += static_cast<double>(result->iterations);
+    query_sum += static_cast<double>(result->queries);
+  }
+  if (!errors.empty()) {
+    eval::MinMeanMax summary = eval::Summarize(errors);
+    stats.mean_l1 = summary.mean;
+    stats.max_l1 = summary.max;
+    stats.mean_iters = iter_sum / static_cast<double>(errors.size());
+    stats.mean_queries = query_sum / static_cast<double>(errors.size());
+  }
+  return stats;
+}
+
+void AblationTolerance(const EvalContext& ctx) {
+  std::cout << "--- A1: consistency tolerance ---\n";
+  api::PredictionApi api(ctx.models.plnn.get());
+  util::TablePrinter table({"tol", "mean L1Dist", "max L1Dist",
+                            "mean iters", "failures"});
+  for (double tol : {1e-12, 1e-9, 1e-6, 1e-3}) {
+    interpret::OpenApiConfig config;
+    config.consistency_tol = tol;
+    SweepStats stats = RunOpenApi(ctx, config, api);
+    table.AddRow(util::StrFormat("%g", tol),
+                 {stats.mean_l1, stats.max_l1, stats.mean_iters,
+                  static_cast<double>(stats.failures)});
+  }
+  table.Print(std::cout);
+  std::cout << "expected: loose tol (1e-3) admits boundary-crossing probes "
+               "-> max L1Dist grows; tight tol only adds iterations\n\n";
+}
+
+void AblationEdgeSchedule(const EvalContext& ctx) {
+  std::cout << "--- A2: initial edge length and shrink factor ---\n";
+  api::PredictionApi api(ctx.models.plnn.get());
+  util::TablePrinter table({"r0", "shrink", "mean iters", "mean queries",
+                            "mean L1Dist", "failures"});
+  for (double r0 : {4.0, 1.0, 1.0 / 16.0}) {
+    for (double shrink : {0.5, 0.25}) {
+      interpret::OpenApiConfig config;
+      config.initial_edge = r0;
+      config.shrink_factor = shrink;
+      SweepStats stats = RunOpenApi(ctx, config, api);
+      table.AddRow(util::StrFormat("%g", r0),
+                   {shrink, stats.mean_iters, stats.mean_queries,
+                    stats.mean_l1, static_cast<double>(stats.failures)});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "expected: exactness identical everywhere; only the "
+               "iteration/query budget moves (paper: r0 barely matters)\n\n";
+}
+
+void AblationSharedFactorization(const EvalContext& ctx) {
+  std::cout << "--- A3: shared QR vs per-pair refactorization ---\n";
+  const size_t d = ctx.models.test.dim();
+  const size_t num_classes = ctx.models.test.num_classes();
+  util::Rng rng(kBenchSeed + 9);
+  api::PredictionApi api(ctx.models.plnn.get());
+
+  // Build one probe system per eval instance, then time the two solve
+  // strategies over identical inputs.
+  std::vector<linalg::Matrix> systems;
+  std::vector<std::vector<Vec>> rhs_sets;
+  for (size_t idx : ctx.eval_idx) {
+    const Vec& x0 = ctx.models.test.x(idx);
+    auto probes = interpret::SampleHypercube(x0, 0.5, d + 1, &rng);
+    std::vector<Vec> predictions;
+    predictions.push_back(api.Predict(x0));
+    for (const Vec& p : probes) predictions.push_back(api.Predict(p));
+    std::vector<Vec> rhs_list;
+    bool ok = true;
+    for (size_t cp = 1; cp < num_classes && ok; ++cp) {
+      auto rhs = interpret::BuildLogOddsRhs(predictions, 0, cp);
+      if (!rhs.ok()) {
+        ok = false;
+        break;
+      }
+      rhs_list.push_back(std::move(*rhs));
+    }
+    if (!ok) continue;
+    systems.push_back(interpret::BuildCoefficientMatrix(x0, probes));
+    rhs_sets.push_back(std::move(rhs_list));
+  }
+
+  util::Timer shared_timer;
+  double checksum_shared = 0.0;
+  for (size_t i = 0; i < systems.size(); ++i) {
+    auto qr = linalg::QrDecomposition::Factor(systems[i]);
+    if (!qr.ok()) continue;
+    for (const Vec& rhs : rhs_sets[i]) {
+      checksum_shared += qr->Solve(rhs).x[0];
+    }
+  }
+  double shared_ms = shared_timer.ElapsedMillis();
+
+  util::Timer perpair_timer;
+  double checksum_perpair = 0.0;
+  for (size_t i = 0; i < systems.size(); ++i) {
+    for (const Vec& rhs : rhs_sets[i]) {
+      auto qr = linalg::QrDecomposition::Factor(systems[i]);
+      if (!qr.ok()) continue;
+      checksum_perpair += qr->Solve(rhs).x[0];
+    }
+  }
+  double perpair_ms = perpair_timer.ElapsedMillis();
+
+  util::TablePrinter table({"strategy", "ms total", "ms/instance"});
+  double n = std::max<double>(1.0, static_cast<double>(systems.size()));
+  table.AddRow("shared QR (ours)", {shared_ms, shared_ms / n});
+  table.AddRow("per-pair QR", {perpair_ms, perpair_ms / n});
+  table.Print(std::cout);
+  std::cout << util::StrFormat(
+      "speedup: %.2fx on C-1=%zu systems; answers identical (checksum "
+      "delta %.3g)\n\n",
+      perpair_ms / std::max(shared_ms, 1e-9), num_classes - 1,
+      std::fabs(checksum_shared - checksum_perpair));
+}
+
+void AblationRounding(const EvalContext& ctx) {
+  std::cout << "--- A4: API probability rounding ---\n";
+  util::TablePrinter table({"digits", "mean L1Dist", "max L1Dist",
+                            "failures (of " +
+                                std::to_string(ctx.eval_idx.size()) + ")"});
+  for (int digits : {0, 12, 6, 3}) {
+    api::PredictionApi api(ctx.models.plnn.get(), digits);
+    interpret::OpenApiConfig config;
+    config.max_iterations = 40;
+    SweepStats stats = RunOpenApi(ctx, config, api);
+    table.AddRow(digits == 0 ? "exact" : std::to_string(digits),
+                 {stats.mean_l1, stats.max_l1,
+                  static_cast<double>(stats.failures)});
+  }
+  table.Print(std::cout);
+  std::cout << "expected: only the exact API stays at machine precision. "
+               "Even 12-digit rounding leaves 1e-12-scale inconsistencies "
+               "that pass the residual test and get amplified by the "
+               "system's conditioning; <= 6 digits mostly fails outright. "
+               "Exact interpretation needs full-precision probabilities.\n";
+}
+
+void AblationRegionCache(const EvalContext& ctx) {
+  std::cout << "--- A5: region-cached interpretation (extension) ---\n";
+  util::TablePrinter table({"model", "interpreter", "queries total",
+                            "cache regions", "cache hit rate",
+                            "max L1Dist"});
+  for (const eval::TargetModel& target : eval::Targets(ctx.models)) {
+    // Plain OpenAPI.
+    {
+      api::PredictionApi api(target.model);
+      interpret::OpenApiInterpreter plain;
+      util::Rng rng(kBenchSeed + 11);
+      double max_err = 0.0;
+      for (size_t idx : ctx.eval_idx) {
+        const Vec& x0 = ctx.models.test.x(idx);
+        size_t c = linalg::ArgMax(target.model->Predict(x0));
+        api.ResetQueryCount();
+        auto result = plain.Interpret(api, x0, c, &rng);
+        if (result.ok()) {
+          max_err = std::max(
+              max_err, eval::L1Dist(*target.oracle, x0, c, result->dc));
+        }
+      }
+      api::PredictionApi counter(target.model);
+      util::Rng rng2(kBenchSeed + 11);
+      for (size_t idx : ctx.eval_idx) {
+        const Vec& x0 = ctx.models.test.x(idx);
+        size_t c = linalg::ArgMax(target.model->Predict(x0));
+        (void)plain.Interpret(counter, x0, c, &rng2);
+      }
+      table.AddRow({target.label, "OpenAPI",
+                    std::to_string(counter.query_count()), "-", "-",
+                    util::FormatDouble(max_err, 3)});
+    }
+    // Cached.
+    {
+      api::PredictionApi api(target.model);
+      extract::CachedInterpreter cached;
+      util::Rng rng(kBenchSeed + 12);
+      double max_err = 0.0;
+      for (size_t idx : ctx.eval_idx) {
+        const Vec& x0 = ctx.models.test.x(idx);
+        size_t c = linalg::ArgMax(target.model->Predict(x0));
+        auto result = cached.Interpret(api, x0, c, &rng);
+        if (result.ok()) {
+          max_err = std::max(
+              max_err, eval::L1Dist(*target.oracle, x0, c, result->dc));
+        }
+      }
+      double hit_rate =
+          static_cast<double>(cached.cache_hits()) /
+          std::max<double>(1.0, static_cast<double>(cached.cache_hits() +
+                                                    cached.cache_misses()));
+      table.AddRow({target.label, "OpenAPI+cache",
+                    std::to_string(api.query_count()),
+                    std::to_string(cached.cache_size()),
+                    util::FormatDouble(hit_rate, 3),
+                    util::FormatDouble(max_err, 3)});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "expected: on the LMT (few, large regions) the cache "
+               "collapses query cost; on the PLNN at higher dimensions "
+               "every instance tends to occupy its own region, so hits "
+               "vanish and the cache is pure overhead. Exactness "
+               "identical either way.\n";
+}
+
+void Run() {
+  eval::ExperimentScale scale = eval::ScaleFromEnv();
+  PrintRunHeader("Ablations: OpenAPI design choices", scale);
+  EvalContext ctx = MakeContext(scale);
+  AblationTolerance(ctx);
+  AblationEdgeSchedule(ctx);
+  AblationSharedFactorization(ctx);
+  AblationRounding(ctx);
+  AblationRegionCache(ctx);
+}
+
+}  // namespace
+}  // namespace openapi::bench
+
+int main() {
+  openapi::bench::Run();
+  return 0;
+}

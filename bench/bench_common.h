@@ -1,0 +1,144 @@
+// Shared scaffolding for the figure/table benchmark binaries.
+//
+// Every bench follows the paper's pipeline: build both synthetic datasets
+// (the MNIST / FMNIST stand-ins), train a PLNN and an LMT on each, sample
+// evaluation instances, run interpreters, and print the table/series the
+// corresponding paper exhibit reports. Artifacts (CSV series, heatmaps) go
+// to ./bench_artifacts/.
+
+#ifndef OPENAPI_BENCH_BENCH_COMMON_H_
+#define OPENAPI_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <filesystem>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "openapi/openapi.h"
+
+namespace openapi::bench {
+
+using linalg::Vec;
+
+inline constexpr uint64_t kBenchSeed = 20260611;  // experiment date seed
+
+/// Both dataset styles in the order the paper lists them (FMNIST, MNIST).
+inline std::vector<data::SyntheticStyle> PaperDatasets() {
+  return {data::SyntheticStyle::kFashion, data::SyntheticStyle::kDigits};
+}
+
+/// Prints the standard bench header (scale, seed, dataset shapes).
+inline void PrintRunHeader(const char* title,
+                           const eval::ExperimentScale& scale) {
+  std::cout << "=== " << title << " ===\n";
+  std::cout << "scale=" << scale.name << " (" << scale.width << "x"
+            << scale.height << " inputs, " << scale.num_classes
+            << " classes, " << scale.num_train << " train / "
+            << scale.num_test << " test, " << scale.eval_instances
+            << " eval instances)  seed=" << kBenchSeed << "\n";
+  std::cout << "set OPENAPI_BENCH_SCALE=tiny|small|large to change scale\n\n";
+}
+
+/// Directory for CSV / image artifacts; created on first use.
+inline std::string ArtifactDir() {
+  std::string dir = "bench_artifacts";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+/// A named black-box interpreter; owns the method object.
+struct NamedMethod {
+  std::string label;
+  std::unique_ptr<interpret::BlackBoxInterpreter> method;
+};
+
+/// The h-parameterized baseline suite of Figs. 5-7: N(h), Z(h), L(h), R(h)
+/// for each h in the paper's sweep, plus OpenAPI.
+inline std::vector<NamedMethod> MakeHSweepSuite() {
+  std::vector<NamedMethod> suite;
+  suite.push_back(
+      {"OpenAPI", std::make_unique<interpret::OpenApiInterpreter>()});
+  for (double h : eval::PaperPerturbationDistances()) {
+    std::string tag = util::StrFormat("(1e%+d)", (int)std::round(std::log10(h)));
+    {
+      interpret::LimeConfig config;
+      config.perturbation_distance = h;
+      suite.push_back({"L" + tag, std::make_unique<interpret::LimeInterpreter>(
+                                      config)});
+    }
+    {
+      interpret::LimeConfig config;
+      config.perturbation_distance = h;
+      config.regressor = interpret::LimeRegressor::kRidgeRegression;
+      suite.push_back({"R" + tag, std::make_unique<interpret::LimeInterpreter>(
+                                      config)});
+    }
+    {
+      interpret::NaiveConfig config;
+      config.perturbation_distance = h;
+      suite.push_back(
+          {"N" + tag,
+           std::make_unique<interpret::NaiveInterpreter>(config)});
+    }
+    {
+      interpret::ZooConfig config;
+      config.perturbation_distance = h;
+      suite.push_back(
+          {"Z" + tag, std::make_unique<interpret::ZooInterpreter>(config)});
+    }
+  }
+  return suite;
+}
+
+/// The Fig. 3-4 suite: S, OA, I, G, L (gradient methods get white-box
+/// access to `oracle`, exactly as in the paper).
+inline std::vector<NamedMethod> MakeEffectivenessSuite(
+    const api::PlmOracle* oracle) {
+  std::vector<NamedMethod> suite;
+  suite.push_back(
+      {"S", std::make_unique<interpret::GradientInterpreter>(
+                oracle, interpret::GradientAttribution::kSaliencyMap)});
+  suite.push_back(
+      {"OA", std::make_unique<interpret::OpenApiInterpreter>()});
+  suite.push_back(
+      {"I",
+       std::make_unique<interpret::GradientInterpreter>(
+           oracle, interpret::GradientAttribution::kIntegratedGradients)});
+  suite.push_back(
+      {"G",
+       std::make_unique<interpret::GradientInterpreter>(
+           oracle, interpret::GradientAttribution::kGradientTimesInput)});
+  interpret::LimeConfig lime_config;
+  lime_config.perturbation_distance = 1e-2;
+  suite.push_back(
+      {"L", std::make_unique<interpret::LimeInterpreter>(lime_config)});
+  return suite;
+}
+
+/// Runs `body` for each (dataset, model) combination, printing a section
+/// banner — the four panels (a)-(d) of the paper's figures.
+inline void ForEachPanel(
+    const eval::ExperimentScale& scale,
+    const std::function<void(const eval::TrainedModels&,
+                             const eval::TargetModel&,
+                             const std::string& panel)>& body) {
+  for (data::SyntheticStyle style : PaperDatasets()) {
+    eval::TrainedModels models =
+        eval::BuildModels(style, scale, kBenchSeed);
+    for (const eval::TargetModel& target : eval::Targets(models)) {
+      std::string panel = std::string(data::SyntheticStyleName(style)) +
+                          " (" + target.label + ")";
+      std::cout << "--- " << panel << " ---\n";
+      body(models, target, panel);
+      std::cout << "\n";
+    }
+  }
+}
+
+}  // namespace openapi::bench
+
+#endif  // OPENAPI_BENCH_BENCH_COMMON_H_

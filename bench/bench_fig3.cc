@@ -1,0 +1,97 @@
+// Figure 3: effectiveness of the interpretations, measured by feature
+// flipping (Ancona et al. [2]). For each method — Saliency (S), OpenAPI
+// (OA), Integrated Gradient (I), Gradient*Input (G), LIME (L) — features
+// are flipped in descending |weight| order (positive -> 0, negative -> 1)
+// and we track
+//   Avg. CPP  — mean change of the predicted class probability,
+//   Avg. NLCI — number of instances whose label changed (cumulative).
+// Panels: (a) FMNIST/LMT, (b) FMNIST/PLNN, (c) MNIST/LMT, (d) MNIST/PLNN.
+// Expected shape: OA matches or beats the parameter-aware gradient
+// methods; S is worst (unsigned); L trails the signed gradient methods.
+
+#include "bench_common.h"
+
+namespace openapi::bench {
+namespace {
+
+void Run() {
+  eval::ExperimentScale scale = eval::ScaleFromEnv();
+  PrintRunHeader("Figure 3: CPP / NLCI feature-flipping curves", scale);
+  const std::string dir = ArtifactDir();
+  const size_t max_flips = std::min<size_t>(200, scale.width * scale.height);
+
+  ForEachPanel(scale, [&](const eval::TrainedModels& models,
+                          const eval::TargetModel& target,
+                          const std::string& panel) {
+    util::Rng rng(kBenchSeed + 2);
+    std::vector<size_t> eval_idx = eval::PickEvalInstances(
+        models.test, scale.eval_instances, &rng);
+    api::PredictionApi api(target.model);
+    auto suite = MakeEffectivenessSuite(target.oracle);
+
+    // Checkpoints at powers of two, matching how the curves are read.
+    std::vector<size_t> checkpoints;
+    for (size_t t = 1; t <= max_flips; t *= 2) checkpoints.push_back(t);
+    if (checkpoints.back() != max_flips) checkpoints.push_back(max_flips);
+
+    std::vector<std::string> header = {"Method"};
+    for (size_t t : checkpoints) {
+      header.push_back("CPP@" + std::to_string(t));
+    }
+    for (size_t t : checkpoints) {
+      header.push_back("NLCI@" + std::to_string(t));
+    }
+    util::TablePrinter table(header);
+
+    std::string csv_path = dir + "/fig3_" + panel + ".csv";
+    for (char& ch : csv_path) {
+      if (ch == ' ' || ch == '(' || ch == ')') ch = '_';
+    }
+    auto csv = util::CsvWriter::Open(
+        csv_path, {"method", "flips", "avg_cpp", "nlci"});
+
+    for (const NamedMethod& named : suite) {
+      std::vector<eval::FlippingCurve> curves;
+      for (size_t idx : eval_idx) {
+        const Vec& x0 = models.test.x(idx);
+        size_t c = linalg::ArgMax(target.model->Predict(x0));
+        auto result = named.method->Interpret(api, x0, c, &rng);
+        if (!result.ok()) continue;
+        curves.push_back(eval::EvaluateFlipping(*target.model, x0, c,
+                                                result->dc, max_flips));
+      }
+      eval::AggregateFlipping agg = eval::AggregateCurves(curves);
+      std::vector<double> row;
+      for (size_t t : checkpoints) row.push_back(agg.avg_cpp[t - 1]);
+      for (size_t t : checkpoints) row.push_back(agg.nlci[t - 1]);
+      table.AddRow(named.label, row);
+      if (csv.ok()) {
+        for (size_t t = 0; t < agg.avg_cpp.size(); ++t) {
+          (void)csv->WriteRow(std::vector<std::string>{
+              named.label, std::to_string(t + 1),
+              util::StrFormat("%.17g", agg.avg_cpp[t]),
+              util::StrFormat("%.17g", agg.nlci[t])});
+        }
+      }
+    }
+    table.Print(std::cout);
+    std::cout << "full curves: " << csv_path << "\n";
+
+    eval::PlotSpec plot;
+    plot.title = "Fig. 3: Avg. CPP (" + panel + ")";
+    plot.xlabel = "#changed features";
+    plot.ylabel = "Avg. CPP";
+    for (const NamedMethod& named : suite) plot.series.push_back(named.label);
+    std::string gp_path =
+        csv_path.substr(0, csv_path.size() - 4) + ".gnuplot";
+    (void)eval::WriteGnuplotScript(gp_path, csv_path, plot);
+  });
+}
+
+}  // namespace
+}  // namespace openapi::bench
+
+int main() {
+  openapi::bench::Run();
+  return 0;
+}

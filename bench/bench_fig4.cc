@@ -1,0 +1,103 @@
+// Figure 4: interpretation consistency. For each evaluated instance x0
+// (predicted class c) find its nearest test-set neighbor x1 and compute the
+// cosine similarity (CS) between the interpretations of x0 and x1 for class
+// c. The paper plots per-instance CS sorted descending; we print summary
+// quantiles per method and dump the full sorted series to CSV.
+//
+// Expected shape: OpenAPI dominates (CS = 1 whenever the neighbor shares
+// x0's locally linear region, highest mean overall); Integrated Gradient is
+// the most consistent gradient baseline; S and G trail.
+
+#include "bench_common.h"
+
+namespace openapi::bench {
+namespace {
+
+void Run() {
+  eval::ExperimentScale scale = eval::ScaleFromEnv();
+  PrintRunHeader("Figure 4: cosine-similarity consistency", scale);
+  const std::string dir = ArtifactDir();
+
+  ForEachPanel(scale, [&](const eval::TrainedModels& models,
+                          const eval::TargetModel& target,
+                          const std::string& panel) {
+    util::Rng rng(kBenchSeed + 3);
+    std::vector<size_t> eval_idx = eval::PickEvalInstances(
+        models.test, scale.eval_instances, &rng);
+    api::PredictionApi api(target.model);
+    eval::NearestNeighborIndex nn_index(&models.test);
+    auto suite = MakeEffectivenessSuite(target.oracle);
+
+    util::TablePrinter table({"Method", "mean CS", "median", "p10",
+                              "min", "frac(CS>0.99)", "same-region pairs"});
+    std::string csv_path = dir + "/fig4_" + panel + ".csv";
+    for (char& ch : csv_path) {
+      if (ch == ' ' || ch == '(' || ch == ')') ch = '_';
+    }
+    auto csv = util::CsvWriter::Open(csv_path, {"method", "rank", "cs"});
+
+    for (const NamedMethod& named : suite) {
+      std::vector<double> cs_values;
+      size_t same_region = 0;
+      for (size_t idx : eval_idx) {
+        const Vec& x0 = models.test.x(idx);
+        size_t neighbor = nn_index.Nearest(x0, idx);
+        const Vec& x1 = models.test.x(neighbor);
+        size_t c = linalg::ArgMax(target.model->Predict(x0));
+        auto r0 = named.method->Interpret(api, x0, c, &rng);
+        auto r1 = named.method->Interpret(api, x1, c, &rng);
+        if (!r0.ok() || !r1.ok()) continue;
+        cs_values.push_back(
+            eval::InterpretationCosineSimilarity(r0->dc, r1->dc));
+        if (target.oracle->RegionId(x0) == target.oracle->RegionId(x1)) {
+          ++same_region;
+        }
+      }
+      eval::ConsistencySummary summary =
+          eval::SummarizeConsistency(std::move(cs_values));
+      const auto& sorted = summary.sorted_cs;
+      auto quantile = [&](double q) {
+        if (sorted.empty()) return 0.0;
+        size_t i = static_cast<size_t>(q * (sorted.size() - 1));
+        return sorted[i];
+      };
+      size_t high = 0;
+      for (double v : sorted) {
+        if (v > 0.99) ++high;
+      }
+      table.AddRow(named.label,
+                   {summary.mean_cs, quantile(0.5), quantile(0.9),
+                    sorted.empty() ? 0.0 : sorted.back(),
+                    sorted.empty()
+                        ? 0.0
+                        : static_cast<double>(high) / sorted.size(),
+                    static_cast<double>(same_region)});
+      if (csv.ok()) {
+        for (size_t rank = 0; rank < sorted.size(); ++rank) {
+          (void)csv->WriteRow(std::vector<std::string>{
+              named.label, std::to_string(rank),
+              util::StrFormat("%.17g", sorted[rank])});
+        }
+      }
+    }
+    table.Print(std::cout);
+    std::cout << "sorted series: " << csv_path << "\n";
+
+    eval::PlotSpec plot;
+    plot.title = "Fig. 4: sorted cosine similarity (" + panel + ")";
+    plot.xlabel = "instance rank";
+    plot.ylabel = "CS";
+    for (const NamedMethod& named : suite) plot.series.push_back(named.label);
+    std::string gp_path =
+        csv_path.substr(0, csv_path.size() - 4) + ".gnuplot";
+    (void)eval::WriteGnuplotScript(gp_path, csv_path, plot);
+  });
+}
+
+}  // namespace
+}  // namespace openapi::bench
+
+int main() {
+  openapi::bench::Run();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 6: Weight Difference (WD) between the ground-truth core
+// parameters of x0 and those of each probe a method uses:
+//   WD = sum_{c'} sum_i ||D^0_{c,c'} - D^i_{c,c'}||_1 / ((C-1)|S|).
+// Reported as min / mean / max over evaluated instances (the paper's error
+// bars), for OpenAPI and N/Z/L/R at h in {1e-8, 1e-4, 1e-2}.
+//
+// Expected shape: OpenAPI is exactly 0 (accepted probes share the region);
+// baseline WD grows with h and is much larger for the PLNN, whose regions
+// are smaller than the LMT's axis-aligned leaf cells.
+
+#include "bench_common.h"
+
+namespace openapi::bench {
+namespace {
+
+void Run() {
+  eval::ExperimentScale scale = eval::ScaleFromEnv();
+  PrintRunHeader("Figure 6: WD of probe sets (min/mean/max)", scale);
+
+  util::ThreadPool pool(util::DefaultThreadCount());
+  ForEachPanel(scale, [&](const eval::TrainedModels& models,
+                          const eval::TargetModel& target,
+                          const std::string& /*panel*/) {
+    util::Rng pick_rng(kBenchSeed + 5);
+    std::vector<size_t> eval_idx = eval::PickEvalInstances(
+        models.test, scale.eval_instances, &pick_rng);
+    api::PredictionApi api(target.model);
+    auto suite = MakeHSweepSuite();
+
+    std::vector<eval::MinMeanMax> rows(suite.size());
+    util::ParallelFor(&pool, suite.size(), [&](size_t m) {
+      util::Rng rng(kBenchSeed + 5 + 1000 * m);
+      std::vector<double> wd_values;
+      for (size_t idx : eval_idx) {
+        const Vec& x0 = models.test.x(idx);
+        size_t c = linalg::ArgMax(target.model->Predict(x0));
+        auto result = suite[m].method->Interpret(api, x0, c, &rng);
+        if (!result.ok() || result->probes.empty()) continue;
+        wd_values.push_back(
+            eval::WeightDifference(*target.oracle, x0, c, result->probes));
+      }
+      rows[m] = eval::Summarize(wd_values);
+    });
+
+    util::TablePrinter table({"Method", "min WD", "mean WD", "max WD"});
+    for (size_t m = 0; m < suite.size(); ++m) {
+      table.AddRow(suite[m].label,
+                   {rows[m].min, rows[m].mean, rows[m].max});
+    }
+    table.Print(std::cout);
+  });
+  std::cout << "expected shape: OpenAPI WD = 0; baseline WD grows with h "
+               "and is largest on the PLNN\n";
+}
+
+}  // namespace
+}  // namespace openapi::bench
+
+int main() {
+  openapi::bench::Run();
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Complexity microbenchmarks (google-benchmark) for the paper's claim that
+// OpenAPI runs in O(T * C * (d+2)^3) with small T:
+//   * OpenApiVsDim    — sweep input dimensionality d at fixed C,
+//   * OpenApiVsClasses — sweep class count C at fixed d,
+//   * QrFactorVsDim   — the inner (d+2)x(d+1) factorization alone,
+//   * NaiveVsDim      — the determined-system baseline for comparison.
+// Each iteration interprets one fresh test instance end to end, including
+// the API probe queries (which are O(network) and dominate at small d).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "linalg/qr.h"
+
+namespace openapi::bench {
+namespace {
+
+// A small fixture cache so the same (d, C) model is reused across
+// iterations of one benchmark without retraining.
+struct NetCache {
+  std::unique_ptr<nn::Plnn> net;
+  std::unique_ptr<api::PredictionApi> api;
+  size_t dim = 0;
+  size_t num_classes = 0;
+
+  void Ensure(size_t d, size_t c) {
+    if (net && dim == d && num_classes == c) return;
+    util::Rng rng(kBenchSeed + d * 131 + c);
+    net = std::make_unique<nn::Plnn>(
+        std::vector<size_t>{d, 2 * d, d, c}, &rng);
+    api = std::make_unique<api::PredictionApi>(net.get());
+    dim = d;
+    num_classes = c;
+  }
+};
+
+NetCache& Cache() {
+  static NetCache* cache = new NetCache();
+  return *cache;
+}
+
+void OpenApiVsDim(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const size_t c = 10;
+  Cache().Ensure(d, c);
+  interpret::OpenApiInterpreter interpreter;
+  util::Rng rng(1);
+  size_t total_iterations = 0;
+  for (auto _ : state) {
+    Vec x0 = rng.UniformVector(d, 0.05, 0.95);
+    auto result = interpreter.Interpret(*Cache().api, x0, 0, &rng);
+    if (result.ok()) total_iterations += result->iterations;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["avg_shrink_iters"] = benchmark::Counter(
+      static_cast<double>(total_iterations),
+      benchmark::Counter::kAvgIterations);
+  state.SetComplexityN(static_cast<int64_t>(d));
+}
+BENCHMARK(OpenApiVsDim)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Complexity();
+
+void OpenApiVsClasses(benchmark::State& state) {
+  const size_t d = 16;
+  const size_t c = static_cast<size_t>(state.range(0));
+  Cache().Ensure(d, c);
+  interpret::OpenApiInterpreter interpreter;
+  util::Rng rng(2);
+  for (auto _ : state) {
+    Vec x0 = rng.UniformVector(d, 0.05, 0.95);
+    auto result = interpreter.Interpret(*Cache().api, x0, 0, &rng);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetComplexityN(static_cast<int64_t>(c));
+}
+BENCHMARK(OpenApiVsClasses)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Complexity(
+    benchmark::oN);
+
+void NaiveVsDim(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const size_t c = 10;
+  Cache().Ensure(d, c);
+  interpret::NaiveInterpreter naive;
+  util::Rng rng(3);
+  for (auto _ : state) {
+    Vec x0 = rng.UniformVector(d, 0.05, 0.95);
+    auto result = naive.Interpret(*Cache().api, x0, 0, &rng);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetComplexityN(static_cast<int64_t>(d));
+}
+BENCHMARK(NaiveVsDim)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Complexity();
+
+void QrFactorVsDim(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  util::Rng rng(4);
+  Vec x0 = rng.UniformVector(d, 0, 1);
+  auto probes = interpret::SampleHypercube(x0, 1.0, d + 1, &rng);
+  linalg::Matrix a = interpret::BuildCoefficientMatrix(x0, probes);
+  for (auto _ : state) {
+    auto qr = linalg::QrDecomposition::Factor(a);
+    benchmark::DoNotOptimize(qr);
+  }
+  state.SetComplexityN(static_cast<int64_t>(d));
+}
+BENCHMARK(QrFactorVsDim)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Complexity(benchmark::oNCubed);
+
+void ZooVsDim(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const size_t c = 10;
+  Cache().Ensure(d, c);
+  interpret::ZooInterpreter zoo;
+  util::Rng rng(5);
+  for (auto _ : state) {
+    Vec x0 = rng.UniformVector(d, 0.05, 0.95);
+    auto result = zoo.Interpret(*Cache().api, x0, 0, &rng);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetComplexityN(static_cast<int64_t>(d));
+}
+BENCHMARK(ZooVsDim)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Complexity();
+
+}  // namespace
+}  // namespace openapi::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Table I: training and testing accuracies of the PLNN and LMT targets on
+// both datasets. Paper reference values (on real FMNIST/MNIST):
+//   PLNN  FMNIST 0.888/0.865   MNIST 0.980/0.971
+//   LMT   FMNIST 0.950/0.870   MNIST 0.991/0.949
+// The reproduction claim is the *shape*: both model families learn both
+// tasks well above chance, with train >= test.
+
+#include "bench_common.h"
+
+namespace openapi::bench {
+namespace {
+
+void Run() {
+  eval::ExperimentScale scale = eval::ScaleFromEnv();
+  PrintRunHeader("Table I: target model accuracies", scale);
+
+  util::TablePrinter table(
+      {"Model", "SynthFashion train", "SynthFashion test",
+       "SynthDigits train", "SynthDigits test"});
+  util::Timer timer;
+
+  std::vector<double> plnn_row, lmt_row;
+  for (data::SyntheticStyle style : PaperDatasets()) {
+    eval::TrainedModels models = eval::BuildModels(style, scale, kBenchSeed);
+    plnn_row.push_back(models.plnn_train_acc);
+    plnn_row.push_back(models.plnn_test_acc);
+    lmt_row.push_back(models.lmt_train_acc);
+    lmt_row.push_back(models.lmt_test_acc);
+    std::cout << data::SyntheticStyleName(style) << ": LMT has "
+              << models.lmt->num_leaves() << " leaves (depth "
+              << models.lmt->depth() << "), PLNN has "
+              << models.plnn->num_hidden_units() << " hidden units\n";
+    // Extended quality report (beyond the paper's accuracy-only table):
+    // test-set confusion matrices with per-class precision/recall/F1.
+    for (const eval::TargetModel& target : eval::Targets(models)) {
+      eval::ConfusionMatrix cm(models.test.num_classes());
+      cm.AddDataset(*target.model, models.test);
+      std::cout << "\n" << data::SyntheticStyleName(style) << " "
+                << target.label << " test confusion (macro F1 "
+                << util::StrFormat("%.3f", cm.MacroF1()) << "):\n"
+                << cm.ToString();
+    }
+  }
+  table.AddRow("PLNN", plnn_row);
+  table.AddRow("LMT", lmt_row);
+  std::cout << "\n";
+  table.Print(std::cout);
+  std::cout << "\npaper (real FMNIST/MNIST): PLNN 0.888/0.865, 0.980/0.971;"
+            << " LMT 0.950/0.870, 0.991/0.949\n";
+  std::cout << "elapsed: " << util::StrFormat("%.1fs", timer.ElapsedSeconds())
+            << "\n";
+}
+
+}  // namespace
+}  // namespace openapi::bench
+
+int main() {
+  openapi::bench::Run();
+  return 0;
+}

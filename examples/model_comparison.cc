@@ -1,0 +1,87 @@
+// model_comparison: the Fig. 2 story as a runnable example — train an LMT
+// and a PLNN on the same data, extract both models' decision features for
+// the same instances through their APIs, and compare:
+//   * do the two model families rely on similar pixels? (cosine similarity
+//     of their decision features),
+//   * is the LMT sparser (it is trained with L1-regularized leaves)?
+//   * does each model's D_c highlight the pixels where the class prototype
+//     differs from the other classes?
+
+#include <iostream>
+
+#include "openapi/openapi.h"
+
+using namespace openapi;  // NOLINT: example brevity
+using linalg::Vec;
+
+int main() {
+  eval::ExperimentScale scale = eval::TinyScale();
+  scale.num_train = 800;
+  scale.plnn_epochs = 60;
+  eval::TrainedModels models =
+      eval::BuildModels(data::SyntheticStyle::kDigits, scale, /*seed=*/23);
+  std::cout << "PLNN test accuracy "
+            << util::StrFormat("%.3f", models.plnn_test_acc)
+            << ", LMT test accuracy "
+            << util::StrFormat("%.3f", models.lmt_test_acc) << "\n\n";
+
+  api::PredictionApi plnn_api(models.plnn.get());
+  api::PredictionApi lmt_api(models.lmt.get());
+  interpret::OpenApiInterpreter interpreter;
+  util::Rng rng(29);
+
+  std::vector<double> cross_model_cs;
+  std::vector<double> plnn_sparsity, lmt_sparsity;
+  size_t shown = 0;
+  for (size_t i = 0; i < models.test.size() && cross_model_cs.size() < 20;
+       ++i) {
+    const Vec& x0 = models.test.x(i);
+    // Compare only where both models agree on the prediction, so the
+    // decision features answer the same question.
+    size_t c_plnn = linalg::ArgMax(models.plnn->Predict(x0));
+    size_t c_lmt = linalg::ArgMax(models.lmt->Predict(x0));
+    if (c_plnn != c_lmt) continue;
+    auto r_plnn = interpreter.Interpret(plnn_api, x0, c_plnn, &rng);
+    auto r_lmt = interpreter.Interpret(lmt_api, x0, c_lmt, &rng);
+    if (!r_plnn.ok() || !r_lmt.ok()) continue;
+
+    cross_model_cs.push_back(
+        linalg::CosineSimilarity(r_plnn->dc, r_lmt->dc));
+    auto near_zero_fraction = [](const Vec& dc) {
+      double max_mag = linalg::NormInf(dc);
+      if (max_mag == 0) return 1.0;
+      size_t small = 0;
+      for (double v : dc) {
+        if (std::fabs(v) < 0.05 * max_mag) ++small;
+      }
+      return static_cast<double>(small) / static_cast<double>(dc.size());
+    };
+    plnn_sparsity.push_back(near_zero_fraction(r_plnn->dc));
+    lmt_sparsity.push_back(near_zero_fraction(r_lmt->dc));
+
+    if (shown < 2) {
+      ++shown;
+      std::cout << "--- instance " << i << ", class " << c_plnn << " ---\n";
+      std::cout << "input image:\n"
+                << eval::RenderAscii(x0, scale.width, scale.height);
+      std::cout << "PLNN decision features:\n"
+                << eval::RenderAscii(r_plnn->dc, scale.width, scale.height);
+      std::cout << "LMT decision features:\n"
+                << eval::RenderAscii(r_lmt->dc, scale.width, scale.height)
+                << "\n";
+    }
+  }
+
+  eval::MinMeanMax cs = eval::Summarize(cross_model_cs);
+  eval::MinMeanMax ps = eval::Summarize(plnn_sparsity);
+  eval::MinMeanMax ls = eval::Summarize(lmt_sparsity);
+  util::TablePrinter table({"metric", "min", "mean", "max"});
+  table.AddRow("cross-model CS of D_c", {cs.min, cs.mean, cs.max});
+  table.AddRow("PLNN near-zero weight fraction", {ps.min, ps.mean, ps.max});
+  table.AddRow("LMT near-zero weight fraction", {ls.min, ls.mean, ls.max});
+  table.Print(std::cout);
+  std::cout << "\nexpected (paper Sec. V-A): positive cross-model CS — both "
+               "families, trained on the same data, rely on overlapping "
+               "pixels — and a sparser LMT thanks to its L1 leaves\n";
+  return 0;
+}

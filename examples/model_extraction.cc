@@ -1,0 +1,95 @@
+// model_extraction: the paper's future-work direction made concrete —
+// reverse-engineer an API-hidden PLM region by region until an offline
+// surrogate clone can answer in its place.
+//
+// The program:
+//   1. hides a trained PLNN behind PredictionApi,
+//   2. extracts the locally linear classifier at data-distributed anchors,
+//      deduplicating regions by fingerprint,
+//   3. reports how surrogate fidelity (label agreement, probability gap
+//      against the live API) grows with the number of absorbed regions and
+//      what the extraction cost in API queries,
+//   4. probes the distance to the nearest region boundary from one anchor
+//      in a few random directions — black-box geometry, Fig. 1 style.
+
+#include <iostream>
+
+#include "openapi/openapi.h"
+
+using namespace openapi;  // NOLINT: example brevity
+using linalg::Vec;
+
+int main() {
+  // The hidden model and its training distribution.
+  data::SyntheticConfig data_config;
+  data_config.width = 6;
+  data_config.height = 6;
+  data_config.num_classes = 5;
+  data_config.num_train = 1000;
+  data_config.num_test = 300;
+  data_config.seed = 37;
+  auto [train, test] = data::GenerateSynthetic(data_config);
+  util::Rng init_rng(1);
+  nn::Plnn hidden({train.dim(), 24, 16, train.num_classes()}, &init_rng);
+  nn::TrainerConfig trainer_config;
+  trainer_config.epochs = 25;
+  nn::Trainer trainer(&hidden, trainer_config);
+  util::Rng train_rng(2);
+  trainer.Fit(train, &train_rng);
+  api::PredictionApi api(&hidden);
+
+  // Fidelity probes: held-out test instances.
+  std::vector<Vec> probes;
+  for (size_t i = 100; i < test.size(); ++i) probes.push_back(test.x(i));
+
+  extract::LocalModelExtractor extractor;
+  extract::SurrogatePlm surrogate(train.dim(), train.num_classes());
+  util::Rng rng(3);
+
+  std::cout << "cloning a hidden PLNN (d=" << api.dim()
+            << ", C=" << api.num_classes() << ") through its API\n\n";
+  util::TablePrinter table({"anchors tried", "regions cached",
+                            "API queries", "label agreement",
+                            "mean prob gap"});
+  size_t tried = 0;
+  for (size_t budget : {5, 20, 50, 100}) {
+    while (tried < budget && tried < 100) {
+      (void)surrogate.AbsorbRegionAt(api, test.x(tried), extractor, &rng);
+      ++tried;
+    }
+    extract::FidelityReport report =
+        extract::MeasureFidelity(surrogate, api, probes);
+    table.AddRow(std::to_string(tried),
+                 {static_cast<double>(surrogate.num_regions()),
+                  static_cast<double>(surrogate.total_build_queries()),
+                  report.label_agreement, report.mean_prob_gap});
+  }
+  table.Print(std::cout);
+
+  // Boundary geometry from one anchor.
+  std::cout << "\nboundary distances from test[0] along random directions "
+               "(black-box bisection):\n";
+  auto extracted = extractor.Extract(api, test.x(0), &rng);
+  if (extracted.ok()) {
+    for (int i = 0; i < 5; ++i) {
+      Vec direction = rng.GaussianVector(train.dim(), 0, 1);
+      double norm = linalg::Norm2(direction);
+      for (double& v : direction) v /= norm;
+      extract::BoundaryProbeConfig probe_config;
+      auto probe = extract::ProbeBoundary(api, extracted->model, test.x(0),
+                                          direction, probe_config);
+      if (probe.ok() && probe->found) {
+        std::cout << "  direction " << i << ": boundary at t ~ "
+                  << util::FormatDouble(probe->outside_distance, 6)
+                  << " (" << probe->queries << " queries)\n";
+      } else if (probe.ok()) {
+        std::cout << "  direction " << i << ": no boundary within "
+                  << probe_config.max_distance << "\n";
+      }
+    }
+  }
+  std::cout << "\nInside every absorbed region the surrogate's softmax "
+               "output is exactly the hidden model's — the extraction is "
+               "closed-form, not a fit.\n";
+  return 0;
+}

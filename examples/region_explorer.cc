@@ -1,0 +1,91 @@
+// region_explorer: walk a straight line through input space and watch the
+// PLM's locally linear regions change — the geometry behind Fig. 1 and the
+// reason fixed perturbation distances fail (Sec. IV-C).
+//
+// For points along the segment between two test instances the program
+// reports the region id, whether OpenAPI's recovered core parameters
+// change, and how small the adaptive hypercube had to shrink — which spikes
+// when the walk passes close to a region boundary.
+
+#include <iostream>
+
+#include "openapi/openapi.h"
+
+using namespace openapi;  // NOLINT: example brevity
+using linalg::Vec;
+
+int main() {
+  // A small trained PLNN gives an interesting region structure.
+  data::SyntheticConfig data_config;
+  data_config.width = 6;
+  data_config.height = 6;
+  data_config.num_classes = 5;
+  data_config.num_train = 800;
+  data_config.num_test = 100;
+  data_config.seed = 31;
+  auto [train, test] = data::GenerateSynthetic(data_config);
+  util::Rng init_rng(1);
+  nn::Plnn model({train.dim(), 20, 14, train.num_classes()}, &init_rng);
+  nn::TrainerConfig trainer_config;
+  trainer_config.epochs = 30;
+  nn::Trainer trainer(&model, trainer_config);
+  util::Rng train_rng(2);
+  trainer.Fit(train, &train_rng);
+
+  api::PredictionApi api(&model);
+  interpret::OpenApiInterpreter interpreter;
+  util::Rng rng(3);
+
+  const Vec& start = test.x(0);
+  const Vec& finish = test.x(1);
+  const size_t steps = 24;
+
+  std::cout << "walking " << steps + 1
+            << " points from test[0] to test[1] (d=" << train.dim()
+            << ")\n\n";
+  util::TablePrinter table({"t", "region id (hash)", "pred class",
+                            "p(class)", "OA iters", "final edge",
+                            "D_c changed?"});
+
+  uint64_t prev_region = 0;
+  Vec prev_dc;
+  size_t region_changes = 0;
+  for (size_t s = 0; s <= steps; ++s) {
+    double t = static_cast<double>(s) / steps;
+    Vec x(train.dim());
+    for (size_t j = 0; j < x.size(); ++j) {
+      x[j] = start[j] + t * (finish[j] - start[j]);
+    }
+    uint64_t region = model.RegionId(x);
+    Vec y = api.Predict(x);
+    size_t c = linalg::ArgMax(y);
+    auto result = interpreter.Interpret(api, x, c, &rng);
+
+    std::string changed = "-";
+    if (result.ok()) {
+      if (!prev_dc.empty() && prev_dc.size() == result->dc.size()) {
+        double delta = linalg::L1Distance(prev_dc, result->dc);
+        changed = delta > 1e-6 ? "yes" : "no";
+      }
+      prev_dc = result->dc;
+    }
+    if (s > 0 && region != prev_region) ++region_changes;
+    prev_region = region;
+
+    table.AddRow({util::StrFormat("%.2f", t),
+                  util::StrFormat("%016llx",
+                                  static_cast<unsigned long long>(region)),
+                  std::to_string(c), util::StrFormat("%.3f", y[c]),
+                  result.ok() ? std::to_string(result->iterations) : "fail",
+                  result.ok() ? util::FormatDouble(result->edge_length, 4)
+                              : "-",
+                  changed});
+  }
+  table.Print(std::cout);
+  std::cout << "\nregion changes along the walk: " << region_changes
+            << "\nNote how D_c changes exactly when the region id changes "
+               "(consistency within regions), and how the final edge "
+               "shrinks near boundaries — no fixed perturbation distance "
+               "could serve every point on this segment.\n";
+  return 0;
+}

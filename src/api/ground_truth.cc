@@ -1,0 +1,67 @@
+#include "api/ground_truth.h"
+
+#include "util/check.h"
+
+namespace openapi::api {
+
+Vec ProbabilityGradient(const LocalLinearModel& local, const Vec& x,
+                        size_t c) {
+  const size_t d = local.weights.rows();
+  const size_t num_classes = local.weights.cols();
+  OPENAPI_CHECK_LT(c, num_classes);
+  OPENAPI_CHECK_EQ(x.size(), d);
+  Vec logits = local.weights.MultiplyTransposed(x);
+  for (size_t k = 0; k < num_classes; ++k) logits[k] += local.bias[k];
+  Vec y = linalg::Softmax(logits);
+  // d y_c / d x = y_c * (W_c - sum_k y_k W_k)
+  Vec grad(d, 0.0);
+  for (size_t j = 0; j < d; ++j) {
+    double weighted_mean = 0.0;
+    for (size_t k = 0; k < num_classes; ++k) {
+      weighted_mean += y[k] * local.weights(j, k);
+    }
+    grad[j] = y[c] * (local.weights(j, c) - weighted_mean);
+  }
+  return grad;
+}
+
+CoreParameters GroundTruthCoreParameters(const LocalLinearModel& local,
+                                         size_t c, size_t c_prime) {
+  const size_t d = local.weights.rows();
+  OPENAPI_CHECK_LT(c, local.weights.cols());
+  OPENAPI_CHECK_LT(c_prime, local.weights.cols());
+  CoreParameters out;
+  out.d.resize(d);
+  for (size_t j = 0; j < d; ++j) {
+    out.d[j] = local.weights(j, c) - local.weights(j, c_prime);
+  }
+  out.b = local.bias[c] - local.bias[c_prime];
+  return out;
+}
+
+Vec GroundTruthDecisionFeatures(const LocalLinearModel& local, size_t c) {
+  const size_t d = local.weights.rows();
+  const size_t num_classes = local.weights.cols();
+  OPENAPI_CHECK_GT(num_classes, 1u);
+  Vec dc(d, 0.0);
+  for (size_t c_prime = 0; c_prime < num_classes; ++c_prime) {
+    if (c_prime == c) continue;
+    for (size_t j = 0; j < d; ++j) {
+      dc[j] += local.weights(j, c) - local.weights(j, c_prime);
+    }
+  }
+  const double scale = 1.0 / static_cast<double>(num_classes - 1);
+  for (double& v : dc) v *= scale;
+  return dc;
+}
+
+int RegionDifference(const PlmOracle& oracle, const Vec& x0,
+                     const std::vector<Vec>& probes) {
+  uint64_t region0 = oracle.RegionId(x0);
+  for (const Vec& p : probes) {
+    if (oracle.RegionId(p) != region0) return 1;
+  }
+  return 0;
+}
+
+}  // namespace openapi::api

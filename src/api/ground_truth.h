@@ -1,0 +1,40 @@
+// Ground-truth helpers built on the privileged PlmOracle view.
+//
+// These are the quantities the evaluation section compares against:
+//   * core parameters (D_{c,c'}, B_{c,c'}) of the region containing x
+//     (Sec. IV-B), derived from the oracle's (W, b);
+//   * the ground-truth decision features D_c (Eq. 1);
+//   * region membership tests for the RD metric (Fig. 5).
+
+#ifndef OPENAPI_API_GROUND_TRUTH_H_
+#define OPENAPI_API_GROUND_TRUTH_H_
+
+#include <vector>
+
+#include "api/plm.h"
+
+namespace openapi::api {
+
+/// Core parameters of a locally linear classifier for one class pair:
+/// D_{c,c'} = W_c - W_{c'} and B_{c,c'} = b_c - b_{c'}.
+struct CoreParameters {
+  Vec d;     // length dim
+  double b;  // scalar
+};
+
+/// D_{c,c'}, B_{c,c'} from a local model.
+CoreParameters GroundTruthCoreParameters(const LocalLinearModel& local,
+                                         size_t c, size_t c_prime);
+
+/// Ground-truth decision features D_c = mean over c' != c of D_{c,c'}
+/// (Eq. 1), computed straight from the oracle's (W, b).
+Vec GroundTruthDecisionFeatures(const LocalLinearModel& local, size_t c);
+
+/// True iff every probe lies in the same locally linear region as x0.
+/// This is the paper's RD metric for one probe set: returns RD in {0, 1}.
+int RegionDifference(const PlmOracle& oracle, const Vec& x0,
+                     const std::vector<Vec>& probes);
+
+}  // namespace openapi::api
+
+#endif  // OPENAPI_API_GROUND_TRUTH_H_

@@ -1,0 +1,39 @@
+#include "api/prediction_api.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace openapi::api {
+
+PredictionApi::PredictionApi(const Plm* model, int round_digits,
+                             double noise_stddev, uint64_t noise_seed)
+    : model_(model),
+      round_digits_(round_digits),
+      noise_stddev_(noise_stddev),
+      noise_rng_(noise_seed) {
+  OPENAPI_CHECK(model != nullptr);
+  OPENAPI_CHECK_GE(noise_stddev, 0.0);
+}
+
+Vec PredictionApi::Predict(const Vec& x) const {
+  query_count_.fetch_add(1, std::memory_order_relaxed);
+  Vec y = model_->Predict(x);
+  if (noise_stddev_ > 0.0) {
+    // Multiplicative log-normal jitter keeps probabilities positive; a
+    // final renormalization keeps them a distribution.
+    double sum = 0.0;
+    for (double& p : y) {
+      p *= std::exp(noise_rng_.Gaussian(0.0, noise_stddev_));
+      sum += p;
+    }
+    for (double& p : y) p /= sum;
+  }
+  if (round_digits_ > 0) {
+    const double scale = std::pow(10.0, round_digits_);
+    for (double& p : y) p = std::round(p * scale) / scale;
+  }
+  return y;
+}
+
+}  // namespace openapi::api

@@ -1,0 +1,69 @@
+// The "cloud API" boundary.
+//
+// PredictionApi is the only view of the model that black-box interpretation
+// methods (OpenAPI, the naive method, ZOO, LIME) receive. It exposes
+// exactly what a deployed prediction endpoint exposes: probabilities for an
+// input. On top of the raw model it adds
+//   * a query counter (the paper's efficiency story is about how few probes
+//     the closed form needs; the benches report it),
+//   * optional probability rounding to k decimal digits, simulating real
+//     endpoints that truncate their JSON output — used by bench_ablation to
+//     map where the closed form degrades,
+//   * optional multiplicative log-normal probability noise, simulating
+//     nondeterministic serving stacks (ensembles, inference dropout,
+//     numeric jitter across replicas) — used by the robustness tests.
+
+#ifndef OPENAPI_API_PREDICTION_API_H_
+#define OPENAPI_API_PREDICTION_API_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "api/plm.h"
+#include "util/rng.h"
+
+namespace openapi::api {
+
+class PredictionApi {
+ public:
+  /// Wraps `model` (not owned; must outlive the API). `round_digits` <= 0
+  /// means no rounding (exact doubles, the paper's setting).
+  /// `noise_stddev` > 0 perturbs each returned probability by an
+  /// independent log-normal factor exp(N(0, noise_stddev^2)) and
+  /// renormalizes, so outputs stay valid distributions.
+  explicit PredictionApi(const Plm* model, int round_digits = 0,
+                         double noise_stddev = 0.0,
+                         uint64_t noise_seed = 0x5eed);
+
+  size_t dim() const { return model_->dim(); }
+  size_t num_classes() const { return model_->num_classes(); }
+
+  /// One API call: class probabilities for x.
+  Vec Predict(const Vec& x) const;
+
+  /// Number of Predict calls since construction / last reset. The counter
+  /// is atomic, so a noise-free PredictionApi is safe to share across the
+  /// evaluation thread pool (the wrapped Plm implementations are const and
+  /// stateless at inference). With noise enabled the jitter RNG is not
+  /// synchronized — use one PredictionApi per thread in that case.
+  uint64_t query_count() const {
+    return query_count_.load(std::memory_order_relaxed);
+  }
+  void ResetQueryCount() {
+    query_count_.store(0, std::memory_order_relaxed);
+  }
+
+  int round_digits() const { return round_digits_; }
+  double noise_stddev() const { return noise_stddev_; }
+
+ private:
+  const Plm* model_;
+  int round_digits_;
+  double noise_stddev_;
+  mutable util::Rng noise_rng_;
+  mutable std::atomic<uint64_t> query_count_{0};
+};
+
+}  // namespace openapi::api
+
+#endif  // OPENAPI_API_PREDICTION_API_H_

@@ -1,0 +1,83 @@
+#include "data/dataset.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace openapi::data {
+
+void Dataset::Add(Vec x, size_t label) {
+  OPENAPI_CHECK_EQ(x.size(), dim_);
+  OPENAPI_CHECK_LT(label, num_classes_);
+  features_.push_back(std::move(x));
+  labels_.push_back(label);
+}
+
+Dataset Dataset::Select(const std::vector<size_t>& indices) const {
+  Dataset out(dim_, num_classes_);
+  for (size_t i : indices) {
+    OPENAPI_CHECK_LT(i, size());
+    out.Add(features_[i], labels_[i]);
+  }
+  return out;
+}
+
+std::pair<Dataset, Dataset> Dataset::Split(double test_fraction,
+                                           util::Rng* rng) const {
+  OPENAPI_CHECK(test_fraction >= 0.0 && test_fraction <= 1.0);
+  std::vector<size_t> indices(size());
+  for (size_t i = 0; i < size(); ++i) indices[i] = i;
+  rng->Shuffle(&indices);
+  size_t test_count = static_cast<size_t>(std::lround(
+      test_fraction * static_cast<double>(size())));
+  std::vector<size_t> test_idx(indices.begin(), indices.begin() + test_count);
+  std::vector<size_t> train_idx(indices.begin() + test_count, indices.end());
+  return {Select(train_idx), Select(test_idx)};
+}
+
+Dataset Dataset::Sample(size_t n, util::Rng* rng) const {
+  OPENAPI_CHECK_LE(n, size());
+  return Select(rng->SampleWithoutReplacement(size(), n));
+}
+
+Vec Dataset::ClassMean(size_t label) const {
+  Vec mean(dim_, 0.0);
+  size_t count = 0;
+  for (size_t i = 0; i < size(); ++i) {
+    if (labels_[i] != label) continue;
+    linalg::Axpy(1.0, features_[i], &mean);
+    ++count;
+  }
+  if (count > 0) {
+    for (double& v : mean) v /= static_cast<double>(count);
+  }
+  return mean;
+}
+
+std::vector<size_t> Dataset::ClassCounts() const {
+  std::vector<size_t> counts(num_classes_, 0);
+  for (size_t label : labels_) ++counts[label];
+  return counts;
+}
+
+Status Dataset::Validate(double lo, double hi) const {
+  for (size_t i = 0; i < size(); ++i) {
+    if (labels_[i] >= num_classes_) {
+      return Status::InvalidArgument(
+          util::StrFormat("instance %zu: label %zu out of range", i,
+                          labels_[i]));
+    }
+    for (size_t j = 0; j < dim_; ++j) {
+      double v = features_[i][j];
+      if (!std::isfinite(v) || v < lo || v > hi) {
+        return Status::InvalidArgument(util::StrFormat(
+            "instance %zu feature %zu = %g outside [%g, %g]", i, j, v, lo,
+            hi));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace openapi::data

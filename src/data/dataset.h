@@ -1,0 +1,73 @@
+// In-memory labeled dataset.
+//
+// Instances are d-dimensional feature vectors with values normalized to
+// [0, 1] (the paper normalizes MNIST/FMNIST pixels to [0, 1]); labels are
+// class ids in [0, C).
+
+#ifndef OPENAPI_DATA_DATASET_H_
+#define OPENAPI_DATA_DATASET_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "linalg/vector_ops.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace openapi::data {
+
+using linalg::Vec;
+
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(size_t dim, size_t num_classes)
+      : dim_(dim), num_classes_(num_classes) {}
+
+  /// Appends one instance. `x` must have dim() entries, `label` < C.
+  void Add(Vec x, size_t label);
+
+  size_t size() const { return labels_.size(); }
+  bool empty() const { return labels_.empty(); }
+  size_t dim() const { return dim_; }
+  size_t num_classes() const { return num_classes_; }
+
+  const Vec& x(size_t i) const { return features_[i]; }
+  size_t label(size_t i) const { return labels_[i]; }
+
+  const std::vector<Vec>& features() const { return features_; }
+  const std::vector<size_t>& labels() const { return labels_; }
+
+  /// The subset selected by `indices` (copies instances).
+  Dataset Select(const std::vector<size_t>& indices) const;
+
+  /// Random split into (train, test) with `test_fraction` of instances
+  /// going to the test side.
+  std::pair<Dataset, Dataset> Split(double test_fraction,
+                                    util::Rng* rng) const;
+
+  /// Uniformly samples `n` instances without replacement (n <= size()).
+  Dataset Sample(size_t n, util::Rng* rng) const;
+
+  /// Mean feature vector of instances with the given label; zero vector if
+  /// the class is empty.
+  Vec ClassMean(size_t label) const;
+
+  /// Per-class instance counts (length C).
+  std::vector<size_t> ClassCounts() const;
+
+  /// Fails unless all features are finite, inside [lo, hi], and labels are
+  /// in range. Used as a pipeline sanity gate by the bench harnesses.
+  Status Validate(double lo, double hi) const;
+
+ private:
+  size_t dim_ = 0;
+  size_t num_classes_ = 0;
+  std::vector<Vec> features_;
+  std::vector<size_t> labels_;
+};
+
+}  // namespace openapi::data
+
+#endif  // OPENAPI_DATA_DATASET_H_

@@ -1,0 +1,144 @@
+#include "data/idx_io.h"
+
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace openapi::data {
+
+namespace {
+
+constexpr uint8_t kUnsignedByteType = 0x08;
+
+uint32_t ReadBigEndian32(const uint8_t* p) {
+  return (static_cast<uint32_t>(p[0]) << 24) |
+         (static_cast<uint32_t>(p[1]) << 16) |
+         (static_cast<uint32_t>(p[2]) << 8) | static_cast<uint32_t>(p[3]);
+}
+
+void AppendBigEndian32(uint32_t v, std::vector<uint8_t>* out) {
+  out->push_back(static_cast<uint8_t>(v >> 24));
+  out->push_back(static_cast<uint8_t>(v >> 16));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+Result<std::vector<uint8_t>> ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open " + path);
+  }
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    return Status::IoError("read failed for " + path);
+  }
+  return bytes;
+}
+
+Status WriteAll(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out.good()) {
+    return Status::IoError("write failed for " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<IdxImages> ReadIdxImages(const std::string& path) {
+  OPENAPI_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadAll(path));
+  if (bytes.size() < 16) {
+    return Status::IoError(path + ": truncated IDX3 header");
+  }
+  if (bytes[0] != 0 || bytes[1] != 0 || bytes[2] != kUnsignedByteType ||
+      bytes[3] != 3) {
+    return Status::IoError(path + ": not an IDX3 ubyte file");
+  }
+  IdxImages images;
+  images.count = ReadBigEndian32(&bytes[4]);
+  images.rows = ReadBigEndian32(&bytes[8]);
+  images.cols = ReadBigEndian32(&bytes[12]);
+  size_t expected = 16 + images.count * images.rows * images.cols;
+  if (bytes.size() != expected) {
+    return Status::IoError(util::StrFormat(
+        "%s: payload size %zu, expected %zu", path.c_str(), bytes.size(),
+        expected));
+  }
+  images.pixels.assign(bytes.begin() + 16, bytes.end());
+  return images;
+}
+
+Result<std::vector<uint8_t>> ReadIdxLabels(const std::string& path) {
+  OPENAPI_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadAll(path));
+  if (bytes.size() < 8) {
+    return Status::IoError(path + ": truncated IDX1 header");
+  }
+  if (bytes[0] != 0 || bytes[1] != 0 || bytes[2] != kUnsignedByteType ||
+      bytes[3] != 1) {
+    return Status::IoError(path + ": not an IDX1 ubyte file");
+  }
+  size_t count = ReadBigEndian32(&bytes[4]);
+  if (bytes.size() != 8 + count) {
+    return Status::IoError(path + ": label payload size mismatch");
+  }
+  return std::vector<uint8_t>(bytes.begin() + 8, bytes.end());
+}
+
+Status WriteIdxImages(const std::string& path, const IdxImages& images) {
+  if (images.pixels.size() != images.count * images.rows * images.cols) {
+    return Status::InvalidArgument("IDX images: pixel buffer size mismatch");
+  }
+  std::vector<uint8_t> bytes;
+  bytes.reserve(16 + images.pixels.size());
+  bytes.insert(bytes.end(), {0, 0, kUnsignedByteType, 3});
+  AppendBigEndian32(static_cast<uint32_t>(images.count), &bytes);
+  AppendBigEndian32(static_cast<uint32_t>(images.rows), &bytes);
+  AppendBigEndian32(static_cast<uint32_t>(images.cols), &bytes);
+  bytes.insert(bytes.end(), images.pixels.begin(), images.pixels.end());
+  return WriteAll(path, bytes);
+}
+
+Status WriteIdxLabels(const std::string& path,
+                      const std::vector<uint8_t>& labels) {
+  std::vector<uint8_t> bytes;
+  bytes.reserve(8 + labels.size());
+  bytes.insert(bytes.end(), {0, 0, kUnsignedByteType, 1});
+  AppendBigEndian32(static_cast<uint32_t>(labels.size()), &bytes);
+  bytes.insert(bytes.end(), labels.begin(), labels.end());
+  return WriteAll(path, bytes);
+}
+
+Result<Dataset> LoadIdxImageDataset(const std::string& images_path,
+                                    const std::string& labels_path,
+                                    size_t num_classes) {
+  OPENAPI_ASSIGN_OR_RETURN(IdxImages images, ReadIdxImages(images_path));
+  OPENAPI_ASSIGN_OR_RETURN(std::vector<uint8_t> labels,
+                           ReadIdxLabels(labels_path));
+  if (labels.size() != images.count) {
+    return Status::InvalidArgument(util::StrFormat(
+        "%zu images but %zu labels", images.count, labels.size()));
+  }
+  const size_t dim = images.rows * images.cols;
+  Dataset out(dim, num_classes);
+  for (size_t i = 0; i < images.count; ++i) {
+    if (labels[i] >= num_classes) {
+      return Status::InvalidArgument(util::StrFormat(
+          "label %u out of range at instance %zu", labels[i], i));
+    }
+    Vec x(dim);
+    const uint8_t* src = images.pixels.data() + i * dim;
+    for (size_t j = 0; j < dim; ++j) {
+      x[j] = static_cast<double>(src[j]) / 255.0;
+    }
+    out.Add(std::move(x), labels[i]);
+  }
+  return out;
+}
+
+}  // namespace openapi::data

@@ -1,0 +1,51 @@
+// IDX file format reader/writer (the format MNIST and FMNIST ship in).
+//
+// The benchmark harness runs on synthetic data by default, but if the real
+// MNIST/FMNIST ubyte files are present (paths via environment or example
+// flags), LoadIdxImageDataset turns them into a Dataset with pixels
+// normalized to [0,1] — the exact preprocessing the paper uses. The writer
+// exists so tests can round-trip the parser without external files.
+//
+// Format (big-endian): magic [0, 0, dtype, ndims], then ndims uint32 dims,
+// then the payload. We support dtype 0x08 (unsigned byte) with 1-D (labels)
+// and 3-D (images) layouts.
+
+#ifndef OPENAPI_DATA_IDX_IO_H_
+#define OPENAPI_DATA_IDX_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace openapi::data {
+
+struct IdxImages {
+  size_t count = 0;
+  size_t rows = 0;
+  size_t cols = 0;
+  std::vector<uint8_t> pixels;  // count * rows * cols, row-major
+};
+
+/// Reads an IDX3 ubyte image file.
+Result<IdxImages> ReadIdxImages(const std::string& path);
+
+/// Reads an IDX1 ubyte label file.
+Result<std::vector<uint8_t>> ReadIdxLabels(const std::string& path);
+
+/// Writes images / labels in IDX format (for tests and tooling).
+Status WriteIdxImages(const std::string& path, const IdxImages& images);
+Status WriteIdxLabels(const std::string& path,
+                      const std::vector<uint8_t>& labels);
+
+/// Loads an (images, labels) IDX pair into a Dataset with pixel values
+/// scaled to [0,1]. `num_classes` is typically 10.
+Result<Dataset> LoadIdxImageDataset(const std::string& images_path,
+                                    const std::string& labels_path,
+                                    size_t num_classes);
+
+}  // namespace openapi::data
+
+#endif  // OPENAPI_DATA_IDX_IO_H_

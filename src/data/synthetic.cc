@@ -1,0 +1,205 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace openapi::data {
+
+namespace {
+
+// Draws an anti-aliased line segment into `img` (row-major height x width).
+void DrawLine(double x0, double y0, double x1, double y1, double intensity,
+              size_t width, size_t height, Vec* img) {
+  const int steps = static_cast<int>(
+      4.0 * std::max(std::fabs(x1 - x0), std::fabs(y1 - y0)) *
+          static_cast<double>(std::max(width, height)) +
+      2.0);
+  for (int s = 0; s <= steps; ++s) {
+    double t = static_cast<double>(s) / steps;
+    double fx = (x0 + t * (x1 - x0)) * static_cast<double>(width - 1);
+    double fy = (y0 + t * (y1 - y0)) * static_cast<double>(height - 1);
+    int cx = static_cast<int>(std::lround(fx));
+    int cy = static_cast<int>(std::lround(fy));
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        int px = cx + dx;
+        int py = cy + dy;
+        if (px < 0 || py < 0 || px >= static_cast<int>(width) ||
+            py >= static_cast<int>(height)) {
+          continue;
+        }
+        double dist2 = (fx - px) * (fx - px) + (fy - py) * (fy - py);
+        double value = intensity * std::exp(-2.5 * dist2);
+        double& pixel = (*img)[static_cast<size_t>(py) * width +
+                               static_cast<size_t>(px)];
+        pixel = std::max(pixel, value);
+      }
+    }
+  }
+}
+
+// Fills an axis-aligned rectangle given in unit coordinates.
+void FillRect(double x0, double y0, double x1, double y1, double intensity,
+              size_t width, size_t height, Vec* img) {
+  int px0 = static_cast<int>(std::floor(x0 * (width - 1)));
+  int py0 = static_cast<int>(std::floor(y0 * (height - 1)));
+  int px1 = static_cast<int>(std::ceil(x1 * (width - 1)));
+  int py1 = static_cast<int>(std::ceil(y1 * (height - 1)));
+  px0 = std::clamp(px0, 0, static_cast<int>(width) - 1);
+  px1 = std::clamp(px1, 0, static_cast<int>(width) - 1);
+  py0 = std::clamp(py0, 0, static_cast<int>(height) - 1);
+  py1 = std::clamp(py1, 0, static_cast<int>(height) - 1);
+  for (int py = py0; py <= py1; ++py) {
+    for (int px = px0; px <= px1; ++px) {
+      double& pixel = (*img)[static_cast<size_t>(py) * width +
+                             static_cast<size_t>(px)];
+      pixel = std::max(pixel, intensity);
+    }
+  }
+}
+
+Vec DigitsPrototype(const SyntheticConfig& config, size_t label,
+                    size_t variant) {
+  Vec img(config.dim(), 0.0);
+  // A deterministic per-(class, variant) polyline through pseudo-random
+  // anchor points. Each stream is independent so prototypes are stable
+  // across runs regardless of dataset size.
+  util::Rng rng(config.seed * 1000003ULL + label * 7919ULL +
+                variant * 60013ULL + 17ULL);
+  const size_t num_anchors = 4 + label % 3;
+  std::vector<std::pair<double, double>> anchors;
+  anchors.reserve(num_anchors);
+  for (size_t i = 0; i < num_anchors; ++i) {
+    anchors.emplace_back(rng.Uniform(0.1, 0.9), rng.Uniform(0.1, 0.9));
+  }
+  for (size_t i = 0; i + 1 < anchors.size(); ++i) {
+    DrawLine(anchors[i].first, anchors[i].second, anchors[i + 1].first,
+             anchors[i + 1].second, 0.95, config.width, config.height, &img);
+  }
+  // Half the classes close the stroke into a loop — mimics the closed
+  // shapes (0, 6, 8, 9) vs open strokes (1, 2, 7) split among real digits.
+  if (label % 2 == 0 && anchors.size() >= 3) {
+    DrawLine(anchors.back().first, anchors.back().second, anchors[0].first,
+             anchors[0].second, 0.95, config.width, config.height, &img);
+  }
+  return img;
+}
+
+Vec FashionPrototype(const SyntheticConfig& config, size_t label,
+                     size_t variant) {
+  Vec img(config.dim(), 0.0);
+  util::Rng rng(config.seed * 2000029ULL + label * 104729ULL +
+                variant * 60013ULL + 29ULL);
+  // Filled-region silhouettes: a big torso block plus class-dependent
+  // appendages (sleeves/legs/heel), echoing FMNIST's filled garments.
+  double cx = rng.Uniform(0.35, 0.65);
+  double cy = rng.Uniform(0.35, 0.65);
+  double half_w = rng.Uniform(0.12, 0.3);
+  double half_h = rng.Uniform(0.12, 0.3);
+  FillRect(cx - half_w, cy - half_h, cx + half_w, cy + half_h, 0.85,
+           config.width, config.height, &img);
+  const size_t num_appendages = 1 + label % 3;
+  for (size_t i = 0; i < num_appendages; ++i) {
+    double ax = rng.Uniform(0.05, 0.95);
+    double ay = rng.Uniform(0.05, 0.95);
+    double aw = rng.Uniform(0.05, 0.18);
+    double ah = rng.Uniform(0.05, 0.18);
+    FillRect(ax - aw, ay - ah, ax + aw, ay + ah, 0.7, config.width,
+             config.height, &img);
+  }
+  return img;
+}
+
+}  // namespace
+
+const char* SyntheticStyleName(SyntheticStyle style) {
+  switch (style) {
+    case SyntheticStyle::kDigits:
+      return "SynthDigits";
+    case SyntheticStyle::kFashion:
+      return "SynthFashion";
+  }
+  return "Unknown";
+}
+
+Vec ClassPrototypeVariant(const SyntheticConfig& config, size_t label,
+                          size_t variant) {
+  OPENAPI_CHECK_LT(label, config.num_classes);
+  switch (config.style) {
+    case SyntheticStyle::kDigits:
+      return DigitsPrototype(config, label, variant);
+    case SyntheticStyle::kFashion:
+      return FashionPrototype(config, label, variant);
+  }
+  return Vec(config.dim(), 0.0);
+}
+
+Vec ClassPrototype(const SyntheticConfig& config, size_t label) {
+  return ClassPrototypeVariant(config, label, 0);
+}
+
+std::pair<Dataset, Dataset> GenerateSynthetic(const SyntheticConfig& config) {
+  OPENAPI_CHECK_GT(config.num_classes, 1u);
+  OPENAPI_CHECK_GT(config.dim(), 0u);
+  OPENAPI_CHECK_GT(config.variants_per_class, 0u);
+  std::vector<std::vector<Vec>> prototypes(config.num_classes);
+  for (size_t c = 0; c < config.num_classes; ++c) {
+    for (size_t v = 0; v < config.variants_per_class; ++v) {
+      prototypes[c].push_back(ClassPrototypeVariant(config, c, v));
+    }
+  }
+
+  util::Rng rng(config.seed);
+  auto generate = [&](size_t count, Dataset* out) {
+    for (size_t i = 0; i < count; ++i) {
+      size_t label = i % config.num_classes;  // balanced true classes
+      size_t variant = rng.Index(config.variants_per_class);
+      Vec x = prototypes[label][variant];
+      double gain = 1.0 + rng.Uniform(-config.intensity_jitter,
+                                      config.intensity_jitter);
+      for (double& v : x) {
+        v = v * gain + rng.Gaussian(0.0, config.noise_stddev);
+        v = std::clamp(v, 0.0, 1.0);
+      }
+      size_t observed_label = label;
+      if (config.label_noise > 0.0 && rng.Flip(config.label_noise)) {
+        // Replace with a uniformly random *other* class.
+        observed_label =
+            (label + 1 + rng.Index(config.num_classes - 1)) %
+            config.num_classes;
+      }
+      out->Add(std::move(x), observed_label);
+    }
+  };
+
+  Dataset train(config.dim(), config.num_classes);
+  Dataset test(config.dim(), config.num_classes);
+  generate(config.num_train, &train);
+  generate(config.num_test, &test);
+  return {std::move(train), std::move(test)};
+}
+
+Dataset GenerateGaussianBlobs(size_t dim, size_t num_classes,
+                              size_t num_instances, double stddev,
+                              util::Rng* rng) {
+  OPENAPI_CHECK_GT(num_classes, 1u);
+  std::vector<Vec> centers;
+  centers.reserve(num_classes);
+  for (size_t c = 0; c < num_classes; ++c) {
+    centers.push_back(rng->UniformVector(dim, 0.2, 0.8));
+  }
+  Dataset out(dim, num_classes);
+  for (size_t i = 0; i < num_instances; ++i) {
+    size_t label = i % num_classes;
+    Vec x = centers[label];
+    for (double& v : x) {
+      v = std::clamp(v + rng->Gaussian(0.0, stddev), 0.0, 1.0);
+    }
+    out.Add(std::move(x), label);
+  }
+  return out;
+}
+
+}  // namespace openapi::data

@@ -1,0 +1,83 @@
+// Synthetic image-classification datasets standing in for MNIST / FMNIST.
+//
+// The paper's experiments run on MNIST (handwritten digits) and FMNIST
+// (fashion items): 28x28 grayscale images in [0,1], 10 classes. Those files
+// are not available offline, so we generate structurally equivalent data:
+// each class has a deterministic prototype image (strokes for the digit
+// proxy, filled silhouettes for the fashion proxy) and instances are
+// prototype + per-pixel Gaussian noise + a random global intensity jitter,
+// clipped to [0,1].
+//
+// Why this preserves the paper's behaviour: OpenAPI's guarantees
+// (Lemma 1 / Theorems 1-2) depend only on (a) the target model being
+// piecewise linear and (b) inputs coming from a continuous distribution in
+// R^d. The substitute data is continuous, multi-class, and lives in the
+// same [0,1]^d hypercube geometry, so locally-linear-region structure,
+// softmax saturation, and probe sampling behave the same way. Class
+// semantics (a "boot" vs a "7") play no role in any metric.
+
+#ifndef OPENAPI_DATA_SYNTHETIC_H_
+#define OPENAPI_DATA_SYNTHETIC_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace openapi::data {
+
+/// Which prototype family to draw.
+enum class SyntheticStyle {
+  kDigits,   // stroke-like prototypes (MNIST proxy)
+  kFashion,  // filled-silhouette prototypes (FMNIST proxy)
+};
+
+const char* SyntheticStyleName(SyntheticStyle style);
+
+struct SyntheticConfig {
+  size_t width = 8;          // image width; dim = width * height
+  size_t height = 8;         // image height
+  size_t num_classes = 10;   // C
+  size_t num_train = 4000;   // training set size
+  size_t num_test = 1000;    // test set size
+  double noise_stddev = 0.22;     // per-pixel Gaussian noise
+  double intensity_jitter = 0.25; // uniform multiplicative jitter amplitude
+  // Each class draws from this many distinct prototype images ("writing
+  // styles" for digits, garment cuts for fashion). Multi-modal classes are
+  // what keep one global linear classifier below the LMT's 99% stopping
+  // threshold, forcing real tree growth — mirroring MNIST/FMNIST, which a
+  // single softmax regression also cannot fit perfectly.
+  size_t variants_per_class = 2;
+  // Fraction of instances whose label is replaced by a random other class.
+  // Keeps train accuracy below 100% (Table I's models do not interpolate).
+  double label_noise = 0.03;
+  SyntheticStyle style = SyntheticStyle::kDigits;
+  uint64_t seed = 42;
+
+  size_t dim() const { return width * height; }
+};
+
+/// The per-class prototype image for one variant (deterministic in class
+/// id, variant, and config). Exposed for the heatmap benchmarks (Fig. 2
+/// compares decision features against the averaged class image).
+Vec ClassPrototypeVariant(const SyntheticConfig& config, size_t label,
+                          size_t variant);
+
+/// Variant-0 prototype (convenience overload).
+Vec ClassPrototype(const SyntheticConfig& config, size_t label);
+
+/// Generates (train, test) datasets with balanced classes.
+std::pair<Dataset, Dataset> GenerateSynthetic(const SyntheticConfig& config);
+
+/// Low-dimensional Gaussian-blob dataset for unit tests: `num_classes`
+/// isotropic Gaussians at random centers in [0.2, 0.8]^dim, clipped to
+/// [0,1]. Cheap to train on, so model tests stay fast.
+Dataset GenerateGaussianBlobs(size_t dim, size_t num_classes,
+                              size_t num_instances, double stddev,
+                              util::Rng* rng);
+
+}  // namespace openapi::data
+
+#endif  // OPENAPI_DATA_SYNTHETIC_H_

@@ -1,0 +1,84 @@
+#include "eval/classification_metrics.h"
+
+#include <sstream>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace openapi::eval {
+
+ConfusionMatrix::ConfusionMatrix(size_t num_classes)
+    : counts_(num_classes, num_classes) {
+  OPENAPI_CHECK_GT(num_classes, 0u);
+}
+
+void ConfusionMatrix::Add(size_t truth, size_t predicted) {
+  OPENAPI_CHECK_LT(truth, counts_.rows());
+  OPENAPI_CHECK_LT(predicted, counts_.cols());
+  counts_(truth, predicted) += 1.0;
+  ++total_;
+}
+
+void ConfusionMatrix::AddDataset(const api::Plm& model,
+                                 const data::Dataset& dataset) {
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    Add(dataset.label(i), linalg::ArgMax(model.Predict(dataset.x(i))));
+  }
+}
+
+double ConfusionMatrix::Accuracy() const {
+  if (total_ == 0) return 0.0;
+  double correct = 0.0;
+  for (size_t c = 0; c < counts_.rows(); ++c) correct += counts_(c, c);
+  return correct / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::Precision(size_t c) const {
+  OPENAPI_CHECK_LT(c, counts_.cols());
+  double predicted = 0.0;
+  for (size_t t = 0; t < counts_.rows(); ++t) predicted += counts_(t, c);
+  if (predicted == 0.0) return 0.0;
+  return counts_(c, c) / predicted;
+}
+
+double ConfusionMatrix::Recall(size_t c) const {
+  OPENAPI_CHECK_LT(c, counts_.rows());
+  double actual = 0.0;
+  for (size_t p = 0; p < counts_.cols(); ++p) actual += counts_(c, p);
+  if (actual == 0.0) return 0.0;
+  return counts_(c, c) / actual;
+}
+
+double ConfusionMatrix::F1(size_t c) const {
+  double precision = Precision(c);
+  double recall = Recall(c);
+  if (precision + recall == 0.0) return 0.0;
+  return 2.0 * precision * recall / (precision + recall);
+}
+
+double ConfusionMatrix::MacroF1() const {
+  double sum = 0.0;
+  for (size_t c = 0; c < counts_.rows(); ++c) sum += F1(c);
+  return sum / static_cast<double>(counts_.rows());
+}
+
+std::string ConfusionMatrix::ToString() const {
+  std::ostringstream os;
+  os << "truth\\pred";
+  for (size_t p = 0; p < counts_.cols(); ++p) {
+    os << util::StrFormat("%6zu", p);
+  }
+  os << "\n";
+  for (size_t t = 0; t < counts_.rows(); ++t) {
+    os << util::StrFormat("%9zu ", t);
+    for (size_t p = 0; p < counts_.cols(); ++p) {
+      os << util::StrFormat("%6d", static_cast<int>(counts_(t, p)));
+    }
+    os << util::StrFormat("   P=%.2f R=%.2f F1=%.2f", Precision(t),
+                          Recall(t), F1(t));
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace openapi::eval

@@ -1,0 +1,53 @@
+// Classification quality metrics beyond plain accuracy: confusion matrix
+// and per-class precision / recall / F1. Table I in the paper reports only
+// accuracy; these back the extended model-quality report in bench_table1
+// and give tests sharper assertions about what the trained targets learn.
+
+#ifndef OPENAPI_EVAL_CLASSIFICATION_METRICS_H_
+#define OPENAPI_EVAL_CLASSIFICATION_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "api/plm.h"
+#include "data/dataset.h"
+
+namespace openapi::eval {
+
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(size_t num_classes);
+
+  /// Counts one (truth, predicted) observation.
+  void Add(size_t truth, size_t predicted);
+
+  /// Runs `model` over `dataset` and accumulates.
+  void AddDataset(const api::Plm& model, const data::Dataset& dataset);
+
+  size_t num_classes() const { return counts_.rows(); }
+  /// counts()(t, p) = number of class-t instances predicted as p.
+  const linalg::Matrix& counts() const { return counts_; }
+  size_t total() const { return total_; }
+
+  double Accuracy() const;
+  /// Precision of class c: tp / (tp + fp); 0 when the class was never
+  /// predicted.
+  double Precision(size_t c) const;
+  /// Recall of class c: tp / (tp + fn); 0 when the class never occurs.
+  double Recall(size_t c) const;
+  /// Harmonic mean of precision and recall; 0 when both are 0.
+  double F1(size_t c) const;
+  /// Unweighted mean F1 over classes (macro average).
+  double MacroF1() const;
+
+  /// Fixed-width rendering for bench output.
+  std::string ToString() const;
+
+ private:
+  linalg::Matrix counts_;  // rows = truth, cols = predicted
+  size_t total_ = 0;
+};
+
+}  // namespace openapi::eval
+
+#endif  // OPENAPI_EVAL_CLASSIFICATION_METRICS_H_

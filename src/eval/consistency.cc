@@ -1,0 +1,22 @@
+#include "eval/consistency.h"
+
+#include <algorithm>
+
+namespace openapi::eval {
+
+double InterpretationCosineSimilarity(const Vec& a, const Vec& b) {
+  return linalg::CosineSimilarity(a, b);
+}
+
+ConsistencySummary SummarizeConsistency(std::vector<double> cs_values) {
+  ConsistencySummary out;
+  if (cs_values.empty()) return out;
+  std::sort(cs_values.begin(), cs_values.end(), std::greater<double>());
+  double sum = 0.0;
+  for (double v : cs_values) sum += v;
+  out.mean_cs = sum / static_cast<double>(cs_values.size());
+  out.sorted_cs = std::move(cs_values);
+  return out;
+}
+
+}  // namespace openapi::eval

@@ -1,0 +1,34 @@
+// Interpretation-consistency evaluation (Fig. 4).
+//
+// For each evaluated instance x0 (predicted class c), find its nearest test
+// neighbor x1 and report the cosine similarity between the two instances'
+// interpretations for class c. The paper sorts the resulting per-instance
+// CS values in descending order and plots them; SummarizeConsistency
+// produces that sorted series plus its mean.
+
+#ifndef OPENAPI_EVAL_CONSISTENCY_H_
+#define OPENAPI_EVAL_CONSISTENCY_H_
+
+#include <vector>
+
+#include "linalg/vector_ops.h"
+
+namespace openapi::eval {
+
+using linalg::Vec;
+
+struct ConsistencySummary {
+  std::vector<double> sorted_cs;  // descending cosine similarities
+  double mean_cs = 0.0;
+};
+
+/// Cosine similarity of two interpretations (thin wrapper so the metric has
+/// one authoritative definition).
+double InterpretationCosineSimilarity(const Vec& a, const Vec& b);
+
+/// Sorts per-instance CS values descending and computes the mean.
+ConsistencySummary SummarizeConsistency(std::vector<double> cs_values);
+
+}  // namespace openapi::eval
+
+#endif  // OPENAPI_EVAL_CONSISTENCY_H_

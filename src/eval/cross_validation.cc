@@ -1,0 +1,53 @@
+#include "eval/cross_validation.h"
+
+#include "util/check.h"
+
+namespace openapi::eval {
+
+std::vector<Fold> StratifiedKFold(const data::Dataset& dataset, size_t k,
+                                  util::Rng* rng) {
+  OPENAPI_CHECK_GE(k, 2u);
+  OPENAPI_CHECK_LE(k, dataset.size());
+
+  // Shuffle instance indices within each class, then deal them round-robin
+  // into folds — stratification by construction.
+  std::vector<std::vector<size_t>> by_class(dataset.num_classes());
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    by_class[dataset.label(i)].push_back(i);
+  }
+  std::vector<std::vector<size_t>> validation_sets(k);
+  for (auto& members : by_class) {
+    rng->Shuffle(&members);
+    for (size_t j = 0; j < members.size(); ++j) {
+      validation_sets[j % k].push_back(members[j]);
+    }
+  }
+
+  std::vector<Fold> folds(k);
+  for (size_t f = 0; f < k; ++f) {
+    folds[f].validation = validation_sets[f];
+    for (size_t other = 0; other < k; ++other) {
+      if (other == f) continue;
+      folds[f].train.insert(folds[f].train.end(),
+                            validation_sets[other].begin(),
+                            validation_sets[other].end());
+    }
+  }
+  return folds;
+}
+
+MinMeanMax CrossValidate(
+    const data::Dataset& dataset, size_t k, util::Rng* rng,
+    const std::function<double(const data::Dataset&, const data::Dataset&)>&
+        evaluate) {
+  std::vector<Fold> folds = StratifiedKFold(dataset, k, rng);
+  std::vector<double> scores;
+  scores.reserve(k);
+  for (const Fold& fold : folds) {
+    scores.push_back(evaluate(dataset.Select(fold.train),
+                              dataset.Select(fold.validation)));
+  }
+  return Summarize(scores);
+}
+
+}  // namespace openapi::eval

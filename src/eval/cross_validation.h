@@ -1,0 +1,40 @@
+// Stratified k-fold cross-validation for model-configuration studies.
+//
+// The paper fixes its model hyperparameters; this utility is what a
+// downstream user needs to pick theirs (LMT depth, leaf penalty, network
+// width) without touching the held-out test set. Folds are stratified by
+// class so every fold keeps the label distribution of the full set.
+
+#ifndef OPENAPI_EVAL_CROSS_VALIDATION_H_
+#define OPENAPI_EVAL_CROSS_VALIDATION_H_
+
+#include <functional>
+#include <vector>
+
+#include "data/dataset.h"
+#include "eval/sample_quality.h"
+
+namespace openapi::eval {
+
+/// Index sets for one fold: everything outside `validation` is `train`.
+struct Fold {
+  std::vector<size_t> train;
+  std::vector<size_t> validation;
+};
+
+/// Splits [0, dataset.size()) into k stratified folds. Every instance
+/// appears in exactly one validation set. k must be >= 2 and <= the size
+/// of the smallest class.
+std::vector<Fold> StratifiedKFold(const data::Dataset& dataset, size_t k,
+                                  util::Rng* rng);
+
+/// Runs `evaluate(train_subset, validation_subset)` on every fold and
+/// summarizes the returned scores (typically accuracies).
+MinMeanMax CrossValidate(
+    const data::Dataset& dataset, size_t k, util::Rng* rng,
+    const std::function<double(const data::Dataset& train,
+                               const data::Dataset& validation)>& evaluate);
+
+}  // namespace openapi::eval
+
+#endif  // OPENAPI_EVAL_CROSS_VALIDATION_H_

@@ -1,0 +1,11 @@
+#include "eval/exactness.h"
+
+namespace openapi::eval {
+
+double L1Dist(const PlmOracle& oracle, const Vec& x0, size_t c,
+              const Vec& estimate) {
+  Vec truth = api::GroundTruthDecisionFeatures(oracle.LocalModelAt(x0), c);
+  return linalg::L1Distance(truth, estimate);
+}
+
+}  // namespace openapi::eval

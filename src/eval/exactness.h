@@ -1,0 +1,19 @@
+// Exactness evaluation (Sec. V-D, Fig. 7): the L1 distance between the
+// ground-truth decision features D_c (from the white-box oracle) and an
+// interpretation method's estimate D_c^*.
+
+#ifndef OPENAPI_EVAL_EXACTNESS_H_
+#define OPENAPI_EVAL_EXACTNESS_H_
+
+#include "api/ground_truth.h"
+#include "eval/sample_quality.h"
+
+namespace openapi::eval {
+
+/// ||D_c(ground truth at x0) - estimate||_1.
+double L1Dist(const PlmOracle& oracle, const Vec& x0, size_t c,
+              const Vec& estimate);
+
+}  // namespace openapi::eval
+
+#endif  // OPENAPI_EVAL_EXACTNESS_H_

@@ -1,0 +1,121 @@
+#include "eval/experiment_config.h"
+
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace openapi::eval {
+
+ExperimentScale TinyScale() {
+  ExperimentScale s;
+  s.name = "tiny";
+  s.width = 4;
+  s.height = 4;
+  s.num_classes = 4;
+  s.num_train = 400;
+  s.num_test = 120;
+  s.eval_instances = 30;
+  s.hidden = {16};
+  s.plnn_epochs = 50;
+  s.lmt_min_split = 50;
+  s.lmt_max_depth = 4;
+  s.lr_max_iters = 80;
+  return s;
+}
+
+ExperimentScale SmallScale() {
+  ExperimentScale s;
+  s.name = "small";
+  return s;  // defaults are the small profile
+}
+
+ExperimentScale LargeScale() {
+  ExperimentScale s;
+  s.name = "large";
+  s.width = 28;
+  s.height = 28;
+  s.num_classes = 10;
+  s.num_train = 10000;
+  s.num_test = 2000;
+  s.eval_instances = 200;
+  s.hidden = {256, 128, 100};  // the paper's PLNN architecture
+  s.plnn_epochs = 20;
+  s.lmt_min_split = 100;
+  s.lmt_max_depth = 8;
+  s.lr_max_iters = 200;
+  return s;
+}
+
+ExperimentScale ScaleFromEnv() {
+  const char* env = std::getenv("OPENAPI_BENCH_SCALE");
+  std::string value = env ? env : "small";
+  if (value == "tiny") return TinyScale();
+  if (value == "large") return LargeScale();
+  if (value != "small") {
+    OPENAPI_LOG(Warning) << "unknown OPENAPI_BENCH_SCALE '" << value
+                         << "', using small";
+  }
+  return SmallScale();
+}
+
+TrainedModels BuildModels(data::SyntheticStyle style,
+                          const ExperimentScale& scale, uint64_t seed) {
+  TrainedModels out;
+  out.data_config.width = scale.width;
+  out.data_config.height = scale.height;
+  out.data_config.num_classes = scale.num_classes;
+  out.data_config.num_train = scale.num_train;
+  out.data_config.num_test = scale.num_test;
+  out.data_config.style = style;
+  out.data_config.seed = seed;
+  auto [train, test] = data::GenerateSynthetic(out.data_config);
+  out.train = std::move(train);
+  out.test = std::move(test);
+
+  // PLNN.
+  util::Rng init_rng(seed ^ 0x5eedbeefULL);
+  std::vector<size_t> layer_sizes;
+  layer_sizes.push_back(out.train.dim());
+  layer_sizes.insert(layer_sizes.end(), scale.hidden.begin(),
+                     scale.hidden.end());
+  layer_sizes.push_back(scale.num_classes);
+  out.plnn = std::make_unique<nn::Plnn>(layer_sizes, &init_rng);
+  nn::TrainerConfig trainer_config;
+  trainer_config.epochs = scale.plnn_epochs;
+  nn::Trainer trainer(out.plnn.get(), trainer_config);
+  util::Rng train_rng(seed ^ 0x7a1b2c3d4ULL);
+  trainer.Fit(out.train, &train_rng);
+  out.plnn_train_acc = nn::Accuracy(*out.plnn, out.train);
+  out.plnn_test_acc = nn::Accuracy(*out.plnn, out.test);
+
+  // LMT.
+  lmt::LmtConfig lmt_config;
+  lmt_config.min_split_size = scale.lmt_min_split;
+  lmt_config.max_depth = scale.lmt_max_depth;
+  lmt_config.leaf_config.max_iters = scale.lr_max_iters;
+  out.lmt = std::make_unique<lmt::LogisticModelTree>(
+      lmt::LogisticModelTree::Fit(out.train, lmt_config));
+  out.lmt_train_acc = nn::Accuracy(*out.lmt, out.train);
+  out.lmt_test_acc = nn::Accuracy(*out.lmt, out.test);
+  return out;
+}
+
+std::vector<size_t> PickEvalInstances(const data::Dataset& test,
+                                      size_t count, util::Rng* rng) {
+  count = std::min(count, test.size());
+  return rng->SampleWithoutReplacement(test.size(), count);
+}
+
+std::vector<TargetModel> Targets(const TrainedModels& models) {
+  return {
+      TargetModel{models.plnn.get(), models.plnn.get(), "PLNN"},
+      TargetModel{models.lmt.get(), models.lmt.get(), "LMT"},
+  };
+}
+
+const std::vector<double>& PaperPerturbationDistances() {
+  static const std::vector<double> kDistances = {1e-8, 1e-4, 1e-2};
+  return kDistances;
+}
+
+}  // namespace openapi::eval

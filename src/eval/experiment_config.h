@@ -1,0 +1,86 @@
+// Shared scaffolding for the benchmark harnesses (bench/*.cc).
+//
+// The paper's pipeline — generate data, train a PLNN and an LMT on each
+// dataset, pick evaluation instances, run interpreters — is identical in
+// every experiment; only the metric differs. This module builds that
+// pipeline once, with a scale knob (env OPENAPI_BENCH_SCALE = tiny | small
+// | large) so the full suite runs in seconds on a laptop while still
+// supporting paper-shaped runs (28x28 inputs).
+
+#ifndef OPENAPI_EVAL_EXPERIMENT_CONFIG_H_
+#define OPENAPI_EVAL_EXPERIMENT_CONFIG_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "lmt/lmt.h"
+#include "nn/plnn.h"
+#include "nn/trainer.h"
+
+namespace openapi::eval {
+
+/// One knob bundle controlling dataset and model sizes.
+struct ExperimentScale {
+  std::string name;
+  size_t width = 8;
+  size_t height = 8;
+  size_t num_classes = 10;
+  size_t num_train = 2000;
+  size_t num_test = 500;
+  size_t eval_instances = 100;     // instances interpreted per experiment
+  std::vector<size_t> hidden = {32, 24};  // PLNN hidden layer widths
+  size_t plnn_epochs = 30;
+  size_t lmt_min_split = 100;      // paper's stopping rule
+  size_t lmt_max_depth = 6;
+  size_t lr_max_iters = 150;       // leaf logistic-regression iterations
+};
+
+ExperimentScale TinyScale();   // 4x4 inputs, 4 classes — unit/CI scale
+ExperimentScale SmallScale();  // 8x8 inputs, 10 classes — default bench
+ExperimentScale LargeScale();  // 28x28 inputs, 10 classes — paper shape
+
+/// Reads OPENAPI_BENCH_SCALE (default "small").
+ExperimentScale ScaleFromEnv();
+
+/// A fully trained experiment instance for one dataset style.
+struct TrainedModels {
+  data::SyntheticConfig data_config;
+  data::Dataset train;
+  data::Dataset test;
+  std::unique_ptr<nn::Plnn> plnn;
+  std::unique_ptr<lmt::LogisticModelTree> lmt;
+  double plnn_train_acc = 0.0;
+  double plnn_test_acc = 0.0;
+  double lmt_train_acc = 0.0;
+  double lmt_test_acc = 0.0;
+};
+
+/// Generates data and trains both target models. Deterministic in
+/// (style, scale, seed).
+TrainedModels BuildModels(data::SyntheticStyle style,
+                          const ExperimentScale& scale, uint64_t seed);
+
+/// Uniformly samples indices of test instances to interpret (the paper
+/// samples 1000 test instances; we sample scale.eval_instances).
+std::vector<size_t> PickEvalInstances(const data::Dataset& test,
+                                      size_t count, util::Rng* rng);
+
+/// A (model, oracle, label) triple the benches iterate over.
+struct TargetModel {
+  const api::Plm* model = nullptr;
+  const api::PlmOracle* oracle = nullptr;
+  std::string label;  // "PLNN" or "LMT"
+};
+
+/// Both targets of one TrainedModels bundle.
+std::vector<TargetModel> Targets(const TrainedModels& models);
+
+/// The perturbation distances the paper sweeps for the h-parameterized
+/// baselines (Figs. 5-7): {1e-8, 1e-4, 1e-2}.
+const std::vector<double>& PaperPerturbationDistances();
+
+}  // namespace openapi::eval
+
+#endif  // OPENAPI_EVAL_EXPERIMENT_CONFIG_H_

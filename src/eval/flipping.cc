@@ -1,0 +1,80 @@
+#include "eval/flipping.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace openapi::eval {
+
+FlippingCurve EvaluateFlipping(const api::Plm& model, const Vec& x0,
+                               size_t c, const Vec& attribution,
+                               size_t max_flips) {
+  OPENAPI_CHECK_EQ(x0.size(), attribution.size());
+  const size_t d = x0.size();
+  const size_t flips = std::min(max_flips, d);
+
+  // Rank features by descending |weight|.
+  std::vector<size_t> order(d);
+  for (size_t i = 0; i < d; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return std::fabs(attribution[a]) > std::fabs(attribution[b]);
+  });
+
+  const Vec y0 = model.Predict(x0);
+  const double p0 = y0[c];
+  const size_t original_label = linalg::ArgMax(y0);
+
+  FlippingCurve curve;
+  curve.cpp.reserve(flips);
+  curve.label_changed.reserve(flips);
+
+  Vec x = x0;
+  bool changed = false;
+  for (size_t t = 0; t < flips; ++t) {
+    size_t j = order[t];
+    // Positive weights support class c: zero them out. Negative weights
+    // oppose it: saturate them. (Sec. V-A's alteration rule.)
+    x[j] = attribution[j] >= 0.0 ? 0.0 : 1.0;
+    Vec y = model.Predict(x);
+    curve.cpp.push_back(std::fabs(y[c] - p0));
+    changed = changed || linalg::ArgMax(y) != original_label;
+    curve.label_changed.push_back(changed ? 1 : 0);
+  }
+  return curve;
+}
+
+AggregateFlipping AggregateCurves(const std::vector<FlippingCurve>& curves) {
+  AggregateFlipping out;
+  if (curves.empty()) return out;
+  const size_t len = curves[0].cpp.size();
+  out.avg_cpp.assign(len, 0.0);
+  out.nlci.assign(len, 0.0);
+  for (const FlippingCurve& curve : curves) {
+    OPENAPI_CHECK_EQ(curve.cpp.size(), len);
+    for (size_t t = 0; t < len; ++t) {
+      out.avg_cpp[t] += curve.cpp[t];
+      out.nlci[t] += curve.label_changed[t];
+    }
+  }
+  const double inv_n = 1.0 / static_cast<double>(curves.size());
+  for (double& v : out.avg_cpp) v *= inv_n;
+  return out;
+}
+
+double Aopc(const FlippingCurve& curve, size_t k) {
+  k = std::min(k, curve.cpp.size());
+  if (k == 0) return 0.0;
+  double sum = 0.0;
+  for (size_t t = 0; t < k; ++t) sum += curve.cpp[t];
+  return sum / static_cast<double>(k);
+}
+
+double MeanAopc(const std::vector<FlippingCurve>& curves, size_t k) {
+  if (curves.empty()) return 0.0;
+  double sum = 0.0;
+  for (const FlippingCurve& curve : curves) sum += Aopc(curve, k);
+  return sum / static_cast<double>(curves.size());
+}
+
+}  // namespace openapi::eval

@@ -1,0 +1,60 @@
+// Feature-flipping effectiveness evaluation (Fig. 3), following Ancona et
+// al. [2] as adopted by the paper (Sec. V-A).
+//
+// Given an interpretation vector for (x0, c): sort features by descending
+// |weight|; flip them one at a time (positive-weight features -> 0,
+// negative-weight features -> 1) up to `max_flips`; after each flip record
+//   CPP  — the absolute change of the model's probability for class c,
+//   label-changed — whether argmax moved away from c's original argmax.
+// Aggregated over instances these produce the paper's Avg. CPP and Avg.
+// NLCI curves (one value per #changed-features).
+
+#ifndef OPENAPI_EVAL_FLIPPING_H_
+#define OPENAPI_EVAL_FLIPPING_H_
+
+#include <vector>
+
+#include "api/plm.h"
+#include "linalg/vector_ops.h"
+
+namespace openapi::eval {
+
+using linalg::Vec;
+
+struct FlippingCurve {
+  /// cpp[t] = |p_c(x0) - p_c(x after t+1 flips)|.
+  std::vector<double> cpp;
+  /// label_changed[t] = 1 if the predicted label after t+1 flips differs
+  /// from the original prediction, else 0.
+  std::vector<int> label_changed;
+};
+
+/// Flipping curve for one instance. `attribution` scores each feature for
+/// class c; `max_flips` is clamped to the dimensionality.
+FlippingCurve EvaluateFlipping(const api::Plm& model, const Vec& x0,
+                               size_t c, const Vec& attribution,
+                               size_t max_flips);
+
+struct AggregateFlipping {
+  /// avg_cpp[t] = mean CPP over instances after t+1 flips.
+  std::vector<double> avg_cpp;
+  /// nlci[t] = number of instances whose label changed within t+1 flips
+  /// (cumulative, matching the paper's NLCI counts).
+  std::vector<double> nlci;
+};
+
+/// Averages per-instance curves; all curves must have equal length.
+AggregateFlipping AggregateCurves(const std::vector<FlippingCurve>& curves);
+
+/// Area Over the Perturbation Curve (Samek et al.): the mean probability
+/// change over the first `k` flips, a single-number summary of a flipping
+/// curve. Higher = the attribution found more influential features sooner.
+/// `k` is clamped to the curve length; returns 0 for empty curves.
+double Aopc(const FlippingCurve& curve, size_t k);
+
+/// Mean AOPC over a set of curves.
+double MeanAopc(const std::vector<FlippingCurve>& curves, size_t k);
+
+}  // namespace openapi::eval
+
+#endif  // OPENAPI_EVAL_FLIPPING_H_

@@ -1,0 +1,95 @@
+#include "eval/heatmap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "util/check.h"
+
+namespace openapi::eval {
+
+namespace {
+
+double MaxMagnitude(const Vec& values) {
+  double best = 0.0;
+  for (double v : values) best = std::max(best, std::fabs(v));
+  return best;
+}
+
+}  // namespace
+
+std::string RenderAscii(const Vec& values, size_t width, size_t height) {
+  OPENAPI_CHECK_EQ(values.size(), width * height);
+  const double max_mag = MaxMagnitude(values);
+  // Glyph ramps, weakest to strongest.
+  constexpr const char kPositive[] = {'.', '+', 'o', '*', '#'};
+  constexpr const char kNegative[] = {'.', '-', '=', '%', '@'};
+  constexpr int kLevels = 5;
+
+  std::string out;
+  out.reserve((width + 1) * height);
+  for (size_t row = 0; row < height; ++row) {
+    for (size_t col = 0; col < width; ++col) {
+      double v = values[row * width + col];
+      if (max_mag == 0.0) {
+        out += '.';
+        continue;
+      }
+      int level = static_cast<int>(
+          std::floor(std::fabs(v) / max_mag * (kLevels - 1) + 0.5));
+      level = std::clamp(level, 0, kLevels - 1);
+      out += v >= 0.0 ? kPositive[level] : kNegative[level];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status WritePgm(const std::string& path, const Vec& values, size_t width,
+                size_t height) {
+  if (values.size() != width * height) {
+    return Status::InvalidArgument("heatmap size mismatch");
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  out << "P5\n" << width << " " << height << "\n255\n";
+  const double max_mag = MaxMagnitude(values);
+  for (double v : values) {
+    double norm = max_mag == 0.0 ? 0.0 : std::fabs(v) / max_mag;
+    out.put(static_cast<char>(
+        static_cast<unsigned char>(std::lround(norm * 255.0))));
+  }
+  if (!out.good()) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+Status WriteSignedPpm(const std::string& path, const Vec& values,
+                      size_t width, size_t height) {
+  if (values.size() != width * height) {
+    return Status::InvalidArgument("heatmap size mismatch");
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  out << "P6\n" << width << " " << height << "\n255\n";
+  const double max_mag = MaxMagnitude(values);
+  for (double v : values) {
+    double norm = max_mag == 0.0 ? 0.0 : std::fabs(v) / max_mag;
+    unsigned char intensity =
+        static_cast<unsigned char>(std::lround(norm * 255.0));
+    unsigned char rgb[3] = {0, 0, 0};
+    if (v > 0.0) {
+      rgb[0] = intensity;  // red = supports the class
+    } else if (v < 0.0) {
+      rgb[2] = intensity;  // blue = opposes the class
+    }
+    out.write(reinterpret_cast<const char*>(rgb), 3);
+  }
+  if (!out.good()) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace openapi::eval

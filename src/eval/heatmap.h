@@ -1,0 +1,38 @@
+// Heatmap rendering for decision features (Fig. 2).
+//
+// The paper visualizes D_c as a red/blue heatmap over the image grid:
+// red = positive weight (supports class c), blue = negative (opposes).
+// We emit three renderings:
+//   * ASCII art (signed glyph ramp) straight into the bench output,
+//   * binary PGM (grayscale magnitude, portable everywhere),
+//   * binary PPM (red/blue signed map, closest to the paper's figures).
+
+#ifndef OPENAPI_EVAL_HEATMAP_H_
+#define OPENAPI_EVAL_HEATMAP_H_
+
+#include <string>
+
+#include "linalg/vector_ops.h"
+#include "util/status.h"
+
+namespace openapi::eval {
+
+using linalg::Vec;
+
+/// Renders `values` (row-major width x height) as ASCII art. Positive
+/// values use {+, #}-style dark glyphs, negatives use {-, =} glyphs, near
+/// zero renders as '.'; intensity scales with |value| / max|value|.
+std::string RenderAscii(const Vec& values, size_t width, size_t height);
+
+/// Writes an 8-bit binary PGM of |values| normalized to [0, 255].
+Status WritePgm(const std::string& path, const Vec& values, size_t width,
+                size_t height);
+
+/// Writes an 8-bit binary PPM with positive values in red and negative in
+/// blue, each channel scaled by |value| / max|value|.
+Status WriteSignedPpm(const std::string& path, const Vec& values,
+                      size_t width, size_t height);
+
+}  // namespace openapi::eval
+
+#endif  // OPENAPI_EVAL_HEATMAP_H_

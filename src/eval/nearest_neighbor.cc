@@ -1,0 +1,48 @@
+#include "eval/nearest_neighbor.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace openapi::eval {
+
+NearestNeighborIndex::NearestNeighborIndex(const data::Dataset* dataset)
+    : dataset_(dataset) {
+  OPENAPI_CHECK(dataset != nullptr);
+}
+
+size_t NearestNeighborIndex::Nearest(const linalg::Vec& query,
+                                     size_t exclude) const {
+  OPENAPI_CHECK_GT(dataset_->size(), exclude == SIZE_MAX ? 0u : 1u);
+  size_t best = SIZE_MAX;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < dataset_->size(); ++i) {
+    if (i == exclude) continue;
+    double dist = linalg::L2Distance(query, dataset_->x(i));
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::vector<size_t> NearestNeighborIndex::KNearest(const linalg::Vec& query,
+                                                   size_t k,
+                                                   size_t exclude) const {
+  std::vector<std::pair<double, size_t>> scored;
+  scored.reserve(dataset_->size());
+  for (size_t i = 0; i < dataset_->size(); ++i) {
+    if (i == exclude) continue;
+    scored.emplace_back(linalg::L2Distance(query, dataset_->x(i)), i);
+  }
+  k = std::min(k, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + k, scored.end());
+  std::vector<size_t> out;
+  out.reserve(k);
+  for (size_t i = 0; i < k; ++i) out.push_back(scored[i].second);
+  return out;
+}
+
+}  // namespace openapi::eval

@@ -1,0 +1,37 @@
+// Brute-force Euclidean nearest-neighbor lookup over a dataset; used by the
+// consistency experiment (Fig. 4 pairs every instance with its nearest test
+// neighbor). Exact search — the test sets here are at most a few thousand
+// instances, so O(n) per query is fine and removes any approximation noise
+// from the metric.
+
+#ifndef OPENAPI_EVAL_NEAREST_NEIGHBOR_H_
+#define OPENAPI_EVAL_NEAREST_NEIGHBOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace openapi::eval {
+
+class NearestNeighborIndex {
+ public:
+  /// Keeps a reference to `dataset`; it must outlive the index.
+  explicit NearestNeighborIndex(const data::Dataset* dataset);
+
+  /// Index of the instance nearest to `query`; `exclude` (e.g. the query's
+  /// own index) is skipped, pass SIZE_MAX to exclude nothing.
+  size_t Nearest(const linalg::Vec& query, size_t exclude) const;
+
+  /// Indices of the k nearest instances (ascending distance), skipping
+  /// `exclude`.
+  std::vector<size_t> KNearest(const linalg::Vec& query, size_t k,
+                               size_t exclude) const;
+
+ private:
+  const data::Dataset* dataset_;
+};
+
+}  // namespace openapi::eval
+
+#endif  // OPENAPI_EVAL_NEAREST_NEIGHBOR_H_

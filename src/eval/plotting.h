@@ -1,0 +1,40 @@
+// Gnuplot script emitters for the benchmark CSV series.
+//
+// The benches print the paper's tables to stdout and dump full series to
+// CSV; these helpers additionally write a self-contained .gnuplot script
+// next to each CSV so `gnuplot fig3_x.gnuplot` regenerates a figure close
+// to the paper's (one curve per method). No plotting happens at bench
+// time — the scripts are artifacts for offline use.
+
+#ifndef OPENAPI_EVAL_PLOTTING_H_
+#define OPENAPI_EVAL_PLOTTING_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace openapi::eval {
+
+struct PlotSpec {
+  std::string title;
+  std::string xlabel;
+  std::string ylabel;
+  bool logscale_y = false;
+  /// Labels of the per-method curves, in legend order. Each label selects
+  /// rows of the CSV whose first column equals it.
+  std::vector<std::string> series;
+  /// 1-based CSV column indices for x and y.
+  int x_column = 2;
+  int y_column = 3;
+};
+
+/// Writes `script_path` (a gnuplot program) that plots `csv_path` per the
+/// spec and renders to a PNG named after the script.
+Status WriteGnuplotScript(const std::string& script_path,
+                          const std::string& csv_path,
+                          const PlotSpec& spec);
+
+}  // namespace openapi::eval
+
+#endif  // OPENAPI_EVAL_PLOTTING_H_

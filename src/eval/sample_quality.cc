@@ -1,0 +1,50 @@
+#include "eval/sample_quality.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace openapi::eval {
+
+double WeightDifference(const PlmOracle& oracle, const Vec& x0, size_t c,
+                        const std::vector<Vec>& probes) {
+  OPENAPI_CHECK(!probes.empty());
+  const api::LocalLinearModel local0 = oracle.LocalModelAt(x0);
+  const size_t num_classes = local0.weights.cols();
+  OPENAPI_CHECK_GT(num_classes, 1u);
+  const uint64_t region0 = oracle.RegionId(x0);
+
+  double total = 0.0;
+  for (const Vec& probe : probes) {
+    // Fast path: same region means identical core parameters, distance 0.
+    if (oracle.RegionId(probe) == region0) continue;
+    const api::LocalLinearModel local_i = oracle.LocalModelAt(probe);
+    for (size_t c_prime = 0; c_prime < num_classes; ++c_prime) {
+      if (c_prime == c) continue;
+      api::CoreParameters p0 =
+          api::GroundTruthCoreParameters(local0, c, c_prime);
+      api::CoreParameters pi =
+          api::GroundTruthCoreParameters(local_i, c, c_prime);
+      total += linalg::L1Distance(p0.d, pi.d);
+    }
+  }
+  return total / (static_cast<double>(num_classes - 1) *
+                  static_cast<double>(probes.size()));
+}
+
+MinMeanMax Summarize(const std::vector<double>& values) {
+  MinMeanMax out;
+  if (values.empty()) return out;
+  out.min = values[0];
+  out.max = values[0];
+  double sum = 0.0;
+  for (double v : values) {
+    out.min = std::min(out.min, v);
+    out.max = std::max(out.max, v);
+    sum += v;
+  }
+  out.mean = sum / static_cast<double>(values.size());
+  return out;
+}
+
+}  // namespace openapi::eval

@@ -1,0 +1,40 @@
+// Probe-quality metrics (Sec. V-C, Figs. 5-6).
+//
+//   RD (Region Difference): 0 if every probe shares x0's locally linear
+//   region, else 1. Averaged over evaluated instances.
+//
+//   WD (Weight Difference): mean L1 distance between the *ground truth*
+//   core parameters of x0 and those of each probe,
+//     WD = sum_{c'} sum_i ||D^0_{c,c'} - D^i_{c,c'}||_1 / ((C-1)|S|).
+//   Note both terms are oracle ground truths — WD measures how far the
+//   probes' regions drift from x0's, independent of any estimator.
+
+#ifndef OPENAPI_EVAL_SAMPLE_QUALITY_H_
+#define OPENAPI_EVAL_SAMPLE_QUALITY_H_
+
+#include <vector>
+
+#include "api/ground_truth.h"
+
+namespace openapi::eval {
+
+using api::PlmOracle;
+using linalg::Vec;
+
+/// WD for one probe set (see file comment). `c` is the interpreted class.
+double WeightDifference(const PlmOracle& oracle, const Vec& x0, size_t c,
+                        const std::vector<Vec>& probes);
+
+/// Aggregate min / mean / max over per-instance values — the error-bar
+/// summaries Figs. 6-7 report.
+struct MinMeanMax {
+  double min = 0.0;
+  double mean = 0.0;
+  double max = 0.0;
+};
+
+MinMeanMax Summarize(const std::vector<double>& values);
+
+}  // namespace openapi::eval
+
+#endif  // OPENAPI_EVAL_SAMPLE_QUALITY_H_

@@ -1,0 +1,82 @@
+#include "extract/boundary.h"
+
+namespace openapi::extract {
+
+bool MatchesLocalModel(const api::PredictionApi& api,
+                       const LocalLinearModel& model, const linalg::Vec& x,
+                       double tol) {
+  linalg::Vec from_api = api.Predict(x);
+  linalg::Vec from_model = PredictWithLocalModel(model, x);
+  double worst = 0.0;
+  for (size_t c = 0; c < from_api.size(); ++c) {
+    worst = std::max(worst, std::fabs(from_api[c] - from_model[c]));
+  }
+  return worst <= tol;
+}
+
+Result<BoundaryProbeResult> ProbeBoundary(
+    const api::PredictionApi& api, const LocalLinearModel& model,
+    const linalg::Vec& x0, const linalg::Vec& direction,
+    const BoundaryProbeConfig& config) {
+  if (direction.size() != x0.size()) {
+    return Status::InvalidArgument("direction dimensionality mismatch");
+  }
+  if (linalg::Norm2(direction) == 0.0) {
+    return Status::InvalidArgument("direction must be non-zero");
+  }
+  const uint64_t queries_before = api.query_count();
+  BoundaryProbeResult result;
+
+  auto at = [&](double t) {
+    linalg::Vec x = x0;
+    linalg::Axpy(t, direction, &x);
+    return x;
+  };
+  auto matches = [&](double t) {
+    return MatchesLocalModel(api, model, at(t), config.match_tol);
+  };
+  auto spent = [&]() { return api.query_count() - queries_before; };
+
+  if (!matches(0.0)) {
+    return Status::InvalidArgument(
+        "x0 does not match the extracted model; extract at x0 first");
+  }
+
+  // Exponential march outward to bracket the first mismatch.
+  double lo = 0.0;
+  double hi = std::min(config.max_distance, 1e-3 * config.max_distance);
+  if (hi <= 0.0) hi = config.max_distance;
+  bool bracketed = false;
+  while (spent() < config.max_queries) {
+    if (!matches(hi)) {
+      bracketed = true;
+      break;
+    }
+    lo = hi;
+    if (hi >= config.max_distance) break;
+    hi = std::min(config.max_distance, hi * 4.0);
+  }
+  if (!bracketed) {
+    result.found = false;
+    result.inside_distance = lo;
+    result.queries = spent();
+    return result;
+  }
+
+  // Bisection inside (lo, hi].
+  while (hi - lo > config.distance_tol && spent() < config.max_queries) {
+    double mid = 0.5 * (lo + hi);
+    if (matches(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  result.found = true;
+  result.inside_distance = lo;
+  result.outside_distance = hi;
+  result.queries = spent();
+  return result;
+}
+
+}  // namespace openapi::extract

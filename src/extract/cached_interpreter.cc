@@ -1,0 +1,66 @@
+#include "extract/cached_interpreter.h"
+
+#include "api/ground_truth.h"
+#include "extract/boundary.h"
+
+namespace openapi::extract {
+
+CachedInterpreter::CachedInterpreter(CachedInterpreterConfig config)
+    : config_(config) {}
+
+Result<interpret::Interpretation> CachedInterpreter::Interpret(
+    const api::PredictionApi& api, const Vec& x0, size_t c,
+    util::Rng* rng) const {
+  if (x0.size() != api.dim()) {
+    return Status::InvalidArgument("x0 dimensionality mismatch");
+  }
+  if (c >= api.num_classes()) {
+    return Status::InvalidArgument("class index out of range");
+  }
+  const uint64_t queries_before = api.query_count();
+
+  // One query at x0 and one validation probe decide all cache candidates.
+  Vec y0 = api.Predict(x0);
+  Vec probe = interpret::SampleHypercube(x0, config_.validation_edge,
+                                         /*count=*/1, rng)[0];
+  Vec y_probe = api.Predict(probe);
+
+  auto matches = [&](const LocalLinearModel& model, const Vec& x,
+                     const Vec& y) {
+    Vec predicted = PredictWithLocalModel(model, x);
+    double worst = 0.0;
+    for (size_t k = 0; k < y.size(); ++k) {
+      worst = std::max(worst, std::fabs(predicted[k] - y[k]));
+    }
+    return worst <= config_.match_tol;
+  };
+
+  for (const ExtractedLocalModel& cached : cache_) {
+    if (matches(cached.model, x0, y0) &&
+        matches(cached.model, probe, y_probe)) {
+      ++hits_;
+      interpret::Interpretation out;
+      out.dc = api::GroundTruthDecisionFeatures(cached.model, c);
+      out.iterations = 0;  // no solve was needed
+      out.edge_length = config_.validation_edge;
+      out.probes.push_back(std::move(probe));
+      out.queries = api.query_count() - queries_before;
+      return out;
+    }
+  }
+
+  // Miss: full extraction, then cache for future calls.
+  ++misses_;
+  LocalModelExtractor extractor(config_.extractor);
+  OPENAPI_ASSIGN_OR_RETURN(ExtractedLocalModel extracted,
+                           extractor.Extract(api, x0, rng));
+  interpret::Interpretation out;
+  out.dc = api::GroundTruthDecisionFeatures(extracted.model, c);
+  out.iterations = extracted.iterations;
+  out.edge_length = extracted.edge_length;
+  out.queries = api.query_count() - queries_before;
+  cache_.push_back(std::move(extracted));
+  return out;
+}
+
+}  // namespace openapi::extract

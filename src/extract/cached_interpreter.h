@@ -1,0 +1,64 @@
+// CachedInterpreter: amortizing OpenAPI across many interpretation calls.
+//
+// The paper interprets 1000 test instances per experiment. Instances that
+// share a locally linear region have identical decision features, and the
+// model's whole behaviour in that region is captured by one extracted
+// canonical classifier. CachedInterpreter exploits this: before paying the
+// full closed-form solve, it checks whether any previously extracted
+// region model already explains the API's output at x0 (plus one fresh
+// validation probe). On a hit the answer costs 2 API queries instead of
+// T * (d + 2); on a miss it extracts, caches, and answers.
+//
+// The decision features computed from a cached canonical model are
+// identical to ground truth because D_c is gauge-invariant: it depends
+// only on differences between weight columns, which the canonical form
+// (column 0 pinned to zero) preserves exactly.
+
+#ifndef OPENAPI_EXTRACT_CACHED_INTERPRETER_H_
+#define OPENAPI_EXTRACT_CACHED_INTERPRETER_H_
+
+#include <vector>
+
+#include "extract/local_model_extractor.h"
+#include "interpret/decision_features.h"
+
+namespace openapi::extract {
+
+struct CachedInterpreterConfig {
+  ExtractorConfig extractor;
+  /// Match tolerance when testing a cached region model against the API
+  /// (infinity norm over probabilities).
+  double match_tol = 1e-9;
+  /// Edge length of the hypercube the validation probe is drawn from.
+  /// Small enough to stay in the region when x0 does; the probe only
+  /// guards against x0 sitting on a knife-edge where several cached models
+  /// coincide at a single point.
+  double validation_edge = 1e-6;
+};
+
+class CachedInterpreter : public interpret::BlackBoxInterpreter {
+ public:
+  explicit CachedInterpreter(CachedInterpreterConfig config = {});
+
+  const char* name() const override { return "OpenAPI+cache"; }
+
+  /// Same contract as interpret::OpenApiInterpreter::Interpret, with the
+  /// region cache consulted first. NOT thread-safe (mutates the cache).
+  Result<interpret::Interpretation> Interpret(const api::PredictionApi& api,
+                                              const Vec& x0, size_t c,
+                                              util::Rng* rng) const override;
+
+  size_t cache_size() const { return cache_.size(); }
+  uint64_t cache_hits() const { return hits_; }
+  uint64_t cache_misses() const { return misses_; }
+
+ private:
+  CachedInterpreterConfig config_;
+  mutable std::vector<ExtractedLocalModel> cache_;
+  mutable uint64_t hits_ = 0;
+  mutable uint64_t misses_ = 0;
+};
+
+}  // namespace openapi::extract
+
+#endif  // OPENAPI_EXTRACT_CACHED_INTERPRETER_H_

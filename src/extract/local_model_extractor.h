@@ -1,0 +1,78 @@
+// Model extraction — the paper's stated future work ("we will extend our
+// work to reverse engineer PLMs hidden behind APIs", Sec. VI).
+//
+// OpenAPI already recovers, for one class c, the core parameters
+// (D_{c,c'}, B_{c,c'}) of the locally linear classifier at x0. Fixing the
+// reference class to 0 and collecting D_{c,0}, B_{c,0} for every c
+// reconstructs the *entire* classifier up to the softmax gauge freedom:
+// softmax(W^T x + b) is invariant to adding a shared (w0, b0) to every
+// column, so the hidden (W, b) is identifiable exactly up to that shift.
+// We return the canonical representative with column 0 pinned to zero —
+// which predicts bit-for-bit the same distribution as the hidden model
+// throughout the region.
+
+#ifndef OPENAPI_EXTRACT_LOCAL_MODEL_EXTRACTOR_H_
+#define OPENAPI_EXTRACT_LOCAL_MODEL_EXTRACTOR_H_
+
+#include "api/plm.h"
+#include "api/prediction_api.h"
+#include "interpret/openapi_method.h"
+
+namespace openapi::extract {
+
+using api::LocalLinearModel;
+using linalg::Vec;
+
+/// A reverse-engineered locally linear classifier.
+struct ExtractedLocalModel {
+  /// Canonical (W, b): d x C weights with column 0 identically zero and
+  /// bias[0] = 0. softmax(W^T x + b) equals the hidden model's output for
+  /// every x in the extracted region.
+  LocalLinearModel model;
+
+  /// Hash of the quantized canonical parameters. Two extractions from the
+  /// same locally linear region produce the same fingerprint (up to the
+  /// quantization tolerance), so fingerprints deduplicate regions without
+  /// any white-box access.
+  uint64_t fingerprint = 0;
+
+  /// The instance the extraction was anchored at.
+  Vec anchor;
+
+  /// Cost accounting, mirroring interpret::Interpretation.
+  size_t iterations = 1;
+  uint64_t queries = 0;
+  double edge_length = 0.0;
+};
+
+struct ExtractorConfig {
+  interpret::OpenApiConfig openapi;  // inner closed-form solve settings
+  /// Relative quantization used by the fingerprint (see Fingerprint()).
+  double fingerprint_resolution = 1e-6;
+};
+
+/// Evaluates an extracted canonical model: softmax(W^T x + b).
+Vec PredictWithLocalModel(const LocalLinearModel& model, const Vec& x);
+
+/// Quantized hash of a canonical model (exposed for tests).
+uint64_t Fingerprint(const LocalLinearModel& model, double resolution);
+
+class LocalModelExtractor {
+ public:
+  explicit LocalModelExtractor(ExtractorConfig config = {});
+
+  /// Reverse-engineers the locally linear classifier of the region
+  /// containing x0, using only `api`. Error cases match
+  /// interpret::OpenApiInterpreter (DidNotConverge on boundary/rounding).
+  Result<ExtractedLocalModel> Extract(const api::PredictionApi& api,
+                                      const Vec& x0, util::Rng* rng) const;
+
+  const ExtractorConfig& config() const { return config_; }
+
+ private:
+  ExtractorConfig config_;
+};
+
+}  // namespace openapi::extract
+
+#endif  // OPENAPI_EXTRACT_LOCAL_MODEL_EXTRACTOR_H_

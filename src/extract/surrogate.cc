@@ -1,0 +1,79 @@
+#include "extract/surrogate.h"
+
+#include <limits>
+
+namespace openapi::extract {
+
+SurrogatePlm::SurrogatePlm(size_t dim, size_t num_classes)
+    : dim_(dim), num_classes_(num_classes) {
+  OPENAPI_CHECK_GT(dim, 0u);
+  OPENAPI_CHECK_GT(num_classes, 1u);
+}
+
+size_t SurrogatePlm::RouteTo(const Vec& x) const {
+  OPENAPI_CHECK(!regions_.empty());
+  size_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < regions_.size(); ++i) {
+    for (const Vec& anchor : anchors_[i]) {
+      double dist = linalg::L2Distance(x, anchor);
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = i;
+      }
+    }
+  }
+  return best;
+}
+
+linalg::Vec SurrogatePlm::Predict(const Vec& x) const {
+  OPENAPI_CHECK_EQ(x.size(), dim_);
+  return PredictWithLocalModel(regions_[RouteTo(x)].model, x);
+}
+
+Result<bool> SurrogatePlm::AbsorbRegionAt(const api::PredictionApi& api,
+                                          const Vec& x,
+                                          const LocalModelExtractor& extractor,
+                                          util::Rng* rng) {
+  OPENAPI_ASSIGN_OR_RETURN(ExtractedLocalModel extracted,
+                           extractor.Extract(api, x, rng));
+  total_build_queries_ += extracted.queries;
+  for (size_t i = 0; i < regions_.size(); ++i) {
+    if (regions_[i].fingerprint == extracted.fingerprint) {
+      anchors_[i].push_back(x);  // known region: densify its routing
+      return false;
+    }
+  }
+  anchors_.push_back({x});
+  regions_.push_back(std::move(extracted));
+  return true;
+}
+
+FidelityReport MeasureFidelity(const SurrogatePlm& surrogate,
+                               const api::PredictionApi& api,
+                               const std::vector<Vec>& probes) {
+  FidelityReport report;
+  report.probes = probes.size();
+  if (probes.empty()) return report;
+  size_t agree = 0;
+  double gap_sum = 0.0;
+  for (const Vec& x : probes) {
+    linalg::Vec from_api = api.Predict(x);
+    linalg::Vec from_surrogate = surrogate.Predict(x);
+    if (linalg::ArgMax(from_api) == linalg::ArgMax(from_surrogate)) {
+      ++agree;
+    }
+    double gap = 0.0;
+    for (size_t c = 0; c < from_api.size(); ++c) {
+      gap = std::max(gap, std::fabs(from_api[c] - from_surrogate[c]));
+    }
+    gap_sum += gap;
+    report.max_prob_gap = std::max(report.max_prob_gap, gap);
+  }
+  report.label_agreement =
+      static_cast<double>(agree) / static_cast<double>(probes.size());
+  report.mean_prob_gap = gap_sum / static_cast<double>(probes.size());
+  return report;
+}
+
+}  // namespace openapi::extract

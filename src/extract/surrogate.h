@@ -1,0 +1,81 @@
+// SurrogatePlm: an offline clone of an API-hidden PLM, assembled region by
+// region from closed-form extractions.
+//
+// The surrogate caches every distinct extracted locally linear classifier
+// (deduplicated by fingerprint) together with its anchor instance. At
+// prediction time it routes an input to the cached region whose anchor is
+// nearest and evaluates that region's classifier. Inside visited regions
+// the surrogate is *exact* (same softmax output as the hidden model);
+// between regions it is a nearest-anchor approximation whose fidelity
+// grows with coverage — measured by `MeasureFidelity`.
+//
+// This realizes the paper's future-work direction: after enough
+// extractions the API is no longer needed to serve predictions.
+
+#ifndef OPENAPI_EXTRACT_SURROGATE_H_
+#define OPENAPI_EXTRACT_SURROGATE_H_
+
+#include <vector>
+
+#include "extract/local_model_extractor.h"
+
+namespace openapi::extract {
+
+class SurrogatePlm : public api::Plm {
+ public:
+  SurrogatePlm(size_t dim, size_t num_classes);
+
+  // --- api::Plm ---
+  size_t dim() const override { return dim_; }
+  size_t num_classes() const override { return num_classes_; }
+  /// Nearest-anchor prediction. Requires at least one cached region.
+  Vec Predict(const Vec& x) const override;
+
+  /// Extracts the region containing x from `api` (unless a region with the
+  /// same fingerprint is already cached) and stores it. Returns true if a
+  /// new region was added. When the region is already known, x is recorded
+  /// as an additional anchor — routing keeps improving even after every
+  /// region has been discovered (important for LMTs, whose axis-aligned
+  /// leaf cells are badly approximated by a single nearest anchor).
+  Result<bool> AbsorbRegionAt(const api::PredictionApi& api, const Vec& x,
+                              const LocalModelExtractor& extractor,
+                              util::Rng* rng);
+
+  /// Index of the cached region used for input x (nearest anchor over all
+  /// anchors of all regions).
+  size_t RouteTo(const Vec& x) const;
+
+  size_t num_regions() const { return regions_.size(); }
+  const ExtractedLocalModel& region(size_t i) const { return regions_[i]; }
+  size_t num_anchors(size_t region_index) const {
+    return anchors_[region_index].size();
+  }
+
+  /// Total API queries spent building this surrogate.
+  uint64_t total_build_queries() const { return total_build_queries_; }
+
+ private:
+  size_t dim_;
+  size_t num_classes_;
+  std::vector<ExtractedLocalModel> regions_;
+  std::vector<std::vector<Vec>> anchors_;  // parallel to regions_
+  uint64_t total_build_queries_ = 0;
+};
+
+/// Fidelity of the surrogate against the live API on a set of probe
+/// inputs: fraction whose argmax agrees, and the mean infinity-norm gap
+/// between the probability vectors.
+struct FidelityReport {
+  double label_agreement = 0.0;
+  double mean_prob_gap = 0.0;
+  double max_prob_gap = 0.0;
+  size_t probes = 0;
+};
+
+FidelityReport MeasureFidelity(const SurrogatePlm& surrogate,
+                               const api::PredictionApi& api,
+                               const std::vector<Vec>& probes);
+
+}  // namespace openapi::extract
+
+#endif  // OPENAPI_EXTRACT_SURROGATE_H_

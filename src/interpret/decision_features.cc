@@ -1,0 +1,70 @@
+#include "interpret/decision_features.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace openapi::interpret {
+
+Vec CombinePairEstimates(const std::vector<CoreParameters>& pairs) {
+  OPENAPI_CHECK(!pairs.empty());
+  const size_t d = pairs[0].d.size();
+  Vec dc(d, 0.0);
+  for (const CoreParameters& pair : pairs) {
+    OPENAPI_CHECK_EQ(pair.d.size(), d);
+    linalg::Axpy(1.0, pair.d, &dc);
+  }
+  const double scale = 1.0 / static_cast<double>(pairs.size());
+  for (double& v : dc) v *= scale;
+  return dc;
+}
+
+std::vector<Vec> SampleHypercube(const Vec& x0, double r, size_t count,
+                                 util::Rng* rng) {
+  std::vector<Vec> probes;
+  probes.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    Vec p(x0.size());
+    for (size_t j = 0; j < x0.size(); ++j) {
+      p[j] = x0[j] + rng->Uniform(-r, r);
+    }
+    probes.push_back(std::move(p));
+  }
+  return probes;
+}
+
+Matrix BuildCoefficientMatrix(const Vec& x0,
+                              const std::vector<Vec>& probes) {
+  const size_t d = x0.size();
+  Matrix a(probes.size() + 1, d + 1);
+  a(0, 0) = 1.0;
+  for (size_t j = 0; j < d; ++j) a(0, j + 1) = x0[j];
+  for (size_t i = 0; i < probes.size(); ++i) {
+    OPENAPI_CHECK_EQ(probes[i].size(), d);
+    a(i + 1, 0) = 1.0;
+    for (size_t j = 0; j < d; ++j) a(i + 1, j + 1) = probes[i][j];
+  }
+  return a;
+}
+
+Result<double> LogOdds(const Vec& y, size_t c, size_t c_prime) {
+  OPENAPI_CHECK_LT(c, y.size());
+  OPENAPI_CHECK_LT(c_prime, y.size());
+  if (y[c] <= 0.0 || y[c_prime] <= 0.0) {
+    return Status::NumericalError(util::StrFormat(
+        "softmax saturation: y[%zu]=%g y[%zu]=%g", c, y[c], c_prime,
+        y[c_prime]));
+  }
+  return std::log(y[c]) - std::log(y[c_prime]);
+}
+
+Result<Vec> BuildLogOddsRhs(const std::vector<Vec>& predictions, size_t c,
+                            size_t c_prime) {
+  Vec rhs(predictions.size());
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    OPENAPI_ASSIGN_OR_RETURN(rhs[i], LogOdds(predictions[i], c, c_prime));
+  }
+  return rhs;
+}
+
+}  // namespace openapi::interpret

@@ -1,0 +1,90 @@
+// Shared vocabulary of the interpretation methods.
+//
+// Every method ultimately produces the decision features D_c of Eq. 1 for
+// an input x0 and class c. Black-box methods additionally expose the probe
+// instances they consumed so the evaluation harness can score probe quality
+// (the RD / WD metrics of Figs. 5-6) without re-deriving them.
+
+#ifndef OPENAPI_INTERPRET_DECISION_FEATURES_H_
+#define OPENAPI_INTERPRET_DECISION_FEATURES_H_
+
+#include <vector>
+
+#include "api/ground_truth.h"
+#include "api/prediction_api.h"
+#include "linalg/matrix.h"
+#include "linalg/vector_ops.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace openapi::interpret {
+
+using api::CoreParameters;
+using linalg::Matrix;
+using linalg::Vec;
+
+/// The output of an interpretation method for one (x0, c) query.
+struct Interpretation {
+  Vec dc;  // decision features D_c (Eq. 1), length d
+
+  /// Estimated core parameters per opposing class, indexed by c' in
+  /// increasing order skipping c (size C-1). Empty for gradient methods,
+  /// which do not go through core parameters.
+  std::vector<CoreParameters> pairs;
+
+  /// Probe instances the method queried (excluding x0 itself). Empty for
+  /// gradient methods.
+  std::vector<Vec> probes;
+
+  /// Number of hypercube-shrinking iterations (OpenAPI; 1 otherwise).
+  size_t iterations = 1;
+
+  /// Final hypercube edge length / perturbation distance used.
+  double edge_length = 0.0;
+
+  /// API queries consumed by this call.
+  uint64_t queries = 0;
+};
+
+/// Interface implemented by all black-box methods (OpenAPI, naive, ZOO,
+/// LIME). Gradient-based baselines have a separate entry point in
+/// gradient_methods.h because they require white-box access.
+class BlackBoxInterpreter {
+ public:
+  virtual ~BlackBoxInterpreter() = default;
+
+  /// Name used in benchmark tables ("OpenAPI", "ZOO", ...).
+  virtual const char* name() const = 0;
+
+  /// Interprets the prediction of `api`'s model on x0 for class c.
+  virtual Result<Interpretation> Interpret(const api::PredictionApi& api,
+                                           const Vec& x0, size_t c,
+                                           util::Rng* rng) const = 0;
+};
+
+/// Combines per-pair estimates into D_c by Eq. 1:
+/// D_c = (1/(C-1)) * sum_{c' != c} D_{c,c'}. `pairs` must hold C-1 entries.
+Vec CombinePairEstimates(const std::vector<CoreParameters>& pairs);
+
+/// Uniformly samples `count` instances from the hypercube
+/// {p : |p_i - x0_i| <= r} (the paper's neighborhood definition).
+std::vector<Vec> SampleHypercube(const Vec& x0, double r, size_t count,
+                                 util::Rng* rng);
+
+/// Builds the coefficient matrix A of the linear systems in Sec. IV:
+/// one row [1, p^T] per point, in the order {x0, probes...}. Shape:
+/// (probes.size()+1) x (d+1); column 0 carries the bias coefficient.
+Matrix BuildCoefficientMatrix(const Vec& x0, const std::vector<Vec>& probes);
+
+/// ln(y_c / y_{c'}) for one prediction vector. Fails with NumericalError if
+/// either probability is non-positive (softmax underflow at the API).
+Result<double> LogOdds(const Vec& y, size_t c, size_t c_prime);
+
+/// Right-hand side vector ln(y_c/y_{c'}) for each prediction in
+/// {y0, probe predictions...}, matching BuildCoefficientMatrix's row order.
+Result<Vec> BuildLogOddsRhs(const std::vector<Vec>& predictions, size_t c,
+                            size_t c_prime);
+
+}  // namespace openapi::interpret
+
+#endif  // OPENAPI_INTERPRET_DECISION_FEATURES_H_

@@ -1,0 +1,115 @@
+#include "interpret/gradient_methods.h"
+
+#include <cmath>
+
+namespace openapi::interpret {
+
+const char* GradientAttributionName(GradientAttribution method) {
+  switch (method) {
+    case GradientAttribution::kSaliencyMap:
+      return "SaliencyMaps";
+    case GradientAttribution::kGradientTimesInput:
+      return "Gradient*Input";
+    case GradientAttribution::kIntegratedGradients:
+      return "IntegratedGradient";
+    case GradientAttribution::kSmoothGrad:
+      return "SmoothGrad";
+  }
+  return "Unknown";
+}
+
+Vec ComputeGradientAttribution(
+    const api::PlmOracle& oracle, const Vec& x, size_t c,
+    GradientAttribution method,
+    const IntegratedGradientsConfig& ig_config,
+    const SmoothGradConfig& sg_config) {
+  switch (method) {
+    case GradientAttribution::kSaliencyMap: {
+      Vec grad = api::ProbabilityGradient(oracle.LocalModelAt(x), x, c);
+      for (double& g : grad) g = std::fabs(g);
+      return grad;
+    }
+    case GradientAttribution::kGradientTimesInput: {
+      Vec grad = api::ProbabilityGradient(oracle.LocalModelAt(x), x, c);
+      return linalg::Hadamard(grad, x);
+    }
+    case GradientAttribution::kIntegratedGradients: {
+      const size_t d = x.size();
+      Vec baseline = ig_config.baseline.empty() ? Vec(d, 0.0)
+                                                : ig_config.baseline;
+      OPENAPI_CHECK_EQ(baseline.size(), d);
+      const size_t steps = std::max<size_t>(1, ig_config.num_steps);
+      Vec grad_sum(d, 0.0);
+      // Midpoint Riemann sum over the straight path baseline -> x. The
+      // local model is re-queried at every step because the path may cross
+      // region boundaries (that is the point of the method).
+      for (size_t s = 0; s < steps; ++s) {
+        double t = (static_cast<double>(s) + 0.5) /
+                   static_cast<double>(steps);
+        Vec point(d);
+        for (size_t j = 0; j < d; ++j) {
+          point[j] = baseline[j] + t * (x[j] - baseline[j]);
+        }
+        Vec grad =
+            api::ProbabilityGradient(oracle.LocalModelAt(point), point, c);
+        linalg::Axpy(1.0, grad, &grad_sum);
+      }
+      Vec out(d);
+      for (size_t j = 0; j < d; ++j) {
+        out[j] = (x[j] - baseline[j]) * grad_sum[j] /
+                 static_cast<double>(steps);
+      }
+      return out;
+    }
+    case GradientAttribution::kSmoothGrad: {
+      // Average the exact gradient over Gaussian-noised copies of x. The
+      // seed lives in the config so two calls with the same config agree.
+      const size_t d = x.size();
+      util::Rng noise_rng(sg_config.seed);
+      const size_t samples = std::max<size_t>(1, sg_config.num_samples);
+      Vec grad_sum(d, 0.0);
+      for (size_t s = 0; s < samples; ++s) {
+        Vec noisy = x;
+        for (double& v : noisy) {
+          v += noise_rng.Gaussian(0.0, sg_config.noise_stddev);
+        }
+        Vec grad =
+            api::ProbabilityGradient(oracle.LocalModelAt(noisy), noisy, c);
+        linalg::Axpy(1.0, grad, &grad_sum);
+      }
+      for (double& v : grad_sum) v /= static_cast<double>(samples);
+      return grad_sum;
+    }
+  }
+  return Vec(x.size(), 0.0);
+}
+
+GradientInterpreter::GradientInterpreter(const api::PlmOracle* oracle,
+                                         GradientAttribution method,
+                                         IntegratedGradientsConfig ig_config,
+                                         SmoothGradConfig sg_config)
+    : oracle_(oracle),
+      method_(method),
+      ig_config_(std::move(ig_config)),
+      sg_config_(sg_config) {
+  OPENAPI_CHECK(oracle != nullptr);
+}
+
+Result<Interpretation> GradientInterpreter::Interpret(
+    const api::PredictionApi& api, const Vec& x0, size_t c,
+    util::Rng* /*rng*/) const {
+  if (x0.size() != api.dim()) {
+    return Status::InvalidArgument("x0 dimensionality mismatch");
+  }
+  if (c >= api.num_classes()) {
+    return Status::InvalidArgument("class index out of range");
+  }
+  Interpretation out;
+  out.dc = ComputeGradientAttribution(*oracle_, x0, c, method_, ig_config_,
+                                      sg_config_);
+  out.iterations = 1;
+  out.queries = 0;  // white-box: no API traffic
+  return out;
+}
+
+}  // namespace openapi::interpret

@@ -1,0 +1,79 @@
+// White-box gradient baselines (Sec. V grants these methods full parameter
+// access; they are the "S", "G", "I" curves of Figs. 3-4).
+//
+//   Saliency Maps        [39]: |d y_c / d x| (unsigned).
+//   Gradient * Input     [38]: (d y_c / d x) ⊙ x (signed).
+//   Integrated Gradients [43]: (x - baseline) ⊙ mean of gradients along the
+//                              straight path baseline -> x (signed; default
+//                              baseline is the all-zero image, the standard
+//                              choice for [0,1]-normalized pixels).
+//
+// Gradients are exact: within a locally linear region the softmax
+// probability gradient has the closed form in api::ProbabilityGradient.
+// Each call touches the PlmOracle (white-box), never the PredictionApi.
+
+#ifndef OPENAPI_INTERPRET_GRADIENT_METHODS_H_
+#define OPENAPI_INTERPRET_GRADIENT_METHODS_H_
+
+#include "api/plm.h"
+#include "interpret/decision_features.h"
+
+namespace openapi::interpret {
+
+/// Which gradient attribution to compute.
+enum class GradientAttribution {
+  kSaliencyMap,
+  kGradientTimesInput,
+  kIntegratedGradients,
+  kSmoothGrad,  // Smilkov et al. [41]: gradients averaged over noisy copies
+};
+
+const char* GradientAttributionName(GradientAttribution method);
+
+struct IntegratedGradientsConfig {
+  size_t num_steps = 50;  // Riemann steps along the path
+  Vec baseline;           // empty = all zeros
+};
+
+struct SmoothGradConfig {
+  size_t num_samples = 25;    // noisy copies averaged
+  double noise_stddev = 0.1;  // Gaussian input noise
+  uint64_t seed = 1;          // noise stream (kept explicit for tests)
+};
+
+/// Attribution vector (length d) for predicting x as class c.
+Vec ComputeGradientAttribution(
+    const api::PlmOracle& oracle, const Vec& x, size_t c,
+    GradientAttribution method,
+    const IntegratedGradientsConfig& ig_config = {},
+    const SmoothGradConfig& sg_config = {});
+
+/// Adapter giving gradient baselines the same call shape as the black-box
+/// interpreters so the evaluation harness can iterate over one list. The
+/// PredictionApi argument of Interpret is ignored — gradients come from the
+/// oracle, exactly as the paper grants these baselines parameter access.
+class GradientInterpreter : public BlackBoxInterpreter {
+ public:
+  GradientInterpreter(const api::PlmOracle* oracle,
+                      GradientAttribution method,
+                      IntegratedGradientsConfig ig_config = {},
+                      SmoothGradConfig sg_config = {});
+
+  const char* name() const override {
+    return GradientAttributionName(method_);
+  }
+
+  Result<Interpretation> Interpret(const api::PredictionApi& api,
+                                   const Vec& x0, size_t c,
+                                   util::Rng* rng) const override;
+
+ private:
+  const api::PlmOracle* oracle_;
+  GradientAttribution method_;
+  IntegratedGradientsConfig ig_config_;
+  SmoothGradConfig sg_config_;
+};
+
+}  // namespace openapi::interpret
+
+#endif  // OPENAPI_INTERPRET_GRADIENT_METHODS_H_

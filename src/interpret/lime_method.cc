@@ -1,0 +1,103 @@
+#include "interpret/lime_method.h"
+
+#include "linalg/least_squares.h"
+
+namespace openapi::interpret {
+
+LimeInterpreter::LimeInterpreter(LimeConfig config) : config_(config) {
+  OPENAPI_CHECK_GT(config_.perturbation_distance, 0.0);
+  OPENAPI_CHECK_GE(config_.ridge_lambda, 0.0);
+}
+
+Result<Interpretation> LimeInterpreter::Interpret(
+    const api::PredictionApi& api, const Vec& x0, size_t c,
+    util::Rng* rng) const {
+  const size_t d = api.dim();
+  const size_t num_classes = api.num_classes();
+  if (x0.size() != d) {
+    return Status::InvalidArgument("x0 dimensionality mismatch");
+  }
+  if (c >= num_classes || num_classes < 2) {
+    return Status::InvalidArgument("bad class configuration");
+  }
+  const size_t n =
+      config_.num_samples > 0 ? config_.num_samples : 2 * (d + 1);
+  if (n < d + 1) {
+    return Status::InvalidArgument(
+        "LIME needs at least d+1 perturbed samples");
+  }
+  const uint64_t queries_before = api.query_count();
+
+  std::vector<Vec> probes =
+      SampleHypercube(x0, config_.perturbation_distance, n, rng);
+  std::vector<Vec> predictions;
+  predictions.reserve(n + 1);
+  predictions.push_back(api.Predict(x0));
+  for (const Vec& p : probes) predictions.push_back(api.Predict(p));
+
+  std::vector<CoreParameters> pairs;
+  pairs.reserve(num_classes - 1);
+
+  if (config_.regressor == LimeRegressor::kLinearRegression) {
+    // Ordinary least squares over [1, X]; one QR shared by all pairs.
+    Matrix a = BuildCoefficientMatrix(x0, probes);
+    OPENAPI_ASSIGN_OR_RETURN(linalg::QrDecomposition qr,
+                             linalg::QrDecomposition::Factor(a));
+    for (size_t c_prime = 0; c_prime < num_classes; ++c_prime) {
+      if (c_prime == c) continue;
+      OPENAPI_ASSIGN_OR_RETURN(Vec rhs,
+                               BuildLogOddsRhs(predictions, c, c_prime));
+      linalg::LeastSquaresSolution solution = qr.Solve(rhs);
+      CoreParameters pair;
+      pair.b = solution.x[0];
+      pair.d.assign(solution.x.begin() + 1, solution.x.end());
+      pairs.push_back(std::move(pair));
+    }
+  } else {
+    // Ridge with unpenalized intercept: center features and targets, solve
+    // the penalized system on the centered design, recover the intercept.
+    const size_t rows = probes.size() + 1;
+    Vec mean(d, 0.0);
+    linalg::Axpy(1.0, x0, &mean);
+    for (const Vec& p : probes) linalg::Axpy(1.0, p, &mean);
+    for (double& m : mean) m /= static_cast<double>(rows);
+
+    Matrix centered(rows, d);
+    for (size_t j = 0; j < d; ++j) centered(0, j) = x0[j] - mean[j];
+    for (size_t i = 0; i < probes.size(); ++i) {
+      for (size_t j = 0; j < d; ++j) {
+        centered(i + 1, j) = probes[i][j] - mean[j];
+      }
+    }
+    for (size_t c_prime = 0; c_prime < num_classes; ++c_prime) {
+      if (c_prime == c) continue;
+      OPENAPI_ASSIGN_OR_RETURN(Vec rhs,
+                               BuildLogOddsRhs(predictions, c, c_prime));
+      double rhs_mean = 0.0;
+      for (double v : rhs) rhs_mean += v;
+      rhs_mean /= static_cast<double>(rhs.size());
+      Vec rhs_centered(rhs.size());
+      for (size_t i = 0; i < rhs.size(); ++i) {
+        rhs_centered[i] = rhs[i] - rhs_mean;
+      }
+      OPENAPI_ASSIGN_OR_RETURN(
+          Vec coef,
+          linalg::SolveRidge(centered, rhs_centered, config_.ridge_lambda));
+      CoreParameters pair;
+      pair.d = coef;
+      pair.b = rhs_mean - linalg::Dot(coef, mean);
+      pairs.push_back(std::move(pair));
+    }
+  }
+
+  Interpretation out;
+  out.dc = CombinePairEstimates(pairs);
+  out.pairs = std::move(pairs);
+  out.probes = std::move(probes);
+  out.iterations = 1;
+  out.edge_length = config_.perturbation_distance;
+  out.queries = api.query_count() - queries_before;
+  return out;
+}
+
+}  // namespace openapi::interpret

@@ -1,0 +1,60 @@
+#include "interpret/naive_method.h"
+
+#include "linalg/lu.h"
+
+namespace openapi::interpret {
+
+NaiveInterpreter::NaiveInterpreter(NaiveConfig config) : config_(config) {
+  OPENAPI_CHECK_GT(config_.perturbation_distance, 0.0);
+}
+
+Result<Interpretation> NaiveInterpreter::Interpret(
+    const api::PredictionApi& api, const Vec& x0, size_t c,
+    util::Rng* rng) const {
+  const size_t d = api.dim();
+  const size_t num_classes = api.num_classes();
+  if (x0.size() != d) {
+    return Status::InvalidArgument("x0 dimensionality mismatch");
+  }
+  if (c >= num_classes || num_classes < 2) {
+    return Status::InvalidArgument("bad class configuration");
+  }
+
+  const uint64_t queries_before = api.query_count();
+  std::vector<Vec> probes =
+      SampleHypercube(x0, config_.perturbation_distance, d, rng);
+  std::vector<Vec> predictions;
+  predictions.reserve(probes.size() + 1);
+  predictions.push_back(api.Predict(x0));
+  for (const Vec& p : probes) predictions.push_back(api.Predict(p));
+
+  // One LU factorization of the shared (d+1)x(d+1) coefficient matrix,
+  // reused across the C-1 right-hand sides.
+  Matrix a = BuildCoefficientMatrix(x0, probes);
+  OPENAPI_ASSIGN_OR_RETURN(linalg::LuDecomposition lu,
+                           linalg::LuDecomposition::Factor(a));
+
+  std::vector<CoreParameters> pairs;
+  pairs.reserve(num_classes - 1);
+  for (size_t c_prime = 0; c_prime < num_classes; ++c_prime) {
+    if (c_prime == c) continue;
+    OPENAPI_ASSIGN_OR_RETURN(Vec rhs,
+                             BuildLogOddsRhs(predictions, c, c_prime));
+    Vec beta = lu.Solve(rhs);
+    CoreParameters pair;
+    pair.b = beta[0];
+    pair.d.assign(beta.begin() + 1, beta.end());
+    pairs.push_back(std::move(pair));
+  }
+
+  Interpretation out;
+  out.dc = CombinePairEstimates(pairs);
+  out.pairs = std::move(pairs);
+  out.probes = std::move(probes);
+  out.iterations = 1;
+  out.edge_length = config_.perturbation_distance;
+  out.queries = api.query_count() - queries_before;
+  return out;
+}
+
+}  // namespace openapi::interpret

@@ -1,0 +1,37 @@
+// The naive method (Sec. IV-B): solve the *determined* (d+1)x(d+1) system
+// Ω_{d+1} built from x0 and d probes at a fixed, user-chosen perturbation
+// distance h. Exact only in the ideal case where every probe shares x0's
+// locally linear region; Theorem 1 shows it is wrong with probability 1
+// otherwise. Included as the paper's own strawman baseline (N(h) in
+// Figs. 5-7).
+
+#ifndef OPENAPI_INTERPRET_NAIVE_METHOD_H_
+#define OPENAPI_INTERPRET_NAIVE_METHOD_H_
+
+#include "interpret/decision_features.h"
+
+namespace openapi::interpret {
+
+struct NaiveConfig {
+  double perturbation_distance = 1e-4;  // the paper sweeps 1e-8/1e-4/1e-2
+};
+
+class NaiveInterpreter : public BlackBoxInterpreter {
+ public:
+  explicit NaiveInterpreter(NaiveConfig config = {});
+
+  const char* name() const override { return "Naive"; }
+
+  Result<Interpretation> Interpret(const api::PredictionApi& api,
+                                   const Vec& x0, size_t c,
+                                   util::Rng* rng) const override;
+
+  const NaiveConfig& config() const { return config_; }
+
+ private:
+  NaiveConfig config_;
+};
+
+}  // namespace openapi::interpret
+
+#endif  // OPENAPI_INTERPRET_NAIVE_METHOD_H_

@@ -1,0 +1,86 @@
+#include "interpret/openapi_method.h"
+
+#include "linalg/least_squares.h"
+#include "linalg/qr.h"
+#include "util/string_util.h"
+
+namespace openapi::interpret {
+
+OpenApiInterpreter::OpenApiInterpreter(OpenApiConfig config)
+    : config_(config) {
+  OPENAPI_CHECK_GT(config_.max_iterations, 0u);
+  OPENAPI_CHECK_GT(config_.initial_edge, 0.0);
+  OPENAPI_CHECK(config_.shrink_factor > 0.0 && config_.shrink_factor < 1.0);
+}
+
+Result<Interpretation> OpenApiInterpreter::Interpret(
+    const api::PredictionApi& api, const Vec& x0, size_t c,
+    util::Rng* rng) const {
+  const size_t d = api.dim();
+  const size_t num_classes = api.num_classes();
+  if (x0.size() != d) {
+    return Status::InvalidArgument("x0 dimensionality mismatch");
+  }
+  if (c >= num_classes) {
+    return Status::InvalidArgument("class index out of range");
+  }
+  if (num_classes < 2) {
+    return Status::InvalidArgument("need at least two classes");
+  }
+
+  const uint64_t queries_before = api.query_count();
+  const Vec y0 = api.Predict(x0);
+
+  double r = config_.initial_edge;
+  for (size_t iter = 0; iter < config_.max_iterations; ++iter, r *= config_.shrink_factor) {
+    // Sample d+1 probes; together with x0 they give the d+2 equations of
+    // Ω_{d+2} (Algorithm 1 line 2).
+    std::vector<Vec> probes = SampleHypercube(x0, r, d + 1, rng);
+    std::vector<Vec> predictions;
+    predictions.reserve(probes.size() + 1);
+    predictions.push_back(y0);
+    for (const Vec& p : probes) predictions.push_back(api.Predict(p));
+
+    // One shared QR factorization for all C-1 systems.
+    Matrix a = BuildCoefficientMatrix(x0, probes);
+    auto qr = linalg::QrDecomposition::Factor(a);
+    if (!qr.ok()) continue;  // degenerate probe set (probability 0): redraw
+
+    std::vector<CoreParameters> pairs;
+    pairs.reserve(num_classes - 1);
+    bool all_consistent = true;
+    for (size_t c_prime = 0; c_prime < num_classes && all_consistent;
+         ++c_prime) {
+      if (c_prime == c) continue;
+      auto rhs = BuildLogOddsRhs(predictions, c, c_prime);
+      if (!rhs.ok()) {
+        all_consistent = false;  // softmax saturation: shrink and retry
+        break;
+      }
+      linalg::LeastSquaresSolution solution = qr->Solve(*rhs);
+      if (!linalg::IsConsistent(solution, *rhs, config_.consistency_tol)) {
+        all_consistent = false;
+        break;
+      }
+      CoreParameters pair;
+      pair.b = solution.x[0];
+      pair.d.assign(solution.x.begin() + 1, solution.x.end());
+      pairs.push_back(std::move(pair));
+    }
+    if (!all_consistent) continue;
+
+    Interpretation out;
+    out.dc = CombinePairEstimates(pairs);
+    out.pairs = std::move(pairs);
+    out.probes = std::move(probes);
+    out.iterations = iter + 1;
+    out.edge_length = r;
+    out.queries = api.query_count() - queries_before;
+    return out;
+  }
+  return Status::DidNotConverge(util::StrFormat(
+      "no consistent probe set within %zu iterations (final r=%.3g)",
+      config_.max_iterations, r));
+}
+
+}  // namespace openapi::interpret

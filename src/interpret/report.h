@@ -1,0 +1,48 @@
+// Human-readable interpretation reports.
+//
+// Decision features are d-dimensional weight vectors; what a user of the
+// library actually wants to show an analyst is "which features pushed this
+// prediction, and which pushed against it". InterpretationReport distills
+// an Interpretation into a ranked top-k summary, a plain-text rendering,
+// and a simple machine-readable key=value dump the examples emit.
+
+#ifndef OPENAPI_INTERPRET_REPORT_H_
+#define OPENAPI_INTERPRET_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "interpret/decision_features.h"
+
+namespace openapi::interpret {
+
+struct FeatureContribution {
+  size_t feature = 0;   // feature index in the input vector
+  double weight = 0.0;  // D_c entry: >0 supports the class, <0 opposes
+  double value = 0.0;   // the instance's value of that feature
+};
+
+struct InterpretationReport {
+  size_t predicted_class = 0;
+  double predicted_probability = 0.0;
+  std::vector<FeatureContribution> supporting;  // descending weight
+  std::vector<FeatureContribution> opposing;    // ascending weight
+  double support_mass = 0.0;  // sum of positive weights / total |weight|
+  size_t queries = 0;
+  size_t iterations = 0;
+};
+
+/// Builds a report for `interpretation` of (x0, c). `top_k` bounds both
+/// lists. `feature_names` is optional; indices are used when empty.
+InterpretationReport BuildReport(const Interpretation& interpretation,
+                                 const Vec& x0, size_t c, const Vec& y,
+                                 size_t top_k);
+
+/// Multi-line plain-text rendering. Feature names default to "f<i>" or
+/// "pixel(r,c)" when `width` > 0 (image-shaped inputs).
+std::string RenderReport(const InterpretationReport& report,
+                         size_t width = 0);
+
+}  // namespace openapi::interpret
+
+#endif  // OPENAPI_INTERPRET_REPORT_H_

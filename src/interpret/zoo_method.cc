@@ -1,0 +1,70 @@
+#include "interpret/zoo_method.h"
+
+namespace openapi::interpret {
+
+ZooInterpreter::ZooInterpreter(ZooConfig config) : config_(config) {
+  OPENAPI_CHECK_GT(config_.perturbation_distance, 0.0);
+}
+
+Result<Interpretation> ZooInterpreter::Interpret(
+    const api::PredictionApi& api, const Vec& x0, size_t c,
+    util::Rng* /*rng*/) const {
+  const size_t d = api.dim();
+  const size_t num_classes = api.num_classes();
+  if (x0.size() != d) {
+    return Status::InvalidArgument("x0 dimensionality mismatch");
+  }
+  if (c >= num_classes || num_classes < 2) {
+    return Status::InvalidArgument("bad class configuration");
+  }
+  const double h = config_.perturbation_distance;
+  const uint64_t queries_before = api.query_count();
+
+  const Vec y0 = api.Predict(x0);
+
+  // Probe both directions along every axis; predictions are reused for all
+  // class pairs (2d queries total, as in the published ZOO).
+  std::vector<Vec> probes;
+  std::vector<Vec> plus_pred(d), minus_pred(d);
+  probes.reserve(2 * d);
+  for (size_t j = 0; j < d; ++j) {
+    Vec plus = x0;
+    plus[j] += h;
+    plus_pred[j] = api.Predict(plus);
+    probes.push_back(std::move(plus));
+    Vec minus = x0;
+    minus[j] -= h;
+    minus_pred[j] = api.Predict(minus);
+    probes.push_back(std::move(minus));
+  }
+
+  std::vector<CoreParameters> pairs;
+  pairs.reserve(num_classes - 1);
+  for (size_t c_prime = 0; c_prime < num_classes; ++c_prime) {
+    if (c_prime == c) continue;
+    CoreParameters pair;
+    pair.d.resize(d);
+    for (size_t j = 0; j < d; ++j) {
+      OPENAPI_ASSIGN_OR_RETURN(double f_plus,
+                               LogOdds(plus_pred[j], c, c_prime));
+      OPENAPI_ASSIGN_OR_RETURN(double f_minus,
+                               LogOdds(minus_pred[j], c, c_prime));
+      pair.d[j] = (f_plus - f_minus) / (2.0 * h);
+    }
+    // B from Eq. 2 at x0: B = ln(y_c/y_{c'}) - D^T x0.
+    OPENAPI_ASSIGN_OR_RETURN(double f0, LogOdds(y0, c, c_prime));
+    pair.b = f0 - linalg::Dot(pair.d, x0);
+    pairs.push_back(std::move(pair));
+  }
+
+  Interpretation out;
+  out.dc = CombinePairEstimates(pairs);
+  out.pairs = std::move(pairs);
+  out.probes = std::move(probes);
+  out.iterations = 1;
+  out.edge_length = h;
+  out.queries = api.query_count() - queries_before;
+  return out;
+}
+
+}  // namespace openapi::interpret

@@ -1,0 +1,40 @@
+// ZOO baseline (Chen et al. [7], adapted per Sec. V).
+//
+// ZOO estimates gradients by zeroth-order symmetric difference quotients.
+// The paper's adaptation targets f(x) = ln(y_c / y_{c'}), whose exact
+// gradient inside a locally linear region is D_{c,c'} (Eq. 2). For each
+// axis j, ZOO probes x0 ± h e_j and estimates
+//   D_{c,c'}[j] ≈ (f(x0 + h e_j) - f(x0 - h e_j)) / (2h).
+// The 2d probe predictions are shared across all C-1 class pairs. The bias
+// term B_{c,c'} is recovered from Eq. 2 at x0 itself.
+
+#ifndef OPENAPI_INTERPRET_ZOO_METHOD_H_
+#define OPENAPI_INTERPRET_ZOO_METHOD_H_
+
+#include "interpret/decision_features.h"
+
+namespace openapi::interpret {
+
+struct ZooConfig {
+  double perturbation_distance = 1e-4;  // h; the paper sweeps 1e-8/1e-4/1e-2
+};
+
+class ZooInterpreter : public BlackBoxInterpreter {
+ public:
+  explicit ZooInterpreter(ZooConfig config = {});
+
+  const char* name() const override { return "ZOO"; }
+
+  Result<Interpretation> Interpret(const api::PredictionApi& api,
+                                   const Vec& x0, size_t c,
+                                   util::Rng* rng) const override;
+
+  const ZooConfig& config() const { return config_; }
+
+ private:
+  ZooConfig config_;
+};
+
+}  // namespace openapi::interpret
+
+#endif  // OPENAPI_INTERPRET_ZOO_METHOD_H_

@@ -1,0 +1,56 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace openapi::linalg {
+
+Result<CholeskyDecomposition> CholeskyDecomposition::Factor(const Matrix& a) {
+  if (a.rows() != a.cols() || a.rows() == 0) {
+    return Status::InvalidArgument(util::StrFormat(
+        "Cholesky requires a non-empty square matrix; got %zux%zu", a.rows(),
+        a.cols()));
+  }
+  const size_t n = a.rows();
+  Matrix l(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double sum = a(i, j);
+      for (size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (sum <= 0.0 || !std::isfinite(sum)) {
+          return Status::NumericalError(util::StrFormat(
+              "matrix not positive definite at row %zu", i));
+        }
+        l(i, j) = std::sqrt(sum);
+      } else {
+        l(i, j) = sum / l(j, j);
+      }
+    }
+  }
+  return CholeskyDecomposition(std::move(l));
+}
+
+Vec CholeskyDecomposition::Solve(const Vec& b) const {
+  const size_t n = l_.rows();
+  OPENAPI_CHECK_EQ(b.size(), n);
+  // Forward substitution L y = b.
+  Vec y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    const double* row = l_.RowPtr(i);
+    for (size_t j = 0; j < i; ++j) sum -= row[j] * y[j];
+    y[i] = sum / row[i];
+  }
+  // Back substitution L^T x = y.
+  Vec x(n);
+  for (size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (size_t j = ii + 1; j < n; ++j) sum -= l_(j, ii) * x[j];
+    x[ii] = sum / l_(ii, ii);
+  }
+  return x;
+}
+
+}  // namespace openapi::linalg

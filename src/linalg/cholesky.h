@@ -1,0 +1,37 @@
+// Cholesky factorization of symmetric positive-definite matrices.
+//
+// Used by Ridge Regression LIME: the ridge estimate solves the normal
+// equations (A^T A + lambda I) x = A^T b, whose left-hand side is SPD for
+// lambda > 0 — exactly Cholesky territory.
+
+#ifndef OPENAPI_LINALG_CHOLESKY_H_
+#define OPENAPI_LINALG_CHOLESKY_H_
+
+#include "linalg/matrix.h"
+#include "linalg/vector_ops.h"
+#include "util/status.h"
+
+namespace openapi::linalg {
+
+/// A = L L^T with L lower triangular.
+class CholeskyDecomposition {
+ public:
+  /// Factors a symmetric positive-definite matrix. Only the lower triangle
+  /// of `a` is read. Fails with NumericalError if a is not PD to working
+  /// precision.
+  static Result<CholeskyDecomposition> Factor(const Matrix& a);
+
+  /// Solves A x = b.
+  Vec Solve(const Vec& b) const;
+
+  size_t n() const { return l_.rows(); }
+
+ private:
+  explicit CholeskyDecomposition(Matrix l) : l_(std::move(l)) {}
+
+  Matrix l_;
+};
+
+}  // namespace openapi::linalg
+
+#endif  // OPENAPI_LINALG_CHOLESKY_H_

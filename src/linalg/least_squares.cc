@@ -1,0 +1,40 @@
+#include "linalg/least_squares.h"
+
+#include "linalg/cholesky.h"
+#include "linalg/lu.h"
+
+namespace openapi::linalg {
+
+Result<LeastSquaresSolution> SolveLeastSquares(const Matrix& a,
+                                               const Vec& b) {
+  OPENAPI_ASSIGN_OR_RETURN(QrDecomposition qr, QrDecomposition::Factor(a));
+  return qr.Solve(b);
+}
+
+Result<Vec> SolveRidge(const Matrix& a, const Vec& b, double lambda) {
+  if (lambda < 0.0) {
+    return Status::InvalidArgument("ridge penalty must be non-negative");
+  }
+  if (a.rows() != b.size()) {
+    return Status::InvalidArgument("ridge: dimension mismatch");
+  }
+  // Normal equations: (A^T A + lambda I) x = A^T b.
+  Matrix ata = a.Transposed().Multiply(a);
+  for (size_t i = 0; i < ata.rows(); ++i) ata(i, i) += lambda;
+  Vec atb = a.MultiplyTransposed(b);
+  OPENAPI_ASSIGN_OR_RETURN(CholeskyDecomposition chol,
+                           CholeskyDecomposition::Factor(ata));
+  return chol.Solve(atb);
+}
+
+Result<Vec> SolveDetermined(const Matrix& a, const Vec& b) {
+  OPENAPI_ASSIGN_OR_RETURN(LuDecomposition lu, LuDecomposition::Factor(a));
+  return lu.Solve(b);
+}
+
+bool IsConsistent(const LeastSquaresSolution& solution, const Vec& b,
+                  double tol) {
+  return solution.residual_norminf <= tol * (1.0 + NormInf(b));
+}
+
+}  // namespace openapi::linalg

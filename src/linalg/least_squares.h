@@ -1,0 +1,43 @@
+// High-level solver entry points shared by the interpretation methods.
+//
+// SolveLeastSquares     — min ||Ax-b||_2 via Householder QR.
+// SolveRidge            — (A^T A + lambda I)^{-1} A^T b via Cholesky.
+// SolveDetermined       — square system via LU.
+// IsConsistent          — OpenAPI's Ω_{d+2} consistency test: does the
+//                         overdetermined system admit an (almost) exact
+//                         solution? Decided by the residual infinity norm
+//                         relative to the right-hand side scale.
+
+#ifndef OPENAPI_LINALG_LEAST_SQUARES_H_
+#define OPENAPI_LINALG_LEAST_SQUARES_H_
+
+#include "linalg/matrix.h"
+#include "linalg/qr.h"
+#include "linalg/vector_ops.h"
+#include "util/status.h"
+
+namespace openapi::linalg {
+
+/// Least-squares solution of a (possibly overdetermined) system.
+Result<LeastSquaresSolution> SolveLeastSquares(const Matrix& a, const Vec& b);
+
+/// Ridge regression with penalty lambda >= 0 (lambda = 0 falls back to
+/// ordinary least squares through the normal equations; prefer
+/// SolveLeastSquares for plain LS). The intercept column, if any, is the
+/// caller's responsibility — this routine penalizes every coefficient, which
+/// matches scikit-learn's `Ridge(fit_intercept=False)` used by the paper's
+/// Ridge Regression LIME adaptation.
+Result<Vec> SolveRidge(const Matrix& a, const Vec& b, double lambda);
+
+/// Solves a square system A x = b by LU with partial pivoting.
+Result<Vec> SolveDetermined(const Matrix& a, const Vec& b);
+
+/// Consistency predicate for an overdetermined solve: true iff the residual
+/// infinity norm is within `tol * (1 + ||b||_inf)`. This is the numerical
+/// stand-in for the paper's exact-arithmetic "Ω_{d+2} has a solution".
+bool IsConsistent(const LeastSquaresSolution& solution, const Vec& b,
+                  double tol);
+
+}  // namespace openapi::linalg
+
+#endif  // OPENAPI_LINALG_LEAST_SQUARES_H_

@@ -1,0 +1,108 @@
+#include "linalg/lu.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace openapi::linalg {
+
+Result<LuDecomposition> LuDecomposition::Factor(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument(util::StrFormat(
+        "LU requires a square matrix; got %zux%zu", a.rows(), a.cols()));
+  }
+  const size_t n = a.rows();
+  if (n == 0) {
+    return Status::InvalidArgument("LU of an empty matrix");
+  }
+  Matrix lu = a;
+  std::vector<size_t> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = i;
+  int sign = 1;
+
+  for (size_t k = 0; k < n; ++k) {
+    // Partial pivoting: bring the largest |entry| in column k to the
+    // diagonal.
+    size_t pivot_row = k;
+    double pivot_mag = std::fabs(lu(k, k));
+    for (size_t r = k + 1; r < n; ++r) {
+      double mag = std::fabs(lu(r, k));
+      if (mag > pivot_mag) {
+        pivot_mag = mag;
+        pivot_row = r;
+      }
+    }
+    if (pivot_mag == 0.0 || !std::isfinite(pivot_mag)) {
+      return Status::NumericalError(
+          util::StrFormat("singular matrix at pivot %zu", k));
+    }
+    if (pivot_row != k) {
+      for (size_t c = 0; c < n; ++c) {
+        std::swap(lu(k, c), lu(pivot_row, c));
+      }
+      std::swap(perm[k], perm[pivot_row]);
+      sign = -sign;
+    }
+    const double pivot = lu(k, k);
+    for (size_t r = k + 1; r < n; ++r) {
+      double factor = lu(r, k) / pivot;
+      lu(r, k) = factor;
+      if (factor == 0.0) continue;
+      const double* row_k = lu.RowPtr(k);
+      double* row_r = lu.RowPtr(r);
+      for (size_t c = k + 1; c < n; ++c) row_r[c] -= factor * row_k[c];
+    }
+  }
+  return LuDecomposition(std::move(lu), std::move(perm), sign);
+}
+
+Vec LuDecomposition::Solve(const Vec& b) const {
+  const size_t n = lu_.rows();
+  OPENAPI_CHECK_EQ(b.size(), n);
+  // Forward substitution with permuted b (L has an implicit unit diagonal).
+  Vec y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[perm_[i]];
+    const double* row = lu_.RowPtr(i);
+    for (size_t j = 0; j < i; ++j) sum -= row[j] * y[j];
+    y[i] = sum;
+  }
+  // Back substitution with U.
+  Vec x(n);
+  for (size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    const double* row = lu_.RowPtr(ii);
+    for (size_t j = ii + 1; j < n; ++j) sum -= row[j] * x[j];
+    x[ii] = sum / row[ii];
+  }
+  return x;
+}
+
+Matrix LuDecomposition::SolveMany(const Matrix& b) const {
+  OPENAPI_CHECK_EQ(b.rows(), lu_.rows());
+  Matrix x(b.rows(), b.cols());
+  for (size_t c = 0; c < b.cols(); ++c) {
+    x.SetCol(c, Solve(b.Col(c)));
+  }
+  return x;
+}
+
+double LuDecomposition::Determinant() const {
+  double det = pivot_sign_;
+  for (size_t i = 0; i < lu_.rows(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+double LuDecomposition::ReciprocalPivotRatio() const {
+  double min_p = std::fabs(lu_(0, 0));
+  double max_p = min_p;
+  for (size_t i = 1; i < lu_.rows(); ++i) {
+    double p = std::fabs(lu_(i, i));
+    min_p = std::min(min_p, p);
+    max_p = std::max(max_p, p);
+  }
+  if (max_p == 0.0) return 0.0;
+  return min_p / max_p;
+}
+
+}  // namespace openapi::linalg

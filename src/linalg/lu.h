@@ -1,0 +1,54 @@
+// LU decomposition with partial pivoting.
+//
+// Used by the naive method (Sec. IV-B): the determined (d+1)x(d+1) system
+// Ω_{d+1} is solved through a single LU factorization, reused across all
+// C-1 class pairs because they share the coefficient matrix A (only the
+// right-hand side ln(y_c/y_{c'}) changes).
+
+#ifndef OPENAPI_LINALG_LU_H_
+#define OPENAPI_LINALG_LU_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/vector_ops.h"
+#include "util/status.h"
+
+namespace openapi::linalg {
+
+/// PA = LU factorization of a square matrix. Construction via Factor();
+/// singularity is reported as Status::NumericalError.
+class LuDecomposition {
+ public:
+  /// Factors `a` (must be square). Fails with NumericalError if a pivot is
+  /// (near-)zero, i.e., the matrix is singular to working precision.
+  static Result<LuDecomposition> Factor(const Matrix& a);
+
+  /// Solves A x = b for one right-hand side.
+  Vec Solve(const Vec& b) const;
+
+  /// Solves A X = B column-by-column; B is n x k.
+  Matrix SolveMany(const Matrix& b) const;
+
+  /// Determinant of A (product of U's diagonal with pivot sign).
+  double Determinant() const;
+
+  /// Reciprocal condition estimate: min|u_ii| / max|u_ii|. A cheap proxy
+  /// sufficient for detecting the degenerate probe sets the paper's
+  /// Lemma 1 rules out almost surely.
+  double ReciprocalPivotRatio() const;
+
+  size_t n() const { return lu_.rows(); }
+
+ private:
+  LuDecomposition(Matrix lu, std::vector<size_t> perm, int sign)
+      : lu_(std::move(lu)), perm_(std::move(perm)), pivot_sign_(sign) {}
+
+  Matrix lu_;                 // L (unit lower) and U packed together
+  std::vector<size_t> perm_;  // row permutation
+  int pivot_sign_;
+};
+
+}  // namespace openapi::linalg
+
+#endif  // OPENAPI_LINALG_LU_H_

@@ -1,0 +1,147 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+
+namespace openapi::linalg {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows)
+    : rows_(rows.size()), cols_(rows.size() ? rows.begin()->size() : 0) {
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    OPENAPI_CHECK_EQ(row.size(), cols_);
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::FromRows(const std::vector<Vec>& rows) {
+  OPENAPI_CHECK(!rows.empty());
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) m.SetRow(r, rows[r]);
+  return m;
+}
+
+Vec Matrix::Row(size_t r) const {
+  OPENAPI_CHECK_LT(r, rows_);
+  return Vec(RowPtr(r), RowPtr(r) + cols_);
+}
+
+Vec Matrix::Col(size_t c) const {
+  OPENAPI_CHECK_LT(c, cols_);
+  Vec out(rows_);
+  for (size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+void Matrix::SetRow(size_t r, const Vec& values) {
+  OPENAPI_CHECK_LT(r, rows_);
+  OPENAPI_CHECK_EQ(values.size(), cols_);
+  std::copy(values.begin(), values.end(), RowPtr(r));
+}
+
+void Matrix::SetCol(size_t c, const Vec& values) {
+  OPENAPI_CHECK_LT(c, cols_);
+  OPENAPI_CHECK_EQ(values.size(), rows_);
+  for (size_t r = 0; r < rows_; ++r) (*this)(r, c) = values[r];
+}
+
+Vec Matrix::Multiply(const Vec& x) const {
+  OPENAPI_CHECK_EQ(x.size(), cols_);
+  Vec out(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = RowPtr(r);
+    double sum = 0.0;
+    for (size_t c = 0; c < cols_; ++c) sum += row[c] * x[c];
+    out[r] = sum;
+  }
+  return out;
+}
+
+Vec Matrix::MultiplyTransposed(const Vec& x) const {
+  OPENAPI_CHECK_EQ(x.size(), rows_);
+  Vec out(cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = RowPtr(r);
+    double xr = x[r];
+    for (size_t c = 0; c < cols_; ++c) out[c] += row[c] * xr;
+  }
+  return out;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  OPENAPI_CHECK_EQ(cols_, other.rows_);
+  Matrix out(rows_, other.cols_);
+  // i-k-j loop order keeps the inner loop streaming over contiguous rows.
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* a_row = RowPtr(i);
+    double* out_row = out.RowPtr(i);
+    for (size_t k = 0; k < cols_; ++k) {
+      double a_ik = a_row[k];
+      if (a_ik == 0.0) continue;
+      const double* b_row = other.RowPtr(k);
+      for (size_t j = 0; j < other.cols_; ++j) {
+        out_row[j] += a_ik * b_row[j];
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = RowPtr(r);
+    for (size_t c = 0; c < cols_; ++c) out(c, r) = row[c];
+  }
+  return out;
+}
+
+Matrix Matrix::Add(const Matrix& other) const {
+  OPENAPI_CHECK_EQ(rows_, other.rows_);
+  OPENAPI_CHECK_EQ(cols_, other.cols_);
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] += other.data_[i];
+  }
+  return out;
+}
+
+Matrix Matrix::Sub(const Matrix& other) const {
+  OPENAPI_CHECK_EQ(rows_, other.rows_);
+  OPENAPI_CHECK_EQ(cols_, other.cols_);
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] -= other.data_[i];
+  }
+  return out;
+}
+
+void Matrix::ScaleInPlace(double s) {
+  for (double& x : data_) x *= s;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double sum = 0.0;
+  for (double x : data_) sum += x * x;
+  return std::sqrt(sum);
+}
+
+double Matrix::MaxAbs() const {
+  double best = 0.0;
+  for (double x : data_) best = std::max(best, std::fabs(x));
+  return best;
+}
+
+bool Matrix::AllFinite() const {
+  for (double x : data_) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+}  // namespace openapi::linalg

@@ -1,0 +1,175 @@
+#include "lmt/lmt.h"
+
+#include <fstream>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace openapi::lmt {
+
+LogisticModelTree LogisticModelTree::Fit(const data::Dataset& train,
+                                         const LmtConfig& config) {
+  OPENAPI_CHECK(!train.empty());
+  LogisticModelTree tree(train.dim(), train.num_classes());
+  std::vector<size_t> all(train.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  tree.BuildNode(train, all, /*depth=*/0, config);
+  return tree;
+}
+
+size_t LogisticModelTree::BuildNode(const data::Dataset& train,
+                                    const std::vector<size_t>& indices,
+                                    size_t depth, const LmtConfig& config) {
+  depth_ = std::max(depth_, depth);
+  const size_t node_index = nodes_.size();
+  nodes_.emplace_back();
+
+  // Train this node's logistic classifier; it becomes the leaf model if we
+  // stop here (paper's stopping rule needs its accuracy either way).
+  LogisticRegression classifier(train.dim(), train.num_classes());
+  classifier.Fit(train, indices, config.leaf_config);
+  const double accuracy = classifier.Accuracy(train, indices);
+
+  auto make_leaf = [&]() {
+    Node& node = nodes_[node_index];
+    node.is_leaf = true;
+    node.leaf_index = leaves_.size();
+    leaves_.push_back(std::move(classifier));
+    return node_index;
+  };
+
+  if (indices.size() < config.min_split_size ||
+      accuracy > config.accuracy_threshold || depth >= config.max_depth) {
+    return make_leaf();
+  }
+
+  SplitConfig split_config = config.split_config;
+  // Both children must remain viable logistic-regression training sets.
+  split_config.min_leaf_size =
+      std::max(split_config.min_leaf_size, config.min_split_size / 2);
+  std::optional<Split> split = FindBestSplit(train, indices, split_config);
+  if (!split) return make_leaf();
+
+  std::vector<size_t> left_idx, right_idx;
+  ApplySplit(train, indices, *split, &left_idx, &right_idx);
+  if (left_idx.empty() || right_idx.empty()) return make_leaf();
+
+  // Recurse; children may reallocate nodes_, so write fields afterwards
+  // through the index rather than a stale reference.
+  size_t left_child = BuildNode(train, left_idx, depth + 1, config);
+  size_t right_child = BuildNode(train, right_idx, depth + 1, config);
+  Node& node = nodes_[node_index];
+  node.is_leaf = false;
+  node.feature = split->feature;
+  node.threshold = split->threshold;
+  node.left = left_child;
+  node.right = right_child;
+  return node_index;
+}
+
+size_t LogisticModelTree::LeafIndexAt(const Vec& x) const {
+  OPENAPI_CHECK_EQ(x.size(), dim_);
+  OPENAPI_CHECK(!nodes_.empty());
+  size_t current = 0;
+  while (!nodes_[current].is_leaf) {
+    const Node& node = nodes_[current];
+    current = x[node.feature] <= node.threshold ? node.left : node.right;
+  }
+  return nodes_[current].leaf_index;
+}
+
+Vec LogisticModelTree::Predict(const Vec& x) const {
+  return leaves_[LeafIndexAt(x)].Predict(x);
+}
+
+uint64_t LogisticModelTree::RegionId(const Vec& x) const {
+  return static_cast<uint64_t>(LeafIndexAt(x));
+}
+
+api::LocalLinearModel LogisticModelTree::LocalModelAt(const Vec& x) const {
+  const LogisticRegression& leaf = leaves_[LeafIndexAt(x)];
+  return api::LocalLinearModel{leaf.weights(), leaf.bias()};
+}
+
+const LogisticRegression& LogisticModelTree::LeafClassifier(
+    size_t leaf_index) const {
+  OPENAPI_CHECK_LT(leaf_index, leaves_.size());
+  return leaves_[leaf_index];
+}
+
+Status LogisticModelTree::Save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  out << "lmt v1\n"
+      << dim_ << " " << num_classes_ << " " << nodes_.size() << " "
+      << leaves_.size() << " " << depth_ << "\n";
+  for (const Node& node : nodes_) {
+    out << (node.is_leaf ? 1 : 0) << " " << node.feature << " "
+        << util::StrFormat("%.17g", node.threshold) << " " << node.left
+        << " " << node.right << " " << node.leaf_index << "\n";
+  }
+  for (const LogisticRegression& leaf : leaves_) {
+    for (double w : leaf.weights().data()) {
+      out << util::StrFormat("%.17g\n", w);
+    }
+    for (double b : leaf.bias()) {
+      out << util::StrFormat("%.17g\n", b);
+    }
+  }
+  if (!out.good()) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<LogisticModelTree> LogisticModelTree::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open " + path);
+  }
+  std::string magic, version;
+  in >> magic >> version;
+  if (magic != "lmt" || version != "v1") {
+    return Status::IoError(path + ": not an lmt v1 file");
+  }
+  size_t dim = 0, num_classes = 0, num_nodes = 0, num_leaves = 0,
+         depth = 0;
+  in >> dim >> num_classes >> num_nodes >> num_leaves >> depth;
+  if (!in.good() || dim == 0 || num_classes < 2 || num_nodes == 0 ||
+      num_leaves == 0 || num_nodes > 1u << 24) {
+    return Status::IoError(path + ": bad header");
+  }
+  LogisticModelTree tree(dim, num_classes);
+  tree.depth_ = depth;
+  tree.nodes_.resize(num_nodes);
+  for (Node& node : tree.nodes_) {
+    int is_leaf = 0;
+    in >> is_leaf >> node.feature >> node.threshold >> node.left >>
+        node.right >> node.leaf_index;
+    node.is_leaf = is_leaf != 0;
+    if (in.fail()) return Status::IoError(path + ": truncated nodes");
+  }
+  tree.leaves_.reserve(num_leaves);
+  for (size_t l = 0; l < num_leaves; ++l) {
+    LogisticRegression leaf(dim, num_classes);
+    for (double& w : leaf.mutable_weights().mutable_data()) in >> w;
+    for (double& b : leaf.mutable_bias()) in >> b;
+    if (in.fail()) return Status::IoError(path + ": truncated leaves");
+    tree.leaves_.push_back(std::move(leaf));
+  }
+  // Structural validation: child indices and leaf indices must be in
+  // range, and leaves referenced by leaf nodes must exist.
+  for (const Node& node : tree.nodes_) {
+    if (node.is_leaf) {
+      if (node.leaf_index >= tree.leaves_.size()) {
+        return Status::IoError(path + ": leaf index out of range");
+      }
+    } else if (node.left >= tree.nodes_.size() ||
+               node.right >= tree.nodes_.size() || node.feature >= dim) {
+      return Status::IoError(path + ": node reference out of range");
+    }
+  }
+  return tree;
+}
+
+}  // namespace openapi::lmt

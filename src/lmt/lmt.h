@@ -1,0 +1,97 @@
+// Logistic Model Tree (Landwehr et al. [24]) as used in the paper's
+// evaluation: a C4.5 decision tree whose every leaf carries a sparse
+// multinomial logistic regression classifier.
+//
+// An LMT is a piecewise linear model in the paper's exact sense: the tree
+// routes an input to one leaf, and that leaf's (axis-aligned) cell is a
+// locally linear region whose classifier is softmax(W^T x + b). Hence the
+// leaf index is the region id and the leaf weights are the white-box
+// ground truth.
+//
+// Stopping criteria follow Sec. V: a node is not split further if it holds
+// fewer than `min_split_size` (100) training instances or its logistic
+// classifier already exceeds `accuracy_threshold` (99%) on the node's data.
+
+#ifndef OPENAPI_LMT_LMT_H_
+#define OPENAPI_LMT_LMT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/plm.h"
+#include "data/dataset.h"
+#include "lmt/logistic_regression.h"
+#include "lmt/split.h"
+
+namespace openapi::lmt {
+
+struct LmtConfig {
+  size_t min_split_size = 100;       // paper: nodes under 100 become leaves
+  double accuracy_threshold = 0.99;  // paper: stop when leaf acc > 99%
+  size_t max_depth = 8;              // safety bound on tree depth
+  LogisticRegressionConfig leaf_config;
+  SplitConfig split_config;
+};
+
+class LogisticModelTree : public api::Plm, public api::PlmOracle {
+ public:
+  /// Trains an LMT on `train`.
+  static LogisticModelTree Fit(const data::Dataset& train,
+                               const LmtConfig& config);
+
+  // --- api::Plm ---
+  size_t dim() const override { return dim_; }
+  size_t num_classes() const override { return num_classes_; }
+  Vec Predict(const Vec& x) const override;
+
+  // --- api::PlmOracle ---
+  /// Region id = leaf index.
+  uint64_t RegionId(const Vec& x) const override;
+  api::LocalLinearModel LocalModelAt(const Vec& x) const override;
+
+  /// Index of the leaf whose cell contains x.
+  size_t LeafIndexAt(const Vec& x) const;
+
+  /// The leaf's logistic classifier (for inspection and tests).
+  const LogisticRegression& LeafClassifier(size_t leaf_index) const;
+
+  size_t num_leaves() const { return leaves_.size(); }
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t depth() const { return depth_; }
+
+  /// Save/Load a trained tree (text format; doubles serialized as %.17g so
+  /// round-trips are bit-exact).
+  Status Save(const std::string& path) const;
+  static Result<LogisticModelTree> Load(const std::string& path);
+
+ private:
+  // Flat node representation: internal nodes route, leaves classify.
+  struct Node {
+    bool is_leaf = false;
+    // Internal:
+    size_t feature = 0;
+    double threshold = 0.0;
+    size_t left = 0;   // node index
+    size_t right = 0;  // node index
+    // Leaf:
+    size_t leaf_index = 0;  // into leaves_
+  };
+
+  LogisticModelTree(size_t dim, size_t num_classes)
+      : dim_(dim), num_classes_(num_classes) {}
+
+  size_t BuildNode(const data::Dataset& train,
+                   const std::vector<size_t>& indices, size_t depth,
+                   const LmtConfig& config);
+
+  size_t dim_;
+  size_t num_classes_;
+  std::vector<Node> nodes_;  // nodes_[0] is the root
+  std::vector<LogisticRegression> leaves_;
+  size_t depth_ = 0;
+};
+
+}  // namespace openapi::lmt
+
+#endif  // OPENAPI_LMT_LMT_H_

@@ -1,0 +1,123 @@
+#include "lmt/logistic_regression.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace openapi::lmt {
+
+namespace {
+
+std::vector<size_t> AllIndices(size_t n) {
+  std::vector<size_t> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = i;
+  return out;
+}
+
+}  // namespace
+
+LogisticRegression::LogisticRegression(size_t dim, size_t num_classes)
+    : weights_(dim, num_classes), bias_(num_classes, 0.0) {
+  OPENAPI_CHECK_GT(dim, 0u);
+  OPENAPI_CHECK_GT(num_classes, 1u);
+}
+
+void LogisticRegression::Fit(const data::Dataset& dataset,
+                             const std::vector<size_t>& indices,
+                             const LogisticRegressionConfig& config) {
+  OPENAPI_CHECK_EQ(dataset.dim(), dim());
+  OPENAPI_CHECK_EQ(dataset.num_classes(), num_classes());
+  const std::vector<size_t> idx =
+      indices.empty() ? AllIndices(dataset.size()) : indices;
+  OPENAPI_CHECK(!idx.empty());
+
+  const size_t d = dim();
+  const size_t c_count = num_classes();
+  const double inv_n = 1.0 / static_cast<double>(idx.size());
+
+  // Reset to the zero model so Fit is deterministic and idempotent.
+  for (double& w : weights_.mutable_data()) w = 0.0;
+  for (double& b : bias_) b = 0.0;
+
+  double prev_loss = std::numeric_limits<double>::infinity();
+  Matrix grad_w(d, c_count);
+  Vec grad_b(c_count, 0.0);
+
+  for (size_t iter = 0; iter < config.max_iters; ++iter) {
+    for (double& g : grad_w.mutable_data()) g = 0.0;
+    for (double& g : grad_b) g = 0.0;
+    double loss = 0.0;
+
+    for (size_t i : idx) {
+      const Vec& x = dataset.x(i);
+      const size_t label = dataset.label(i);
+      Vec logits = weights_.MultiplyTransposed(x);
+      for (size_t c = 0; c < c_count; ++c) logits[c] += bias_[c];
+      Vec log_probs = linalg::LogSoftmax(logits);
+      loss += -log_probs[label];
+      for (size_t c = 0; c < c_count; ++c) {
+        double delta = std::exp(log_probs[c]) - (c == label ? 1.0 : 0.0);
+        grad_b[c] += delta;
+        if (delta == 0.0) continue;
+        for (size_t j = 0; j < d; ++j) {
+          if (x[j] != 0.0) grad_w(j, c) += delta * x[j];
+        }
+      }
+    }
+    loss *= inv_n;
+
+    // Gradient step followed by the L1 proximal (soft-threshold) operator.
+    const double lr = config.learning_rate;
+    const double shrink = lr * config.l1_penalty;
+    auto& w = weights_.mutable_data();
+    const auto& gw = grad_w.data();
+    for (size_t i = 0; i < w.size(); ++i) {
+      double updated = w[i] - lr * gw[i] * inv_n;
+      if (updated > shrink) {
+        w[i] = updated - shrink;
+      } else if (updated < -shrink) {
+        w[i] = updated + shrink;
+      } else {
+        w[i] = 0.0;
+      }
+    }
+    for (size_t c = 0; c < c_count; ++c) {
+      bias_[c] -= lr * grad_b[c] * inv_n;  // bias is not penalized
+    }
+
+    if (prev_loss - loss < config.tolerance && iter > 10) break;
+    prev_loss = loss;
+  }
+}
+
+Vec LogisticRegression::Predict(const Vec& x) const {
+  OPENAPI_CHECK_EQ(x.size(), dim());
+  Vec logits = weights_.MultiplyTransposed(x);
+  for (size_t c = 0; c < logits.size(); ++c) logits[c] += bias_[c];
+  return linalg::Softmax(logits);
+}
+
+double LogisticRegression::Accuracy(
+    const data::Dataset& dataset, const std::vector<size_t>& indices) const {
+  const std::vector<size_t> idx =
+      indices.empty() ? AllIndices(dataset.size()) : indices;
+  if (idx.empty()) return 0.0;
+  size_t correct = 0;
+  for (size_t i : idx) {
+    if (linalg::ArgMax(Predict(dataset.x(i))) == dataset.label(i)) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(idx.size());
+}
+
+double LogisticRegression::ZeroFraction() const {
+  size_t zeros = 0;
+  for (double w : weights_.data()) {
+    if (w == 0.0) ++zeros;
+  }
+  return static_cast<double>(zeros) /
+         static_cast<double>(weights_.data().size());
+}
+
+}  // namespace openapi::lmt

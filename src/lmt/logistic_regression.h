@@ -1,0 +1,66 @@
+// Multinomial (softmax) logistic regression with optional L1 sparsity.
+//
+// This is the leaf classifier of the Logistic Model Tree (the paper trains
+// "a sparse multinomial logistic regression classifier ... on each leaf
+// node"). Training is full-batch gradient descent with a proximal
+// (soft-threshold) step for the L1 penalty, which produces genuinely sparse
+// coefficients — the paper notes LMT decision features are visibly sparser
+// than the PLNN's (Fig. 2).
+
+#ifndef OPENAPI_LMT_LOGISTIC_REGRESSION_H_
+#define OPENAPI_LMT_LOGISTIC_REGRESSION_H_
+
+#include <vector>
+
+#include "api/plm.h"
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace openapi::lmt {
+
+using linalg::Matrix;
+using linalg::Vec;
+
+struct LogisticRegressionConfig {
+  size_t max_iters = 200;
+  double learning_rate = 0.5;
+  double l1_penalty = 1e-4;       // proximal soft-threshold strength
+  double tolerance = 1e-6;        // stop when mean-loss improvement < tol
+};
+
+class LogisticRegression {
+ public:
+  LogisticRegression(size_t dim, size_t num_classes);
+
+  /// Fits on the subset of `dataset` given by `indices` (all instances if
+  /// `indices` is empty). Deterministic: starts from zero weights.
+  void Fit(const data::Dataset& dataset, const std::vector<size_t>& indices,
+           const LogisticRegressionConfig& config);
+
+  /// softmax(W^T x + b).
+  Vec Predict(const Vec& x) const;
+
+  /// Accuracy on the subset of `dataset` given by `indices` (all if empty).
+  double Accuracy(const data::Dataset& dataset,
+                  const std::vector<size_t>& indices) const;
+
+  size_t dim() const { return weights_.rows(); }
+  size_t num_classes() const { return weights_.cols(); }
+
+  /// Weights as d x C (column c = weight vector of class c) and bias.
+  const Matrix& weights() const { return weights_; }
+  const Vec& bias() const { return bias_; }
+  Matrix& mutable_weights() { return weights_; }
+  Vec& mutable_bias() { return bias_; }
+
+  /// Fraction of exactly-zero weights (sparsity diagnostic).
+  double ZeroFraction() const;
+
+ private:
+  Matrix weights_;  // d x C
+  Vec bias_;        // C
+};
+
+}  // namespace openapi::lmt
+
+#endif  // OPENAPI_LMT_LOGISTIC_REGRESSION_H_

@@ -1,0 +1,130 @@
+#include "lmt/split.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace openapi::lmt {
+
+namespace {
+
+double EntropyFromCounts(const std::vector<size_t>& counts, size_t total) {
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  const double inv_total = 1.0 / static_cast<double>(total);
+  for (size_t c : counts) {
+    if (c == 0) continue;
+    double p = static_cast<double>(c) * inv_total;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+}  // namespace
+
+double Entropy(const data::Dataset& dataset,
+               const std::vector<size_t>& indices) {
+  std::vector<size_t> counts(dataset.num_classes(), 0);
+  for (size_t i : indices) ++counts[dataset.label(i)];
+  return EntropyFromCounts(counts, indices.size());
+}
+
+std::optional<Split> FindBestSplit(const data::Dataset& dataset,
+                                   const std::vector<size_t>& indices,
+                                   const SplitConfig& config) {
+  const size_t n = indices.size();
+  if (n < 2 * config.min_leaf_size) return std::nullopt;
+
+  const double parent_entropy = Entropy(dataset, indices);
+  if (parent_entropy == 0.0) return std::nullopt;  // pure node
+
+  std::optional<Split> best;
+
+  // Reused per-feature scratch: (value, label) pairs sorted by value.
+  std::vector<std::pair<double, size_t>> sorted(n);
+  const size_t num_classes = dataset.num_classes();
+  std::vector<size_t> left_counts(num_classes);
+  std::vector<size_t> right_counts(num_classes);
+
+  for (size_t feature = 0; feature < dataset.dim(); ++feature) {
+    for (size_t i = 0; i < n; ++i) {
+      size_t idx = indices[i];
+      sorted[i] = {dataset.x(idx)[feature], dataset.label(idx)};
+    }
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.front().first == sorted.back().first) continue;  // constant
+
+    // Candidate boundaries: positions where the value changes and the
+    // labels on either side differ (C4.5's boundary-point theorem says
+    // optimal thresholds lie there). Capped at max_thresholds by striding.
+    std::vector<size_t> boundaries;
+    for (size_t i = 0; i + 1 < n; ++i) {
+      if (sorted[i].first != sorted[i + 1].first &&
+          sorted[i].second != sorted[i + 1].second) {
+        boundaries.push_back(i);
+      }
+    }
+    if (boundaries.empty()) continue;
+    size_t stride = std::max<size_t>(
+        1, boundaries.size() / std::max<size_t>(1, config.max_thresholds));
+
+    // Sweep: maintain class counts left/right of the boundary.
+    std::fill(left_counts.begin(), left_counts.end(), 0);
+    std::fill(right_counts.begin(), right_counts.end(), 0);
+    for (size_t i = 0; i < n; ++i) ++right_counts[sorted[i].second];
+    size_t cursor = 0;  // first element not yet moved to the left side
+
+    for (size_t bi = 0; bi < boundaries.size(); bi += stride) {
+      size_t boundary = boundaries[bi];
+      while (cursor <= boundary) {
+        ++left_counts[sorted[cursor].second];
+        --right_counts[sorted[cursor].second];
+        ++cursor;
+      }
+      size_t left_n = cursor;
+      size_t right_n = n - cursor;
+      if (left_n < config.min_leaf_size || right_n < config.min_leaf_size) {
+        continue;
+      }
+      double h_left = EntropyFromCounts(left_counts, left_n);
+      double h_right = EntropyFromCounts(right_counts, right_n);
+      double p_left = static_cast<double>(left_n) / static_cast<double>(n);
+      double p_right = 1.0 - p_left;
+      double gain = parent_entropy - p_left * h_left - p_right * h_right;
+      // Gain ratio: normalize by the split's own entropy.
+      double split_info =
+          -(p_left * std::log2(p_left) + p_right * std::log2(p_right));
+      if (split_info <= 0.0) continue;
+      double ratio = gain / split_info;
+      if (ratio < config.min_gain_ratio) continue;
+      if (!best || ratio > best->gain_ratio) {
+        Split s;
+        s.feature = feature;
+        s.threshold =
+            0.5 * (sorted[boundary].first + sorted[boundary + 1].first);
+        s.gain_ratio = ratio;
+        s.left_count = left_n;
+        s.right_count = right_n;
+        best = s;
+      }
+    }
+  }
+  return best;
+}
+
+void ApplySplit(const data::Dataset& dataset,
+                const std::vector<size_t>& indices, const Split& split,
+                std::vector<size_t>* left, std::vector<size_t>* right) {
+  left->clear();
+  right->clear();
+  for (size_t i : indices) {
+    if (dataset.x(i)[split.feature] <= split.threshold) {
+      left->push_back(i);
+    } else {
+      right->push_back(i);
+    }
+  }
+}
+
+}  // namespace openapi::lmt

@@ -1,0 +1,51 @@
+// C4.5-style split selection for the logistic model tree.
+//
+// Following the paper ("we use the standard C4.5 algorithm to select the
+// pivot feature for each node"), candidate splits are (feature, threshold)
+// pairs on continuous features; the winner maximizes the information gain
+// ratio. Thresholds are midpoints between adjacent distinct feature values
+// whose class labels differ — the classic C4.5 candidate set.
+
+#ifndef OPENAPI_LMT_SPLIT_H_
+#define OPENAPI_LMT_SPLIT_H_
+
+#include <optional>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace openapi::lmt {
+
+struct Split {
+  size_t feature = 0;
+  double threshold = 0.0;  // x[feature] <= threshold goes left
+  double gain_ratio = 0.0;
+  size_t left_count = 0;
+  size_t right_count = 0;
+};
+
+struct SplitConfig {
+  size_t min_leaf_size = 1;       // both sides must have at least this many
+  double min_gain_ratio = 1e-6;   // reject splits below this
+  size_t max_thresholds = 32;     // cap candidate thresholds per feature
+};
+
+/// Shannon entropy (bits) of the labels selected by `indices`.
+double Entropy(const data::Dataset& dataset,
+               const std::vector<size_t>& indices);
+
+/// Best C4.5 split over all features for the node given by `indices`, or
+/// nullopt when no admissible split exists (pure node, constant features,
+/// or min_leaf_size unsatisfiable).
+std::optional<Split> FindBestSplit(const data::Dataset& dataset,
+                                   const std::vector<size_t>& indices,
+                                   const SplitConfig& config);
+
+/// Partitions `indices` by the split predicate (<= goes left).
+void ApplySplit(const data::Dataset& dataset,
+                const std::vector<size_t>& indices, const Split& split,
+                std::vector<size_t>* left, std::vector<size_t>* right);
+
+}  // namespace openapi::lmt
+
+#endif  // OPENAPI_LMT_SPLIT_H_

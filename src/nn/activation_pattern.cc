@@ -1,0 +1,31 @@
+#include "nn/activation_pattern.h"
+
+namespace openapi::nn {
+
+void ActivationPattern::AppendLayer(
+    const std::vector<double>& pre_activation) {
+  bits_.reserve(bits_.size() + pre_activation.size());
+  for (double z : pre_activation) bits_.push_back(z > 0.0);
+}
+
+size_t ActivationPattern::num_active() const {
+  size_t count = 0;
+  for (bool b : bits_) count += b ? 1 : 0;
+  return count;
+}
+
+uint64_t ActivationPattern::Hash() const {
+  // FNV-1a over the bits, one byte per bit for simplicity (patterns are a
+  // few hundred bits; this is not a hot path).
+  uint64_t h = 1469598103934665603ULL;
+  for (bool b : bits_) {
+    h ^= b ? 0x9eULL : 0x31ULL;
+    h *= 1099511628211ULL;
+  }
+  // Mix in the length so patterns of different sizes never collide trivially.
+  h ^= static_cast<uint64_t>(bits_.size());
+  h *= 1099511628211ULL;
+  return h;
+}
+
+}  // namespace openapi::nn

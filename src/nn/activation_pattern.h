@@ -1,0 +1,41 @@
+// ReLU activation patterns — the region ids of a piecewise linear network.
+//
+// Inside a ReLU network, the set of on/off decisions of all hidden units is
+// constant across each locally linear region and changes exactly when a
+// region boundary is crossed (Montufar et al., Chu et al. [8]). We encode
+// the pattern as a bit vector and hash it to a 64-bit region id.
+
+#ifndef OPENAPI_NN_ACTIVATION_PATTERN_H_
+#define OPENAPI_NN_ACTIVATION_PATTERN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace openapi::nn {
+
+class ActivationPattern {
+ public:
+  ActivationPattern() = default;
+
+  /// Appends the on/off bits of one layer's pre-activations (z > 0).
+  void AppendLayer(const std::vector<double>& pre_activation);
+
+  size_t num_bits() const { return bits_.size(); }
+  bool bit(size_t i) const { return bits_[i]; }
+
+  /// Number of active (on) units.
+  size_t num_active() const;
+
+  /// 64-bit FNV-1a hash of the bit string; used as the region id.
+  uint64_t Hash() const;
+
+  bool operator==(const ActivationPattern& other) const = default;
+
+ private:
+  std::vector<bool> bits_;
+};
+
+}  // namespace openapi::nn
+
+#endif  // OPENAPI_NN_ACTIVATION_PATTERN_H_

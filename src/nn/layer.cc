@@ -1,0 +1,24 @@
+#include "nn/layer.h"
+
+#include <cmath>
+
+namespace openapi::nn {
+
+Layer::Layer(size_t in_dim, size_t out_dim)
+    : weights_(out_dim, in_dim), bias_(out_dim, 0.0) {}
+
+void Layer::InitHe(util::Rng* rng) {
+  const double stddev = std::sqrt(2.0 / static_cast<double>(in_dim()));
+  for (double& w : weights_.mutable_data()) {
+    w = rng->Gaussian(0.0, stddev);
+  }
+  for (double& b : bias_) b = 0.0;
+}
+
+Vec Layer::Forward(const Vec& x) const {
+  Vec z = weights_.Multiply(x);
+  for (size_t i = 0; i < z.size(); ++i) z[i] += bias_[i];
+  return z;
+}
+
+}  // namespace openapi::nn

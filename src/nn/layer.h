@@ -1,0 +1,45 @@
+// A fully-connected layer: z = W x + b.
+//
+// Weights are stored as an (out x in) matrix so a forward pass is one
+// row-major matrix-vector product. Initialization is He-normal, the
+// standard choice for ReLU networks (the paper's PLNN uses ReLU).
+
+#ifndef OPENAPI_NN_LAYER_H_
+#define OPENAPI_NN_LAYER_H_
+
+#include "linalg/matrix.h"
+#include "linalg/vector_ops.h"
+#include "util/rng.h"
+
+namespace openapi::nn {
+
+using linalg::Matrix;
+using linalg::Vec;
+
+class Layer {
+ public:
+  /// Zero-initialized layer (weights filled in by Load or InitHe).
+  Layer(size_t in_dim, size_t out_dim);
+
+  /// He-normal initialization: W_ij ~ N(0, 2/in_dim), b = 0.
+  void InitHe(util::Rng* rng);
+
+  size_t in_dim() const { return weights_.cols(); }
+  size_t out_dim() const { return weights_.rows(); }
+
+  /// z = W x + b.
+  Vec Forward(const Vec& x) const;
+
+  const Matrix& weights() const { return weights_; }
+  const Vec& bias() const { return bias_; }
+  Matrix& mutable_weights() { return weights_; }
+  Vec& mutable_bias() { return bias_; }
+
+ private:
+  Matrix weights_;  // out x in
+  Vec bias_;        // out
+};
+
+}  // namespace openapi::nn
+
+#endif  // OPENAPI_NN_LAYER_H_

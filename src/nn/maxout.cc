@@ -1,0 +1,115 @@
+#include "nn/maxout.h"
+
+namespace openapi::nn {
+
+MaxoutLayer::MaxoutLayer(size_t in_dim, size_t out_dim, size_t pieces) {
+  OPENAPI_CHECK_GT(pieces, 0u);
+  pieces_.reserve(pieces);
+  for (size_t k = 0; k < pieces; ++k) {
+    pieces_.emplace_back(in_dim, out_dim);
+  }
+}
+
+void MaxoutLayer::InitHe(util::Rng* rng) {
+  for (Layer& piece : pieces_) piece.InitHe(rng);
+}
+
+Vec MaxoutLayer::Forward(const Vec& x) const {
+  Vec best = pieces_[0].Forward(x);
+  for (size_t k = 1; k < pieces_.size(); ++k) {
+    Vec z = pieces_[k].Forward(x);
+    for (size_t j = 0; j < best.size(); ++j) {
+      best[j] = std::max(best[j], z[j]);
+    }
+  }
+  return best;
+}
+
+std::vector<size_t> MaxoutLayer::Selection(const Vec& x) const {
+  std::vector<Vec> values;
+  values.reserve(pieces_.size());
+  for (const Layer& piece : pieces_) values.push_back(piece.Forward(x));
+  std::vector<size_t> selection(out_dim(), 0);
+  for (size_t j = 0; j < out_dim(); ++j) {
+    for (size_t k = 1; k < pieces_.size(); ++k) {
+      if (values[k][j] > values[selection[j]][j]) selection[j] = k;
+    }
+  }
+  return selection;
+}
+
+MaxoutPlnn::MaxoutPlnn(const std::vector<size_t>& layer_sizes, size_t pieces,
+                       util::Rng* rng)
+    : output_(layer_sizes[layer_sizes.size() - 2], layer_sizes.back()) {
+  OPENAPI_CHECK_GE(layer_sizes.size(), 2u);
+  hidden_.reserve(layer_sizes.size() - 2);
+  for (size_t i = 0; i + 2 < layer_sizes.size(); ++i) {
+    hidden_.emplace_back(layer_sizes[i], layer_sizes[i + 1], pieces);
+    hidden_.back().InitHe(rng);
+  }
+  output_.InitHe(rng);
+}
+
+size_t MaxoutPlnn::dim() const {
+  return hidden_.empty() ? output_.in_dim() : hidden_[0].in_dim();
+}
+
+Vec MaxoutPlnn::Logits(const Vec& x) const {
+  OPENAPI_CHECK_EQ(x.size(), dim());
+  Vec h = x;
+  for (const MaxoutLayer& layer : hidden_) h = layer.Forward(h);
+  return output_.Forward(h);
+}
+
+Vec MaxoutPlnn::Predict(const Vec& x) const {
+  return linalg::Softmax(Logits(x));
+}
+
+uint64_t MaxoutPlnn::RegionId(const Vec& x) const {
+  OPENAPI_CHECK_EQ(x.size(), dim());
+  // FNV-1a over the winning-piece indices of all hidden units.
+  uint64_t h = 1469598103934665603ULL;
+  Vec activation = x;
+  for (const MaxoutLayer& layer : hidden_) {
+    for (size_t winner : layer.Selection(activation)) {
+      h ^= static_cast<uint64_t>(winner) + 0x9e3779b97f4a7c15ULL;
+      h *= 1099511628211ULL;
+    }
+    activation = layer.Forward(activation);
+  }
+  return h;
+}
+
+api::LocalLinearModel MaxoutPlnn::LocalModelAt(const Vec& x) const {
+  OPENAPI_CHECK_EQ(x.size(), dim());
+  // With the winning pieces frozen, every hidden unit is one affine map;
+  // compose them exactly as in the ReLU case, but selecting rows from the
+  // winning piece instead of masking.
+  linalg::Matrix a = linalg::Matrix::Identity(dim());
+  Vec v(dim(), 0.0);  // running affine map: h = a * x + v
+  Vec activation = x;
+  for (const MaxoutLayer& layer : hidden_) {
+    std::vector<size_t> selection = layer.Selection(activation);
+    linalg::Matrix layer_w(layer.out_dim(), layer.in_dim());
+    Vec layer_b(layer.out_dim());
+    for (size_t j = 0; j < layer.out_dim(); ++j) {
+      const Layer& winner = layer.piece(selection[j]);
+      for (size_t i = 0; i < layer.in_dim(); ++i) {
+        layer_w(j, i) = winner.weights()(j, i);
+      }
+      layer_b[j] = winner.bias()[j];
+    }
+    Vec new_v = layer_w.Multiply(v);
+    for (size_t j = 0; j < new_v.size(); ++j) new_v[j] += layer_b[j];
+    a = layer_w.Multiply(a);
+    v = std::move(new_v);
+    activation = layer.Forward(activation);
+  }
+  // Output head.
+  Vec out_v = output_.weights().Multiply(v);
+  for (size_t c = 0; c < out_v.size(); ++c) out_v[c] += output_.bias()[c];
+  linalg::Matrix out_a = output_.weights().Multiply(a);
+  return api::LocalLinearModel{out_a.Transposed(), std::move(out_v)};
+}
+
+}  // namespace openapi::nn

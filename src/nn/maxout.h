@@ -1,0 +1,80 @@
+// MaxOut network (Goodfellow et al. [15]) — the other piecewise linear
+// activation family the paper names alongside ReLU (Sec. I).
+//
+// A MaxOut unit computes max_k (w_k^T x + b_k) over its k "pieces"; a
+// network of such units is piecewise linear, with locally linear regions
+// indexed by which piece wins at every unit. MaxoutPlnn implements both
+// the black-box Plm interface and the white-box oracle: the winning-piece
+// selection pattern is the region id, and freezing the selections turns
+// the network into an affine map whose exact (W, b) we compose layer by
+// layer — the MaxOut analogue of OpenBox.
+//
+// OpenAPI itself needs nothing MaxOut-specific: the interpret/ tests use
+// this class to demonstrate the method's family-independence.
+
+#ifndef OPENAPI_NN_MAXOUT_H_
+#define OPENAPI_NN_MAXOUT_H_
+
+#include <vector>
+
+#include "api/plm.h"
+#include "nn/layer.h"
+#include "util/rng.h"
+
+namespace openapi::nn {
+
+/// One MaxOut layer: out_dim units, each the max of `pieces` affine maps.
+class MaxoutLayer {
+ public:
+  MaxoutLayer(size_t in_dim, size_t out_dim, size_t pieces);
+
+  void InitHe(util::Rng* rng);
+
+  size_t in_dim() const { return pieces_[0].in_dim(); }
+  size_t out_dim() const { return pieces_[0].out_dim(); }
+  size_t num_pieces() const { return pieces_.size(); }
+
+  /// h_j = max_k (piece_k(x))_j.
+  Vec Forward(const Vec& x) const;
+
+  /// Winning piece index per unit at input x (ties -> lowest index).
+  std::vector<size_t> Selection(const Vec& x) const;
+
+  const Layer& piece(size_t k) const { return pieces_[k]; }
+  Layer& mutable_piece(size_t k) { return pieces_[k]; }
+
+ private:
+  std::vector<Layer> pieces_;  // all shaped (in_dim -> out_dim)
+};
+
+/// MaxOut hidden layers followed by a linear softmax head.
+class MaxoutPlnn : public api::Plm, public api::PlmOracle {
+ public:
+  /// `layer_sizes` = {d, h_1, ..., h_L, C}; every hidden layer uses
+  /// `pieces` MaxOut pieces. Weights are He-initialized from `rng`.
+  MaxoutPlnn(const std::vector<size_t>& layer_sizes, size_t pieces,
+             util::Rng* rng);
+
+  // --- api::Plm ---
+  size_t dim() const override;
+  size_t num_classes() const override { return output_.out_dim(); }
+  Vec Predict(const Vec& x) const override;
+
+  // --- api::PlmOracle ---
+  uint64_t RegionId(const Vec& x) const override;
+  api::LocalLinearModel LocalModelAt(const Vec& x) const override;
+
+  Vec Logits(const Vec& x) const;
+
+  size_t num_hidden_layers() const { return hidden_.size(); }
+  const MaxoutLayer& hidden_layer(size_t i) const { return hidden_[i]; }
+  const Layer& output_layer() const { return output_; }
+
+ private:
+  std::vector<MaxoutLayer> hidden_;
+  Layer output_;
+};
+
+}  // namespace openapi::nn
+
+#endif  // OPENAPI_NN_MAXOUT_H_

@@ -1,0 +1,166 @@
+#include "nn/plnn.h"
+
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace openapi::nn {
+
+Plnn::Plnn(const std::vector<size_t>& layer_sizes, util::Rng* rng) {
+  OPENAPI_CHECK_GE(layer_sizes.size(), 2u);
+  for (size_t s : layer_sizes) OPENAPI_CHECK_GT(s, 0u);
+  layers_.reserve(layer_sizes.size() - 1);
+  for (size_t i = 0; i + 1 < layer_sizes.size(); ++i) {
+    layers_.emplace_back(layer_sizes[i], layer_sizes[i + 1]);
+    layers_.back().InitHe(rng);
+  }
+}
+
+Vec Plnn::Logits(const Vec& x) const {
+  OPENAPI_CHECK_EQ(x.size(), dim());
+  Vec h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].Forward(h);
+    if (i + 1 < layers_.size()) {
+      for (double& v : h) v = v > 0.0 ? v : 0.0;  // ReLU
+    }
+  }
+  return h;
+}
+
+Vec Plnn::Predict(const Vec& x) const { return linalg::Softmax(Logits(x)); }
+
+ActivationPattern Plnn::PatternAt(const Vec& x) const {
+  OPENAPI_CHECK_EQ(x.size(), dim());
+  ActivationPattern pattern;
+  Vec h = x;
+  for (size_t i = 0; i + 1 < layers_.size(); ++i) {
+    h = layers_[i].Forward(h);
+    pattern.AppendLayer(h);
+    for (double& v : h) v = v > 0.0 ? v : 0.0;
+  }
+  return pattern;
+}
+
+uint64_t Plnn::RegionId(const Vec& x) const { return PatternAt(x).Hash(); }
+
+api::LocalLinearModel Plnn::LocalModelAt(const Vec& x) const {
+  OPENAPI_CHECK_EQ(x.size(), dim());
+  // With the ReLU masks m_i at x frozen, the network is the affine map
+  //   logits = W_L M_{L-1} W_{L-1} ... M_1 W_1 x + (bias terms),
+  // where M_i = diag(m_i). We accumulate the effective (A, v) with
+  // logits = A x + v layer by layer, zeroing masked rows after each hidden
+  // layer. This is exactly OpenBox's per-region classifier extraction.
+  Vec h = x;
+  Matrix a = layers_[0].weights();      // running A: (units of layer) x d
+  Vec v = layers_[0].bias();            // running v
+  for (size_t i = 0; i + 1 < layers_.size(); ++i) {
+    // Mask from this hidden layer's pre-activations.
+    Vec z = layers_[i].Forward(h);
+    for (size_t r = 0; r < z.size(); ++r) {
+      if (z[r] <= 0.0) {
+        double* row = a.RowPtr(r);
+        for (size_t c = 0; c < a.cols(); ++c) row[c] = 0.0;
+        v[r] = 0.0;
+      }
+    }
+    // Advance the running affine map through the next layer.
+    const Layer& next = layers_[i + 1];
+    a = next.weights().Multiply(a);
+    Vec new_v = next.weights().Multiply(v);
+    for (size_t r = 0; r < new_v.size(); ++r) new_v[r] += next.bias()[r];
+    v = std::move(new_v);
+    // Advance the concrete activation for the next mask.
+    for (double& value : z) value = value > 0.0 ? value : 0.0;
+    h = std::move(z);
+  }
+  // a is now C x d; the interface stores W as d x C (column c = W_c).
+  return api::LocalLinearModel{a.Transposed(), std::move(v)};
+}
+
+std::vector<Vec> Plnn::ForwardAll(const Vec& x) const {
+  OPENAPI_CHECK_EQ(x.size(), dim());
+  std::vector<Vec> activations;
+  activations.reserve(layers_.size() + 1);
+  activations.push_back(x);
+  Vec h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].Forward(h);
+    if (i + 1 < layers_.size()) {
+      for (double& v : h) v = v > 0.0 ? v : 0.0;
+    }
+    activations.push_back(h);
+  }
+  return activations;
+}
+
+size_t Plnn::num_hidden_units() const {
+  size_t total = 0;
+  for (size_t i = 0; i + 1 < layers_.size(); ++i) {
+    total += layers_[i].out_dim();
+  }
+  return total;
+}
+
+Status Plnn::Save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  out << "plnn v1\n" << layers_.size() << "\n";
+  for (const Layer& layer : layers_) {
+    out << layer.in_dim() << " " << layer.out_dim() << "\n";
+    for (double w : layer.weights().data()) {
+      out << util::StrFormat("%.17g\n", w);
+    }
+    for (double b : layer.bias()) {
+      out << util::StrFormat("%.17g\n", b);
+    }
+  }
+  if (!out.good()) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<Plnn> Plnn::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open " + path);
+  }
+  std::string magic, version;
+  in >> magic >> version;
+  if (magic != "plnn" || version != "v1") {
+    return Status::IoError(path + ": not a plnn v1 file");
+  }
+  size_t num_layers = 0;
+  in >> num_layers;
+  if (!in.good() || num_layers == 0 || num_layers > 1024) {
+    return Status::IoError(path + ": bad layer count");
+  }
+  std::vector<Layer> layers;
+  layers.reserve(num_layers);
+  for (size_t i = 0; i < num_layers; ++i) {
+    size_t in_dim = 0, out_dim = 0;
+    in >> in_dim >> out_dim;
+    if (!in.good() || in_dim == 0 || out_dim == 0) {
+      return Status::IoError(path + ": bad layer shape");
+    }
+    Layer layer(in_dim, out_dim);
+    for (double& w : layer.mutable_weights().mutable_data()) {
+      in >> w;
+    }
+    for (double& b : layer.mutable_bias()) {
+      in >> b;
+    }
+    if (in.fail()) return Status::IoError(path + ": truncated weights");
+    layers.push_back(std::move(layer));
+  }
+  // Validate the chain of shapes.
+  for (size_t i = 0; i + 1 < layers.size(); ++i) {
+    if (layers[i].out_dim() != layers[i + 1].in_dim()) {
+      return Status::IoError(path + ": inconsistent layer shapes");
+    }
+  }
+  return Plnn(std::move(layers));
+}
+
+}  // namespace openapi::nn

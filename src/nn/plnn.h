@@ -1,0 +1,71 @@
+// Piecewise Linear Neural Network: a fully-connected ReLU network with a
+// softmax output head — the PLNN family the paper interprets (Sec. V trains
+// a 784-256-128-100-10 ReLU net; the layer sizes here are configurable).
+//
+// Plnn implements both the black-box `api::Plm` interface (Predict) and the
+// white-box `api::PlmOracle` interface: the activation pattern of the
+// hidden units identifies the locally linear region, and composing the
+// masked layer maps yields the region's exact effective (W, b) — the same
+// computation OpenBox [8] performs, used here as evaluation ground truth.
+
+#ifndef OPENAPI_NN_PLNN_H_
+#define OPENAPI_NN_PLNN_H_
+
+#include <string>
+#include <vector>
+
+#include "api/plm.h"
+#include "nn/activation_pattern.h"
+#include "nn/layer.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace openapi::nn {
+
+class Plnn : public api::Plm, public api::PlmOracle {
+ public:
+  /// `layer_sizes` = {d, h_1, ..., h_L, C}; at least {d, C}. Weights are
+  /// He-initialized from `rng`.
+  Plnn(const std::vector<size_t>& layer_sizes, util::Rng* rng);
+
+  // --- api::Plm ---
+  size_t dim() const override { return layers_.front().in_dim(); }
+  size_t num_classes() const override { return layers_.back().out_dim(); }
+  Vec Predict(const Vec& x) const override;
+
+  // --- api::PlmOracle ---
+  uint64_t RegionId(const Vec& x) const override;
+  api::LocalLinearModel LocalModelAt(const Vec& x) const override;
+
+  /// Pre-softmax logits at x.
+  Vec Logits(const Vec& x) const;
+
+  /// The ReLU on/off pattern at x across all hidden layers.
+  ActivationPattern PatternAt(const Vec& x) const;
+
+  /// Forward pass keeping every layer's post-activation; used by the
+  /// trainer's backprop. activations[0] = x, activations[i] = output of
+  /// layer i-1 after ReLU (no ReLU on the last layer).
+  std::vector<Vec> ForwardAll(const Vec& x) const;
+
+  size_t num_layers() const { return layers_.size(); }
+  const Layer& layer(size_t i) const { return layers_[i]; }
+  Layer& mutable_layer(size_t i) { return layers_[i]; }
+
+  /// Total number of hidden units (= activation pattern length).
+  size_t num_hidden_units() const;
+
+  /// Save/Load a trained network (simple text format, doubles as %.17g so
+  /// round-trips are bit-exact).
+  Status Save(const std::string& path) const;
+  static Result<Plnn> Load(const std::string& path);
+
+ private:
+  explicit Plnn(std::vector<Layer> layers) : layers_(std::move(layers)) {}
+
+  std::vector<Layer> layers_;
+};
+
+}  // namespace openapi::nn
+
+#endif  // OPENAPI_NN_PLNN_H_

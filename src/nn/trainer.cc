@@ -1,0 +1,191 @@
+#include "nn/trainer.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace openapi::nn {
+
+Trainer::Trainer(Plnn* model, TrainerConfig config)
+    : model_(model), config_(config) {
+  OPENAPI_CHECK(model != nullptr);
+  OPENAPI_CHECK_GT(config_.batch_size, 0u);
+  moments_.reserve(model_->num_layers());
+  for (size_t i = 0; i < model_->num_layers(); ++i) {
+    const Layer& layer = model_->layer(i);
+    moments_.push_back(Moments{
+        linalg::Matrix(layer.out_dim(), layer.in_dim()),
+        linalg::Matrix(layer.out_dim(), layer.in_dim()),
+        Vec(layer.out_dim(), 0.0),
+        Vec(layer.out_dim(), 0.0),
+    });
+  }
+}
+
+std::vector<EpochStats> Trainer::Fit(const data::Dataset& train,
+                                     util::Rng* rng) {
+  OPENAPI_CHECK_EQ(train.dim(), model_->dim());
+  OPENAPI_CHECK(!train.empty());
+  std::vector<EpochStats> stats;
+  std::vector<size_t> order(train.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng->Shuffle(&order);
+    double loss_sum = 0.0;
+    size_t num_batches = 0;
+    for (size_t start = 0; start < order.size();
+         start += config_.batch_size) {
+      size_t end = std::min(start + config_.batch_size, order.size());
+      std::vector<size_t> batch(order.begin() + start, order.begin() + end);
+      loss_sum += Step(train, batch);
+      ++num_batches;
+    }
+    EpochStats s;
+    s.epoch = epoch;
+    s.mean_loss = loss_sum / static_cast<double>(num_batches);
+    s.train_accuracy = Accuracy(*model_, train);
+    if (config_.verbose) {
+      OPENAPI_LOG(Info) << "epoch " << epoch << " loss " << s.mean_loss
+                        << " acc " << s.train_accuracy;
+    }
+    stats.push_back(s);
+  }
+  return stats;
+}
+
+double Trainer::Step(const data::Dataset& dataset,
+                     const std::vector<size_t>& batch_indices) {
+  OPENAPI_CHECK(!batch_indices.empty());
+  const size_t num_layers = model_->num_layers();
+
+  std::vector<linalg::Matrix> grad_w;
+  std::vector<Vec> grad_b;
+  grad_w.reserve(num_layers);
+  grad_b.reserve(num_layers);
+  for (size_t i = 0; i < num_layers; ++i) {
+    const Layer& layer = model_->layer(i);
+    grad_w.emplace_back(layer.out_dim(), layer.in_dim());
+    grad_b.emplace_back(layer.out_dim(), 0.0);
+  }
+
+  double loss_sum = 0.0;
+  for (size_t idx : batch_indices) {
+    const Vec& x = dataset.x(idx);
+    const size_t label = dataset.label(idx);
+
+    std::vector<Vec> acts = model_->ForwardAll(x);
+    const Vec& logits = acts.back();
+    Vec log_probs = linalg::LogSoftmax(logits);
+    loss_sum += -log_probs[label];
+
+    // delta at the output: softmax(logits) - onehot(label).
+    Vec delta(logits.size());
+    for (size_t c = 0; c < logits.size(); ++c) {
+      delta[c] = std::exp(log_probs[c]) - (c == label ? 1.0 : 0.0);
+    }
+
+    for (size_t li = num_layers; li-- > 0;) {
+      const Vec& input = acts[li];  // post-activation input to layer li
+      // Accumulate dL/dW = delta * input^T and dL/db = delta.
+      linalg::Matrix& gw = grad_w[li];
+      for (size_t r = 0; r < delta.size(); ++r) {
+        double dr = delta[r];
+        if (dr == 0.0) continue;
+        double* row = gw.RowPtr(r);
+        for (size_t c = 0; c < input.size(); ++c) row[c] += dr * input[c];
+        grad_b[li][r] += dr;
+      }
+      if (li == 0) break;
+      // Propagate: delta_prev = (W^T delta) * relu'(z_prev). Post-ReLU
+      // activation > 0 iff pre-activation > 0, so acts[li] doubles as the
+      // derivative mask.
+      Vec prev = model_->layer(li).weights().MultiplyTransposed(delta);
+      for (size_t c = 0; c < prev.size(); ++c) {
+        if (acts[li][c] <= 0.0) prev[c] = 0.0;
+      }
+      delta = std::move(prev);
+    }
+  }
+
+  ApplyGradients(grad_w, grad_b, batch_indices.size());
+  return loss_sum / static_cast<double>(batch_indices.size());
+}
+
+void Trainer::ApplyGradients(const std::vector<linalg::Matrix>& grad_w,
+                             const std::vector<Vec>& grad_b,
+                             size_t batch_size) {
+  ++step_count_;
+  const double scale = 1.0 / static_cast<double>(batch_size);
+  const double lr = config_.learning_rate;
+
+  for (size_t li = 0; li < model_->num_layers(); ++li) {
+    Layer& layer = model_->mutable_layer(li);
+    auto& weights = layer.mutable_weights().mutable_data();
+    const auto& gw = grad_w[li].data();
+    auto& bias = layer.mutable_bias();
+    const auto& gb = grad_b[li];
+
+    if (!config_.use_adam) {
+      for (size_t i = 0; i < weights.size(); ++i) {
+        double g = gw[i] * scale + config_.weight_decay * weights[i];
+        weights[i] -= lr * g;
+      }
+      for (size_t i = 0; i < bias.size(); ++i) {
+        bias[i] -= lr * gb[i] * scale;
+      }
+      continue;
+    }
+
+    Moments& mom = moments_[li];
+    auto& mw = mom.m_w.mutable_data();
+    auto& vw = mom.v_w.mutable_data();
+    const double b1 = config_.beta1;
+    const double b2 = config_.beta2;
+    const double bias_corr1 =
+        1.0 - std::pow(b1, static_cast<double>(step_count_));
+    const double bias_corr2 =
+        1.0 - std::pow(b2, static_cast<double>(step_count_));
+
+    for (size_t i = 0; i < weights.size(); ++i) {
+      double g = gw[i] * scale + config_.weight_decay * weights[i];
+      mw[i] = b1 * mw[i] + (1.0 - b1) * g;
+      vw[i] = b2 * vw[i] + (1.0 - b2) * g * g;
+      double m_hat = mw[i] / bias_corr1;
+      double v_hat = vw[i] / bias_corr2;
+      weights[i] -= lr * m_hat / (std::sqrt(v_hat) + config_.epsilon);
+    }
+    for (size_t i = 0; i < bias.size(); ++i) {
+      double g = gb[i] * scale;
+      mom.m_b[i] = b1 * mom.m_b[i] + (1.0 - b1) * g;
+      mom.v_b[i] = b2 * mom.v_b[i] + (1.0 - b2) * g * g;
+      double m_hat = mom.m_b[i] / bias_corr1;
+      double v_hat = mom.v_b[i] / bias_corr2;
+      bias[i] -= lr * m_hat / (std::sqrt(v_hat) + config_.epsilon);
+    }
+  }
+}
+
+double Accuracy(const api::Plm& model, const data::Dataset& dataset) {
+  if (dataset.empty()) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    Vec y = model.Predict(dataset.x(i));
+    if (linalg::ArgMax(y) == dataset.label(i)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(dataset.size());
+}
+
+double AverageCrossEntropy(const api::Plm& model,
+                           const data::Dataset& dataset) {
+  if (dataset.empty()) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    Vec y = model.Predict(dataset.x(i));
+    double p = std::max(y[dataset.label(i)], 1e-300);
+    sum += -std::log(p);
+  }
+  return sum / static_cast<double>(dataset.size());
+}
+
+}  // namespace openapi::nn

@@ -1,0 +1,72 @@
+// Mini-batch trainer for Plnn: softmax cross-entropy loss, backprop, and an
+// Adam (or plain SGD) optimizer. This is the from-scratch substitute for
+// the PyTorch training loop the paper uses to fit its PLNN targets.
+
+#ifndef OPENAPI_NN_TRAINER_H_
+#define OPENAPI_NN_TRAINER_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/plnn.h"
+#include "util/rng.h"
+
+namespace openapi::nn {
+
+struct TrainerConfig {
+  size_t epochs = 20;
+  size_t batch_size = 32;
+  double learning_rate = 1e-3;
+  double beta1 = 0.9;          // Adam first-moment decay
+  double beta2 = 0.999;        // Adam second-moment decay
+  double epsilon = 1e-8;       // Adam denominator floor
+  double weight_decay = 0.0;   // L2 penalty coefficient
+  bool use_adam = true;        // false = plain SGD
+  bool verbose = false;        // log per-epoch loss/accuracy
+};
+
+/// One epoch-level progress record.
+struct EpochStats {
+  size_t epoch = 0;
+  double mean_loss = 0.0;
+  double train_accuracy = 0.0;
+};
+
+class Trainer {
+ public:
+  Trainer(Plnn* model, TrainerConfig config);
+
+  /// Trains on `train`; returns per-epoch stats. `rng` drives batch
+  /// shuffling only (weights were initialized at model construction).
+  std::vector<EpochStats> Fit(const data::Dataset& train, util::Rng* rng);
+
+  /// One optimizer step on a single mini-batch (exposed for tests).
+  /// Returns the mean loss over the batch.
+  double Step(const data::Dataset& dataset,
+              const std::vector<size_t>& batch_indices);
+
+ private:
+  struct Moments {
+    linalg::Matrix m_w, v_w;
+    Vec m_b, v_b;
+  };
+
+  void ApplyGradients(const std::vector<linalg::Matrix>& grad_w,
+                      const std::vector<Vec>& grad_b, size_t batch_size);
+
+  Plnn* model_;
+  TrainerConfig config_;
+  std::vector<Moments> moments_;
+  size_t step_count_ = 0;
+};
+
+/// Classification accuracy of any Plm on a dataset.
+double Accuracy(const api::Plm& model, const data::Dataset& dataset);
+
+/// Mean softmax cross-entropy of any Plm on a dataset.
+double AverageCrossEntropy(const api::Plm& model,
+                           const data::Dataset& dataset);
+
+}  // namespace openapi::nn
+
+#endif  // OPENAPI_NN_TRAINER_H_

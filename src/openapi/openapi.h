@@ -1,0 +1,67 @@
+// Umbrella header: the full public API of the OpenAPI reproduction library.
+//
+// Typical usage (see examples/quickstart.cc):
+//
+//   openapi::util::Rng rng(42);
+//   openapi::nn::Plnn model({64, 32, 10}, &rng);        // a PLM target
+//   openapi::api::PredictionApi api(&model);            // the API boundary
+//   openapi::interpret::OpenApiInterpreter interpreter;
+//   auto result = interpreter.Interpret(api, x, c, &rng);
+//   // result->dc are the exact decision features D_c of Eq. 1.
+
+#ifndef OPENAPI_OPENAPI_H_
+#define OPENAPI_OPENAPI_H_
+
+#include "api/ground_truth.h"
+#include "api/plm.h"
+#include "api/prediction_api.h"
+#include "data/dataset.h"
+#include "data/idx_io.h"
+#include "data/synthetic.h"
+#include "eval/classification_metrics.h"
+#include "eval/consistency.h"
+#include "eval/cross_validation.h"
+#include "eval/exactness.h"
+#include "eval/experiment_config.h"
+#include "eval/flipping.h"
+#include "eval/heatmap.h"
+#include "eval/nearest_neighbor.h"
+#include "eval/plotting.h"
+#include "eval/sample_quality.h"
+#include "extract/boundary.h"
+#include "extract/cached_interpreter.h"
+#include "extract/local_model_extractor.h"
+#include "extract/surrogate.h"
+#include "interpret/decision_features.h"
+#include "interpret/gradient_methods.h"
+#include "interpret/lime_method.h"
+#include "interpret/naive_method.h"
+#include "interpret/openapi_method.h"
+#include "interpret/report.h"
+#include "interpret/zoo_method.h"
+#include "linalg/cholesky.h"
+#include "linalg/least_squares.h"
+#include "linalg/lu.h"
+#include "linalg/matrix.h"
+#include "linalg/qr.h"
+#include "linalg/vector_ops.h"
+#include "lmt/lmt.h"
+#include "lmt/logistic_regression.h"
+#include "lmt/split.h"
+#include "nn/activation_pattern.h"
+#include "nn/layer.h"
+#include "nn/maxout.h"
+#include "nn/plnn.h"
+#include "nn/trainer.h"
+#include "util/check.h"
+#include "util/csv_writer.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+#endif  // OPENAPI_OPENAPI_H_

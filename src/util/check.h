@@ -1,0 +1,52 @@
+// Lightweight precondition/invariant checking macros.
+//
+// OPENAPI_CHECK* macros abort the process with a diagnostic message when a
+// programmer-error condition is violated. They are always on (including in
+// release builds) because the library's closed-form solvers silently produce
+// garbage on dimension mismatches, which is far more expensive to debug than
+// a crash with a file:line message.
+//
+// For recoverable conditions (bad user input, singular systems, IO errors)
+// use openapi::Status / openapi::Result instead; see util/status.h.
+
+#ifndef OPENAPI_UTIL_CHECK_H_
+#define OPENAPI_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace openapi::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* condition) {
+  std::fprintf(stderr, "OPENAPI_CHECK failed at %s:%d: %s\n", file, line,
+               condition);
+  std::abort();
+}
+
+}  // namespace openapi::internal
+
+#define OPENAPI_CHECK(condition)                                        \
+  do {                                                                  \
+    if (!(condition)) {                                                 \
+      ::openapi::internal::CheckFailed(__FILE__, __LINE__, #condition); \
+    }                                                                   \
+  } while (0)
+
+#define OPENAPI_CHECK_EQ(a, b) OPENAPI_CHECK((a) == (b))
+#define OPENAPI_CHECK_NE(a, b) OPENAPI_CHECK((a) != (b))
+#define OPENAPI_CHECK_LT(a, b) OPENAPI_CHECK((a) < (b))
+#define OPENAPI_CHECK_LE(a, b) OPENAPI_CHECK((a) <= (b))
+#define OPENAPI_CHECK_GT(a, b) OPENAPI_CHECK((a) > (b))
+#define OPENAPI_CHECK_GE(a, b) OPENAPI_CHECK((a) >= (b))
+
+// Checks that run only in debug builds (used in hot loops).
+#ifdef NDEBUG
+#define OPENAPI_DCHECK(condition) \
+  do {                            \
+  } while (0)
+#else
+#define OPENAPI_DCHECK(condition) OPENAPI_CHECK(condition)
+#endif
+
+#endif  // OPENAPI_UTIL_CHECK_H_

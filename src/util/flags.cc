@@ -1,0 +1,175 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace openapi::util {
+
+FlagParser& FlagParser::AddString(const std::string& name,
+                                  std::string default_value,
+                                  std::string help) {
+  Flag flag;
+  flag.type = Type::kString;
+  flag.default_text = default_value;
+  flag.string_value = std::move(default_value);
+  flag.help = std::move(help);
+  flags_[name] = std::move(flag);
+  return *this;
+}
+
+FlagParser& FlagParser::AddInt(const std::string& name,
+                               int64_t default_value, std::string help) {
+  Flag flag;
+  flag.type = Type::kInt;
+  flag.int_value = default_value;
+  flag.default_text = std::to_string(default_value);
+  flag.help = std::move(help);
+  flags_[name] = std::move(flag);
+  return *this;
+}
+
+FlagParser& FlagParser::AddDouble(const std::string& name,
+                                  double default_value, std::string help) {
+  Flag flag;
+  flag.type = Type::kDouble;
+  flag.double_value = default_value;
+  flag.default_text = StrFormat("%g", default_value);
+  flag.help = std::move(help);
+  flags_[name] = std::move(flag);
+  return *this;
+}
+
+FlagParser& FlagParser::AddBool(const std::string& name, bool default_value,
+                                std::string help) {
+  Flag flag;
+  flag.type = Type::kBool;
+  flag.bool_value = default_value;
+  flag.default_text = default_value ? "true" : "false";
+  flag.help = std::move(help);
+  flags_[name] = std::move(flag);
+  return *this;
+}
+
+Status FlagParser::SetValue(Flag* flag, const std::string& name,
+                            const std::string& value) {
+  char* end = nullptr;
+  switch (flag->type) {
+    case Type::kString:
+      flag->string_value = value;
+      return Status::OK();
+    case Type::kInt: {
+      long long parsed = std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("--" + name +
+                                       ": expected integer, got '" + value +
+                                       "'");
+      }
+      flag->int_value = parsed;
+      return Status::OK();
+    }
+    case Type::kDouble: {
+      double parsed = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("--" + name +
+                                       ": expected number, got '" + value +
+                                       "'");
+      }
+      flag->double_value = parsed;
+      return Status::OK();
+    }
+    case Type::kBool: {
+      if (value == "true" || value == "1") {
+        flag->bool_value = true;
+      } else if (value == "false" || value == "0") {
+        flag->bool_value = false;
+      } else {
+        return Status::InvalidArgument("--" + name +
+                                       ": expected true/false, got '" +
+                                       value + "'");
+      }
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("unknown flag type");
+}
+
+Status FlagParser::Parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    if (body == "help") {
+      help_requested_ = true;
+      continue;
+    }
+    std::string name = body;
+    std::string value;
+    bool has_value = false;
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+      has_value = true;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      return Status::InvalidArgument("unknown flag --" + name);
+    }
+    Flag* flag = &it->second;
+    if (!has_value) {
+      if (flag->type == Type::kBool) {
+        flag->bool_value = true;  // bare --name enables a boolean
+        continue;
+      }
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("--" + name + ": missing value");
+      }
+      value = argv[++i];
+    }
+    OPENAPI_RETURN_NOT_OK(SetValue(flag, name, value));
+  }
+  return Status::OK();
+}
+
+const std::string& FlagParser::GetString(const std::string& name) const {
+  auto it = flags_.find(name);
+  OPENAPI_CHECK(it != flags_.end());
+  OPENAPI_CHECK(it->second.type == Type::kString);
+  return it->second.string_value;
+}
+
+int64_t FlagParser::GetInt(const std::string& name) const {
+  auto it = flags_.find(name);
+  OPENAPI_CHECK(it != flags_.end());
+  OPENAPI_CHECK(it->second.type == Type::kInt);
+  return it->second.int_value;
+}
+
+double FlagParser::GetDouble(const std::string& name) const {
+  auto it = flags_.find(name);
+  OPENAPI_CHECK(it != flags_.end());
+  OPENAPI_CHECK(it->second.type == Type::kDouble);
+  return it->second.double_value;
+}
+
+bool FlagParser::GetBool(const std::string& name) const {
+  auto it = flags_.find(name);
+  OPENAPI_CHECK(it != flags_.end());
+  OPENAPI_CHECK(it->second.type == Type::kBool);
+  return it->second.bool_value;
+}
+
+std::string FlagParser::Usage(const std::string& program) const {
+  std::string out = "usage: " + program + " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    out += StrFormat("  --%-20s %s (default: %s)\n", name.c_str(),
+                     flag.help.c_str(), flag.default_text.c_str());
+  }
+  return out;
+}
+
+}  // namespace openapi::util

@@ -1,0 +1,75 @@
+// Minimal command-line flag parsing for the bench and example binaries.
+//
+// Supports `--name=value` and `--name value` forms plus bare `--name` for
+// booleans. Unknown flags are reported as errors so typos do not silently
+// run the default configuration. This is intentionally tiny — just enough
+// for reproducible experiment overrides (--seed, --instances, --scale).
+
+#ifndef OPENAPI_UTIL_FLAGS_H_
+#define OPENAPI_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace openapi::util {
+
+class FlagParser {
+ public:
+  /// Registers a flag with its default value and help text. Returns *this
+  /// so registrations chain.
+  FlagParser& AddString(const std::string& name, std::string default_value,
+                        std::string help);
+  FlagParser& AddInt(const std::string& name, int64_t default_value,
+                     std::string help);
+  FlagParser& AddDouble(const std::string& name, double default_value,
+                        std::string help);
+  FlagParser& AddBool(const std::string& name, bool default_value,
+                      std::string help);
+
+  /// Parses argv. Fails on unknown flags, malformed values, or a value
+  /// missing after `--name`. `--help` sets help_requested().
+  Status Parse(int argc, const char* const* argv);
+
+  /// Typed accessors; the flag must have been registered with the matching
+  /// type (checked).
+  const std::string& GetString(const std::string& name) const;
+  int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  /// True once Parse saw `--help`.
+  bool help_requested() const { return help_requested_; }
+
+  /// Usage text listing every registered flag with default and help.
+  std::string Usage(const std::string& program) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  enum class Type { kString, kInt, kDouble, kBool };
+  struct Flag {
+    Type type;
+    std::string string_value;
+    int64_t int_value = 0;
+    double double_value = 0.0;
+    bool bool_value = false;
+    std::string default_text;
+    std::string help;
+  };
+
+  Status SetValue(Flag* flag, const std::string& name,
+                  const std::string& value);
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+  bool help_requested_ = false;
+};
+
+}  // namespace openapi::util
+
+#endif  // OPENAPI_UTIL_FLAGS_H_

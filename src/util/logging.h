@@ -1,0 +1,43 @@
+// Minimal leveled logging to stderr. Benches and examples use INFO for
+// progress; the library itself only logs at WARNING or above.
+
+#ifndef OPENAPI_UTIL_LOGGING_H_
+#define OPENAPI_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace openapi::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace openapi::util
+
+#define OPENAPI_LOG(level)                                              \
+  ::openapi::util::internal::LogMessage(                                \
+      ::openapi::util::LogLevel::k##level, __FILE__, __LINE__)          \
+      .stream()
+
+#endif  // OPENAPI_UTIL_LOGGING_H_

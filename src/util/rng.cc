@@ -1,0 +1,34 @@
+#include "util/rng.h"
+
+#include "util/check.h"
+
+namespace openapi::util {
+
+std::vector<double> Rng::UniformVector(size_t n, double lo, double hi) {
+  std::vector<double> out(n);
+  std::uniform_real_distribution<double> dist(lo, hi);
+  for (double& x : out) x = dist(engine_);
+  return out;
+}
+
+std::vector<double> Rng::GaussianVector(size_t n, double mean, double stddev) {
+  std::vector<double> out(n);
+  std::normal_distribution<double> dist(mean, stddev);
+  for (double& x : out) x = dist(engine_);
+  return out;
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  OPENAPI_CHECK_LE(k, n);
+  // Partial Fisher-Yates over an index vector: O(n) memory, O(n + k) time.
+  std::vector<size_t> indices(n);
+  for (size_t i = 0; i < n; ++i) indices[i] = i;
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + Index(n - i);
+    std::swap(indices[i], indices[j]);
+  }
+  indices.resize(k);
+  return indices;
+}
+
+}  // namespace openapi::util

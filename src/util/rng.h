@@ -1,0 +1,74 @@
+// Seeded random number generation.
+//
+// All randomness in the library flows through util::Rng so every experiment
+// is reproducible from a single printed seed. Rng wraps std::mt19937_64 and
+// offers the distributions the paper's algorithms need: uniform reals
+// (hypercube probes), Gaussians (synthetic data noise, weight init), and
+// index sampling / shuffles (mini-batches, test subsampling).
+
+#ifndef OPENAPI_UTIL_RNG_H_
+#define OPENAPI_UTIL_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace openapi::util {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  uint64_t seed() const { return seed_; }
+
+  /// Uniform real in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Standard normal scaled to N(mean, stddev^2).
+  double Gaussian(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  size_t Index(size_t n) {
+    return std::uniform_int_distribution<size_t>(0, n - 1)(engine_);
+  }
+
+  /// Bernoulli(p).
+  bool Flip(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// A vector of n uniform reals in [lo, hi).
+  std::vector<double> UniformVector(size_t n, double lo, double hi);
+
+  /// A vector of n N(mean, stddev^2) samples.
+  std::vector<double> GaussianVector(size_t n, double mean, double stddev);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      std::swap((*v)[i - 1], (*v)[Index(i)]);
+    }
+  }
+
+  /// k distinct indices sampled uniformly from [0, n). k <= n required.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Deterministically derives an independent child generator. Used to give
+  /// each experiment component (data, model init, probes) its own stream.
+  Rng Fork() { return Rng(engine_() ^ 0x9e3779b97f4a7c15ULL); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  uint64_t seed_;
+};
+
+}  // namespace openapi::util
+
+#endif  // OPENAPI_UTIL_RNG_H_

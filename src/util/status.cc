@@ -1,0 +1,39 @@
+#include "util/status.h"
+
+namespace openapi {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kNumericalError:
+      return "NumericalError";
+    case StatusCode::kDidNotConverge:
+      return "DidNotConverge";
+    case StatusCode::kIoError:
+      return "IoError";
+    case StatusCode::kUnknown:
+      return "Unknown";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string result = StatusCodeName(code());
+  if (!message().empty()) {
+    result += ": ";
+    result += message();
+  }
+  return result;
+}
+
+}  // namespace openapi

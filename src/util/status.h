@@ -1,0 +1,163 @@
+// Status and Result<T>: exception-free error propagation, in the style of
+// Arrow/RocksDB. A Status is cheap to copy in the OK case (no allocation).
+//
+// Usage:
+//   Status DoThing();
+//   Result<Matrix> Solve(const Matrix& a, const Vector& b);
+//
+//   OPENAPI_RETURN_NOT_OK(DoThing());
+//   OPENAPI_ASSIGN_OR_RETURN(Matrix x, Solve(a, b));
+
+#ifndef OPENAPI_UTIL_STATUS_H_
+#define OPENAPI_UTIL_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/check.h"
+
+namespace openapi {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kNotFound,
+  kOutOfRange,
+  kNumericalError,   // singular / inconsistent / non-finite systems
+  kDidNotConverge,   // iterative procedure hit its iteration cap
+  kIoError,
+  kUnknown,
+};
+
+/// Human-readable name of a status code ("OK", "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value. OK statuses carry no allocation.
+class Status {
+ public:
+  Status() = default;  // OK
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NumericalError(std::string msg) {
+    return Status(StatusCode::kNumericalError, std::move(msg));
+  }
+  static Status DidNotConverge(std::string msg) {
+    return Status(StatusCode::kDidNotConverge, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNumericalError() const {
+    return code() == StatusCode::kNumericalError;
+  }
+  bool IsDidNotConverge() const {
+    return code() == StatusCode::kDidNotConverge;
+  }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+
+  Status(StatusCode code, std::string msg)
+      : rep_(std::make_shared<Rep>(Rep{code, std::move(msg)})) {}
+
+  std::shared_ptr<Rep> rep_;  // nullptr means OK
+};
+
+/// Either a value of type T or an error Status. Never holds an OK status
+/// without a value.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work
+  // inside functions returning Result<T>.
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT
+    OPENAPI_CHECK(!std::get<Status>(rep_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(rep_);
+  }
+
+  /// Returns the contained value; aborts if this holds an error.
+  const T& ValueOrDie() const& {
+    OPENAPI_CHECK(ok());
+    return std::get<T>(rep_);
+  }
+  T& ValueOrDie() & {
+    OPENAPI_CHECK(ok());
+    return std::get<T>(rep_);
+  }
+  T&& ValueOrDie() && {
+    OPENAPI_CHECK(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace openapi
+
+#define OPENAPI_RETURN_NOT_OK(expr)        \
+  do {                                     \
+    ::openapi::Status _st = (expr);        \
+    if (!_st.ok()) return _st;             \
+  } while (0)
+
+// Helpers for OPENAPI_ASSIGN_OR_RETURN's unique temporary name.
+#define OPENAPI_CONCAT_IMPL(x, y) x##y
+#define OPENAPI_CONCAT(x, y) OPENAPI_CONCAT_IMPL(x, y)
+
+#define OPENAPI_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define OPENAPI_ASSIGN_OR_RETURN(lhs, expr) \
+  OPENAPI_ASSIGN_OR_RETURN_IMPL(            \
+      OPENAPI_CONCAT(_openapi_result_, __COUNTER__), lhs, expr)
+
+#endif  // OPENAPI_UTIL_STATUS_H_

@@ -1,0 +1,77 @@
+#include "util/string_util.h"
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+namespace openapi::util {
+
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(pieces[i]);
+  }
+  return out;
+}
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (needed < 0) {
+    va_end(args_copy);
+    return std::string();
+  }
+  std::string out(static_cast<size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+std::string FormatDouble(double value, int precision) {
+  if (value == 0.0) return "0";
+  double mag = std::fabs(value);
+  if (mag >= 1e-4 && mag < 1e6) {
+    return StrFormat("%.*f", precision, value);
+  }
+  return StrFormat("%.*e", precision, value);
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string_view Trim(std::string_view s) {
+  size_t begin = 0;
+  while (begin < s.size() &&
+         (s[begin] == ' ' || s[begin] == '\t' || s[begin] == '\n' ||
+          s[begin] == '\r')) {
+    ++begin;
+  }
+  size_t end = s.size();
+  while (end > begin &&
+         (s[end - 1] == ' ' || s[end - 1] == '\t' || s[end - 1] == '\n' ||
+          s[end - 1] == '\r')) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+}  // namespace openapi::util

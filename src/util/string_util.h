@@ -1,0 +1,35 @@
+// Small string helpers shared by the CSV writer, table printer, and logging.
+
+#ifndef OPENAPI_UTIL_STRING_UTIL_H_
+#define OPENAPI_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace openapi::util {
+
+/// Joins the pieces with `sep` between them.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// Splits `s` on the single character `sep`; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Formats a double compactly for tables: fixed for mid-range magnitudes,
+/// scientific otherwise.
+std::string FormatDouble(double value, int precision = 4);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+}  // namespace openapi::util
+
+#endif  // OPENAPI_UTIL_STRING_UTIL_H_

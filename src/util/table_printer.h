@@ -1,0 +1,36 @@
+// Fixed-width ASCII table printing for benchmark output. The benches print
+// the same rows/series the paper's tables and figures report; TablePrinter
+// keeps that output aligned and diff-friendly.
+
+#ifndef OPENAPI_UTIL_TABLE_PRINTER_H_
+#define OPENAPI_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace openapi::util {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Adds one row; padded/truncated to the header arity.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with FormatDouble.
+  void AddRow(const std::string& label, const std::vector<double>& values);
+
+  /// Renders the table with a separator under the header.
+  void Print(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace openapi::util
+
+#endif  // OPENAPI_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,86 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace openapi::util {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  OPENAPI_CHECK_GE(num_threads, 1u);
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    OPENAPI_CHECK(!shutting_down_);
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutting_down_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(ThreadPool* pool, size_t count,
+                 const std::function<void(size_t)>& body) {
+  if (count == 0) return;
+  const size_t shards = std::min(pool->num_threads(), count);
+  const size_t block = (count + shards - 1) / shards;
+  for (size_t shard = 0; shard < shards; ++shard) {
+    size_t begin = shard * block;
+    size_t end = std::min(begin + block, count);
+    if (begin >= end) break;
+    pool->Submit([begin, end, &body] {
+      for (size_t i = begin; i < end; ++i) body(i);
+    });
+  }
+  pool->Wait();
+}
+
+size_t DefaultThreadCount(size_t max_threads) {
+  size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  return std::clamp<size_t>(hw, 1, max_threads);
+}
+
+}  // namespace openapi::util

@@ -1,0 +1,64 @@
+// Fixed-size worker pool with a ParallelFor helper.
+//
+// The evaluation harnesses interpret hundreds of instances independently;
+// ParallelFor shards that loop across cores. Work items must be
+// independent — the interpreters are const-callable and each shard gets
+// its own util::Rng fork, so results stay deterministic for a fixed shard
+// count (the helpers always shard by index block, not by scheduling
+// order).
+
+#ifndef OPENAPI_UTIL_THREAD_POOL_H_
+#define OPENAPI_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace openapi::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains the queue and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Runs body(i) for i in [0, count) across `pool`, blocking until done.
+/// Iterations are grouped into contiguous blocks (one per thread) so any
+/// per-block state (e.g., RNG forks) is deterministic in the thread count.
+void ParallelFor(ThreadPool* pool, size_t count,
+                 const std::function<void(size_t)>& body);
+
+/// Hardware concurrency clamped to [1, max_threads].
+size_t DefaultThreadCount(size_t max_threads = 16);
+
+}  // namespace openapi::util
+
+#endif  // OPENAPI_UTIL_THREAD_POOL_H_

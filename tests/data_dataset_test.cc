@@ -1,0 +1,100 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace openapi::data {
+namespace {
+
+Dataset MakeToy() {
+  Dataset ds(2, 3);
+  ds.Add({0.1, 0.2}, 0);
+  ds.Add({0.3, 0.4}, 1);
+  ds.Add({0.5, 0.6}, 2);
+  ds.Add({0.7, 0.8}, 0);
+  return ds;
+}
+
+TEST(DatasetTest, AddAndAccess) {
+  Dataset ds = MakeToy();
+  EXPECT_EQ(ds.size(), 4u);
+  EXPECT_EQ(ds.dim(), 2u);
+  EXPECT_EQ(ds.num_classes(), 3u);
+  EXPECT_EQ(ds.x(1), (Vec{0.3, 0.4}));
+  EXPECT_EQ(ds.label(2), 2u);
+}
+
+TEST(DatasetTest, Select) {
+  Dataset ds = MakeToy();
+  Dataset sub = ds.Select({3, 0});
+  EXPECT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub.x(0), (Vec{0.7, 0.8}));
+  EXPECT_EQ(sub.label(1), 0u);
+}
+
+TEST(DatasetTest, SplitPartitionsAll) {
+  Dataset ds(1, 2);
+  for (int i = 0; i < 100; ++i) {
+    ds.Add({i / 100.0}, i % 2);
+  }
+  util::Rng rng(1);
+  auto [train, test] = ds.Split(0.25, &rng);
+  EXPECT_EQ(test.size(), 25u);
+  EXPECT_EQ(train.size(), 75u);
+}
+
+TEST(DatasetTest, SplitExtremes) {
+  Dataset ds = MakeToy();
+  util::Rng rng(2);
+  auto [all_train, no_test] = ds.Split(0.0, &rng);
+  EXPECT_EQ(all_train.size(), 4u);
+  EXPECT_EQ(no_test.size(), 0u);
+  auto [no_train, all_test] = ds.Split(1.0, &rng);
+  EXPECT_EQ(no_train.size(), 0u);
+  EXPECT_EQ(all_test.size(), 4u);
+}
+
+TEST(DatasetTest, SampleDrawsDistinct) {
+  Dataset ds(1, 2);
+  for (int i = 0; i < 50; ++i) ds.Add({i / 50.0}, 0);
+  util::Rng rng(3);
+  Dataset sample = ds.Sample(10, &rng);
+  EXPECT_EQ(sample.size(), 10u);
+  std::set<double> values;
+  for (size_t i = 0; i < sample.size(); ++i) values.insert(sample.x(i)[0]);
+  EXPECT_EQ(values.size(), 10u);  // without replacement
+}
+
+TEST(DatasetTest, ClassMean) {
+  Dataset ds = MakeToy();
+  Vec mean0 = ds.ClassMean(0);  // instances {0.1,0.2} and {0.7,0.8}
+  EXPECT_NEAR(mean0[0], 0.4, 1e-12);
+  EXPECT_NEAR(mean0[1], 0.5, 1e-12);
+  // Empty class -> zero vector.
+  Dataset sub = ds.Select({1});
+  Vec mean_empty = sub.ClassMean(0);
+  EXPECT_EQ(mean_empty, (Vec{0.0, 0.0}));
+}
+
+TEST(DatasetTest, ClassCounts) {
+  Dataset ds = MakeToy();
+  EXPECT_EQ(ds.ClassCounts(), (std::vector<size_t>{2, 1, 1}));
+}
+
+TEST(DatasetTest, ValidateAcceptsGoodData) {
+  EXPECT_TRUE(MakeToy().Validate(0.0, 1.0).ok());
+}
+
+TEST(DatasetTest, ValidateRejectsOutOfRange) {
+  Dataset ds(1, 2);
+  ds.Add({1.5}, 0);
+  EXPECT_FALSE(ds.Validate(0.0, 1.0).ok());
+}
+
+TEST(DatasetTest, ValidateRejectsNonFinite) {
+  Dataset ds(1, 2);
+  ds.Add({std::numeric_limits<double>::quiet_NaN()}, 0);
+  EXPECT_FALSE(ds.Validate(0.0, 1.0).ok());
+}
+
+}  // namespace
+}  // namespace openapi::data

@@ -1,0 +1,116 @@
+#include "data/idx_io.h"
+
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace openapi::data {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+IdxImages MakeImages() {
+  IdxImages images;
+  images.count = 3;
+  images.rows = 2;
+  images.cols = 2;
+  images.pixels = {0,   64,  128, 255,   // image 0
+                   10,  20,  30,  40,    // image 1
+                   255, 255, 0,   0};    // image 2
+  return images;
+}
+
+TEST(IdxIoTest, ImagesRoundTrip) {
+  std::string path = TempPath("images.idx3");
+  ASSERT_TRUE(WriteIdxImages(path, MakeImages()).ok());
+  auto loaded = ReadIdxImages(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->count, 3u);
+  EXPECT_EQ(loaded->rows, 2u);
+  EXPECT_EQ(loaded->cols, 2u);
+  EXPECT_EQ(loaded->pixels, MakeImages().pixels);
+}
+
+TEST(IdxIoTest, LabelsRoundTrip) {
+  std::string path = TempPath("labels.idx1");
+  std::vector<uint8_t> labels = {0, 1, 2};
+  ASSERT_TRUE(WriteIdxLabels(path, labels).ok());
+  auto loaded = ReadIdxLabels(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, labels);
+}
+
+TEST(IdxIoTest, MissingFileIsIoError) {
+  EXPECT_TRUE(ReadIdxImages("/no/such/file").status().IsIoError());
+  EXPECT_TRUE(ReadIdxLabels("/no/such/file").status().IsIoError());
+}
+
+TEST(IdxIoTest, RejectsWrongMagic) {
+  std::string path = TempPath("bad_magic.idx");
+  // Write a labels file, try to read it as images.
+  ASSERT_TRUE(WriteIdxLabels(path, {1, 2, 3}).ok());
+  EXPECT_TRUE(ReadIdxImages(path).status().IsIoError());
+}
+
+TEST(IdxIoTest, RejectsTruncatedPayload) {
+  std::string path = TempPath("trunc.idx3");
+  ASSERT_TRUE(WriteIdxImages(path, MakeImages()).ok());
+  // Chop off the last byte.
+  std::string content;
+  {
+    std::ifstream in(path, std::ios::binary);
+    content.assign(std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>());
+  }
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(content.data(), static_cast<std::streamsize>(content.size() - 1));
+  }
+  EXPECT_TRUE(ReadIdxImages(path).status().IsIoError());
+}
+
+TEST(IdxIoTest, RejectsPixelBufferMismatchOnWrite) {
+  IdxImages bad = MakeImages();
+  bad.pixels.pop_back();
+  EXPECT_TRUE(WriteIdxImages(TempPath("bad.idx3"), bad).IsInvalidArgument());
+}
+
+TEST(IdxIoTest, LoadDatasetNormalizesPixels) {
+  std::string img_path = TempPath("ds_images.idx3");
+  std::string lbl_path = TempPath("ds_labels.idx1");
+  ASSERT_TRUE(WriteIdxImages(img_path, MakeImages()).ok());
+  ASSERT_TRUE(WriteIdxLabels(lbl_path, {0, 1, 2}).ok());
+  auto ds = LoadIdxImageDataset(img_path, lbl_path, 10);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->size(), 3u);
+  EXPECT_EQ(ds->dim(), 4u);
+  EXPECT_DOUBLE_EQ(ds->x(0)[3], 1.0);          // 255 -> 1.0
+  EXPECT_DOUBLE_EQ(ds->x(0)[0], 0.0);          // 0 -> 0.0
+  EXPECT_NEAR(ds->x(0)[1], 64.0 / 255.0, 1e-12);
+  EXPECT_TRUE(ds->Validate(0.0, 1.0).ok());
+}
+
+TEST(IdxIoTest, LoadDatasetRejectsCountMismatch) {
+  std::string img_path = TempPath("mm_images.idx3");
+  std::string lbl_path = TempPath("mm_labels.idx1");
+  ASSERT_TRUE(WriteIdxImages(img_path, MakeImages()).ok());
+  ASSERT_TRUE(WriteIdxLabels(lbl_path, {0, 1}).ok());  // only 2 labels
+  EXPECT_TRUE(LoadIdxImageDataset(img_path, lbl_path, 10)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(IdxIoTest, LoadDatasetRejectsLabelOutOfRange) {
+  std::string img_path = TempPath("lr_images.idx3");
+  std::string lbl_path = TempPath("lr_labels.idx1");
+  ASSERT_TRUE(WriteIdxImages(img_path, MakeImages()).ok());
+  ASSERT_TRUE(WriteIdxLabels(lbl_path, {0, 1, 9}).ok());
+  EXPECT_TRUE(LoadIdxImageDataset(img_path, lbl_path, 3)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace openapi::data

@@ -1,0 +1,207 @@
+#include "data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/vector_ops.h"
+
+namespace openapi::data {
+namespace {
+
+SyntheticConfig SmallConfig(SyntheticStyle style) {
+  SyntheticConfig config;
+  config.width = 6;
+  config.height = 6;
+  config.num_classes = 5;
+  config.num_train = 200;
+  config.num_test = 50;
+  config.style = style;
+  config.seed = 7;
+  // The structural tests below reason about single prototypes and exact
+  // class balance, so disable the realism knobs here; dedicated tests
+  // cover variants and label noise.
+  config.variants_per_class = 1;
+  config.label_noise = 0.0;
+  return config;
+}
+
+class SyntheticStyleTest : public ::testing::TestWithParam<SyntheticStyle> {
+};
+
+TEST_P(SyntheticStyleTest, ShapesAndRanges) {
+  SyntheticConfig config = SmallConfig(GetParam());
+  auto [train, test] = GenerateSynthetic(config);
+  EXPECT_EQ(train.size(), 200u);
+  EXPECT_EQ(test.size(), 50u);
+  EXPECT_EQ(train.dim(), 36u);
+  EXPECT_TRUE(train.Validate(0.0, 1.0).ok());
+  EXPECT_TRUE(test.Validate(0.0, 1.0).ok());
+}
+
+TEST_P(SyntheticStyleTest, ClassesAreBalanced) {
+  SyntheticConfig config = SmallConfig(GetParam());
+  auto [train, test] = GenerateSynthetic(config);
+  for (size_t count : train.ClassCounts()) EXPECT_EQ(count, 40u);
+  for (size_t count : test.ClassCounts()) EXPECT_EQ(count, 10u);
+}
+
+TEST_P(SyntheticStyleTest, DeterministicInSeed) {
+  SyntheticConfig config = SmallConfig(GetParam());
+  auto [train_a, test_a] = GenerateSynthetic(config);
+  auto [train_b, test_b] = GenerateSynthetic(config);
+  ASSERT_EQ(train_a.size(), train_b.size());
+  for (size_t i = 0; i < train_a.size(); ++i) {
+    EXPECT_EQ(train_a.x(i), train_b.x(i));
+    EXPECT_EQ(train_a.label(i), train_b.label(i));
+  }
+}
+
+TEST_P(SyntheticStyleTest, DifferentSeedsDiffer) {
+  SyntheticConfig config = SmallConfig(GetParam());
+  auto [train_a, _a] = GenerateSynthetic(config);
+  config.seed = 8;
+  auto [train_b, _b] = GenerateSynthetic(config);
+  EXPECT_NE(train_a.x(0), train_b.x(0));
+}
+
+TEST_P(SyntheticStyleTest, PrototypesAreDistinctAcrossClasses) {
+  SyntheticConfig config = SmallConfig(GetParam());
+  for (size_t c1 = 0; c1 < config.num_classes; ++c1) {
+    for (size_t c2 = c1 + 1; c2 < config.num_classes; ++c2) {
+      Vec p1 = ClassPrototype(config, c1);
+      Vec p2 = ClassPrototype(config, c2);
+      EXPECT_GT(linalg::L2Distance(p1, p2), 0.1)
+          << "classes " << c1 << " and " << c2;
+    }
+  }
+}
+
+TEST_P(SyntheticStyleTest, InstancesClusterAroundPrototype) {
+  SyntheticConfig config = SmallConfig(GetParam());
+  config.noise_stddev = 0.05;
+  config.intensity_jitter = 0.0;
+  auto [train, _] = GenerateSynthetic(config);
+  // The class mean should be close to the (clipped) prototype: correlation
+  // between mean image and prototype must be strongly positive.
+  for (size_t c = 0; c < config.num_classes; ++c) {
+    Vec mean = train.ClassMean(c);
+    Vec proto = ClassPrototype(config, c);
+    EXPECT_GT(linalg::CosineSimilarity(mean, proto), 0.7) << "class " << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Styles, SyntheticStyleTest,
+                         ::testing::Values(SyntheticStyle::kDigits,
+                                           SyntheticStyle::kFashion),
+                         [](const auto& info) {
+                           return SyntheticStyleName(info.param);
+                         });
+
+TEST(SyntheticTest, VariantsProduceDistinctPrototypes) {
+  SyntheticConfig config = SmallConfig(SyntheticStyle::kDigits);
+  config.variants_per_class = 3;
+  for (size_t c = 0; c < config.num_classes; ++c) {
+    Vec v0 = ClassPrototypeVariant(config, c, 0);
+    Vec v1 = ClassPrototypeVariant(config, c, 1);
+    Vec v2 = ClassPrototypeVariant(config, c, 2);
+    EXPECT_GT(linalg::L2Distance(v0, v1), 0.05);
+    EXPECT_GT(linalg::L2Distance(v1, v2), 0.05);
+  }
+  // Variant 0 equals the convenience overload.
+  EXPECT_EQ(ClassPrototype(config, 2), ClassPrototypeVariant(config, 2, 0));
+}
+
+TEST(SyntheticTest, LabelNoiseCorruptsExpectedFraction) {
+  SyntheticConfig config = SmallConfig(SyntheticStyle::kDigits);
+  config.num_train = 4000;
+  config.num_test = 0;
+  config.label_noise = 0.10;
+  config.noise_stddev = 0.0;
+  config.intensity_jitter = 0.0;
+  auto [train, _] = GenerateSynthetic(config);
+  // Instances are generated class-round-robin; count the ones whose
+  // observed label disagrees with the generation slot.
+  size_t corrupted = 0;
+  for (size_t i = 0; i < train.size(); ++i) {
+    if (train.label(i) != i % config.num_classes) ++corrupted;
+  }
+  double fraction = static_cast<double>(corrupted) / train.size();
+  EXPECT_NEAR(fraction, 0.10, 0.02);
+}
+
+TEST(SyntheticTest, DefaultConfigIsNotLinearlySeparableToPerfection) {
+  // With multi-modal classes and label noise, nearest-class-mean must make
+  // mistakes — the property that keeps Table I's accuracies below 1.
+  SyntheticConfig config;
+  config.width = 6;
+  config.height = 6;
+  config.num_classes = 5;
+  config.num_train = 500;
+  config.num_test = 0;
+  config.seed = 11;
+  auto [train, _] = GenerateSynthetic(config);
+  std::vector<Vec> means;
+  for (size_t c = 0; c < config.num_classes; ++c) {
+    means.push_back(train.ClassMean(c));
+  }
+  size_t correct = 0;
+  for (size_t i = 0; i < train.size(); ++i) {
+    size_t best = 0;
+    double best_dist = linalg::L2Distance(train.x(i), means[0]);
+    for (size_t c = 1; c < config.num_classes; ++c) {
+      double dist = linalg::L2Distance(train.x(i), means[c]);
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = c;
+      }
+    }
+    correct += best == train.label(i) ? 1 : 0;
+  }
+  double acc = static_cast<double>(correct) / train.size();
+  EXPECT_GT(acc, 0.5);   // still learnable
+  EXPECT_LT(acc, 0.99);  // but not trivially interpolable
+}
+
+TEST(SyntheticTest, StyleNames) {
+  EXPECT_STREQ(SyntheticStyleName(SyntheticStyle::kDigits), "SynthDigits");
+  EXPECT_STREQ(SyntheticStyleName(SyntheticStyle::kFashion),
+               "SynthFashion");
+}
+
+TEST(GaussianBlobsTest, ShapesAndDeterminism) {
+  util::Rng rng(5);
+  Dataset ds = GenerateGaussianBlobs(4, 3, 90, 0.05, &rng);
+  EXPECT_EQ(ds.size(), 90u);
+  EXPECT_EQ(ds.dim(), 4u);
+  EXPECT_EQ(ds.num_classes(), 3u);
+  EXPECT_TRUE(ds.Validate(0.0, 1.0).ok());
+  EXPECT_EQ(ds.ClassCounts(), (std::vector<size_t>{30, 30, 30}));
+
+  util::Rng rng2(5);
+  Dataset ds2 = GenerateGaussianBlobs(4, 3, 90, 0.05, &rng2);
+  EXPECT_EQ(ds.x(10), ds2.x(10));
+}
+
+TEST(GaussianBlobsTest, LowNoiseBlobsAreSeparable) {
+  util::Rng rng(6);
+  Dataset ds = GenerateGaussianBlobs(8, 3, 300, 0.02, &rng);
+  // 1-NN against class means should classify nearly perfectly.
+  std::vector<Vec> means;
+  for (size_t c = 0; c < 3; ++c) means.push_back(ds.ClassMean(c));
+  size_t correct = 0;
+  for (size_t i = 0; i < ds.size(); ++i) {
+    size_t best = 0;
+    double best_dist = linalg::L2Distance(ds.x(i), means[0]);
+    for (size_t c = 1; c < 3; ++c) {
+      double dist = linalg::L2Distance(ds.x(i), means[c]);
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = c;
+      }
+    }
+    correct += best == ds.label(i) ? 1 : 0;
+  }
+  EXPECT_GT(static_cast<double>(correct) / ds.size(), 0.99);
+}
+
+}  // namespace
+}  // namespace openapi::data

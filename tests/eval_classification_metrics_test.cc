@@ -1,0 +1,85 @@
+#include "eval/classification_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/plnn.h"
+#include "nn/trainer.h"
+
+namespace openapi::eval {
+namespace {
+
+TEST(ConfusionMatrixTest, PerfectClassifier) {
+  ConfusionMatrix cm(3);
+  cm.Add(0, 0);
+  cm.Add(1, 1);
+  cm.Add(2, 2);
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 1.0);
+  for (size_t c = 0; c < 3; ++c) {
+    EXPECT_DOUBLE_EQ(cm.Precision(c), 1.0);
+    EXPECT_DOUBLE_EQ(cm.Recall(c), 1.0);
+    EXPECT_DOUBLE_EQ(cm.F1(c), 1.0);
+  }
+  EXPECT_DOUBLE_EQ(cm.MacroF1(), 1.0);
+}
+
+TEST(ConfusionMatrixTest, KnownCounts) {
+  // 2-class example: truth 0 predicted {0,0,1}, truth 1 predicted {1,0}.
+  ConfusionMatrix cm(2);
+  cm.Add(0, 0);
+  cm.Add(0, 0);
+  cm.Add(0, 1);
+  cm.Add(1, 1);
+  cm.Add(1, 0);
+  EXPECT_EQ(cm.total(), 5u);
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 3.0 / 5.0);
+  // Class 0: tp=2, fp=1 (truth1->pred0), fn=1 (truth0->pred1).
+  EXPECT_DOUBLE_EQ(cm.Precision(0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cm.Recall(0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cm.F1(0), 2.0 / 3.0);
+  // Class 1: tp=1, fp=1, fn=1.
+  EXPECT_DOUBLE_EQ(cm.Precision(1), 0.5);
+  EXPECT_DOUBLE_EQ(cm.Recall(1), 0.5);
+}
+
+TEST(ConfusionMatrixTest, NeverPredictedClassHasZeroPrecision) {
+  ConfusionMatrix cm(3);
+  cm.Add(0, 0);
+  cm.Add(2, 0);  // class 1 never appears either way, class 2 never predicted
+  EXPECT_DOUBLE_EQ(cm.Precision(1), 0.0);
+  EXPECT_DOUBLE_EQ(cm.Recall(1), 0.0);
+  EXPECT_DOUBLE_EQ(cm.F1(1), 0.0);
+  EXPECT_DOUBLE_EQ(cm.Precision(2), 0.0);
+  EXPECT_DOUBLE_EQ(cm.Recall(2), 0.0);
+}
+
+TEST(ConfusionMatrixTest, EmptyMatrix) {
+  ConfusionMatrix cm(2);
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.MacroF1(), 0.0);
+}
+
+TEST(ConfusionMatrixTest, AddDatasetMatchesAccuracyHelper) {
+  util::Rng init(1);
+  nn::Plnn net({4, 6, 3}, &init);
+  data::Dataset ds(4, 3);
+  util::Rng rng(2);
+  for (int i = 0; i < 60; ++i) {
+    ds.Add(rng.UniformVector(4, 0, 1), rng.Index(3));
+  }
+  ConfusionMatrix cm(3);
+  cm.AddDataset(net, ds);
+  EXPECT_EQ(cm.total(), 60u);
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), nn::Accuracy(net, ds));
+}
+
+TEST(ConfusionMatrixTest, ToStringContainsCountsAndMetrics) {
+  ConfusionMatrix cm(2);
+  cm.Add(0, 0);
+  cm.Add(1, 0);
+  std::string rendered = cm.ToString();
+  EXPECT_NE(rendered.find("truth\\pred"), std::string::npos);
+  EXPECT_NE(rendered.find("F1="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace openapi::eval

@@ -1,0 +1,76 @@
+#include "eval/heatmap.h"
+
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace openapi::eval {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::string ReadBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(RenderAsciiTest, ShapeAndGlyphs) {
+  Vec values = {1.0, -1.0, 0.0, 0.5};
+  std::string art = RenderAscii(values, 2, 2);
+  // Two rows of two glyphs plus newlines.
+  EXPECT_EQ(art.size(), 6u);
+  EXPECT_EQ(art[0], '#');   // strongest positive
+  EXPECT_EQ(art[1], '@');   // strongest negative
+  EXPECT_EQ(art[2], '\n');
+  EXPECT_EQ(art[3], '.');   // zero
+}
+
+TEST(RenderAsciiTest, AllZeroRendersDots) {
+  std::string art = RenderAscii(Vec(4, 0.0), 2, 2);
+  EXPECT_EQ(art, "..\n..\n");
+}
+
+TEST(WritePgmTest, HeaderAndPayload) {
+  std::string path = TempPath("map.pgm");
+  Vec values = {0.0, 1.0, -1.0, 0.5};
+  ASSERT_TRUE(WritePgm(path, values, 2, 2).ok());
+  std::string content = ReadBinary(path);
+  EXPECT_EQ(content.substr(0, 3), "P5\n");
+  // Payload: last 4 bytes are the normalized magnitudes.
+  std::string payload = content.substr(content.size() - 4);
+  EXPECT_EQ(static_cast<unsigned char>(payload[0]), 0);
+  EXPECT_EQ(static_cast<unsigned char>(payload[1]), 255);
+  EXPECT_EQ(static_cast<unsigned char>(payload[2]), 255);  // |-1| = 1
+  EXPECT_EQ(static_cast<unsigned char>(payload[3]), 128);
+}
+
+TEST(WritePgmTest, RejectsSizeMismatch) {
+  EXPECT_TRUE(
+      WritePgm(TempPath("bad.pgm"), Vec(3, 0.0), 2, 2).IsInvalidArgument());
+}
+
+TEST(WriteSignedPpmTest, RedForPositiveBlueForNegative) {
+  std::string path = TempPath("map.ppm");
+  Vec values = {1.0, -1.0};
+  ASSERT_TRUE(WriteSignedPpm(path, values, 2, 1).ok());
+  std::string content = ReadBinary(path);
+  EXPECT_EQ(content.substr(0, 3), "P6\n");
+  std::string payload = content.substr(content.size() - 6);
+  // Pixel 0: pure red; pixel 1: pure blue.
+  EXPECT_EQ(static_cast<unsigned char>(payload[0]), 255);
+  EXPECT_EQ(static_cast<unsigned char>(payload[1]), 0);
+  EXPECT_EQ(static_cast<unsigned char>(payload[2]), 0);
+  EXPECT_EQ(static_cast<unsigned char>(payload[3]), 0);
+  EXPECT_EQ(static_cast<unsigned char>(payload[4]), 0);
+  EXPECT_EQ(static_cast<unsigned char>(payload[5]), 255);
+}
+
+TEST(WriteSignedPpmTest, FailsOnBadPath) {
+  EXPECT_TRUE(WriteSignedPpm("/no/dir/x.ppm", Vec(1, 0.0), 1, 1).IsIoError());
+}
+
+}  // namespace
+}  // namespace openapi::eval

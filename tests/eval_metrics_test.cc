@@ -1,0 +1,229 @@
+// Tests for the experiment metrics: flipping (CPP/NLCI), consistency (CS),
+// sample quality (RD/WD), exactness (L1Dist), and nearest neighbor.
+
+#include <gtest/gtest.h>
+
+#include "eval/consistency.h"
+#include "eval/exactness.h"
+#include "eval/flipping.h"
+#include "eval/nearest_neighbor.h"
+#include "eval/sample_quality.h"
+#include "nn/plnn.h"
+
+namespace openapi::eval {
+namespace {
+
+nn::Plnn MakeNet(uint64_t seed = 5) {
+  util::Rng rng(seed);
+  return nn::Plnn({4, 8, 3}, &rng);
+}
+
+TEST(FlippingTest, CurveLengthsAndClamping) {
+  nn::Plnn net = MakeNet();
+  util::Rng rng(1);
+  Vec x0 = rng.UniformVector(4, 0.2, 0.8);
+  Vec attribution = {0.5, -0.3, 0.1, -0.9};
+  FlippingCurve curve = EvaluateFlipping(net, x0, 0, attribution, 200);
+  EXPECT_EQ(curve.cpp.size(), 4u);  // clamped to d
+  EXPECT_EQ(curve.label_changed.size(), 4u);
+}
+
+TEST(FlippingTest, CppIsNonNegativeAndBounded) {
+  nn::Plnn net = MakeNet();
+  util::Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    Vec x0 = rng.UniformVector(4, 0, 1);
+    Vec attribution = rng.GaussianVector(4, 0, 1);
+    FlippingCurve curve = EvaluateFlipping(net, x0, 1, attribution, 4);
+    for (double v : curve.cpp) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(FlippingTest, LabelChangedIsMonotone) {
+  // Once an instance's label flips it stays counted (cumulative flag).
+  nn::Plnn net = MakeNet();
+  util::Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    Vec x0 = rng.UniformVector(4, 0, 1);
+    Vec attribution = rng.GaussianVector(4, 0, 1);
+    FlippingCurve curve = EvaluateFlipping(net, x0, 0, attribution, 4);
+    for (size_t t = 1; t < curve.label_changed.size(); ++t) {
+      EXPECT_GE(curve.label_changed[t], curve.label_changed[t - 1]);
+    }
+  }
+}
+
+TEST(FlippingTest, FlipRuleUsesSigns) {
+  // With an attribution that marks feature 0 positive, the first flip must
+  // set x[0] = 0; verify through a model whose prediction is sensitive to
+  // exactly that change.
+  nn::Plnn net = MakeNet(6);
+  Vec x0 = {0.9, 0.5, 0.5, 0.5};
+  Vec attribution = {1.0, 0.0, 0.0, 0.0};
+  FlippingCurve curve = EvaluateFlipping(net, x0, 0, attribution, 1);
+  Vec x_flipped = x0;
+  x_flipped[0] = 0.0;
+  double expected =
+      std::fabs(net.Predict(x_flipped)[0] - net.Predict(x0)[0]);
+  EXPECT_NEAR(curve.cpp[0], expected, 1e-12);
+}
+
+TEST(FlippingTest, GroundTruthAttributionFlipsLabelsFasterThanRandom) {
+  nn::Plnn net = MakeNet(7);
+  util::Rng rng(4);
+  std::vector<FlippingCurve> truth_curves, random_curves;
+  for (int trial = 0; trial < 50; ++trial) {
+    Vec x0 = rng.UniformVector(4, 0, 1);
+    size_t c = linalg::ArgMax(net.Predict(x0));
+    Vec truth = api::GroundTruthDecisionFeatures(net.LocalModelAt(x0), c);
+    Vec random = rng.GaussianVector(4, 0, 1);
+    truth_curves.push_back(EvaluateFlipping(net, x0, c, truth, 4));
+    random_curves.push_back(EvaluateFlipping(net, x0, c, random, 4));
+  }
+  AggregateFlipping truth_agg = AggregateCurves(truth_curves);
+  AggregateFlipping random_agg = AggregateCurves(random_curves);
+  // Informed flipping changes predictions at least as much as random.
+  EXPECT_GE(truth_agg.avg_cpp.back(), random_agg.avg_cpp.back() - 0.05);
+  EXPECT_GE(truth_agg.nlci.back(), random_agg.nlci.back() - 2.0);
+}
+
+TEST(AggregateTest, AveragesAndCounts) {
+  FlippingCurve a{{0.2, 0.4}, {0, 1}};
+  FlippingCurve b{{0.4, 0.8}, {1, 1}};
+  AggregateFlipping agg = AggregateCurves({a, b});
+  EXPECT_NEAR(agg.avg_cpp[0], 0.3, 1e-12);
+  EXPECT_NEAR(agg.avg_cpp[1], 0.6, 1e-12);
+  EXPECT_DOUBLE_EQ(agg.nlci[0], 1.0);
+  EXPECT_DOUBLE_EQ(agg.nlci[1], 2.0);
+}
+
+TEST(AggregateTest, EmptyInput) {
+  AggregateFlipping agg = AggregateCurves({});
+  EXPECT_TRUE(agg.avg_cpp.empty());
+  EXPECT_TRUE(agg.nlci.empty());
+}
+
+TEST(AopcTest, AveragesPrefix) {
+  FlippingCurve curve{{0.1, 0.3, 0.5, 0.9}, {0, 0, 1, 1}};
+  EXPECT_DOUBLE_EQ(Aopc(curve, 1), 0.1);
+  EXPECT_DOUBLE_EQ(Aopc(curve, 2), 0.2);
+  EXPECT_DOUBLE_EQ(Aopc(curve, 4), 0.45);
+  // k beyond the curve clamps.
+  EXPECT_DOUBLE_EQ(Aopc(curve, 100), 0.45);
+  EXPECT_DOUBLE_EQ(Aopc(curve, 0), 0.0);
+  EXPECT_DOUBLE_EQ(Aopc(FlippingCurve{}, 3), 0.0);
+}
+
+TEST(AopcTest, MeanOverCurves) {
+  FlippingCurve a{{0.2, 0.4}, {0, 0}};
+  FlippingCurve b{{0.6, 0.8}, {1, 1}};
+  EXPECT_DOUBLE_EQ(MeanAopc({a, b}, 2), 0.5);
+  EXPECT_DOUBLE_EQ(MeanAopc({}, 2), 0.0);
+}
+
+TEST(AopcTest, BetterAttributionHigherAopc) {
+  nn::Plnn net = MakeNet(30);
+  util::Rng rng(31);
+  std::vector<FlippingCurve> truth_curves, anti_curves;
+  for (int t = 0; t < 40; ++t) {
+    Vec x0 = rng.UniformVector(4, 0, 1);
+    size_t c = linalg::ArgMax(net.Predict(x0));
+    Vec truth = api::GroundTruthDecisionFeatures(net.LocalModelAt(x0), c);
+    // An adversarially useless attribution: all-zero weights => arbitrary
+    // flip order with sign treated as positive everywhere.
+    Vec zeros(4, 0.0);
+    truth_curves.push_back(EvaluateFlipping(net, x0, c, truth, 4));
+    anti_curves.push_back(EvaluateFlipping(net, x0, c, zeros, 4));
+  }
+  EXPECT_GE(MeanAopc(truth_curves, 2), MeanAopc(anti_curves, 2) - 0.02);
+}
+
+TEST(ConsistencyTest, SummarySortsDescending) {
+  ConsistencySummary s = SummarizeConsistency({0.1, 0.9, 0.5});
+  EXPECT_EQ(s.sorted_cs, (std::vector<double>{0.9, 0.5, 0.1}));
+  EXPECT_NEAR(s.mean_cs, 0.5, 1e-12);
+}
+
+TEST(ConsistencyTest, EmptySummary) {
+  ConsistencySummary s = SummarizeConsistency({});
+  EXPECT_TRUE(s.sorted_cs.empty());
+  EXPECT_DOUBLE_EQ(s.mean_cs, 0.0);
+}
+
+TEST(NearestNeighborTest, FindsNearest) {
+  data::Dataset ds(2, 2);
+  ds.Add({0.0, 0.0}, 0);
+  ds.Add({1.0, 1.0}, 1);
+  ds.Add({0.2, 0.1}, 0);
+  NearestNeighborIndex index(&ds);
+  EXPECT_EQ(index.Nearest({0.05, 0.05}, SIZE_MAX), 0u);
+  EXPECT_EQ(index.Nearest({0.05, 0.05}, /*exclude=*/0), 2u);
+  EXPECT_EQ(index.Nearest({0.9, 0.9}, SIZE_MAX), 1u);
+}
+
+TEST(NearestNeighborTest, KNearestOrdered) {
+  data::Dataset ds(1, 2);
+  for (int i = 0; i < 10; ++i) ds.Add({i * 0.1}, 0);
+  NearestNeighborIndex index(&ds);
+  auto knn = index.KNearest({0.0}, 3, SIZE_MAX);
+  EXPECT_EQ(knn, (std::vector<size_t>{0, 1, 2}));
+  auto knn_excl = index.KNearest({0.0}, 3, /*exclude=*/0);
+  EXPECT_EQ(knn_excl, (std::vector<size_t>{1, 2, 3}));
+}
+
+TEST(WeightDifferenceTest, ZeroForSameRegionProbes) {
+  nn::Plnn net = MakeNet(8);
+  util::Rng rng(9);
+  Vec x0 = rng.UniformVector(4, 0.2, 0.8);
+  std::vector<Vec> probes;
+  for (int i = 0; i < 5; ++i) {
+    Vec p = x0;
+    for (double& v : p) v += rng.Uniform(-1e-12, 1e-12);
+    probes.push_back(p);
+  }
+  if (api::RegionDifference(net, x0, probes) == 0) {
+    EXPECT_DOUBLE_EQ(WeightDifference(net, x0, 0, probes), 0.0);
+  }
+}
+
+TEST(WeightDifferenceTest, PositiveForForeignRegionProbes) {
+  nn::Plnn net = MakeNet(10);
+  util::Rng rng(11);
+  Vec x0 = rng.UniformVector(4, 0.2, 0.8);
+  // Find a probe in a different region with different core parameters.
+  for (int i = 0; i < 500; ++i) {
+    Vec p = rng.UniformVector(4, 0, 1);
+    if (net.RegionId(p) != net.RegionId(x0)) {
+      double wd = WeightDifference(net, x0, 0, {p});
+      EXPECT_GT(wd, 0.0);
+      return;
+    }
+  }
+  FAIL() << "no foreign-region probe found";
+}
+
+TEST(SummarizeTest, MinMeanMax) {
+  MinMeanMax s = Summarize({3.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+  MinMeanMax empty = Summarize({});
+  EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+}
+
+TEST(L1DistTest, ZeroForGroundTruthEstimate) {
+  nn::Plnn net = MakeNet(12);
+  util::Rng rng(13);
+  Vec x0 = rng.UniformVector(4, 0.1, 0.9);
+  Vec truth = api::GroundTruthDecisionFeatures(net.LocalModelAt(x0), 1);
+  EXPECT_DOUBLE_EQ(L1Dist(net, x0, 1, truth), 0.0);
+  Vec off = truth;
+  off[0] += 0.5;
+  EXPECT_NEAR(L1Dist(net, x0, 1, off), 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace openapi::eval

@@ -1,0 +1,163 @@
+// Tests for the eval tooling added on top of the paper's metrics: gnuplot
+// emitters, stratified cross-validation, and interpretation reports.
+
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "eval/cross_validation.h"
+#include "eval/plotting.h"
+#include "interpret/report.h"
+#include "lmt/logistic_regression.h"
+
+namespace openapi::eval {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(PlottingTest, EmitsValidScript) {
+  PlotSpec spec;
+  spec.title = "Fig 7";
+  spec.xlabel = "instance";
+  spec.ylabel = "L1Dist";
+  spec.logscale_y = true;
+  spec.series = {"OpenAPI", "N(1e-2)"};
+  std::string path = TempPath("fig.gnuplot");
+  ASSERT_TRUE(WriteGnuplotScript(path, "fig7.csv", spec).ok());
+  std::string script = ReadFile(path);
+  EXPECT_NE(script.find("set logscale y"), std::string::npos);
+  EXPECT_NE(script.find("OpenAPI"), std::string::npos);
+  EXPECT_NE(script.find("N(1e-2)"), std::string::npos);
+  EXPECT_NE(script.find("fig7.csv"), std::string::npos);
+  EXPECT_NE(script.find("fig.png"), std::string::npos);
+}
+
+TEST(PlottingTest, RejectsEmptySeries) {
+  PlotSpec spec;
+  EXPECT_TRUE(WriteGnuplotScript(TempPath("x.gnuplot"), "a.csv", spec)
+                  .IsInvalidArgument());
+}
+
+TEST(PlottingTest, RejectsBadColumns) {
+  PlotSpec spec;
+  spec.series = {"a"};
+  spec.x_column = 0;
+  EXPECT_TRUE(WriteGnuplotScript(TempPath("y.gnuplot"), "a.csv", spec)
+                  .IsInvalidArgument());
+}
+
+TEST(CrossValidationTest, FoldsPartitionTheDataset) {
+  util::Rng data_rng(1);
+  data::Dataset ds = data::GenerateGaussianBlobs(3, 3, 90, 0.1, &data_rng);
+  util::Rng rng(2);
+  std::vector<Fold> folds = StratifiedKFold(ds, 5, &rng);
+  ASSERT_EQ(folds.size(), 5u);
+  std::vector<int> seen(ds.size(), 0);
+  for (const Fold& fold : folds) {
+    EXPECT_EQ(fold.train.size() + fold.validation.size(), ds.size());
+    for (size_t i : fold.validation) ++seen[i];
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);  // exact partition
+}
+
+TEST(CrossValidationTest, FoldsAreStratified) {
+  util::Rng data_rng(3);
+  data::Dataset ds = data::GenerateGaussianBlobs(3, 3, 90, 0.1, &data_rng);
+  util::Rng rng(4);
+  std::vector<Fold> folds = StratifiedKFold(ds, 3, &rng);
+  for (const Fold& fold : folds) {
+    std::vector<size_t> counts(3, 0);
+    for (size_t i : fold.validation) ++counts[ds.label(i)];
+    // 90 balanced instances over 3 folds -> exactly 10 per class per fold.
+    for (size_t c : counts) EXPECT_EQ(c, 10u);
+  }
+}
+
+TEST(CrossValidationTest, CrossValidateRunsEvaluatorPerFold) {
+  util::Rng data_rng(5);
+  data::Dataset ds = data::GenerateGaussianBlobs(4, 3, 120, 0.05, &data_rng);
+  util::Rng rng(6);
+  size_t calls = 0;
+  MinMeanMax scores = CrossValidate(
+      ds, 4, &rng,
+      [&calls](const data::Dataset& train, const data::Dataset& val) {
+        ++calls;
+        lmt::LogisticRegression lr(train.dim(), train.num_classes());
+        lmt::LogisticRegressionConfig config;
+        config.max_iters = 80;
+        lr.Fit(train, {}, config);
+        size_t correct = 0;
+        for (size_t i = 0; i < val.size(); ++i) {
+          if (linalg::ArgMax(lr.Predict(val.x(i))) == val.label(i)) {
+            ++correct;
+          }
+        }
+        return static_cast<double>(correct) /
+               static_cast<double>(val.size());
+      });
+  EXPECT_EQ(calls, 4u);
+  // Tight blobs: every fold should validate well.
+  EXPECT_GT(scores.min, 0.85);
+  EXPECT_LE(scores.max, 1.0);
+}
+
+TEST(ReportTest, RanksAndSplitsContributions) {
+  interpret::Interpretation interp;
+  interp.dc = {0.5, -0.3, 0.0, 0.9, -0.7};
+  interp.queries = 12;
+  interp.iterations = 2;
+  linalg::Vec x0 = {0.1, 0.2, 0.3, 0.4, 0.5};
+  linalg::Vec y = {0.2, 0.8};
+  interpret::InterpretationReport report =
+      interpret::BuildReport(interp, x0, 1, y, 2);
+  EXPECT_EQ(report.predicted_class, 1u);
+  EXPECT_DOUBLE_EQ(report.predicted_probability, 0.8);
+  ASSERT_EQ(report.supporting.size(), 2u);
+  EXPECT_EQ(report.supporting[0].feature, 3u);   // weight 0.9
+  EXPECT_EQ(report.supporting[1].feature, 0u);   // weight 0.5
+  ASSERT_EQ(report.opposing.size(), 2u);
+  EXPECT_EQ(report.opposing[0].feature, 4u);     // weight -0.7
+  EXPECT_EQ(report.opposing[1].feature, 1u);     // weight -0.3
+  EXPECT_NEAR(report.support_mass, 1.4 / 2.4, 1e-12);
+  EXPECT_EQ(report.queries, 12u);
+}
+
+TEST(ReportTest, ZeroWeightsYieldEmptyLists) {
+  interpret::Interpretation interp;
+  interp.dc = {0.0, 0.0};
+  linalg::Vec x0 = {0.5, 0.5};
+  linalg::Vec y = {1.0};
+  auto report = interpret::BuildReport(interp, x0, 0, y, 3);
+  EXPECT_TRUE(report.supporting.empty());
+  EXPECT_TRUE(report.opposing.empty());
+  EXPECT_DOUBLE_EQ(report.support_mass, 0.0);
+}
+
+TEST(ReportTest, RenderingContainsKeyFacts) {
+  interpret::Interpretation interp;
+  interp.dc = {0.5, -0.3, 0.1, 0.0};
+  interp.queries = 7;
+  linalg::Vec x0 = {0.1, 0.9, 0.4, 0.2};
+  linalg::Vec y = {0.6, 0.4};
+  auto report = interpret::BuildReport(interp, x0, 0, y, 2);
+  std::string text = interpret::RenderReport(report, /*width=*/2);
+  EXPECT_NE(text.find("class 0"), std::string::npos);
+  EXPECT_NE(text.find("7 API queries"), std::string::npos);
+  EXPECT_NE(text.find("pixel(0,0)"), std::string::npos);  // feature 0
+  EXPECT_NE(text.find("opposing"), std::string::npos);
+  // No width -> plain feature names.
+  std::string flat = interpret::RenderReport(report);
+  EXPECT_NE(flat.find("f0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace openapi::eval

@@ -1,0 +1,156 @@
+// Tests for CachedInterpreter (region-cache amortization of OpenAPI) and
+// for interpretation behaviour against noisy / adversarial APIs.
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "eval/exactness.h"
+#include "extract/cached_interpreter.h"
+#include "interpret/openapi_method.h"
+#include "lmt/lmt.h"
+#include "nn/plnn.h"
+
+namespace openapi::extract {
+namespace {
+
+lmt::LogisticModelTree MakeTree(uint64_t seed = 1) {
+  util::Rng data_rng(seed);
+  data::Dataset train =
+      data::GenerateGaussianBlobs(5, 3, 400, 0.08, &data_rng);
+  lmt::LmtConfig config;
+  config.min_split_size = 60;
+  config.max_depth = 3;
+  config.accuracy_threshold = 1.01;
+  config.leaf_config.max_iters = 80;
+  return lmt::LogisticModelTree::Fit(train, config);
+}
+
+TEST(CachedInterpreterTest, ExactAnswersOnBothPaths) {
+  lmt::LogisticModelTree tree = MakeTree();
+  api::PredictionApi api(&tree);
+  CachedInterpreter cached;
+  util::Rng rng(2);
+  for (int trial = 0; trial < 30; ++trial) {
+    Vec x0 = rng.UniformVector(5, 0.05, 0.95);
+    size_t c = rng.Index(3);
+    auto result = cached.Interpret(api, x0, c, &rng);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_LT(eval::L1Dist(tree, x0, c, result->dc), 1e-6)
+        << "trial " << trial;
+  }
+  // With only num_leaves regions, the cache must have been hit.
+  EXPECT_GT(cached.cache_hits(), 0u);
+  EXPECT_LE(cached.cache_size(), tree.num_leaves());
+  EXPECT_EQ(cached.cache_hits() + cached.cache_misses(), 30u);
+}
+
+TEST(CachedInterpreterTest, HitsCostTwoQueries) {
+  lmt::LogisticModelTree tree = MakeTree(3);
+  api::PredictionApi api(&tree);
+  CachedInterpreter cached;
+  util::Rng rng(4);
+  Vec x0 = rng.UniformVector(5, 0.2, 0.8);
+  auto miss = cached.Interpret(api, x0, 0, &rng);
+  ASSERT_TRUE(miss.ok());
+  EXPECT_GT(miss->queries, 2u);  // full extraction
+  // Same instance again: cache hit, exactly 2 queries (x0 + validation).
+  auto hit = cached.Interpret(api, x0, 0, &rng);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(hit->queries, 2u);
+  EXPECT_EQ(hit->iterations, 0u);
+  EXPECT_LT(linalg::L1Distance(miss->dc, hit->dc), 1e-9);
+}
+
+TEST(CachedInterpreterTest, SavesQueriesVersusPlainOpenApi) {
+  lmt::LogisticModelTree tree = MakeTree(5);
+  api::PredictionApi cached_api(&tree);
+  api::PredictionApi plain_api(&tree);
+  CachedInterpreter cached;
+  interpret::OpenApiInterpreter plain;
+  util::Rng rng_a(6), rng_b(6);
+  util::Rng point_rng(7);
+  for (int trial = 0; trial < 40; ++trial) {
+    Vec x0 = point_rng.UniformVector(5, 0.05, 0.95);
+    size_t c = trial % 3;
+    ASSERT_TRUE(cached.Interpret(cached_api, x0, c, &rng_a).ok());
+    ASSERT_TRUE(plain.Interpret(plain_api, x0, c, &rng_b).ok());
+  }
+  EXPECT_LT(cached_api.query_count(), plain_api.query_count() / 2);
+}
+
+TEST(CachedInterpreterTest, DifferentClassesShareOneCacheEntry) {
+  lmt::LogisticModelTree tree = MakeTree(8);
+  api::PredictionApi api(&tree);
+  CachedInterpreter cached;
+  util::Rng rng(9);
+  Vec x0 = rng.UniformVector(5, 0.2, 0.8);
+  ASSERT_TRUE(cached.Interpret(api, x0, 0, &rng).ok());
+  ASSERT_TRUE(cached.Interpret(api, x0, 1, &rng).ok());
+  ASSERT_TRUE(cached.Interpret(api, x0, 2, &rng).ok());
+  EXPECT_EQ(cached.cache_size(), 1u);
+  EXPECT_EQ(cached.cache_misses(), 1u);
+  EXPECT_EQ(cached.cache_hits(), 2u);
+}
+
+TEST(CachedInterpreterTest, RejectsBadArguments) {
+  lmt::LogisticModelTree tree = MakeTree(10);
+  api::PredictionApi api(&tree);
+  CachedInterpreter cached;
+  util::Rng rng(11);
+  EXPECT_TRUE(
+      cached.Interpret(api, {0.5}, 0, &rng).status().IsInvalidArgument());
+  Vec x0 = rng.UniformVector(5, 0, 1);
+  EXPECT_TRUE(
+      cached.Interpret(api, x0, 9, &rng).status().IsInvalidArgument());
+}
+
+TEST(NoisyApiTest, NoiseBreaksExactInterpretationDetectably) {
+  // A nondeterministic endpoint cannot satisfy the consistency test, so
+  // OpenAPI reports DidNotConverge rather than returning a wrong answer.
+  util::Rng init(12);
+  nn::Plnn net({5, 8, 3}, &init);
+  api::PredictionApi noisy(&net, /*round_digits=*/0,
+                           /*noise_stddev=*/1e-3);
+  interpret::OpenApiConfig config;
+  config.max_iterations = 15;
+  interpret::OpenApiInterpreter interpreter(config);
+  util::Rng rng(13);
+  size_t failures = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    Vec x0 = rng.UniformVector(5, 0.2, 0.8);
+    auto result = interpreter.Interpret(noisy, x0, 0, &rng);
+    if (!result.ok()) {
+      EXPECT_TRUE(result.status().IsDidNotConverge());
+      ++failures;
+    }
+  }
+  EXPECT_EQ(failures, 10u);
+}
+
+TEST(NoisyApiTest, NoisyPredictionsStayValidDistributions) {
+  util::Rng init(14);
+  nn::Plnn net({4, 6, 3}, &init);
+  api::PredictionApi noisy(&net, 0, /*noise_stddev=*/0.5);
+  util::Rng rng(15);
+  for (int t = 0; t < 50; ++t) {
+    Vec y = noisy.Predict(rng.UniformVector(4, 0, 1));
+    double sum = 0;
+    for (double p : y) {
+      EXPECT_GT(p, 0.0);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(NoisyApiTest, ZeroNoiseIsExactPassThrough) {
+  util::Rng init(16);
+  nn::Plnn net({4, 6, 3}, &init);
+  api::PredictionApi api(&net, 0, 0.0);
+  util::Rng rng(17);
+  Vec x = rng.UniformVector(4, 0, 1);
+  EXPECT_EQ(api.Predict(x), net.Predict(x));
+}
+
+}  // namespace
+}  // namespace openapi::extract

@@ -1,0 +1,100 @@
+// Interop tests: the reverse-engineering stack (extraction, surrogate,
+// cached interpretation) against the MaxOut PLM family — nothing in
+// extract/ is ReLU-specific, and these tests pin that down.
+
+#include <gtest/gtest.h>
+
+#include "extract/cached_interpreter.h"
+#include "extract/local_model_extractor.h"
+#include "extract/surrogate.h"
+#include "eval/exactness.h"
+#include "nn/maxout.h"
+
+namespace openapi::extract {
+namespace {
+
+nn::MaxoutPlnn MakeNet(uint64_t seed = 1) {
+  util::Rng rng(seed);
+  return nn::MaxoutPlnn({5, 8, 3}, /*pieces=*/3, &rng);
+}
+
+TEST(MaxoutExtractTest, CanonicalModelMatchesApiInRegion) {
+  nn::MaxoutPlnn net = MakeNet();
+  api::PredictionApi api(&net);
+  LocalModelExtractor extractor;
+  util::Rng rng(2);
+  Vec x0 = rng.UniformVector(5, 0.2, 0.8);
+  auto extracted = extractor.Extract(api, x0, &rng);
+  ASSERT_TRUE(extracted.ok()) << extracted.status().ToString();
+  uint64_t region0 = net.RegionId(x0);
+  int checked = 0;
+  for (int t = 0; t < 300 && checked < 20; ++t) {
+    Vec x = x0;
+    for (double& v : x) v += rng.Uniform(-0.02, 0.02);
+    if (net.RegionId(x) != region0) continue;
+    ++checked;
+    Vec from_model = PredictWithLocalModel(extracted->model, x);
+    Vec from_api = net.Predict(x);
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_NEAR(from_model[c], from_api[c], 1e-8);
+    }
+  }
+  EXPECT_GE(checked, 10);
+}
+
+TEST(MaxoutExtractTest, SurrogateCloneWorks) {
+  nn::MaxoutPlnn net = MakeNet(3);
+  api::PredictionApi api(&net);
+  LocalModelExtractor extractor;
+  SurrogatePlm surrogate(5, 3);
+  util::Rng rng(4);
+  std::vector<Vec> anchors, probes;
+  for (int i = 0; i < 40; ++i) anchors.push_back(rng.UniformVector(5, 0, 1));
+  for (int i = 0; i < 60; ++i) probes.push_back(rng.UniformVector(5, 0, 1));
+  for (const Vec& anchor : anchors) {
+    (void)surrogate.AbsorbRegionAt(api, anchor, extractor, &rng);
+  }
+  EXPECT_GT(surrogate.num_regions(), 1u);
+  FidelityReport report = MeasureFidelity(surrogate, api, probes);
+  EXPECT_GT(report.label_agreement, 0.8);
+}
+
+TEST(MaxoutExtractTest, CachedInterpreterExactOnMaxout) {
+  nn::MaxoutPlnn net = MakeNet(5);
+  api::PredictionApi api(&net);
+  CachedInterpreter cached;
+  util::Rng rng(6);
+  for (int trial = 0; trial < 15; ++trial) {
+    Vec x0 = rng.UniformVector(5, 0.1, 0.9);
+    size_t c = rng.Index(3);
+    auto result = cached.Interpret(api, x0, c, &rng);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_LT(eval::L1Dist(net, x0, c, result->dc), 1e-6);
+  }
+  EXPECT_EQ(cached.cache_hits() + cached.cache_misses(), 15u);
+}
+
+TEST(MaxoutExtractTest, SinglePieceNetIsOneRegionEverywhere) {
+  // pieces = 1 makes the whole input space one affine region: the first
+  // extraction's fingerprint covers every anchor and the surrogate is
+  // globally exact.
+  util::Rng init(7);
+  nn::MaxoutPlnn net({4, 6, 3}, /*pieces=*/1, &init);
+  api::PredictionApi api(&net);
+  LocalModelExtractor extractor;
+  SurrogatePlm surrogate(4, 3);
+  util::Rng rng(8);
+  for (int i = 0; i < 10; ++i) {
+    (void)surrogate.AbsorbRegionAt(api, rng.UniformVector(4, 0, 1),
+                                   extractor, &rng);
+  }
+  EXPECT_EQ(surrogate.num_regions(), 1u);
+  std::vector<Vec> probes;
+  for (int i = 0; i < 40; ++i) probes.push_back(rng.UniformVector(4, 0, 1));
+  FidelityReport report = MeasureFidelity(surrogate, api, probes);
+  EXPECT_DOUBLE_EQ(report.label_agreement, 1.0);
+  EXPECT_LT(report.max_prob_gap, 1e-8);
+}
+
+}  // namespace
+}  // namespace openapi::extract

@@ -1,0 +1,176 @@
+// Integration tests: the full paper pipeline at tiny scale — generate
+// synthetic data, train both PLM families, interpret through the API
+// boundary, and check that the headline claims hold end to end.
+
+#include <gtest/gtest.h>
+
+#include "openapi/openapi.h"
+
+namespace openapi {
+namespace {
+
+using linalg::Vec;
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    models_ = new eval::TrainedModels(eval::BuildModels(
+        data::SyntheticStyle::kDigits, eval::TinyScale(), /*seed=*/42));
+  }
+  static void TearDownTestSuite() {
+    delete models_;
+    models_ = nullptr;
+  }
+
+  static eval::TrainedModels* models_;
+};
+
+eval::TrainedModels* PipelineTest::models_ = nullptr;
+
+TEST_F(PipelineTest, ModelsLearnTheTask) {
+  // Table I's qualitative content: both PLM families beat chance (0.25 for
+  // 4 classes) by a wide margin and train accuracy >= test accuracy - eps.
+  EXPECT_GT(models_->plnn_train_acc, 0.7);
+  EXPECT_GT(models_->plnn_test_acc, 0.6);
+  EXPECT_GT(models_->lmt_train_acc, 0.7);
+  EXPECT_GT(models_->lmt_test_acc, 0.6);
+}
+
+TEST_F(PipelineTest, OpenApiIsExactOnBothModelFamilies) {
+  interpret::OpenApiInterpreter interpreter;
+  util::Rng rng(1);
+  for (const eval::TargetModel& target : eval::Targets(*models_)) {
+    api::PredictionApi api(target.model);
+    for (int trial = 0; trial < 8; ++trial) {
+      const Vec& x0 = models_->test.x(rng.Index(models_->test.size()));
+      size_t c = linalg::ArgMax(target.model->Predict(x0));
+      auto result = interpreter.Interpret(api, x0, c, &rng);
+      ASSERT_TRUE(result.ok())
+          << target.label << ": " << result.status().ToString();
+      EXPECT_LT(eval::L1Dist(*target.oracle, x0, c, result->dc), 1e-6)
+          << target.label;
+      EXPECT_EQ(api::RegionDifference(*target.oracle, x0, result->probes), 0)
+          << target.label;
+      EXPECT_DOUBLE_EQ(
+          eval::WeightDifference(*target.oracle, x0, c, result->probes), 0.0)
+          << target.label;
+    }
+  }
+}
+
+TEST_F(PipelineTest, OpenApiBeatsNaiveAtLargeH) {
+  // Fig. 7's shape in miniature: at h = 1e-2 the naive method accumulates
+  // error on instances whose probes cross regions, while OpenAPI stays at
+  // machine precision.
+  interpret::OpenApiInterpreter openapi_method;
+  interpret::NaiveConfig naive_config;
+  naive_config.perturbation_distance = 1e-2;
+  interpret::NaiveInterpreter naive(naive_config);
+
+  api::PredictionApi api(models_->plnn.get());
+  util::Rng rng(2);
+  std::vector<double> openapi_errors, naive_errors;
+  for (int trial = 0; trial < 15; ++trial) {
+    const Vec& x0 = models_->test.x(rng.Index(models_->test.size()));
+    size_t c = linalg::ArgMax(models_->plnn->Predict(x0));
+    auto oa = openapi_method.Interpret(api, x0, c, &rng);
+    auto nv = naive.Interpret(api, x0, c, &rng);
+    ASSERT_TRUE(oa.ok());
+    ASSERT_TRUE(nv.ok());
+    openapi_errors.push_back(eval::L1Dist(*models_->plnn, x0, c, oa->dc));
+    naive_errors.push_back(eval::L1Dist(*models_->plnn, x0, c, nv->dc));
+  }
+  EXPECT_LT(eval::Summarize(openapi_errors).max, 1e-6);
+  EXPECT_GT(eval::Summarize(naive_errors).max,
+            eval::Summarize(openapi_errors).max);
+}
+
+TEST_F(PipelineTest, ConsistencyOfOpenApiIsPerfectWithinRegion) {
+  // Fig. 4's claim: instances in the same locally linear region get
+  // literally identical decision features from OpenAPI (CS = 1).
+  interpret::OpenApiInterpreter interpreter;
+  api::PredictionApi api(models_->plnn.get());
+  util::Rng rng(3);
+  int same_region_pairs = 0;
+  for (int trial = 0; trial < 60 && same_region_pairs < 3; ++trial) {
+    const Vec& x0 = models_->test.x(rng.Index(models_->test.size()));
+    // Synthesize a same-region neighbor by a minuscule perturbation.
+    Vec x1 = x0;
+    for (double& v : x1) v += rng.Uniform(-1e-9, 1e-9);
+    if (models_->plnn->RegionId(x0) != models_->plnn->RegionId(x1)) continue;
+    ++same_region_pairs;
+    size_t c = linalg::ArgMax(models_->plnn->Predict(x0));
+    auto r0 = interpreter.Interpret(api, x0, c, &rng);
+    auto r1 = interpreter.Interpret(api, x1, c, &rng);
+    ASSERT_TRUE(r0.ok());
+    ASSERT_TRUE(r1.ok());
+    EXPECT_GT(eval::InterpretationCosineSimilarity(r0->dc, r1->dc),
+              1.0 - 1e-9);
+  }
+  EXPECT_GE(same_region_pairs, 3);
+}
+
+TEST_F(PipelineTest, FlippingHarnessRunsAllMethods) {
+  // Fig. 3's machinery: every interpreter produces usable attribution
+  // curves through the shared harness.
+  api::PredictionApi api(models_->plnn.get());
+  util::Rng rng(4);
+
+  interpret::OpenApiInterpreter openapi_method;
+  interpret::GradientInterpreter saliency(
+      models_->plnn.get(), interpret::GradientAttribution::kSaliencyMap);
+  interpret::GradientInterpreter gxi(
+      models_->plnn.get(),
+      interpret::GradientAttribution::kGradientTimesInput);
+  interpret::GradientInterpreter ig(
+      models_->plnn.get(),
+      interpret::GradientAttribution::kIntegratedGradients);
+  interpret::LimeInterpreter lime;
+
+  std::vector<const interpret::BlackBoxInterpreter*> methods = {
+      &openapi_method, &saliency, &gxi, &ig, &lime};
+  const Vec& x0 = models_->test.x(0);
+  size_t c = linalg::ArgMax(models_->plnn->Predict(x0));
+  for (const auto* method : methods) {
+    auto result = method->Interpret(api, x0, c, &rng);
+    ASSERT_TRUE(result.ok()) << method->name();
+    eval::FlippingCurve curve = eval::EvaluateFlipping(
+        *models_->plnn, x0, c, result->dc, models_->test.dim());
+    EXPECT_EQ(curve.cpp.size(), models_->test.dim()) << method->name();
+  }
+}
+
+TEST(ScaleTest, Profiles) {
+  EXPECT_EQ(eval::TinyScale().name, "tiny");
+  EXPECT_EQ(eval::SmallScale().name, "small");
+  EXPECT_EQ(eval::LargeScale().name, "large");
+  EXPECT_EQ(eval::LargeScale().width, 28u);
+  EXPECT_EQ(eval::LargeScale().hidden,
+            (std::vector<size_t>{256, 128, 100}));
+}
+
+TEST(ScaleTest, EnvSelection) {
+  setenv("OPENAPI_BENCH_SCALE", "tiny", 1);
+  EXPECT_EQ(eval::ScaleFromEnv().name, "tiny");
+  setenv("OPENAPI_BENCH_SCALE", "large", 1);
+  EXPECT_EQ(eval::ScaleFromEnv().name, "large");
+  setenv("OPENAPI_BENCH_SCALE", "bogus", 1);
+  EXPECT_EQ(eval::ScaleFromEnv().name, "small");
+  unsetenv("OPENAPI_BENCH_SCALE");
+  EXPECT_EQ(eval::ScaleFromEnv().name, "small");
+}
+
+TEST(PickEvalInstancesTest, SamplesWithoutReplacementAndClamps) {
+  data::Dataset test(1, 2);
+  for (int i = 0; i < 20; ++i) test.Add({i / 20.0}, 0);
+  util::Rng rng(5);
+  auto picked = eval::PickEvalInstances(test, 10, &rng);
+  EXPECT_EQ(picked.size(), 10u);
+  std::set<size_t> unique(picked.begin(), picked.end());
+  EXPECT_EQ(unique.size(), 10u);
+  auto clamped = eval::PickEvalInstances(test, 100, &rng);
+  EXPECT_EQ(clamped.size(), 20u);
+}
+
+}  // namespace
+}  // namespace openapi

@@ -1,0 +1,96 @@
+#include "interpret/decision_features.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace openapi::interpret {
+namespace {
+
+TEST(CombinePairEstimatesTest, AveragesDs) {
+  std::vector<CoreParameters> pairs(2);
+  pairs[0].d = {2, 4};
+  pairs[0].b = 1;
+  pairs[1].d = {4, 8};
+  pairs[1].b = 2;
+  EXPECT_EQ(CombinePairEstimates(pairs), (Vec{3, 6}));
+}
+
+TEST(CombinePairEstimatesTest, SinglePairIsIdentity) {
+  std::vector<CoreParameters> pairs(1);
+  pairs[0].d = {1.5, -2.5};
+  EXPECT_EQ(CombinePairEstimates(pairs), (Vec{1.5, -2.5}));
+}
+
+TEST(SampleHypercubeTest, StaysInsideCube) {
+  util::Rng rng(1);
+  Vec x0 = {0.5, -1.0, 2.0};
+  const double r = 0.25;
+  auto probes = SampleHypercube(x0, r, 200, &rng);
+  EXPECT_EQ(probes.size(), 200u);
+  for (const Vec& p : probes) {
+    ASSERT_EQ(p.size(), 3u);
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_LE(std::fabs(p[j] - x0[j]), r);
+    }
+  }
+}
+
+TEST(SampleHypercubeTest, FillsTheCube) {
+  util::Rng rng(2);
+  Vec x0 = {0.0};
+  auto probes = SampleHypercube(x0, 1.0, 2000, &rng);
+  double min_v = 1, max_v = -1;
+  for (const Vec& p : probes) {
+    min_v = std::min(min_v, p[0]);
+    max_v = std::max(max_v, p[0]);
+  }
+  EXPECT_LT(min_v, -0.9);
+  EXPECT_GT(max_v, 0.9);
+}
+
+TEST(BuildCoefficientMatrixTest, LayoutMatchesPaper) {
+  Vec x0 = {10, 20};
+  std::vector<Vec> probes = {{1, 2}, {3, 4}, {5, 6}};
+  Matrix a = BuildCoefficientMatrix(x0, probes);
+  ASSERT_EQ(a.rows(), 4u);
+  ASSERT_EQ(a.cols(), 3u);
+  // Row 0 is [1, x0]; column 0 is all ones (the B_{c,c'} coefficient).
+  EXPECT_EQ(a.Row(0), (Vec{1, 10, 20}));
+  EXPECT_EQ(a.Row(2), (Vec{1, 3, 4}));
+  EXPECT_EQ(a.Col(0), (Vec{1, 1, 1, 1}));
+}
+
+TEST(LogOddsTest, ComputesLogRatio) {
+  Vec y = {0.5, 0.25, 0.25};
+  auto lo = LogOdds(y, 0, 1);
+  ASSERT_TRUE(lo.ok());
+  EXPECT_NEAR(*lo, std::log(2.0), 1e-12);
+  auto self = LogOdds(y, 2, 2);
+  ASSERT_TRUE(self.ok());
+  EXPECT_DOUBLE_EQ(*self, 0.0);
+}
+
+TEST(LogOddsTest, SaturationIsNumericalError) {
+  Vec y = {1.0, 0.0};
+  EXPECT_TRUE(LogOdds(y, 0, 1).status().IsNumericalError());
+  EXPECT_TRUE(LogOdds(y, 1, 0).status().IsNumericalError());
+}
+
+TEST(BuildLogOddsRhsTest, MatchesPerPointLogOdds) {
+  std::vector<Vec> predictions = {{0.5, 0.5}, {0.8, 0.2}, {0.1, 0.9}};
+  auto rhs = BuildLogOddsRhs(predictions, 0, 1);
+  ASSERT_TRUE(rhs.ok());
+  ASSERT_EQ(rhs->size(), 3u);
+  EXPECT_NEAR((*rhs)[0], 0.0, 1e-12);
+  EXPECT_NEAR((*rhs)[1], std::log(4.0), 1e-12);
+  EXPECT_NEAR((*rhs)[2], std::log(1.0 / 9.0), 1e-12);
+}
+
+TEST(BuildLogOddsRhsTest, PropagatesSaturation) {
+  std::vector<Vec> predictions = {{0.5, 0.5}, {1.0, 0.0}};
+  EXPECT_TRUE(BuildLogOddsRhs(predictions, 0, 1).status().IsNumericalError());
+}
+
+}  // namespace
+}  // namespace openapi::interpret

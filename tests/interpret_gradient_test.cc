@@ -1,0 +1,180 @@
+#include "interpret/gradient_methods.h"
+
+#include <gtest/gtest.h>
+
+#include "api/prediction_api.h"
+#include "nn/plnn.h"
+
+namespace openapi::interpret {
+namespace {
+
+nn::Plnn MakeNet(uint64_t seed = 111) {
+  util::Rng rng(seed);
+  return nn::Plnn({5, 8, 3}, &rng);
+}
+
+TEST(SaliencyTest, IsAbsoluteGradient) {
+  nn::Plnn net = MakeNet();
+  util::Rng rng(1);
+  Vec x = rng.UniformVector(5, 0.1, 0.9);
+  Vec grad = api::ProbabilityGradient(net.LocalModelAt(x), x, 1);
+  Vec saliency = ComputeGradientAttribution(
+      net, x, 1, GradientAttribution::kSaliencyMap);
+  ASSERT_EQ(saliency.size(), 5u);
+  for (size_t j = 0; j < 5; ++j) {
+    EXPECT_DOUBLE_EQ(saliency[j], std::fabs(grad[j]));
+    EXPECT_GE(saliency[j], 0.0);
+  }
+}
+
+TEST(GradientTimesInputTest, IsElementwiseProduct) {
+  nn::Plnn net = MakeNet();
+  util::Rng rng(2);
+  Vec x = rng.UniformVector(5, 0.1, 0.9);
+  Vec grad = api::ProbabilityGradient(net.LocalModelAt(x), x, 0);
+  Vec gxi = ComputeGradientAttribution(
+      net, x, 0, GradientAttribution::kGradientTimesInput);
+  for (size_t j = 0; j < 5; ++j) {
+    EXPECT_DOUBLE_EQ(gxi[j], grad[j] * x[j]);
+  }
+}
+
+TEST(GradientTimesInputTest, ZeroInputGivesZeroAttribution) {
+  nn::Plnn net = MakeNet();
+  Vec x(5, 0.0);
+  Vec gxi = ComputeGradientAttribution(
+      net, x, 0, GradientAttribution::kGradientTimesInput);
+  for (double v : gxi) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+// Completeness axiom of Integrated Gradients: the attributions sum to
+// f(x) - f(baseline). Holds up to the Riemann discretization error.
+TEST(IntegratedGradientsTest, CompletenessAxiom) {
+  nn::Plnn net = MakeNet(112);
+  util::Rng rng(3);
+  IntegratedGradientsConfig config;
+  config.num_steps = 600;
+  for (int trial = 0; trial < 10; ++trial) {
+    Vec x = rng.UniformVector(5, 0.1, 0.9);
+    for (size_t c = 0; c < 3; ++c) {
+      Vec ig = ComputeGradientAttribution(
+          net, x, c, GradientAttribution::kIntegratedGradients, config);
+      double attribution_sum = 0;
+      for (double v : ig) attribution_sum += v;
+      double delta = net.Predict(x)[c] - net.Predict(Vec(5, 0.0))[c];
+      EXPECT_NEAR(attribution_sum, delta, 0.02)
+          << "trial " << trial << " class " << c;
+    }
+  }
+}
+
+TEST(IntegratedGradientsTest, CustomBaseline) {
+  nn::Plnn net = MakeNet();
+  util::Rng rng(4);
+  Vec x = rng.UniformVector(5, 0.1, 0.9);
+  IntegratedGradientsConfig config;
+  config.baseline = x;  // degenerate path: zero attribution
+  Vec ig = ComputeGradientAttribution(
+      net, x, 0, GradientAttribution::kIntegratedGradients, config);
+  for (double v : ig) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(SmoothGradTest, DeterministicInConfigSeed) {
+  nn::Plnn net = MakeNet();
+  util::Rng rng(7);
+  Vec x = rng.UniformVector(5, 0.1, 0.9);
+  SmoothGradConfig config;
+  config.seed = 99;
+  Vec a = ComputeGradientAttribution(
+      net, x, 0, GradientAttribution::kSmoothGrad, {}, config);
+  Vec b = ComputeGradientAttribution(
+      net, x, 0, GradientAttribution::kSmoothGrad, {}, config);
+  EXPECT_EQ(a, b);
+}
+
+TEST(SmoothGradTest, ZeroNoiseEqualsPlainGradient) {
+  nn::Plnn net = MakeNet();
+  util::Rng rng(8);
+  Vec x = rng.UniformVector(5, 0.1, 0.9);
+  SmoothGradConfig config;
+  config.noise_stddev = 0.0;
+  Vec sg = ComputeGradientAttribution(
+      net, x, 1, GradientAttribution::kSmoothGrad, {}, config);
+  Vec grad = api::ProbabilityGradient(net.LocalModelAt(x), x, 1);
+  for (size_t j = 0; j < 5; ++j) EXPECT_NEAR(sg[j], grad[j], 1e-12);
+}
+
+TEST(SmoothGradTest, ApproachesLocalGradientAsNoiseShrinks) {
+  nn::Plnn net = MakeNet(113);
+  util::Rng rng(9);
+  Vec x = rng.UniformVector(5, 0.2, 0.8);
+  Vec grad = api::ProbabilityGradient(net.LocalModelAt(x), x, 0);
+  SmoothGradConfig tiny_noise;
+  tiny_noise.noise_stddev = 1e-9;
+  tiny_noise.num_samples = 10;
+  Vec sg = ComputeGradientAttribution(
+      net, x, 0, GradientAttribution::kSmoothGrad, {}, tiny_noise);
+  EXPECT_LT(linalg::L2Distance(sg, grad), 1e-6);
+}
+
+TEST(SmoothGradTest, SmoothsAcrossRegions) {
+  // With large noise, SmoothGrad mixes gradients from several regions, so
+  // it generally differs from the local gradient.
+  nn::Plnn net = MakeNet(114);
+  util::Rng rng(10);
+  Vec x = rng.UniformVector(5, 0.3, 0.7);
+  Vec grad = api::ProbabilityGradient(net.LocalModelAt(x), x, 0);
+  SmoothGradConfig big_noise;
+  big_noise.noise_stddev = 0.5;
+  big_noise.num_samples = 200;
+  Vec sg = ComputeGradientAttribution(
+      net, x, 0, GradientAttribution::kSmoothGrad, {}, big_noise);
+  EXPECT_GT(linalg::L2Distance(sg, grad), 1e-8);
+}
+
+TEST(GradientAttributionTest, Names) {
+  EXPECT_STREQ(GradientAttributionName(GradientAttribution::kSaliencyMap),
+               "SaliencyMaps");
+  EXPECT_STREQ(
+      GradientAttributionName(GradientAttribution::kGradientTimesInput),
+      "Gradient*Input");
+  EXPECT_STREQ(
+      GradientAttributionName(GradientAttribution::kIntegratedGradients),
+      "IntegratedGradient");
+  EXPECT_STREQ(GradientAttributionName(GradientAttribution::kSmoothGrad),
+               "SmoothGrad");
+}
+
+TEST(GradientInterpreterTest, AdapterMatchesDirectComputation) {
+  nn::Plnn net = MakeNet();
+  api::PredictionApi api(&net);
+  GradientInterpreter interpreter(&net,
+                                  GradientAttribution::kSaliencyMap);
+  util::Rng rng(5);
+  Vec x = rng.UniformVector(5, 0.1, 0.9);
+  auto result = interpreter.Interpret(api, x, 2, &rng);
+  ASSERT_TRUE(result.ok());
+  Vec direct = ComputeGradientAttribution(
+      net, x, 2, GradientAttribution::kSaliencyMap);
+  EXPECT_EQ(result->dc, direct);
+  EXPECT_EQ(result->queries, 0u);  // white-box: no API traffic
+  EXPECT_TRUE(result->probes.empty());
+}
+
+TEST(GradientInterpreterTest, RejectsBadArguments) {
+  nn::Plnn net = MakeNet();
+  api::PredictionApi api(&net);
+  GradientInterpreter interpreter(&net,
+                                  GradientAttribution::kSaliencyMap);
+  util::Rng rng(6);
+  EXPECT_TRUE(interpreter.Interpret(api, {0.5}, 0, &rng)
+                  .status()
+                  .IsInvalidArgument());
+  Vec x = rng.UniformVector(5, 0, 1);
+  EXPECT_TRUE(interpreter.Interpret(api, x, 7, &rng)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace openapi::interpret

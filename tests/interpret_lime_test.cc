@@ -1,0 +1,150 @@
+#include "interpret/lime_method.h"
+
+#include <gtest/gtest.h>
+
+#include "api/ground_truth.h"
+#include "linalg/vector_ops.h"
+#include "nn/plnn.h"
+
+namespace openapi::interpret {
+namespace {
+
+nn::Plnn MakeNet(uint64_t seed = 99) {
+  util::Rng rng(seed);
+  return nn::Plnn({5, 8, 3}, &rng);
+}
+
+TEST(LinearLimeTest, ExactWhenSamplesStayInRegion) {
+  nn::Plnn net = MakeNet();
+  api::PredictionApi api(&net);
+  LimeConfig config;
+  config.perturbation_distance = 1e-6;
+  LimeInterpreter lime(config);
+  util::Rng rng(1);
+  int in_region = 0;
+  for (int trial = 0; trial < 25; ++trial) {
+    Vec x0 = rng.UniformVector(5, 0.1, 0.9);
+    auto result = lime.Interpret(api, x0, 0, &rng);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    if (api::RegionDifference(net, x0, result->probes) != 0) continue;
+    ++in_region;
+    Vec truth = api::GroundTruthDecisionFeatures(net.LocalModelAt(x0), 0);
+    EXPECT_LT(linalg::L1Distance(result->dc, truth), 1e-4);
+  }
+  EXPECT_GT(in_region, 15);
+}
+
+TEST(LinearLimeTest, DegradesAcrossRegionBoundaries) {
+  nn::Plnn net = MakeNet(100);
+  api::PredictionApi api(&net);
+  LimeConfig config;
+  config.perturbation_distance = 0.5;
+  LimeInterpreter lime(config);
+  util::Rng rng(2);
+  double worst = 0.0;
+  int crossings = 0;
+  for (int trial = 0; trial < 25; ++trial) {
+    Vec x0 = rng.UniformVector(5, 0.3, 0.7);
+    auto result = lime.Interpret(api, x0, 0, &rng);
+    if (!result.ok()) continue;
+    if (api::RegionDifference(net, x0, result->probes) == 0) continue;
+    ++crossings;
+    Vec truth = api::GroundTruthDecisionFeatures(net.LocalModelAt(x0), 0);
+    worst = std::max(worst, linalg::L1Distance(result->dc, truth));
+  }
+  ASSERT_GT(crossings, 0);
+  EXPECT_GT(worst, 1e-4);
+}
+
+// The paper's Fig. 7 observation: at small h, ridge regression's penalty
+// dominates the vanishing feature variance and the fit collapses toward a
+// constant function — coefficients near zero, intercept near the mean.
+TEST(RidgeLimeTest, CollapsesToConstantAtSmallH) {
+  nn::Plnn net = MakeNet(101);
+  api::PredictionApi api(&net);
+  LimeConfig config;
+  config.perturbation_distance = 1e-8;
+  config.regressor = LimeRegressor::kRidgeRegression;
+  LimeInterpreter ridge(config);
+  util::Rng rng(3);
+  Vec x0 = rng.UniformVector(5, 0.2, 0.8);
+  auto result = ridge.Interpret(api, x0, 0, &rng);
+  ASSERT_TRUE(result.ok());
+  Vec truth = api::GroundTruthDecisionFeatures(net.LocalModelAt(x0), 0);
+  // Coefficients collapse: essentially zero next to the truth.
+  EXPECT_LT(linalg::Norm2(result->dc), 1e-3 * linalg::Norm2(truth));
+  // And therefore the L1 error is essentially ||truth||_1.
+  EXPECT_NEAR(linalg::L1Distance(result->dc, truth), linalg::Norm1(truth),
+              0.05 * linalg::Norm1(truth));
+}
+
+TEST(RidgeLimeTest, RecoversSignalAtModerateH) {
+  nn::Plnn net = MakeNet(102);
+  api::PredictionApi api(&net);
+  LimeConfig config;
+  config.perturbation_distance = 1e-2;
+  config.regressor = LimeRegressor::kRidgeRegression;
+  config.ridge_lambda = 1e-6;  // weak penalty
+  config.num_samples = 60;
+  LimeInterpreter ridge(config);
+  util::Rng rng(4);
+  int checked = 0;
+  for (int trial = 0; trial < 25 && checked < 5; ++trial) {
+    Vec x0 = rng.UniformVector(5, 0.2, 0.8);
+    auto result = ridge.Interpret(api, x0, 0, &rng);
+    ASSERT_TRUE(result.ok());
+    if (api::RegionDifference(net, x0, result->probes) != 0) continue;
+    ++checked;
+    Vec truth = api::GroundTruthDecisionFeatures(net.LocalModelAt(x0), 0);
+    EXPECT_GT(linalg::CosineSimilarity(result->dc, truth), 0.99);
+  }
+  EXPECT_GE(checked, 5);
+}
+
+TEST(LimeTest, SampleCountsAndQueries) {
+  nn::Plnn net = MakeNet();
+  api::PredictionApi api(&net);
+  LimeConfig config;
+  config.num_samples = 20;
+  LimeInterpreter lime(config);
+  util::Rng rng(5);
+  Vec x0 = rng.UniformVector(5, 0.2, 0.8);
+  auto result = lime.Interpret(api, x0, 0, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->probes.size(), 20u);
+  EXPECT_EQ(result->queries, 21u);
+}
+
+TEST(LimeTest, DefaultSampleCountIsTwiceDPlusOne) {
+  nn::Plnn net = MakeNet();
+  api::PredictionApi api(&net);
+  LimeInterpreter lime;
+  util::Rng rng(6);
+  Vec x0 = rng.UniformVector(5, 0.2, 0.8);
+  auto result = lime.Interpret(api, x0, 0, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->probes.size(), 12u);  // 2 * (5 + 1)
+}
+
+TEST(LimeTest, RejectsTooFewSamples) {
+  nn::Plnn net = MakeNet();
+  api::PredictionApi api(&net);
+  LimeConfig config;
+  config.num_samples = 3;  // < d + 1
+  LimeInterpreter lime(config);
+  util::Rng rng(7);
+  Vec x0 = rng.UniformVector(5, 0.2, 0.8);
+  EXPECT_TRUE(
+      lime.Interpret(api, x0, 0, &rng).status().IsInvalidArgument());
+}
+
+TEST(LimeTest, Names) {
+  LimeConfig linear_config;
+  EXPECT_STREQ(LimeInterpreter(linear_config).name(), "LinearLIME");
+  LimeConfig ridge_config;
+  ridge_config.regressor = LimeRegressor::kRidgeRegression;
+  EXPECT_STREQ(LimeInterpreter(ridge_config).name(), "RidgeLIME");
+}
+
+}  // namespace
+}  // namespace openapi::interpret

@@ -1,0 +1,103 @@
+#include "interpret/naive_method.h"
+
+#include <gtest/gtest.h>
+
+#include "api/ground_truth.h"
+#include "nn/plnn.h"
+
+namespace openapi::interpret {
+namespace {
+
+nn::Plnn MakeNet(uint64_t seed = 77) {
+  util::Rng rng(seed);
+  return nn::Plnn({5, 8, 3}, &rng);
+}
+
+// The ideal case of Sec. IV-B: with a perturbation distance small enough
+// that the probes stay inside x0's region, the determined system recovers
+// the exact core parameters.
+TEST(NaiveTest, ExactInIdealCase) {
+  nn::Plnn net = MakeNet();
+  api::PredictionApi api(&net);
+  NaiveConfig config;
+  config.perturbation_distance = 1e-8;
+  NaiveInterpreter naive(config);
+  util::Rng rng(1);
+  size_t ideal_cases = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    Vec x0 = rng.UniformVector(5, 0.1, 0.9);
+    auto result = naive.Interpret(api, x0, 0, &rng);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    if (api::RegionDifference(net, x0, result->probes) != 0) continue;
+    ++ideal_cases;
+    Vec truth = api::GroundTruthDecisionFeatures(net.LocalModelAt(x0), 0);
+    // 1e-8-scale probes amplify rounding by ~1/h, so the tolerance is
+    // looser than OpenAPI's — this is the paper's "instability at tiny h"
+    // observation in miniature.
+    EXPECT_LT(linalg::L1Distance(result->dc, truth), 1e-3);
+  }
+  EXPECT_GT(ideal_cases, 20u);  // at h=1e-8 nearly all cases are ideal
+}
+
+// Theorem 1's practical consequence: with a large perturbation distance
+// some probes cross region boundaries and the naive answer is far off.
+TEST(NaiveTest, WrongWhenIdealCaseFails) {
+  nn::Plnn net = MakeNet(78);
+  api::PredictionApi api(&net);
+  NaiveConfig config;
+  config.perturbation_distance = 0.5;  // huge: probes will cross regions
+  NaiveInterpreter naive(config);
+  util::Rng rng(2);
+  double worst_error = 0.0;
+  int crossing_cases = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    Vec x0 = rng.UniformVector(5, 0.3, 0.7);
+    auto result = naive.Interpret(api, x0, 0, &rng);
+    if (!result.ok()) continue;
+    if (api::RegionDifference(net, x0, result->probes) == 0) continue;
+    ++crossing_cases;
+    Vec truth = api::GroundTruthDecisionFeatures(net.LocalModelAt(x0), 0);
+    worst_error =
+        std::max(worst_error, linalg::L1Distance(result->dc, truth));
+  }
+  ASSERT_GT(crossing_cases, 0);
+  EXPECT_GT(worst_error, 1e-3);
+}
+
+TEST(NaiveTest, UsesExactlyDPlusOneQueries) {
+  nn::Plnn net = MakeNet();
+  api::PredictionApi api(&net);
+  NaiveInterpreter naive;
+  util::Rng rng(3);
+  Vec x0 = rng.UniformVector(5, 0.2, 0.8);
+  auto result = naive.Interpret(api, x0, 0, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->queries, 6u);  // x0 + d probes
+  EXPECT_EQ(result->probes.size(), 5u);
+  EXPECT_EQ(result->iterations, 1u);
+  EXPECT_EQ(result->pairs.size(), 2u);
+}
+
+TEST(NaiveTest, RejectsBadArguments) {
+  nn::Plnn net = MakeNet();
+  api::PredictionApi api(&net);
+  NaiveInterpreter naive;
+  util::Rng rng(4);
+  EXPECT_TRUE(naive.Interpret(api, {0.5}, 0, &rng)
+                  .status()
+                  .IsInvalidArgument());
+  Vec x0 = rng.UniformVector(5, 0, 1);
+  EXPECT_TRUE(
+      naive.Interpret(api, x0, 9, &rng).status().IsInvalidArgument());
+}
+
+TEST(NaiveTest, NameAndConfig) {
+  NaiveConfig config;
+  config.perturbation_distance = 0.125;
+  NaiveInterpreter naive(config);
+  EXPECT_STREQ(naive.name(), "Naive");
+  EXPECT_DOUBLE_EQ(naive.config().perturbation_distance, 0.125);
+}
+
+}  // namespace
+}  // namespace openapi::interpret

@@ -1,0 +1,190 @@
+// End-to-end correctness of Algorithm 1: OpenAPI must recover the exact
+// ground-truth decision features through the API alone, on both PLM
+// families, for every class, across random instances.
+
+#include "interpret/openapi_method.h"
+
+#include <gtest/gtest.h>
+
+#include "api/ground_truth.h"
+#include "data/synthetic.h"
+#include "eval/exactness.h"
+#include "lmt/lmt.h"
+#include "nn/plnn.h"
+
+namespace openapi::interpret {
+namespace {
+
+class OpenApiPlnnTest : public ::testing::Test {
+ protected:
+  OpenApiPlnnTest() : rng_(101), net_(MakeNet()), api_(&net_) {}
+
+  static nn::Plnn MakeNet() {
+    util::Rng rng(55);
+    return nn::Plnn({6, 10, 8, 3}, &rng);
+  }
+
+  util::Rng rng_;
+  nn::Plnn net_;
+  api::PredictionApi api_;
+};
+
+TEST_F(OpenApiPlnnTest, RecoversExactDecisionFeatures) {
+  OpenApiInterpreter interpreter;
+  for (int trial = 0; trial < 25; ++trial) {
+    Vec x0 = rng_.UniformVector(6, 0.05, 0.95);
+    for (size_t c = 0; c < 3; ++c) {
+      auto result = interpreter.Interpret(api_, x0, c, &rng_);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      Vec truth =
+          api::GroundTruthDecisionFeatures(net_.LocalModelAt(x0), c);
+      EXPECT_LT(linalg::L1Distance(result->dc, truth), 1e-6)
+          << "trial " << trial << " class " << c;
+    }
+  }
+}
+
+TEST_F(OpenApiPlnnTest, PairEstimatesMatchGroundTruthCoreParameters) {
+  OpenApiInterpreter interpreter;
+  Vec x0 = rng_.UniformVector(6, 0.1, 0.9);
+  const size_t c = 1;
+  auto result = interpreter.Interpret(api_, x0, c, &rng_);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->pairs.size(), 2u);  // C-1
+  api::LocalLinearModel local = net_.LocalModelAt(x0);
+  size_t pair_idx = 0;
+  for (size_t c_prime = 0; c_prime < 3; ++c_prime) {
+    if (c_prime == c) continue;
+    api::CoreParameters truth =
+        api::GroundTruthCoreParameters(local, c, c_prime);
+    EXPECT_LT(linalg::L1Distance(result->pairs[pair_idx].d, truth.d), 1e-6);
+    EXPECT_NEAR(result->pairs[pair_idx].b, truth.b, 1e-6);
+    ++pair_idx;
+  }
+}
+
+TEST_F(OpenApiPlnnTest, AcceptedProbesShareTheRegion) {
+  // Theorem 2's contrapositive in practice: when OpenAPI accepts a probe
+  // set, those probes lie in x0's locally linear region (up to the
+  // probability-0 exceptions).
+  OpenApiInterpreter interpreter;
+  for (int trial = 0; trial < 10; ++trial) {
+    Vec x0 = rng_.UniformVector(6, 0.1, 0.9);
+    auto result = interpreter.Interpret(api_, x0, 0, &rng_);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(api::RegionDifference(net_, x0, result->probes), 0);
+  }
+}
+
+TEST_F(OpenApiPlnnTest, ReportsQueriesAndIterations) {
+  OpenApiInterpreter interpreter;
+  Vec x0 = rng_.UniformVector(6, 0.1, 0.9);
+  api_.ResetQueryCount();
+  auto result = interpreter.Interpret(api_, x0, 0, &rng_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->iterations, 1u);
+  EXPECT_LE(result->iterations, 100u);
+  // d+1 probes per iteration plus the single x0 query.
+  EXPECT_EQ(result->queries, result->iterations * 7 + 1);
+  EXPECT_EQ(api_.query_count(), result->queries);
+  EXPECT_EQ(result->probes.size(), 7u);
+  // Edge length follows the halving schedule.
+  EXPECT_NEAR(result->edge_length,
+              std::pow(0.5, static_cast<double>(result->iterations - 1)),
+              1e-12);
+}
+
+TEST_F(OpenApiPlnnTest, TerminatesWellWithinPaperBound) {
+  // The paper reports always terminating in < 20 iterations.
+  OpenApiInterpreter interpreter;
+  size_t max_iterations = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    Vec x0 = rng_.UniformVector(6, 0.05, 0.95);
+    auto result = interpreter.Interpret(api_, x0, trial % 3, &rng_);
+    ASSERT_TRUE(result.ok());
+    max_iterations = std::max(max_iterations, result->iterations);
+  }
+  EXPECT_LT(max_iterations, 20u);
+}
+
+TEST_F(OpenApiPlnnTest, RejectsBadArguments) {
+  OpenApiInterpreter interpreter;
+  Vec wrong_dim = {0.1, 0.2};
+  EXPECT_TRUE(interpreter.Interpret(api_, wrong_dim, 0, &rng_)
+                  .status()
+                  .IsInvalidArgument());
+  Vec x0 = rng_.UniformVector(6, 0, 1);
+  EXPECT_TRUE(interpreter.Interpret(api_, x0, 99, &rng_)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(OpenApiPlnnTest, RoundedApiCannotProduceExactFeatures) {
+  // Rounding breaks the exact linear identity, so at useful edge lengths
+  // every probe set is inconsistent. Two legal outcomes, both of which the
+  // caller can detect: DidNotConverge, or — once r has shrunk so far that
+  // the rounded predictions are constant across the probe set — a
+  // degenerate near-zero D_c. What must NOT happen is a "successful"
+  // answer close to the truth with a wrong probe set.
+  api::PredictionApi rounded(&net_, /*round_digits=*/3);
+  OpenApiConfig config;
+  config.max_iterations = 60;
+  OpenApiInterpreter interpreter(config);
+  Vec x0 = rng_.UniformVector(6, 0.2, 0.8);
+  Vec truth = api::GroundTruthDecisionFeatures(net_.LocalModelAt(x0), 0);
+  auto result = interpreter.Interpret(rounded, x0, 0, &rng_);
+  if (result.ok()) {
+    EXPECT_LT(linalg::Norm2(result->dc), 0.01 * linalg::Norm2(truth));
+  } else {
+    EXPECT_TRUE(result.status().IsDidNotConverge());
+  }
+}
+
+TEST(OpenApiLmtTest, RecoversLeafClassifierFeatures) {
+  util::Rng data_rng(7);
+  data::Dataset train =
+      data::GenerateGaussianBlobs(5, 3, 400, 0.08, &data_rng);
+  lmt::LmtConfig config;
+  config.min_split_size = 60;
+  config.max_depth = 3;
+  config.accuracy_threshold = 1.01;  // force real splits
+  config.leaf_config.max_iters = 80;
+  lmt::LogisticModelTree tree = lmt::LogisticModelTree::Fit(train, config);
+  ASSERT_GT(tree.num_leaves(), 1u);
+
+  api::PredictionApi api(&tree);
+  OpenApiInterpreter interpreter;
+  util::Rng rng(8);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Vec& x0 = train.x(rng.Index(train.size()));
+    size_t c = rng.Index(3);
+    auto result = interpreter.Interpret(api, x0, c, &rng);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_LT(eval::L1Dist(tree, x0, c, result->dc), 1e-6);
+  }
+}
+
+TEST(OpenApiBinaryTest, WorksWithTwoClasses) {
+  // Binary classification: C-1 = 1 system; D_c = D_{c,c'} exactly.
+  util::Rng init(9);
+  nn::Plnn net({4, 6, 2}, &init);
+  api::PredictionApi api(&net);
+  OpenApiInterpreter interpreter;
+  util::Rng rng(10);
+  for (int trial = 0; trial < 10; ++trial) {
+    Vec x0 = rng.UniformVector(4, 0.1, 0.9);
+    auto result = interpreter.Interpret(api, x0, 1, &rng);
+    ASSERT_TRUE(result.ok());
+    Vec truth = api::GroundTruthDecisionFeatures(net.LocalModelAt(x0), 1);
+    EXPECT_LT(linalg::L1Distance(result->dc, truth), 1e-7);
+  }
+}
+
+TEST(OpenApiConfigTest, ValidatesParameters) {
+  OpenApiConfig bad;
+  bad.shrink_factor = 1.5;
+  EXPECT_DEATH(OpenApiInterpreter{bad}, "shrink_factor");
+}
+
+}  // namespace
+}  // namespace openapi::interpret

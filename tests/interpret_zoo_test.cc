@@ -1,0 +1,125 @@
+#include "interpret/zoo_method.h"
+
+#include <gtest/gtest.h>
+
+#include "api/ground_truth.h"
+#include "nn/plnn.h"
+
+namespace openapi::interpret {
+namespace {
+
+nn::Plnn MakeNet(uint64_t seed = 88) {
+  util::Rng rng(seed);
+  return nn::Plnn({5, 8, 3}, &rng);
+}
+
+// Inside one region, ln(y_c/y_c') is exactly linear, so the symmetric
+// difference quotient is exact up to floating point cancellation.
+TEST(ZooTest, NearExactWhenProbesStayInRegion) {
+  nn::Plnn net = MakeNet();
+  api::PredictionApi api(&net);
+  ZooConfig config;
+  config.perturbation_distance = 1e-5;
+  ZooInterpreter zoo(config);
+  util::Rng rng(1);
+  int in_region = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    Vec x0 = rng.UniformVector(5, 0.1, 0.9);
+    auto result = zoo.Interpret(api, x0, 0, &rng);
+    ASSERT_TRUE(result.ok());
+    if (api::RegionDifference(net, x0, result->probes) != 0) continue;
+    ++in_region;
+    Vec truth = api::GroundTruthDecisionFeatures(net.LocalModelAt(x0), 0);
+    EXPECT_LT(linalg::L1Distance(result->dc, truth), 1e-5);
+  }
+  EXPECT_GT(in_region, 15);
+}
+
+TEST(ZooTest, LargeStepCrossesRegionsAndDegrades) {
+  nn::Plnn net = MakeNet(89);
+  api::PredictionApi api(&net);
+  ZooConfig config;
+  config.perturbation_distance = 0.5;
+  ZooInterpreter zoo(config);
+  util::Rng rng(2);
+  double worst = 0.0;
+  int crossings = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    Vec x0 = rng.UniformVector(5, 0.3, 0.7);
+    auto result = zoo.Interpret(api, x0, 0, &rng);
+    if (!result.ok()) continue;
+    if (api::RegionDifference(net, x0, result->probes) == 0) continue;
+    ++crossings;
+    Vec truth = api::GroundTruthDecisionFeatures(net.LocalModelAt(x0), 0);
+    worst = std::max(worst, linalg::L1Distance(result->dc, truth));
+  }
+  ASSERT_GT(crossings, 0);
+  EXPECT_GT(worst, 1e-3);
+}
+
+TEST(ZooTest, UsesTwoDPlusOneQueries) {
+  nn::Plnn net = MakeNet();
+  api::PredictionApi api(&net);
+  ZooInterpreter zoo;
+  util::Rng rng(3);
+  Vec x0 = rng.UniformVector(5, 0.2, 0.8);
+  api.ResetQueryCount();
+  auto result = zoo.Interpret(api, x0, 0, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->queries, 11u);  // 1 (x0) + 2d
+  EXPECT_EQ(result->probes.size(), 10u);
+}
+
+TEST(ZooTest, ProbesLieOnAxes) {
+  nn::Plnn net = MakeNet();
+  api::PredictionApi api(&net);
+  ZooConfig config;
+  config.perturbation_distance = 0.01;
+  ZooInterpreter zoo(config);
+  util::Rng rng(4);
+  Vec x0 = rng.UniformVector(5, 0.2, 0.8);
+  auto result = zoo.Interpret(api, x0, 0, &rng);
+  ASSERT_TRUE(result.ok());
+  for (const Vec& p : result->probes) {
+    size_t moved = 0;
+    for (size_t j = 0; j < 5; ++j) {
+      if (p[j] != x0[j]) {
+        ++moved;
+        EXPECT_NEAR(std::fabs(p[j] - x0[j]), 0.01, 1e-15);
+      }
+    }
+    EXPECT_EQ(moved, 1u);  // exactly one coordinate perturbed
+  }
+}
+
+TEST(ZooTest, BiasRecoveredFromEquationTwo) {
+  // In a fully interior point, ZOO's (D, B) pair must satisfy Eq. 2 at x0.
+  nn::Plnn net = MakeNet();
+  api::PredictionApi api(&net);
+  ZooConfig config;
+  config.perturbation_distance = 1e-6;
+  ZooInterpreter zoo(config);
+  util::Rng rng(5);
+  Vec x0 = rng.UniformVector(5, 0.2, 0.8);
+  auto result = zoo.Interpret(api, x0, 0, &rng);
+  ASSERT_TRUE(result.ok());
+  Vec y0 = net.Predict(x0);
+  size_t pair_idx = 0;
+  for (size_t c_prime = 1; c_prime < 3; ++c_prime, ++pair_idx) {
+    double lhs = linalg::Dot(result->pairs[pair_idx].d, x0) +
+                 result->pairs[pair_idx].b;
+    EXPECT_NEAR(lhs, std::log(y0[0] / y0[c_prime]), 1e-9);
+  }
+}
+
+TEST(ZooTest, RejectsBadArguments) {
+  nn::Plnn net = MakeNet();
+  api::PredictionApi api(&net);
+  ZooInterpreter zoo;
+  util::Rng rng(6);
+  EXPECT_TRUE(
+      zoo.Interpret(api, {0.1}, 0, &rng).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace openapi::interpret

@@ -1,0 +1,106 @@
+#include "linalg/cholesky.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/least_squares.h"
+#include "util/rng.h"
+
+namespace openapi::linalg {
+namespace {
+
+TEST(CholeskyTest, SolvesSpdSystem) {
+  Matrix a{{4, 2}, {2, 3}};
+  auto chol = CholeskyDecomposition::Factor(a);
+  ASSERT_TRUE(chol.ok());
+  Vec x = chol->Solve({8, 7});
+  // Verify A x = b.
+  Vec ax = a.Multiply(x);
+  EXPECT_NEAR(ax[0], 8.0, 1e-12);
+  EXPECT_NEAR(ax[1], 7.0, 1e-12);
+}
+
+TEST(CholeskyTest, RejectsNonSquare) {
+  EXPECT_TRUE(CholeskyDecomposition::Factor(Matrix(2, 3))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  Matrix a{{1, 2}, {2, 1}};  // eigenvalues 3, -1
+  auto chol = CholeskyDecomposition::Factor(a);
+  EXPECT_FALSE(chol.ok());
+  EXPECT_TRUE(chol.status().IsNumericalError());
+}
+
+TEST(CholeskyTest, RejectsSingular) {
+  Matrix a{{1, 1}, {1, 1}};
+  EXPECT_FALSE(CholeskyDecomposition::Factor(a).ok());
+}
+
+class CholeskyRandomTest : public ::testing::TestWithParam<size_t> {};
+
+// Property: A = G^T G + I is SPD; Cholesky must factor and solve it.
+TEST_P(CholeskyRandomTest, SolvesRandomSpd) {
+  const size_t n = GetParam();
+  util::Rng rng(50 + n);
+  for (int trial = 0; trial < 10; ++trial) {
+    Matrix g(n, n);
+    for (double& v : g.mutable_data()) v = rng.Gaussian(0, 1);
+    Matrix a = g.Transposed().Multiply(g);
+    for (size_t i = 0; i < n; ++i) a(i, i) += 1.0;
+    Vec x_true = rng.GaussianVector(n, 0, 1);
+    Vec b = a.Multiply(x_true);
+    auto chol = CholeskyDecomposition::Factor(a);
+    ASSERT_TRUE(chol.ok());
+    Vec x = chol->Solve(b);
+    for (size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskyRandomTest,
+                         ::testing::Values(1, 2, 4, 9, 17, 40));
+
+TEST(RidgeTest, ZeroLambdaMatchesLeastSquares) {
+  util::Rng rng(61);
+  Matrix a(10, 3);
+  for (double& v : a.mutable_data()) v = rng.Gaussian(0, 1);
+  Vec b = rng.GaussianVector(10, 0, 1);
+  auto ls = SolveLeastSquares(a, b);
+  ASSERT_TRUE(ls.ok());
+  auto ridge = SolveRidge(a, b, 0.0);
+  ASSERT_TRUE(ridge.ok());
+  for (size_t i = 0; i < 3; ++i) EXPECT_NEAR((*ridge)[i], ls->x[i], 1e-8);
+}
+
+TEST(RidgeTest, LargeLambdaShrinksTowardZero) {
+  util::Rng rng(62);
+  Matrix a(20, 4);
+  for (double& v : a.mutable_data()) v = rng.Gaussian(0, 1);
+  Vec b = rng.GaussianVector(20, 0, 1);
+  auto small = SolveRidge(a, b, 1e-6);
+  auto big = SolveRidge(a, b, 1e6);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(big.ok());
+  EXPECT_LT(Norm2(*big), 1e-3 * std::max(Norm2(*small), 1e-9));
+}
+
+TEST(RidgeTest, RejectsNegativeLambda) {
+  Matrix a(3, 2);
+  EXPECT_TRUE(SolveRidge(a, {1, 2, 3}, -1.0).status().IsInvalidArgument());
+}
+
+TEST(RidgeTest, RejectsDimensionMismatch) {
+  Matrix a(3, 2);
+  EXPECT_TRUE(SolveRidge(a, {1, 2}, 1.0).status().IsInvalidArgument());
+}
+
+TEST(SolveDeterminedTest, MatchesLu) {
+  Matrix a{{3, 1}, {1, 2}};
+  auto x = SolveDetermined(a, {5, 5});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace openapi::linalg

@@ -1,0 +1,148 @@
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace openapi::linalg {
+namespace {
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) EXPECT_EQ(m(r, c), 0.0);
+  }
+  m(1, 2) = 5.0;
+  EXPECT_EQ(m(1, 2), 5.0);
+}
+
+TEST(MatrixTest, InitializerList) {
+  Matrix m{{1, 2}, {3, 4}, {5, 6}};
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_EQ(m(2, 1), 6.0);
+}
+
+TEST(MatrixTest, Identity) {
+  Matrix eye = Matrix::Identity(3);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(eye(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, FromRows) {
+  Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.Row(1), (Vec{4, 5, 6}));
+  EXPECT_EQ(m.Col(2), (Vec{3, 6}));
+}
+
+TEST(MatrixTest, SetRowAndCol) {
+  Matrix m(2, 2);
+  m.SetRow(0, {1, 2});
+  m.SetCol(1, {7, 8});
+  EXPECT_EQ(m(0, 0), 1.0);
+  EXPECT_EQ(m(0, 1), 7.0);
+  EXPECT_EQ(m(1, 1), 8.0);
+}
+
+TEST(MatrixTest, MatrixVector) {
+  Matrix m{{1, 2}, {3, 4}};
+  EXPECT_EQ(m.Multiply(Vec{1, 1}), (Vec{3, 7}));
+  EXPECT_EQ(m.MultiplyTransposed(Vec{1, 1}), (Vec{4, 6}));
+}
+
+TEST(MatrixTest, MatrixMatrix) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}, {7, 8}};
+  Matrix c = a.Multiply(b);
+  EXPECT_EQ(c(0, 0), 19.0);
+  EXPECT_EQ(c(0, 1), 22.0);
+  EXPECT_EQ(c(1, 0), 43.0);
+  EXPECT_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MultiplyByIdentityIsNoop) {
+  util::Rng rng(3);
+  Matrix m(4, 4);
+  for (double& x : m.mutable_data()) x = rng.Gaussian(0, 1);
+  Matrix out = m.Multiply(Matrix::Identity(4));
+  EXPECT_EQ(out, m);
+}
+
+TEST(MatrixTest, TransposedTwiceIsIdentity) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t(2, 1), 6.0);
+  EXPECT_EQ(t.Transposed(), m);
+}
+
+TEST(MatrixTest, AddSub) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{10, 20}, {30, 40}};
+  EXPECT_EQ(a.Add(b)(1, 1), 44.0);
+  EXPECT_EQ(b.Sub(a)(0, 0), 9.0);
+}
+
+TEST(MatrixTest, ScaleInPlace) {
+  Matrix m{{1, -2}};
+  m.ScaleInPlace(-3.0);
+  EXPECT_EQ(m(0, 0), -3.0);
+  EXPECT_EQ(m(0, 1), 6.0);
+}
+
+TEST(MatrixTest, Norms) {
+  Matrix m{{3, 0}, {0, 4}};
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 5.0);
+  EXPECT_DOUBLE_EQ(m.MaxAbs(), 4.0);
+}
+
+TEST(MatrixTest, AllFinite) {
+  Matrix m{{1, 2}};
+  EXPECT_TRUE(m.AllFinite());
+  m(0, 0) = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(m.AllFinite());
+}
+
+// Property: (AB)^T == B^T A^T for random shapes.
+TEST(MatrixProperty, TransposeOfProduct) {
+  util::Rng rng(9);
+  for (int trial = 0; trial < 30; ++trial) {
+    size_t m = 1 + rng.Index(6), k = 1 + rng.Index(6),
+           n = 1 + rng.Index(6);
+    Matrix a(m, k), b(k, n);
+    for (double& x : a.mutable_data()) x = rng.Gaussian(0, 1);
+    for (double& x : b.mutable_data()) x = rng.Gaussian(0, 1);
+    Matrix lhs = a.Multiply(b).Transposed();
+    Matrix rhs = b.Transposed().Multiply(a.Transposed());
+    ASSERT_EQ(lhs.rows(), rhs.rows());
+    ASSERT_EQ(lhs.cols(), rhs.cols());
+    for (size_t i = 0; i < lhs.size(); ++i) {
+      EXPECT_NEAR(lhs.data()[i], rhs.data()[i], 1e-12);
+    }
+  }
+}
+
+// Property: MultiplyTransposed(x) == Transposed().Multiply(x).
+TEST(MatrixProperty, MultiplyTransposedConsistent) {
+  util::Rng rng(10);
+  for (int trial = 0; trial < 30; ++trial) {
+    size_t m = 1 + rng.Index(8), n = 1 + rng.Index(8);
+    Matrix a(m, n);
+    for (double& x : a.mutable_data()) x = rng.Gaussian(0, 1);
+    Vec x = rng.GaussianVector(m, 0, 1);
+    Vec lhs = a.MultiplyTransposed(x);
+    Vec rhs = a.Transposed().Multiply(x);
+    for (size_t i = 0; i < n; ++i) EXPECT_NEAR(lhs[i], rhs[i], 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace openapi::linalg

@@ -1,0 +1,131 @@
+#include "linalg/qr.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/least_squares.h"
+#include "util/rng.h"
+
+namespace openapi::linalg {
+namespace {
+
+TEST(QrTest, SolvesSquareSystemExactly) {
+  Matrix a{{2, 1}, {1, 3}};
+  auto qr = QrDecomposition::Factor(a);
+  ASSERT_TRUE(qr.ok());
+  auto sol = qr->Solve({3, 5});
+  EXPECT_NEAR(sol.x[0], 0.8, 1e-12);
+  EXPECT_NEAR(sol.x[1], 1.4, 1e-12);
+  EXPECT_LT(sol.residual_norm2, 1e-12);
+}
+
+TEST(QrTest, RejectsWideMatrix) {
+  auto qr = QrDecomposition::Factor(Matrix(2, 3));
+  EXPECT_FALSE(qr.ok());
+  EXPECT_TRUE(qr.status().IsInvalidArgument());
+}
+
+TEST(QrTest, DetectsRankDeficiency) {
+  Matrix a{{1, 2}, {2, 4}, {3, 6}};  // rank 1
+  auto qr = QrDecomposition::Factor(a);
+  EXPECT_FALSE(qr.ok());
+  EXPECT_TRUE(qr.status().IsNumericalError());
+}
+
+TEST(QrTest, ConsistentOverdeterminedHasZeroResidual) {
+  // 4 equations from an exact linear model y = 2*x1 - x2 + 3.
+  Matrix a{{1, 0, 0}, {1, 1, 0}, {1, 0, 1}, {1, 1, 1}};
+  Vec b = {3, 5, 2, 4};
+  auto qr = QrDecomposition::Factor(a);
+  ASSERT_TRUE(qr.ok());
+  auto sol = qr->Solve(b);
+  EXPECT_NEAR(sol.x[0], 3.0, 1e-12);
+  EXPECT_NEAR(sol.x[1], 2.0, 1e-12);
+  EXPECT_NEAR(sol.x[2], -1.0, 1e-12);
+  EXPECT_LT(sol.residual_norminf, 1e-12);
+  EXPECT_TRUE(IsConsistent(sol, b, 1e-9));
+}
+
+TEST(QrTest, InconsistentOverdeterminedHasResidual) {
+  // Same matrix but a contradictory last equation.
+  Matrix a{{1, 0, 0}, {1, 1, 0}, {1, 0, 1}, {1, 1, 1}};
+  Vec b = {3, 5, 2, 100};
+  auto qr = QrDecomposition::Factor(a);
+  ASSERT_TRUE(qr.ok());
+  auto sol = qr->Solve(b);
+  EXPECT_GT(sol.residual_norminf, 1.0);
+  EXPECT_FALSE(IsConsistent(sol, b, 1e-9));
+}
+
+TEST(QrTest, LeastSquaresMinimizesResidual) {
+  // Overdetermined: fit a line to 3 non-collinear points; the LS answer is
+  // the calculus answer.
+  Matrix a{{1, 0}, {1, 1}, {1, 2}};
+  Vec b = {0, 1, 1};
+  auto qr = QrDecomposition::Factor(a);
+  ASSERT_TRUE(qr.ok());
+  auto sol = qr->Solve(b);
+  EXPECT_NEAR(sol.x[0], 1.0 / 6.0, 1e-12);  // intercept
+  EXPECT_NEAR(sol.x[1], 0.5, 1e-12);        // slope
+}
+
+TEST(QrTest, ApplyQTransposedPreservesNorm) {
+  util::Rng rng(21);
+  Matrix a(6, 3);
+  for (double& v : a.mutable_data()) v = rng.Gaussian(0, 1);
+  auto qr = QrDecomposition::Factor(a);
+  ASSERT_TRUE(qr.ok());
+  Vec v = rng.GaussianVector(6, 0, 1);
+  Vec qtv = qr->ApplyQTransposed(v);
+  EXPECT_NEAR(Norm2(qtv), Norm2(v), 1e-10);  // Q is orthogonal
+}
+
+struct QrShape {
+  size_t rows;
+  size_t cols;
+};
+
+class QrRandomTest : public ::testing::TestWithParam<QrShape> {};
+
+// Property: for random full-rank A and b = A x_true (consistent system),
+// QR recovers x_true and reports ~zero residual — this is exactly the
+// OpenAPI consistency certificate.
+TEST_P(QrRandomTest, RecoversPlantedSolution) {
+  const auto [m, n] = GetParam();
+  util::Rng rng(7 * m + n);
+  for (int trial = 0; trial < 20; ++trial) {
+    Matrix a(m, n);
+    for (double& v : a.mutable_data()) v = rng.Gaussian(0, 1);
+    Vec x_true = rng.GaussianVector(n, 0, 1);
+    Vec b = a.Multiply(x_true);
+    auto qr = QrDecomposition::Factor(a);
+    ASSERT_TRUE(qr.ok());
+    auto sol = qr->Solve(b);
+    for (size_t i = 0; i < n; ++i) EXPECT_NEAR(sol.x[i], x_true[i], 1e-8);
+    EXPECT_TRUE(IsConsistent(sol, b, 1e-8));
+  }
+}
+
+// Property: perturbing one entry of a consistent rhs breaks consistency.
+TEST_P(QrRandomTest, PerturbationBreaksConsistency) {
+  const auto [m, n] = GetParam();
+  if (m == n) return;  // square systems absorb any rhs exactly
+  util::Rng rng(31 * m + n);
+  Matrix a(m, n);
+  for (double& v : a.mutable_data()) v = rng.Gaussian(0, 1);
+  Vec x_true = rng.GaussianVector(n, 0, 1);
+  Vec b = a.Multiply(x_true);
+  b[0] += 0.5;
+  auto qr = QrDecomposition::Factor(a);
+  ASSERT_TRUE(qr.ok());
+  auto sol = qr->Solve(b);
+  EXPECT_FALSE(IsConsistent(sol, b, 1e-8));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, QrRandomTest,
+    ::testing::Values(QrShape{2, 2}, QrShape{3, 2}, QrShape{6, 5},
+                      QrShape{10, 9}, QrShape{18, 17}, QrShape{34, 33},
+                      QrShape{12, 4}, QrShape{40, 8}));
+
+}  // namespace
+}  // namespace openapi::linalg

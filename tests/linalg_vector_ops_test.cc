@@ -1,0 +1,116 @@
+#include "linalg/vector_ops.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace openapi::linalg {
+namespace {
+
+TEST(VectorOpsTest, Dot) {
+  EXPECT_DOUBLE_EQ(Dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_DOUBLE_EQ(Dot({}, {}), 0.0);
+}
+
+TEST(VectorOpsTest, Norms) {
+  Vec v = {3, -4};
+  EXPECT_DOUBLE_EQ(Norm1(v), 7.0);
+  EXPECT_DOUBLE_EQ(Norm2(v), 5.0);
+  EXPECT_DOUBLE_EQ(NormInf(v), 4.0);
+  EXPECT_DOUBLE_EQ(NormInf({}), 0.0);
+}
+
+TEST(VectorOpsTest, Distances) {
+  EXPECT_DOUBLE_EQ(L1Distance({1, 2}, {4, 6}), 7.0);
+  EXPECT_DOUBLE_EQ(L2Distance({1, 2}, {4, 6}), 5.0);
+  EXPECT_DOUBLE_EQ(L1Distance({1, 2}, {1, 2}), 0.0);
+}
+
+TEST(VectorOpsTest, CosineSimilarity) {
+  EXPECT_DOUBLE_EQ(CosineSimilarity({1, 0}, {2, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({1, 0}, {0, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({1, 1}, {-1, -1}), -1.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({0, 0}, {1, 1}), 0.0);  // zero guard
+}
+
+TEST(VectorOpsTest, Arithmetic) {
+  EXPECT_EQ(Add({1, 2}, {3, 4}), (Vec{4, 6}));
+  EXPECT_EQ(Sub({3, 4}, {1, 2}), (Vec{2, 2}));
+  EXPECT_EQ(Scale({1, -2}, 3), (Vec{3, -6}));
+  EXPECT_EQ(Hadamard({2, 3}, {4, 5}), (Vec{8, 15}));
+}
+
+TEST(VectorOpsTest, Axpy) {
+  Vec y = {1, 1, 1};
+  Axpy(2.0, {1, 2, 3}, &y);
+  EXPECT_EQ(y, (Vec{3, 5, 7}));
+}
+
+TEST(VectorOpsTest, ArgMax) {
+  EXPECT_EQ(ArgMax({1, 5, 3}), 1u);
+  EXPECT_EQ(ArgMax({7}), 0u);
+  EXPECT_EQ(ArgMax({2, 2, 2}), 0u);  // ties -> lowest index
+}
+
+TEST(VectorOpsTest, AllFinite) {
+  EXPECT_TRUE(AllFinite({1, 2, 3}));
+  EXPECT_FALSE(AllFinite({1, std::nan(""), 3}));
+  EXPECT_FALSE(AllFinite({1, INFINITY}));
+  EXPECT_TRUE(AllFinite({}));
+}
+
+TEST(SoftmaxTest, SumsToOne) {
+  Vec y = Softmax({1, 2, 3});
+  double sum = 0;
+  for (double p : y) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-15);
+  EXPECT_GT(y[2], y[1]);
+  EXPECT_GT(y[1], y[0]);
+}
+
+TEST(SoftmaxTest, InvariantToShift) {
+  Vec a = Softmax({1, 2, 3});
+  Vec b = Softmax({101, 102, 103});
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-15);
+}
+
+TEST(SoftmaxTest, StableForLargeLogits) {
+  Vec y = Softmax({1000, 0, -1000});
+  EXPECT_TRUE(AllFinite(y));
+  EXPECT_NEAR(y[0], 1.0, 1e-12);
+}
+
+TEST(LogSoftmaxTest, MatchesLogOfSoftmax) {
+  Vec logits = {0.3, -1.2, 2.7, 0.0};
+  Vec ls = LogSoftmax(logits);
+  Vec s = Softmax(logits);
+  for (size_t i = 0; i < logits.size(); ++i) {
+    EXPECT_NEAR(ls[i], std::log(s[i]), 1e-12);
+  }
+}
+
+TEST(LogSoftmaxTest, StableWhereNaiveUnderflows) {
+  // Naive log(softmax) underflows to log(0) here; LogSoftmax must not.
+  Vec ls = LogSoftmax({0.0, -800.0});
+  EXPECT_TRUE(AllFinite(ls));
+  EXPECT_NEAR(ls[1], -800.0, 1e-9);
+}
+
+// Property: log-odds identity ln(y_c/y_c') = logit_c - logit_c'. This is
+// the algebraic heart of Eq. 2, so pin it down against random logits.
+TEST(SoftmaxProperty, LogOddsEqualsLogitDifference) {
+  util::Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    size_t n = 2 + rng.Index(8);
+    Vec logits = rng.GaussianVector(n, 0.0, 3.0);
+    Vec y = Softmax(logits);
+    size_t c = rng.Index(n);
+    size_t cp = rng.Index(n);
+    EXPECT_NEAR(std::log(y[c] / y[cp]), logits[c] - logits[cp], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace openapi::linalg

@@ -1,0 +1,189 @@
+#include "lmt/lmt.h"
+
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "nn/trainer.h"
+
+namespace openapi::lmt {
+namespace {
+
+data::Dataset MakeBlobs(size_t n, uint64_t seed) {
+  util::Rng rng(seed);
+  return data::GenerateGaussianBlobs(5, 3, n, 0.08, &rng);
+}
+
+LmtConfig FastConfig() {
+  LmtConfig config;
+  config.min_split_size = 60;
+  config.max_depth = 4;
+  config.leaf_config.max_iters = 100;
+  return config;
+}
+
+TEST(LmtTest, TrainsAndClassifiesBlobs) {
+  data::Dataset train = MakeBlobs(400, 1);
+  LogisticModelTree tree = LogisticModelTree::Fit(train, FastConfig());
+  EXPECT_EQ(tree.dim(), 5u);
+  EXPECT_EQ(tree.num_classes(), 3u);
+  EXPECT_GE(tree.num_leaves(), 1u);
+  EXPECT_GT(nn::Accuracy(tree, train), 0.95);
+}
+
+TEST(LmtTest, Generalizes) {
+  // Train and test must come from the same distribution: generate once,
+  // then split.
+  data::Dataset all = MakeBlobs(550, 2);
+  util::Rng split_rng(99);
+  auto [train, test] = all.Split(0.27, &split_rng);
+  LogisticModelTree tree = LogisticModelTree::Fit(train, FastConfig());
+  EXPECT_GT(nn::Accuracy(tree, test), 0.9);
+}
+
+TEST(LmtTest, PredictSumsToOne) {
+  data::Dataset train = MakeBlobs(200, 4);
+  LogisticModelTree tree = LogisticModelTree::Fit(train, FastConfig());
+  util::Rng rng(5);
+  for (int t = 0; t < 20; ++t) {
+    Vec y = tree.Predict(rng.UniformVector(5, 0, 1));
+    double sum = 0;
+    for (double p : y) sum += p;
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(LmtTest, SmallDataYieldsSingleLeaf) {
+  data::Dataset train = MakeBlobs(50, 6);  // below min_split_size
+  LmtConfig config = FastConfig();
+  config.min_split_size = 100;
+  LogisticModelTree tree = LogisticModelTree::Fit(train, config);
+  EXPECT_EQ(tree.num_leaves(), 1u);
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  EXPECT_EQ(tree.depth(), 0u);
+}
+
+TEST(LmtTest, HighAccuracyStopsSplitting) {
+  // Blobs this tight are separable by one logistic model (>99% accuracy),
+  // so the paper's stopping rule should keep the tree at a single leaf
+  // even with plenty of data.
+  util::Rng rng(7);
+  data::Dataset train = data::GenerateGaussianBlobs(5, 3, 500, 0.02, &rng);
+  LmtConfig config = FastConfig();
+  config.min_split_size = 50;
+  config.leaf_config.max_iters = 400;
+  LogisticModelTree tree = LogisticModelTree::Fit(train, config);
+  EXPECT_EQ(tree.num_leaves(), 1u);
+}
+
+TEST(LmtTest, MaxDepthBoundsTree) {
+  data::Dataset train = MakeBlobs(500, 8);
+  LmtConfig config = FastConfig();
+  config.max_depth = 1;
+  config.accuracy_threshold = 1.01;  // never stop on accuracy
+  config.min_split_size = 10;
+  LogisticModelTree tree = LogisticModelTree::Fit(train, config);
+  EXPECT_LE(tree.depth(), 1u);
+  EXPECT_LE(tree.num_leaves(), 2u);
+}
+
+TEST(LmtTest, RegionIdIsLeafIndex) {
+  data::Dataset train = MakeBlobs(400, 9);
+  LmtConfig config = FastConfig();
+  config.accuracy_threshold = 1.01;  // force splits -> several leaves
+  config.min_split_size = 60;
+  LogisticModelTree tree = LogisticModelTree::Fit(train, config);
+  util::Rng rng(10);
+  for (int t = 0; t < 30; ++t) {
+    Vec x = rng.UniformVector(5, 0, 1);
+    EXPECT_EQ(tree.RegionId(x), tree.LeafIndexAt(x));
+    EXPECT_LT(tree.LeafIndexAt(x), tree.num_leaves());
+  }
+}
+
+TEST(LmtTest, LocalModelMatchesLeafClassifier) {
+  data::Dataset train = MakeBlobs(300, 11);
+  LogisticModelTree tree = LogisticModelTree::Fit(train, FastConfig());
+  util::Rng rng(12);
+  for (int t = 0; t < 20; ++t) {
+    Vec x = rng.UniformVector(5, 0, 1);
+    api::LocalLinearModel local = tree.LocalModelAt(x);
+    const LogisticRegression& leaf = tree.LeafClassifier(tree.LeafIndexAt(x));
+    EXPECT_EQ(local.weights, leaf.weights());
+    EXPECT_EQ(local.bias, leaf.bias());
+    // Local model reproduces the tree's prediction exactly.
+    Vec logits = local.weights.MultiplyTransposed(x);
+    for (size_t c = 0; c < 3; ++c) logits[c] += local.bias[c];
+    Vec reconstructed = linalg::Softmax(logits);
+    Vec direct = tree.Predict(x);
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_NEAR(reconstructed[c], direct[c], 1e-12);
+    }
+  }
+}
+
+TEST(LmtTest, SaveLoadRoundTripIsExact) {
+  data::Dataset train = MakeBlobs(400, 21);
+  LmtConfig config = FastConfig();
+  config.accuracy_threshold = 1.01;  // force a multi-leaf tree
+  LogisticModelTree tree = LogisticModelTree::Fit(train, config);
+  std::string path = std::string(::testing::TempDir()) + "/tree.lmt";
+  ASSERT_TRUE(tree.Save(path).ok());
+  auto loaded = LogisticModelTree::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_leaves(), tree.num_leaves());
+  EXPECT_EQ(loaded->num_nodes(), tree.num_nodes());
+  EXPECT_EQ(loaded->depth(), tree.depth());
+  util::Rng rng(22);
+  for (int t = 0; t < 30; ++t) {
+    Vec x = rng.UniformVector(5, 0, 1);
+    EXPECT_EQ(tree.Predict(x), loaded->Predict(x));  // bit-exact
+    EXPECT_EQ(tree.LeafIndexAt(x), loaded->LeafIndexAt(x));
+  }
+}
+
+TEST(LmtTest, LoadRejectsGarbage) {
+  std::string path = std::string(::testing::TempDir()) + "/garbage.lmt";
+  {
+    std::ofstream out(path);
+    out << "plnn v1\n";  // wrong magic
+  }
+  EXPECT_FALSE(LogisticModelTree::Load(path).ok());
+  EXPECT_TRUE(
+      LogisticModelTree::Load("/no/such/tree").status().IsIoError());
+}
+
+TEST(LmtTest, LoadRejectsCorruptStructure) {
+  data::Dataset train = MakeBlobs(200, 23);
+  LogisticModelTree tree = LogisticModelTree::Fit(train, FastConfig());
+  std::string path = std::string(::testing::TempDir()) + "/corrupt.lmt";
+  ASSERT_TRUE(tree.Save(path).ok());
+  // Truncate the file mid-leaf.
+  std::string content;
+  {
+    std::ifstream in(path);
+    content.assign(std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>());
+  }
+  {
+    std::ofstream out(path);
+    out << content.substr(0, content.size() / 2);
+  }
+  EXPECT_FALSE(LogisticModelTree::Load(path).ok());
+}
+
+TEST(LmtTest, DeterministicTraining) {
+  data::Dataset train = MakeBlobs(300, 13);
+  LogisticModelTree a = LogisticModelTree::Fit(train, FastConfig());
+  LogisticModelTree b = LogisticModelTree::Fit(train, FastConfig());
+  EXPECT_EQ(a.num_leaves(), b.num_leaves());
+  util::Rng rng(14);
+  for (int t = 0; t < 10; ++t) {
+    Vec x = rng.UniformVector(5, 0, 1);
+    EXPECT_EQ(a.Predict(x), b.Predict(x));
+  }
+}
+
+}  // namespace
+}  // namespace openapi::lmt

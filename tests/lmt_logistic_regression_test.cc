@@ -1,0 +1,86 @@
+#include "lmt/logistic_regression.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace openapi::lmt {
+namespace {
+
+data::Dataset MakeBlobs(size_t n = 300, uint64_t seed = 1) {
+  util::Rng rng(seed);
+  return data::GenerateGaussianBlobs(5, 3, n, 0.05, &rng);
+}
+
+TEST(LogisticRegressionTest, PredictSumsToOne) {
+  LogisticRegression lr(4, 3);
+  Vec y = lr.Predict({0.1, 0.2, 0.3, 0.4});
+  double sum = 0;
+  for (double p : y) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  // Zero model predicts uniform.
+  for (double p : y) EXPECT_NEAR(p, 1.0 / 3.0, 1e-12);
+}
+
+TEST(LogisticRegressionTest, FitsSeparableBlobs) {
+  data::Dataset train = MakeBlobs();
+  LogisticRegression lr(5, 3);
+  LogisticRegressionConfig config;
+  config.max_iters = 300;
+  lr.Fit(train, {}, config);
+  EXPECT_GT(lr.Accuracy(train, {}), 0.97);
+}
+
+TEST(LogisticRegressionTest, FitOnSubsetOnly) {
+  data::Dataset train = MakeBlobs(300);
+  std::vector<size_t> subset;
+  for (size_t i = 0; i < 90; ++i) subset.push_back(i);
+  LogisticRegression lr(5, 3);
+  lr.Fit(train, subset, LogisticRegressionConfig{});
+  EXPECT_GT(lr.Accuracy(train, subset), 0.9);
+}
+
+TEST(LogisticRegressionTest, FitIsDeterministic) {
+  data::Dataset train = MakeBlobs(200, 2);
+  LogisticRegression a(5, 3), b(5, 3);
+  LogisticRegressionConfig config;
+  a.Fit(train, {}, config);
+  b.Fit(train, {}, config);
+  EXPECT_EQ(a.weights(), b.weights());
+  EXPECT_EQ(a.bias(), b.bias());
+}
+
+TEST(LogisticRegressionTest, L1PenaltyInducesSparsity) {
+  data::Dataset train = MakeBlobs(300, 3);
+  LogisticRegressionConfig dense_config;
+  dense_config.l1_penalty = 0.0;
+  LogisticRegressionConfig sparse_config;
+  sparse_config.l1_penalty = 5e-2;
+  LogisticRegression dense(5, 3), sparse(5, 3);
+  dense.Fit(train, {}, dense_config);
+  sparse.Fit(train, {}, sparse_config);
+  EXPECT_GT(sparse.ZeroFraction(), dense.ZeroFraction());
+  EXPECT_GT(sparse.ZeroFraction(), 0.05);
+}
+
+TEST(LogisticRegressionTest, StrongL1KillsAllWeights) {
+  data::Dataset train = MakeBlobs(100, 4);
+  LogisticRegressionConfig config;
+  config.l1_penalty = 100.0;
+  LogisticRegression lr(5, 3);
+  lr.Fit(train, {}, config);
+  EXPECT_DOUBLE_EQ(lr.ZeroFraction(), 1.0);
+}
+
+TEST(LogisticRegressionTest, RefitResetsState) {
+  data::Dataset a = MakeBlobs(150, 5);
+  data::Dataset b = MakeBlobs(150, 6);
+  LogisticRegression once(5, 3), twice(5, 3);
+  once.Fit(b, {}, LogisticRegressionConfig{});
+  twice.Fit(a, {}, LogisticRegressionConfig{});
+  twice.Fit(b, {}, LogisticRegressionConfig{});
+  EXPECT_EQ(once.weights(), twice.weights());  // no state leaks across fits
+}
+
+}  // namespace
+}  // namespace openapi::lmt

@@ -1,0 +1,132 @@
+#include "lmt/split.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace openapi::lmt {
+namespace {
+
+std::vector<size_t> AllIndices(size_t n) {
+  std::vector<size_t> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = i;
+  return out;
+}
+
+TEST(EntropyTest, PureNodeIsZero) {
+  data::Dataset ds(1, 2);
+  ds.Add({0.1}, 0);
+  ds.Add({0.2}, 0);
+  EXPECT_DOUBLE_EQ(Entropy(ds, AllIndices(2)), 0.0);
+}
+
+TEST(EntropyTest, UniformBinaryIsOneBit) {
+  data::Dataset ds(1, 2);
+  ds.Add({0.1}, 0);
+  ds.Add({0.2}, 1);
+  EXPECT_DOUBLE_EQ(Entropy(ds, AllIndices(2)), 1.0);
+}
+
+TEST(EntropyTest, FourUniformClassesIsTwoBits) {
+  data::Dataset ds(1, 4);
+  for (size_t c = 0; c < 4; ++c) ds.Add({0.1 * c}, c);
+  EXPECT_DOUBLE_EQ(Entropy(ds, AllIndices(4)), 2.0);
+}
+
+TEST(FindBestSplitTest, PerfectSplitOnInformativeFeature) {
+  // Feature 1 separates the classes exactly; feature 0 is noise.
+  data::Dataset ds(2, 2);
+  util::Rng rng(1);
+  for (int i = 0; i < 40; ++i) {
+    double noise = rng.Uniform(0, 1);
+    if (i % 2 == 0) {
+      ds.Add({noise, rng.Uniform(0.0, 0.4)}, 0);
+    } else {
+      ds.Add({noise, rng.Uniform(0.6, 1.0)}, 1);
+    }
+  }
+  auto split = FindBestSplit(ds, AllIndices(40), SplitConfig{});
+  ASSERT_TRUE(split.has_value());
+  EXPECT_EQ(split->feature, 1u);
+  EXPECT_GT(split->threshold, 0.4);
+  EXPECT_LT(split->threshold, 0.6);
+  EXPECT_EQ(split->left_count, 20u);
+  EXPECT_EQ(split->right_count, 20u);
+  EXPECT_GT(split->gain_ratio, 0.9);
+}
+
+TEST(FindBestSplitTest, PureNodeHasNoSplit) {
+  data::Dataset ds(2, 2);
+  for (int i = 0; i < 10; ++i) ds.Add({i * 0.1, i * 0.05}, 0);
+  EXPECT_FALSE(FindBestSplit(ds, AllIndices(10), SplitConfig{}).has_value());
+}
+
+TEST(FindBestSplitTest, ConstantFeaturesHaveNoSplit) {
+  data::Dataset ds(2, 2);
+  for (int i = 0; i < 10; ++i) ds.Add({0.5, 0.5}, i % 2);
+  EXPECT_FALSE(FindBestSplit(ds, AllIndices(10), SplitConfig{}).has_value());
+}
+
+TEST(FindBestSplitTest, RespectsMinLeafSize) {
+  // Only one instance of class 1, at the extreme; a perfect split would
+  // isolate it, but min_leaf_size forbids that.
+  data::Dataset ds(1, 2);
+  for (int i = 0; i < 9; ++i) ds.Add({0.1 * i}, 0);
+  ds.Add({0.99}, 1);
+  SplitConfig config;
+  config.min_leaf_size = 3;
+  auto split = FindBestSplit(ds, AllIndices(10), config);
+  if (split.has_value()) {
+    EXPECT_GE(split->left_count, 3u);
+    EXPECT_GE(split->right_count, 3u);
+  }
+}
+
+TEST(FindBestSplitTest, TooFewInstances) {
+  data::Dataset ds(1, 2);
+  ds.Add({0.1}, 0);
+  ds.Add({0.9}, 1);
+  SplitConfig config;
+  config.min_leaf_size = 2;
+  EXPECT_FALSE(FindBestSplit(ds, AllIndices(2), config).has_value());
+}
+
+TEST(ApplySplitTest, PartitionsByThreshold) {
+  data::Dataset ds(1, 2);
+  ds.Add({0.1}, 0);
+  ds.Add({0.5}, 0);
+  ds.Add({0.9}, 1);
+  Split split;
+  split.feature = 0;
+  split.threshold = 0.5;
+  std::vector<size_t> left, right;
+  ApplySplit(ds, AllIndices(3), split, &left, &right);
+  EXPECT_EQ(left, (std::vector<size_t>{0, 1}));  // 0.5 <= 0.5 goes left
+  EXPECT_EQ(right, (std::vector<size_t>{2}));
+}
+
+// Property: gain ratio of the chosen split is non-negative and the split
+// always produces two non-empty sides across random datasets.
+TEST(FindBestSplitProperty, SplitsAreWellFormed) {
+  util::Rng rng(9);
+  for (int trial = 0; trial < 30; ++trial) {
+    data::Dataset ds(3, 3);
+    size_t n = 20 + rng.Index(60);
+    for (size_t i = 0; i < n; ++i) {
+      ds.Add(rng.UniformVector(3, 0, 1), rng.Index(3));
+    }
+    auto split = FindBestSplit(ds, AllIndices(n), SplitConfig{});
+    if (!split.has_value()) continue;
+    EXPECT_GE(split->gain_ratio, 0.0);
+    std::vector<size_t> left, right;
+    ApplySplit(ds, AllIndices(n), *split, &left, &right);
+    EXPECT_EQ(left.size(), split->left_count);
+    EXPECT_EQ(right.size(), split->right_count);
+    EXPECT_EQ(left.size() + right.size(), n);
+    EXPECT_FALSE(left.empty());
+    EXPECT_FALSE(right.empty());
+  }
+}
+
+}  // namespace
+}  // namespace openapi::lmt

@@ -1,0 +1,97 @@
+#include "nn/layer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/activation_pattern.h"
+
+namespace openapi::nn {
+namespace {
+
+TEST(LayerTest, ZeroInitializedForwardIsBias) {
+  Layer layer(3, 2);
+  layer.mutable_bias() = {1.0, -2.0};
+  Vec z = layer.Forward({0.5, 0.5, 0.5});
+  EXPECT_EQ(z, (Vec{1.0, -2.0}));
+}
+
+TEST(LayerTest, ForwardComputesAffineMap) {
+  Layer layer(2, 2);
+  layer.mutable_weights() = linalg::Matrix{{1, 2}, {3, 4}};
+  layer.mutable_bias() = {10, 20};
+  Vec z = layer.Forward({1, 1});
+  EXPECT_EQ(z, (Vec{13, 27}));
+}
+
+TEST(LayerTest, HeInitStatistics) {
+  util::Rng rng(77);
+  Layer layer(1000, 50);
+  layer.InitHe(&rng);
+  // Weight variance should be approximately 2/in_dim.
+  double sum = 0, sum_sq = 0;
+  for (double w : layer.weights().data()) {
+    sum += w;
+    sum_sq += w * w;
+  }
+  double n = static_cast<double>(layer.weights().size());
+  double mean = sum / n;
+  double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.01);
+  EXPECT_NEAR(var, 2.0 / 1000.0, 0.0005);
+  // Bias stays zero.
+  for (double b : layer.bias()) EXPECT_EQ(b, 0.0);
+}
+
+TEST(LayerTest, HeInitDeterministicInRng) {
+  util::Rng rng_a(5), rng_b(5);
+  Layer a(4, 3), b(4, 3);
+  a.InitHe(&rng_a);
+  b.InitHe(&rng_b);
+  EXPECT_EQ(a.weights(), b.weights());
+}
+
+TEST(ActivationPatternTest, BitsFollowSign) {
+  ActivationPattern pattern;
+  pattern.AppendLayer({1.0, -1.0, 0.0, 2.0});
+  ASSERT_EQ(pattern.num_bits(), 4u);
+  EXPECT_TRUE(pattern.bit(0));
+  EXPECT_FALSE(pattern.bit(1));
+  EXPECT_FALSE(pattern.bit(2));  // z = 0 counts as inactive
+  EXPECT_TRUE(pattern.bit(3));
+  EXPECT_EQ(pattern.num_active(), 2u);
+}
+
+TEST(ActivationPatternTest, MultiLayerAppend) {
+  ActivationPattern pattern;
+  pattern.AppendLayer({1.0});
+  pattern.AppendLayer({-1.0, 1.0});
+  EXPECT_EQ(pattern.num_bits(), 3u);
+  EXPECT_EQ(pattern.num_active(), 2u);
+}
+
+TEST(ActivationPatternTest, EqualPatternsEqualHashes) {
+  ActivationPattern a, b;
+  a.AppendLayer({1.0, -2.0, 3.0});
+  b.AppendLayer({0.5, -0.1, 9.0});  // same signs, different magnitudes
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(ActivationPatternTest, DifferentPatternsDifferentHashes) {
+  ActivationPattern a, b;
+  a.AppendLayer({1.0, -1.0});
+  b.AppendLayer({-1.0, 1.0});
+  EXPECT_NE(a, b);
+  EXPECT_NE(a.Hash(), b.Hash());
+}
+
+TEST(ActivationPatternTest, LengthAffectsHash) {
+  ActivationPattern a, b;
+  a.AppendLayer({-1.0});
+  b.AppendLayer({-1.0, -1.0});
+  EXPECT_NE(a.Hash(), b.Hash());
+}
+
+}  // namespace
+}  // namespace openapi::nn

@@ -1,0 +1,140 @@
+#include "nn/maxout.h"
+
+#include <gtest/gtest.h>
+
+#include "api/ground_truth.h"
+#include "api/prediction_api.h"
+#include "eval/exactness.h"
+#include "interpret/openapi_method.h"
+
+namespace openapi::nn {
+namespace {
+
+MaxoutPlnn MakeNet(const std::vector<size_t>& sizes, size_t pieces,
+                   uint64_t seed = 1) {
+  util::Rng rng(seed);
+  return MaxoutPlnn(sizes, pieces, &rng);
+}
+
+TEST(MaxoutLayerTest, ForwardIsElementwiseMaxOfPieces) {
+  MaxoutLayer layer(2, 2, 3);
+  util::Rng rng(2);
+  layer.InitHe(&rng);
+  Vec x = {0.4, -0.7};
+  Vec out = layer.Forward(x);
+  for (size_t j = 0; j < 2; ++j) {
+    double expected = layer.piece(0).Forward(x)[j];
+    for (size_t k = 1; k < 3; ++k) {
+      expected = std::max(expected, layer.piece(k).Forward(x)[j]);
+    }
+    EXPECT_DOUBLE_EQ(out[j], expected);
+  }
+}
+
+TEST(MaxoutLayerTest, SelectionPicksTheWinner) {
+  MaxoutLayer layer(2, 2, 3);
+  util::Rng rng(3);
+  layer.InitHe(&rng);
+  Vec x = {0.1, 0.9};
+  std::vector<size_t> selection = layer.Selection(x);
+  Vec out = layer.Forward(x);
+  for (size_t j = 0; j < 2; ++j) {
+    EXPECT_DOUBLE_EQ(out[j], layer.piece(selection[j]).Forward(x)[j]);
+  }
+}
+
+TEST(MaxoutPlnnTest, PredictIsProbabilityVector) {
+  MaxoutPlnn net = MakeNet({4, 6, 3}, 2);
+  util::Rng rng(4);
+  for (int t = 0; t < 20; ++t) {
+    Vec y = net.Predict(rng.UniformVector(4, 0, 1));
+    double sum = 0;
+    for (double p : y) {
+      EXPECT_GT(p, 0.0);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(MaxoutPlnnTest, LocalModelReproducesLogitsAtX) {
+  MaxoutPlnn net = MakeNet({5, 8, 6, 3}, 3, 7);
+  util::Rng rng(8);
+  for (int t = 0; t < 50; ++t) {
+    Vec x = rng.UniformVector(5, 0, 1);
+    Vec logits = net.Logits(x);
+    api::LocalLinearModel local = net.LocalModelAt(x);
+    Vec reconstructed = local.weights.MultiplyTransposed(x);
+    for (size_t c = 0; c < 3; ++c) reconstructed[c] += local.bias[c];
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_NEAR(reconstructed[c], logits[c], 1e-10);
+    }
+  }
+}
+
+TEST(MaxoutPlnnTest, LocalModelExactAcrossRegion) {
+  MaxoutPlnn net = MakeNet({4, 6, 3}, 2, 9);
+  util::Rng rng(10);
+  int verified = 0;
+  for (int t = 0; t < 200 && verified < 25; ++t) {
+    Vec x = rng.UniformVector(4, 0, 1);
+    Vec nearby = x;
+    for (double& v : nearby) v += rng.Uniform(-1e-7, 1e-7);
+    if (net.RegionId(x) != net.RegionId(nearby)) continue;
+    ++verified;
+    api::LocalLinearModel local = net.LocalModelAt(x);
+    Vec logits = net.Logits(nearby);
+    Vec reconstructed = local.weights.MultiplyTransposed(nearby);
+    for (size_t c = 0; c < 3; ++c) reconstructed[c] += local.bias[c];
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_NEAR(reconstructed[c], logits[c], 1e-9);
+    }
+  }
+  EXPECT_GE(verified, 25);
+}
+
+TEST(MaxoutPlnnTest, SinglePieceHasOneRegion) {
+  // With one piece per unit, MaxOut degenerates to a purely affine network
+  // — a single locally linear region everywhere.
+  MaxoutPlnn net = MakeNet({3, 4, 2}, 1, 11);
+  util::Rng rng(12);
+  uint64_t region = net.RegionId(rng.UniformVector(3, 0, 1));
+  for (int t = 0; t < 20; ++t) {
+    EXPECT_EQ(net.RegionId(rng.UniformVector(3, 0, 1)), region);
+  }
+}
+
+TEST(MaxoutPlnnTest, MorePiecesMoreRegions) {
+  util::Rng rng(13);
+  MaxoutPlnn few = MakeNet({4, 8, 3}, 2, 14);
+  MaxoutPlnn many = MakeNet({4, 8, 3}, 5, 14);
+  auto count_regions = [&](const MaxoutPlnn& net) {
+    std::set<uint64_t> ids;
+    util::Rng sample_rng(15);
+    for (int t = 0; t < 300; ++t) {
+      ids.insert(net.RegionId(sample_rng.UniformVector(4, 0, 1)));
+    }
+    return ids.size();
+  };
+  EXPECT_GT(count_regions(many), count_regions(few));
+}
+
+// The headline generality claim: OpenAPI is exact on MaxOut networks too,
+// with zero method changes.
+TEST(MaxoutOpenApiTest, OpenApiIsExactOnMaxout) {
+  MaxoutPlnn net = MakeNet({5, 8, 3}, 3, 21);
+  api::PredictionApi api(&net);
+  interpret::OpenApiInterpreter interpreter;
+  util::Rng rng(22);
+  for (int trial = 0; trial < 15; ++trial) {
+    Vec x0 = rng.UniformVector(5, 0.05, 0.95);
+    size_t c = rng.Index(3);
+    auto result = interpreter.Interpret(api, x0, c, &rng);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_LT(eval::L1Dist(net, x0, c, result->dc), 1e-6);
+    EXPECT_EQ(api::RegionDifference(net, x0, result->probes), 0);
+  }
+}
+
+}  // namespace
+}  // namespace openapi::nn

@@ -1,0 +1,184 @@
+#include "nn/plnn.h"
+
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "api/ground_truth.h"
+
+namespace openapi::nn {
+namespace {
+
+Plnn MakeNet(const std::vector<size_t>& sizes, uint64_t seed = 1) {
+  util::Rng rng(seed);
+  return Plnn(sizes, &rng);
+}
+
+TEST(PlnnTest, Shapes) {
+  Plnn net = MakeNet({5, 7, 3});
+  EXPECT_EQ(net.dim(), 5u);
+  EXPECT_EQ(net.num_classes(), 3u);
+  EXPECT_EQ(net.num_layers(), 2u);
+  EXPECT_EQ(net.num_hidden_units(), 7u);
+}
+
+TEST(PlnnTest, PredictIsProbabilityVector) {
+  Plnn net = MakeNet({4, 6, 3});
+  util::Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    Vec y = net.Predict(rng.UniformVector(4, 0, 1));
+    ASSERT_EQ(y.size(), 3u);
+    double sum = 0;
+    for (double p : y) {
+      EXPECT_GT(p, 0.0);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(PlnnTest, NoHiddenLayerIsPlainSoftmaxRegression) {
+  Plnn net = MakeNet({3, 2});
+  EXPECT_EQ(net.num_hidden_units(), 0u);
+  Vec x = {0.1, 0.5, 0.9};
+  // With no hidden layer, the local model must equal the layer weights and
+  // the region id must be constant everywhere.
+  api::LocalLinearModel local = net.LocalModelAt(x);
+  EXPECT_EQ(local.weights.rows(), 3u);
+  EXPECT_EQ(local.weights.cols(), 2u);
+  EXPECT_EQ(net.RegionId(x), net.RegionId(Vec{0.9, 0.1, 0.0}));
+}
+
+// The central ground-truth property: the effective local model reproduces
+// the network's logits exactly at x (OpenBox extraction correctness).
+TEST(PlnnTest, LocalModelReproducesLogitsAtX) {
+  util::Rng rng(3);
+  Plnn net = MakeNet({6, 10, 8, 4}, 33);
+  for (int trial = 0; trial < 50; ++trial) {
+    Vec x = rng.UniformVector(6, 0, 1);
+    Vec logits = net.Logits(x);
+    api::LocalLinearModel local = net.LocalModelAt(x);
+    Vec reconstructed = local.weights.MultiplyTransposed(x);
+    for (size_t c = 0; c < 4; ++c) reconstructed[c] += local.bias[c];
+    for (size_t c = 0; c < 4; ++c) {
+      EXPECT_NEAR(reconstructed[c], logits[c], 1e-10);
+    }
+  }
+}
+
+// And it must hold throughout the region: nearby points with the same
+// activation pattern share the same local model and their logits follow it.
+TEST(PlnnTest, LocalModelIsExactAcrossRegion) {
+  util::Rng rng(4);
+  Plnn net = MakeNet({5, 8, 3}, 44);
+  int verified = 0;
+  for (int trial = 0; trial < 200 && verified < 30; ++trial) {
+    Vec x = rng.UniformVector(5, 0, 1);
+    Vec nearby = x;
+    for (double& v : nearby) v += rng.Uniform(-1e-6, 1e-6);
+    if (net.RegionId(x) != net.RegionId(nearby)) continue;
+    ++verified;
+    api::LocalLinearModel local = net.LocalModelAt(x);
+    Vec logits = net.Logits(nearby);
+    Vec reconstructed = local.weights.MultiplyTransposed(nearby);
+    for (size_t c = 0; c < 3; ++c) reconstructed[c] += local.bias[c];
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_NEAR(reconstructed[c], logits[c], 1e-9);
+    }
+  }
+  EXPECT_GE(verified, 30);
+}
+
+TEST(PlnnTest, RegionIdMatchesPatternHash) {
+  Plnn net = MakeNet({4, 6, 2});
+  util::Rng rng(5);
+  Vec x = rng.UniformVector(4, 0, 1);
+  EXPECT_EQ(net.RegionId(x), net.PatternAt(x).Hash());
+}
+
+TEST(PlnnTest, DistantInputsUsuallyDifferentRegions) {
+  Plnn net = MakeNet({8, 16, 12, 3}, 7);
+  util::Rng rng(6);
+  size_t different = 0;
+  const int trials = 50;
+  for (int t = 0; t < trials; ++t) {
+    Vec a = rng.UniformVector(8, 0, 1);
+    Vec b = rng.UniformVector(8, 0, 1);
+    if (net.RegionId(a) != net.RegionId(b)) ++different;
+  }
+  EXPECT_GT(different, trials / 2);
+}
+
+TEST(PlnnTest, ForwardAllShapes) {
+  Plnn net = MakeNet({3, 5, 4, 2});
+  std::vector<Vec> acts = net.ForwardAll({0.1, 0.2, 0.3});
+  ASSERT_EQ(acts.size(), 4u);
+  EXPECT_EQ(acts[0].size(), 3u);
+  EXPECT_EQ(acts[1].size(), 5u);
+  EXPECT_EQ(acts[2].size(), 4u);
+  EXPECT_EQ(acts[3].size(), 2u);
+  // Hidden activations are non-negative (post-ReLU).
+  for (double v : acts[1]) EXPECT_GE(v, 0.0);
+  for (double v : acts[2]) EXPECT_GE(v, 0.0);
+  // Logits match Logits().
+  EXPECT_EQ(acts[3], net.Logits({0.1, 0.2, 0.3}));
+}
+
+TEST(PlnnTest, SaveLoadRoundTripIsExact) {
+  Plnn net = MakeNet({4, 6, 3}, 11);
+  std::string path = std::string(::testing::TempDir()) + "/net.plnn";
+  ASSERT_TRUE(net.Save(path).ok());
+  auto loaded = Plnn::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  util::Rng rng(12);
+  for (int t = 0; t < 20; ++t) {
+    Vec x = rng.UniformVector(4, 0, 1);
+    EXPECT_EQ(net.Logits(x), loaded->Logits(x));  // bit-exact round trip
+  }
+}
+
+TEST(PlnnTest, LoadRejectsGarbage) {
+  std::string path = std::string(::testing::TempDir()) + "/garbage.plnn";
+  {
+    std::ofstream out(path);
+    out << "not a network";
+  }
+  EXPECT_FALSE(Plnn::Load(path).ok());
+  EXPECT_TRUE(Plnn::Load("/no/such/net").status().IsIoError());
+}
+
+TEST(PlnnTest, ProbabilityGradientMatchesFiniteDifference) {
+  Plnn net = MakeNet({4, 8, 3}, 21);
+  util::Rng rng(22);
+  int verified = 0;
+  for (int trial = 0; trial < 100 && verified < 20; ++trial) {
+    Vec x = rng.UniformVector(4, 0.1, 0.9);
+    const double h = 1e-7;
+    // Skip points whose neighborhood crosses a region boundary.
+    bool clean = true;
+    for (size_t j = 0; j < 4 && clean; ++j) {
+      Vec xp = x, xm = x;
+      xp[j] += h;
+      xm[j] -= h;
+      clean = net.RegionId(xp) == net.RegionId(x) &&
+              net.RegionId(xm) == net.RegionId(x);
+    }
+    if (!clean) continue;
+    ++verified;
+    api::LocalLinearModel local = net.LocalModelAt(x);
+    for (size_t c = 0; c < 3; ++c) {
+      Vec grad = api::ProbabilityGradient(local, x, c);
+      for (size_t j = 0; j < 4; ++j) {
+        Vec xp = x, xm = x;
+        xp[j] += h;
+        xm[j] -= h;
+        double fd = (net.Predict(xp)[c] - net.Predict(xm)[c]) / (2 * h);
+        EXPECT_NEAR(grad[j], fd, 1e-5);
+      }
+    }
+  }
+  EXPECT_GE(verified, 20);
+}
+
+}  // namespace
+}  // namespace openapi::nn

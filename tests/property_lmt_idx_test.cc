@@ -1,0 +1,176 @@
+// Additional property sweeps:
+//   * LMT invariants across tree configurations (region/prediction
+//     coherence, OpenAPI exactness on every leaf shape),
+//   * IDX parser robustness under random byte corruption (must reject or
+//     parse, never crash or mis-size).
+
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "data/idx_io.h"
+#include "data/synthetic.h"
+#include "eval/exactness.h"
+#include "interpret/openapi_method.h"
+#include "lmt/lmt.h"
+
+namespace openapi {
+namespace {
+
+using linalg::Vec;
+
+struct LmtSpec {
+  size_t min_split;
+  size_t max_depth;
+  double l1_penalty;
+};
+
+class LmtPropertyTest : public ::testing::TestWithParam<LmtSpec> {};
+
+TEST_P(LmtPropertyTest, RegionAndPredictionCoherence) {
+  const LmtSpec& spec = GetParam();
+  util::Rng data_rng(100 + spec.max_depth);
+  data::Dataset train =
+      data::GenerateGaussianBlobs(4, 3, 420, 0.1, &data_rng);
+  lmt::LmtConfig config;
+  config.min_split_size = spec.min_split;
+  config.max_depth = spec.max_depth;
+  config.accuracy_threshold = 1.01;  // grow as far as data allows
+  config.leaf_config.l1_penalty = spec.l1_penalty;
+  config.leaf_config.max_iters = 60;
+  lmt::LogisticModelTree tree = lmt::LogisticModelTree::Fit(train, config);
+
+  EXPECT_LE(tree.depth(), spec.max_depth);
+  EXPECT_LE(tree.num_leaves(), tree.num_nodes());
+
+  util::Rng rng(7);
+  for (int t = 0; t < 25; ++t) {
+    Vec x = rng.UniformVector(4, 0, 1);
+    // The region id is a valid leaf, and the local model at x reproduces
+    // the prediction exactly.
+    uint64_t region = tree.RegionId(x);
+    EXPECT_LT(region, tree.num_leaves());
+    api::LocalLinearModel local = tree.LocalModelAt(x);
+    Vec logits = local.weights.MultiplyTransposed(x);
+    for (size_t c = 0; c < 3; ++c) logits[c] += local.bias[c];
+    Vec reconstructed = linalg::Softmax(logits);
+    Vec direct = tree.Predict(x);
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_NEAR(reconstructed[c], direct[c], 1e-12);
+    }
+  }
+}
+
+TEST_P(LmtPropertyTest, OpenApiExactOnEveryConfiguration) {
+  const LmtSpec& spec = GetParam();
+  util::Rng data_rng(200 + spec.max_depth);
+  data::Dataset train =
+      data::GenerateGaussianBlobs(4, 3, 420, 0.1, &data_rng);
+  lmt::LmtConfig config;
+  config.min_split_size = spec.min_split;
+  config.max_depth = spec.max_depth;
+  config.accuracy_threshold = 1.01;
+  config.leaf_config.l1_penalty = spec.l1_penalty;
+  config.leaf_config.max_iters = 60;
+  lmt::LogisticModelTree tree = lmt::LogisticModelTree::Fit(train, config);
+
+  api::PredictionApi api(&tree);
+  interpret::OpenApiInterpreter interpreter;
+  util::Rng rng(9);
+  for (int trial = 0; trial < 6; ++trial) {
+    const Vec& x0 = train.x(rng.Index(train.size()));
+    size_t c = rng.Index(3);
+    auto result = interpreter.Interpret(api, x0, c, &rng);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_LT(eval::L1Dist(tree, x0, c, result->dc), 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, LmtPropertyTest,
+    ::testing::Values(LmtSpec{200, 1, 1e-4},   // shallow
+                      LmtSpec{100, 3, 1e-4},   // medium
+                      LmtSpec{60, 5, 1e-4},    // deep
+                      LmtSpec{60, 3, 5e-2},    // very sparse leaves
+                      LmtSpec{60, 3, 0.0}),    // dense leaves
+    [](const auto& info) {
+      return "split" + std::to_string(info.param.min_split) + "depth" +
+             std::to_string(info.param.max_depth) + "l1" +
+             std::to_string(static_cast<int>(info.param.l1_penalty * 1e4));
+    });
+
+class IdxFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Corrupt random bytes of a valid IDX image file; the reader must either
+// return a well-formed result or a clean IoError/InvalidArgument — never
+// crash, never return an inconsistently-sized payload.
+TEST_P(IdxFuzzTest, CorruptionNeverBreaksInvariants) {
+  const uint64_t seed = GetParam();
+  std::string path = std::string(::testing::TempDir()) + "/fuzz_" +
+                     std::to_string(seed) + ".idx3";
+  data::IdxImages images;
+  images.count = 4;
+  images.rows = 3;
+  images.cols = 3;
+  images.pixels.assign(36, 7);
+  ASSERT_TRUE(data::WriteIdxImages(path, images).ok());
+
+  std::string content;
+  {
+    std::ifstream in(path, std::ios::binary);
+    content.assign(std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>());
+  }
+  util::Rng rng(seed);
+  // Corrupt up to 4 random bytes (header bytes included).
+  std::string corrupted = content;
+  size_t flips = 1 + rng.Index(4);
+  for (size_t f = 0; f < flips; ++f) {
+    size_t pos = rng.Index(corrupted.size());
+    corrupted[pos] = static_cast<char>(rng.Index(256));
+  }
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(corrupted.data(),
+              static_cast<std::streamsize>(corrupted.size()));
+  }
+  auto result = data::ReadIdxImages(path);
+  if (result.ok()) {
+    EXPECT_EQ(result->pixels.size(),
+              result->count * result->rows * result->cols);
+  } else {
+    EXPECT_TRUE(result.status().IsIoError());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IdxFuzzTest,
+                         ::testing::Range<uint64_t>(0, 24));
+
+// Truncation sweep: every prefix length of a valid file must be rejected
+// cleanly (or, for the exact full length, parsed).
+TEST(IdxFuzzTest, EveryTruncationIsHandled) {
+  std::string path = std::string(::testing::TempDir()) + "/trunc_sweep.idx3";
+  data::IdxImages images;
+  images.count = 2;
+  images.rows = 2;
+  images.cols = 2;
+  images.pixels.assign(8, 42);
+  ASSERT_TRUE(data::WriteIdxImages(path, images).ok());
+  std::string content;
+  {
+    std::ifstream in(path, std::ios::binary);
+    content.assign(std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>());
+  }
+  for (size_t len = 0; len < content.size(); ++len) {
+    {
+      std::ofstream out(path, std::ios::binary);
+      out.write(content.data(), static_cast<std::streamsize>(len));
+    }
+    auto result = data::ReadIdxImages(path);
+    EXPECT_FALSE(result.ok()) << "prefix length " << len;
+  }
+}
+
+}  // namespace
+}  // namespace openapi

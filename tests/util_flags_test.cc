@@ -1,0 +1,111 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace openapi::util {
+namespace {
+
+FlagParser MakeParser() {
+  FlagParser parser;
+  parser.AddString("scale", "small", "experiment scale")
+      .AddInt("seed", 42, "rng seed")
+      .AddDouble("tol", 1e-9, "consistency tolerance")
+      .AddBool("verbose", false, "chatty output");
+  return parser;
+}
+
+Status ParseArgs(FlagParser* parser, std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return parser->Parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(FlagsTest, DefaultsApplyWithoutArgs) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(ParseArgs(&parser, {}).ok());
+  EXPECT_EQ(parser.GetString("scale"), "small");
+  EXPECT_EQ(parser.GetInt("seed"), 42);
+  EXPECT_DOUBLE_EQ(parser.GetDouble("tol"), 1e-9);
+  EXPECT_FALSE(parser.GetBool("verbose"));
+}
+
+TEST(FlagsTest, EqualsForm) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(ParseArgs(&parser, {"--scale=large", "--seed=7",
+                                  "--tol=0.5", "--verbose=true"})
+                  .ok());
+  EXPECT_EQ(parser.GetString("scale"), "large");
+  EXPECT_EQ(parser.GetInt("seed"), 7);
+  EXPECT_DOUBLE_EQ(parser.GetDouble("tol"), 0.5);
+  EXPECT_TRUE(parser.GetBool("verbose"));
+}
+
+TEST(FlagsTest, SpaceForm) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(ParseArgs(&parser, {"--seed", "-3", "--scale", "tiny"}).ok());
+  EXPECT_EQ(parser.GetInt("seed"), -3);
+  EXPECT_EQ(parser.GetString("scale"), "tiny");
+}
+
+TEST(FlagsTest, BareBoolEnables) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(ParseArgs(&parser, {"--verbose"}).ok());
+  EXPECT_TRUE(parser.GetBool("verbose"));
+}
+
+TEST(FlagsTest, UnknownFlagFails) {
+  FlagParser parser = MakeParser();
+  Status s = ParseArgs(&parser, {"--bogus=1"});
+  EXPECT_TRUE(s.IsInvalidArgument());
+}
+
+TEST(FlagsTest, MalformedValuesFail) {
+  {
+    FlagParser parser = MakeParser();
+    EXPECT_TRUE(ParseArgs(&parser, {"--seed=abc"}).IsInvalidArgument());
+  }
+  {
+    FlagParser parser = MakeParser();
+    EXPECT_TRUE(ParseArgs(&parser, {"--tol=xyz"}).IsInvalidArgument());
+  }
+  {
+    FlagParser parser = MakeParser();
+    EXPECT_TRUE(ParseArgs(&parser, {"--verbose=maybe"}).IsInvalidArgument());
+  }
+  {
+    FlagParser parser = MakeParser();
+    EXPECT_TRUE(ParseArgs(&parser, {"--seed"}).IsInvalidArgument());
+  }
+}
+
+TEST(FlagsTest, PositionalArgsCollected) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(ParseArgs(&parser, {"one", "--seed=1", "two"}).ok());
+  EXPECT_EQ(parser.positional(),
+            (std::vector<std::string>{"one", "two"}));
+}
+
+TEST(FlagsTest, HelpRequested) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(ParseArgs(&parser, {"--help"}).ok());
+  EXPECT_TRUE(parser.help_requested());
+  std::string usage = parser.Usage("prog");
+  EXPECT_NE(usage.find("--scale"), std::string::npos);
+  EXPECT_NE(usage.find("small"), std::string::npos);
+}
+
+TEST(FlagsTest, PartialIntegersRejected) {
+  FlagParser parser = MakeParser();
+  EXPECT_TRUE(ParseArgs(&parser, {"--seed=12x"}).IsInvalidArgument());
+}
+
+TEST(FlagsTest, BoolNumericForms) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(ParseArgs(&parser, {"--verbose=1"}).ok());
+  EXPECT_TRUE(parser.GetBool("verbose"));
+  FlagParser parser2 = MakeParser();
+  ASSERT_TRUE(ParseArgs(&parser2, {"--verbose=0"}).ok());
+  EXPECT_FALSE(parser2.GetBool("verbose"));
+}
+
+}  // namespace
+}  // namespace openapi::util

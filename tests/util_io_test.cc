@@ -1,0 +1,112 @@
+// Tests for CsvWriter and TablePrinter.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/csv_writer.h"
+#include "util/table_printer.h"
+
+namespace openapi::util {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(CsvWriterTest, WritesHeaderAndRows) {
+  std::string path = TempPath("basic.csv");
+  auto writer = CsvWriter::Open(path, {"a", "b"});
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->WriteRow(std::vector<std::string>{"1", "2"}).ok());
+  ASSERT_TRUE(writer->Close().ok());
+  EXPECT_EQ(ReadFile(path), "a,b\n1,2\n");
+}
+
+TEST(CsvWriterTest, RejectsEmptyHeader) {
+  auto writer = CsvWriter::Open(TempPath("empty.csv"), {});
+  EXPECT_FALSE(writer.ok());
+  EXPECT_TRUE(writer.status().IsInvalidArgument());
+}
+
+TEST(CsvWriterTest, RejectsArityMismatch) {
+  auto writer = CsvWriter::Open(TempPath("arity.csv"), {"a", "b"});
+  ASSERT_TRUE(writer.ok());
+  Status s = writer->WriteRow(std::vector<std::string>{"only-one"});
+  EXPECT_TRUE(s.IsInvalidArgument());
+}
+
+TEST(CsvWriterTest, EscapesSpecialCharacters) {
+  std::string path = TempPath("escape.csv");
+  auto writer = CsvWriter::Open(path, {"v"});
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->WriteRow(std::vector<std::string>{"a,b"}).ok());
+  ASSERT_TRUE(writer->WriteRow(std::vector<std::string>{"say \"hi\""}).ok());
+  ASSERT_TRUE(writer->Close().ok());
+  EXPECT_EQ(ReadFile(path), "v\n\"a,b\"\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CsvWriterTest, NumericRowsRoundTripPrecision) {
+  std::string path = TempPath("num.csv");
+  auto writer = CsvWriter::Open(path, {"x"});
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->WriteRow(std::vector<double>{0.1}).ok());
+  ASSERT_TRUE(writer->Close().ok());
+  std::string content = ReadFile(path);
+  double parsed = std::stod(content.substr(content.find('\n') + 1));
+  EXPECT_EQ(parsed, 0.1);  // %.17g is lossless for doubles
+}
+
+TEST(CsvWriterTest, FailsOnUnwritablePath) {
+  auto writer = CsvWriter::Open("/nonexistent-dir/x.csv", {"a"});
+  EXPECT_FALSE(writer.ok());
+  EXPECT_TRUE(writer.status().IsIoError());
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer-name", "22"});
+  std::ostringstream os;
+  table.Print(os);
+  std::string out = os.str();
+  // All four lines (header, separator, two rows) share one width.
+  std::vector<size_t> line_lengths;
+  size_t pos = 0;
+  while (pos < out.size()) {
+    size_t next = out.find('\n', pos);
+    line_lengths.push_back(next - pos);
+    pos = next + 1;
+  }
+  ASSERT_EQ(line_lengths.size(), 4u);
+  EXPECT_EQ(table.num_rows(), 2u);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumericRowHelper) {
+  TablePrinter table({"label", "a", "b"});
+  table.AddRow("row", {1.0, 2.5});
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_NE(os.str().find("2.5"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ShortRowsArePadded) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"only"});
+  std::ostringstream os;
+  table.Print(os);  // must not crash
+  EXPECT_NE(os.str().find("only"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace openapi::util

@@ -1,0 +1,63 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace openapi::util {
+namespace {
+
+TEST(JoinTest, Basics) {
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"a"}, ","), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(SplitTest, Basics) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split(",x,", ','), (std::vector<std::string>{"", "x", ""}));
+}
+
+TEST(SplitJoinTest, RoundTrip) {
+  std::vector<std::string> pieces = {"alpha", "beta", "", "gamma"};
+  EXPECT_EQ(Split(Join(pieces, "|"), '|'), pieces);
+}
+
+TEST(StrFormatTest, Formats) {
+  EXPECT_EQ(StrFormat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StrFormatTest, LongOutput) {
+  std::string big(500, 'q');
+  EXPECT_EQ(StrFormat("%s", big.c_str()).size(), 500u);
+}
+
+TEST(FormatDoubleTest, MidRangeUsesFixed) {
+  EXPECT_EQ(FormatDouble(1.5, 2), "1.50");
+  EXPECT_EQ(FormatDouble(0.0), "0");
+}
+
+TEST(FormatDoubleTest, ExtremesUseScientific) {
+  EXPECT_NE(FormatDouble(1e-9).find('e'), std::string::npos);
+  EXPECT_NE(FormatDouble(1e12).find('e'), std::string::npos);
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("openapi", "open"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_FALSE(StartsWith("open", "openapi"));
+  EXPECT_FALSE(StartsWith("abc", "b"));
+}
+
+TEST(TrimTest, Basics) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("\t\na b\r\n"), "a b");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("nochange"), "nochange");
+}
+
+}  // namespace
+}  // namespace openapi::util

@@ -1,0 +1,93 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace openapi::util {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, MultipleWaitCycles) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(counter.load(), (round + 1) * 20);
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> touched(257);
+  ParallelFor(&pool, touched.size(), [&](size_t i) {
+    touched[i].fetch_add(1);
+  });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ParallelForTest, ZeroCountIsNoop) {
+  ThreadPool pool(2);
+  ParallelFor(&pool, 0, [](size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ParallelForTest, CountSmallerThanThreads) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> touched(3);
+  ParallelFor(&pool, 3, [&](size_t i) { touched[i].fetch_add(1); });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ParallelForTest, MatchesSerialComputation) {
+  // Parallel sum of squares equals the serial one.
+  const size_t n = 10000;
+  ThreadPool pool(4);
+  std::vector<double> values(n);
+  ParallelFor(&pool, n, [&](size_t i) {
+    values[i] = static_cast<double>(i) * static_cast<double>(i);
+  });
+  double parallel_sum = std::accumulate(values.begin(), values.end(), 0.0);
+  double serial_sum = 0;
+  for (size_t i = 0; i < n; ++i) {
+    serial_sum += static_cast<double>(i) * static_cast<double>(i);
+  }
+  EXPECT_DOUBLE_EQ(parallel_sum, serial_sum);
+}
+
+TEST(DefaultThreadCountTest, Clamped) {
+  EXPECT_GE(DefaultThreadCount(), 1u);
+  EXPECT_LE(DefaultThreadCount(4), 4u);
+  EXPECT_EQ(DefaultThreadCount(1), 1u);
+}
+
+}  // namespace
+}  // namespace openapi::util
