@@ -5,12 +5,76 @@
 //   * surrogate fidelity (label agreement / probability gap) vs coverage,
 //   * per-model-family comparison (PLNN's many small regions vs the LMT's
 //     few axis-aligned leaves — the LMT is clonable with far fewer
-//     extractions).
+//     extractions),
+//   * batched vs single interpretation pipeline: the sequential per-sample
+//     solve loop against interpret::InterpretationEngine on the same
+//     full-audit request set — wall time, interpretations/sec, queries/sec.
 
 #include "bench_common.h"
 
 namespace openapi::bench {
 namespace {
+
+// Sequential per-sample loop vs the concurrent engine on the full-audit
+// workload (every class of every instance). Both produce exact answers;
+// the table tracks the throughput gap in the perf trajectory.
+void RunPipelineComparison(const eval::TargetModel& target,
+                           const data::Dataset& test,
+                           const eval::ExperimentScale& scale) {
+  const size_t instances =
+      std::min<size_t>(scale.eval_instances, test.size());
+  const size_t num_classes = test.num_classes();
+  std::cout << "\nbatched vs single interpretation pipeline (" << instances
+            << " instances x " << num_classes << " classes):\n";
+  std::vector<interpret::EngineRequest> requests;
+  requests.reserve(instances * num_classes);
+  for (size_t i = 0; i < instances; ++i) {
+    for (size_t c = 0; c < num_classes; ++c) requests.push_back({test.x(i), c});
+  }
+
+  util::TablePrinter table({"pipeline", "interp", "wall ms", "interp/s",
+                            "API queries", "queries/s"});
+  auto add_row = [&](const char* label, size_t ok, double seconds,
+                     uint64_t queries) {
+    table.AddRow(label,
+                 {static_cast<double>(ok), seconds * 1e3,
+                  static_cast<double>(requests.size()) / seconds,
+                  static_cast<double>(queries),
+                  static_cast<double>(queries) / seconds});
+  };
+
+  {
+    api::PredictionApi api(target.model);
+    interpret::OpenApiInterpreter interpreter;
+    size_t ok = 0;
+    util::Timer timer;
+    for (size_t i = 0; i < requests.size(); ++i) {
+      util::Rng rng(util::Rng::MixSeed(kBenchSeed, i));
+      if (interpreter.Interpret(api, requests[i].x0, requests[i].c, &rng)
+              .ok()) {
+        ++ok;
+      }
+    }
+    add_row("per-sample loop", ok, timer.ElapsedSeconds(), api.query_count());
+  }
+  {
+    api::PredictionApi api(target.model);
+    interpret::InterpretationEngine engine;
+    util::Timer timer;
+    auto results = engine.InterpretAll(api, requests, kBenchSeed);
+    double seconds = timer.ElapsedSeconds();
+    size_t ok = 0;
+    for (const auto& r : results) ok += r.ok() ? 1 : 0;
+    add_row("engine (batched)", ok, seconds, api.query_count());
+    interpret::EngineStats stats = engine.stats();
+    table.Print(std::cout);
+    std::cout << "engine: " << engine.num_threads() << " threads, "
+              << engine.cache_size() << " cached regions, "
+              << stats.cache_misses << " extractions, " << stats.cache_hits
+              << " cache hits, " << stats.point_memo_hits
+              << " memo hits (0 queries)\n";
+  }
+}
 
 void Run() {
   eval::ExperimentScale scale = eval::ScaleFromEnv();
@@ -57,6 +121,7 @@ void Run() {
                       report.max_prob_gap});
       }
       table.Print(std::cout);
+      RunPipelineComparison(target, models.test, scale);
       if (target.label == "LMT") {
         std::cout << "(LMT has "
                   << static_cast<const lmt::LogisticModelTree*>(

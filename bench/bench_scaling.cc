@@ -6,6 +6,16 @@
 //   * NaiveVsDim      — the determined-system baseline for comparison.
 // Each iteration interprets one fresh test instance end to end, including
 // the API probe queries (which are O(network) and dominate at small d).
+//
+// Plus the batched-query-plane throughput suite tracked in the perf
+// trajectory (items_per_second is the headline number):
+//   * PredictSingleLoop / PredictBatched — queries/sec through the API
+//     boundary, per-sample loop vs one PredictBatch (matrix-matrix
+//     forwards), batch sizes 32..512;
+//   * InterpretAuditPerSample / InterpretAuditEngine — interpretations/sec
+//     for the full-audit workload (every class of every instance, >= 32
+//     requests) on a 2-hidden-layer PLNN: sequential per-sample solve loop
+//     vs the concurrent InterpretationEngine with its shared region cache.
 
 #include <benchmark/benchmark.h>
 
@@ -124,6 +134,106 @@ void ZooVsDim(benchmark::State& state) {
   state.SetComplexityN(static_cast<int64_t>(d));
 }
 BENCHMARK(ZooVsDim)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Complexity();
+
+// --- Batched query plane: queries/sec through the API boundary. ---
+
+void PredictSingleLoop(benchmark::State& state) {
+  const size_t d = 16, c = 10;
+  Cache().Ensure(d, c);
+  const size_t batch = static_cast<size_t>(state.range(0));
+  util::Rng rng(6);
+  std::vector<Vec> xs;
+  for (size_t i = 0; i < batch; ++i) {
+    xs.push_back(rng.UniformVector(d, 0, 1));
+  }
+  for (auto _ : state) {
+    for (const Vec& x : xs) {
+      Vec y = Cache().api->Predict(x);
+      benchmark::DoNotOptimize(y);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * batch));
+}
+BENCHMARK(PredictSingleLoop)->Arg(32)->Arg(128)->Arg(512);
+
+void PredictBatched(benchmark::State& state) {
+  const size_t d = 16, c = 10;
+  Cache().Ensure(d, c);
+  const size_t batch = static_cast<size_t>(state.range(0));
+  util::Rng rng(6);
+  std::vector<Vec> xs;
+  for (size_t i = 0; i < batch; ++i) {
+    xs.push_back(rng.UniformVector(d, 0, 1));
+  }
+  for (auto _ : state) {
+    auto ys = Cache().api->PredictBatch(xs);
+    benchmark::DoNotOptimize(ys);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * batch));
+}
+BENCHMARK(PredictBatched)->Arg(32)->Arg(128)->Arg(512);
+
+// --- Interpretation throughput: the full-audit workload. ---
+//
+// `instances` test points, every class of each interpreted: the paper's
+// evaluation shape and the realistic production audit. range(0) is the
+// instance count; requests = instances * 10 classes (>= 40 for Arg(4)).
+
+std::vector<interpret::EngineRequest> AuditRequests(size_t instances,
+                                                    size_t d, size_t c) {
+  util::Rng rng(7);
+  std::vector<interpret::EngineRequest> requests;
+  requests.reserve(instances * c);
+  for (size_t i = 0; i < instances; ++i) {
+    Vec x0 = rng.UniformVector(d, 0.05, 0.95);
+    for (size_t cls = 0; cls < c; ++cls) requests.push_back({x0, cls});
+  }
+  return requests;
+}
+
+void InterpretAuditPerSample(benchmark::State& state) {
+  const size_t d = 16, c = 10;  // {d, 2d, d, c}: 2 hidden layers
+  Cache().Ensure(d, c);
+  auto requests = AuditRequests(static_cast<size_t>(state.range(0)), d, c);
+  interpret::OpenApiInterpreter interpreter;
+  for (auto _ : state) {
+    for (size_t i = 0; i < requests.size(); ++i) {
+      util::Rng rng(util::Rng::MixSeed(11, i));
+      auto result = interpreter.Interpret(*Cache().api, requests[i].x0,
+                                          requests[i].c, &rng);
+      benchmark::DoNotOptimize(result);
+    }
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * requests.size()));
+}
+BENCHMARK(InterpretAuditPerSample)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void InterpretAuditEngine(benchmark::State& state) {
+  const size_t d = 16, c = 10;
+  Cache().Ensure(d, c);
+  auto requests = AuditRequests(static_cast<size_t>(state.range(0)), d, c);
+  for (auto _ : state) {
+    // Fresh engine per iteration: the cache must be earned inside the
+    // measured region, not carried over from the previous iteration.
+    interpret::InterpretationEngine engine;
+    auto results = engine.InterpretAll(*Cache().api, requests, 11);
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * requests.size()));
+}
+// UseRealTime: the engine's work happens on pool threads, so wall clock —
+// not the calling thread's CPU time — is the honest comparison basis.
+BENCHMARK(InterpretAuditEngine)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 }  // namespace openapi::bench

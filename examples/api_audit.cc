@@ -49,16 +49,24 @@ int main() {
             << ", C=" << api.num_classes() << ")\n\n";
 
   // --- The auditor side: black-box access only below this line. ---
-  interpret::OpenApiInterpreter interpreter;
-  util::Rng rng(17);
-  const size_t num_audited = 25;
+  // One batched request classifies every audited instance, then the
+  // interpretation engine fans the (x0, predicted class) requests across
+  // its thread pool, sharing extracted regions between instances.
+  const size_t num_audited = std::min<size_t>(25, test.size());
+  std::vector<Vec> instances;
+  for (size_t i = 0; i < num_audited; ++i) instances.push_back(test.x(i));
+  std::vector<Vec> predictions = api.PredictBatch(instances);
+
+  std::vector<interpret::EngineRequest> requests;
+  for (size_t i = 0; i < num_audited; ++i) {
+    requests.push_back({instances[i], linalg::ArgMax(predictions[i])});
+  }
+  interpret::InterpretationEngine engine;
+  auto results = engine.InterpretAll(api, requests, /*seed=*/17);
 
   std::vector<AuditRecord> records;
   size_t failures = 0;
-  for (size_t i = 0; i < num_audited && i < test.size(); ++i) {
-    const Vec& x0 = test.x(i);
-    size_t c = linalg::ArgMax(api.Predict(x0));
-    auto result = interpreter.Interpret(api, x0, c, &rng);
+  for (const auto& result : results) {
     if (!result.ok()) {
       ++failures;
       continue;
@@ -92,8 +100,16 @@ int main() {
                 util::FormatDouble(share_sum / n, 3)});
   table.Print(std::cout);
 
+  interpret::EngineStats stats = engine.stats();
+  std::cout << "\nengine: " << engine.num_threads() << " threads, "
+            << engine.cache_size() << " regions extracted, "
+            << stats.cache_hits << " shared across instances, "
+            << stats.point_memo_hits << " repeat hits\n";
+
   std::cout << "\ninterpretation consistency spot-check: two audits of the "
                "same instance must agree exactly\n";
+  interpret::OpenApiInterpreter interpreter;
+  util::Rng rng(18);
   const Vec& x0 = test.x(0);
   size_t c = linalg::ArgMax(api.Predict(x0));
   auto first = interpreter.Interpret(api, x0, c, &rng);

@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, run the full test suite.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j
+cd build && ctest --output-on-failure -j

@@ -1,0 +1,18 @@
+#include "api/plm.h"
+
+namespace openapi::api {
+
+std::vector<Vec> Plm::PredictBatch(const std::vector<Vec>& xs) const {
+  std::vector<Vec> out;
+  out.reserve(xs.size());
+  for (const Vec& x : xs) out.push_back(Predict(x));
+  return out;
+}
+
+Vec EvaluateLocalModel(const LocalLinearModel& model, const Vec& x) {
+  Vec logits = model.weights.MultiplyTransposed(x);
+  for (size_t c = 0; c < logits.size(); ++c) logits[c] += model.bias[c];
+  return linalg::Softmax(logits);
+}
+
+}  // namespace openapi::api

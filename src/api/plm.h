@@ -18,6 +18,7 @@
 #define OPENAPI_API_PLM_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "linalg/matrix.h"
 #include "linalg/vector_ops.h"
@@ -47,7 +48,18 @@ class Plm {
 
   /// Class probabilities (softmax output), length C.
   virtual Vec Predict(const Vec& x) const = 0;
+
+  /// Class probabilities for a batch of inputs (xs[i] -> result[i]).
+  /// The contract is bit-exact agreement with per-sample Predict; the
+  /// default implementation is the per-sample loop, and concrete models
+  /// override it with matrix-matrix forwards (see nn::Plnn::LogitsBatch).
+  virtual std::vector<Vec> PredictBatch(const std::vector<Vec>& xs) const;
 };
+
+/// Evaluates a locally linear classifier: softmax(weights^T x + bias).
+/// Shared by the extraction module and the interpretation engine's region
+/// cache (extract::PredictWithLocalModel delegates here).
+Vec EvaluateLocalModel(const LocalLinearModel& model, const Vec& x);
 
 /// Privileged white-box view of a Plm (evaluation only; see file comment).
 class PlmOracle {

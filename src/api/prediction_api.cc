@@ -11,29 +11,51 @@ PredictionApi::PredictionApi(const Plm* model, int round_digits,
     : model_(model),
       round_digits_(round_digits),
       noise_stddev_(noise_stddev),
-      noise_rng_(noise_seed) {
+      noise_seed_(noise_seed) {
   OPENAPI_CHECK(model != nullptr);
   OPENAPI_CHECK_GE(noise_stddev, 0.0);
 }
 
-Vec PredictionApi::Predict(const Vec& x) const {
-  query_count_.fetch_add(1, std::memory_order_relaxed);
-  Vec y = model_->Predict(x);
+void PredictionApi::PostProcess(Vec* y, uint64_t ticket) const {
   if (noise_stddev_ > 0.0) {
     // Multiplicative log-normal jitter keeps probabilities positive; a
-    // final renormalization keeps them a distribution.
+    // final renormalization keeps them a distribution. The RNG is a
+    // stateless fork per sample, so concurrent calls never contend and a
+    // batch replays the exact per-sample streams.
+    util::Rng rng(util::Rng::MixSeed(noise_seed_, ticket));
     double sum = 0.0;
-    for (double& p : y) {
-      p *= std::exp(noise_rng_.Gaussian(0.0, noise_stddev_));
+    for (double& p : *y) {
+      p *= std::exp(rng.Gaussian(0.0, noise_stddev_));
       sum += p;
     }
-    for (double& p : y) p /= sum;
+    for (double& p : *y) p /= sum;
   }
   if (round_digits_ > 0) {
     const double scale = std::pow(10.0, round_digits_);
-    for (double& p : y) p = std::round(p * scale) / scale;
+    for (double& p : *y) p = std::round(p * scale) / scale;
   }
+}
+
+Vec PredictionApi::Predict(const Vec& x) const {
+  query_count_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t ticket =
+      noise_ticket_.fetch_add(1, std::memory_order_relaxed);
+  Vec y = model_->Predict(x);
+  PostProcess(&y, ticket);
   return y;
+}
+
+std::vector<Vec> PredictionApi::PredictBatch(
+    const std::vector<Vec>& xs) const {
+  if (xs.empty()) return {};
+  query_count_.fetch_add(xs.size(), std::memory_order_relaxed);
+  const uint64_t first_ticket =
+      noise_ticket_.fetch_add(xs.size(), std::memory_order_relaxed);
+  std::vector<Vec> ys = model_->PredictBatch(xs);
+  for (size_t i = 0; i < ys.size(); ++i) {
+    PostProcess(&ys[i], first_ticket + i);
+  }
+  return ys;
 }
 
 }  // namespace openapi::api

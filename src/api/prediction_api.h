@@ -3,21 +3,32 @@
 // PredictionApi is the only view of the model that black-box interpretation
 // methods (OpenAPI, the naive method, ZOO, LIME) receive. It exposes
 // exactly what a deployed prediction endpoint exposes: probabilities for an
-// input. On top of the raw model it adds
+// input, single-sample or batched (real endpoints accept request batches;
+// the closed-form solver submits each iteration's d+1 probes as one). On
+// top of the raw model it adds
 //   * a query counter (the paper's efficiency story is about how few probes
-//     the closed form needs; the benches report it),
+//     the closed form needs; the benches report it) — atomic, incremented
+//     once per sample whether the sample arrives alone or in a batch,
 //   * optional probability rounding to k decimal digits, simulating real
 //     endpoints that truncate their JSON output — used by bench_ablation to
 //     map where the closed form degrades,
 //   * optional multiplicative log-normal probability noise, simulating
 //     nondeterministic serving stacks (ensembles, inference dropout,
 //     numeric jitter across replicas) — used by the robustness tests.
+//
+// Thread safety: every member is safe to call concurrently. Noise is drawn
+// from a per-sample RNG forked deterministically from (noise_seed, ticket)
+// where tickets come from an atomic counter, so concurrent callers never
+// share generator state and a batch of n samples consumes exactly the same
+// n noise streams as n sequential single-sample calls — PredictBatch
+// bit-matches Predict in every configuration.
 
 #ifndef OPENAPI_API_PREDICTION_API_H_
 #define OPENAPI_API_PREDICTION_API_H_
 
 #include <atomic>
 #include <cstdint>
+#include <vector>
 
 #include "api/plm.h"
 #include "util/rng.h"
@@ -41,11 +52,16 @@ class PredictionApi {
   /// One API call: class probabilities for x.
   Vec Predict(const Vec& x) const;
 
-  /// Number of Predict calls since construction / last reset. The counter
-  /// is atomic, so a noise-free PredictionApi is safe to share across the
-  /// evaluation thread pool (the wrapped Plm implementations are const and
-  /// stateless at inference). With noise enabled the jitter RNG is not
-  /// synchronized — use one PredictionApi per thread in that case.
+  /// One batched API call: class probabilities for every row of xs, in
+  /// order. Counts xs.size() queries and draws xs.size() noise tickets
+  /// atomically, so the result is bit-identical to calling Predict on each
+  /// sample in order — but the forward passes run as matrix-matrix
+  /// products through Plm::PredictBatch.
+  std::vector<Vec> PredictBatch(const std::vector<Vec>& xs) const;
+
+  /// Number of samples predicted since construction / last reset. Atomic;
+  /// the PredictionApi is safe to share across the interpretation engine's
+  /// thread pool in every configuration, including noisy ones.
   uint64_t query_count() const {
     return query_count_.load(std::memory_order_relaxed);
   }
@@ -53,14 +69,24 @@ class PredictionApi {
     query_count_.store(0, std::memory_order_relaxed);
   }
 
+  /// Rewinds the noise ticket counter so the next sample reuses the first
+  /// noise stream again (tests replaying a seeded noisy trace).
+  void ResetNoiseStream() {
+    noise_ticket_.store(0, std::memory_order_relaxed);
+  }
+
   int round_digits() const { return round_digits_; }
   double noise_stddev() const { return noise_stddev_; }
 
  private:
+  /// Applies noise (stream = `ticket`) then rounding to one prediction.
+  void PostProcess(Vec* y, uint64_t ticket) const;
+
   const Plm* model_;
   int round_digits_;
   double noise_stddev_;
-  mutable util::Rng noise_rng_;
+  uint64_t noise_seed_;
+  mutable std::atomic<uint64_t> noise_ticket_{0};
   mutable std::atomic<uint64_t> query_count_{0};
 };
 

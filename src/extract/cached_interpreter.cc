@@ -17,13 +17,14 @@ Result<interpret::Interpretation> CachedInterpreter::Interpret(
   if (c >= api.num_classes()) {
     return Status::InvalidArgument("class index out of range");
   }
-  const uint64_t queries_before = api.query_count();
 
-  // One query at x0 and one validation probe decide all cache candidates.
-  Vec y0 = api.Predict(x0);
+  // One query at x0 and one validation probe decide all cache candidates;
+  // both go out as a single batched request.
   Vec probe = interpret::SampleHypercube(x0, config_.validation_edge,
                                          /*count=*/1, rng)[0];
-  Vec y_probe = api.Predict(probe);
+  std::vector<Vec> pair = api.PredictBatch({x0, probe});
+  Vec y0 = std::move(pair[0]);
+  Vec y_probe = std::move(pair[1]);
 
   auto matches = [&](const LocalLinearModel& model, const Vec& x,
                      const Vec& y) {
@@ -35,22 +36,27 @@ Result<interpret::Interpretation> CachedInterpreter::Interpret(
     return worst <= config_.match_tol;
   };
 
-  for (const ExtractedLocalModel& cached : cache_) {
-    if (matches(cached.model, x0, y0) &&
-        matches(cached.model, probe, y_probe)) {
-      ++hits_;
-      interpret::Interpretation out;
-      out.dc = api::GroundTruthDecisionFeatures(cached.model, c);
-      out.iterations = 0;  // no solve was needed
-      out.edge_length = config_.validation_edge;
-      out.probes.push_back(std::move(probe));
-      out.queries = api.query_count() - queries_before;
-      return out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const ExtractedLocalModel& cached : cache_) {
+      if (matches(cached.model, x0, y0) &&
+          matches(cached.model, probe, y_probe)) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        interpret::Interpretation out;
+        out.dc = api::GroundTruthDecisionFeatures(cached.model, c);
+        out.iterations = 0;  // no solve was needed
+        out.edge_length = config_.validation_edge;
+        out.probes.push_back(std::move(probe));
+        out.queries = 2;  // x0 + validation probe
+        return out;
+      }
     }
   }
 
-  // Miss: full extraction, then cache for future calls.
-  ++misses_;
+  // Miss: full extraction (outside the lock — it is the expensive, slow
+  // path), then cache for future calls, deduplicating by fingerprint in
+  // case another thread extracted the same region concurrently.
+  misses_.fetch_add(1, std::memory_order_relaxed);
   LocalModelExtractor extractor(config_.extractor);
   OPENAPI_ASSIGN_OR_RETURN(ExtractedLocalModel extracted,
                            extractor.Extract(api, x0, rng));
@@ -58,8 +64,18 @@ Result<interpret::Interpretation> CachedInterpreter::Interpret(
   out.dc = api::GroundTruthDecisionFeatures(extracted.model, c);
   out.iterations = extracted.iterations;
   out.edge_length = extracted.edge_length;
-  out.queries = api.query_count() - queries_before;
-  cache_.push_back(std::move(extracted));
+  out.queries = 2 + extracted.queries;  // cache check + extraction
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    bool known = false;
+    for (const ExtractedLocalModel& cached : cache_) {
+      if (cached.fingerprint == extracted.fingerprint) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) cache_.push_back(std::move(extracted));
+  }
   return out;
 }
 

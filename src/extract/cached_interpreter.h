@@ -1,5 +1,13 @@
 // CachedInterpreter: amortizing OpenAPI across many interpretation calls.
 //
+// DEPRECATED: prefer interpret::InterpretationEngine, which runs many
+// (x0, c) requests concurrently over a shared, signature-indexed region
+// cache and supersedes this class. CachedInterpreter remains as the
+// single-threaded reference implementation of the caching idea and for
+// existing callers; it now uses a mutex + atomic counters internally, so
+// sharing one instance across threads is safe (though the engine's indexed
+// cache scales better than this linear scan).
+//
 // The paper interprets 1000 test instances per experiment. Instances that
 // share a locally linear region have identical decision features, and the
 // model's whole behaviour in that region is captured by one extracted
@@ -17,6 +25,8 @@
 #ifndef OPENAPI_EXTRACT_CACHED_INTERPRETER_H_
 #define OPENAPI_EXTRACT_CACHED_INTERPRETER_H_
 
+#include <atomic>
+#include <mutex>
 #include <vector>
 
 #include "extract/local_model_extractor.h"
@@ -43,20 +53,31 @@ class CachedInterpreter : public interpret::BlackBoxInterpreter {
   const char* name() const override { return "OpenAPI+cache"; }
 
   /// Same contract as interpret::OpenApiInterpreter::Interpret, with the
-  /// region cache consulted first. NOT thread-safe (mutates the cache).
+  /// region cache consulted first. Thread-safe: the cache is mutex-guarded
+  /// and the statistics are atomic. The expensive extraction runs outside
+  /// the lock; duplicate concurrent extractions of one region are
+  /// deduplicated by fingerprint at insert time.
   Result<interpret::Interpretation> Interpret(const api::PredictionApi& api,
                                               const Vec& x0, size_t c,
                                               util::Rng* rng) const override;
 
-  size_t cache_size() const { return cache_.size(); }
-  uint64_t cache_hits() const { return hits_; }
-  uint64_t cache_misses() const { return misses_; }
+  size_t cache_size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cache_.size();
+  }
+  uint64_t cache_hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  uint64_t cache_misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
 
  private:
   CachedInterpreterConfig config_;
+  mutable std::mutex mutex_;
   mutable std::vector<ExtractedLocalModel> cache_;
-  mutable uint64_t hits_ = 0;
-  mutable uint64_t misses_ = 0;
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
 };
 
 }  // namespace openapi::extract

@@ -5,32 +5,11 @@
 namespace openapi::extract {
 
 Vec PredictWithLocalModel(const LocalLinearModel& model, const Vec& x) {
-  Vec logits = model.weights.MultiplyTransposed(x);
-  for (size_t c = 0; c < logits.size(); ++c) logits[c] += model.bias[c];
-  return linalg::Softmax(logits);
+  return api::EvaluateLocalModel(model, x);
 }
 
 uint64_t Fingerprint(const LocalLinearModel& model, double resolution) {
-  OPENAPI_CHECK_GT(resolution, 0.0);
-  // Quantize relative to the model's own scale so the fingerprint is
-  // stable under the ~1e-10 solver noise but distinguishes real regions.
-  double scale = std::max(model.weights.MaxAbs(), linalg::NormInf(model.bias));
-  if (scale == 0.0) scale = 1.0;
-  const double quantum = scale * resolution;
-  uint64_t h = 1469598103934665603ULL;
-  auto mix = [&h](int64_t v) {
-    h ^= static_cast<uint64_t>(v);
-    h *= 1099511628211ULL;
-  };
-  for (double w : model.weights.data()) {
-    mix(static_cast<int64_t>(std::llround(w / quantum)));
-  }
-  for (double b : model.bias) {
-    mix(static_cast<int64_t>(std::llround(b / quantum)));
-  }
-  mix(static_cast<int64_t>(model.weights.rows()));
-  mix(static_cast<int64_t>(model.weights.cols()));
-  return h;
+  return interpret::LocalModelFingerprint(model, resolution);
 }
 
 LocalModelExtractor::LocalModelExtractor(ExtractorConfig config)
@@ -48,16 +27,8 @@ Result<ExtractedLocalModel> LocalModelExtractor::Extract(
                            interpreter.Interpret(api, x0, 0, rng));
 
   ExtractedLocalModel out;
-  out.model.weights = linalg::Matrix(d, num_classes);
-  out.model.bias.assign(num_classes, 0.0);
-  size_t pair_idx = 0;
-  for (size_t c = 1; c < num_classes; ++c, ++pair_idx) {
-    const api::CoreParameters& pair = interpretation.pairs[pair_idx];
-    for (size_t j = 0; j < d; ++j) {
-      out.model.weights(j, c) = -pair.d[j];
-    }
-    out.model.bias[c] = -pair.b;
-  }
+  out.model = interpret::CanonicalModelFromPairs(interpretation.pairs, d);
+  OPENAPI_CHECK_EQ(out.model.bias.size(), num_classes);
   out.fingerprint = Fingerprint(out.model, config_.fingerprint_resolution);
   out.anchor = x0;
   out.iterations = interpretation.iterations;

@@ -67,4 +67,44 @@ Result<Vec> BuildLogOddsRhs(const std::vector<Vec>& predictions, size_t c,
   return rhs;
 }
 
+api::LocalLinearModel CanonicalModelFromPairs(
+    const std::vector<CoreParameters>& pairs, size_t d) {
+  const size_t num_classes = pairs.size() + 1;
+  api::LocalLinearModel model;
+  model.weights = Matrix(d, num_classes);
+  model.bias.assign(num_classes, 0.0);
+  for (size_t c = 1; c < num_classes; ++c) {
+    const CoreParameters& pair = pairs[c - 1];
+    OPENAPI_CHECK_EQ(pair.d.size(), d);
+    for (size_t j = 0; j < d; ++j) {
+      model.weights(j, c) = -pair.d[j];
+    }
+    model.bias[c] = -pair.b;
+  }
+  return model;
+}
+
+uint64_t LocalModelFingerprint(const api::LocalLinearModel& model,
+                               double resolution) {
+  OPENAPI_CHECK_GT(resolution, 0.0);
+  double scale =
+      std::max(model.weights.MaxAbs(), linalg::NormInf(model.bias));
+  if (scale == 0.0) scale = 1.0;
+  const double quantum = scale * resolution;
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](int64_t v) {
+    h ^= static_cast<uint64_t>(v);
+    h *= 1099511628211ULL;
+  };
+  for (double w : model.weights.data()) {
+    mix(static_cast<int64_t>(std::llround(w / quantum)));
+  }
+  for (double b : model.bias) {
+    mix(static_cast<int64_t>(std::llround(b / quantum)));
+  }
+  mix(static_cast<int64_t>(model.weights.rows()));
+  mix(static_cast<int64_t>(model.weights.cols()));
+  return h;
+}
+
 }  // namespace openapi::interpret

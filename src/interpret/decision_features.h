@@ -85,6 +85,22 @@ Result<double> LogOdds(const Vec& y, size_t c, size_t c_prime);
 Result<Vec> BuildLogOddsRhs(const std::vector<Vec>& predictions, size_t c,
                             size_t c_prime);
 
+/// Assembles the canonical locally linear classifier from the C-1 core
+/// parameter pairs of an interpretation run with reference class c = 0:
+/// weights column c' is D_{c',0} = -D_{0,c'} (column 0 pinned to zero) and
+/// bias c' is -B_{0,c'}. softmax(W^T x + b) of the canonical model equals
+/// the hidden model's output throughout the region (softmax gauge freedom).
+/// Shared by extract::LocalModelExtractor and the interpretation engine.
+api::LocalLinearModel CanonicalModelFromPairs(
+    const std::vector<CoreParameters>& pairs, size_t d);
+
+/// Quantized FNV hash of a canonical model. Quantization is relative to
+/// the model's own scale, so the fingerprint is stable under ~1e-10 solver
+/// noise but distinguishes real regions; two extractions of one region
+/// fingerprint identically, enabling black-box region deduplication.
+uint64_t LocalModelFingerprint(const api::LocalLinearModel& model,
+                               double resolution);
+
 }  // namespace openapi::interpret
 
 #endif  // OPENAPI_INTERPRET_DECISION_FEATURES_H_

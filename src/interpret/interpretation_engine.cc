@@ -1,0 +1,253 @@
+#include "interpret/interpretation_engine.h"
+
+#include <cmath>
+#include <cstring>
+#include <optional>
+
+#include "api/ground_truth.h"
+
+namespace openapi::interpret {
+namespace {
+
+constexpr size_t kNoSlot = static_cast<size_t>(-1);
+
+/// Core parameters of `model` for class c against every c' != c, in the
+/// order Interpretation::pairs documents.
+std::vector<CoreParameters> PairsFromModel(const api::LocalLinearModel& model,
+                                           size_t c) {
+  const size_t num_classes = model.bias.size();
+  std::vector<CoreParameters> pairs;
+  pairs.reserve(num_classes - 1);
+  for (size_t c_prime = 0; c_prime < num_classes; ++c_prime) {
+    if (c_prime == c) continue;
+    pairs.push_back(api::GroundTruthCoreParameters(model, c, c_prime));
+  }
+  return pairs;
+}
+
+}  // namespace
+
+InterpretationEngine::InterpretationEngine(EngineConfig config)
+    : config_(config) {
+  const size_t threads = config_.num_threads > 0
+                             ? config_.num_threads
+                             : util::DefaultThreadCount();
+  pool_ = std::make_unique<util::ThreadPool>(threads);
+}
+
+std::pair<uint64_t, uint64_t> InterpretationEngine::PointKey(const Vec& x0) {
+  // Two FNV-1a streams with different offsets over the raw double bits.
+  uint64_t h1 = 1469598103934665603ULL;
+  uint64_t h2 = 0xcbf29ce484222325ULL ^ 0x9e3779b97f4a7c15ULL;
+  for (double v : x0) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    h1 = (h1 ^ bits) * 1099511628211ULL;
+    h2 = (h2 ^ (bits + 0x9e3779b97f4a7c15ULL)) * 0x100000001b3ULL;
+  }
+  h1 = (h1 ^ x0.size()) * 1099511628211ULL;
+  return {h1, h2};
+}
+
+bool InterpretationEngine::RegionMatches(const api::LocalLinearModel& model,
+                                         const Vec& x, const Vec& y) const {
+  Vec predicted = api::EvaluateLocalModel(model, x);
+  double worst = 0.0;
+  for (size_t k = 0; k < y.size(); ++k) {
+    worst = std::max(worst, std::fabs(predicted[k] - y[k]));
+  }
+  return worst <= config_.match_tol;
+}
+
+size_t InterpretationEngine::FindMatchingRegion(const Vec& x0, const Vec& y0,
+                                                const Vec& probe,
+                                                const Vec& y_probe) const {
+  std::shared_lock<std::shared_mutex> lock(cache_mutex_);
+  for (size_t slot = 0; slot < regions_.size(); ++slot) {
+    if (RegionMatches(regions_[slot].model, x0, y0) &&
+        RegionMatches(regions_[slot].model, probe, y_probe)) {
+      return slot;
+    }
+  }
+  return kNoSlot;
+}
+
+size_t InterpretationEngine::InsertRegion(api::LocalLinearModel model,
+                                          uint64_t fingerprint,
+                                          const Vec& x0) const {
+  std::unique_lock<std::shared_mutex> lock(cache_mutex_);
+  size_t slot;
+  auto it = by_fingerprint_.find(fingerprint);
+  if (it != by_fingerprint_.end()) {
+    slot = it->second;  // another worker extracted this region first
+  } else {
+    slot = regions_.size();
+    regions_.push_back(CachedRegion{std::move(model), fingerprint});
+    by_fingerprint_.emplace(fingerprint, slot);
+  }
+  point_memo_[PointKey(x0)] = slot;
+  return slot;
+}
+
+Result<Interpretation> InterpretationEngine::InterpretCached(
+    const api::PredictionApi& api, const Vec& x0, size_t c,
+    util::Rng* rng) const {
+  // 1. Point memo: an exact repeat of a previously answered x0 (any class)
+  //    costs zero API queries.
+  const auto key = PointKey(x0);
+  {
+    std::shared_lock<std::shared_mutex> lock(cache_mutex_);
+    auto it = point_memo_.find(key);
+    if (it != point_memo_.end()) {
+      const CachedRegion& region = regions_[it->second];
+      stat_point_memo_hits_.fetch_add(1, std::memory_order_relaxed);
+      Interpretation out;
+      out.dc = api::GroundTruthDecisionFeatures(region.model, c);
+      out.pairs = PairsFromModel(region.model, c);
+      out.iterations = 0;
+      out.edge_length = 0.0;
+      out.queries = 0;
+      return out;
+    }
+  }
+
+  // 2. Candidate scan: one batched request (x0 + validation probe) decides
+  //    every cached region at once.
+  Vec probe =
+      SampleHypercube(x0, config_.validation_edge, /*count=*/1, rng)[0];
+  std::vector<Vec> pair = api.PredictBatch({x0, probe});
+  const Vec& y0 = pair[0];
+  const Vec& y_probe = pair[1];
+  size_t slot = FindMatchingRegion(x0, y0, probe, y_probe);
+  if (slot != kNoSlot) {
+    api::LocalLinearModel model;
+    {
+      std::shared_lock<std::shared_mutex> lock(cache_mutex_);
+      model = regions_[slot].model;
+    }
+    {
+      std::unique_lock<std::shared_mutex> lock(cache_mutex_);
+      point_memo_[key] = slot;
+    }
+    stat_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    stat_queries_.fetch_add(2, std::memory_order_relaxed);
+    Interpretation out;
+    out.dc = api::GroundTruthDecisionFeatures(model, c);
+    out.pairs = PairsFromModel(model, c);
+    out.iterations = 0;
+    out.edge_length = config_.validation_edge;
+    out.probes.push_back(std::move(probe));
+    out.queries = 2;
+    return out;
+  }
+
+  // 3. Miss: full closed-form extraction with reference class 0, which
+  //    yields the entire canonical classifier; the requested class is then
+  //    read off the cached model (gauge invariance).
+  stat_cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  OpenApiInterpreter interpreter(config_.openapi);
+  auto solved = interpreter.Interpret(api, x0, 0, rng);
+  if (!solved.ok()) {
+    // DidNotConverge consumed its full probe budget; account for it.
+    const size_t d = api.dim();
+    const uint64_t consumed =
+        solved.status().IsDidNotConverge()
+            ? 2 + 1 + config_.openapi.max_iterations * (d + 1)
+            : 2;
+    stat_queries_.fetch_add(consumed, std::memory_order_relaxed);
+    return solved.status();
+  }
+  api::LocalLinearModel model =
+      CanonicalModelFromPairs(solved->pairs, api.dim());
+  const uint64_t fingerprint =
+      LocalModelFingerprint(model, config_.fingerprint_resolution);
+  Interpretation out;
+  out.dc = api::GroundTruthDecisionFeatures(model, c);
+  out.pairs = PairsFromModel(model, c);
+  out.probes = std::move(solved->probes);
+  out.iterations = solved->iterations;
+  out.edge_length = solved->edge_length;
+  out.queries = 2 + solved->queries;
+  stat_queries_.fetch_add(out.queries, std::memory_order_relaxed);
+  InsertRegion(std::move(model), fingerprint, x0);
+  return out;
+}
+
+Result<Interpretation> InterpretationEngine::Interpret(
+    const api::PredictionApi& api, const Vec& x0, size_t c, uint64_t seed,
+    uint64_t stream) const {
+  stat_requests_.fetch_add(1, std::memory_order_relaxed);
+  if (x0.size() != api.dim()) {
+    stat_failures_.fetch_add(1, std::memory_order_relaxed);
+    return Status::InvalidArgument("x0 dimensionality mismatch");
+  }
+  if (c >= api.num_classes() || api.num_classes() < 2) {
+    stat_failures_.fetch_add(1, std::memory_order_relaxed);
+    return Status::InvalidArgument("bad class configuration");
+  }
+  util::Rng rng(util::Rng::MixSeed(seed, stream));
+  Result<Interpretation> result =
+      config_.use_region_cache
+          ? InterpretCached(api, x0, c, &rng)
+          : OpenApiInterpreter(config_.openapi).Interpret(api, x0, c, &rng);
+  if (!config_.use_region_cache) {
+    if (result.ok()) {
+      stat_queries_.fetch_add(result->queries, std::memory_order_relaxed);
+      stat_cache_misses_.fetch_add(1, std::memory_order_relaxed);
+    } else if (result.status().IsDidNotConverge()) {
+      stat_queries_.fetch_add(
+          1 + config_.openapi.max_iterations * (api.dim() + 1),
+          std::memory_order_relaxed);
+    }
+  }
+  if (!result.ok()) stat_failures_.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+std::vector<Result<Interpretation>> InterpretationEngine::InterpretAll(
+    const api::PredictionApi& api, const std::vector<EngineRequest>& requests,
+    uint64_t seed) const {
+  std::vector<std::optional<Result<Interpretation>>> scratch(requests.size());
+  util::ParallelFor(pool_.get(), requests.size(), [&](size_t i) {
+    scratch[i].emplace(
+        Interpret(api, requests[i].x0, requests[i].c, seed, /*stream=*/i));
+  });
+  std::vector<Result<Interpretation>> results;
+  results.reserve(requests.size());
+  for (auto& r : scratch) results.push_back(std::move(*r));
+  return results;
+}
+
+size_t InterpretationEngine::cache_size() const {
+  std::shared_lock<std::shared_mutex> lock(cache_mutex_);
+  return regions_.size();
+}
+
+EngineStats InterpretationEngine::stats() const {
+  EngineStats s;
+  s.requests = stat_requests_.load(std::memory_order_relaxed);
+  s.point_memo_hits = stat_point_memo_hits_.load(std::memory_order_relaxed);
+  s.cache_hits = stat_cache_hits_.load(std::memory_order_relaxed);
+  s.cache_misses = stat_cache_misses_.load(std::memory_order_relaxed);
+  s.failures = stat_failures_.load(std::memory_order_relaxed);
+  s.queries = stat_queries_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void InterpretationEngine::ResetStats() const {
+  stat_requests_.store(0, std::memory_order_relaxed);
+  stat_point_memo_hits_.store(0, std::memory_order_relaxed);
+  stat_cache_hits_.store(0, std::memory_order_relaxed);
+  stat_cache_misses_.store(0, std::memory_order_relaxed);
+  stat_failures_.store(0, std::memory_order_relaxed);
+  stat_queries_.store(0, std::memory_order_relaxed);
+}
+
+void InterpretationEngine::ClearCache() const {
+  std::unique_lock<std::shared_mutex> lock(cache_mutex_);
+  regions_.clear();
+  by_fingerprint_.clear();
+  point_memo_.clear();
+}
+
+}  // namespace openapi::interpret

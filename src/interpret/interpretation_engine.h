@@ -1,0 +1,164 @@
+// InterpretationEngine: the concurrent throughput pipeline over OpenAPI.
+//
+// The paper's evaluation (and any production deployment of the method)
+// interprets many (x0, c) requests against one endpoint. Running them one
+// at a time wastes two structural facts:
+//   1. requests whose x0 share a locally linear region — or that repeat an
+//      x0 for different classes c — are answered by one extracted canonical
+//      classifier (decision features are gauge-invariant), and
+//   2. the requests are independent, so they shard across a thread pool.
+//
+// The engine does both. Requests are distributed over util::ThreadPool;
+// each worker consults a shared region cache before paying the closed-form
+// solve. The cache replaces extract::CachedInterpreter's linear scan with
+// two hash indexes guarded by a shared_mutex:
+//   * a point memo (hash of x0's raw bits -> region slot): a request whose
+//     exact x0 was answered before costs ZERO API queries, any class;
+//   * a fingerprint index (quantized canonical-model hash -> slot) that
+//     deduplicates regions extracted concurrently by different workers.
+// A request at a new x0 still validates cache candidates against the API
+// output (2 batched queries) — black-box point location fundamentally
+// needs the candidate test — but candidates are scanned under a shared
+// lock, so readers proceed in parallel and only insertions serialize.
+//
+// Determinism: each request derives its probe RNG statelessly from
+// (seed, request index) via Rng::MixSeed, so results do not depend on the
+// thread count or scheduling order (cache-hit timing can differ, but every
+// answer is exact either way — that is Theorem 2 plus gauge invariance).
+//
+// Query accounting is exact under concurrency: interpreters report locally
+// counted queries, and the engine's totals are sums of those, matching the
+// api's atomic query_count when the engine is the api's only client.
+
+#ifndef OPENAPI_INTERPRET_INTERPRETATION_ENGINE_H_
+#define OPENAPI_INTERPRET_INTERPRETATION_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "interpret/openapi_method.h"
+#include "util/thread_pool.h"
+
+namespace openapi::interpret {
+
+/// One unit of work: interpret the prediction at x0 for class c.
+struct EngineRequest {
+  Vec x0;
+  size_t c = 0;
+};
+
+struct EngineConfig {
+  /// Settings of the inner closed-form solver.
+  OpenApiConfig openapi;
+  /// Worker threads; 0 means util::DefaultThreadCount().
+  size_t num_threads = 0;
+  /// Master switch for the shared region cache. With it off the engine is
+  /// a plain concurrent fan-out of OpenApiInterpreter (useful as the
+  /// uncached baseline in benches).
+  bool use_region_cache = true;
+  /// Match tolerance when validating a cached region model against the
+  /// API's output (infinity norm over probabilities).
+  double match_tol = 1e-9;
+  /// Edge length of the hypercube the validation probe is drawn from.
+  double validation_edge = 1e-6;
+  /// Relative quantization of the region fingerprint used for dedup.
+  double fingerprint_resolution = 1e-6;
+};
+
+/// Monotonic counters describing engine activity since construction (or
+/// the last ResetStats). All updates are atomic.
+struct EngineStats {
+  uint64_t requests = 0;
+  uint64_t point_memo_hits = 0;  // answered with 0 API queries
+  uint64_t cache_hits = 0;       // answered with 2 API queries
+  uint64_t cache_misses = 0;     // paid a full extraction
+  uint64_t failures = 0;         // solver did not converge / bad request
+  uint64_t queries = 0;          // total API queries consumed
+};
+
+class InterpretationEngine {
+ public:
+  explicit InterpretationEngine(EngineConfig config = {});
+
+  /// Interprets every request against `api`, sharded across the engine's
+  /// thread pool. results[i] corresponds to requests[i]. Deterministic in
+  /// (requests, seed) regardless of thread count. Safe to call from
+  /// multiple threads; all calls share the region cache.
+  std::vector<Result<Interpretation>> InterpretAll(
+      const api::PredictionApi& api,
+      const std::vector<EngineRequest>& requests, uint64_t seed) const;
+
+  /// Single-request entry point sharing the same cache (request index
+  /// doubles as the RNG stream, so pass distinct `stream` values for
+  /// distinct requests).
+  Result<Interpretation> Interpret(const api::PredictionApi& api,
+                                   const Vec& x0, size_t c, uint64_t seed,
+                                   uint64_t stream = 0) const;
+
+  size_t cache_size() const;
+  EngineStats stats() const;
+  void ResetStats() const;
+  /// Drops all cached regions and the point memo (e.g. when re-targeting
+  /// the engine at a different endpoint).
+  void ClearCache() const;
+
+  const EngineConfig& config() const { return config_; }
+  size_t num_threads() const { return pool_->num_threads(); }
+
+ private:
+  struct CachedRegion {
+    api::LocalLinearModel model;
+    uint64_t fingerprint = 0;
+  };
+
+  /// 128-bit hash of x0's raw double bits; collision odds are negligible,
+  /// so point-memo hits never revalidate against the API.
+  static std::pair<uint64_t, uint64_t> PointKey(const Vec& x0);
+
+  Result<Interpretation> InterpretCached(const api::PredictionApi& api,
+                                         const Vec& x0, size_t c,
+                                         util::Rng* rng) const;
+
+  /// Returns the slot whose model explains (x0, y0) and (probe, y_probe),
+  /// or SIZE_MAX. Shared (reader) lock.
+  size_t FindMatchingRegion(const Vec& x0, const Vec& y0, const Vec& probe,
+                            const Vec& y_probe) const;
+
+  /// Inserts `model` (deduplicating by fingerprint) and memoizes x0 ->
+  /// slot. Exclusive (writer) lock. Returns the slot.
+  size_t InsertRegion(api::LocalLinearModel model, uint64_t fingerprint,
+                      const Vec& x0) const;
+
+  bool RegionMatches(const api::LocalLinearModel& model, const Vec& x,
+                     const Vec& y) const;
+
+  EngineConfig config_;
+  mutable std::unique_ptr<util::ThreadPool> pool_;
+
+  mutable std::shared_mutex cache_mutex_;
+  mutable std::vector<CachedRegion> regions_;
+  mutable std::unordered_map<uint64_t, size_t> by_fingerprint_;
+  struct PairHash {
+    size_t operator()(const std::pair<uint64_t, uint64_t>& k) const {
+      return static_cast<size_t>(k.first ^ (k.second * 0x9e3779b97f4a7c15ULL));
+    }
+  };
+  mutable std::unordered_map<std::pair<uint64_t, uint64_t>, size_t, PairHash>
+      point_memo_;
+
+  mutable std::atomic<uint64_t> stat_requests_{0};
+  mutable std::atomic<uint64_t> stat_point_memo_hits_{0};
+  mutable std::atomic<uint64_t> stat_cache_hits_{0};
+  mutable std::atomic<uint64_t> stat_cache_misses_{0};
+  mutable std::atomic<uint64_t> stat_failures_{0};
+  mutable std::atomic<uint64_t> stat_queries_{0};
+};
+
+}  // namespace openapi::interpret
+
+#endif  // OPENAPI_INTERPRET_INTERPRETATION_ENGINE_H_

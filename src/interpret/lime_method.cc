@@ -26,14 +26,14 @@ Result<Interpretation> LimeInterpreter::Interpret(
     return Status::InvalidArgument(
         "LIME needs at least d+1 perturbed samples");
   }
-  const uint64_t queries_before = api.query_count();
-
   std::vector<Vec> probes =
       SampleHypercube(x0, config_.perturbation_distance, n, rng);
-  std::vector<Vec> predictions;
-  predictions.reserve(n + 1);
-  predictions.push_back(api.Predict(x0));
-  for (const Vec& p : probes) predictions.push_back(api.Predict(p));
+  // x0 and all n perturbed samples go out as one batched request.
+  std::vector<Vec> batch;
+  batch.reserve(n + 1);
+  batch.push_back(x0);
+  for (const Vec& p : probes) batch.push_back(p);
+  std::vector<Vec> predictions = api.PredictBatch(batch);
 
   std::vector<CoreParameters> pairs;
   pairs.reserve(num_classes - 1);
@@ -96,7 +96,7 @@ Result<Interpretation> LimeInterpreter::Interpret(
   out.probes = std::move(probes);
   out.iterations = 1;
   out.edge_length = config_.perturbation_distance;
-  out.queries = api.query_count() - queries_before;
+  out.queries = 1 + n;  // exact: x0 plus the n perturbed samples
   return out;
 }
 

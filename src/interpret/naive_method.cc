@@ -20,13 +20,14 @@ Result<Interpretation> NaiveInterpreter::Interpret(
     return Status::InvalidArgument("bad class configuration");
   }
 
-  const uint64_t queries_before = api.query_count();
   std::vector<Vec> probes =
       SampleHypercube(x0, config_.perturbation_distance, d, rng);
-  std::vector<Vec> predictions;
-  predictions.reserve(probes.size() + 1);
-  predictions.push_back(api.Predict(x0));
-  for (const Vec& p : probes) predictions.push_back(api.Predict(p));
+  // x0 and all d probes go to the endpoint as one batched request.
+  std::vector<Vec> batch;
+  batch.reserve(probes.size() + 1);
+  batch.push_back(x0);
+  for (const Vec& p : probes) batch.push_back(p);
+  std::vector<Vec> predictions = api.PredictBatch(batch);
 
   // One LU factorization of the shared (d+1)x(d+1) coefficient matrix,
   // reused across the C-1 right-hand sides.
@@ -53,7 +54,7 @@ Result<Interpretation> NaiveInterpreter::Interpret(
   out.probes = std::move(probes);
   out.iterations = 1;
   out.edge_length = config_.perturbation_distance;
-  out.queries = api.query_count() - queries_before;
+  out.queries = 1 + d;  // exact: x0 plus one probe per dimension
   return out;
 }
 

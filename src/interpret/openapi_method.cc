@@ -28,18 +28,16 @@ Result<Interpretation> OpenApiInterpreter::Interpret(
     return Status::InvalidArgument("need at least two classes");
   }
 
-  const uint64_t queries_before = api.query_count();
   const Vec y0 = api.Predict(x0);
 
   double r = config_.initial_edge;
   for (size_t iter = 0; iter < config_.max_iterations; ++iter, r *= config_.shrink_factor) {
     // Sample d+1 probes; together with x0 they give the d+2 equations of
-    // Ω_{d+2} (Algorithm 1 line 2).
+    // Ω_{d+2} (Algorithm 1 line 2). All probes of one iteration go to the
+    // endpoint as a single batched request.
     std::vector<Vec> probes = SampleHypercube(x0, r, d + 1, rng);
-    std::vector<Vec> predictions;
-    predictions.reserve(probes.size() + 1);
-    predictions.push_back(y0);
-    for (const Vec& p : probes) predictions.push_back(api.Predict(p));
+    std::vector<Vec> predictions = api.PredictBatch(probes);
+    predictions.insert(predictions.begin(), y0);
 
     // One shared QR factorization for all C-1 systems.
     Matrix a = BuildCoefficientMatrix(x0, probes);
@@ -75,7 +73,10 @@ Result<Interpretation> OpenApiInterpreter::Interpret(
     out.probes = std::move(probes);
     out.iterations = iter + 1;
     out.edge_length = r;
-    out.queries = api.query_count() - queries_before;
+    // Exact local accounting (1 for x0, d+1 per iteration) instead of a
+    // query-counter delta, which would also pick up concurrent callers'
+    // queries when the api is shared across the interpretation engine.
+    out.queries = 1 + out.iterations * (d + 1);
     return out;
   }
   return Status::DidNotConverge(util::StrFormat(

@@ -18,24 +18,27 @@ Result<Interpretation> ZooInterpreter::Interpret(
     return Status::InvalidArgument("bad class configuration");
   }
   const double h = config_.perturbation_distance;
-  const uint64_t queries_before = api.query_count();
 
   const Vec y0 = api.Predict(x0);
 
   // Probe both directions along every axis; predictions are reused for all
-  // class pairs (2d queries total, as in the published ZOO).
+  // class pairs (2d queries total, as in the published ZOO). The whole
+  // probe set goes out as one batched request.
   std::vector<Vec> probes;
-  std::vector<Vec> plus_pred(d), minus_pred(d);
   probes.reserve(2 * d);
   for (size_t j = 0; j < d; ++j) {
     Vec plus = x0;
     plus[j] += h;
-    plus_pred[j] = api.Predict(plus);
     probes.push_back(std::move(plus));
     Vec minus = x0;
     minus[j] -= h;
-    minus_pred[j] = api.Predict(minus);
     probes.push_back(std::move(minus));
+  }
+  std::vector<Vec> batch_pred = api.PredictBatch(probes);
+  std::vector<Vec> plus_pred(d), minus_pred(d);
+  for (size_t j = 0; j < d; ++j) {
+    plus_pred[j] = std::move(batch_pred[2 * j]);
+    minus_pred[j] = std::move(batch_pred[2 * j + 1]);
   }
 
   std::vector<CoreParameters> pairs;
@@ -63,7 +66,7 @@ Result<Interpretation> ZooInterpreter::Interpret(
   out.probes = std::move(probes);
   out.iterations = 1;
   out.edge_length = h;
-  out.queries = api.query_count() - queries_before;
+  out.queries = 1 + 2 * d;  // exact: x0 plus two probes per dimension
   return out;
 }
 

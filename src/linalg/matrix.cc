@@ -76,20 +76,97 @@ Vec Matrix::MultiplyTransposed(const Vec& x) const {
 Matrix Matrix::Multiply(const Matrix& other) const {
   OPENAPI_CHECK_EQ(cols_, other.rows_);
   Matrix out(rows_, other.cols_);
-  // i-k-j loop order keeps the inner loop streaming over contiguous rows.
-  for (size_t i = 0; i < rows_; ++i) {
-    const double* a_row = RowPtr(i);
-    double* out_row = out.RowPtr(i);
-    for (size_t k = 0; k < cols_; ++k) {
-      double a_ik = a_row[k];
-      if (a_ik == 0.0) continue;
-      const double* b_row = other.RowPtr(k);
-      for (size_t j = 0; j < other.cols_; ++j) {
-        out_row[j] += a_ik * b_row[j];
+  // Cache-blocked i-k-j: within each (ii, kk, jj) tile the inner loop
+  // streams contiguous rows of B and out, and the B tile (kBlock x kBlock
+  // doubles = 32 KiB) stays L1/L2-resident while every row of the A tile
+  // reuses it. For matrices smaller than one tile this degenerates to the
+  // plain i-k-j loop with identical accumulation order.
+  constexpr size_t kBlock = 64;
+  const size_t n = other.cols_;
+  for (size_t ii = 0; ii < rows_; ii += kBlock) {
+    const size_t i_end = std::min(ii + kBlock, rows_);
+    for (size_t kk = 0; kk < cols_; kk += kBlock) {
+      const size_t k_end = std::min(kk + kBlock, cols_);
+      for (size_t jj = 0; jj < n; jj += kBlock) {
+        const size_t j_end = std::min(jj + kBlock, n);
+        for (size_t i = ii; i < i_end; ++i) {
+          const double* a_row = RowPtr(i);
+          double* out_row = out.RowPtr(i);
+          for (size_t k = kk; k < k_end; ++k) {
+            const double a_ik = a_row[k];
+            if (a_ik == 0.0) continue;
+            const double* b_row = other.RowPtr(k);
+            for (size_t j = jj; j < j_end; ++j) {
+              out_row[j] += a_ik * b_row[j];
+            }
+          }
+        }
       }
     }
   }
   return out;
+}
+
+Matrix Matrix::MultiplyABt(const Matrix& other) const {
+  OPENAPI_CHECK_EQ(cols_, other.cols_);
+  Matrix out(rows_, other.rows_);
+  const size_t k = cols_;
+  const size_t n = other.rows_;
+  // 2x2 register blocking: four independent accumulator chains hide the
+  // FP-add latency that serializes a single dot product — the throughput
+  // edge the batch path has over per-sample matvecs. Every chain still
+  // sums strictly left to right, so each output stays bit-identical to
+  // Multiply(Vec) on the corresponding row (the batch/single parity
+  // contract).
+  auto dot = [k](const double* a, const double* b) {
+    double sum = 0.0;
+    for (size_t t = 0; t < k; ++t) sum += a[t] * b[t];
+    return sum;
+  };
+  size_t i = 0;
+  for (; i + 2 <= rows_; i += 2) {
+    const double* a0 = RowPtr(i);
+    const double* a1 = RowPtr(i + 1);
+    double* o0 = out.RowPtr(i);
+    double* o1 = out.RowPtr(i + 1);
+    size_t j = 0;
+    for (; j + 2 <= n; j += 2) {
+      const double* b0 = other.RowPtr(j);
+      const double* b1 = other.RowPtr(j + 1);
+      double s00 = 0.0, s01 = 0.0, s10 = 0.0, s11 = 0.0;
+      for (size_t t = 0; t < k; ++t) {
+        const double a0t = a0[t], a1t = a1[t];
+        const double b0t = b0[t], b1t = b1[t];
+        s00 += a0t * b0t;
+        s01 += a0t * b1t;
+        s10 += a1t * b0t;
+        s11 += a1t * b1t;
+      }
+      o0[j] = s00;
+      o0[j + 1] = s01;
+      o1[j] = s10;
+      o1[j + 1] = s11;
+    }
+    for (; j < n; ++j) {
+      const double* b = other.RowPtr(j);
+      o0[j] = dot(a0, b);
+      o1[j] = dot(a1, b);
+    }
+  }
+  for (; i < rows_; ++i) {
+    const double* a = RowPtr(i);
+    double* o = out.RowPtr(i);
+    for (size_t j = 0; j < n; ++j) o[j] = dot(a, other.RowPtr(j));
+  }
+  return out;
+}
+
+void Matrix::AddRowInPlace(const Vec& row) {
+  OPENAPI_CHECK_EQ(row.size(), cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    double* out_row = RowPtr(r);
+    for (size_t c = 0; c < cols_; ++c) out_row[c] += row[c];
+  }
 }
 
 Matrix Matrix::Transposed() const {

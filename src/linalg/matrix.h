@@ -74,7 +74,21 @@ class Matrix {
   Vec MultiplyTransposed(const Vec& x) const;
 
   /// Matrix-matrix product; this->cols() must equal other.rows().
+  /// Cache-blocked (i-k-j inside square tiles) so large products — batched
+  /// forward passes, per-region affine-map composition — stream each tile
+  /// of B through cache once per tile of A instead of once per row.
   Matrix Multiply(const Matrix& other) const;
+
+  /// A * B^T with B given row-major: this (m x k) * other^T (k x n) for
+  /// other (n x k). Every output entry is a dot product of two contiguous
+  /// rows, making this the cache-friendly kernel for batched layer
+  /// forwards Z = X W^T (X rows = samples, W rows = output units). The
+  /// inner dot accumulates left to right in a single scalar, bit-matching
+  /// Multiply(const Vec&) on each row — the batch/single parity contract.
+  Matrix MultiplyABt(const Matrix& other) const;
+
+  /// Adds `row` to every row in place (bias broadcast; row.size() == cols).
+  void AddRowInPlace(const Vec& row);
 
   /// A^T (cols x rows).
   Matrix Transposed() const;

@@ -82,6 +82,36 @@ Vec LogisticModelTree::Predict(const Vec& x) const {
   return leaves_[LeafIndexAt(x)].Predict(x);
 }
 
+std::vector<Vec> LogisticModelTree::PredictBatch(
+    const std::vector<Vec>& xs) const {
+  if (xs.empty()) return {};
+  // Route all samples first, then evaluate one GEMM per populated leaf.
+  // The Multiply i-k-j kernel accumulates over features in the same order
+  // as MultiplyTransposed in LogisticRegression::Predict, so each row is
+  // bit-identical to the single-sample path.
+  std::vector<size_t> leaf_of(xs.size());
+  std::vector<std::vector<size_t>> members(leaves_.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    leaf_of[i] = LeafIndexAt(xs[i]);
+    members[leaf_of[i]].push_back(i);
+  }
+  std::vector<Vec> out(xs.size());
+  for (size_t leaf = 0; leaf < leaves_.size(); ++leaf) {
+    if (members[leaf].empty()) continue;
+    const LogisticRegression& clf = leaves_[leaf];
+    linalg::Matrix group(members[leaf].size(), dim_);
+    for (size_t r = 0; r < members[leaf].size(); ++r) {
+      group.SetRow(r, xs[members[leaf][r]]);
+    }
+    linalg::Matrix logits = group.Multiply(clf.weights());  // n_leaf x C
+    logits.AddRowInPlace(clf.bias());
+    for (size_t r = 0; r < members[leaf].size(); ++r) {
+      out[members[leaf][r]] = linalg::Softmax(logits.Row(r));
+    }
+  }
+  return out;
+}
+
 uint64_t LogisticModelTree::RegionId(const Vec& x) const {
   return static_cast<uint64_t>(LeafIndexAt(x));
 }

@@ -44,6 +44,10 @@ class LogisticModelTree : public api::Plm, public api::PlmOracle {
   size_t dim() const override { return dim_; }
   size_t num_classes() const override { return num_classes_; }
   Vec Predict(const Vec& x) const override;
+  /// Batched prediction: routes every sample to its leaf, then evaluates
+  /// each leaf's classifier over its group with one matrix-matrix product.
+  /// Bit-matches per-sample Predict.
+  std::vector<Vec> PredictBatch(const std::vector<Vec>& xs) const override;
 
   // --- api::PlmOracle ---
   /// Region id = leaf index.

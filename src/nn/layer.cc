@@ -21,4 +21,10 @@ Vec Layer::Forward(const Vec& x) const {
   return z;
 }
 
+Matrix Layer::ForwardBatch(const Matrix& x) const {
+  Matrix z = x.MultiplyABt(weights_);
+  z.AddRowInPlace(bias_);
+  return z;
+}
+
 }  // namespace openapi::nn

@@ -30,6 +30,12 @@ class Layer {
   /// z = W x + b.
   Vec Forward(const Vec& x) const;
 
+  /// Batched forward: Z = X W^T + 1 b^T for X with one sample per row
+  /// (n x in) -> (n x out). Row i is bit-identical to Forward(X.Row(i)):
+  /// the underlying MultiplyABt kernel accumulates each dot product in the
+  /// same left-to-right order as the matrix-vector path.
+  Matrix ForwardBatch(const Matrix& x) const;
+
   const Matrix& weights() const { return weights_; }
   const Vec& bias() const { return bias_; }
   Matrix& mutable_weights() { return weights_; }

@@ -25,6 +25,17 @@ Vec MaxoutLayer::Forward(const Vec& x) const {
   return best;
 }
 
+Matrix MaxoutLayer::ForwardBatch(const Matrix& x) const {
+  Matrix best = pieces_[0].ForwardBatch(x);
+  for (size_t k = 1; k < pieces_.size(); ++k) {
+    Matrix z = pieces_[k].ForwardBatch(x);
+    double* b = best.mutable_data().data();
+    const double* zp = z.data().data();
+    for (size_t i = 0; i < best.size(); ++i) b[i] = std::max(b[i], zp[i]);
+  }
+  return best;
+}
+
 std::vector<size_t> MaxoutLayer::Selection(const Vec& x) const {
   std::vector<Vec> values;
   values.reserve(pieces_.size());
@@ -63,6 +74,24 @@ Vec MaxoutPlnn::Logits(const Vec& x) const {
 
 Vec MaxoutPlnn::Predict(const Vec& x) const {
   return linalg::Softmax(Logits(x));
+}
+
+Matrix MaxoutPlnn::LogitsBatch(const Matrix& x) const {
+  OPENAPI_CHECK_EQ(x.cols(), dim());
+  Matrix h = x;
+  for (const MaxoutLayer& layer : hidden_) h = layer.ForwardBatch(h);
+  return output_.ForwardBatch(h);
+}
+
+std::vector<Vec> MaxoutPlnn::PredictBatch(const std::vector<Vec>& xs) const {
+  if (xs.empty()) return {};
+  Matrix logits = LogitsBatch(Matrix::FromRows(xs));
+  std::vector<Vec> out;
+  out.reserve(xs.size());
+  for (size_t i = 0; i < logits.rows(); ++i) {
+    out.push_back(linalg::Softmax(logits.Row(i)));
+  }
+  return out;
 }
 
 uint64_t MaxoutPlnn::RegionId(const Vec& x) const {

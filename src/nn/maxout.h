@@ -37,6 +37,9 @@ class MaxoutLayer {
   /// h_j = max_k (piece_k(x))_j.
   Vec Forward(const Vec& x) const;
 
+  /// Batched forward (one sample per row); bit-matches Forward row-wise.
+  Matrix ForwardBatch(const Matrix& x) const;
+
   /// Winning piece index per unit at input x (ties -> lowest index).
   std::vector<size_t> Selection(const Vec& x) const;
 
@@ -59,12 +62,16 @@ class MaxoutPlnn : public api::Plm, public api::PlmOracle {
   size_t dim() const override;
   size_t num_classes() const override { return output_.out_dim(); }
   Vec Predict(const Vec& x) const override;
+  std::vector<Vec> PredictBatch(const std::vector<Vec>& xs) const override;
 
   // --- api::PlmOracle ---
   uint64_t RegionId(const Vec& x) const override;
   api::LocalLinearModel LocalModelAt(const Vec& x) const override;
 
   Vec Logits(const Vec& x) const;
+
+  /// Batched pre-softmax logits (n x C), one matrix product per piece.
+  Matrix LogitsBatch(const Matrix& x) const;
 
   size_t num_hidden_layers() const { return hidden_.size(); }
   const MaxoutLayer& hidden_layer(size_t i) const { return hidden_[i]; }

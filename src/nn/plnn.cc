@@ -30,6 +30,29 @@ Vec Plnn::Logits(const Vec& x) const {
 
 Vec Plnn::Predict(const Vec& x) const { return linalg::Softmax(Logits(x)); }
 
+Matrix Plnn::LogitsBatch(const Matrix& x) const {
+  OPENAPI_CHECK_EQ(x.cols(), dim());
+  Matrix h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].ForwardBatch(h);
+    if (i + 1 < layers_.size()) {
+      for (double& v : h.mutable_data()) v = v > 0.0 ? v : 0.0;  // ReLU
+    }
+  }
+  return h;
+}
+
+std::vector<Vec> Plnn::PredictBatch(const std::vector<Vec>& xs) const {
+  if (xs.empty()) return {};
+  Matrix logits = LogitsBatch(Matrix::FromRows(xs));
+  std::vector<Vec> out;
+  out.reserve(xs.size());
+  for (size_t i = 0; i < logits.rows(); ++i) {
+    out.push_back(linalg::Softmax(logits.Row(i)));
+  }
+  return out;
+}
+
 ActivationPattern Plnn::PatternAt(const Vec& x) const {
   OPENAPI_CHECK_EQ(x.size(), dim());
   ActivationPattern pattern;

@@ -32,6 +32,9 @@ class Plnn : public api::Plm, public api::PlmOracle {
   size_t dim() const override { return layers_.front().in_dim(); }
   size_t num_classes() const override { return layers_.back().out_dim(); }
   Vec Predict(const Vec& x) const override;
+  /// Batched forward built on matrix-matrix products; bit-matches the
+  /// per-sample Predict row by row.
+  std::vector<Vec> PredictBatch(const std::vector<Vec>& xs) const override;
 
   // --- api::PlmOracle ---
   uint64_t RegionId(const Vec& x) const override;
@@ -39,6 +42,10 @@ class Plnn : public api::Plm, public api::PlmOracle {
 
   /// Pre-softmax logits at x.
   Vec Logits(const Vec& x) const;
+
+  /// Pre-softmax logits for a batch (one sample per row of x, n x d) as
+  /// one matrix-matrix forward pass per layer; (n x C) result.
+  Matrix LogitsBatch(const Matrix& x) const;
 
   /// The ReLU on/off pattern at x across all hidden layers.
   ActivationPattern PatternAt(const Vec& x) const;

@@ -34,6 +34,7 @@
 #include "extract/surrogate.h"
 #include "interpret/decision_features.h"
 #include "interpret/gradient_methods.h"
+#include "interpret/interpretation_engine.h"
 #include "interpret/lime_method.h"
 #include "interpret/naive_method.h"
 #include "interpret/openapi_method.h"

@@ -62,6 +62,18 @@ class Rng {
   /// each experiment component (data, model init, probes) its own stream.
   Rng Fork() { return Rng(engine_() ^ 0x9e3779b97f4a7c15ULL); }
 
+  /// Deterministic, stateless seed derivation: mixes (seed, stream) into an
+  /// independent 64-bit seed via splitmix64. Unlike Fork(), this does not
+  /// advance any generator, so concurrent callers can derive the stream for
+  /// index i without synchronizing — the batched PredictionApi and the
+  /// interpretation engine both lean on this for thread-safe determinism.
+  static uint64_t MixSeed(uint64_t seed, uint64_t stream) {
+    uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (stream + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
   std::mt19937_64& engine() { return engine_; }
 
  private:

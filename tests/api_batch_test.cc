@@ -1,0 +1,153 @@
+// Batch/single parity of the API boundary: PredictBatch must bit-match
+// per-sample Predict in every configuration (exact, rounded, seeded
+// noise), and query accounting must stay exact under concurrency.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "api/prediction_api.h"
+#include "interpret/openapi_method.h"
+#include "nn/plnn.h"
+#include "util/thread_pool.h"
+
+namespace openapi::api {
+namespace {
+
+nn::Plnn MakeNet(uint64_t seed = 1) {
+  util::Rng rng(seed);
+  return nn::Plnn({6, 10, 8, 4}, &rng);
+}
+
+std::vector<Vec> MakeBatch(size_t n, size_t d, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Vec> xs;
+  xs.reserve(n);
+  for (size_t i = 0; i < n; ++i) xs.push_back(rng.UniformVector(d, 0, 1));
+  return xs;
+}
+
+TEST(PredictBatchParityTest, ExactConfigurationBitMatches) {
+  nn::Plnn net = MakeNet();
+  PredictionApi api(&net);
+  std::vector<Vec> xs = MakeBatch(33, 6, 2);
+  std::vector<Vec> batched = api.PredictBatch(xs);
+  ASSERT_EQ(batched.size(), xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_EQ(batched[i], api.Predict(xs[i])) << "row " << i;
+  }
+}
+
+TEST(PredictBatchParityTest, RoundedConfigurationBitMatches) {
+  nn::Plnn net = MakeNet(3);
+  PredictionApi api(&net, /*round_digits=*/3);
+  std::vector<Vec> xs = MakeBatch(17, 6, 4);
+  std::vector<Vec> batched = api.PredictBatch(xs);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_EQ(batched[i], api.Predict(xs[i])) << "row " << i;
+  }
+}
+
+TEST(PredictBatchParityTest, SeededNoiseBitMatchesSequentialSingles) {
+  // Two fresh endpoints with the same noise seed: n sequential Predict
+  // calls on one must consume exactly the same n per-sample noise streams
+  // as one PredictBatch on the other.
+  nn::Plnn net = MakeNet(5);
+  PredictionApi singles(&net, 0, /*noise_stddev=*/0.1, /*noise_seed=*/77);
+  PredictionApi batched(&net, 0, /*noise_stddev=*/0.1, /*noise_seed=*/77);
+  std::vector<Vec> xs = MakeBatch(25, 6, 6);
+  std::vector<Vec> expected;
+  expected.reserve(xs.size());
+  for (const Vec& x : xs) expected.push_back(singles.Predict(x));
+  std::vector<Vec> got = batched.PredictBatch(xs);
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_EQ(got[i], expected[i]) << "row " << i;
+  }
+}
+
+TEST(PredictBatchParityTest, NoiseStreamContinuesAcrossCallShapes) {
+  // single, batch, single must replay as single x4 on a fresh endpoint.
+  nn::Plnn net = MakeNet(7);
+  PredictionApi a(&net, 0, 0.05, 99);
+  PredictionApi b(&net, 0, 0.05, 99);
+  std::vector<Vec> xs = MakeBatch(4, 6, 8);
+  std::vector<Vec> from_a;
+  from_a.push_back(a.Predict(xs[0]));
+  for (Vec& y : a.PredictBatch({xs[1], xs[2]})) from_a.push_back(y);
+  from_a.push_back(a.Predict(xs[3]));
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(from_a[i], b.Predict(xs[i])) << "call " << i;
+  }
+}
+
+TEST(PredictBatchParityTest, NoisyBatchStaysValidDistribution) {
+  nn::Plnn net = MakeNet(9);
+  PredictionApi api(&net, 0, /*noise_stddev=*/0.5);
+  for (Vec& y : api.PredictBatch(MakeBatch(20, 6, 10))) {
+    double sum = 0.0;
+    for (double p : y) {
+      EXPECT_GT(p, 0.0);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(PredictBatchParityTest, EmptyBatchIsFreeNoOp) {
+  nn::Plnn net = MakeNet(11);
+  PredictionApi api(&net);
+  EXPECT_TRUE(api.PredictBatch({}).empty());
+  EXPECT_EQ(api.query_count(), 0u);
+}
+
+TEST(QueryAccountingTest, BatchCountsOneQueryPerSample) {
+  nn::Plnn net = MakeNet(13);
+  PredictionApi api(&net);
+  api.PredictBatch(MakeBatch(12, 6, 14));
+  EXPECT_EQ(api.query_count(), 12u);
+  api.Predict(MakeBatch(1, 6, 15)[0]);
+  EXPECT_EQ(api.query_count(), 13u);
+}
+
+TEST(QueryAccountingTest, ExactUnderConcurrentInterpreters) {
+  // ParallelFor stress: many interpreters hammer one shared endpoint; the
+  // atomic per-sample counter must equal the sum of the interpreters' own
+  // locally counted queries, with nothing lost or double-counted.
+  nn::Plnn net = MakeNet(17);
+  PredictionApi api(&net);
+  interpret::OpenApiInterpreter interpreter;
+  const size_t kRequests = 48;
+  std::vector<uint64_t> queries(kRequests, 0);
+  std::atomic<size_t> failures{0};
+  util::ThreadPool pool(4);
+  util::ParallelFor(&pool, kRequests, [&](size_t i) {
+    util::Rng rng(util::Rng::MixSeed(123, i));
+    Vec x0 = rng.UniformVector(6, 0.05, 0.95);
+    auto result = interpreter.Interpret(api, x0, i % 4, &rng);
+    if (result.ok()) {
+      queries[i] = result->queries;
+    } else {
+      failures.fetch_add(1);
+    }
+  });
+  ASSERT_EQ(failures.load(), 0u);
+  uint64_t total = 0;
+  for (uint64_t q : queries) total += q;
+  EXPECT_EQ(api.query_count(), total);
+}
+
+TEST(QueryAccountingTest, ExactUnderConcurrentNoisyBatches) {
+  // With noise enabled the endpoint must still be shareable: counters and
+  // noise tickets are atomic, so no sample is lost under contention.
+  nn::Plnn net = MakeNet(19);
+  PredictionApi api(&net, 0, /*noise_stddev=*/0.1);
+  util::ThreadPool pool(4);
+  util::ParallelFor(&pool, 64, [&](size_t i) {
+    api.PredictBatch(MakeBatch(5, 6, 1000 + i));
+  });
+  EXPECT_EQ(api.query_count(), 64u * 5u);
+}
+
+}  // namespace
+}  // namespace openapi::api

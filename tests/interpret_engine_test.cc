@@ -1,0 +1,222 @@
+// InterpretationEngine: the concurrent pipeline must deliver the same
+// exact answers as the sequential path, with deterministic probe streams,
+// a correctly shared region cache, and exact query accounting.
+
+#include "interpret/interpretation_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "api/ground_truth.h"
+#include "data/synthetic.h"
+#include "eval/exactness.h"
+#include "lmt/lmt.h"
+#include "nn/plnn.h"
+
+namespace openapi::interpret {
+namespace {
+
+nn::Plnn MakeNet(uint64_t seed = 55) {
+  util::Rng rng(seed);
+  return nn::Plnn({6, 10, 8, 3}, &rng);
+}
+
+lmt::LogisticModelTree MakeTree(uint64_t seed = 1) {
+  util::Rng data_rng(seed);
+  data::Dataset train =
+      data::GenerateGaussianBlobs(5, 3, 400, 0.08, &data_rng);
+  lmt::LmtConfig config;
+  config.min_split_size = 60;
+  config.max_depth = 3;
+  config.accuracy_threshold = 1.01;
+  config.leaf_config.max_iters = 80;
+  return lmt::LogisticModelTree::Fit(train, config);
+}
+
+std::vector<EngineRequest> RandomRequests(size_t n, size_t d,
+                                          size_t num_classes,
+                                          uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<EngineRequest> requests;
+  requests.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    requests.push_back({rng.UniformVector(d, 0.05, 0.95), i % num_classes});
+  }
+  return requests;
+}
+
+TEST(InterpretationEngineTest, RecoversExactFeaturesForAllRequests) {
+  nn::Plnn net = MakeNet();
+  api::PredictionApi api(&net);
+  InterpretationEngine engine;
+  std::vector<EngineRequest> requests = RandomRequests(30, 6, 3, 7);
+  auto results = engine.InterpretAll(api, requests, /*seed=*/11);
+  ASSERT_EQ(results.size(), requests.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << results[i].status().ToString();
+    EXPECT_LT(
+        eval::L1Dist(net, requests[i].x0, requests[i].c, results[i]->dc),
+        1e-6)
+        << "request " << i;
+  }
+  EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.requests, 30u);
+  EXPECT_EQ(stats.failures, 0u);
+}
+
+TEST(InterpretationEngineTest, RepeatedInstanceHitsPointMemoWithZeroQueries) {
+  nn::Plnn net = MakeNet(56);
+  api::PredictionApi api(&net);
+  // One worker: with several threads, identical-x0 requests can race past
+  // the empty memo and each pay an extraction (deduplicated at insert),
+  // which would make the exact hit/miss counts below scheduling-dependent.
+  EngineConfig config;
+  config.num_threads = 1;
+  InterpretationEngine engine(config);
+  util::Rng rng(3);
+  Vec x0 = rng.UniformVector(6, 0.2, 0.8);
+  // The full-audit workload: every class of one instance.
+  std::vector<EngineRequest> requests = {{x0, 0}, {x0, 1}, {x0, 2}};
+  auto results = engine.InterpretAll(api, requests, 13);
+  for (const auto& r : results) ASSERT_TRUE(r.ok());
+  EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.point_memo_hits, 2u);
+  EXPECT_EQ(engine.cache_size(), 1u);
+  // The memo answers cost zero queries, and engine accounting is exact.
+  EXPECT_EQ(stats.queries, api.query_count());
+  // All three answers agree with white-box ground truth.
+  for (size_t c = 0; c < 3; ++c) {
+    EXPECT_LT(eval::L1Dist(net, x0, c, results[c]->dc), 1e-6);
+  }
+}
+
+TEST(InterpretationEngineTest, SharesRegionsAcrossInstancesOnLmt) {
+  lmt::LogisticModelTree tree = MakeTree();
+  api::PredictionApi api(&tree);
+  InterpretationEngine engine;
+  std::vector<EngineRequest> requests = RandomRequests(40, 5, 3, 17);
+  auto results = engine.InterpretAll(api, requests, 19);
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << results[i].status().ToString();
+    EXPECT_LT(
+        eval::L1Dist(tree, requests[i].x0, requests[i].c, results[i]->dc),
+        1e-6);
+  }
+  // 40 random instances land in <= num_leaves regions: the cache must
+  // have been shared across distinct instances.
+  EngineStats stats = engine.stats();
+  EXPECT_LE(engine.cache_size(), tree.num_leaves());
+  EXPECT_GT(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.queries, api.query_count());
+}
+
+TEST(InterpretationEngineTest, DeterministicAcrossThreadCounts) {
+  // The probe RNG is derived from (seed, request index), never from the
+  // shard layout, so any thread count produces exact answers from the
+  // same streams.
+  lmt::LogisticModelTree tree = MakeTree(4);
+  std::vector<EngineRequest> requests = RandomRequests(24, 5, 3, 23);
+
+  EngineConfig one_thread;
+  one_thread.num_threads = 1;
+  InterpretationEngine sequential(one_thread);
+  api::PredictionApi api_seq(&tree);
+  auto seq_results = sequential.InterpretAll(api_seq, requests, 29);
+
+  EngineConfig four_threads;
+  four_threads.num_threads = 4;
+  InterpretationEngine concurrent(four_threads);
+  api::PredictionApi api_conc(&tree);
+  auto conc_results = concurrent.InterpretAll(api_conc, requests, 29);
+
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_TRUE(seq_results[i].ok());
+    ASSERT_TRUE(conc_results[i].ok());
+    // Both are exact; cache-hit timing may differ between runs, so compare
+    // through ground truth rather than bitwise.
+    EXPECT_LT(linalg::L1Distance(seq_results[i]->dc, conc_results[i]->dc),
+              1e-6)
+        << "request " << i;
+  }
+  EXPECT_EQ(sequential.stats().queries, api_seq.query_count());
+  EXPECT_EQ(concurrent.stats().queries, api_conc.query_count());
+}
+
+TEST(InterpretationEngineTest, UncachedModeBitMatchesPlainInterpreter) {
+  // With the region cache off, the engine is exactly a concurrent fan-out
+  // of OpenApiInterpreter over per-request RNG streams — verifiable
+  // bitwise against a hand-rolled sequential loop.
+  nn::Plnn net = MakeNet(57);
+  std::vector<EngineRequest> requests = RandomRequests(12, 6, 3, 31);
+
+  EngineConfig config;
+  config.use_region_cache = false;
+  InterpretationEngine engine(config);
+  api::PredictionApi api_engine(&net);
+  auto engine_results = engine.InterpretAll(api_engine, requests, 37);
+
+  api::PredictionApi api_plain(&net);
+  OpenApiInterpreter plain;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    util::Rng rng(util::Rng::MixSeed(37, i));
+    auto expected =
+        plain.Interpret(api_plain, requests[i].x0, requests[i].c, &rng);
+    ASSERT_TRUE(expected.ok());
+    ASSERT_TRUE(engine_results[i].ok());
+    EXPECT_EQ(engine_results[i]->dc, expected->dc) << "request " << i;
+    EXPECT_EQ(engine_results[i]->queries, expected->queries);
+  }
+  EXPECT_EQ(engine.stats().queries, api_engine.query_count());
+}
+
+TEST(InterpretationEngineTest, PairsMatchGroundTruthCoreParameters) {
+  nn::Plnn net = MakeNet(58);
+  api::PredictionApi api(&net);
+  InterpretationEngine engine;
+  util::Rng rng(5);
+  Vec x0 = rng.UniformVector(6, 0.1, 0.9);
+  const size_t c = 1;
+  auto result = engine.Interpret(api, x0, c, /*seed=*/41);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->pairs.size(), 2u);
+  api::LocalLinearModel local = net.LocalModelAt(x0);
+  size_t pair_idx = 0;
+  for (size_t c_prime = 0; c_prime < 3; ++c_prime) {
+    if (c_prime == c) continue;
+    api::CoreParameters truth =
+        api::GroundTruthCoreParameters(local, c, c_prime);
+    EXPECT_LT(linalg::L1Distance(result->pairs[pair_idx].d, truth.d), 1e-6);
+    EXPECT_NEAR(result->pairs[pair_idx].b, truth.b, 1e-6);
+    ++pair_idx;
+  }
+}
+
+TEST(InterpretationEngineTest, RejectsBadRequestsAndCountsFailures) {
+  nn::Plnn net = MakeNet(59);
+  api::PredictionApi api(&net);
+  InterpretationEngine engine;
+  auto bad_dim = engine.Interpret(api, {0.5}, 0, 1);
+  EXPECT_TRUE(bad_dim.status().IsInvalidArgument());
+  util::Rng rng(6);
+  auto bad_class = engine.Interpret(api, rng.UniformVector(6, 0, 1), 9, 1);
+  EXPECT_TRUE(bad_class.status().IsInvalidArgument());
+  EXPECT_EQ(engine.stats().failures, 2u);
+  EXPECT_EQ(api.query_count(), 0u);
+}
+
+TEST(InterpretationEngineTest, ClearCacheForcesReExtraction) {
+  nn::Plnn net = MakeNet(60);
+  api::PredictionApi api(&net);
+  InterpretationEngine engine;
+  util::Rng rng(8);
+  Vec x0 = rng.UniformVector(6, 0.2, 0.8);
+  ASSERT_TRUE(engine.Interpret(api, x0, 0, 43, 0).ok());
+  EXPECT_EQ(engine.cache_size(), 1u);
+  engine.ClearCache();
+  EXPECT_EQ(engine.cache_size(), 0u);
+  ASSERT_TRUE(engine.Interpret(api, x0, 0, 43, 1).ok());
+  EXPECT_EQ(engine.stats().cache_misses, 2u);
+}
+
+}  // namespace
+}  // namespace openapi::interpret

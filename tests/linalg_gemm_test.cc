@@ -1,0 +1,112 @@
+// Correctness of the cache-blocked GEMM and the A*B^T kernel the batched
+// forward passes build on. The blocked Multiply must agree with a naive
+// reference triple loop on shapes that cross tile boundaries, and
+// MultiplyABt must bit-match the matrix-vector path row by row (that bit
+// parity is what PredictBatch's contract rests on).
+
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.h"
+#include "util/rng.h"
+
+namespace openapi::linalg {
+namespace {
+
+Matrix RandomMatrix(size_t rows, size_t cols, util::Rng* rng) {
+  Matrix m(rows, cols);
+  for (double& v : m.mutable_data()) v = rng->Uniform(-2.0, 2.0);
+  return m;
+}
+
+/// Reference j-inner triple loop (textbook order, unblocked).
+Matrix NaiveMultiply(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < b.cols(); ++j) {
+      double sum = 0.0;
+      for (size_t k = 0; k < a.cols(); ++k) sum += a(i, k) * b(k, j);
+      out(i, j) = sum;
+    }
+  }
+  return out;
+}
+
+TEST(BlockedGemmTest, MatchesNaiveReferenceAcrossTileBoundaries) {
+  util::Rng rng(1);
+  // Shapes straddling the 64-wide tile: below, at, just above, well above.
+  const size_t shapes[][3] = {{3, 5, 4},    {64, 64, 64}, {65, 63, 66},
+                              {1, 130, 1},  {130, 1, 70}, {96, 128, 80}};
+  for (const auto& s : shapes) {
+    Matrix a = RandomMatrix(s[0], s[1], &rng);
+    Matrix b = RandomMatrix(s[1], s[2], &rng);
+    Matrix got = a.Multiply(b);
+    Matrix want = NaiveMultiply(a, b);
+    ASSERT_EQ(got.rows(), want.rows());
+    ASSERT_EQ(got.cols(), want.cols());
+    for (size_t i = 0; i < got.rows(); ++i) {
+      for (size_t j = 0; j < got.cols(); ++j) {
+        EXPECT_NEAR(got(i, j), want(i, j), 1e-12 * s[1])
+            << s[0] << "x" << s[1] << "x" << s[2] << " at (" << i << ","
+            << j << ")";
+      }
+    }
+  }
+}
+
+TEST(BlockedGemmTest, TilingPreservesAccumulationOrder) {
+  // The k-tiles are visited in ascending order, so the blocked product is
+  // bit-identical to the unblocked i-k-j loop — and hence deterministic
+  // across matrix sizes that do or don't fit one tile.
+  util::Rng rng(2);
+  Matrix a = RandomMatrix(70, 150, &rng);
+  Matrix b = RandomMatrix(150, 90, &rng);
+  Matrix got = a.Multiply(b);
+  // Unblocked i-k-j reference.
+  Matrix want(a.rows(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t k = 0; k < a.cols(); ++k) {
+      const double a_ik = a(i, k);
+      if (a_ik == 0.0) continue;
+      for (size_t j = 0; j < b.cols(); ++j) {
+        want(i, j) += a_ik * b(k, j);
+      }
+    }
+  }
+  EXPECT_EQ(got, want);
+}
+
+TEST(MultiplyABtTest, MatchesExplicitTranspose) {
+  util::Rng rng(3);
+  Matrix a = RandomMatrix(40, 23, &rng);
+  Matrix b = RandomMatrix(31, 23, &rng);
+  Matrix got = a.MultiplyABt(b);
+  Matrix want = a.Multiply(b.Transposed());
+  ASSERT_EQ(got.rows(), 40u);
+  ASSERT_EQ(got.cols(), 31u);
+  for (size_t i = 0; i < got.rows(); ++i) {
+    for (size_t j = 0; j < got.cols(); ++j) {
+      EXPECT_NEAR(got(i, j), want(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(MultiplyABtTest, RowsBitMatchMatrixVectorPath) {
+  // Row i of X W^T must equal W * x_i bitwise — the parity contract the
+  // batched layer forward relies on.
+  util::Rng rng(4);
+  Matrix x = RandomMatrix(9, 17, &rng);   // 9 samples
+  Matrix w = RandomMatrix(12, 17, &rng);  // 12 output units
+  Matrix z = x.MultiplyABt(w);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    EXPECT_EQ(z.Row(i), w.Multiply(x.Row(i))) << "row " << i;
+  }
+}
+
+TEST(AddRowInPlaceTest, BroadcastsBias) {
+  Matrix m{{1, 2}, {3, 4}, {5, 6}};
+  m.AddRowInPlace({10, 20});
+  EXPECT_EQ(m, (Matrix{{11, 22}, {13, 24}, {15, 26}}));
+}
+
+}  // namespace
+}  // namespace openapi::linalg

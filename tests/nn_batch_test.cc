@@ -1,0 +1,120 @@
+// Batch/single parity of the model-layer forwards: every Plm family's
+// PredictBatch must bit-match its per-sample Predict, because the API
+// boundary's parity contract is only as strong as the forwards beneath it.
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "lmt/lmt.h"
+#include "nn/maxout.h"
+#include "nn/plnn.h"
+
+namespace openapi::nn {
+namespace {
+
+std::vector<Vec> MakeBatch(size_t n, size_t d, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Vec> xs;
+  xs.reserve(n);
+  for (size_t i = 0; i < n; ++i) xs.push_back(rng.UniformVector(d, 0, 1));
+  return xs;
+}
+
+TEST(PlnnBatchTest, LogitsBatchBitMatchesPerSampleLogits) {
+  util::Rng init(1);
+  Plnn net({7, 12, 9, 5}, &init);
+  std::vector<Vec> xs = MakeBatch(21, 7, 2);
+  Matrix logits = net.LogitsBatch(Matrix::FromRows(xs));
+  ASSERT_EQ(logits.rows(), xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_EQ(logits.Row(i), net.Logits(xs[i])) << "row " << i;
+  }
+}
+
+TEST(PlnnBatchTest, PredictBatchBitMatchesPredict) {
+  util::Rng init(3);
+  Plnn net({6, 16, 10, 3}, &init);
+  std::vector<Vec> xs = MakeBatch(40, 6, 4);
+  std::vector<Vec> batched = net.PredictBatch(xs);
+  ASSERT_EQ(batched.size(), xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_EQ(batched[i], net.Predict(xs[i])) << "row " << i;
+  }
+}
+
+TEST(PlnnBatchTest, EmptyBatch) {
+  util::Rng init(5);
+  Plnn net({4, 6, 2}, &init);
+  EXPECT_TRUE(net.PredictBatch({}).empty());
+}
+
+TEST(PlnnBatchTest, SingleRowBatch) {
+  util::Rng init(6);
+  Plnn net({4, 6, 2}, &init);
+  Vec x = MakeBatch(1, 4, 7)[0];
+  EXPECT_EQ(net.PredictBatch({x})[0], net.Predict(x));
+}
+
+TEST(MaxoutBatchTest, PredictBatchBitMatchesPredict) {
+  util::Rng init(8);
+  MaxoutPlnn net({5, 8, 6, 3}, /*pieces=*/3, &init);
+  std::vector<Vec> xs = MakeBatch(27, 5, 9);
+  std::vector<Vec> batched = net.PredictBatch(xs);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_EQ(batched[i], net.Predict(xs[i])) << "row " << i;
+  }
+}
+
+TEST(MaxoutBatchTest, LayerForwardBatchBitMatchesForward) {
+  util::Rng init(10);
+  MaxoutLayer layer(6, 4, /*pieces=*/2);
+  layer.InitHe(&init);
+  std::vector<Vec> xs = MakeBatch(13, 6, 11);
+  Matrix out = layer.ForwardBatch(Matrix::FromRows(xs));
+  for (size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_EQ(out.Row(i), layer.Forward(xs[i])) << "row " << i;
+  }
+}
+
+TEST(LmtBatchTest, PredictBatchBitMatchesPredict) {
+  util::Rng data_rng(12);
+  data::Dataset train =
+      data::GenerateGaussianBlobs(5, 3, 400, 0.08, &data_rng);
+  lmt::LmtConfig config;
+  config.min_split_size = 60;
+  config.max_depth = 3;
+  config.accuracy_threshold = 1.01;  // force real splits
+  config.leaf_config.max_iters = 60;
+  lmt::LogisticModelTree tree = lmt::LogisticModelTree::Fit(train, config);
+  ASSERT_GT(tree.num_leaves(), 1u);  // batch path must cross leaves
+  std::vector<Vec> xs = MakeBatch(50, 5, 13);
+  std::vector<Vec> batched = tree.PredictBatch(xs);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_EQ(batched[i], tree.Predict(xs[i])) << "row " << i;
+  }
+}
+
+TEST(DefaultBatchTest, BaseClassLoopMatchesPredict) {
+  // A Plm that does not override PredictBatch gets the per-sample loop.
+  class Wrapped : public api::Plm {
+   public:
+    explicit Wrapped(const Plnn* net) : net_(net) {}
+    size_t dim() const override { return net_->dim(); }
+    size_t num_classes() const override { return net_->num_classes(); }
+    Vec Predict(const Vec& x) const override { return net_->Predict(x); }
+
+   private:
+    const Plnn* net_;
+  };
+  util::Rng init(14);
+  Plnn net({4, 8, 3}, &init);
+  Wrapped wrapped(&net);
+  std::vector<Vec> xs = MakeBatch(9, 4, 15);
+  std::vector<Vec> batched = wrapped.PredictBatch(xs);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_EQ(batched[i], net.Predict(xs[i]));
+  }
+}
+
+}  // namespace
+}  // namespace openapi::nn
