@@ -235,7 +235,184 @@ BENCHMARK(InterpretAuditEngine)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// --- Region-cache candidate scan: bucketed (argmax + transpose
+// --- promotion) pruning vs the plain linear scan, at growing cache sizes.
+//
+// Point location across MANY regions with DIVERSE predicted classes is
+// the workload this pruning targets, so the endpoint here is a grid
+// model: [0,1]^2 x R^(d-2) split into k x k cells, each its own locally
+// linear region whose dominant class cycles through all C classes. (A
+// randomly initialized PLNN is useless for this bench: its argmax is one
+// class over essentially the whole cube, collapsing every region into a
+// single bucket.) The cache is warmed with one extraction per cell, then
+// the measured loop looks up never-seen-before points inside cached
+// cells: the point memo misses (fresh raw bits), the candidate scan runs,
+// and a cached model validates — the 2-query hit path whose scan cost the
+// buckets prune.
+
+class GridPlm : public api::Plm {
+ public:
+  GridPlm(size_t d, size_t num_classes, size_t k, util::Rng* rng)
+      : d_(d), num_classes_(num_classes), k_(k) {
+    cells_.reserve(k * k);
+    for (size_t cell = 0; cell < k * k; ++cell) {
+      api::LocalLinearModel model;
+      model.weights = linalg::Matrix(d, num_classes);
+      for (size_t j = 0; j < d; ++j) {
+        for (size_t c = 0; c < num_classes; ++c) {
+          model.weights(j, c) = rng->Uniform(-0.5, 0.5);
+        }
+      }
+      model.bias = rng->UniformVector(num_classes, -0.5, 0.5);
+      // Cell's dominant class cycles through all C classes -> balanced
+      // argmax buckets.
+      model.bias[cell % num_classes] += 4.0;
+      cells_.push_back(std::move(model));
+    }
+  }
+
+  size_t dim() const override { return d_; }
+  size_t num_classes() const override { return num_classes_; }
+  Vec Predict(const Vec& x) const override {
+    return api::EvaluateLocalModel(cells_[CellOf(x)], x);
+  }
+
+  /// Center of cell (i, j), region-interior by construction.
+  Vec CellCenter(size_t i, size_t j) const {
+    Vec x(d_, 0.5);
+    x[0] = (static_cast<double>(i) + 0.5) / static_cast<double>(k_);
+    x[1] = (static_cast<double>(j) + 0.5) / static_cast<double>(k_);
+    return x;
+  }
+
+ private:
+  size_t CellOf(const Vec& x) const {
+    auto axis = [this](double v) {
+      double scaled = v * static_cast<double>(k_);
+      if (scaled < 0.0) scaled = 0.0;
+      size_t idx = static_cast<size_t>(scaled);
+      return idx >= k_ ? k_ - 1 : idx;
+    };
+    return axis(x[0]) * k_ + axis(x[1]);
+  }
+
+  size_t d_, num_classes_, k_;
+  std::vector<api::LocalLinearModel> cells_;
+};
+
+void CandidateScan(benchmark::State& state, bool bucketed) {
+  const size_t target_regions = static_cast<size_t>(state.range(0));
+  const size_t k = static_cast<size_t>(
+      std::llround(std::sqrt(static_cast<double>(target_regions))));
+  const size_t d = 8, c = 10;
+  util::Rng model_rng(kBenchSeed);
+  GridPlm grid(d, c, k, &model_rng);
+  api::PredictionApi api(&grid);
+  interpret::EngineConfig config;
+  config.num_threads = 1;  // measure the scan, not the pool
+  config.bucket_candidates = bucketed;
+  interpret::InterpretationEngine engine(config);
+  std::vector<Vec> anchors;
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      Vec x0 = grid.CellCenter(i, j);
+      auto warmed =
+          engine.Interpret(api, x0, 0, /*seed=*/13, anchors.size());
+      if (warmed.ok()) anchors.push_back(std::move(x0));
+    }
+  }
+  // Each measured lookup nudges an anchor by a fresh sub-1e-8 offset:
+  // new raw bits (point-memo miss) in the same cell (candidate-scan
+  // hit). The per-anchor counter keeps every probed point distinct.
+  size_t next = 0;
+  std::vector<uint64_t> salt(anchors.size(), 0);
+  for (auto _ : state) {
+    const size_t a = next++ % anchors.size();
+    Vec x0 = anchors[a];
+    x0[0] += 1e-13 * static_cast<double>(++salt[a]);
+    auto result = engine.Interpret(api, x0, 0, /*seed=*/13,
+                                   /*stream=*/1'000'000 + next);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["cached_regions"] =
+      static_cast<double>(engine.cache_size());
+  state.counters["scan_hits"] =
+      static_cast<double>(engine.stats().cache_hits);
+}
+
+void CandidateScanLinear(benchmark::State& state) {
+  CandidateScan(state, /*bucketed=*/false);
+}
+void CandidateScanBucketed(benchmark::State& state) {
+  CandidateScan(state, /*bucketed=*/true);
+}
+BENCHMARK(CandidateScanLinear)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(CandidateScanBucketed)->Arg(64)->Arg(256)->Arg(1024);
+
+// --- Perf-trajectory CSV artifact. ---
+//
+// Set OPENAPI_PERF_CSV=<path> to mirror every run into a CSV via
+// util::CsvWriter (CI uploads it as the perf-trajectory artifact,
+// replacing the hand-filled README table). Without the variable this main
+// is exactly BENCHMARK_MAIN().
+
+class PerfCsvReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit PerfCsvReporter(util::CsvWriter writer)
+      : writer_(std::move(writer)) {}
+
+  // Acts as the display reporter (google-benchmark insists that pure file
+  // reporters come with --benchmark_out): console output passes through,
+  // each per-iteration run is mirrored into the CSV.
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const double iters = static_cast<double>(run.iterations);
+      auto items = run.counters.find("items_per_second");
+      writer_.WriteRow(std::vector<std::string>{
+          run.benchmark_name(),
+          std::to_string(run.iterations),
+          util::FormatDouble(run.real_accumulated_time / iters * 1e9, 1),
+          util::FormatDouble(run.cpu_accumulated_time / iters * 1e9, 1),
+          items != run.counters.end()
+              ? util::FormatDouble(items->second.value, 1)
+              : "",
+      });
+    }
+  }
+
+  void Finalize() override {
+    benchmark::ConsoleReporter::Finalize();
+    writer_.Close();
+  }
+
+ private:
+  util::CsvWriter writer_;
+};
+
 }  // namespace
 }  // namespace openapi::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  const char* csv_path = std::getenv("OPENAPI_PERF_CSV");
+  if (csv_path != nullptr) {
+    auto writer = openapi::util::CsvWriter::Open(
+        csv_path, {"benchmark", "iterations", "real_ns_per_iter",
+                   "cpu_ns_per_iter", "items_per_second"});
+    if (!writer.ok()) {
+      std::cerr << "OPENAPI_PERF_CSV: " << writer.status().ToString()
+                << "\n";
+      return 1;
+    }
+    openapi::bench::PerfCsvReporter csv(std::move(*writer));
+    benchmark::RunSpecifiedBenchmarks(&csv);
+  } else {
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,87 @@
+#include "api/api_replica_set.h"
+
+#include <algorithm>
+#include <future>
+#include <utility>
+
+#include "util/check.h"
+
+namespace openapi::api {
+
+ApiReplicaSet::ApiReplicaSet(const Plm* model, size_t num_replicas,
+                             int round_digits, double noise_stddev,
+                             uint64_t noise_seed)
+    : PredictionApi(model, round_digits, noise_stddev, noise_seed) {
+  OPENAPI_CHECK_GE(num_replicas, 1u);
+  replicas_.reserve(num_replicas);
+  for (size_t i = 0; i < num_replicas; ++i) {
+    replicas_.push_back(std::make_unique<PredictionApi>(
+        model, round_digits, noise_stddev, noise_seed + i));
+  }
+}
+
+Vec ApiReplicaSet::Predict(const Vec& x) const {
+  const uint64_t ticket =
+      round_robin_.fetch_add(1, std::memory_order_relaxed);
+  return replicas_[ticket % replicas_.size()]->Predict(x);
+}
+
+std::vector<Vec> ApiReplicaSet::PredictBatch(
+    const std::vector<Vec>& xs) const {
+  if (xs.empty()) return {};
+  const size_t num_shards =
+      std::min(replicas_.size(), xs.size());
+  if (num_shards == 1) return replicas_[0]->PredictBatch(xs);
+
+  const size_t block = (xs.size() + num_shards - 1) / num_shards;
+  std::vector<Vec> out(xs.size());
+  auto run_shard = [&](size_t shard) {
+    const size_t begin = shard * block;
+    const size_t end = std::min(begin + block, xs.size());
+    if (begin >= end) return;
+    std::vector<Vec> rows(xs.begin() + static_cast<ptrdiff_t>(begin),
+                          xs.begin() + static_cast<ptrdiff_t>(end));
+    std::vector<Vec> ys = replicas_[shard]->PredictBatch(rows);
+    for (size_t i = 0; i < ys.size(); ++i) out[begin + i] = std::move(ys[i]);
+  };
+
+  if (xs.size() < kConcurrentDispatchMin) {
+    for (size_t shard = 0; shard < num_shards; ++shard) run_shard(shard);
+    return out;
+  }
+  // Concurrent dispatch on dedicated threads. Shard assignment (and hence
+  // each replica's noise-ticket sequence) is fixed by index, so the result
+  // is identical to the sequential loop above.
+  std::vector<std::future<void>> inflight;
+  inflight.reserve(num_shards - 1);
+  for (size_t shard = 1; shard < num_shards; ++shard) {
+    inflight.push_back(
+        std::async(std::launch::async, [&run_shard, shard] {
+          run_shard(shard);
+        }));
+  }
+  run_shard(0);
+  for (std::future<void>& f : inflight) f.get();
+  return out;
+}
+
+uint64_t ApiReplicaSet::query_count() const {
+  uint64_t total = 0;
+  for (const auto& replica : replicas_) total += replica->query_count();
+  return total;
+}
+
+void ApiReplicaSet::ResetQueryCount() {
+  for (const auto& replica : replicas_) replica->ResetQueryCount();
+}
+
+void ApiReplicaSet::ResetNoiseStream() {
+  for (const auto& replica : replicas_) replica->ResetNoiseStream();
+}
+
+uint64_t ApiReplicaSet::replica_query_count(size_t i) const {
+  OPENAPI_CHECK_LT(i, replicas_.size());
+  return replicas_[i]->query_count();
+}
+
+}  // namespace openapi::api

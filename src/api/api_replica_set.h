@@ -1,0 +1,72 @@
+// Replica sharding at the API boundary.
+//
+// A production deployment of the interpretation service does not probe one
+// endpoint: the model is served by N replicas behind a load balancer, and
+// probe traffic is spread across them (cf. Asahara & Fujimaki's
+// distributed piecewise-linear serving). ApiReplicaSet reproduces that
+// topology inside the repo: it IS a PredictionApi (interpreters and the
+// engine use it unchanged), but every request is routed to one of N inner
+// PredictionApi replicas wrapping the same hidden model.
+//
+// Routing is deterministic:
+//   * Predict         — round-robin over an atomic ticket;
+//   * PredictBatch    — the batch is split into num_replicas contiguous
+//     shards (shard r = rows [r*block, (r+1)*block)), so a given batch
+//     always lands on the same replicas with the same per-replica noise
+//     tickets regardless of dispatch timing. Large batches dispatch their
+//     shards concurrently on std::async threads (never on the shared
+//     interpretation pool — a worker waiting on its own pool would
+//     deadlock).
+//
+// Accounting is exact by construction: each replica keeps its own atomic
+// query counter, query_count() is their sum, and every sample increments
+// exactly one replica, so per-replica counts always sum to the totals the
+// interpretation engine reports.
+
+#ifndef OPENAPI_API_API_REPLICA_SET_H_
+#define OPENAPI_API_API_REPLICA_SET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "api/prediction_api.h"
+
+namespace openapi::api {
+
+class ApiReplicaSet : public PredictionApi {
+ public:
+  /// Builds `num_replicas` endpoints over `model` (not owned; must outlive
+  /// the set). All replicas share the rounding/noise configuration but get
+  /// distinct noise seeds (noise_seed + replica index): replicas of a
+  /// nondeterministic serving stack jitter independently.
+  explicit ApiReplicaSet(const Plm* model, size_t num_replicas,
+                         int round_digits = 0, double noise_stddev = 0.0,
+                         uint64_t noise_seed = 0x5eed);
+
+  Vec Predict(const Vec& x) const override;
+  std::vector<Vec> PredictBatch(const std::vector<Vec>& xs) const override;
+
+  /// Total samples served by the whole set: the exact sum of the
+  /// per-replica counters.
+  uint64_t query_count() const override;
+  void ResetQueryCount() override;
+  void ResetNoiseStream() override;
+
+  size_t num_replicas() const { return replicas_.size(); }
+  uint64_t replica_query_count(size_t i) const;
+  const PredictionApi& replica(size_t i) const { return *replicas_[i]; }
+
+ private:
+  /// Batches smaller than this are served by a sequential shard loop; the
+  /// thread hand-off would cost more than the forward passes save.
+  static constexpr size_t kConcurrentDispatchMin = 64;
+
+  std::vector<std::unique_ptr<PredictionApi>> replicas_;
+  mutable std::atomic<uint64_t> round_robin_{0};
+};
+
+}  // namespace openapi::api
+
+#endif  // OPENAPI_API_API_REPLICA_SET_H_

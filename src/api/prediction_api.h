@@ -46,32 +46,38 @@ class PredictionApi {
                          double noise_stddev = 0.0,
                          uint64_t noise_seed = 0x5eed);
 
+  /// Serving topologies subclass the boundary (see api::ApiReplicaSet);
+  /// interpreters only ever talk to this interface.
+  virtual ~PredictionApi() = default;
+
   size_t dim() const { return model_->dim(); }
   size_t num_classes() const { return model_->num_classes(); }
 
   /// One API call: class probabilities for x.
-  Vec Predict(const Vec& x) const;
+  virtual Vec Predict(const Vec& x) const;
 
   /// One batched API call: class probabilities for every row of xs, in
   /// order. Counts xs.size() queries and draws xs.size() noise tickets
   /// atomically, so the result is bit-identical to calling Predict on each
   /// sample in order — but the forward passes run as matrix-matrix
   /// products through Plm::PredictBatch.
-  std::vector<Vec> PredictBatch(const std::vector<Vec>& xs) const;
+  virtual std::vector<Vec> PredictBatch(const std::vector<Vec>& xs) const;
 
   /// Number of samples predicted since construction / last reset. Atomic;
   /// the PredictionApi is safe to share across the interpretation engine's
   /// thread pool in every configuration, including noisy ones.
-  uint64_t query_count() const {
+  virtual uint64_t query_count() const {
     return query_count_.load(std::memory_order_relaxed);
   }
-  void ResetQueryCount() {
+  virtual void ResetQueryCount() {
     query_count_.store(0, std::memory_order_relaxed);
   }
 
   /// Rewinds the noise ticket counter so the next sample reuses the first
-  /// noise stream again (tests replaying a seeded noisy trace).
-  void ResetNoiseStream() {
+  /// noise stream again (tests replaying a seeded noisy trace). Virtual:
+  /// ApiReplicaSet must rewind every replica's counter, not the unused
+  /// base one.
+  virtual void ResetNoiseStream() {
     noise_ticket_.store(0, std::memory_order_relaxed);
   }
 

@@ -20,8 +20,10 @@ Result<ExtractedLocalModel> LocalModelExtractor::Extract(
   const size_t d = api.dim();
   const size_t num_classes = api.num_classes();
   // One OpenAPI run with c = 0 yields (D_{0,c'}, B_{0,c'}) for every
-  // c' != 0. The canonical model pins class 0's column to zero, so
-  // column c' is exactly -D_{0,c'} = D_{c',0} and bias c' is -B_{0,c'}.
+  // c' != 0 (solved against an adaptively chosen reference when class 0
+  // saturates at x0, then converted back to reference 0). The canonical
+  // model pins class 0's column to zero, so column c' is exactly
+  // -D_{0,c'} = D_{c',0} and bias c' is -B_{0,c'}.
   interpret::OpenApiInterpreter interpreter(config_.openapi);
   OPENAPI_ASSIGN_OR_RETURN(interpret::Interpretation interpretation,
                            interpreter.Interpret(api, x0, 0, rng));

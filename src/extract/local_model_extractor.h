@@ -10,6 +10,13 @@
 // We return the canonical representative with column 0 pinned to zero —
 // which predicts bit-for-bit the same distribution as the hidden model
 // throughout the region.
+//
+// A saturating class 0 (probability underflow at x0) used to make every
+// reference-0 log-ratio non-finite and the extraction DidNotConverge. The
+// solver now switches its reference to argmax(y0) in that case and
+// converts the recovered pairs back to reference 0 algebraically (see
+// openapi_method.h), so Extract still returns the column-0-pinned
+// canonical gauge — callers never see the internal reference switch.
 
 #ifndef OPENAPI_EXTRACT_LOCAL_MODEL_EXTRACTOR_H_
 #define OPENAPI_EXTRACT_LOCAL_MODEL_EXTRACTOR_H_

@@ -67,6 +67,38 @@ Result<Vec> BuildLogOddsRhs(const std::vector<Vec>& predictions, size_t c,
   return rhs;
 }
 
+std::vector<CoreParameters> ConvertReferencePairs(
+    const std::vector<CoreParameters>& ref_pairs, size_t ref, size_t c) {
+  const size_t num_classes = ref_pairs.size() + 1;
+  OPENAPI_CHECK_LT(ref, num_classes);
+  OPENAPI_CHECK_LT(c, num_classes);
+  if (ref == c) return ref_pairs;
+  // Pair (ref, k) sits at index k (k < ref) or k-1 (k > ref).
+  auto pair_of = [&](size_t k) -> const CoreParameters& {
+    return ref_pairs[k < ref ? k : k - 1];
+  };
+  const CoreParameters& ref_c = pair_of(c);  // (D_{ref,c}, B_{ref,c})
+  const size_t d = ref_c.d.size();
+  std::vector<CoreParameters> out;
+  out.reserve(num_classes - 1);
+  for (size_t k = 0; k < num_classes; ++k) {
+    if (k == c) continue;
+    CoreParameters pair;
+    pair.d.resize(d);
+    if (k == ref) {
+      for (size_t j = 0; j < d; ++j) pair.d[j] = -ref_c.d[j];
+      pair.b = -ref_c.b;
+    } else {
+      const CoreParameters& ref_k = pair_of(k);
+      OPENAPI_CHECK_EQ(ref_k.d.size(), d);
+      for (size_t j = 0; j < d; ++j) pair.d[j] = ref_k.d[j] - ref_c.d[j];
+      pair.b = ref_k.b - ref_c.b;
+    }
+    out.push_back(std::move(pair));
+  }
+  return out;
+}
+
 api::LocalLinearModel CanonicalModelFromPairs(
     const std::vector<CoreParameters>& pairs, size_t d) {
   const size_t num_classes = pairs.size() + 1;

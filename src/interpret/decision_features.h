@@ -85,6 +85,18 @@ Result<double> LogOdds(const Vec& y, size_t c, size_t c_prime);
 Result<Vec> BuildLogOddsRhs(const std::vector<Vec>& predictions, size_t c,
                             size_t c_prime);
 
+/// Re-expresses core-parameter pairs solved against reference class `ref`
+/// as the pairs of class `c`: D_{c,c'} = D_{ref,c'} - D_{ref,c} and
+/// D_{c,ref} = -D_{ref,c} (identically for the offsets B), since all pairs
+/// are differences of the same hidden (W, b). Input is indexed by c' in
+/// increasing order skipping `ref`; output by c' in increasing order
+/// skipping `c`. `ref == c` returns the input unchanged. This is how the
+/// solver answers requests whose reference class saturates at x0 (softmax
+/// underflow): solve against a non-saturated reference, then change the
+/// reference algebraically.
+std::vector<CoreParameters> ConvertReferencePairs(
+    const std::vector<CoreParameters>& ref_pairs, size_t ref, size_t c);
+
 /// Assembles the canonical locally linear classifier from the C-1 core
 /// parameter pairs of an interpretation run with reference class c = 0:
 /// weights column c' is D_{c',0} = -D_{0,c'} (column 0 pinned to zero) and

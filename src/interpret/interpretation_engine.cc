@@ -1,8 +1,8 @@
 #include "interpret/interpretation_engine.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
-#include <optional>
 
 #include "api/ground_truth.h"
 
@@ -27,12 +27,57 @@ std::vector<CoreParameters> PairsFromModel(const api::LocalLinearModel& model,
 
 }  // namespace
 
+// GCC 12 reports spurious -Wmaybe-uninitialized when a variant-backed
+// Result moves out of the deque into the returned optional (the
+// PR105562 family of false positives); every Item is fully constructed
+// by a worker before it is queued.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+std::optional<InterpretationStream::Item> InterpretationStream::Next() {
+  if (shared_ == nullptr || delivered_ == total_) return std::nullopt;
+  std::unique_lock<std::mutex> lock(shared_->mutex);
+  // delivered_ < total_, so an undelivered item is either queued already
+  // or still running on the pool and will be queued when it finishes.
+  shared_->ready.wait(lock, [this] { return !shared_->completed.empty(); });
+  std::optional<Item> item;
+  item.emplace(std::move(shared_->completed.front()));
+  shared_->completed.pop_front();
+  ++delivered_;
+  return item;
+}
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
 InterpretationEngine::InterpretationEngine(EngineConfig config)
     : config_(config) {
-  const size_t threads = config_.num_threads > 0
-                             ? config_.num_threads
-                             : util::DefaultThreadCount();
-  pool_ = std::make_unique<util::ThreadPool>(threads);
+  if (config_.num_threads > 0) {
+    owned_pool_ = std::make_unique<util::ThreadPool>(config_.num_threads);
+    pool_ = owned_pool_.get();
+  } else {
+    pool_ = util::SharedThreadPool(
+        util::DefaultThreadCount(config_.max_threads));
+  }
+}
+
+InterpretationEngine::~InterpretationEngine() {
+  // Drain async work that still references this engine. Tasks on the
+  // shared pool outlive owned infrastructure, so this must come first;
+  // the owned pool (if any) additionally drains in its own destructor.
+  std::unique_lock<std::mutex> lock(async_mutex_);
+  async_idle_.wait(lock, [this] { return async_outstanding_ == 0; });
+}
+
+void InterpretationEngine::BeginAsyncTask() const {
+  std::lock_guard<std::mutex> lock(async_mutex_);
+  ++async_outstanding_;
+}
+
+void InterpretationEngine::EndAsyncTask() const {
+  std::lock_guard<std::mutex> lock(async_mutex_);
+  if (--async_outstanding_ == 0) async_idle_.notify_all();
 }
 
 std::pair<uint64_t, uint64_t> InterpretationEngine::PointKey(const Vec& x0) {
@@ -61,9 +106,40 @@ bool InterpretationEngine::RegionMatches(const api::LocalLinearModel& model,
 
 size_t InterpretationEngine::FindMatchingRegion(const Vec& x0, const Vec& y0,
                                                 const Vec& probe,
-                                                const Vec& y_probe) const {
+                                                const Vec& y_probe,
+                                                size_t argmax) const {
   std::shared_lock<std::shared_mutex> lock(cache_mutex_);
+  if (!config_.bucket_candidates) {
+    for (size_t slot = 0; slot < regions_.size(); ++slot) {
+      if (RegionMatches(regions_[slot].model, x0, y0) &&
+          RegionMatches(regions_[slot].model, probe, y_probe)) {
+        return slot;
+      }
+    }
+    return kNoSlot;
+  }
+
+  // Bucket pass: regions anchored at the same predicted class, hottest
+  // first. In the common case (the request lands in an already-seen
+  // region on its majority side) this tests ~1/C of the cache. Buckets
+  // are kept approximately hit-ordered by the move-toward-front
+  // promotion in the hit path, so no per-scan sorting happens here.
+  std::vector<char> scanned(regions_.size(), 0);
+  auto it = by_argmax_.find(argmax);
+  if (it != by_argmax_.end()) {
+    for (size_t slot : it->second) {
+      scanned[slot] = 1;
+      if (RegionMatches(regions_[slot].model, x0, y0) &&
+          RegionMatches(regions_[slot].model, probe, y_probe)) {
+        return slot;
+      }
+    }
+  }
+  // Fallback pass: regions filed only under other argmax keys. A cached
+  // region can span the decision boundary, so the bucket key is a
+  // heuristic; this pass keeps hit behavior identical to the linear scan.
   for (size_t slot = 0; slot < regions_.size(); ++slot) {
+    if (scanned[slot]) continue;
     if (RegionMatches(regions_[slot].model, x0, y0) &&
         RegionMatches(regions_[slot].model, probe, y_probe)) {
       return slot;
@@ -74,7 +150,8 @@ size_t InterpretationEngine::FindMatchingRegion(const Vec& x0, const Vec& y0,
 
 size_t InterpretationEngine::InsertRegion(api::LocalLinearModel model,
                                           uint64_t fingerprint,
-                                          const Vec& x0) const {
+                                          const Vec& x0,
+                                          size_t argmax) const {
   std::unique_lock<std::shared_mutex> lock(cache_mutex_);
   size_t slot;
   auto it = by_fingerprint_.find(fingerprint);
@@ -84,6 +161,10 @@ size_t InterpretationEngine::InsertRegion(api::LocalLinearModel model,
     slot = regions_.size();
     regions_.push_back(CachedRegion{std::move(model), fingerprint});
     by_fingerprint_.emplace(fingerprint, slot);
+  }
+  std::vector<size_t>& bucket = by_argmax_[argmax];
+  if (std::find(bucket.begin(), bucket.end(), slot) == bucket.end()) {
+    bucket.push_back(slot);
   }
   point_memo_[PointKey(x0)] = slot;
   return slot;
@@ -118,43 +199,72 @@ Result<Interpretation> InterpretationEngine::InterpretCached(
   std::vector<Vec> pair = api.PredictBatch({x0, probe});
   const Vec& y0 = pair[0];
   const Vec& y_probe = pair[1];
-  size_t slot = FindMatchingRegion(x0, y0, probe, y_probe);
+  const size_t argmax = linalg::ArgMax(y0);
+  size_t slot = FindMatchingRegion(x0, y0, probe, y_probe, argmax);
   if (slot != kNoSlot) {
-    api::LocalLinearModel model;
+    // A racing ClearCache may have dropped (or refilled) the slot between
+    // the scan and here, so copy under the lock with a bounds check and
+    // re-validate the copy against the API output before trusting it.
+    std::optional<api::LocalLinearModel> model;
+    uint64_t fingerprint = 0;
     {
       std::shared_lock<std::shared_mutex> lock(cache_mutex_);
-      model = regions_[slot].model;
+      if (slot < regions_.size()) {
+        fingerprint = regions_[slot].fingerprint;
+        model = regions_[slot].model;
+      }
     }
-    {
-      std::unique_lock<std::shared_mutex> lock(cache_mutex_);
-      point_memo_[key] = slot;
+    if (model.has_value() && RegionMatches(*model, x0, y0) &&
+        RegionMatches(*model, probe, y_probe)) {
+      {
+        // Memoize the point, and file the slot under this argmax too when
+        // the fallback pass found it in another bucket (region spanning
+        // the decision boundary), so the next same-side request hits the
+        // bucket pass. The fingerprint check keeps a refilled slot from
+        // poisoning the memo.
+        std::unique_lock<std::shared_mutex> lock(cache_mutex_);
+        if (slot < regions_.size() &&
+            regions_[slot].fingerprint == fingerprint) {
+          point_memo_[key] = slot;
+          std::vector<size_t>& bucket = by_argmax_[argmax];
+          auto pos = std::find(bucket.begin(), bucket.end(), slot);
+          if (pos == bucket.end()) {
+            bucket.push_back(slot);
+          } else if (pos != bucket.begin()) {
+            // Transpose promotion: each hit moves the region one step
+            // toward the front of its bucket, so hot regions drift to
+            // the head without any per-scan sorting.
+            std::iter_swap(pos, pos - 1);
+          }
+        }
+      }
+      stat_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      stat_queries_.fetch_add(2, std::memory_order_relaxed);
+      Interpretation out;
+      out.dc = api::GroundTruthDecisionFeatures(*model, c);
+      out.pairs = PairsFromModel(*model, c);
+      out.iterations = 0;
+      out.edge_length = config_.validation_edge;
+      out.probes.push_back(std::move(probe));
+      out.queries = 2;
+      return out;
     }
-    stat_cache_hits_.fetch_add(1, std::memory_order_relaxed);
-    stat_queries_.fetch_add(2, std::memory_order_relaxed);
-    Interpretation out;
-    out.dc = api::GroundTruthDecisionFeatures(model, c);
-    out.pairs = PairsFromModel(model, c);
-    out.iterations = 0;
-    out.edge_length = config_.validation_edge;
-    out.probes.push_back(std::move(probe));
-    out.queries = 2;
-    return out;
+    // The slot vanished under us: treat the request as a miss below.
   }
 
   // 3. Miss: full closed-form extraction with reference class 0, which
   //    yields the entire canonical classifier; the requested class is then
-  //    read off the cached model (gauge invariance).
+  //    read off the cached model (gauge invariance). A saturated class 0
+  //    is handled inside the solver (adaptive reference class, converted
+  //    back to reference-0 pairs), so the canonical column-0-pinned gauge
+  //    is preserved here either way. The solver reports the queries it
+  //    actually consumed, so stats stay exact even when it fails.
   stat_cache_misses_.fetch_add(1, std::memory_order_relaxed);
   OpenApiInterpreter interpreter(config_.openapi);
-  auto solved = interpreter.Interpret(api, x0, 0, rng);
+  uint64_t consumed = 0;
+  auto solved = interpreter.InterpretCounted(api, x0, 0, rng, &consumed);
+  stat_queries_.fetch_add(2 + consumed, std::memory_order_relaxed);
   if (!solved.ok()) {
-    // DidNotConverge consumed its full probe budget; account for it.
-    const size_t d = api.dim();
-    const uint64_t consumed =
-        solved.status().IsDidNotConverge()
-            ? 2 + 1 + config_.openapi.max_iterations * (d + 1)
-            : 2;
-    stat_queries_.fetch_add(consumed, std::memory_order_relaxed);
     return solved.status();
   }
   api::LocalLinearModel model =
@@ -168,8 +278,7 @@ Result<Interpretation> InterpretationEngine::InterpretCached(
   out.iterations = solved->iterations;
   out.edge_length = solved->edge_length;
   out.queries = 2 + solved->queries;
-  stat_queries_.fetch_add(out.queries, std::memory_order_relaxed);
-  InsertRegion(std::move(model), fingerprint, x0);
+  InsertRegion(std::move(model), fingerprint, x0, argmax);
   return out;
 }
 
@@ -186,20 +295,17 @@ Result<Interpretation> InterpretationEngine::Interpret(
     return Status::InvalidArgument("bad class configuration");
   }
   util::Rng rng(util::Rng::MixSeed(seed, stream));
-  Result<Interpretation> result =
-      config_.use_region_cache
-          ? InterpretCached(api, x0, c, &rng)
-          : OpenApiInterpreter(config_.openapi).Interpret(api, x0, c, &rng);
-  if (!config_.use_region_cache) {
-    if (result.ok()) {
-      stat_queries_.fetch_add(result->queries, std::memory_order_relaxed);
+  Result<Interpretation> result = [&]() -> Result<Interpretation> {
+    if (config_.use_region_cache) return InterpretCached(api, x0, c, &rng);
+    uint64_t consumed = 0;
+    auto solved = OpenApiInterpreter(config_.openapi)
+                      .InterpretCounted(api, x0, c, &rng, &consumed);
+    stat_queries_.fetch_add(consumed, std::memory_order_relaxed);
+    if (solved.ok()) {
       stat_cache_misses_.fetch_add(1, std::memory_order_relaxed);
-    } else if (result.status().IsDidNotConverge()) {
-      stat_queries_.fetch_add(
-          1 + config_.openapi.max_iterations * (api.dim() + 1),
-          std::memory_order_relaxed);
     }
-  }
+    return solved;
+  }();
   if (!result.ok()) stat_failures_.fetch_add(1, std::memory_order_relaxed);
   return result;
 }
@@ -208,7 +314,7 @@ std::vector<Result<Interpretation>> InterpretationEngine::InterpretAll(
     const api::PredictionApi& api, const std::vector<EngineRequest>& requests,
     uint64_t seed) const {
   std::vector<std::optional<Result<Interpretation>>> scratch(requests.size());
-  util::ParallelFor(pool_.get(), requests.size(), [&](size_t i) {
+  util::ParallelFor(pool_, requests.size(), [&](size_t i) {
     scratch[i].emplace(
         Interpret(api, requests[i].x0, requests[i].c, seed, /*stream=*/i));
   });
@@ -216,6 +322,49 @@ std::vector<Result<Interpretation>> InterpretationEngine::InterpretAll(
   results.reserve(requests.size());
   for (auto& r : scratch) results.push_back(std::move(*r));
   return results;
+}
+
+std::future<Result<Interpretation>> InterpretationEngine::SubmitAsync(
+    const api::PredictionApi& api, EngineRequest request, uint64_t seed,
+    uint64_t stream) const {
+  // packaged_task is move-only and ThreadPool::Submit takes a copyable
+  // std::function, hence the shared_ptr wrapper.
+  auto task = std::make_shared<std::packaged_task<Result<Interpretation>()>>(
+      [this, &api, request = std::move(request), seed, stream]() {
+        return Interpret(api, request.x0, request.c, seed, stream);
+      });
+  std::future<Result<Interpretation>> future = task->get_future();
+  BeginAsyncTask();
+  pool_->Submit([this, task] {
+    (*task)();
+    EndAsyncTask();
+  });
+  return future;
+}
+
+InterpretationStream InterpretationEngine::InterpretStream(
+    const api::PredictionApi& api, std::vector<EngineRequest> requests,
+    uint64_t seed) const {
+  InterpretationStream stream;
+  stream.total_ = requests.size();
+  stream.shared_ = std::make_shared<InterpretationStream::Shared>();
+  auto shared = stream.shared_;
+  shared->requests = std::move(requests);
+  for (size_t i = 0; i < shared->requests.size(); ++i) {
+    BeginAsyncTask();
+    pool_->Submit([this, &api, shared, seed, i] {
+      Result<Interpretation> result = Interpret(
+          api, shared->requests[i].x0, shared->requests[i].c, seed, i);
+      {
+        std::lock_guard<std::mutex> lock(shared->mutex);
+        shared->completed.push_back(
+            InterpretationStream::Item{i, std::move(result)});
+      }
+      shared->ready.notify_all();
+      EndAsyncTask();
+    });
+  }
+  return stream;
 }
 
 size_t InterpretationEngine::cache_size() const {
@@ -247,6 +396,7 @@ void InterpretationEngine::ClearCache() const {
   std::unique_lock<std::shared_mutex> lock(cache_mutex_);
   regions_.clear();
   by_fingerprint_.clear();
+  by_argmax_.clear();
   point_memo_.clear();
 }
 

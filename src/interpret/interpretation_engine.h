@@ -1,4 +1,4 @@
-// InterpretationEngine: the concurrent throughput pipeline over OpenAPI.
+// InterpretationEngine: the asynchronous serving layer over OpenAPI.
 //
 // The paper's evaluation (and any production deployment of the method)
 // interprets many (x0, c) requests against one endpoint. Running them one
@@ -8,34 +8,67 @@
 //      classifier (decision features are gauge-invariant), and
 //   2. the requests are independent, so they shard across a thread pool.
 //
-// The engine does both. Requests are distributed over util::ThreadPool;
-// each worker consults a shared region cache before paying the closed-form
+// The engine does both, in three request shapes:
+//   * InterpretAll    — synchronous batch; blocks until every result.
+//   * SubmitAsync     — one request as a std::future; returns immediately.
+//   * InterpretStream — a batch whose results are consumed in completion
+//     order while stragglers still run.
+// By default the engine BORROWS the process-wide util::SharedThreadPool
+// rather than owning workers, so any number of engines / concurrent
+// callers multiplex one pool sized to the hardware; setting
+// EngineConfig::num_threads > 0 gives the engine a private pool of that
+// size (deterministic scheduling for tests, isolation for benches).
+//
+// Each worker consults a shared region cache before paying the closed-form
 // solve. The cache replaces extract::CachedInterpreter's linear scan with
-// two hash indexes guarded by a shared_mutex:
+// hash indexes guarded by a shared_mutex:
 //   * a point memo (hash of x0's raw bits -> region slot): a request whose
 //     exact x0 was answered before costs ZERO API queries, any class;
 //   * a fingerprint index (quantized canonical-model hash -> slot) that
-//     deduplicates regions extracted concurrently by different workers.
+//     deduplicates regions extracted concurrently by different workers;
+//   * argmax buckets: candidate regions are grouped by the class they
+//     predict at their anchor, so a request at a new x0 first tests the
+//     bucket matching argmax(y0) — hottest regions first (each hit
+//     promotes its region one step toward the bucket head, the classic
+//     transpose heuristic, so no per-scan sorting) — and only falls back
+//     to the remaining regions when the bucket misses (a region can span
+//     the decision boundary, so the bucket key is a pruning heuristic,
+//     never a correctness filter).
 // A request at a new x0 still validates cache candidates against the API
 // output (2 batched queries) — black-box point location fundamentally
 // needs the candidate test — but candidates are scanned under a shared
 // lock, so readers proceed in parallel and only insertions serialize.
 //
 // Determinism: each request derives its probe RNG statelessly from
-// (seed, request index) via Rng::MixSeed, so results do not depend on the
-// thread count or scheduling order (cache-hit timing can differ, but every
-// answer is exact either way — that is Theorem 2 plus gauge invariance).
+// (seed, request index) via Rng::MixSeed, so result CONTENT does not
+// depend on the thread count, scheduling, or stream consumption order
+// (cache-hit timing can differ, but every answer is exact either way —
+// that is Theorem 2 plus gauge invariance).
 //
-// Query accounting is exact under concurrency: interpreters report locally
-// counted queries, and the engine's totals are sums of those, matching the
-// api's atomic query_count when the engine is the api's only client.
+// Query accounting is exact under concurrency and in every error path:
+// the solver reports the queries it actually consumed (success or
+// failure) via InterpretCounted, and the engine's totals are sums of
+// those, matching the api's atomic query_count when the engine is the
+// api's only client — including when `api` is an ApiReplicaSet, whose
+// per-replica counters sum to the same total.
+//
+// Lifetimes: the engine, the api, and (for streams) the request storage
+// must outlive outstanding async work. The engine's destructor blocks
+// until every task it submitted has finished, so destroying the engine
+// after abandoning a future/stream is safe; destroying the API before the
+// engine is not.
 
 #ifndef OPENAPI_INTERPRET_INTERPRETATION_ENGINE_H_
 #define OPENAPI_INTERPRET_INTERPRETATION_ENGINE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <future>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <unordered_map>
 #include <utility>
@@ -55,12 +88,23 @@ struct EngineRequest {
 struct EngineConfig {
   /// Settings of the inner closed-form solver.
   OpenApiConfig openapi;
-  /// Worker threads; 0 means util::DefaultThreadCount().
+  /// Worker threads. 0 (the default) borrows the process-wide
+  /// util::SharedThreadPool; > 0 gives this engine a private pool of
+  /// exactly that size.
   size_t num_threads = 0;
+  /// Cap applied when this engine is the first to size the shared pool
+  /// (util::DefaultThreadCount(max_threads)); 0 means uncapped — use all
+  /// hardware threads. Ignored when num_threads > 0 or the shared pool
+  /// already exists.
+  size_t max_threads = 0;
   /// Master switch for the shared region cache. With it off the engine is
   /// a plain concurrent fan-out of OpenApiInterpreter (useful as the
   /// uncached baseline in benches).
   bool use_region_cache = true;
+  /// Prune the candidate scan with argmax buckets + hit-frequency
+  /// ordering. Off = the plain linear scan (bench baseline). Hit/miss
+  /// behavior is identical either way.
+  bool bucket_candidates = true;
   /// Match tolerance when validating a cached region model against the
   /// API's output (infinity norm over probabilities).
   double match_tol = 1e-9;
@@ -81,17 +125,74 @@ struct EngineStats {
   uint64_t queries = 0;          // total API queries consumed
 };
 
+/// A batch in flight: results are pulled in COMPLETION order while later
+/// requests still run, so a consumer can render/forward early answers
+/// without waiting for stragglers. Item::index identifies the request;
+/// content per index is deterministic in (requests, seed) even though the
+/// yield order is scheduling-dependent. Obtained from
+/// InterpretationEngine::InterpretStream.
+class InterpretationStream {
+ public:
+  struct Item {
+    size_t index;  // position in the submitted request batch
+    Result<Interpretation> result;
+  };
+
+  /// Blocks until another request finishes and returns it; nullopt once
+  /// all `total()` items have been delivered. Single-consumer.
+  std::optional<Item> Next();
+
+  size_t total() const { return total_; }
+  size_t delivered() const { return delivered_; }
+
+ private:
+  friend class InterpretationEngine;
+
+  struct Shared {
+    std::mutex mutex;
+    std::condition_variable ready;
+    std::deque<Item> completed;
+    std::vector<EngineRequest> requests;  // stable storage for workers
+  };
+
+  std::shared_ptr<Shared> shared_;
+  size_t total_ = 0;
+  size_t delivered_ = 0;
+};
+
 class InterpretationEngine {
  public:
   explicit InterpretationEngine(EngineConfig config = {});
 
+  /// Blocks until every async task this engine submitted has finished.
+  ~InterpretationEngine();
+
   /// Interprets every request against `api`, sharded across the engine's
-  /// thread pool. results[i] corresponds to requests[i]. Deterministic in
+  /// pool. results[i] corresponds to requests[i]. Deterministic in
   /// (requests, seed) regardless of thread count. Safe to call from
   /// multiple threads; all calls share the region cache.
   std::vector<Result<Interpretation>> InterpretAll(
       const api::PredictionApi& api,
       const std::vector<EngineRequest>& requests, uint64_t seed) const;
+
+  /// Asynchronous single-request submission: enqueues the request on the
+  /// engine's pool and returns immediately. The result is identical to
+  /// Interpret(api, request.x0, request.c, seed, stream) — pass distinct
+  /// `stream` values for distinct requests to keep probe RNG streams
+  /// independent (InterpretAll uses the request index). `api` must outlive
+  /// the future's completion.
+  std::future<Result<Interpretation>> SubmitAsync(
+      const api::PredictionApi& api, EngineRequest request, uint64_t seed,
+      uint64_t stream = 0) const;
+
+  /// Submits the whole batch and returns a stream that yields results as
+  /// they complete (request i uses RNG stream i, exactly like
+  /// InterpretAll). `api` must outlive the stream's completion; the
+  /// stream object itself may be dropped early (workers keep the shared
+  /// state alive).
+  InterpretationStream InterpretStream(const api::PredictionApi& api,
+                                       std::vector<EngineRequest> requests,
+                                       uint64_t seed) const;
 
   /// Single-request entry point sharing the same cache (request index
   /// doubles as the RNG stream, so pass distinct `stream` values for
@@ -103,12 +204,14 @@ class InterpretationEngine {
   size_t cache_size() const;
   EngineStats stats() const;
   void ResetStats() const;
-  /// Drops all cached regions and the point memo (e.g. when re-targeting
-  /// the engine at a different endpoint).
+  /// Drops all cached regions, the point memo, and the argmax buckets
+  /// (e.g. when re-targeting the engine at a different endpoint). Safe to
+  /// race with in-flight requests: they re-extract as needed.
   void ClearCache() const;
 
   const EngineConfig& config() const { return config_; }
   size_t num_threads() const { return pool_->num_threads(); }
+  bool owns_pool() const { return owned_pool_ != nullptr; }
 
  private:
   struct CachedRegion {
@@ -125,24 +228,37 @@ class InterpretationEngine {
                                          util::Rng* rng) const;
 
   /// Returns the slot whose model explains (x0, y0) and (probe, y_probe),
-  /// or SIZE_MAX. Shared (reader) lock.
+  /// or SIZE_MAX. Shared (reader) lock. `argmax` is the predicted class at
+  /// x0 (from y0) selecting the bucket scanned first.
   size_t FindMatchingRegion(const Vec& x0, const Vec& y0, const Vec& probe,
-                            const Vec& y_probe) const;
+                            const Vec& y_probe, size_t argmax) const;
 
-  /// Inserts `model` (deduplicating by fingerprint) and memoizes x0 ->
-  /// slot. Exclusive (writer) lock. Returns the slot.
+  /// Inserts `model` (deduplicating by fingerprint), memoizes x0 -> slot,
+  /// and files the slot under bucket `argmax`. Exclusive (writer) lock.
+  /// Returns the slot.
   size_t InsertRegion(api::LocalLinearModel model, uint64_t fingerprint,
-                      const Vec& x0) const;
+                      const Vec& x0, size_t argmax) const;
 
   bool RegionMatches(const api::LocalLinearModel& model, const Vec& x,
                      const Vec& y) const;
 
+  /// Async-task bookkeeping so the destructor can drain safely.
+  void BeginAsyncTask() const;
+  void EndAsyncTask() const;
+
   EngineConfig config_;
-  mutable std::unique_ptr<util::ThreadPool> pool_;
+  std::unique_ptr<util::ThreadPool> owned_pool_;  // only if num_threads > 0
+  util::ThreadPool* pool_ = nullptr;              // owned or shared
+
+  mutable std::mutex async_mutex_;
+  mutable std::condition_variable async_idle_;
+  mutable size_t async_outstanding_ = 0;
 
   mutable std::shared_mutex cache_mutex_;
   mutable std::vector<CachedRegion> regions_;
   mutable std::unordered_map<uint64_t, size_t> by_fingerprint_;
+  /// argmax class at the region's anchor -> slots, scan order by hits.
+  mutable std::unordered_map<size_t, std::vector<size_t>> by_argmax_;
   struct PairHash {
     size_t operator()(const std::pair<uint64_t, uint64_t>& k) const {
       return static_cast<size_t>(k.first ^ (k.second * 0x9e3779b97f4a7c15ULL));

@@ -1,10 +1,114 @@
 #include "interpret/openapi_method.h"
 
+#include <limits>
+#include <optional>
+
 #include "linalg/least_squares.h"
 #include "linalg/qr.h"
 #include "util/string_util.h"
 
 namespace openapi::interpret {
+namespace {
+
+/// Smallest probability whose log still has full double precision. Zero
+/// AND subnormal probabilities count as saturated: a subnormal's ulp
+/// error blows up log's accuracy far beyond consistency_tol, so a
+/// subnormal y0[k] is just as unshrinkable a failure at the x0 row as an
+/// exact zero. The detector, the reference pick, and the masked solver
+/// must all agree on this threshold.
+constexpr double kMinUsableProb = std::numeric_limits<double>::min();
+
+/// Fast path (no saturation at x0): one shared QR factorization for all
+/// C-1 systems over the full row set {x0, probes...}. Returns nullopt when
+/// the probe set is degenerate, a probe saturated, or any pair is
+/// inconsistent — all of which mean "shrink and redraw".
+std::optional<std::vector<CoreParameters>> SolvePairsSharedQr(
+    const Vec& x0, const std::vector<Vec>& probes,
+    const std::vector<Vec>& predictions, size_t ref, size_t num_classes,
+    double tol) {
+  Matrix a = BuildCoefficientMatrix(x0, probes);
+  auto qr = linalg::QrDecomposition::Factor(a);
+  if (!qr.ok()) return std::nullopt;  // degenerate probes (probability 0)
+
+  std::vector<CoreParameters> pairs;
+  pairs.reserve(num_classes - 1);
+  for (size_t c_prime = 0; c_prime < num_classes; ++c_prime) {
+    if (c_prime == ref) continue;
+    auto rhs = BuildLogOddsRhs(predictions, ref, c_prime);
+    if (!rhs.ok()) return std::nullopt;  // probe saturation: shrink, retry
+    linalg::LeastSquaresSolution solution = qr->Solve(*rhs);
+    if (!linalg::IsConsistent(solution, *rhs, tol)) return std::nullopt;
+    CoreParameters pair;
+    pair.b = solution.x[0];
+    pair.d.assign(solution.x.begin() + 1, solution.x.end());
+    pairs.push_back(std::move(pair));
+  }
+  return pairs;
+}
+
+/// Outcome of the saturation path's attempt. The distinction matters for
+/// the retry policy: an inconsistent system is the boundary-crossing
+/// signal and wants a SMALLER hypercube, while "too few usable rows" means
+/// the probe draw landed mostly on the saturated side — a halfspace
+/// through x0 that shrinking can never escape — and wants a plain redraw
+/// at the SAME edge.
+enum class MaskedOutcome { kOk, kTooFewRows, kShrink };
+
+/// Saturation path: some y0[k] underflowed to 0, so rows of a pair's
+/// system can be non-finite no matter how small the hypercube gets. Each
+/// pair keeps only the rows where both of its probabilities have full
+/// double precision (subnormals are treated as saturated: their log would
+/// carry quantization error far above consistency_tol and poison the
+/// residual test); the caller compensates with a doubled probe budget so
+/// the surviving system stays overdetermined (>= d+2 rows), preserving
+/// the consistency certificate of Theorem 2. Pairs get their own QR
+/// because their row masks differ.
+MaskedOutcome SolvePairsMaskedRows(const Vec& x0,
+                                   const std::vector<Vec>& probes,
+                                   const std::vector<Vec>& predictions,
+                                   size_t ref, size_t num_classes,
+                                   double tol,
+                                   std::vector<CoreParameters>* pairs) {
+  const size_t d = x0.size();
+  pairs->clear();
+  pairs->reserve(num_classes - 1);
+  for (size_t c_prime = 0; c_prime < num_classes; ++c_prime) {
+    if (c_prime == ref) continue;
+    // Row 0 is x0; row i+1 is probes[i].
+    std::vector<size_t> rows;
+    rows.reserve(predictions.size());
+    for (size_t row = 0; row < predictions.size(); ++row) {
+      if (predictions[row][ref] >= kMinUsableProb &&
+          predictions[row][c_prime] >= kMinUsableProb) {
+        rows.push_back(row);
+      }
+    }
+    if (rows.size() < d + 2) return MaskedOutcome::kTooFewRows;
+    Matrix a(rows.size(), d + 1);
+    Vec rhs(rows.size());
+    for (size_t k = 0; k < rows.size(); ++k) {
+      const Vec& point = rows[k] == 0 ? x0 : probes[rows[k] - 1];
+      a(k, 0) = 1.0;
+      for (size_t j = 0; j < d; ++j) a(k, j + 1) = point[j];
+      auto odds = LogOdds(predictions[rows[k]], ref, c_prime);
+      OPENAPI_CHECK(odds.ok());  // finite by the mask above
+      rhs[k] = *odds;
+    }
+    auto qr = linalg::QrDecomposition::Factor(a);
+    if (!qr.ok()) return MaskedOutcome::kShrink;
+    linalg::LeastSquaresSolution solution = qr->Solve(rhs);
+    if (!linalg::IsConsistent(solution, rhs, tol)) {
+      return MaskedOutcome::kShrink;
+    }
+    CoreParameters pair;
+    pair.b = solution.x[0];
+    pair.d.assign(solution.x.begin() + 1, solution.x.end());
+    pairs->push_back(std::move(pair));
+  }
+  return MaskedOutcome::kOk;
+}
+
+}  // namespace
 
 OpenApiInterpreter::OpenApiInterpreter(OpenApiConfig config)
     : config_(config) {
@@ -16,6 +120,21 @@ OpenApiInterpreter::OpenApiInterpreter(OpenApiConfig config)
 Result<Interpretation> OpenApiInterpreter::Interpret(
     const api::PredictionApi& api, const Vec& x0, size_t c,
     util::Rng* rng) const {
+  return InterpretCounted(api, x0, c, rng, nullptr);
+}
+
+Result<Interpretation> OpenApiInterpreter::InterpretCounted(
+    const api::PredictionApi& api, const Vec& x0, size_t c, util::Rng* rng,
+    uint64_t* queries_consumed) const {
+  uint64_t consumed = 0;
+  Result<Interpretation> result = InterpretImpl(api, x0, c, rng, &consumed);
+  if (queries_consumed != nullptr) *queries_consumed = consumed;
+  return result;
+}
+
+Result<Interpretation> OpenApiInterpreter::InterpretImpl(
+    const api::PredictionApi& api, const Vec& x0, size_t c, util::Rng* rng,
+    uint64_t* consumed) const {
   const size_t d = api.dim();
   const size_t num_classes = api.num_classes();
   if (x0.size() != d) {
@@ -29,59 +148,77 @@ Result<Interpretation> OpenApiInterpreter::Interpret(
   }
 
   const Vec y0 = api.Predict(x0);
+  *consumed += 1;
+
+  // Saturation analysis at the anchor. A class whose probability
+  // underflows at x0 (zero or subnormal) makes that class's log-ratios
+  // non-finite or hopelessly imprecise in the x0 row of every iteration —
+  // shrinking can never fix it. Solve against
+  // a reference that cannot saturate (argmax(y0) >= 1/C) and with per-pair
+  // row masking; the doubled probe budget keeps masked systems
+  // overdetermined. The requested class's pairs are recovered from the
+  // reference pairs by ConvertReferencePairs.
+  bool x0_saturated = false;
+  for (double p : y0) x0_saturated = x0_saturated || p < kMinUsableProb;
+  const size_t ref = y0[c] >= kMinUsableProb ? c : linalg::ArgMax(y0);
+  const size_t probes_per_iter = x0_saturated ? 2 * (d + 1) : d + 1;
 
   double r = config_.initial_edge;
-  for (size_t iter = 0; iter < config_.max_iterations; ++iter, r *= config_.shrink_factor) {
-    // Sample d+1 probes; together with x0 they give the d+2 equations of
-    // Ω_{d+2} (Algorithm 1 line 2). All probes of one iteration go to the
-    // endpoint as a single batched request.
-    std::vector<Vec> probes = SampleHypercube(x0, r, d + 1, rng);
+  for (size_t iter = 0; iter < config_.max_iterations; ++iter) {
+    // Sample the iteration's probes; together with x0 they give the
+    // equations of Ω (Algorithm 1 line 2). All probes of one iteration go
+    // to the endpoint as a single batched request.
+    std::vector<Vec> probes = SampleHypercube(x0, r, probes_per_iter, rng);
     std::vector<Vec> predictions = api.PredictBatch(probes);
+    *consumed += probes.size();
     predictions.insert(predictions.begin(), y0);
 
-    // One shared QR factorization for all C-1 systems.
-    Matrix a = BuildCoefficientMatrix(x0, probes);
-    auto qr = linalg::QrDecomposition::Factor(a);
-    if (!qr.ok()) continue;  // degenerate probe set (probability 0): redraw
-
-    std::vector<CoreParameters> pairs;
-    pairs.reserve(num_classes - 1);
-    bool all_consistent = true;
-    for (size_t c_prime = 0; c_prime < num_classes && all_consistent;
-         ++c_prime) {
-      if (c_prime == c) continue;
-      auto rhs = BuildLogOddsRhs(predictions, c, c_prime);
-      if (!rhs.ok()) {
-        all_consistent = false;  // softmax saturation: shrink and retry
-        break;
+    std::optional<std::vector<CoreParameters>> ref_pairs;
+    if (x0_saturated) {
+      std::vector<CoreParameters> masked;
+      switch (SolvePairsMaskedRows(x0, probes, predictions, ref,
+                                   num_classes, config_.consistency_tol,
+                                   &masked)) {
+        case MaskedOutcome::kOk:
+          ref_pairs = std::move(masked);
+          break;
+        case MaskedOutcome::kTooFewRows:
+          // The draw landed mostly on the saturated halfspace; shrinking
+          // cannot change which side a symmetric hypercube covers, so
+          // redraw at the same edge.
+          continue;
+        case MaskedOutcome::kShrink:
+          r *= config_.shrink_factor;
+          continue;
       }
-      linalg::LeastSquaresSolution solution = qr->Solve(*rhs);
-      if (!linalg::IsConsistent(solution, *rhs, config_.consistency_tol)) {
-        all_consistent = false;
-        break;
+    } else {
+      ref_pairs = SolvePairsSharedQr(x0, probes, predictions, ref,
+                                     num_classes, config_.consistency_tol);
+      if (!ref_pairs.has_value()) {
+        r *= config_.shrink_factor;
+        continue;
       }
-      CoreParameters pair;
-      pair.b = solution.x[0];
-      pair.d.assign(solution.x.begin() + 1, solution.x.end());
-      pairs.push_back(std::move(pair));
     }
-    if (!all_consistent) continue;
 
+    std::vector<CoreParameters> pairs =
+        ConvertReferencePairs(*ref_pairs, ref, c);
     Interpretation out;
     out.dc = CombinePairEstimates(pairs);
     out.pairs = std::move(pairs);
     out.probes = std::move(probes);
     out.iterations = iter + 1;
     out.edge_length = r;
-    // Exact local accounting (1 for x0, d+1 per iteration) instead of a
-    // query-counter delta, which would also pick up concurrent callers'
-    // queries when the api is shared across the interpretation engine.
-    out.queries = 1 + out.iterations * (d + 1);
+    // Exact local accounting (1 for x0, probes_per_iter per iteration)
+    // instead of a query-counter delta, which would also pick up
+    // concurrent callers' queries when the api is shared across the
+    // interpretation engine.
+    out.queries = *consumed;
     return out;
   }
   return Status::DidNotConverge(util::StrFormat(
-      "no consistent probe set within %zu iterations (final r=%.3g)",
-      config_.max_iterations, r));
+      "no consistent probe set within %zu iterations (final r=%.3g%s)",
+      config_.max_iterations, r,
+      x0_saturated ? ", saturated class at x0" : ""));
 }
 
 }  // namespace openapi::interpret

@@ -16,8 +16,24 @@
 //    bench_ablation quantifies the win; correctness is unchanged.
 //  * "Ω_{d+2} has a solution" becomes a residual test: the least-squares
 //    residual must satisfy ||A beta - rhs||_inf <= tol * (1 + ||rhs||_inf).
-//  * Softmax saturation (some API probability underflowing to 0) is
-//    reported as an inconsistent attempt, triggering the same shrink.
+//  * Softmax saturation at a probe (some probability underflowing to 0 away
+//    from x0) is reported as an inconsistent attempt, triggering the same
+//    shrink.
+//  * Softmax saturation at x0 itself — y0[k] == 0 for some class k — can
+//    never be shrunk away, so it gets a dedicated recovery path instead of
+//    burning the full iteration budget: the solve switches its reference
+//    class to argmax(y0) (whose probability is >= 1/C, never saturated),
+//    doubles the probe budget, drops each pair's unusable rows — zero or
+//    subnormal probabilities, whose logs would poison the residual test —
+//    while keeping the system overdetermined so the consistency
+//    certificate survives, and converts the recovered pairs back to the
+//    requested class algebraically (ConvertReferencePairs). A draw that
+//    leaves too few usable rows is retried at the same edge (the
+//    saturated halfspace through x0 does not shrink away); only a genuine
+//    inconsistency still halves the hypercube. Extraction callers that
+//    pin the reference to class 0 inherit the fix: the converted pairs are
+//    reference-0 pairs, re-canonicalized to the column-0-pinned gauge by
+//    CanonicalModelFromPairs as usual.
 
 #ifndef OPENAPI_INTERPRET_OPENAPI_METHOD_H_
 #define OPENAPI_INTERPRET_OPENAPI_METHOD_H_
@@ -48,14 +64,31 @@ class OpenApiInterpreter : public BlackBoxInterpreter {
   /// exact D_c, the final probe set, per-pair core parameters, and the
   /// number of shrink iterations. Fails with DidNotConverge only if no
   /// consistent probe set was found within max_iterations (probability-0
-  /// boundary case, or an API that rounds its probabilities).
+  /// boundary case, an API that rounds its probabilities, or a class that
+  /// saturates throughout the probed neighborhood).
   Result<Interpretation> Interpret(const api::PredictionApi& api,
                                    const Vec& x0, size_t c,
                                    util::Rng* rng) const override;
 
+  /// Interpret with exact cost reporting on every path: on return,
+  /// *queries_consumed (if non-null) holds the number of API queries this
+  /// call actually issued, success or failure. The interpretation engine
+  /// uses this so its aggregate accounting matches the api's atomic
+  /// query_count in every error path — a failed solve still consumed its
+  /// probes. Interpret() above is InterpretCounted with the count dropped.
+  Result<Interpretation> InterpretCounted(const api::PredictionApi& api,
+                                          const Vec& x0, size_t c,
+                                          util::Rng* rng,
+                                          uint64_t* queries_consumed) const;
+
   const OpenApiConfig& config() const { return config_; }
 
  private:
+  Result<Interpretation> InterpretImpl(const api::PredictionApi& api,
+                                       const Vec& x0, size_t c,
+                                       util::Rng* rng,
+                                       uint64_t* consumed) const;
+
   OpenApiConfig config_;
 };
 

@@ -12,6 +12,7 @@
 #ifndef OPENAPI_OPENAPI_H_
 #define OPENAPI_OPENAPI_H_
 
+#include "api/api_replica_set.h"
 #include "api/ground_truth.h"
 #include "api/plm.h"
 #include "api/prediction_api.h"

@@ -66,21 +66,52 @@ void ParallelFor(ThreadPool* pool, size_t count,
   if (count == 0) return;
   const size_t shards = std::min(pool->num_threads(), count);
   const size_t block = (count + shards - 1) / shards;
+
+  // Per-call latch: this call only waits for its own shards, so several
+  // clients can interleave work on one shared pool.
+  struct Latch {
+    std::mutex mutex;
+    std::condition_variable done;
+    size_t pending = 0;
+  } latch;
+
+  size_t num_blocks = 0;
   for (size_t shard = 0; shard < shards; ++shard) {
+    if (shard * block < count) ++num_blocks;
+  }
+  {
+    std::unique_lock<std::mutex> lock(latch.mutex);
+    latch.pending = num_blocks - 1;  // block 0 runs inline below
+  }
+  for (size_t shard = 1; shard < num_blocks; ++shard) {
     size_t begin = shard * block;
     size_t end = std::min(begin + block, count);
-    if (begin >= end) break;
-    pool->Submit([begin, end, &body] {
+    pool->Submit([begin, end, &body, &latch] {
       for (size_t i = begin; i < end; ++i) body(i);
+      std::unique_lock<std::mutex> lock(latch.mutex);
+      if (--latch.pending == 0) latch.done.notify_all();
     });
   }
-  pool->Wait();
+  for (size_t i = 0; i < std::min(block, count); ++i) body(i);
+  std::unique_lock<std::mutex> lock(latch.mutex);
+  latch.done.wait(lock, [&latch] { return latch.pending == 0; });
 }
 
 size_t DefaultThreadCount(size_t max_threads) {
   size_t hw = std::thread::hardware_concurrency();
   if (hw == 0) hw = 1;
+  if (max_threads == 0) return hw;
   return std::clamp<size_t>(hw, 1, max_threads);
+}
+
+ThreadPool* SharedThreadPool(size_t num_threads) {
+  // Leaked on purpose: the shared workers must outlive every
+  // static-duration client, and joining threads during static destruction
+  // is a shutdown hazard. Magic-static initialization makes the
+  // first-caller size race-free.
+  static ThreadPool* pool =
+      new ThreadPool(num_threads > 0 ? num_threads : DefaultThreadCount());
+  return pool;
 }
 
 }  // namespace openapi::util

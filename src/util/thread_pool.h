@@ -1,4 +1,5 @@
-// Fixed-size worker pool with a ParallelFor helper.
+// Fixed-size worker pool with a ParallelFor helper and a process-wide
+// shared pool.
 //
 // The evaluation harnesses interpret hundreds of instances independently;
 // ParallelFor shards that loop across cores. Work items must be
@@ -6,6 +7,17 @@
 // its own util::Rng fork, so results stay deterministic for a fixed shard
 // count (the helpers always shard by index block, not by scheduling
 // order).
+//
+// ParallelFor tracks completion with a per-call latch rather than
+// ThreadPool::Wait(), so several clients (multiple engines, replica sets,
+// concurrent InterpretAll calls) can share one pool without waiting on
+// each other's work. Do not call ParallelFor from inside a task running on
+// the same pool: the caller would block a worker while its shards sit
+// behind it in the queue.
+//
+// SharedThreadPool() is the lazily constructed process-wide pool the
+// serving layer borrows by default. The first caller fixes its size; it is
+// intentionally leaked so worker threads live for the whole process.
 
 #ifndef OPENAPI_UTIL_THREAD_POOL_H_
 #define OPENAPI_UTIL_THREAD_POOL_H_
@@ -33,7 +45,9 @@ class ThreadPool {
   /// Enqueues one task.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished. On a shared pool this
+  /// includes other clients' tasks; prefer ParallelFor's per-call latch (or
+  /// futures) when the pool is shared.
   void Wait();
 
   size_t num_threads() const { return workers_.size(); }
@@ -53,11 +67,23 @@ class ThreadPool {
 /// Runs body(i) for i in [0, count) across `pool`, blocking until done.
 /// Iterations are grouped into contiguous blocks (one per thread) so any
 /// per-block state (e.g., RNG forks) is deterministic in the thread count.
+/// Completion is tracked per call, so concurrent ParallelFor calls on one
+/// shared pool do not wait on each other's tasks. The first block runs
+/// inline on the calling thread.
 void ParallelFor(ThreadPool* pool, size_t count,
                  const std::function<void(size_t)>& body);
 
-/// Hardware concurrency clamped to [1, max_threads].
-size_t DefaultThreadCount(size_t max_threads = 16);
+/// Hardware concurrency, optionally clamped to [1, max_threads].
+/// max_threads == 0 means uncapped: use everything the hardware reports.
+/// (An earlier revision silently capped at 16 regardless of hardware; the
+/// cap is now opt-in and caller-controlled.)
+size_t DefaultThreadCount(size_t max_threads = 0);
+
+/// The process-wide shared pool. Lazily constructed on first use: the
+/// first caller fixes the size (num_threads == 0 means
+/// DefaultThreadCount()); later calls return the same pool and ignore the
+/// argument. Never destroyed — safe to use from static-duration objects.
+ThreadPool* SharedThreadPool(size_t num_threads = 0);
 
 }  // namespace openapi::util
 

@@ -1,0 +1,125 @@
+// ApiReplicaSet: sharding probe traffic across N replicas must change
+// nothing observable (same predictions, same totals) while the
+// per-replica counters account for every sample exactly.
+
+#include "api/api_replica_set.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/exactness.h"
+#include "interpret/interpretation_engine.h"
+#include "nn/plnn.h"
+
+namespace openapi::api {
+namespace {
+
+nn::Plnn MakeNet(uint64_t seed = 90) {
+  util::Rng rng(seed);
+  return nn::Plnn({6, 12, 8, 3}, &rng);
+}
+
+TEST(ApiReplicaSetTest, PredictBatchBitMatchesSingleEndpointWhenExact) {
+  // Without noise/rounding every replica is the same deterministic
+  // function, so sharding is invisible — including on batches large
+  // enough to take the concurrent dispatch path.
+  nn::Plnn net = MakeNet();
+  PredictionApi single(&net);
+  ApiReplicaSet set(&net, 4);
+  util::Rng rng(7);
+  std::vector<Vec> xs;
+  for (size_t i = 0; i < 200; ++i) {
+    xs.push_back(rng.UniformVector(6, 0.0, 1.0));
+  }
+  std::vector<Vec> expected = single.PredictBatch(xs);
+  std::vector<Vec> sharded = set.PredictBatch(xs);
+  ASSERT_EQ(sharded.size(), expected.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_EQ(sharded[i], expected[i]) << "sample " << i;
+  }
+  EXPECT_EQ(set.query_count(), 200u);
+}
+
+TEST(ApiReplicaSetTest, SinglePredictsRoundRobinAcrossReplicas) {
+  nn::Plnn net = MakeNet(91);
+  ApiReplicaSet set(&net, 4);
+  util::Rng rng(8);
+  for (size_t i = 0; i < 8; ++i) {
+    set.Predict(rng.UniformVector(6, 0.0, 1.0));
+  }
+  for (size_t r = 0; r < 4; ++r) {
+    EXPECT_EQ(set.replica_query_count(r), 2u) << "replica " << r;
+  }
+  EXPECT_EQ(set.query_count(), 8u);
+}
+
+TEST(ApiReplicaSetTest, BatchShardsContiguouslyWithExactPerReplicaCounts) {
+  nn::Plnn net = MakeNet(92);
+  ApiReplicaSet set(&net, 4);
+  util::Rng rng(9);
+  std::vector<Vec> xs;
+  for (size_t i = 0; i < 10; ++i) {
+    xs.push_back(rng.UniformVector(6, 0.0, 1.0));
+  }
+  set.PredictBatch(xs);  // blocks of ceil(10/4) = 3: 3 + 3 + 3 + 1
+  EXPECT_EQ(set.replica_query_count(0), 3u);
+  EXPECT_EQ(set.replica_query_count(1), 3u);
+  EXPECT_EQ(set.replica_query_count(2), 3u);
+  EXPECT_EQ(set.replica_query_count(3), 1u);
+  EXPECT_EQ(set.query_count(), 10u);
+  set.ResetQueryCount();
+  EXPECT_EQ(set.query_count(), 0u);
+}
+
+TEST(ApiReplicaSetTest, EngineTotalsEqualTheSumOfReplicaCounters) {
+  // The acceptance check of the serving layer: drive the interpretation
+  // engine through a 4-replica set and require the engine's reported
+  // query total, the set's total, and the sum of per-replica counters to
+  // agree exactly — no sample lost or double-counted anywhere in
+  // pool/engine/API-boundary handoffs.
+  nn::Plnn net = MakeNet(93);
+  ApiReplicaSet set(&net, 4);
+  interpret::InterpretationEngine engine;
+  util::Rng rng(10);
+  std::vector<interpret::EngineRequest> requests;
+  for (size_t i = 0; i < 30; ++i) {
+    requests.push_back({rng.UniformVector(6, 0.05, 0.95), i % 3});
+  }
+  auto results = engine.InterpretAll(set, requests, /*seed=*/101);
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << results[i].status().ToString();
+    EXPECT_LT(
+        eval::L1Dist(net, requests[i].x0, requests[i].c, results[i]->dc),
+        1e-6)
+        << "request " << i;
+  }
+  uint64_t replica_sum = 0;
+  for (size_t r = 0; r < set.num_replicas(); ++r) {
+    replica_sum += set.replica_query_count(r);
+  }
+  EXPECT_EQ(replica_sum, set.query_count());
+  EXPECT_EQ(engine.stats().queries, set.query_count());
+  EXPECT_GT(replica_sum, 0u);
+}
+
+TEST(ApiReplicaSetTest, InterpretationThroughReplicasStaysExact) {
+  // The closed form only needs the API contract, not a single endpoint:
+  // solving entirely through the sharded set recovers the same exact
+  // decision features.
+  nn::Plnn net = MakeNet(94);
+  PredictionApi single(&net);
+  ApiReplicaSet set(&net, 3);
+  interpret::OpenApiInterpreter interpreter;
+  util::Rng rng_single(11);
+  util::Rng rng_set(11);
+  Vec x0 = rng_single.UniformVector(6, 0.1, 0.9);
+  rng_set.UniformVector(6, 0.1, 0.9);  // keep the streams aligned
+  auto via_single = interpreter.Interpret(single, x0, 1, &rng_single);
+  auto via_set = interpreter.Interpret(set, x0, 1, &rng_set);
+  ASSERT_TRUE(via_single.ok());
+  ASSERT_TRUE(via_set.ok());
+  EXPECT_EQ(via_set->dc, via_single->dc);
+  EXPECT_EQ(via_set->queries, via_single->queries);
+}
+
+}  // namespace
+}  // namespace openapi::api

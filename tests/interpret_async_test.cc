@@ -1,0 +1,253 @@
+// The async serving layer: SubmitAsync futures and InterpretStream must
+// produce exactly the results of the synchronous paths — identical content
+// per request index at any thread count and any completion order — while
+// racing safely with ClearCache and engine destruction.
+
+#include <future>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "eval/exactness.h"
+#include "interpret/interpretation_engine.h"
+#include "lmt/lmt.h"
+#include "nn/plnn.h"
+
+namespace openapi::interpret {
+namespace {
+
+nn::Plnn MakeNet(uint64_t seed = 55) {
+  util::Rng rng(seed);
+  return nn::Plnn({6, 10, 8, 3}, &rng);
+}
+
+lmt::LogisticModelTree MakeTree(uint64_t seed = 1) {
+  util::Rng data_rng(seed);
+  data::Dataset train =
+      data::GenerateGaussianBlobs(5, 3, 400, 0.08, &data_rng);
+  lmt::LmtConfig config;
+  config.min_split_size = 60;
+  config.max_depth = 3;
+  config.accuracy_threshold = 1.01;
+  config.leaf_config.max_iters = 80;
+  return lmt::LogisticModelTree::Fit(train, config);
+}
+
+std::vector<EngineRequest> RandomRequests(size_t n, size_t d,
+                                          size_t num_classes,
+                                          uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<EngineRequest> requests;
+  requests.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    requests.push_back({rng.UniformVector(d, 0.05, 0.95), i % num_classes});
+  }
+  return requests;
+}
+
+TEST(SubmitAsyncTest, BitMatchesInterpretAllWithoutCache) {
+  // With the region cache off each request is an independent solve on RNG
+  // stream i, so the future results must be bitwise identical to
+  // InterpretAll's — the async plumbing adds nothing but scheduling.
+  nn::Plnn net = MakeNet(61);
+  std::vector<EngineRequest> requests = RandomRequests(16, 6, 3, 41);
+  EngineConfig config;
+  config.use_region_cache = false;
+
+  InterpretationEngine sync_engine(config);
+  api::PredictionApi sync_api(&net);
+  auto expected = sync_engine.InterpretAll(sync_api, requests, /*seed=*/43);
+
+  InterpretationEngine async_engine(config);
+  api::PredictionApi async_api(&net);
+  std::vector<std::future<Result<Interpretation>>> futures;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    futures.push_back(
+        async_engine.SubmitAsync(async_api, requests[i], /*seed=*/43, i));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    Result<Interpretation> got = futures[i].get();
+    ASSERT_TRUE(got.ok()) << "request " << i;
+    ASSERT_TRUE(expected[i].ok());
+    EXPECT_EQ(got->dc, expected[i]->dc) << "request " << i;
+    EXPECT_EQ(got->queries, expected[i]->queries);
+  }
+  EXPECT_EQ(async_engine.stats().queries, async_api.query_count());
+}
+
+TEST(SubmitAsyncTest, SharesTheRegionCacheWithSyncCalls) {
+  lmt::LogisticModelTree tree = MakeTree(2);
+  api::PredictionApi api(&tree);
+  InterpretationEngine engine;
+  util::Rng rng(5);
+  Vec x0 = rng.UniformVector(5, 0.2, 0.8);
+  ASSERT_TRUE(engine.Interpret(api, x0, 0, /*seed=*/47, 0).ok());
+  // The async repeat of the same instance must be a point-memo hit.
+  auto future = engine.SubmitAsync(api, {x0, 1}, /*seed=*/47, 1);
+  Result<Interpretation> repeat = future.get();
+  ASSERT_TRUE(repeat.ok());
+  EXPECT_EQ(repeat->queries, 0u);
+  EXPECT_GE(engine.stats().point_memo_hits, 1u);
+  EXPECT_EQ(engine.stats().queries, api.query_count());
+}
+
+TEST(SubmitAsyncTest, RacingClearCacheKeepsResultsExactAndCountsAligned) {
+  // Hammer the engine with async submissions while clearing the cache
+  // underneath them. Every answer must still be exact (cache hits
+  // re-validate against the API, misses re-extract) and the engine's
+  // query accounting must match the endpoint's atomic counter exactly —
+  // including requests that raced a ClearCache mid-flight.
+  lmt::LogisticModelTree tree = MakeTree(3);
+  api::PredictionApi api(&tree);
+  EngineConfig config;
+  config.num_threads = 4;
+  InterpretationEngine engine(config);
+  std::vector<EngineRequest> requests = RandomRequests(120, 5, 3, 53);
+  std::vector<std::future<Result<Interpretation>>> futures;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    futures.push_back(engine.SubmitAsync(api, requests[i], /*seed=*/59, i));
+    if (i % 7 == 0) engine.ClearCache();
+  }
+  engine.ClearCache();  // one more race while the tail is still running
+  for (size_t i = 0; i < futures.size(); ++i) {
+    Result<Interpretation> result = futures[i].get();
+    ASSERT_TRUE(result.ok())
+        << "request " << i << ": " << result.status().ToString();
+    EXPECT_LT(eval::L1Dist(tree, requests[i].x0, requests[i].c, result->dc),
+              1e-6)
+        << "request " << i;
+  }
+  EXPECT_EQ(engine.stats().queries, api.query_count());
+  EXPECT_EQ(engine.stats().failures, 0u);
+}
+
+TEST(InterpretStreamTest, YieldsEveryRequestExactlyOnceAsItCompletes) {
+  lmt::LogisticModelTree tree = MakeTree(4);
+  api::PredictionApi api(&tree);
+  InterpretationEngine engine;
+  std::vector<EngineRequest> requests = RandomRequests(24, 5, 3, 61);
+  InterpretationStream stream =
+      engine.InterpretStream(api, requests, /*seed=*/67);
+  EXPECT_EQ(stream.total(), requests.size());
+  std::vector<int> seen(requests.size(), 0);
+  while (auto item = stream.Next()) {
+    ASSERT_LT(item->index, requests.size());
+    ++seen[item->index];
+    ASSERT_TRUE(item->result.ok()) << item->result.status().ToString();
+    EXPECT_LT(eval::L1Dist(tree, requests[item->index].x0,
+                           requests[item->index].c, item->result->dc),
+              1e-6);
+  }
+  for (size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], 1) << "request " << i;
+  }
+  EXPECT_EQ(stream.delivered(), requests.size());
+  EXPECT_FALSE(stream.Next().has_value());  // drained stays drained
+  EXPECT_EQ(engine.stats().queries, api.query_count());
+}
+
+TEST(InterpretStreamTest, CompletionOrderNeverChangesResultContent) {
+  // Streaming yields in completion order, which is scheduling-dependent —
+  // but the content for request i is pinned by (seed, i). With the cache
+  // off, reassembling the stream by index must reproduce InterpretAll
+  // bitwise at a different thread count.
+  nn::Plnn net = MakeNet(62);
+  std::vector<EngineRequest> requests = RandomRequests(18, 6, 3, 71);
+  EngineConfig stream_config;
+  stream_config.use_region_cache = false;
+  stream_config.num_threads = 4;
+  InterpretationEngine stream_engine(stream_config);
+  api::PredictionApi stream_api(&net);
+  InterpretationStream stream =
+      stream_engine.InterpretStream(stream_api, requests, /*seed=*/73);
+
+  EngineConfig sync_config;
+  sync_config.use_region_cache = false;
+  sync_config.num_threads = 1;
+  InterpretationEngine sync_engine(sync_config);
+  api::PredictionApi sync_api(&net);
+  auto expected = sync_engine.InterpretAll(sync_api, requests, /*seed=*/73);
+
+  std::vector<std::optional<Vec>> streamed(requests.size());
+  while (auto item = stream.Next()) {
+    ASSERT_TRUE(item->result.ok());
+    streamed[item->index] = item->result->dc;
+  }
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_TRUE(streamed[i].has_value());
+    ASSERT_TRUE(expected[i].ok());
+    EXPECT_EQ(*streamed[i], expected[i]->dc) << "request " << i;
+  }
+}
+
+TEST(InterpretStreamTest, EmptyBatchDrainsImmediately) {
+  nn::Plnn net = MakeNet(63);
+  api::PredictionApi api(&net);
+  InterpretationEngine engine;
+  InterpretationStream stream = engine.InterpretStream(api, {}, 1);
+  EXPECT_EQ(stream.total(), 0u);
+  EXPECT_FALSE(stream.Next().has_value());
+}
+
+TEST(InterpretStreamTest, SurvivesEngineDestruction) {
+  // The engine destructor drains its async tasks, so a stream may be
+  // consumed after the engine is gone: every item is already queued in
+  // the shared state by then.
+  nn::Plnn net = MakeNet(64);
+  api::PredictionApi api(&net);
+  std::vector<EngineRequest> requests = RandomRequests(8, 6, 3, 79);
+  InterpretationStream stream;
+  {
+    InterpretationEngine engine;
+    stream = engine.InterpretStream(api, requests, /*seed=*/83);
+  }  // blocks until all 8 results are queued
+  size_t count = 0;
+  while (auto item = stream.Next()) {
+    ASSERT_TRUE(item->result.ok());
+    ++count;
+  }
+  EXPECT_EQ(count, requests.size());
+}
+
+TEST(SharedPoolTest, EnginesBorrowTheProcessPoolByDefault) {
+  EngineConfig borrowed;
+  InterpretationEngine a(borrowed);
+  InterpretationEngine b(borrowed);
+  EXPECT_FALSE(a.owns_pool());
+  EXPECT_FALSE(b.owns_pool());
+  EXPECT_EQ(a.num_threads(), b.num_threads());
+  EXPECT_EQ(a.num_threads(), util::SharedThreadPool()->num_threads());
+
+  EngineConfig owned;
+  owned.num_threads = 2;
+  InterpretationEngine c(owned);
+  EXPECT_TRUE(c.owns_pool());
+  EXPECT_EQ(c.num_threads(), 2u);
+}
+
+TEST(SharedPoolTest, ConcurrentInterpretAllCallsShareOnePool) {
+  // Two engines on the shared pool running batches concurrently: the
+  // per-call latch in ParallelFor must keep their completions separate.
+  lmt::LogisticModelTree tree = MakeTree(5);
+  api::PredictionApi api_a(&tree);
+  api::PredictionApi api_b(&tree);
+  InterpretationEngine engine_a;
+  InterpretationEngine engine_b;
+  std::vector<EngineRequest> requests = RandomRequests(20, 5, 3, 89);
+  auto task = std::async(std::launch::async, [&] {
+    return engine_a.InterpretAll(api_a, requests, /*seed=*/97);
+  });
+  auto results_b = engine_b.InterpretAll(api_b, requests, /*seed=*/97);
+  auto results_a = task.get();
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_TRUE(results_a[i].ok());
+    ASSERT_TRUE(results_b[i].ok());
+    EXPECT_LT(linalg::L1Distance(results_a[i]->dc, results_b[i]->dc), 1e-6);
+  }
+  EXPECT_EQ(engine_a.stats().queries, api_a.query_count());
+  EXPECT_EQ(engine_b.stats().queries, api_b.query_count());
+}
+
+}  // namespace
+}  // namespace openapi::interpret

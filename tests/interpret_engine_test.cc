@@ -204,6 +204,80 @@ TEST(InterpretationEngineTest, RejectsBadRequestsAndCountsFailures) {
   EXPECT_EQ(api.query_count(), 0u);
 }
 
+TEST(InterpretationEngineTest, ErrorPathAccountingMatchesApiCounter) {
+  // A rounding endpoint makes the closed form unreachable: every miss
+  // burns its full probe budget and fails. The failed requests consumed
+  // real queries (2 for the candidate-scan pair fetch plus the solver's
+  // probes), and the engine's totals must match the endpoint's atomic
+  // counter exactly — the seed implementation under-counted here because
+  // the returned status carried no query count.
+  nn::Plnn net = MakeNet(61);
+  api::PredictionApi api(&net, /*round_digits=*/2);
+  EngineConfig config;
+  config.num_threads = 1;
+  config.openapi.max_iterations = 4;  // fail fast
+  InterpretationEngine engine(config);
+  std::vector<EngineRequest> requests = RandomRequests(6, 6, 3, 43);
+  auto results = engine.InterpretAll(api, requests, /*seed=*/47);
+  size_t failures = 0;
+  for (const auto& r : results) {
+    if (!r.ok()) {
+      EXPECT_TRUE(r.status().IsDidNotConverge());
+      ++failures;
+    }
+  }
+  EXPECT_GT(failures, 0u);
+  EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.failures, failures);
+  EXPECT_EQ(stats.queries, api.query_count());
+
+  // Same invariant with the cache off: the uncached fan-out's failures
+  // must account their consumed probes too.
+  EngineConfig uncached = config;
+  uncached.use_region_cache = false;
+  InterpretationEngine plain_engine(uncached);
+  api::PredictionApi plain_api(&net, /*round_digits=*/2);
+  auto plain = plain_engine.InterpretAll(plain_api, requests, /*seed=*/47);
+  EXPECT_EQ(plain_engine.stats().queries, plain_api.query_count());
+}
+
+TEST(InterpretationEngineTest, BucketedCandidateScanMatchesLinearScan) {
+  // The argmax-bucketed, hit-ordered candidate scan is a pruning of the
+  // linear scan, never a behavioral change: same results, same hit/miss
+  // split, same query totals on the same request stream.
+  lmt::LogisticModelTree tree = MakeTree(6);
+  std::vector<EngineRequest> requests = RandomRequests(60, 5, 3, 59);
+
+  EngineConfig bucketed;
+  bucketed.num_threads = 1;
+  InterpretationEngine bucketed_engine(bucketed);
+  api::PredictionApi bucketed_api(&tree);
+  auto bucketed_results =
+      bucketed_engine.InterpretAll(bucketed_api, requests, /*seed=*/53);
+
+  EngineConfig linear = bucketed;
+  linear.bucket_candidates = false;
+  InterpretationEngine linear_engine(linear);
+  api::PredictionApi linear_api(&tree);
+  auto linear_results =
+      linear_engine.InterpretAll(linear_api, requests, /*seed=*/53);
+
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_TRUE(bucketed_results[i].ok());
+    ASSERT_TRUE(linear_results[i].ok());
+    EXPECT_EQ(bucketed_results[i]->dc, linear_results[i]->dc)
+        << "request " << i;
+  }
+  EngineStats b = bucketed_engine.stats();
+  EngineStats l = linear_engine.stats();
+  EXPECT_EQ(b.cache_hits, l.cache_hits);
+  EXPECT_EQ(b.cache_misses, l.cache_misses);
+  EXPECT_EQ(b.point_memo_hits, l.point_memo_hits);
+  EXPECT_EQ(b.queries, l.queries);
+  EXPECT_EQ(b.queries, bucketed_api.query_count());
+  EXPECT_GT(b.cache_hits, 0u);
+}
+
 TEST(InterpretationEngineTest, ClearCacheForcesReExtraction) {
   nn::Plnn net = MakeNet(60);
   api::PredictionApi api(&net);

@@ -83,10 +83,43 @@ TEST(ParallelForTest, MatchesSerialComputation) {
   EXPECT_DOUBLE_EQ(parallel_sum, serial_sum);
 }
 
-TEST(DefaultThreadCountTest, Clamped) {
+TEST(ParallelForTest, ConcurrentCallsOnOneSharedPoolStaySeparate) {
+  // The per-call latch must let two ParallelFor calls interleave on one
+  // pool without either returning before its own work is done.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> a(512), b(512);
+  std::thread other([&] {
+    ParallelFor(&pool, b.size(), [&](size_t i) { b[i].fetch_add(1); });
+  });
+  ParallelFor(&pool, a.size(), [&](size_t i) { a[i].fetch_add(1); });
+  for (const auto& t : a) EXPECT_EQ(t.load(), 1);
+  other.join();
+  for (const auto& t : b) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(DefaultThreadCountTest, RespectsCallerCapAndIsUncappedByDefault) {
   EXPECT_GE(DefaultThreadCount(), 1u);
   EXPECT_LE(DefaultThreadCount(4), 4u);
   EXPECT_EQ(DefaultThreadCount(1), 1u);
+  // The default is the hardware, not a hidden constant: an explicit huge
+  // cap must not change the answer (regression for the silent cap at 16).
+  EXPECT_EQ(DefaultThreadCount(), DefaultThreadCount(1u << 20));
+  size_t hw = std::thread::hardware_concurrency();
+  if (hw > 0) {
+    EXPECT_EQ(DefaultThreadCount(), hw);
+  }
+}
+
+TEST(SharedThreadPoolTest, ReturnsOneProcessWidePool) {
+  ThreadPool* first = SharedThreadPool();
+  ASSERT_NE(first, nullptr);
+  EXPECT_GE(first->num_threads(), 1u);
+  // Later calls return the same pool and ignore the sizing argument.
+  EXPECT_EQ(SharedThreadPool(), first);
+  EXPECT_EQ(SharedThreadPool(first->num_threads() + 3), first);
+  std::atomic<int> counter{0};
+  ParallelFor(first, 100, [&](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 100);
 }
 
 }  // namespace
