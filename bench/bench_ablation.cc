@@ -230,28 +230,36 @@ void AblationRegionCache(const EvalContext& ctx) {
                     std::to_string(counter.query_count()), "-", "-",
                     util::FormatDouble(max_err, 3)});
     }
-    // Cached.
+    // Cached: the engine's region-cached session on one worker (the
+    // like-for-like replacement of the deleted extract::CachedInterpreter,
+    // keeping the comparison about the cache rather than the pool).
     {
       api::PredictionApi api(target.model);
-      extract::CachedInterpreter cached;
-      util::Rng rng(kBenchSeed + 12);
+      interpret::EngineConfig config;
+      config.num_threads = 1;
+      interpret::InterpretationEngine engine(config);
+      auto session = engine.OpenSession(api);
       double max_err = 0.0;
+      size_t request_idx = 0;
       for (size_t idx : ctx.eval_idx) {
         const Vec& x0 = ctx.models.test.x(idx);
         size_t c = linalg::ArgMax(target.model->Predict(x0));
-        auto result = cached.Interpret(api, x0, c, &rng);
-        if (result.ok()) {
-          max_err = std::max(
-              max_err, eval::L1Dist(*target.oracle, x0, c, result->dc));
+        auto response =
+            session->Interpret({x0, c}, kBenchSeed + 12, request_idx++);
+        if (response.result.ok()) {
+          max_err = std::max(max_err, eval::L1Dist(*target.oracle, x0, c,
+                                                   response.result->dc));
         }
       }
+      interpret::EngineStats stats = session->stats();
+      const uint64_t hits = stats.point_memo_hits + stats.cache_hits;
       double hit_rate =
-          static_cast<double>(cached.cache_hits()) /
-          std::max<double>(1.0, static_cast<double>(cached.cache_hits() +
-                                                    cached.cache_misses()));
+          static_cast<double>(hits) /
+          std::max<double>(1.0,
+                           static_cast<double>(hits + stats.cache_misses));
       table.AddRow({target.label, "OpenAPI+cache",
                     std::to_string(api.query_count()),
-                    std::to_string(cached.cache_size()),
+                    std::to_string(session->cache_size()),
                     util::FormatDouble(hit_rate, 3),
                     util::FormatDouble(max_err, 3)});
     }

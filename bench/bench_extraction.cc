@@ -60,16 +60,17 @@ void RunPipelineComparison(const eval::TargetModel& target,
   {
     api::PredictionApi api(target.model);
     interpret::InterpretationEngine engine;
+    auto session = engine.OpenSession(api);
     util::Timer timer;
-    auto results = engine.InterpretAll(api, requests, kBenchSeed);
+    auto responses = session->InterpretAll(requests, kBenchSeed);
     double seconds = timer.ElapsedSeconds();
     size_t ok = 0;
-    for (const auto& r : results) ok += r.ok() ? 1 : 0;
+    for (const auto& r : responses) ok += r.result.ok() ? 1 : 0;
     add_row("engine (batched)", ok, seconds, api.query_count());
-    interpret::EngineStats stats = engine.stats();
+    interpret::EngineStats stats = session->stats();
     table.Print(std::cout);
     std::cout << "engine: " << engine.num_threads() << " threads, "
-              << engine.cache_size() << " cached regions, "
+              << session->cache_size() << " cached regions, "
               << stats.cache_misses << " extractions, " << stats.cache_hits
               << " cache hits, " << stats.point_memo_hits
               << " memo hits (0 queries)\n";

@@ -218,11 +218,13 @@ void InterpretAuditEngine(benchmark::State& state) {
   Cache().Ensure(d, c);
   auto requests = AuditRequests(static_cast<size_t>(state.range(0)), d, c);
   for (auto _ : state) {
-    // Fresh engine per iteration: the cache must be earned inside the
-    // measured region, not carried over from the previous iteration.
+    // Fresh engine + session per iteration: the cache must be earned
+    // inside the measured region, not carried over from the previous
+    // iteration.
     interpret::InterpretationEngine engine;
-    auto results = engine.InterpretAll(*Cache().api, requests, 11);
-    benchmark::DoNotOptimize(results);
+    auto session = engine.OpenSession(*Cache().api);
+    auto responses = session->InterpretAll(requests, 11);
+    benchmark::DoNotOptimize(responses);
   }
   state.SetItemsProcessed(
       static_cast<int64_t>(state.iterations() * requests.size()));
@@ -312,13 +314,14 @@ void CandidateScan(benchmark::State& state, bool bucketed) {
   config.num_threads = 1;  // measure the scan, not the pool
   config.bucket_candidates = bucketed;
   interpret::InterpretationEngine engine(config);
+  auto session = engine.OpenSession(api);
   std::vector<Vec> anchors;
   for (size_t i = 0; i < k; ++i) {
     for (size_t j = 0; j < k; ++j) {
       Vec x0 = grid.CellCenter(i, j);
       auto warmed =
-          engine.Interpret(api, x0, 0, /*seed=*/13, anchors.size());
-      if (warmed.ok()) anchors.push_back(std::move(x0));
+          session->Interpret({x0, 0}, /*seed=*/13, anchors.size());
+      if (warmed.result.ok()) anchors.push_back(std::move(x0));
     }
   }
   // Each measured lookup nudges an anchor by a fresh sub-1e-8 offset:
@@ -330,15 +333,15 @@ void CandidateScan(benchmark::State& state, bool bucketed) {
     const size_t a = next++ % anchors.size();
     Vec x0 = anchors[a];
     x0[0] += 1e-13 * static_cast<double>(++salt[a]);
-    auto result = engine.Interpret(api, x0, 0, /*seed=*/13,
-                                   /*stream=*/1'000'000 + next);
-    benchmark::DoNotOptimize(result);
+    auto response = session->Interpret({x0, 0}, /*seed=*/13,
+                                       /*stream=*/1'000'000 + next);
+    benchmark::DoNotOptimize(response);
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
   state.counters["cached_regions"] =
-      static_cast<double>(engine.cache_size());
+      static_cast<double>(session->cache_size());
   state.counters["scan_hits"] =
-      static_cast<double>(engine.stats().cache_hits);
+      static_cast<double>(session->stats().cache_hits);
 }
 
 void CandidateScanLinear(benchmark::State& state) {

@@ -62,19 +62,21 @@ int main() {
     requests.push_back({instances[i], linalg::ArgMax(predictions[i])});
   }
   interpret::InterpretationEngine engine;
-  auto results = engine.InterpretAll(api, requests, /*seed=*/17);
+  auto session = engine.OpenSession(api);
+  auto responses = session->InterpretAll(requests, /*seed=*/17);
 
   std::vector<AuditRecord> records;
   size_t failures = 0;
-  for (const auto& result : results) {
-    if (!result.ok()) {
+  for (const auto& response : responses) {
+    if (!response.result.ok()) {
       ++failures;
       continue;
     }
-    double max_w = linalg::NormInf(result->dc);
-    double total_w = linalg::Norm1(result->dc);
-    records.push_back(AuditRecord{result->iterations, result->queries,
-                                  result->edge_length,
+    const interpret::Interpretation& result = *response.result;
+    double max_w = linalg::NormInf(result.dc);
+    double total_w = linalg::Norm1(result.dc);
+    records.push_back(AuditRecord{result.iterations, response.queries,
+                                  result.edge_length,
                                   total_w > 0 ? max_w / total_w : 0.0});
   }
 
@@ -100,9 +102,9 @@ int main() {
                 util::FormatDouble(share_sum / n, 3)});
   table.Print(std::cout);
 
-  interpret::EngineStats stats = engine.stats();
+  interpret::EngineStats stats = session->stats();
   std::cout << "\nengine: " << engine.num_threads() << " threads, "
-            << engine.cache_size() << " regions extracted, "
+            << session->cache_size() << " regions extracted, "
             << stats.cache_hits << " shared across instances, "
             << stats.point_memo_hits << " repeat hits\n";
 

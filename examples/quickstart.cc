@@ -105,21 +105,22 @@ int main(int argc, char** argv) {
   interpret::EngineConfig engine_config;
   engine_config.num_threads = 1;
   interpret::InterpretationEngine engine(engine_config);
+  auto session = engine.OpenSession(api);
   std::vector<interpret::EngineRequest> requests;
   for (size_t c = 0; c < model.num_classes(); ++c) requests.push_back({x0, c});
   api.ResetQueryCount();
-  auto all_classes = engine.InterpretAll(api, requests, /*seed=*/4);
+  auto all_classes = session->InterpretAll(requests, /*seed=*/4);
   size_t exact = 0;
   for (size_t c = 0; c < all_classes.size(); ++c) {
-    if (all_classes[c].ok() &&
-        eval::L1Dist(model, x0, c, all_classes[c]->dc) < 1e-8) {
+    if (all_classes[c].result.ok() &&
+        eval::L1Dist(model, x0, c, all_classes[c].result->dc) < 1e-8) {
       ++exact;
     }
   }
   std::cout << "\nengine audit of all " << model.num_classes()
             << " classes: " << exact << " exact, " << api.query_count()
             << " total API queries ("
-            << engine.stats().point_memo_hits
+            << session->stats().point_memo_hits
             << " answered from the region cache for free)\n";
   return 0;
 }

@@ -1,10 +1,10 @@
 #include "api/api_replica_set.h"
 
 #include <algorithm>
-#include <future>
 #include <utility>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace openapi::api {
 
@@ -45,23 +45,23 @@ std::vector<Vec> ApiReplicaSet::PredictBatch(
     for (size_t i = 0; i < ys.size(); ++i) out[begin + i] = std::move(ys[i]);
   };
 
-  if (xs.size() < kConcurrentDispatchMin) {
+  util::ThreadPool* pool = xs.size() < kConcurrentDispatchMin
+                               ? nullptr
+                               : util::SharedThreadPool();
+  if (pool == nullptr || pool->OnWorkerThread() || pool->num_threads() == 1) {
+    // Small batches aren't worth the hand-off — and a shared-pool WORKER
+    // (an interpretation task probing through the set) must never block
+    // on its own pool, so it runs its shards inline. Workers therefore
+    // never wait on the queue, which is what makes the dispatch below
+    // safe for everyone else.
     for (size_t shard = 0; shard < num_shards; ++shard) run_shard(shard);
     return out;
   }
-  // Concurrent dispatch on dedicated threads. Shard assignment (and hence
-  // each replica's noise-ticket sequence) is fixed by index, so the result
-  // is identical to the sequential loop above.
-  std::vector<std::future<void>> inflight;
-  inflight.reserve(num_shards - 1);
-  for (size_t shard = 1; shard < num_shards; ++shard) {
-    inflight.push_back(
-        std::async(std::launch::async, [&run_shard, shard] {
-          run_shard(shard);
-        }));
-  }
-  run_shard(0);
-  for (std::future<void>& f : inflight) f.get();
+  // Concurrent dispatch on the process-wide shared pool (per-call latch,
+  // so concurrent batches never wait on each other's shards). Shard
+  // assignment (and hence each replica's noise-ticket sequence) is fixed
+  // by index, so the result is identical to the sequential loop above.
+  util::ParallelFor(pool, num_shards, run_shard);
   return out;
 }
 
@@ -77,6 +77,11 @@ void ApiReplicaSet::ResetQueryCount() {
 
 void ApiReplicaSet::ResetNoiseStream() {
   for (const auto& replica : replicas_) replica->ResetNoiseStream();
+  // Replaying a seeded noisy trace must also replay the ROUTING: without
+  // rewinding the round-robin ticket, the same single-Predict sequence
+  // would land on different replicas (different noise seeds) after a
+  // reset.
+  round_robin_.store(0, std::memory_order_relaxed);
 }
 
 uint64_t ApiReplicaSet::replica_query_count(size_t i) const {

@@ -14,9 +14,11 @@
 //     shards (shard r = rows [r*block, (r+1)*block)), so a given batch
 //     always lands on the same replicas with the same per-replica noise
 //     tickets regardless of dispatch timing. Large batches dispatch their
-//     shards concurrently on std::async threads (never on the shared
-//     interpretation pool — a worker waiting on its own pool would
-//     deadlock).
+//     shards on the process-wide util::SharedThreadPool — with a
+//     deadlock-free story: a caller that IS a shared-pool worker (an
+//     interpretation task probing through the set) runs its shards
+//     inline instead of blocking on its own pool, so pool workers never
+//     wait on the queue and every latch eventually drains.
 //
 // Accounting is exact by construction: each replica keeps its own atomic
 // query counter, query_count() is their sum, and every sample increments

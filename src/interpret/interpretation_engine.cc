@@ -5,11 +5,17 @@
 #include <cstring>
 
 #include "api/ground_truth.h"
+#include "util/timer.h"
 
 namespace openapi::interpret {
 namespace {
 
 constexpr size_t kNoSlot = static_cast<size_t>(-1);
+
+/// Bound on the point-memo keys filed under ONE region (FIFO within the
+/// region): together with the region capacity this bounds the whole memo,
+/// closing the "point memo grows without bound" hole.
+constexpr size_t kMaxMemoPointsPerRegion = 256;
 
 /// Core parameters of `model` for class c against every c' != c, in the
 /// order Interpretation::pairs documents.
@@ -35,7 +41,7 @@ std::vector<CoreParameters> PairsFromModel(const api::LocalLinearModel& model,
 #pragma GCC diagnostic push
 #pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
 #endif
-std::optional<InterpretationStream::Item> InterpretationStream::Next() {
+std::optional<SessionStream::Item> SessionStream::Next() {
   if (shared_ == nullptr || delivered_ == total_) return std::nullopt;
   std::unique_lock<std::mutex> lock(shared_->mutex);
   // delivered_ < total_, so an undelivered item is either queued already
@@ -47,40 +53,57 @@ std::optional<InterpretationStream::Item> InterpretationStream::Next() {
   ++delivered_;
   return item;
 }
+
+std::optional<InterpretationStream::Item> InterpretationStream::Next() {
+  std::optional<SessionStream::Item> item = inner_.Next();
+  if (!item.has_value()) return std::nullopt;
+  std::optional<Item> legacy;
+  legacy.emplace(Item{item->index, std::move(item->response.result)});
+  return legacy;
+}
 #if defined(__GNUC__) && !defined(__clang__)
 #pragma GCC diagnostic pop
 #endif
 
-InterpretationEngine::InterpretationEngine(EngineConfig config)
-    : config_(config) {
-  if (config_.num_threads > 0) {
-    owned_pool_ = std::make_unique<util::ThreadPool>(config_.num_threads);
-    pool_ = owned_pool_.get();
-  } else {
-    pool_ = util::SharedThreadPool(
-        util::DefaultThreadCount(config_.max_threads));
-  }
+// ---------------------------------------------------------------------------
+// EndpointSession
+// ---------------------------------------------------------------------------
+
+EndpointSession::EndpointSession(const InterpretationEngine* engine,
+                                 const api::PredictionApi* api,
+                                 size_t capacity)
+    : engine_(engine), api_(api), capacity_(capacity) {}
+
+EngineStats EndpointSession::Snapshot(const StatCounters& counters) {
+  EngineStats s;
+  s.requests = counters.requests.load(std::memory_order_relaxed);
+  s.point_memo_hits =
+      counters.point_memo_hits.load(std::memory_order_relaxed);
+  s.cache_hits = counters.cache_hits.load(std::memory_order_relaxed);
+  s.cache_misses = counters.cache_misses.load(std::memory_order_relaxed);
+  s.evictions = counters.evictions.load(std::memory_order_relaxed);
+  s.failures = counters.failures.load(std::memory_order_relaxed);
+  s.queries = counters.queries.load(std::memory_order_relaxed);
+  return s;
 }
 
-InterpretationEngine::~InterpretationEngine() {
-  // Drain async work that still references this engine. Tasks on the
-  // shared pool outlive owned infrastructure, so this must come first;
-  // the owned pool (if any) additionally drains in its own destructor.
-  std::unique_lock<std::mutex> lock(async_mutex_);
-  async_idle_.wait(lock, [this] { return async_outstanding_ == 0; });
+void EndpointSession::Reset(StatCounters& counters) {
+  counters.requests.store(0, std::memory_order_relaxed);
+  counters.point_memo_hits.store(0, std::memory_order_relaxed);
+  counters.cache_hits.store(0, std::memory_order_relaxed);
+  counters.cache_misses.store(0, std::memory_order_relaxed);
+  counters.evictions.store(0, std::memory_order_relaxed);
+  counters.failures.store(0, std::memory_order_relaxed);
+  counters.queries.store(0, std::memory_order_relaxed);
 }
 
-void InterpretationEngine::BeginAsyncTask() const {
-  std::lock_guard<std::mutex> lock(async_mutex_);
-  ++async_outstanding_;
+void EndpointSession::Bump(std::atomic<uint64_t> StatCounters::* counter,
+                           uint64_t n) const {
+  (stats_.*counter).fetch_add(n, std::memory_order_relaxed);
+  (engine_->stats_.*counter).fetch_add(n, std::memory_order_relaxed);
 }
 
-void InterpretationEngine::EndAsyncTask() const {
-  std::lock_guard<std::mutex> lock(async_mutex_);
-  if (--async_outstanding_ == 0) async_idle_.notify_all();
-}
-
-std::pair<uint64_t, uint64_t> InterpretationEngine::PointKey(const Vec& x0) {
+EndpointSession::PointKey EndpointSession::PointKeyOf(const Vec& x0) {
   // Two FNV-1a streams with different offsets over the raw double bits.
   uint64_t h1 = 1469598103934665603ULL;
   uint64_t h2 = 0xcbf29ce484222325ULL ^ 0x9e3779b97f4a7c15ULL;
@@ -94,22 +117,22 @@ std::pair<uint64_t, uint64_t> InterpretationEngine::PointKey(const Vec& x0) {
   return {h1, h2};
 }
 
-bool InterpretationEngine::RegionMatches(const api::LocalLinearModel& model,
-                                         const Vec& x, const Vec& y) const {
+bool EndpointSession::RegionMatches(const api::LocalLinearModel& model,
+                                    const Vec& x, const Vec& y) const {
   Vec predicted = api::EvaluateLocalModel(model, x);
   double worst = 0.0;
   for (size_t k = 0; k < y.size(); ++k) {
     worst = std::max(worst, std::fabs(predicted[k] - y[k]));
   }
-  return worst <= config_.match_tol;
+  return worst <= engine_->config().match_tol;
 }
 
-size_t InterpretationEngine::FindMatchingRegion(const Vec& x0, const Vec& y0,
-                                                const Vec& probe,
-                                                const Vec& y_probe,
-                                                size_t argmax) const {
+size_t EndpointSession::FindMatchingRegion(const Vec& x0, const Vec& y0,
+                                           const Vec& probe,
+                                           const Vec& y_probe,
+                                           size_t argmax) const {
   std::shared_lock<std::shared_mutex> lock(cache_mutex_);
-  if (!config_.bucket_candidates) {
+  if (!engine_->config().bucket_candidates) {
     for (size_t slot = 0; slot < regions_.size(); ++slot) {
       if (RegionMatches(regions_[slot].model, x0, y0) &&
           RegionMatches(regions_[slot].model, probe, y_probe)) {
@@ -148,40 +171,117 @@ size_t InterpretationEngine::FindMatchingRegion(const Vec& x0, const Vec& y0,
   return kNoSlot;
 }
 
-size_t InterpretationEngine::InsertRegion(api::LocalLinearModel model,
-                                          uint64_t fingerprint,
-                                          const Vec& x0,
-                                          size_t argmax) const {
+size_t EndpointSession::EvictOneLocked() const {
+  // Second-chance clock: a region with recorded hits gets its counter
+  // halved and survives the sweep; the first cold slot is the victim.
+  // Halving strictly decreases positive counters, so the sweep
+  // terminates, and frequently hit regions take log2(hits) sweeps to
+  // cool — the LFU-flavored survival the serving cache wants.
+  for (;;) {
+    clock_hand_ %= regions_.size();
+    CachedRegion& region = regions_[clock_hand_];
+    const uint32_t hits = region.hits.load(std::memory_order_relaxed);
+    if (hits == 0) break;
+    region.hits.store(hits >> 1, std::memory_order_relaxed);
+    ++clock_hand_;
+  }
+  const size_t slot = clock_hand_++;
+  CachedRegion& victim = regions_[slot];
+  by_fingerprint_.erase(victim.fingerprint);
+  // Drop the victim's memo keys so a stale memo entry can never serve
+  // the slot's next occupant (point-memo answers skip API validation).
+  for (const PointKey& key : victim.points) {
+    auto it = point_memo_.find(key);
+    if (it != point_memo_.end() && it->second == slot) {
+      point_memo_.erase(it);
+    }
+  }
+  for (size_t bucket_key : victim.bucket_keys) {
+    auto bucket = by_argmax_.find(bucket_key);
+    if (bucket != by_argmax_.end()) {
+      auto& slots = bucket->second;
+      slots.erase(std::remove(slots.begin(), slots.end(), slot),
+                  slots.end());
+    }
+  }
+  if (evicted_fingerprints_.size() > 8 * capacity_ + 64) {
+    evicted_fingerprints_.clear();  // bounded classification memory
+  }
+  evicted_fingerprints_.insert(victim.fingerprint);
+  Bump(&StatCounters::evictions);
+  return slot;
+}
+
+void EndpointSession::FilePointLocked(const PointKey& key,
+                                      size_t slot) const {
+  auto [it, inserted] = point_memo_.emplace(key, slot);
+  if (!inserted) {
+    if (it->second == slot) return;
+    it->second = slot;  // the key's old region was displaced
+  }
+  CachedRegion& region = regions_[slot];
+  if (region.points.size() >= kMaxMemoPointsPerRegion) {
+    auto oldest = point_memo_.find(region.points.front());
+    if (oldest != point_memo_.end() && oldest->second == slot) {
+      point_memo_.erase(oldest);
+    }
+    region.points.erase(region.points.begin());
+  }
+  region.points.push_back(key);
+}
+
+void EndpointSession::FileBucketLocked(size_t slot, size_t argmax) const {
+  std::vector<size_t>& bucket = by_argmax_[argmax];
+  if (std::find(bucket.begin(), bucket.end(), slot) == bucket.end()) {
+    bucket.push_back(slot);
+    regions_[slot].bucket_keys.push_back(argmax);
+  }
+}
+
+size_t EndpointSession::InsertRegion(api::LocalLinearModel model,
+                                     uint64_t fingerprint, const Vec& x0,
+                                     size_t argmax,
+                                     CacheOutcome* outcome) const {
   std::unique_lock<std::shared_mutex> lock(cache_mutex_);
   size_t slot;
   auto it = by_fingerprint_.find(fingerprint);
   if (it != by_fingerprint_.end()) {
     slot = it->second;  // another worker extracted this region first
   } else {
-    slot = regions_.size();
-    regions_.push_back(CachedRegion{std::move(model), fingerprint});
+    if (capacity_ > 0 && regions_.size() >= capacity_) {
+      slot = EvictOneLocked();
+      regions_[slot] = CachedRegion(std::move(model), fingerprint);
+    } else {
+      slot = regions_.size();
+      regions_.push_back(CachedRegion(std::move(model), fingerprint));
+    }
     by_fingerprint_.emplace(fingerprint, slot);
+    if (evicted_fingerprints_.erase(fingerprint) > 0 && outcome != nullptr) {
+      *outcome = CacheOutcome::kEvictedRefetch;
+    }
   }
-  std::vector<size_t>& bucket = by_argmax_[argmax];
-  if (std::find(bucket.begin(), bucket.end(), slot) == bucket.end()) {
-    bucket.push_back(slot);
-  }
-  point_memo_[PointKey(x0)] = slot;
+  FileBucketLocked(slot, argmax);
+  FilePointLocked(PointKeyOf(x0), slot);
   return slot;
 }
 
-Result<Interpretation> InterpretationEngine::InterpretCached(
-    const api::PredictionApi& api, const Vec& x0, size_t c,
-    util::Rng* rng) const {
+Result<Interpretation> EndpointSession::InterpretCached(
+    const Vec& x0, size_t c, const RequestOptions& options, util::Rng* rng,
+    uint64_t* consumed, CacheOutcome* outcome, size_t* iterations) const {
+  const EngineConfig& config = engine_->config();
   // 1. Point memo: an exact repeat of a previously answered x0 (any class)
   //    costs zero API queries.
-  const auto key = PointKey(x0);
+  const PointKey key = PointKeyOf(x0);
   {
     std::shared_lock<std::shared_mutex> lock(cache_mutex_);
     auto it = point_memo_.find(key);
     if (it != point_memo_.end()) {
-      const CachedRegion& region = regions_[it->second];
-      stat_point_memo_hits_.fetch_add(1, std::memory_order_relaxed);
+      // The hit bump is an atomic on a mutable container: safe under the
+      // shared (reader) lock.
+      CachedRegion& region = regions_[it->second];
+      region.hits.fetch_add(1, std::memory_order_relaxed);
+      Bump(&StatCounters::point_memo_hits);
+      *outcome = CacheOutcome::kPointMemo;
       Interpretation out;
       out.dc = api::GroundTruthDecisionFeatures(region.model, c);
       out.pairs = PairsFromModel(region.model, c);
@@ -193,18 +293,22 @@ Result<Interpretation> InterpretationEngine::InterpretCached(
   }
 
   // 2. Candidate scan: one batched request (x0 + validation probe) decides
-  //    every cached region at once.
+  //    every cached region at once. It costs 2 queries, so it is gated on
+  //    the request's budget/deadline/cancellation first.
+  OPENAPI_RETURN_NOT_OK(CheckRequestControls(options, *consumed, 2));
   Vec probe =
-      SampleHypercube(x0, config_.validation_edge, /*count=*/1, rng)[0];
-  std::vector<Vec> pair = api.PredictBatch({x0, probe});
+      SampleHypercube(x0, config.validation_edge, /*count=*/1, rng)[0];
+  std::vector<Vec> pair = api_->PredictBatch({x0, probe});
+  *consumed += 2;
   const Vec& y0 = pair[0];
   const Vec& y_probe = pair[1];
   const size_t argmax = linalg::ArgMax(y0);
   size_t slot = FindMatchingRegion(x0, y0, probe, y_probe, argmax);
   if (slot != kNoSlot) {
-    // A racing ClearCache may have dropped (or refilled) the slot between
-    // the scan and here, so copy under the lock with a bounds check and
-    // re-validate the copy against the API output before trusting it.
+    // A racing ClearCache or eviction may have dropped (or refilled) the
+    // slot between the scan and here, so copy under the lock with a
+    // bounds check and re-validate the copy against the API output
+    // before trusting it.
     std::optional<api::LocalLinearModel> model;
     uint64_t fingerprint = 0;
     {
@@ -225,11 +329,12 @@ Result<Interpretation> InterpretationEngine::InterpretCached(
         std::unique_lock<std::shared_mutex> lock(cache_mutex_);
         if (slot < regions_.size() &&
             regions_[slot].fingerprint == fingerprint) {
-          point_memo_[key] = slot;
+          FilePointLocked(key, slot);
+          regions_[slot].hits.fetch_add(1, std::memory_order_relaxed);
           std::vector<size_t>& bucket = by_argmax_[argmax];
           auto pos = std::find(bucket.begin(), bucket.end(), slot);
           if (pos == bucket.end()) {
-            bucket.push_back(slot);
+            FileBucketLocked(slot, argmax);
           } else if (pos != bucket.begin()) {
             // Transpose promotion: each hit moves the region one step
             // toward the front of its bucket, so hot regions drift to
@@ -238,13 +343,13 @@ Result<Interpretation> InterpretationEngine::InterpretCached(
           }
         }
       }
-      stat_cache_hits_.fetch_add(1, std::memory_order_relaxed);
-      stat_queries_.fetch_add(2, std::memory_order_relaxed);
+      Bump(&StatCounters::cache_hits);
+      *outcome = CacheOutcome::kHit;
       Interpretation out;
       out.dc = api::GroundTruthDecisionFeatures(*model, c);
       out.pairs = PairsFromModel(*model, c);
       out.iterations = 0;
-      out.edge_length = config_.validation_edge;
+      out.edge_length = config.validation_edge;
       out.probes.push_back(std::move(probe));
       out.queries = 2;
       return out;
@@ -258,80 +363,257 @@ Result<Interpretation> InterpretationEngine::InterpretCached(
   //    is handled inside the solver (adaptive reference class, converted
   //    back to reference-0 pairs), so the canonical column-0-pinned gauge
   //    is preserved here either way. The solver reports the queries it
-  //    actually consumed, so stats stay exact even when it fails.
-  stat_cache_misses_.fetch_add(1, std::memory_order_relaxed);
-  OpenApiInterpreter interpreter(config_.openapi);
-  uint64_t consumed = 0;
-  auto solved = interpreter.InterpretCounted(api, x0, 0, rng, &consumed);
-  stat_queries_.fetch_add(2 + consumed, std::memory_order_relaxed);
+  //    actually consumed, so stats stay exact even when it fails — and it
+  //    receives the request's controls with the 2 validation queries
+  //    already deducted from the budget, so the request as a whole never
+  //    overspends.
+  Bump(&StatCounters::cache_misses);
+  *outcome = CacheOutcome::kMiss;
+  OpenApiInterpreter interpreter(config.openapi);
+  // The solver receives the request's ORIGINAL controls plus the 2
+  // validation queries as its consumed seed (in/out), so its budget
+  // gates — and their rejection messages — account in request totals;
+  // and y0 is handed over as the anchor prediction, so a miss does not
+  // bill the endpoint (or the request's budget) for x0 twice.
+  auto solved = interpreter.InterpretCounted(*api_, x0, 0, rng, consumed,
+                                             options, iterations, &y0);
   if (!solved.ok()) {
     return solved.status();
   }
   api::LocalLinearModel model =
-      CanonicalModelFromPairs(solved->pairs, api.dim());
+      CanonicalModelFromPairs(solved->pairs, api_->dim());
   const uint64_t fingerprint =
-      LocalModelFingerprint(model, config_.fingerprint_resolution);
+      LocalModelFingerprint(model, config.fingerprint_resolution);
   Interpretation out;
   out.dc = api::GroundTruthDecisionFeatures(model, c);
   out.pairs = PairsFromModel(model, c);
   out.probes = std::move(solved->probes);
   out.iterations = solved->iterations;
   out.edge_length = solved->edge_length;
-  out.queries = 2 + solved->queries;
-  InsertRegion(std::move(model), fingerprint, x0, argmax);
+  out.queries = *consumed;
+  InsertRegion(std::move(model), fingerprint, x0, argmax, outcome);
   return out;
+}
+
+Result<Interpretation> EndpointSession::Serve(const EngineRequest& request,
+                                              uint64_t seed,
+                                              uint64_t stream,
+                                              uint64_t* consumed,
+                                              CacheOutcome* outcome,
+                                              size_t* iterations) const {
+  if (request.x0.size() != api_->dim()) {
+    return Status::InvalidArgument("x0 dimensionality mismatch");
+  }
+  if (request.c >= api_->num_classes() || api_->num_classes() < 2) {
+    return Status::InvalidArgument("bad class configuration");
+  }
+  // Pre-flight: a request that is already cancelled or past its deadline
+  // is rejected before it touches the cache or the endpoint.
+  OPENAPI_RETURN_NOT_OK(CheckRequestControls(request.options, 0, 0));
+  util::Rng rng(util::Rng::MixSeed(seed, stream));
+  if (!engine_->config().use_region_cache) {
+    OpenApiInterpreter interpreter(engine_->config().openapi);
+    Bump(&StatCounters::cache_misses);  // attempted a full solve
+    return interpreter.InterpretCounted(*api_, request.x0, request.c, &rng,
+                                        consumed, request.options,
+                                        iterations);
+  }
+  return InterpretCached(request.x0, request.c, request.options, &rng,
+                         consumed, outcome, iterations);
+}
+
+EngineResponse EndpointSession::Interpret(const EngineRequest& request,
+                                          uint64_t seed,
+                                          uint64_t stream) const {
+  util::Timer timer;
+  Bump(&StatCounters::requests);
+  uint64_t consumed = 0;
+  CacheOutcome outcome = CacheOutcome::kBypass;
+  size_t iterations = 0;
+  Result<Interpretation> result =
+      Serve(request, seed, stream, &consumed, &outcome, &iterations);
+  if (!result.ok()) Bump(&StatCounters::failures);
+  if (consumed > 0) Bump(&StatCounters::queries, consumed);
+  EngineResponse response{std::move(result)};
+  response.queries = consumed;
+  response.cache_outcome = outcome;
+  response.shrink_iterations = iterations;
+  response.latency_ms = timer.ElapsedMillis();
+  return response;
+}
+
+std::vector<EngineResponse> EndpointSession::InterpretAll(
+    const std::vector<EngineRequest>& requests, uint64_t seed) const {
+  std::vector<std::optional<EngineResponse>> scratch(requests.size());
+  util::ParallelFor(engine_->pool_, requests.size(), [&](size_t i) {
+    scratch[i].emplace(Interpret(requests[i], seed, /*stream=*/i));
+  });
+  std::vector<EngineResponse> responses;
+  responses.reserve(requests.size());
+  for (auto& r : scratch) responses.push_back(std::move(*r));
+  return responses;
+}
+
+std::future<EngineResponse> EndpointSession::SubmitAsync(
+    EngineRequest request, uint64_t seed, uint64_t stream) const {
+  // packaged_task is move-only and ThreadPool::Submit takes a copyable
+  // std::function, hence the shared_ptr wrapper. The task holds the
+  // session alive; the engine is drained by its destructor.
+  auto self = shared_from_this();
+  // The queue timer starts NOW, at submission: an async response's
+  // latency covers the time spent waiting for a worker too, which is
+  // what a client actually observes under load.
+  util::Timer queue_timer;
+  auto task = std::make_shared<std::packaged_task<EngineResponse()>>(
+      [self, request = std::move(request), seed, stream, queue_timer]() {
+        EngineResponse response = self->Interpret(request, seed, stream);
+        response.latency_ms = queue_timer.ElapsedMillis();
+        return response;
+      });
+  std::future<EngineResponse> future = task->get_future();
+  const InterpretationEngine* engine = engine_;
+  engine->BeginAsyncTask();
+  engine->pool_->Submit([engine, task] {
+    (*task)();
+    engine->EndAsyncTask();
+  });
+  return future;
+}
+
+SessionStream EndpointSession::InterpretStream(
+    std::vector<EngineRequest> requests, uint64_t seed) const {
+  SessionStream stream;
+  stream.total_ = requests.size();
+  stream.shared_ = std::make_shared<SessionStream::Shared>();
+  auto shared = stream.shared_;
+  shared->requests = std::move(requests);
+  auto self = shared_from_this();
+  const InterpretationEngine* engine = engine_;
+  util::Timer queue_timer;  // latency includes the wait for a worker
+  for (size_t i = 0; i < shared->requests.size(); ++i) {
+    engine->BeginAsyncTask();
+    engine->pool_->Submit([self, engine, shared, seed, i, queue_timer] {
+      EngineResponse response =
+          self->Interpret(shared->requests[i], seed, /*stream=*/i);
+      response.latency_ms = queue_timer.ElapsedMillis();
+      {
+        std::lock_guard<std::mutex> lock(shared->mutex);
+        shared->completed.push_back(
+            SessionStream::Item{i, std::move(response)});
+      }
+      shared->ready.notify_all();
+      engine->EndAsyncTask();
+    });
+  }
+  return stream;
+}
+
+size_t EndpointSession::cache_size() const {
+  std::shared_lock<std::shared_mutex> lock(cache_mutex_);
+  return regions_.size();
+}
+
+EngineStats EndpointSession::stats() const { return Snapshot(stats_); }
+
+void EndpointSession::ResetStats() const { Reset(stats_); }
+
+void EndpointSession::ClearCache() const {
+  std::unique_lock<std::shared_mutex> lock(cache_mutex_);
+  regions_.clear();
+  by_fingerprint_.clear();
+  by_argmax_.clear();
+  point_memo_.clear();
+  evicted_fingerprints_.clear();
+  clock_hand_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// InterpretationEngine
+// ---------------------------------------------------------------------------
+
+InterpretationEngine::InterpretationEngine(EngineConfig config)
+    : config_(config) {
+  if (config_.num_threads > 0) {
+    owned_pool_ = std::make_unique<util::ThreadPool>(config_.num_threads);
+    pool_ = owned_pool_.get();
+  } else {
+    pool_ = util::SharedThreadPool(
+        util::DefaultThreadCount(config_.max_threads));
+  }
+}
+
+InterpretationEngine::~InterpretationEngine() {
+  // Drain async work that still references this engine. Tasks on the
+  // shared pool outlive owned infrastructure, so this must come first;
+  // the owned pool (if any) additionally drains in its own destructor.
+  std::unique_lock<std::mutex> lock(async_mutex_);
+  async_idle_.wait(lock, [this] { return async_outstanding_ == 0; });
+}
+
+void InterpretationEngine::BeginAsyncTask() const {
+  std::lock_guard<std::mutex> lock(async_mutex_);
+  ++async_outstanding_;
+}
+
+void InterpretationEngine::EndAsyncTask() const {
+  std::lock_guard<std::mutex> lock(async_mutex_);
+  if (--async_outstanding_ == 0) async_idle_.notify_all();
+}
+
+std::shared_ptr<EndpointSession> InterpretationEngine::OpenSession(
+    const api::PredictionApi& api, size_t cache_capacity) const {
+  return std::shared_ptr<EndpointSession>(new EndpointSession(
+      this, &api,
+      cache_capacity > 0 ? cache_capacity : config_.cache_capacity));
+}
+
+std::shared_ptr<EndpointSession> InterpretationEngine::LegacySession(
+    const api::PredictionApi& api) const {
+  std::lock_guard<std::mutex> lock(legacy_mutex_);
+  std::shared_ptr<EndpointSession>& session = legacy_sessions_[&api];
+  if (session == nullptr) {
+    session = std::shared_ptr<EndpointSession>(
+        new EndpointSession(this, &api, config_.cache_capacity));
+  }
+  return session;
+}
+
+EngineStats InterpretationEngine::stats() const {
+  return EndpointSession::Snapshot(stats_);
+}
+
+void InterpretationEngine::ResetStats() const {
+  EndpointSession::Reset(stats_);
 }
 
 Result<Interpretation> InterpretationEngine::Interpret(
     const api::PredictionApi& api, const Vec& x0, size_t c, uint64_t seed,
     uint64_t stream) const {
-  stat_requests_.fetch_add(1, std::memory_order_relaxed);
-  if (x0.size() != api.dim()) {
-    stat_failures_.fetch_add(1, std::memory_order_relaxed);
-    return Status::InvalidArgument("x0 dimensionality mismatch");
-  }
-  if (c >= api.num_classes() || api.num_classes() < 2) {
-    stat_failures_.fetch_add(1, std::memory_order_relaxed);
-    return Status::InvalidArgument("bad class configuration");
-  }
-  util::Rng rng(util::Rng::MixSeed(seed, stream));
-  Result<Interpretation> result = [&]() -> Result<Interpretation> {
-    if (config_.use_region_cache) return InterpretCached(api, x0, c, &rng);
-    uint64_t consumed = 0;
-    auto solved = OpenApiInterpreter(config_.openapi)
-                      .InterpretCounted(api, x0, c, &rng, &consumed);
-    stat_queries_.fetch_add(consumed, std::memory_order_relaxed);
-    if (solved.ok()) {
-      stat_cache_misses_.fetch_add(1, std::memory_order_relaxed);
-    }
-    return solved;
-  }();
-  if (!result.ok()) stat_failures_.fetch_add(1, std::memory_order_relaxed);
-  return result;
+  return LegacySession(api)
+      ->Interpret(EngineRequest{x0, c, {}}, seed, stream)
+      .result;
 }
 
 std::vector<Result<Interpretation>> InterpretationEngine::InterpretAll(
     const api::PredictionApi& api, const std::vector<EngineRequest>& requests,
     uint64_t seed) const {
-  std::vector<std::optional<Result<Interpretation>>> scratch(requests.size());
-  util::ParallelFor(pool_, requests.size(), [&](size_t i) {
-    scratch[i].emplace(
-        Interpret(api, requests[i].x0, requests[i].c, seed, /*stream=*/i));
-  });
+  std::vector<EngineResponse> responses =
+      LegacySession(api)->InterpretAll(requests, seed);
   std::vector<Result<Interpretation>> results;
-  results.reserve(requests.size());
-  for (auto& r : scratch) results.push_back(std::move(*r));
+  results.reserve(responses.size());
+  for (EngineResponse& response : responses) {
+    results.push_back(std::move(response.result));
+  }
   return results;
 }
 
 std::future<Result<Interpretation>> InterpretationEngine::SubmitAsync(
     const api::PredictionApi& api, EngineRequest request, uint64_t seed,
     uint64_t stream) const {
-  // packaged_task is move-only and ThreadPool::Submit takes a copyable
-  // std::function, hence the shared_ptr wrapper.
+  auto session = LegacySession(api);
   auto task = std::make_shared<std::packaged_task<Result<Interpretation>()>>(
-      [this, &api, request = std::move(request), seed, stream]() {
-        return Interpret(api, request.x0, request.c, seed, stream);
+      [session, request = std::move(request), seed, stream]() {
+        return session->Interpret(request, seed, stream).result;
       });
   std::future<Result<Interpretation>> future = task->get_future();
   BeginAsyncTask();
@@ -346,58 +628,35 @@ InterpretationStream InterpretationEngine::InterpretStream(
     const api::PredictionApi& api, std::vector<EngineRequest> requests,
     uint64_t seed) const {
   InterpretationStream stream;
-  stream.total_ = requests.size();
-  stream.shared_ = std::make_shared<InterpretationStream::Shared>();
-  auto shared = stream.shared_;
-  shared->requests = std::move(requests);
-  for (size_t i = 0; i < shared->requests.size(); ++i) {
-    BeginAsyncTask();
-    pool_->Submit([this, &api, shared, seed, i] {
-      Result<Interpretation> result = Interpret(
-          api, shared->requests[i].x0, shared->requests[i].c, seed, i);
-      {
-        std::lock_guard<std::mutex> lock(shared->mutex);
-        shared->completed.push_back(
-            InterpretationStream::Item{i, std::move(result)});
-      }
-      shared->ready.notify_all();
-      EndAsyncTask();
-    });
-  }
+  stream.inner_ =
+      LegacySession(api)->InterpretStream(std::move(requests), seed);
   return stream;
 }
 
 size_t InterpretationEngine::cache_size() const {
-  std::shared_lock<std::shared_mutex> lock(cache_mutex_);
-  return regions_.size();
-}
-
-EngineStats InterpretationEngine::stats() const {
-  EngineStats s;
-  s.requests = stat_requests_.load(std::memory_order_relaxed);
-  s.point_memo_hits = stat_point_memo_hits_.load(std::memory_order_relaxed);
-  s.cache_hits = stat_cache_hits_.load(std::memory_order_relaxed);
-  s.cache_misses = stat_cache_misses_.load(std::memory_order_relaxed);
-  s.failures = stat_failures_.load(std::memory_order_relaxed);
-  s.queries = stat_queries_.load(std::memory_order_relaxed);
-  return s;
-}
-
-void InterpretationEngine::ResetStats() const {
-  stat_requests_.store(0, std::memory_order_relaxed);
-  stat_point_memo_hits_.store(0, std::memory_order_relaxed);
-  stat_cache_hits_.store(0, std::memory_order_relaxed);
-  stat_cache_misses_.store(0, std::memory_order_relaxed);
-  stat_failures_.store(0, std::memory_order_relaxed);
-  stat_queries_.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(legacy_mutex_);
+  size_t total = 0;
+  for (const auto& [api, session] : legacy_sessions_) {
+    total += session->cache_size();
+  }
+  return total;
 }
 
 void InterpretationEngine::ClearCache() const {
-  std::unique_lock<std::shared_mutex> lock(cache_mutex_);
-  regions_.clear();
-  by_fingerprint_.clear();
-  by_argmax_.clear();
-  point_memo_.clear();
+  // Drop the sessions themselves, not just their contents: the legacy
+  // map keys sessions by raw api address, so pruning here both bounds
+  // the map and keeps the pre-session discipline ("ClearCache when
+  // retargeting an endpoint") safe even when a later PredictionApi is
+  // allocated at a recycled address. In-flight shim work is unaffected —
+  // its tasks hold the old session via shared_ptr.
+  std::unordered_map<const api::PredictionApi*,
+                     std::shared_ptr<EndpointSession>>
+      dropped;
+  {
+    std::lock_guard<std::mutex> lock(legacy_mutex_);
+    dropped.swap(legacy_sessions_);
+  }
+  for (const auto& [api, session] : dropped) session->ClearCache();
 }
 
 }  // namespace openapi::interpret

@@ -1,27 +1,55 @@
 // InterpretationEngine: the asynchronous serving layer over OpenAPI.
 //
 // The paper's evaluation (and any production deployment of the method)
-// interprets many (x0, c) requests against one endpoint. Running them one
-// at a time wastes two structural facts:
+// interprets many (x0, c) requests against one or more endpoints. The
+// engine exploits two structural facts:
 //   1. requests whose x0 share a locally linear region — or that repeat an
 //      x0 for different classes c — are answered by one extracted canonical
 //      classifier (decision features are gauge-invariant), and
 //   2. the requests are independent, so they shard across a thread pool.
 //
-// The engine does both, in three request shapes:
+// ## Sessions: the public surface
+//
+// The unit of serving is an ENDPOINT SESSION. `engine.OpenSession(api)`
+// binds one `api::PredictionApi` (or `api::ApiReplicaSet`) and namespaces
+// the region cache, point memo, and argmax buckets to that endpoint: one
+// engine serves several distinct endpoints concurrently with zero
+// cross-endpoint cache traffic and no ClearCache footgun. A session
+// offers four request shapes:
+//   * Interpret       — one request, synchronously.
 //   * InterpretAll    — synchronous batch; blocks until every result.
 //   * SubmitAsync     — one request as a std::future; returns immediately.
 //   * InterpretStream — a batch whose results are consumed in completion
 //     order while stragglers still run.
+// All four return `EngineResponse`: the Result<Interpretation> plus the
+// request's exact query consumption, how the cache served it, the shrink
+// iterations, and wall latency — the serving envelope a metered client
+// bills against.
+//
+// Each `EngineRequest` carries `RequestOptions` (query budget, deadline,
+// CancelToken), enforced before every probe batch down in the solver's
+// shrink loop: a request with max_queries = Q never issues more than Q
+// API queries, and a rejected request reports the exact count it did
+// consume on the new BudgetExhausted / DeadlineExceeded / Cancelled
+// statuses.
+//
+// Session caches are BOUNDED: `EngineConfig::cache_capacity` (or the
+// OpenSession override) caps the region count, and inserts past capacity
+// evict via a second-chance clock over per-region hit counters (hot
+// regions survive, cold ones cycle out; evictions surface in
+// EngineStats). Evicting a region also drops its point-memo keys and
+// bucket entries, so a stale memo can never serve a dead slot.
+//
 // By default the engine BORROWS the process-wide util::SharedThreadPool
 // rather than owning workers, so any number of engines / concurrent
 // callers multiplex one pool sized to the hardware; setting
 // EngineConfig::num_threads > 0 gives the engine a private pool of that
 // size (deterministic scheduling for tests, isolation for benches).
 //
-// Each worker consults a shared region cache before paying the closed-form
-// solve. The cache replaces extract::CachedInterpreter's linear scan with
-// hash indexes guarded by a shared_mutex:
+// ## The per-session region cache
+//
+// Each worker consults the session's cache before paying the closed-form
+// solve — hash indexes guarded by a shared_mutex:
 //   * a point memo (hash of x0's raw bits -> region slot): a request whose
 //     exact x0 was answered before costs ZERO API queries, any class;
 //   * a fingerprint index (quantized canonical-model hash -> slot) that
@@ -30,10 +58,9 @@
 //     predict at their anchor, so a request at a new x0 first tests the
 //     bucket matching argmax(y0) — hottest regions first (each hit
 //     promotes its region one step toward the bucket head, the classic
-//     transpose heuristic, so no per-scan sorting) — and only falls back
-//     to the remaining regions when the bucket misses (a region can span
-//     the decision boundary, so the bucket key is a pruning heuristic,
-//     never a correctness filter).
+//     transpose heuristic) — and only falls back to the remaining regions
+//     when the bucket misses (a region can span the decision boundary, so
+//     the bucket key is a pruning heuristic, never a correctness filter).
 // A request at a new x0 still validates cache candidates against the API
 // output (2 batched queries) — black-box point location fundamentally
 // needs the candidate test — but candidates are scanned under a shared
@@ -46,17 +73,32 @@
 // that is Theorem 2 plus gauge invariance).
 //
 // Query accounting is exact under concurrency and in every error path:
-// the solver reports the queries it actually consumed (success or
-// failure) via InterpretCounted, and the engine's totals are sums of
-// those, matching the api's atomic query_count when the engine is the
-// api's only client — including when `api` is an ApiReplicaSet, whose
-// per-replica counters sum to the same total.
+// the solver reports the queries it actually consumed (success, failure,
+// budget rejection) via InterpretCounted, and session/engine totals are
+// sums of those, matching the api's atomic query_count when the session
+// is the api's only client — including when `api` is an ApiReplicaSet,
+// whose per-replica counters sum to the same total.
 //
-// Lifetimes: the engine, the api, and (for streams) the request storage
-// must outlive outstanding async work. The engine's destructor blocks
-// until every task it submitted has finished, so destroying the engine
-// after abandoning a future/stream is safe; destroying the API before the
-// engine is not.
+// Lifetimes: the engine must outlive every use of its sessions (sessions
+// borrow its pool and config); the api must outlive its session's last
+// request. Workers keep the session itself alive via shared_ptr, and the
+// engine's destructor blocks until every task it submitted has finished,
+// so destroying the engine after abandoning a future/stream is safe;
+// destroying the API before its session's outstanding work is not.
+//
+// ## Deprecated free-standing entry points
+//
+// The pre-session methods (`engine.Interpret/InterpretAll/SubmitAsync/
+// InterpretStream(api, ...)`, plus engine-level cache_size/ClearCache)
+// remain for one release as thin shims: each routes through an internal
+// per-endpoint session keyed by the api ADDRESS, so legacy callers with
+// concurrently live endpoints get isolated caches too. The address key
+// keeps the old lifetime discipline: destroying one PredictionApi and
+// constructing another at a recycled address without engine.ClearCache()
+// in between would reuse the dead endpoint's session (exactly when the
+// old single-cache engine needed ClearCache as well; ClearCache now also
+// prunes the session map). New code should hold an EndpointSession; the
+// shims drop the EngineResponse envelope and will be removed.
 
 #ifndef OPENAPI_INTERPRET_INTERPRETATION_ENGINE_H_
 #define OPENAPI_INTERPRET_INTERPRETATION_ENGINE_H_
@@ -71,18 +113,22 @@
 #include <optional>
 #include <shared_mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "interpret/openapi_method.h"
+#include "interpret/request_options.h"
 #include "util/thread_pool.h"
 
 namespace openapi::interpret {
 
-/// One unit of work: interpret the prediction at x0 for class c.
+/// One unit of work: interpret the prediction at x0 for class c, under
+/// the request's own budget / deadline / cancellation controls.
 struct EngineRequest {
   Vec x0;
   size_t c = 0;
+  RequestOptions options;
 };
 
 struct EngineConfig {
@@ -97,14 +143,18 @@ struct EngineConfig {
   /// hardware threads. Ignored when num_threads > 0 or the shared pool
   /// already exists.
   size_t max_threads = 0;
-  /// Master switch for the shared region cache. With it off the engine is
-  /// a plain concurrent fan-out of OpenApiInterpreter (useful as the
-  /// uncached baseline in benches).
+  /// Master switch for the per-session region cache. With it off every
+  /// session is a plain concurrent fan-out of OpenApiInterpreter (useful
+  /// as the uncached baseline in benches).
   bool use_region_cache = true;
   /// Prune the candidate scan with argmax buckets + hit-frequency
   /// ordering. Off = the plain linear scan (bench baseline). Hit/miss
   /// behavior is identical either way.
   bool bucket_candidates = true;
+  /// Default region capacity of each session's cache; 0 = unbounded.
+  /// OpenSession can override per session. At capacity, inserts evict
+  /// via a second-chance clock over per-region hit counters.
+  size_t cache_capacity = 0;
   /// Match tolerance when validating a cached region model against the
   /// API's output (infinity norm over probabilities).
   double match_tol = 1e-9;
@@ -114,28 +164,58 @@ struct EngineConfig {
   double fingerprint_resolution = 1e-6;
 };
 
-/// Monotonic counters describing engine activity since construction (or
-/// the last ResetStats). All updates are atomic.
+/// Monotonic counters describing activity since construction (or the
+/// last ResetStats). Available per session and aggregated across every
+/// session on the engine. All updates are atomic.
 struct EngineStats {
   uint64_t requests = 0;
   uint64_t point_memo_hits = 0;  // answered with 0 API queries
   uint64_t cache_hits = 0;       // answered with 2 API queries
-  uint64_t cache_misses = 0;     // paid a full extraction
-  uint64_t failures = 0;         // solver did not converge / bad request
+  uint64_t cache_misses = 0;     // paid (or attempted) a full extraction
+  uint64_t evictions = 0;        // regions displaced by capacity pressure
+  uint64_t failures = 0;         // solver failures, bad requests, and
+                                 // budget/deadline/cancel rejections
   uint64_t queries = 0;          // total API queries consumed
 };
 
-/// A batch in flight: results are pulled in COMPLETION order while later
-/// requests still run, so a consumer can render/forward early answers
-/// without waiting for stragglers. Item::index identifies the request;
-/// content per index is deterministic in (requests, seed) even though the
-/// yield order is scheduling-dependent. Obtained from
-/// InterpretationEngine::InterpretStream.
-class InterpretationStream {
+/// How the session cache served one request.
+enum class CacheOutcome {
+  kBypass,          // cache disabled, or rejected before the lookup
+  kPointMemo,       // exact x0 repeat: 0 API queries
+  kHit,             // candidate scan validated a cached region: 2 queries
+  kMiss,            // paid (or attempted) a full extraction
+  kEvictedRefetch,  // a miss that re-extracted a previously EVICTED region
+};
+
+/// The serving envelope around one request's answer: what a metered
+/// client needs to bill, retry, or debug the request.
+struct EngineResponse {
+  /// The interpretation, or InvalidArgument / DidNotConverge /
+  /// BudgetExhausted / DeadlineExceeded / Cancelled.
+  Result<Interpretation> result;
+  /// Exact API queries this request consumed — success or failure; never
+  /// exceeds the request's max_queries.
+  uint64_t queries = 0;
+  CacheOutcome cache_outcome = CacheOutcome::kBypass;
+  /// Hypercube-shrink iterations the solver attempted (0 on cache hits).
+  size_t shrink_iterations = 0;
+  /// Wall-clock latency of the request inside the engine, milliseconds.
+  /// For SubmitAsync/InterpretStream this is measured from SUBMISSION,
+  /// so it includes time spent queued behind other work — the latency a
+  /// client actually observes.
+  double latency_ms = 0.0;
+};
+
+/// A batch in flight on a session: responses are pulled in COMPLETION
+/// order while later requests still run, so a consumer can render/forward
+/// early answers without waiting for stragglers. Item::index identifies
+/// the request; content per index is deterministic in (requests, seed)
+/// even though the yield order is scheduling-dependent.
+class SessionStream {
  public:
   struct Item {
     size_t index;  // position in the submitted request batch
-    Result<Interpretation> result;
+    EngineResponse response;
   };
 
   /// Blocks until another request finishes and returns it; nullopt once
@@ -146,7 +226,7 @@ class InterpretationStream {
   size_t delivered() const { return delivered_; }
 
  private:
-  friend class InterpretationEngine;
+  friend class EndpointSession;
 
   struct Shared {
     std::mutex mutex;
@@ -160,72 +240,156 @@ class InterpretationStream {
   size_t delivered_ = 0;
 };
 
-class InterpretationEngine {
+/// DEPRECATED result stream of the free-standing
+/// InterpretationEngine::InterpretStream shim: a thin adapter over
+/// SessionStream that strips the EngineResponse envelope down to the
+/// bare Result. Will be removed with the shims.
+class InterpretationStream {
  public:
-  explicit InterpretationEngine(EngineConfig config = {});
+  struct Item {
+    size_t index;
+    Result<Interpretation> result;
+  };
 
-  /// Blocks until every async task this engine submitted has finished.
-  ~InterpretationEngine();
+  std::optional<Item> Next();
 
-  /// Interprets every request against `api`, sharded across the engine's
-  /// pool. results[i] corresponds to requests[i]. Deterministic in
-  /// (requests, seed) regardless of thread count. Safe to call from
-  /// multiple threads; all calls share the region cache.
-  std::vector<Result<Interpretation>> InterpretAll(
-      const api::PredictionApi& api,
-      const std::vector<EngineRequest>& requests, uint64_t seed) const;
-
-  /// Asynchronous single-request submission: enqueues the request on the
-  /// engine's pool and returns immediately. The result is identical to
-  /// Interpret(api, request.x0, request.c, seed, stream) — pass distinct
-  /// `stream` values for distinct requests to keep probe RNG streams
-  /// independent (InterpretAll uses the request index). `api` must outlive
-  /// the future's completion.
-  std::future<Result<Interpretation>> SubmitAsync(
-      const api::PredictionApi& api, EngineRequest request, uint64_t seed,
-      uint64_t stream = 0) const;
-
-  /// Submits the whole batch and returns a stream that yields results as
-  /// they complete (request i uses RNG stream i, exactly like
-  /// InterpretAll). `api` must outlive the stream's completion; the
-  /// stream object itself may be dropped early (workers keep the shared
-  /// state alive).
-  InterpretationStream InterpretStream(const api::PredictionApi& api,
-                                       std::vector<EngineRequest> requests,
-                                       uint64_t seed) const;
-
-  /// Single-request entry point sharing the same cache (request index
-  /// doubles as the RNG stream, so pass distinct `stream` values for
-  /// distinct requests).
-  Result<Interpretation> Interpret(const api::PredictionApi& api,
-                                   const Vec& x0, size_t c, uint64_t seed,
-                                   uint64_t stream = 0) const;
-
-  size_t cache_size() const;
-  EngineStats stats() const;
-  void ResetStats() const;
-  /// Drops all cached regions, the point memo, and the argmax buckets
-  /// (e.g. when re-targeting the engine at a different endpoint). Safe to
-  /// race with in-flight requests: they re-extract as needed.
-  void ClearCache() const;
-
-  const EngineConfig& config() const { return config_; }
-  size_t num_threads() const { return pool_->num_threads(); }
-  bool owns_pool() const { return owned_pool_ != nullptr; }
+  size_t total() const { return inner_.total(); }
+  size_t delivered() const { return inner_.delivered(); }
 
  private:
+  friend class InterpretationEngine;
+
+  SessionStream inner_;
+};
+
+class InterpretationEngine;
+
+/// One endpoint's serving context: a region cache + point memo + argmax
+/// buckets namespaced to a single PredictionApi, with a bounded capacity.
+/// Obtained from InterpretationEngine::OpenSession; always held by
+/// shared_ptr (async work keeps the session alive until it completes).
+/// All methods are const and safe to call concurrently.
+class EndpointSession
+    : public std::enable_shared_from_this<EndpointSession> {
+ public:
+  EndpointSession(const EndpointSession&) = delete;
+  EndpointSession& operator=(const EndpointSession&) = delete;
+
+  /// Serves one request synchronously. `stream` disambiguates the probe
+  /// RNG stream — pass distinct values for distinct requests under one
+  /// seed (the batch entry points use the request index).
+  EngineResponse Interpret(const EngineRequest& request, uint64_t seed,
+                           uint64_t stream = 0) const;
+
+  /// Serves every request, sharded across the engine's pool.
+  /// responses[i] corresponds to requests[i] and uses RNG stream i.
+  /// Deterministic in (requests, seed) regardless of thread count.
+  std::vector<EngineResponse> InterpretAll(
+      const std::vector<EngineRequest>& requests, uint64_t seed) const;
+
+  /// Enqueues the request on the engine's pool and returns immediately.
+  /// The response is identical to Interpret(request, seed, stream).
+  std::future<EngineResponse> SubmitAsync(EngineRequest request,
+                                          uint64_t seed,
+                                          uint64_t stream = 0) const;
+
+  /// Submits the whole batch and returns a stream that yields responses
+  /// as they complete (request i uses RNG stream i, exactly like
+  /// InterpretAll). The stream object may be dropped early; workers keep
+  /// the shared state and this session alive.
+  SessionStream InterpretStream(std::vector<EngineRequest> requests,
+                                uint64_t seed) const;
+
+  const api::PredictionApi& api() const { return *api_; }
+  size_t cache_size() const;
+  /// Region capacity of this session's cache; 0 = unbounded.
+  size_t cache_capacity() const { return capacity_; }
+  /// This session's own counters (the engine aggregates all sessions).
+  EngineStats stats() const;
+  void ResetStats() const;
+  /// Drops this session's cached regions, point memo, argmax buckets,
+  /// and eviction bookkeeping. Safe to race with in-flight requests:
+  /// they re-extract as needed.
+  void ClearCache() const;
+
+ private:
+  friend class InterpretationEngine;
+
+  using PointKey = std::pair<uint64_t, uint64_t>;
+
   struct CachedRegion {
     api::LocalLinearModel model;
     uint64_t fingerprint = 0;
+    /// Hit counter feeding the second-chance eviction clock: bumped on
+    /// every memo/scan hit, halved each time the clock passes. Atomic so
+    /// hits under the shared (reader) lock need no writer upgrade.
+    std::atomic<uint32_t> hits{0};
+    /// Point-memo keys filed under this slot (bounded FIFO), removed
+    /// from the memo when the region is evicted.
+    std::vector<PointKey> points;
+    /// Argmax bucket keys this slot is filed under.
+    std::vector<size_t> bucket_keys;
+
+    CachedRegion(api::LocalLinearModel m, uint64_t fp)
+        : model(std::move(m)), fingerprint(fp) {}
+    CachedRegion(CachedRegion&& other) noexcept
+        : model(std::move(other.model)),
+          fingerprint(other.fingerprint),
+          hits(other.hits.load(std::memory_order_relaxed)),
+          points(std::move(other.points)),
+          bucket_keys(std::move(other.bucket_keys)) {}
+    CachedRegion& operator=(CachedRegion&& other) noexcept {
+      model = std::move(other.model);
+      fingerprint = other.fingerprint;
+      hits.store(other.hits.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+      points = std::move(other.points);
+      bucket_keys = std::move(other.bucket_keys);
+      return *this;
+    }
   };
+
+  struct PairHash {
+    size_t operator()(const PointKey& k) const {
+      return static_cast<size_t>(k.first ^ (k.second * 0x9e3779b97f4a7c15ULL));
+    }
+  };
+
+  /// Per-session monotonic counters; every bump is mirrored into the
+  /// engine's aggregate.
+  struct StatCounters {
+    std::atomic<uint64_t> requests{0};
+    std::atomic<uint64_t> point_memo_hits{0};
+    std::atomic<uint64_t> cache_hits{0};
+    std::atomic<uint64_t> cache_misses{0};
+    std::atomic<uint64_t> evictions{0};
+    std::atomic<uint64_t> failures{0};
+    std::atomic<uint64_t> queries{0};
+  };
+
+  EndpointSession(const InterpretationEngine* engine,
+                  const api::PredictionApi* api, size_t capacity);
+
+  static EngineStats Snapshot(const StatCounters& counters);
+  static void Reset(StatCounters& counters);
 
   /// 128-bit hash of x0's raw double bits; collision odds are negligible,
   /// so point-memo hits never revalidate against the API.
-  static std::pair<uint64_t, uint64_t> PointKey(const Vec& x0);
+  static PointKey PointKeyOf(const Vec& x0);
 
-  Result<Interpretation> InterpretCached(const api::PredictionApi& api,
-                                         const Vec& x0, size_t c,
-                                         util::Rng* rng) const;
+  void Bump(std::atomic<uint64_t> StatCounters::* counter,
+            uint64_t n = 1) const;
+
+  Result<Interpretation> Serve(const EngineRequest& request, uint64_t seed,
+                               uint64_t stream, uint64_t* consumed,
+                               CacheOutcome* outcome,
+                               size_t* iterations) const;
+
+  Result<Interpretation> InterpretCached(const Vec& x0, size_t c,
+                                         const RequestOptions& options,
+                                         util::Rng* rng, uint64_t* consumed,
+                                         CacheOutcome* outcome,
+                                         size_t* iterations) const;
 
   /// Returns the slot whose model explains (x0, y0) and (probe, y_probe),
   /// or SIZE_MAX. Shared (reader) lock. `argmax` is the predicted class at
@@ -233,14 +397,115 @@ class InterpretationEngine {
   size_t FindMatchingRegion(const Vec& x0, const Vec& y0, const Vec& probe,
                             const Vec& y_probe, size_t argmax) const;
 
-  /// Inserts `model` (deduplicating by fingerprint), memoizes x0 -> slot,
-  /// and files the slot under bucket `argmax`. Exclusive (writer) lock.
-  /// Returns the slot.
+  /// Inserts `model` (deduplicating by fingerprint; evicting at
+  /// capacity), memoizes x0 -> slot, and files the slot under bucket
+  /// `argmax`. Exclusive (writer) lock. Flips *outcome to
+  /// kEvictedRefetch when the fingerprint matches a region this session
+  /// evicted earlier.
   size_t InsertRegion(api::LocalLinearModel model, uint64_t fingerprint,
-                      const Vec& x0, size_t argmax) const;
+                      const Vec& x0, size_t argmax,
+                      CacheOutcome* outcome) const;
+
+  /// Second-chance clock sweep; evicts one region and returns its (now
+  /// vacant) slot. Requires the writer lock and a full cache.
+  size_t EvictOneLocked() const;
+
+  /// Files `key` -> `slot` in the point memo and the slot's bounded
+  /// per-region key list. Requires the writer lock.
+  void FilePointLocked(const PointKey& key, size_t slot) const;
+
+  /// Files `slot` under bucket `argmax` (once). Requires the writer lock.
+  void FileBucketLocked(size_t slot, size_t argmax) const;
 
   bool RegionMatches(const api::LocalLinearModel& model, const Vec& x,
                      const Vec& y) const;
+
+  const InterpretationEngine* engine_;
+  const api::PredictionApi* api_;
+  const size_t capacity_;  // 0 = unbounded
+
+  mutable std::shared_mutex cache_mutex_;
+  mutable std::vector<CachedRegion> regions_;
+  mutable std::unordered_map<uint64_t, size_t> by_fingerprint_;
+  /// argmax class at the region's anchor -> slots, scan order by hits.
+  mutable std::unordered_map<size_t, std::vector<size_t>> by_argmax_;
+  mutable std::unordered_map<PointKey, size_t, PairHash> point_memo_;
+  /// Fingerprints of evicted regions, kept (bounded) to classify their
+  /// re-extraction as kEvictedRefetch.
+  mutable std::unordered_set<uint64_t> evicted_fingerprints_;
+  mutable size_t clock_hand_ = 0;
+
+  mutable StatCounters stats_;
+};
+
+class InterpretationEngine {
+ public:
+  explicit InterpretationEngine(EngineConfig config = {});
+
+  /// Blocks until every async task this engine submitted has finished.
+  ~InterpretationEngine();
+
+  /// Opens a serving session bound to `api` with its own endpoint-scoped
+  /// cache. `cache_capacity` overrides EngineConfig::cache_capacity when
+  /// > 0. The engine must outlive every use of the session; `api` must
+  /// outlive the session's last request. Sessions are independent: open
+  /// any number, on the same or distinct endpoints, from any thread.
+  std::shared_ptr<EndpointSession> OpenSession(
+      const api::PredictionApi& api, size_t cache_capacity = 0) const;
+
+  /// Aggregate counters across every session (legacy and OpenSession'd)
+  /// this engine served.
+  EngineStats stats() const;
+  void ResetStats() const;
+
+  const EngineConfig& config() const { return config_; }
+  size_t num_threads() const { return pool_->num_threads(); }
+  bool owns_pool() const { return owned_pool_ != nullptr; }
+
+  // --------------------------------------------------------------------
+  // DEPRECATED free-standing entry points, kept for one release. Each
+  // routes through an internal per-endpoint session keyed by the api
+  // pointer (so even legacy callers get endpoint-isolated caches) and
+  // drops the EngineResponse envelope. Migrate to OpenSession.
+  // --------------------------------------------------------------------
+
+  /// DEPRECATED: use OpenSession(api)->InterpretAll(requests, seed).
+  std::vector<Result<Interpretation>> InterpretAll(
+      const api::PredictionApi& api,
+      const std::vector<EngineRequest>& requests, uint64_t seed) const;
+
+  /// DEPRECATED: use OpenSession(api)->SubmitAsync(request, seed, stream).
+  std::future<Result<Interpretation>> SubmitAsync(
+      const api::PredictionApi& api, EngineRequest request, uint64_t seed,
+      uint64_t stream = 0) const;
+
+  /// DEPRECATED: use OpenSession(api)->InterpretStream(requests, seed).
+  InterpretationStream InterpretStream(const api::PredictionApi& api,
+                                       std::vector<EngineRequest> requests,
+                                       uint64_t seed) const;
+
+  /// DEPRECATED: use OpenSession(api)->Interpret(request, seed, stream).
+  Result<Interpretation> Interpret(const api::PredictionApi& api,
+                                   const Vec& x0, size_t c, uint64_t seed,
+                                   uint64_t stream = 0) const;
+
+  /// DEPRECATED: total cached regions across the legacy per-endpoint
+  /// sessions (sessions from OpenSession report their own cache_size).
+  size_t cache_size() const;
+
+  /// DEPRECATED: clears AND drops the legacy per-endpoint sessions
+  /// (sessions from OpenSession manage their own), so the session map
+  /// cannot grow stale address-keyed entries. Safe to race with
+  /// in-flight requests: they re-extract as needed.
+  void ClearCache() const;
+
+ private:
+  friend class EndpointSession;
+
+  /// The session backing the deprecated free-standing entry points for
+  /// `api`, created on first use.
+  std::shared_ptr<EndpointSession> LegacySession(
+      const api::PredictionApi& api) const;
 
   /// Async-task bookkeeping so the destructor can drain safely.
   void BeginAsyncTask() const;
@@ -254,25 +519,12 @@ class InterpretationEngine {
   mutable std::condition_variable async_idle_;
   mutable size_t async_outstanding_ = 0;
 
-  mutable std::shared_mutex cache_mutex_;
-  mutable std::vector<CachedRegion> regions_;
-  mutable std::unordered_map<uint64_t, size_t> by_fingerprint_;
-  /// argmax class at the region's anchor -> slots, scan order by hits.
-  mutable std::unordered_map<size_t, std::vector<size_t>> by_argmax_;
-  struct PairHash {
-    size_t operator()(const std::pair<uint64_t, uint64_t>& k) const {
-      return static_cast<size_t>(k.first ^ (k.second * 0x9e3779b97f4a7c15ULL));
-    }
-  };
-  mutable std::unordered_map<std::pair<uint64_t, uint64_t>, size_t, PairHash>
-      point_memo_;
+  mutable std::mutex legacy_mutex_;
+  mutable std::unordered_map<const api::PredictionApi*,
+                             std::shared_ptr<EndpointSession>>
+      legacy_sessions_;
 
-  mutable std::atomic<uint64_t> stat_requests_{0};
-  mutable std::atomic<uint64_t> stat_point_memo_hits_{0};
-  mutable std::atomic<uint64_t> stat_cache_hits_{0};
-  mutable std::atomic<uint64_t> stat_cache_misses_{0};
-  mutable std::atomic<uint64_t> stat_failures_{0};
-  mutable std::atomic<uint64_t> stat_queries_{0};
+  mutable EndpointSession::StatCounters stats_;
 };
 
 }  // namespace openapi::interpret

@@ -1,7 +1,9 @@
 #include "interpret/openapi_method.h"
 
+#include <algorithm>
 #include <limits>
 #include <optional>
+#include <utility>
 
 #include "linalg/least_squares.h"
 #include "linalg/qr.h"
@@ -59,7 +61,7 @@ enum class MaskedOutcome { kOk, kTooFewRows, kShrink };
 /// pair keeps only the rows where both of its probabilities have full
 /// double precision (subnormals are treated as saturated: their log would
 /// carry quantization error far above consistency_tol and poison the
-/// residual test); the caller compensates with a doubled probe budget so
+/// residual test); the caller compensates with adaptive top-up draws so
 /// the surviving system stays overdetermined (>= d+2 rows), preserving
 /// the consistency certificate of Theorem 2. Pairs get their own QR
 /// because their row masks differ.
@@ -108,6 +110,27 @@ MaskedOutcome SolvePairsMaskedRows(const Vec& x0,
   return MaskedOutcome::kOk;
 }
 
+/// Worst usable-row deficit across all pairs against `ref`: how many more
+/// usable rows the neediest pair requires to reach the overdetermined
+/// d+2. Zero means every pair's masked system is solvable. Drives the
+/// saturated path's adaptive top-up draws.
+size_t MaxPairRowDeficit(const std::vector<Vec>& predictions, size_t ref,
+                         size_t num_classes, size_t d) {
+  size_t worst = 0;
+  for (size_t c_prime = 0; c_prime < num_classes; ++c_prime) {
+    if (c_prime == ref) continue;
+    size_t usable = 0;
+    for (const Vec& y : predictions) {
+      if (y[ref] >= kMinUsableProb && y[c_prime] >= kMinUsableProb) {
+        ++usable;
+      }
+    }
+    const size_t needed = d + 2;
+    worst = std::max(worst, usable < needed ? needed - usable : size_t{0});
+  }
+  return worst;
+}
+
 }  // namespace
 
 OpenApiInterpreter::OpenApiInterpreter(OpenApiConfig config)
@@ -125,16 +148,24 @@ Result<Interpretation> OpenApiInterpreter::Interpret(
 
 Result<Interpretation> OpenApiInterpreter::InterpretCounted(
     const api::PredictionApi& api, const Vec& x0, size_t c, util::Rng* rng,
-    uint64_t* queries_consumed) const {
-  uint64_t consumed = 0;
-  Result<Interpretation> result = InterpretImpl(api, x0, c, rng, &consumed);
+    uint64_t* queries_consumed, const RequestOptions& options,
+    size_t* iterations, const Vec* y0_hint) const {
+  // *queries_consumed seeds the count with what the caller already spent
+  // on this request, so the budget gates (and their messages) speak in
+  // request totals, not solver-local deltas.
+  uint64_t consumed = queries_consumed != nullptr ? *queries_consumed : 0;
+  size_t iters = 0;
+  Result<Interpretation> result =
+      InterpretImpl(api, x0, c, rng, &consumed, options, &iters, y0_hint);
   if (queries_consumed != nullptr) *queries_consumed = consumed;
+  if (iterations != nullptr) *iterations = iters;
   return result;
 }
 
 Result<Interpretation> OpenApiInterpreter::InterpretImpl(
     const api::PredictionApi& api, const Vec& x0, size_t c, util::Rng* rng,
-    uint64_t* consumed) const {
+    uint64_t* consumed, const RequestOptions& options, size_t* iterations,
+    const Vec* y0_hint) const {
   const size_t d = api.dim();
   const size_t num_classes = api.num_classes();
   if (x0.size() != d) {
@@ -147,27 +178,38 @@ Result<Interpretation> OpenApiInterpreter::InterpretImpl(
     return Status::InvalidArgument("need at least two classes");
   }
 
-  const Vec y0 = api.Predict(x0);
-  *consumed += 1;
+  Vec y0;
+  if (y0_hint != nullptr) {
+    y0 = *y0_hint;  // anchor prediction already paid for by the caller
+  } else {
+    OPENAPI_RETURN_NOT_OK(CheckRequestControls(options, *consumed, 1));
+    y0 = api.Predict(x0);
+    *consumed += 1;
+  }
 
   // Saturation analysis at the anchor. A class whose probability
   // underflows at x0 (zero or subnormal) makes that class's log-ratios
   // non-finite or hopelessly imprecise in the x0 row of every iteration —
   // shrinking can never fix it. Solve against
   // a reference that cannot saturate (argmax(y0) >= 1/C) and with per-pair
-  // row masking; the doubled probe budget keeps masked systems
+  // row masking; adaptive top-up draws keep masked systems
   // overdetermined. The requested class's pairs are recovered from the
   // reference pairs by ConvertReferencePairs.
   bool x0_saturated = false;
   for (double p : y0) x0_saturated = x0_saturated || p < kMinUsableProb;
   const size_t ref = y0[c] >= kMinUsableProb ? c : linalg::ArgMax(y0);
-  const size_t probes_per_iter = x0_saturated ? 2 * (d + 1) : d + 1;
+  const size_t probes_per_iter = d + 1;
 
   double r = config_.initial_edge;
   for (size_t iter = 0; iter < config_.max_iterations; ++iter) {
     // Sample the iteration's probes; together with x0 they give the
     // equations of Ω (Algorithm 1 line 2). All probes of one iteration go
-    // to the endpoint as a single batched request.
+    // to the endpoint as a single batched request. The controls gate
+    // comes first: a request rejected here never started this iteration,
+    // so it is not counted in *iterations.
+    OPENAPI_RETURN_NOT_OK(
+        CheckRequestControls(options, *consumed, probes_per_iter));
+    *iterations = iter + 1;
     std::vector<Vec> probes = SampleHypercube(x0, r, probes_per_iter, rng);
     std::vector<Vec> predictions = api.PredictBatch(probes);
     *consumed += probes.size();
@@ -175,6 +217,40 @@ Result<Interpretation> OpenApiInterpreter::InterpretImpl(
 
     std::optional<std::vector<CoreParameters>> ref_pairs;
     if (x0_saturated) {
+      // Adaptive top-up: instead of doubling the whole budget upfront,
+      // draw exactly the worst pair's usable-row deficit, re-check, and
+      // repeat — capped at d+1 extra probes so an iteration never costs
+      // more than the old uniform doubling. A pair that lost its x0 row
+      // needs at least one top-up (d+2 probe rows > the d+1 base), but
+      // when saturation is confined to near-x0 the deficit is 1 and the
+      // iteration costs d+2 instead of 2(d+1).
+      size_t top_up_cap = d + 1;
+      bool too_few_rows = false;
+      for (;;) {
+        const size_t deficit =
+            MaxPairRowDeficit(predictions, ref, num_classes, d);
+        if (deficit == 0) break;
+        if (top_up_cap == 0) {
+          too_few_rows = true;
+          break;
+        }
+        const size_t draw = std::min(deficit, top_up_cap);
+        OPENAPI_RETURN_NOT_OK(CheckRequestControls(options, *consumed, draw));
+        std::vector<Vec> extra = SampleHypercube(x0, r, draw, rng);
+        std::vector<Vec> extra_predictions = api.PredictBatch(extra);
+        *consumed += draw;
+        top_up_cap -= draw;
+        for (size_t k = 0; k < extra.size(); ++k) {
+          probes.push_back(std::move(extra[k]));
+          predictions.push_back(std::move(extra_predictions[k]));
+        }
+      }
+      if (too_few_rows) {
+        // The draws landed mostly on the saturated halfspace; shrinking
+        // cannot change which side a symmetric hypercube covers, so
+        // redraw at the same edge.
+        continue;
+      }
       std::vector<CoreParameters> masked;
       switch (SolvePairsMaskedRows(x0, probes, predictions, ref,
                                    num_classes, config_.consistency_tol,
@@ -183,10 +259,7 @@ Result<Interpretation> OpenApiInterpreter::InterpretImpl(
           ref_pairs = std::move(masked);
           break;
         case MaskedOutcome::kTooFewRows:
-          // The draw landed mostly on the saturated halfspace; shrinking
-          // cannot change which side a symmetric hypercube covers, so
-          // redraw at the same edge.
-          continue;
+          continue;  // unreachable given the deficit loop; kept as a guard
         case MaskedOutcome::kShrink:
           r *= config_.shrink_factor;
           continue;

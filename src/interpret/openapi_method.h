@@ -23,22 +23,34 @@
 //    never be shrunk away, so it gets a dedicated recovery path instead of
 //    burning the full iteration budget: the solve switches its reference
 //    class to argmax(y0) (whose probability is >= 1/C, never saturated),
-//    doubles the probe budget, drops each pair's unusable rows — zero or
-//    subnormal probabilities, whose logs would poison the residual test —
-//    while keeping the system overdetermined so the consistency
-//    certificate survives, and converts the recovered pairs back to the
-//    requested class algebraically (ConvertReferencePairs). A draw that
+//    drops each pair's unusable rows — zero or subnormal probabilities,
+//    whose logs would poison the residual test — while topping up the
+//    probe set so every masked system stays overdetermined and the
+//    consistency certificate survives, and converts the recovered pairs
+//    back to the requested class algebraically (ConvertReferencePairs). A draw that
 //    leaves too few usable rows is retried at the same edge (the
 //    saturated halfspace through x0 does not shrink away); only a genuine
 //    inconsistency still halves the hypercube. Extraction callers that
 //    pin the reference to class 0 inherit the fix: the converted pairs are
 //    reference-0 pairs, re-canonicalized to the column-0-pinned gauge by
 //    CanonicalModelFromPairs as usual.
+//  * The saturated path's probe budget is ADAPTIVE: each iteration draws
+//    the usual d+1 probes, then tops up with exactly the worst pair's
+//    usable-row deficit (re-checked after each top-up batch, capped at
+//    d+1 extra so an iteration never exceeds the old uniform 2(d+1)
+//    doubling). When saturation is confined to the x0 row this costs
+//    d+2 probes instead of 2(d+1) — roughly half.
+//  * Per-request controls (RequestOptions: query budget, deadline,
+//    cancellation) are checked before the anchor query and before every
+//    probe batch, so a request with max_queries = Q never issues more
+//    than Q queries; on rejection the consumed count reported through
+//    InterpretCounted is exact.
 
 #ifndef OPENAPI_INTERPRET_OPENAPI_METHOD_H_
 #define OPENAPI_INTERPRET_OPENAPI_METHOD_H_
 
 #include "interpret/decision_features.h"
+#include "interpret/request_options.h"
 
 namespace openapi::interpret {
 
@@ -70,24 +82,36 @@ class OpenApiInterpreter : public BlackBoxInterpreter {
                                    const Vec& x0, size_t c,
                                    util::Rng* rng) const override;
 
-  /// Interpret with exact cost reporting on every path: on return,
-  /// *queries_consumed (if non-null) holds the number of API queries this
-  /// call actually issued, success or failure. The interpretation engine
-  /// uses this so its aggregate accounting matches the api's atomic
-  /// query_count in every error path — a failed solve still consumed its
-  /// probes. Interpret() above is InterpretCounted with the count dropped.
-  Result<Interpretation> InterpretCounted(const api::PredictionApi& api,
-                                          const Vec& x0, size_t c,
-                                          util::Rng* rng,
-                                          uint64_t* queries_consumed) const;
+  /// Interpret with exact cost reporting on every path. *queries_consumed
+  /// (if non-null) is IN/OUT: on entry, the queries the caller already
+  /// spent on this request (counted against `options` and included in the
+  /// totals, so budget rejections report the request's true consumption);
+  /// on return, the request's total, success or failure. The
+  /// interpretation engine uses this so its aggregate accounting matches
+  /// the api's atomic query_count in every error path — a failed solve
+  /// still consumed its probes. `options` carries the per-request
+  /// budget/deadline/cancel controls, enforced before every probe batch
+  /// (default: unlimited); *iterations (if non-null) reports the shrink
+  /// iterations attempted, success or failure. `y0_hint` (if non-null) is
+  /// the endpoint's prediction at x0, already paid for by the caller —
+  /// the solver then skips its own anchor query, so a cache miss in the
+  /// engine does not bill x0 twice against the request's budget.
+  /// Interpret() above is InterpretCounted with the count dropped and
+  /// default controls.
+  Result<Interpretation> InterpretCounted(
+      const api::PredictionApi& api, const Vec& x0, size_t c, util::Rng* rng,
+      uint64_t* queries_consumed, const RequestOptions& options = {},
+      size_t* iterations = nullptr, const Vec* y0_hint = nullptr) const;
 
   const OpenApiConfig& config() const { return config_; }
 
  private:
   Result<Interpretation> InterpretImpl(const api::PredictionApi& api,
                                        const Vec& x0, size_t c,
-                                       util::Rng* rng,
-                                       uint64_t* consumed) const;
+                                       util::Rng* rng, uint64_t* consumed,
+                                       const RequestOptions& options,
+                                       size_t* iterations,
+                                       const Vec* y0_hint) const;
 
   OpenApiConfig config_;
 };

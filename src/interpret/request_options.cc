@@ -1,0 +1,30 @@
+#include "interpret/request_options.h"
+
+#include "util/string_util.h"
+
+namespace openapi::interpret {
+
+Status CheckRequestControls(const RequestOptions& options, uint64_t consumed,
+                            uint64_t next_cost) {
+  if (options.cancel.cancel_requested()) {
+    return Status::Cancelled(util::StrFormat(
+        "request cancelled after %llu queries",
+        static_cast<unsigned long long>(consumed)));
+  }
+  if (options.deadline.has_value() &&
+      std::chrono::steady_clock::now() >= *options.deadline) {
+    return Status::DeadlineExceeded(util::StrFormat(
+        "deadline exceeded after %llu queries",
+        static_cast<unsigned long long>(consumed)));
+  }
+  if (options.max_queries > 0 && consumed + next_cost > options.max_queries) {
+    return Status::BudgetExhausted(util::StrFormat(
+        "query budget %llu exhausted: %llu consumed, next batch needs %llu",
+        static_cast<unsigned long long>(options.max_queries),
+        static_cast<unsigned long long>(consumed),
+        static_cast<unsigned long long>(next_cost)));
+  }
+  return Status::OK();
+}
+
+}  // namespace openapi::interpret

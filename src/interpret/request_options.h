@@ -1,0 +1,65 @@
+// Per-request serving controls: query budget, deadline, cancellation.
+//
+// A serving system in front of a metered black-box API treats queries as
+// the first-class resource (cf. Tramèr et al., USENIX Security 2016): the
+// closed-form solver is exact, but its shrink loop may legally consume up
+// to max_iterations batches before giving up, and a caller needs to say
+// "spend at most Q queries / T milliseconds on this request" — or revoke
+// work that is no longer needed. RequestOptions carries those three
+// controls; the solver and the engine's cached path check them BEFORE
+// every probe batch, so a request with max_queries = Q never issues more
+// than Q API queries and every rejection reports the exact count it did
+// consume (via interpret::EngineResponse::queries and the solver's
+// queries_consumed out-parameter).
+//
+// Defaults are "unlimited": zero budget means no budget, no deadline, an
+// empty CancelToken. A default RequestOptions therefore reproduces the
+// pre-session behavior exactly.
+
+#ifndef OPENAPI_INTERPRET_REQUEST_OPTIONS_H_
+#define OPENAPI_INTERPRET_REQUEST_OPTIONS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+
+#include "util/cancellation.h"
+#include "util/status.h"
+
+namespace openapi::interpret {
+
+struct RequestOptions {
+  /// Maximum API queries this request may consume, across the cached
+  /// path's validation pair AND the solver's probe batches. 0 = unlimited.
+  uint64_t max_queries = 0;
+
+  /// Absolute wall-clock deadline. Checked before every probe batch; work
+  /// in flight is finished, no new batch starts past the deadline.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+
+  /// Cooperative cancellation handle (empty = never cancelled).
+  util::CancelToken cancel;
+
+  static RequestOptions WithBudget(uint64_t queries) {
+    RequestOptions options;
+    options.max_queries = queries;
+    return options;
+  }
+
+  static RequestOptions WithTimeout(std::chrono::milliseconds timeout) {
+    RequestOptions options;
+    options.deadline = std::chrono::steady_clock::now() + timeout;
+    return options;
+  }
+};
+
+/// Gate before spending `next_cost` more queries on a request that has
+/// already consumed `consumed`: OK, or Cancelled / DeadlineExceeded /
+/// BudgetExhausted (checked in that order) with the exact consumed count
+/// in the message. next_cost == 0 checks only cancellation + deadline.
+Status CheckRequestControls(const RequestOptions& options, uint64_t consumed,
+                            uint64_t next_cost);
+
+}  // namespace openapi::interpret
+
+#endif  // OPENAPI_INTERPRET_REQUEST_OPTIONS_H_

@@ -30,7 +30,6 @@
 #include "eval/plotting.h"
 #include "eval/sample_quality.h"
 #include "extract/boundary.h"
-#include "extract/cached_interpreter.h"
 #include "extract/local_model_extractor.h"
 #include "extract/surrogate.h"
 #include "interpret/decision_features.h"
@@ -40,6 +39,7 @@
 #include "interpret/naive_method.h"
 #include "interpret/openapi_method.h"
 #include "interpret/report.h"
+#include "interpret/request_options.h"
 #include "interpret/zoo_method.h"
 #include "linalg/cholesky.h"
 #include "linalg/least_squares.h"

@@ -1,0 +1,59 @@
+// Cooperative cancellation for in-flight serving requests.
+//
+// A CancelToken is a cheap, copyable handle to one shared cancellation
+// flag. The serving layer attaches a token to a request (see
+// interpret::RequestOptions) and the solver polls it between probe
+// batches: work already paid for is kept (the consumed-query count stays
+// exact), but no further API queries are issued once cancellation is
+// requested.
+//
+// A default-constructed token is EMPTY: it never reports cancellation and
+// allocates nothing, so "no cancellation" costs nothing on the request
+// path. Create a live token with CancelToken::Cancellable() and hand
+// copies to every party that may need to revoke the work.
+//
+// Thread safety: all members are safe to call concurrently; the flag is a
+// single relaxed atomic (cancellation needs no ordering guarantees beyond
+// eventual visibility — the poll sites re-check on every batch).
+
+#ifndef OPENAPI_UTIL_CANCELLATION_H_
+#define OPENAPI_UTIL_CANCELLATION_H_
+
+#include <atomic>
+#include <memory>
+
+namespace openapi::util {
+
+class CancelToken {
+ public:
+  /// Empty token: cancel_requested() is always false, RequestCancel() is a
+  /// no-op. No allocation.
+  CancelToken() = default;
+
+  /// A live token backed by a shared flag. Copies share the flag.
+  static CancelToken Cancellable() {
+    CancelToken token;
+    token.state_ = std::make_shared<std::atomic<bool>>(false);
+    return token;
+  }
+
+  /// Flips the shared flag. Idempotent; no-op on an empty token.
+  void RequestCancel() const {
+    if (state_ != nullptr) state_->store(true, std::memory_order_relaxed);
+  }
+
+  bool cancel_requested() const {
+    return state_ != nullptr && state_->load(std::memory_order_relaxed);
+  }
+
+  /// True when this token can ever report cancellation (i.e. it was made
+  /// by Cancellable(), not default-constructed).
+  bool cancellable() const { return state_ != nullptr; }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> state_;
+};
+
+}  // namespace openapi::util
+
+#endif  // OPENAPI_UTIL_CANCELLATION_H_

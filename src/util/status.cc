@@ -20,6 +20,12 @@ const char* StatusCodeName(StatusCode code) {
       return "DidNotConverge";
     case StatusCode::kIoError:
       return "IoError";
+    case StatusCode::kBudgetExhausted:
+      return "BudgetExhausted";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
     case StatusCode::kUnknown:
       return "Unknown";
   }

@@ -29,6 +29,9 @@ enum class StatusCode {
   kNumericalError,   // singular / inconsistent / non-finite systems
   kDidNotConverge,   // iterative procedure hit its iteration cap
   kIoError,
+  kBudgetExhausted,   // per-request query budget would be overspent
+  kCancelled,         // caller revoked the request via its CancelToken
+  kDeadlineExceeded,  // per-request wall-clock deadline passed
   kUnknown,
 };
 
@@ -62,6 +65,15 @@ class Status {
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
+  static Status BudgetExhausted(std::string msg) {
+    return Status(StatusCode::kBudgetExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -84,6 +96,13 @@ class Status {
   }
   bool IsIoError() const { return code() == StatusCode::kIoError; }
   bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsBudgetExhausted() const {
+    return code() == StatusCode::kBudgetExhausted;
+  }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
 
  private:
   struct Rep {

@@ -5,6 +5,13 @@
 #include "util/check.h"
 
 namespace openapi::util {
+namespace {
+
+/// The pool whose WorkerLoop owns the current thread, if any. Worker
+/// threads live exactly as long as their pool, so a raw pointer is safe.
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   OPENAPI_CHECK_GE(num_threads, 1u);
@@ -38,7 +45,12 @@ void ThreadPool::Wait() {
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+bool ThreadPool::OnWorkerThread() const {
+  return tls_worker_pool == this;
+}
+
 void ThreadPool::WorkerLoop() {
+  tls_worker_pool = this;
   while (true) {
     std::function<void()> task;
     {

@@ -50,6 +50,12 @@ class ThreadPool {
   /// futures) when the pool is shared.
   void Wait();
 
+  /// True when the CALLING thread is one of this pool's workers. Nested
+  /// dispatchers (e.g. api::ApiReplicaSet's batch sharding) use this to
+  /// run work inline instead of blocking a worker on its own pool — the
+  /// deadlock-free story for pool-on-pool composition.
+  bool OnWorkerThread() const;
+
   size_t num_threads() const { return workers_.size(); }
 
  private:

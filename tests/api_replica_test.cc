@@ -4,11 +4,14 @@
 
 #include "api/api_replica_set.h"
 
+#include <future>
+
 #include <gtest/gtest.h>
 
 #include "eval/exactness.h"
 #include "interpret/interpretation_engine.h"
 #include "nn/plnn.h"
+#include "util/thread_pool.h"
 
 namespace openapi::api {
 namespace {
@@ -79,17 +82,19 @@ TEST(ApiReplicaSetTest, EngineTotalsEqualTheSumOfReplicaCounters) {
   nn::Plnn net = MakeNet(93);
   ApiReplicaSet set(&net, 4);
   interpret::InterpretationEngine engine;
+  auto session = engine.OpenSession(set);
   util::Rng rng(10);
   std::vector<interpret::EngineRequest> requests;
   for (size_t i = 0; i < 30; ++i) {
     requests.push_back({rng.UniformVector(6, 0.05, 0.95), i % 3});
   }
-  auto results = engine.InterpretAll(set, requests, /*seed=*/101);
-  for (size_t i = 0; i < results.size(); ++i) {
-    ASSERT_TRUE(results[i].ok()) << results[i].status().ToString();
-    EXPECT_LT(
-        eval::L1Dist(net, requests[i].x0, requests[i].c, results[i]->dc),
-        1e-6)
+  auto responses = session->InterpretAll(requests, /*seed=*/101);
+  for (size_t i = 0; i < responses.size(); ++i) {
+    ASSERT_TRUE(responses[i].result.ok())
+        << responses[i].result.status().ToString();
+    EXPECT_LT(eval::L1Dist(net, requests[i].x0, requests[i].c,
+                           responses[i].result->dc),
+              1e-6)
         << "request " << i;
   }
   uint64_t replica_sum = 0;
@@ -97,8 +102,56 @@ TEST(ApiReplicaSetTest, EngineTotalsEqualTheSumOfReplicaCounters) {
     replica_sum += set.replica_query_count(r);
   }
   EXPECT_EQ(replica_sum, set.query_count());
-  EXPECT_EQ(engine.stats().queries, set.query_count());
+  EXPECT_EQ(session->stats().queries, set.query_count());
   EXPECT_GT(replica_sum, 0u);
+}
+
+TEST(ApiReplicaSetTest, PoolWorkerDispatchRunsInlineWithoutDeadlock) {
+  // Large-batch shard dispatch now rides the process-wide shared pool.
+  // The deadlock-free story: a caller that IS a shared-pool worker runs
+  // its shards inline instead of blocking on its own pool. Saturate the
+  // pool with tasks that each push a concurrent-dispatch-sized batch
+  // through the set; every task must complete (no worker ever waits on
+  // the queue) with results identical to the single endpoint's.
+  nn::Plnn net = MakeNet(95);
+  PredictionApi single(&net);
+  ApiReplicaSet set(&net, 4);
+  util::Rng rng(12);
+  std::vector<Vec> xs;
+  for (size_t i = 0; i < 128; ++i) {
+    xs.push_back(rng.UniformVector(6, 0.0, 1.0));
+  }
+  const std::vector<Vec> expected = single.PredictBatch(xs);
+
+  util::ThreadPool* pool = util::SharedThreadPool();
+  ASSERT_FALSE(pool->OnWorkerThread());
+  const size_t tasks = 2 * pool->num_threads();
+  std::vector<std::promise<bool>> done(tasks);
+  std::vector<std::future<bool>> futures;
+  futures.reserve(tasks);
+  for (size_t t = 0; t < tasks; ++t) {
+    futures.push_back(done[t].get_future());
+    pool->Submit([&, t] {
+      // Inside a worker: the set must detect this and go inline.
+      std::vector<Vec> got = set.PredictBatch(xs);
+      bool ok = pool->OnWorkerThread() && got.size() == expected.size();
+      for (size_t i = 0; ok && i < got.size(); ++i) {
+        ok = got[i] == expected[i];
+      }
+      done[t].set_value(ok);
+    });
+  }
+  for (size_t t = 0; t < tasks; ++t) {
+    EXPECT_TRUE(futures[t].get()) << "task " << t;
+  }
+  // And from this non-worker thread the same batch takes the pooled
+  // dispatch path, with identical results and exact accounting.
+  set.ResetQueryCount();
+  std::vector<Vec> pooled = set.PredictBatch(xs);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_EQ(pooled[i], expected[i]) << "sample " << i;
+  }
+  EXPECT_EQ(set.query_count(), xs.size());
 }
 
 TEST(ApiReplicaSetTest, InterpretationThroughReplicasStaysExact) {

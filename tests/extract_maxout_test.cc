@@ -4,10 +4,10 @@
 
 #include <gtest/gtest.h>
 
-#include "extract/cached_interpreter.h"
 #include "extract/local_model_extractor.h"
 #include "extract/surrogate.h"
 #include "eval/exactness.h"
+#include "interpret/interpretation_engine.h"
 #include "nn/maxout.h"
 
 namespace openapi::extract {
@@ -59,19 +59,30 @@ TEST(MaxoutExtractTest, SurrogateCloneWorks) {
   EXPECT_GT(report.label_agreement, 0.8);
 }
 
-TEST(MaxoutExtractTest, CachedInterpreterExactOnMaxout) {
+TEST(MaxoutExtractTest, CachedEngineSessionExactOnMaxout) {
+  // The engine's region-cached path (which replaced the deprecated
+  // extract::CachedInterpreter) is just as model-agnostic as the raw
+  // extractor: exact answers on MaxOut regions, hit or miss.
   nn::MaxoutPlnn net = MakeNet(5);
   api::PredictionApi api(&net);
-  CachedInterpreter cached;
+  interpret::EngineConfig config;
+  config.num_threads = 1;
+  interpret::InterpretationEngine engine(config);
+  auto session = engine.OpenSession(api);
   util::Rng rng(6);
   for (int trial = 0; trial < 15; ++trial) {
     Vec x0 = rng.UniformVector(5, 0.1, 0.9);
     size_t c = rng.Index(3);
-    auto result = cached.Interpret(api, x0, c, &rng);
-    ASSERT_TRUE(result.ok()) << result.status().ToString();
-    EXPECT_LT(eval::L1Dist(net, x0, c, result->dc), 1e-6);
+    auto response = session->Interpret({x0, c}, /*seed=*/6, trial);
+    ASSERT_TRUE(response.result.ok())
+        << response.result.status().ToString();
+    EXPECT_LT(eval::L1Dist(net, x0, c, response.result->dc), 1e-6);
   }
-  EXPECT_EQ(cached.cache_hits() + cached.cache_misses(), 15u);
+  interpret::EngineStats stats = session->stats();
+  EXPECT_EQ(stats.requests, 15u);
+  EXPECT_EQ(stats.point_memo_hits + stats.cache_hits + stats.cache_misses,
+            15u);
+  EXPECT_EQ(stats.queries, api.query_count());
 }
 
 TEST(MaxoutExtractTest, SinglePieceNetIsOneRegionEverywhere) {

@@ -1,7 +1,8 @@
-// The async serving layer: SubmitAsync futures and InterpretStream must
-// produce exactly the results of the synchronous paths — identical content
-// per request index at any thread count and any completion order — while
-// racing safely with ClearCache and engine destruction.
+// The async serving layer on sessions: SubmitAsync futures and
+// SessionStream must produce exactly the results of the synchronous paths
+// — identical content per request index at any thread count and any
+// completion order — while racing safely with ClearCache and engine
+// destruction.
 
 #include <future>
 #include <vector>
@@ -57,45 +58,49 @@ TEST(SubmitAsyncTest, BitMatchesInterpretAllWithoutCache) {
 
   InterpretationEngine sync_engine(config);
   api::PredictionApi sync_api(&net);
-  auto expected = sync_engine.InterpretAll(sync_api, requests, /*seed=*/43);
+  auto sync_session = sync_engine.OpenSession(sync_api);
+  auto expected = sync_session->InterpretAll(requests, /*seed=*/43);
 
   InterpretationEngine async_engine(config);
   api::PredictionApi async_api(&net);
-  std::vector<std::future<Result<Interpretation>>> futures;
+  auto async_session = async_engine.OpenSession(async_api);
+  std::vector<std::future<EngineResponse>> futures;
   for (size_t i = 0; i < requests.size(); ++i) {
     futures.push_back(
-        async_engine.SubmitAsync(async_api, requests[i], /*seed=*/43, i));
+        async_session->SubmitAsync(requests[i], /*seed=*/43, i));
   }
   for (size_t i = 0; i < futures.size(); ++i) {
-    Result<Interpretation> got = futures[i].get();
-    ASSERT_TRUE(got.ok()) << "request " << i;
-    ASSERT_TRUE(expected[i].ok());
-    EXPECT_EQ(got->dc, expected[i]->dc) << "request " << i;
-    EXPECT_EQ(got->queries, expected[i]->queries);
+    EngineResponse got = futures[i].get();
+    ASSERT_TRUE(got.result.ok()) << "request " << i;
+    ASSERT_TRUE(expected[i].result.ok());
+    EXPECT_EQ(got.result->dc, expected[i].result->dc) << "request " << i;
+    EXPECT_EQ(got.queries, expected[i].queries);
   }
-  EXPECT_EQ(async_engine.stats().queries, async_api.query_count());
+  EXPECT_EQ(async_session->stats().queries, async_api.query_count());
 }
 
-TEST(SubmitAsyncTest, SharesTheRegionCacheWithSyncCalls) {
+TEST(SubmitAsyncTest, SharesTheSessionCacheWithSyncCalls) {
   lmt::LogisticModelTree tree = MakeTree(2);
   api::PredictionApi api(&tree);
   InterpretationEngine engine;
+  auto session = engine.OpenSession(api);
   util::Rng rng(5);
   Vec x0 = rng.UniformVector(5, 0.2, 0.8);
-  ASSERT_TRUE(engine.Interpret(api, x0, 0, /*seed=*/47, 0).ok());
+  ASSERT_TRUE(session->Interpret({x0, 0}, /*seed=*/47, 0).result.ok());
   // The async repeat of the same instance must be a point-memo hit.
-  auto future = engine.SubmitAsync(api, {x0, 1}, /*seed=*/47, 1);
-  Result<Interpretation> repeat = future.get();
-  ASSERT_TRUE(repeat.ok());
-  EXPECT_EQ(repeat->queries, 0u);
-  EXPECT_GE(engine.stats().point_memo_hits, 1u);
-  EXPECT_EQ(engine.stats().queries, api.query_count());
+  auto future = session->SubmitAsync({x0, 1}, /*seed=*/47, 1);
+  EngineResponse repeat = future.get();
+  ASSERT_TRUE(repeat.result.ok());
+  EXPECT_EQ(repeat.queries, 0u);
+  EXPECT_EQ(repeat.cache_outcome, CacheOutcome::kPointMemo);
+  EXPECT_GE(session->stats().point_memo_hits, 1u);
+  EXPECT_EQ(session->stats().queries, api.query_count());
 }
 
 TEST(SubmitAsyncTest, RacingClearCacheKeepsResultsExactAndCountsAligned) {
-  // Hammer the engine with async submissions while clearing the cache
+  // Hammer the session with async submissions while clearing the cache
   // underneath them. Every answer must still be exact (cache hits
-  // re-validate against the API, misses re-extract) and the engine's
+  // re-validate against the API, misses re-extract) and the session's
   // query accounting must match the endpoint's atomic counter exactly —
   // including requests that raced a ClearCache mid-flight.
   lmt::LogisticModelTree tree = MakeTree(3);
@@ -103,51 +108,56 @@ TEST(SubmitAsyncTest, RacingClearCacheKeepsResultsExactAndCountsAligned) {
   EngineConfig config;
   config.num_threads = 4;
   InterpretationEngine engine(config);
+  auto session = engine.OpenSession(api);
   std::vector<EngineRequest> requests = RandomRequests(120, 5, 3, 53);
-  std::vector<std::future<Result<Interpretation>>> futures;
+  std::vector<std::future<EngineResponse>> futures;
   for (size_t i = 0; i < requests.size(); ++i) {
-    futures.push_back(engine.SubmitAsync(api, requests[i], /*seed=*/59, i));
-    if (i % 7 == 0) engine.ClearCache();
+    futures.push_back(session->SubmitAsync(requests[i], /*seed=*/59, i));
+    if (i % 7 == 0) session->ClearCache();
   }
-  engine.ClearCache();  // one more race while the tail is still running
+  session->ClearCache();  // one more race while the tail is still running
   for (size_t i = 0; i < futures.size(); ++i) {
-    Result<Interpretation> result = futures[i].get();
-    ASSERT_TRUE(result.ok())
-        << "request " << i << ": " << result.status().ToString();
-    EXPECT_LT(eval::L1Dist(tree, requests[i].x0, requests[i].c, result->dc),
+    EngineResponse response = futures[i].get();
+    ASSERT_TRUE(response.result.ok())
+        << "request " << i << ": " << response.result.status().ToString();
+    EXPECT_LT(eval::L1Dist(tree, requests[i].x0, requests[i].c,
+                           response.result->dc),
               1e-6)
         << "request " << i;
   }
-  EXPECT_EQ(engine.stats().queries, api.query_count());
-  EXPECT_EQ(engine.stats().failures, 0u);
+  EXPECT_EQ(session->stats().queries, api.query_count());
+  EXPECT_EQ(session->stats().failures, 0u);
 }
 
-TEST(InterpretStreamTest, YieldsEveryRequestExactlyOnceAsItCompletes) {
-  lmt::LogisticModelTree tree = MakeTree(4);
+TEST(SubmitAsyncTest, EvictionRacesAsyncTrafficSafely) {
+  // Same hammer, through a capacity-2 cache: concurrent inserts must
+  // evict without ever serving a stale memo entry (point-memo answers
+  // skip API validation, so a live entry for a dead slot would be a
+  // WRONG answer, not a slow one).
+  lmt::LogisticModelTree tree = MakeTree(9);
   api::PredictionApi api(&tree);
-  InterpretationEngine engine;
-  std::vector<EngineRequest> requests = RandomRequests(24, 5, 3, 61);
-  InterpretationStream stream =
-      engine.InterpretStream(api, requests, /*seed=*/67);
-  EXPECT_EQ(stream.total(), requests.size());
-  std::vector<int> seen(requests.size(), 0);
-  while (auto item = stream.Next()) {
-    ASSERT_LT(item->index, requests.size());
-    ++seen[item->index];
-    ASSERT_TRUE(item->result.ok()) << item->result.status().ToString();
-    EXPECT_LT(eval::L1Dist(tree, requests[item->index].x0,
-                           requests[item->index].c, item->result->dc),
-              1e-6);
+  EngineConfig config;
+  config.num_threads = 4;
+  InterpretationEngine engine(config);
+  auto session = engine.OpenSession(api, /*cache_capacity=*/2);
+  std::vector<EngineRequest> requests = RandomRequests(120, 5, 3, 97);
+  std::vector<std::future<EngineResponse>> futures;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    futures.push_back(session->SubmitAsync(requests[i], /*seed=*/101, i));
   }
-  for (size_t i = 0; i < seen.size(); ++i) {
-    EXPECT_EQ(seen[i], 1) << "request " << i;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    EngineResponse response = futures[i].get();
+    ASSERT_TRUE(response.result.ok()) << "request " << i;
+    EXPECT_LT(eval::L1Dist(tree, requests[i].x0, requests[i].c,
+                           response.result->dc),
+              1e-6)
+        << "request " << i;
   }
-  EXPECT_EQ(stream.delivered(), requests.size());
-  EXPECT_FALSE(stream.Next().has_value());  // drained stays drained
-  EXPECT_EQ(engine.stats().queries, api.query_count());
+  EXPECT_LE(session->cache_size(), 2u);
+  EXPECT_EQ(session->stats().queries, api.query_count());
 }
 
-TEST(InterpretStreamTest, CompletionOrderNeverChangesResultContent) {
+TEST(SessionStreamTest, CompletionOrderNeverChangesResultContent) {
   // Streaming yields in completion order, which is scheduling-dependent —
   // but the content for request i is pinned by (seed, i). With the cache
   // off, reassembling the stream by index must reproduce InterpretAll
@@ -159,55 +169,79 @@ TEST(InterpretStreamTest, CompletionOrderNeverChangesResultContent) {
   stream_config.num_threads = 4;
   InterpretationEngine stream_engine(stream_config);
   api::PredictionApi stream_api(&net);
-  InterpretationStream stream =
-      stream_engine.InterpretStream(stream_api, requests, /*seed=*/73);
+  auto stream_session = stream_engine.OpenSession(stream_api);
+  SessionStream stream =
+      stream_session->InterpretStream(requests, /*seed=*/73);
 
   EngineConfig sync_config;
   sync_config.use_region_cache = false;
   sync_config.num_threads = 1;
   InterpretationEngine sync_engine(sync_config);
   api::PredictionApi sync_api(&net);
-  auto expected = sync_engine.InterpretAll(sync_api, requests, /*seed=*/73);
+  auto sync_session = sync_engine.OpenSession(sync_api);
+  auto expected = sync_session->InterpretAll(requests, /*seed=*/73);
 
   std::vector<std::optional<Vec>> streamed(requests.size());
   while (auto item = stream.Next()) {
-    ASSERT_TRUE(item->result.ok());
-    streamed[item->index] = item->result->dc;
+    ASSERT_TRUE(item->response.result.ok());
+    streamed[item->index] = item->response.result->dc;
   }
   for (size_t i = 0; i < requests.size(); ++i) {
     ASSERT_TRUE(streamed[i].has_value());
-    ASSERT_TRUE(expected[i].ok());
-    EXPECT_EQ(*streamed[i], expected[i]->dc) << "request " << i;
+    ASSERT_TRUE(expected[i].result.ok());
+    EXPECT_EQ(*streamed[i], expected[i].result->dc) << "request " << i;
   }
 }
 
-TEST(InterpretStreamTest, EmptyBatchDrainsImmediately) {
+TEST(SessionStreamTest, EmptyBatchDrainsImmediately) {
   nn::Plnn net = MakeNet(63);
   api::PredictionApi api(&net);
   InterpretationEngine engine;
-  InterpretationStream stream = engine.InterpretStream(api, {}, 1);
+  auto session = engine.OpenSession(api);
+  SessionStream stream = session->InterpretStream({}, 1);
   EXPECT_EQ(stream.total(), 0u);
   EXPECT_FALSE(stream.Next().has_value());
 }
 
-TEST(InterpretStreamTest, SurvivesEngineDestruction) {
-  // The engine destructor drains its async tasks, so a stream may be
-  // consumed after the engine is gone: every item is already queued in
-  // the shared state by then.
+TEST(SessionStreamTest, SurvivesEngineAndSessionDestruction) {
+  // The engine destructor drains its async tasks and workers hold the
+  // session via shared_ptr, so a stream may be consumed after BOTH the
+  // engine and the caller's session handle are gone: every item is
+  // already queued in the shared state by then.
   nn::Plnn net = MakeNet(64);
   api::PredictionApi api(&net);
   std::vector<EngineRequest> requests = RandomRequests(8, 6, 3, 79);
-  InterpretationStream stream;
+  SessionStream stream;
   {
     InterpretationEngine engine;
-    stream = engine.InterpretStream(api, requests, /*seed=*/83);
-  }  // blocks until all 8 results are queued
+    auto session = engine.OpenSession(api);
+    stream = session->InterpretStream(requests, /*seed=*/83);
+  }  // blocks until all 8 results are queued; session handle dropped
+  size_t count = 0;
+  while (auto item = stream.Next()) {
+    ASSERT_TRUE(item->response.result.ok());
+    ++count;
+  }
+  EXPECT_EQ(count, requests.size());
+}
+
+TEST(DeprecatedStreamShimTest, LegacyInterpretStreamStillYieldsResults) {
+  // The free-standing InterpretStream shim (bare Result items) keeps its
+  // contract for one release.
+  lmt::LogisticModelTree tree = MakeTree(6);
+  api::PredictionApi api(&tree);
+  InterpretationEngine engine;
+  std::vector<EngineRequest> requests = RandomRequests(12, 5, 3, 107);
+  InterpretationStream stream =
+      engine.InterpretStream(api, requests, /*seed=*/109);
+  EXPECT_EQ(stream.total(), requests.size());
   size_t count = 0;
   while (auto item = stream.Next()) {
     ASSERT_TRUE(item->result.ok());
     ++count;
   }
   EXPECT_EQ(count, requests.size());
+  EXPECT_EQ(engine.stats().queries, api.query_count());
 }
 
 TEST(SharedPoolTest, EnginesBorrowTheProcessPoolByDefault) {
@@ -227,26 +261,30 @@ TEST(SharedPoolTest, EnginesBorrowTheProcessPoolByDefault) {
 }
 
 TEST(SharedPoolTest, ConcurrentInterpretAllCallsShareOnePool) {
-  // Two engines on the shared pool running batches concurrently: the
+  // Two sessions on the shared pool running batches concurrently: the
   // per-call latch in ParallelFor must keep their completions separate.
   lmt::LogisticModelTree tree = MakeTree(5);
   api::PredictionApi api_a(&tree);
   api::PredictionApi api_b(&tree);
   InterpretationEngine engine_a;
   InterpretationEngine engine_b;
+  auto session_a = engine_a.OpenSession(api_a);
+  auto session_b = engine_b.OpenSession(api_b);
   std::vector<EngineRequest> requests = RandomRequests(20, 5, 3, 89);
   auto task = std::async(std::launch::async, [&] {
-    return engine_a.InterpretAll(api_a, requests, /*seed=*/97);
+    return session_a->InterpretAll(requests, /*seed=*/97);
   });
-  auto results_b = engine_b.InterpretAll(api_b, requests, /*seed=*/97);
-  auto results_a = task.get();
+  auto responses_b = session_b->InterpretAll(requests, /*seed=*/97);
+  auto responses_a = task.get();
   for (size_t i = 0; i < requests.size(); ++i) {
-    ASSERT_TRUE(results_a[i].ok());
-    ASSERT_TRUE(results_b[i].ok());
-    EXPECT_LT(linalg::L1Distance(results_a[i]->dc, results_b[i]->dc), 1e-6);
+    ASSERT_TRUE(responses_a[i].result.ok());
+    ASSERT_TRUE(responses_b[i].result.ok());
+    EXPECT_LT(linalg::L1Distance(responses_a[i].result->dc,
+                                 responses_b[i].result->dc),
+              1e-6);
   }
-  EXPECT_EQ(engine_a.stats().queries, api_a.query_count());
-  EXPECT_EQ(engine_b.stats().queries, api_b.query_count());
+  EXPECT_EQ(session_a->stats().queries, api_a.query_count());
+  EXPECT_EQ(session_b->stats().queries, api_b.query_count());
 }
 
 }  // namespace

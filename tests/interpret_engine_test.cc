@@ -1,6 +1,7 @@
-// InterpretationEngine: the concurrent pipeline must deliver the same
-// exact answers as the sequential path, with deterministic probe streams,
-// a correctly shared region cache, and exact query accounting.
+// InterpretationEngine + EndpointSession: the concurrent pipeline must
+// deliver the same exact answers as the sequential path, with
+// deterministic probe streams, correctly namespaced per-endpoint region
+// caches, and exact query accounting in the EngineResponse envelope.
 
 #include "interpret/interpretation_engine.h"
 
@@ -44,26 +45,31 @@ std::vector<EngineRequest> RandomRequests(size_t n, size_t d,
   return requests;
 }
 
-TEST(InterpretationEngineTest, RecoversExactFeaturesForAllRequests) {
+TEST(EndpointSessionTest, RecoversExactFeaturesForAllRequests) {
   nn::Plnn net = MakeNet();
   api::PredictionApi api(&net);
   InterpretationEngine engine;
+  auto session = engine.OpenSession(api);
   std::vector<EngineRequest> requests = RandomRequests(30, 6, 3, 7);
-  auto results = engine.InterpretAll(api, requests, /*seed=*/11);
-  ASSERT_EQ(results.size(), requests.size());
-  for (size_t i = 0; i < results.size(); ++i) {
-    ASSERT_TRUE(results[i].ok()) << results[i].status().ToString();
-    EXPECT_LT(
-        eval::L1Dist(net, requests[i].x0, requests[i].c, results[i]->dc),
-        1e-6)
+  auto responses = session->InterpretAll(requests, /*seed=*/11);
+  ASSERT_EQ(responses.size(), requests.size());
+  for (size_t i = 0; i < responses.size(); ++i) {
+    ASSERT_TRUE(responses[i].result.ok())
+        << responses[i].result.status().ToString();
+    EXPECT_LT(eval::L1Dist(net, requests[i].x0, requests[i].c,
+                           responses[i].result->dc),
+              1e-6)
         << "request " << i;
+    EXPECT_GE(responses[i].latency_ms, 0.0);
   }
-  EngineStats stats = engine.stats();
+  EngineStats stats = session->stats();
   EXPECT_EQ(stats.requests, 30u);
   EXPECT_EQ(stats.failures, 0u);
+  // The engine aggregates its sessions.
+  EXPECT_EQ(engine.stats().requests, 30u);
 }
 
-TEST(InterpretationEngineTest, RepeatedInstanceHitsPointMemoWithZeroQueries) {
+TEST(EndpointSessionTest, RepeatedInstanceHitsPointMemoWithZeroQueries) {
   nn::Plnn net = MakeNet(56);
   api::PredictionApi api(&net);
   // One worker: with several threads, identical-x0 requests can race past
@@ -72,45 +78,80 @@ TEST(InterpretationEngineTest, RepeatedInstanceHitsPointMemoWithZeroQueries) {
   EngineConfig config;
   config.num_threads = 1;
   InterpretationEngine engine(config);
+  auto session = engine.OpenSession(api);
   util::Rng rng(3);
   Vec x0 = rng.UniformVector(6, 0.2, 0.8);
   // The full-audit workload: every class of one instance.
   std::vector<EngineRequest> requests = {{x0, 0}, {x0, 1}, {x0, 2}};
-  auto results = engine.InterpretAll(api, requests, 13);
-  for (const auto& r : results) ASSERT_TRUE(r.ok());
-  EngineStats stats = engine.stats();
+  auto responses = session->InterpretAll(requests, 13);
+  for (const auto& r : responses) ASSERT_TRUE(r.result.ok());
+  EngineStats stats = session->stats();
   EXPECT_EQ(stats.cache_misses, 1u);
   EXPECT_EQ(stats.point_memo_hits, 2u);
-  EXPECT_EQ(engine.cache_size(), 1u);
-  // The memo answers cost zero queries, and engine accounting is exact.
+  EXPECT_EQ(session->cache_size(), 1u);
+  // The memo answers cost zero queries, and session accounting is exact.
   EXPECT_EQ(stats.queries, api.query_count());
+  EXPECT_EQ(responses[0].cache_outcome, CacheOutcome::kMiss);
+  EXPECT_EQ(responses[1].cache_outcome, CacheOutcome::kPointMemo);
+  EXPECT_EQ(responses[1].queries, 0u);
+  EXPECT_EQ(responses[2].cache_outcome, CacheOutcome::kPointMemo);
   // All three answers agree with white-box ground truth.
   for (size_t c = 0; c < 3; ++c) {
-    EXPECT_LT(eval::L1Dist(net, x0, c, results[c]->dc), 1e-6);
+    EXPECT_LT(eval::L1Dist(net, x0, c, responses[c].result->dc), 1e-6);
   }
 }
 
-TEST(InterpretationEngineTest, SharesRegionsAcrossInstancesOnLmt) {
+TEST(EndpointSessionTest, ScanHitCostsExactlyTwoQueries) {
+  // A DISTINCT x0 in an already-extracted region misses the point memo
+  // but validates against the cached region: exactly 2 API queries and a
+  // kHit outcome (ported from the deleted extract::CachedInterpreter
+  // coverage, which pinned the 2-query hit contract).
+  lmt::LogisticModelTree tree = MakeTree(3);
+  api::PredictionApi api(&tree);
+  EngineConfig config;
+  config.num_threads = 1;
+  InterpretationEngine engine(config);
+  auto session = engine.OpenSession(api);
+  util::Rng rng(4);
+  Vec x0 = rng.UniformVector(5, 0.2, 0.8);
+  auto miss = session->Interpret({x0, 0}, /*seed=*/17, 0);
+  ASSERT_TRUE(miss.result.ok());
+  EXPECT_EQ(miss.cache_outcome, CacheOutcome::kMiss);
+  EXPECT_GT(miss.queries, 2u);  // full extraction
+  Vec nudged = x0;
+  nudged[0] += 1e-9;  // same leaf region, different raw bits
+  auto hit = session->Interpret({nudged, 0}, /*seed=*/17, 1);
+  ASSERT_TRUE(hit.result.ok());
+  EXPECT_EQ(hit.cache_outcome, CacheOutcome::kHit);
+  EXPECT_EQ(hit.queries, 2u);
+  EXPECT_EQ(hit.shrink_iterations, 0u);
+  EXPECT_LT(linalg::L1Distance(miss.result->dc, hit.result->dc), 1e-9);
+  EXPECT_EQ(session->stats().queries, api.query_count());
+}
+
+TEST(EndpointSessionTest, SharesRegionsAcrossInstancesOnLmt) {
   lmt::LogisticModelTree tree = MakeTree();
   api::PredictionApi api(&tree);
   InterpretationEngine engine;
+  auto session = engine.OpenSession(api);
   std::vector<EngineRequest> requests = RandomRequests(40, 5, 3, 17);
-  auto results = engine.InterpretAll(api, requests, 19);
-  for (size_t i = 0; i < results.size(); ++i) {
-    ASSERT_TRUE(results[i].ok()) << results[i].status().ToString();
-    EXPECT_LT(
-        eval::L1Dist(tree, requests[i].x0, requests[i].c, results[i]->dc),
-        1e-6);
+  auto responses = session->InterpretAll(requests, 19);
+  for (size_t i = 0; i < responses.size(); ++i) {
+    ASSERT_TRUE(responses[i].result.ok())
+        << responses[i].result.status().ToString();
+    EXPECT_LT(eval::L1Dist(tree, requests[i].x0, requests[i].c,
+                           responses[i].result->dc),
+              1e-6);
   }
   // 40 random instances land in <= num_leaves regions: the cache must
   // have been shared across distinct instances.
-  EngineStats stats = engine.stats();
-  EXPECT_LE(engine.cache_size(), tree.num_leaves());
+  EngineStats stats = session->stats();
+  EXPECT_LE(session->cache_size(), tree.num_leaves());
   EXPECT_GT(stats.cache_hits, 0u);
   EXPECT_EQ(stats.queries, api.query_count());
 }
 
-TEST(InterpretationEngineTest, DeterministicAcrossThreadCounts) {
+TEST(EndpointSessionTest, DeterministicAcrossThreadCounts) {
   // The probe RNG is derived from (seed, request index), never from the
   // shard layout, so any thread count produces exact answers from the
   // same streams.
@@ -121,31 +162,34 @@ TEST(InterpretationEngineTest, DeterministicAcrossThreadCounts) {
   one_thread.num_threads = 1;
   InterpretationEngine sequential(one_thread);
   api::PredictionApi api_seq(&tree);
-  auto seq_results = sequential.InterpretAll(api_seq, requests, 29);
+  auto session_seq = sequential.OpenSession(api_seq);
+  auto seq_responses = session_seq->InterpretAll(requests, 29);
 
   EngineConfig four_threads;
   four_threads.num_threads = 4;
   InterpretationEngine concurrent(four_threads);
   api::PredictionApi api_conc(&tree);
-  auto conc_results = concurrent.InterpretAll(api_conc, requests, 29);
+  auto session_conc = concurrent.OpenSession(api_conc);
+  auto conc_responses = session_conc->InterpretAll(requests, 29);
 
   for (size_t i = 0; i < requests.size(); ++i) {
-    ASSERT_TRUE(seq_results[i].ok());
-    ASSERT_TRUE(conc_results[i].ok());
+    ASSERT_TRUE(seq_responses[i].result.ok());
+    ASSERT_TRUE(conc_responses[i].result.ok());
     // Both are exact; cache-hit timing may differ between runs, so compare
     // through ground truth rather than bitwise.
-    EXPECT_LT(linalg::L1Distance(seq_results[i]->dc, conc_results[i]->dc),
+    EXPECT_LT(linalg::L1Distance(seq_responses[i].result->dc,
+                                 conc_responses[i].result->dc),
               1e-6)
         << "request " << i;
   }
-  EXPECT_EQ(sequential.stats().queries, api_seq.query_count());
-  EXPECT_EQ(concurrent.stats().queries, api_conc.query_count());
+  EXPECT_EQ(session_seq->stats().queries, api_seq.query_count());
+  EXPECT_EQ(session_conc->stats().queries, api_conc.query_count());
 }
 
-TEST(InterpretationEngineTest, UncachedModeBitMatchesPlainInterpreter) {
-  // With the region cache off, the engine is exactly a concurrent fan-out
-  // of OpenApiInterpreter over per-request RNG streams — verifiable
-  // bitwise against a hand-rolled sequential loop.
+TEST(EndpointSessionTest, UncachedModeBitMatchesPlainInterpreter) {
+  // With the region cache off, the session is exactly a concurrent
+  // fan-out of OpenApiInterpreter over per-request RNG streams —
+  // verifiable bitwise against a hand-rolled sequential loop.
   nn::Plnn net = MakeNet(57);
   std::vector<EngineRequest> requests = RandomRequests(12, 6, 3, 31);
 
@@ -153,7 +197,8 @@ TEST(InterpretationEngineTest, UncachedModeBitMatchesPlainInterpreter) {
   config.use_region_cache = false;
   InterpretationEngine engine(config);
   api::PredictionApi api_engine(&net);
-  auto engine_results = engine.InterpretAll(api_engine, requests, 37);
+  auto session = engine.OpenSession(api_engine);
+  auto responses = session->InterpretAll(requests, 37);
 
   api::PredictionApi api_plain(&net);
   OpenApiInterpreter plain;
@@ -162,74 +207,84 @@ TEST(InterpretationEngineTest, UncachedModeBitMatchesPlainInterpreter) {
     auto expected =
         plain.Interpret(api_plain, requests[i].x0, requests[i].c, &rng);
     ASSERT_TRUE(expected.ok());
-    ASSERT_TRUE(engine_results[i].ok());
-    EXPECT_EQ(engine_results[i]->dc, expected->dc) << "request " << i;
-    EXPECT_EQ(engine_results[i]->queries, expected->queries);
+    ASSERT_TRUE(responses[i].result.ok());
+    EXPECT_EQ(responses[i].result->dc, expected->dc) << "request " << i;
+    EXPECT_EQ(responses[i].queries, expected->queries);
+    EXPECT_EQ(responses[i].cache_outcome, CacheOutcome::kBypass);
   }
-  EXPECT_EQ(engine.stats().queries, api_engine.query_count());
+  EXPECT_EQ(session->stats().queries, api_engine.query_count());
 }
 
-TEST(InterpretationEngineTest, PairsMatchGroundTruthCoreParameters) {
+TEST(EndpointSessionTest, PairsMatchGroundTruthCoreParameters) {
   nn::Plnn net = MakeNet(58);
   api::PredictionApi api(&net);
   InterpretationEngine engine;
+  auto session = engine.OpenSession(api);
   util::Rng rng(5);
   Vec x0 = rng.UniformVector(6, 0.1, 0.9);
   const size_t c = 1;
-  auto result = engine.Interpret(api, x0, c, /*seed=*/41);
-  ASSERT_TRUE(result.ok());
-  ASSERT_EQ(result->pairs.size(), 2u);
+  auto response = session->Interpret({x0, c}, /*seed=*/41);
+  ASSERT_TRUE(response.result.ok());
+  ASSERT_EQ(response.result->pairs.size(), 2u);
   api::LocalLinearModel local = net.LocalModelAt(x0);
   size_t pair_idx = 0;
   for (size_t c_prime = 0; c_prime < 3; ++c_prime) {
     if (c_prime == c) continue;
     api::CoreParameters truth =
         api::GroundTruthCoreParameters(local, c, c_prime);
-    EXPECT_LT(linalg::L1Distance(result->pairs[pair_idx].d, truth.d), 1e-6);
-    EXPECT_NEAR(result->pairs[pair_idx].b, truth.b, 1e-6);
+    EXPECT_LT(
+        linalg::L1Distance(response.result->pairs[pair_idx].d, truth.d),
+        1e-6);
+    EXPECT_NEAR(response.result->pairs[pair_idx].b, truth.b, 1e-6);
     ++pair_idx;
   }
 }
 
-TEST(InterpretationEngineTest, RejectsBadRequestsAndCountsFailures) {
+TEST(EndpointSessionTest, RejectsBadRequestsAndCountsFailures) {
   nn::Plnn net = MakeNet(59);
   api::PredictionApi api(&net);
   InterpretationEngine engine;
-  auto bad_dim = engine.Interpret(api, {0.5}, 0, 1);
-  EXPECT_TRUE(bad_dim.status().IsInvalidArgument());
+  auto session = engine.OpenSession(api);
+  auto bad_dim = session->Interpret({{0.5}, 0}, 1);
+  EXPECT_TRUE(bad_dim.result.status().IsInvalidArgument());
+  EXPECT_EQ(bad_dim.queries, 0u);
   util::Rng rng(6);
-  auto bad_class = engine.Interpret(api, rng.UniformVector(6, 0, 1), 9, 1);
-  EXPECT_TRUE(bad_class.status().IsInvalidArgument());
-  EXPECT_EQ(engine.stats().failures, 2u);
+  auto bad_class = session->Interpret({rng.UniformVector(6, 0, 1), 9}, 1);
+  EXPECT_TRUE(bad_class.result.status().IsInvalidArgument());
+  EXPECT_EQ(session->stats().failures, 2u);
   EXPECT_EQ(api.query_count(), 0u);
 }
 
-TEST(InterpretationEngineTest, ErrorPathAccountingMatchesApiCounter) {
+TEST(EndpointSessionTest, ErrorPathAccountingMatchesApiCounter) {
   // A rounding endpoint makes the closed form unreachable: every miss
   // burns its full probe budget and fails. The failed requests consumed
   // real queries (2 for the candidate-scan pair fetch plus the solver's
-  // probes), and the engine's totals must match the endpoint's atomic
-  // counter exactly — the seed implementation under-counted here because
-  // the returned status carried no query count.
+  // probes), and the session's totals must match the endpoint's atomic
+  // counter exactly.
   nn::Plnn net = MakeNet(61);
   api::PredictionApi api(&net, /*round_digits=*/2);
   EngineConfig config;
   config.num_threads = 1;
   config.openapi.max_iterations = 4;  // fail fast
   InterpretationEngine engine(config);
+  auto session = engine.OpenSession(api);
   std::vector<EngineRequest> requests = RandomRequests(6, 6, 3, 43);
-  auto results = engine.InterpretAll(api, requests, /*seed=*/47);
+  auto responses = session->InterpretAll(requests, /*seed=*/47);
   size_t failures = 0;
-  for (const auto& r : results) {
-    if (!r.ok()) {
-      EXPECT_TRUE(r.status().IsDidNotConverge());
+  uint64_t reported = 0;
+  for (const auto& r : responses) {
+    reported += r.queries;
+    if (!r.result.ok()) {
+      EXPECT_TRUE(r.result.status().IsDidNotConverge());
       ++failures;
     }
   }
   EXPECT_GT(failures, 0u);
-  EngineStats stats = engine.stats();
+  EngineStats stats = session->stats();
   EXPECT_EQ(stats.failures, failures);
   EXPECT_EQ(stats.queries, api.query_count());
+  // Per-response envelopes sum to the endpoint's counter too.
+  EXPECT_EQ(reported, api.query_count());
 
   // Same invariant with the cache off: the uncached fan-out's failures
   // must account their consumed probes too.
@@ -237,11 +292,12 @@ TEST(InterpretationEngineTest, ErrorPathAccountingMatchesApiCounter) {
   uncached.use_region_cache = false;
   InterpretationEngine plain_engine(uncached);
   api::PredictionApi plain_api(&net, /*round_digits=*/2);
-  auto plain = plain_engine.InterpretAll(plain_api, requests, /*seed=*/47);
-  EXPECT_EQ(plain_engine.stats().queries, plain_api.query_count());
+  auto plain_session = plain_engine.OpenSession(plain_api);
+  auto plain = plain_session->InterpretAll(requests, /*seed=*/47);
+  EXPECT_EQ(plain_session->stats().queries, plain_api.query_count());
 }
 
-TEST(InterpretationEngineTest, BucketedCandidateScanMatchesLinearScan) {
+TEST(EndpointSessionTest, BucketedCandidateScanMatchesLinearScan) {
   // The argmax-bucketed, hit-ordered candidate scan is a pruning of the
   // linear scan, never a behavioral change: same results, same hit/miss
   // split, same query totals on the same request stream.
@@ -252,24 +308,26 @@ TEST(InterpretationEngineTest, BucketedCandidateScanMatchesLinearScan) {
   bucketed.num_threads = 1;
   InterpretationEngine bucketed_engine(bucketed);
   api::PredictionApi bucketed_api(&tree);
-  auto bucketed_results =
-      bucketed_engine.InterpretAll(bucketed_api, requests, /*seed=*/53);
+  auto bucketed_session = bucketed_engine.OpenSession(bucketed_api);
+  auto bucketed_responses =
+      bucketed_session->InterpretAll(requests, /*seed=*/53);
 
   EngineConfig linear = bucketed;
   linear.bucket_candidates = false;
   InterpretationEngine linear_engine(linear);
   api::PredictionApi linear_api(&tree);
-  auto linear_results =
-      linear_engine.InterpretAll(linear_api, requests, /*seed=*/53);
+  auto linear_session = linear_engine.OpenSession(linear_api);
+  auto linear_responses = linear_session->InterpretAll(requests, /*seed=*/53);
 
   for (size_t i = 0; i < requests.size(); ++i) {
-    ASSERT_TRUE(bucketed_results[i].ok());
-    ASSERT_TRUE(linear_results[i].ok());
-    EXPECT_EQ(bucketed_results[i]->dc, linear_results[i]->dc)
+    ASSERT_TRUE(bucketed_responses[i].result.ok());
+    ASSERT_TRUE(linear_responses[i].result.ok());
+    EXPECT_EQ(bucketed_responses[i].result->dc,
+              linear_responses[i].result->dc)
         << "request " << i;
   }
-  EngineStats b = bucketed_engine.stats();
-  EngineStats l = linear_engine.stats();
+  EngineStats b = bucketed_session->stats();
+  EngineStats l = linear_session->stats();
   EXPECT_EQ(b.cache_hits, l.cache_hits);
   EXPECT_EQ(b.cache_misses, l.cache_misses);
   EXPECT_EQ(b.point_memo_hits, l.point_memo_hits);
@@ -278,18 +336,107 @@ TEST(InterpretationEngineTest, BucketedCandidateScanMatchesLinearScan) {
   EXPECT_GT(b.cache_hits, 0u);
 }
 
-TEST(InterpretationEngineTest, ClearCacheForcesReExtraction) {
+TEST(EndpointSessionTest, ClearCacheForcesReExtraction) {
   nn::Plnn net = MakeNet(60);
   api::PredictionApi api(&net);
   InterpretationEngine engine;
+  auto session = engine.OpenSession(api);
   util::Rng rng(8);
   Vec x0 = rng.UniformVector(6, 0.2, 0.8);
-  ASSERT_TRUE(engine.Interpret(api, x0, 0, 43, 0).ok());
-  EXPECT_EQ(engine.cache_size(), 1u);
+  ASSERT_TRUE(session->Interpret({x0, 0}, 43, 0).result.ok());
+  EXPECT_EQ(session->cache_size(), 1u);
+  session->ClearCache();
+  EXPECT_EQ(session->cache_size(), 0u);
+  ASSERT_TRUE(session->Interpret({x0, 0}, 43, 1).result.ok());
+  EXPECT_EQ(session->stats().cache_misses, 2u);
+}
+
+TEST(DeprecatedEngineShimsTest, FreeStandingEntryPointsStillServe) {
+  // The pre-session methods remain for one release as thin shims over an
+  // internal per-endpoint session; results and accounting are unchanged,
+  // and two distinct endpoints no longer cross-contaminate even through
+  // the shims.
+  nn::Plnn net_a = MakeNet(65);
+  nn::Plnn net_b = MakeNet(66);
+  api::PredictionApi api_a(&net_a);
+  api::PredictionApi api_b(&net_b);
+  EngineConfig config;
+  config.num_threads = 1;
+  InterpretationEngine engine(config);
+  util::Rng rng(9);
+  Vec x0 = rng.UniformVector(6, 0.2, 0.8);
+  auto via_a = engine.Interpret(api_a, x0, 0, /*seed=*/71, 0);
+  ASSERT_TRUE(via_a.ok());
+  EXPECT_LT(eval::L1Dist(net_a, x0, 0, via_a->dc), 1e-6);
+  // Same x0 on a DIFFERENT endpoint through the same engine: the shims'
+  // per-endpoint sessions keep the point memo from serving net_a's
+  // region, so the answer is exact for net_b.
+  auto via_b = engine.Interpret(api_b, x0, 0, /*seed=*/71, 1);
+  ASSERT_TRUE(via_b.ok());
+  EXPECT_LT(eval::L1Dist(net_b, x0, 0, via_b->dc), 1e-6);
+  EXPECT_EQ(engine.cache_size(), 2u);  // one region per endpoint session
+  EXPECT_EQ(engine.stats().queries,
+            api_a.query_count() + api_b.query_count());
+
+  std::vector<EngineRequest> requests = {{x0, 0}, {x0, 1}};
+  auto results = engine.InterpretAll(api_a, requests, /*seed=*/73);
+  ASSERT_TRUE(results[0].ok());
+  ASSERT_TRUE(results[1].ok());
+  auto future = engine.SubmitAsync(api_a, {x0, 2}, /*seed=*/73, 2);
+  ASSERT_TRUE(future.get().ok());
   engine.ClearCache();
   EXPECT_EQ(engine.cache_size(), 0u);
-  ASSERT_TRUE(engine.Interpret(api, x0, 0, 43, 1).ok());
-  EXPECT_EQ(engine.stats().cache_misses, 2u);
+}
+
+// --- Ported from the deleted extract_cached_test.cc: interpretation
+// --- behaviour against noisy endpoints is independent of the cache.
+
+TEST(NoisyApiTest, NoiseBreaksExactInterpretationDetectably) {
+  // A nondeterministic endpoint cannot satisfy the consistency test, so
+  // OpenAPI reports DidNotConverge rather than returning a wrong answer.
+  util::Rng init(12);
+  nn::Plnn net({5, 8, 3}, &init);
+  api::PredictionApi noisy(&net, /*round_digits=*/0,
+                           /*noise_stddev=*/1e-3);
+  OpenApiConfig config;
+  config.max_iterations = 15;
+  OpenApiInterpreter interpreter(config);
+  util::Rng rng(13);
+  size_t failures = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    Vec x0 = rng.UniformVector(5, 0.2, 0.8);
+    auto result = interpreter.Interpret(noisy, x0, 0, &rng);
+    if (!result.ok()) {
+      EXPECT_TRUE(result.status().IsDidNotConverge());
+      ++failures;
+    }
+  }
+  EXPECT_EQ(failures, 10u);
+}
+
+TEST(NoisyApiTest, NoisyPredictionsStayValidDistributions) {
+  util::Rng init(14);
+  nn::Plnn net({4, 6, 3}, &init);
+  api::PredictionApi noisy(&net, 0, /*noise_stddev=*/0.5);
+  util::Rng rng(15);
+  for (int t = 0; t < 50; ++t) {
+    Vec y = noisy.Predict(rng.UniformVector(4, 0, 1));
+    double sum = 0;
+    for (double p : y) {
+      EXPECT_GT(p, 0.0);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(NoisyApiTest, ZeroNoiseIsExactPassThrough) {
+  util::Rng init(16);
+  nn::Plnn net({4, 6, 3}, &init);
+  api::PredictionApi api(&net, 0, 0.0);
+  util::Rng rng(17);
+  Vec x = rng.UniformVector(4, 0, 1);
+  EXPECT_EQ(api.Predict(x), net.Predict(x));
 }
 
 }  // namespace

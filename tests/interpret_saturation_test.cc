@@ -118,8 +118,12 @@ TEST(SaturationRegressionTest, ConvertedPairsMatchGroundTruthCoreParams) {
 }
 
 TEST(SaturationRegressionTest, QueryAccountingStaysExactUnderSaturation) {
-  // The saturation path doubles the per-iteration probe budget; the
-  // reported count must still match the endpoint's counter exactly.
+  // The saturation path tops up the probe budget ADAPTIVELY — each
+  // iteration draws the base d+1 probes, then exactly the worst pair's
+  // usable-row deficit (re-checked per top-up, capped at d+1 extra) —
+  // instead of doubling the whole budget uniformly. The reported count
+  // must match the endpoint's counter exactly, and per iteration the
+  // cost must sit between the base draw and the old uniform doubling.
   LinearPlm plm(SaturatingModel());
   api::PredictionApi api(&plm);
   OpenApiInterpreter interpreter;
@@ -130,8 +134,13 @@ TEST(SaturationRegressionTest, QueryAccountingStaysExactUnderSaturation) {
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->queries, consumed);
   EXPECT_EQ(consumed, api.query_count());
-  // 1 anchor query plus 2*(d+1) = 8 probes per iteration.
-  EXPECT_EQ(consumed, 1 + result->iterations * 8);
+  // 1 anchor query, then per iteration at least the d+1 = 4 base probes
+  // and at most the old uniform doubling's 2*(d+1) = 8.
+  EXPECT_GE(consumed, 1 + result->iterations * 4);
+  EXPECT_LE(consumed, 1 + result->iterations * 8);
+  // The adaptive top-up must actually beat the uniform doubling on this
+  // workload (the saturated pair recovers most of its rows per draw).
+  EXPECT_LT(consumed, 1 + result->iterations * 8);
 }
 
 TEST(SaturationRegressionTest, ExtractorReturnsColumnZeroPinnedGauge) {
@@ -183,18 +192,20 @@ TEST(SaturationRegressionTest, EngineMissPathInheritsTheFix) {
   EngineConfig config;
   config.num_threads = 1;  // deterministic hit/miss counts
   InterpretationEngine engine(config);
+  auto session = engine.OpenSession(api);
   std::vector<EngineRequest> requests = {{SaturatedAnchor(), 1},
                                          {SaturatedAnchor(), 0},
                                          {SaturatedAnchor(), 2}};
-  auto results = engine.InterpretAll(api, requests, /*seed=*/75);
-  for (size_t i = 0; i < results.size(); ++i) {
-    ASSERT_TRUE(results[i].ok())
-        << "request " << i << ": " << results[i].status().ToString();
+  auto responses = session->InterpretAll(requests, /*seed=*/75);
+  for (size_t i = 0; i < responses.size(); ++i) {
+    ASSERT_TRUE(responses[i].result.ok())
+        << "request " << i << ": "
+        << responses[i].result.status().ToString();
     Vec truth =
         api::GroundTruthDecisionFeatures(plm.model(), requests[i].c);
-    EXPECT_LT(linalg::L1Distance(results[i]->dc, truth), 1e-6);
+    EXPECT_LT(linalg::L1Distance(responses[i].result->dc, truth), 1e-6);
   }
-  EngineStats stats = engine.stats();
+  EngineStats stats = session->stats();
   EXPECT_EQ(stats.cache_misses, 1u);
   EXPECT_EQ(stats.point_memo_hits, 2u);
   EXPECT_EQ(stats.failures, 0u);
@@ -242,12 +253,18 @@ TEST(SaturationRegressionTest, UnrecoverableSaturationFailsWithExactCount) {
   config.num_threads = 1;
   config.openapi.max_iterations = 5;  // fail fast
   InterpretationEngine engine(config);
-  auto result = engine.Interpret(api, SaturatedAnchor(), 1, /*seed=*/76);
-  ASSERT_FALSE(result.ok());
-  EXPECT_TRUE(result.status().IsDidNotConverge());
-  EngineStats stats = engine.stats();
+  auto session = engine.OpenSession(api);
+  EngineResponse response =
+      session->Interpret({SaturatedAnchor(), 1}, /*seed=*/76);
+  ASSERT_FALSE(response.result.ok());
+  EXPECT_TRUE(response.result.status().IsDidNotConverge());
+  EngineStats stats = session->stats();
   EXPECT_EQ(stats.failures, 1u);
   EXPECT_EQ(stats.queries, api.query_count());
+  // The envelope reports the failed request's true consumption too.
+  EXPECT_EQ(response.queries, api.query_count());
+  EXPECT_EQ(response.cache_outcome, CacheOutcome::kMiss);
+  EXPECT_EQ(response.shrink_iterations, 5u);
 }
 
 }  // namespace
