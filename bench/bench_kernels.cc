@@ -1,0 +1,243 @@
+// Kernel-level microbenchmarks for the numeric hot path (google-benchmark;
+// rows append to the $OPENAPI_PERF_CSV trajectory artifact in CI):
+//
+//   * GemmABt{Simd,Reference}        — the register-blocked A·Bᵀ kernel at
+//     solver probe-batch shapes ((d+1) x d times 2d x d, the first layer
+//     of an iteration's probe forward) and at the paper-scale layer
+//     forward; the acceptance bar is Simd >= 2x Reference.
+//   * GemmMultiply{Simd,Reference}   — the blocked i-k-j GEMM at LMT
+//     leaf-group and affine-composition shapes.
+//   * LmtRoute{Walk,LevelOrder}      — per-sample pointer walk vs the
+//     level-order SoA routing pass over a whole batch.
+//   * PlnnForwardBatch               — PredictBatch throughput across the
+//     pool-parallel crossover (batch 32 .. 2048); the crossover threshold
+//     api::kParallelForwardMinBatch was picked from this sweep.
+//   * Interpret{Workspace,Fresh}     — one full closed-form interpretation
+//     per iteration with the per-request SolverWorkspace reused vs
+//     discarded every shrink iteration (OpenApiConfig::reuse_workspace),
+//     isolating the allocation-free-loop win.
+//   * InterpretEndToEnd              — the headline number: uncached
+//     interpretations/sec straight through OpenApiInterpreter (fresh x0
+//     every iteration, no engine cache), SIMD+workspace vs the scalar
+//     reference kernels with per-iteration allocation.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "bench_perf_csv.h"
+
+namespace openapi::bench {
+namespace {
+
+linalg::Matrix RandomMatrix(size_t rows, size_t cols, util::Rng* rng) {
+  linalg::Matrix m(rows, cols);
+  for (double& x : m.mutable_data()) x = rng->Uniform(-1.0, 1.0);
+  return m;
+}
+
+/// Restores the default policy when a benchmark leg ends.
+struct PolicyGuard {
+  explicit PolicyGuard(linalg::KernelPolicy policy) {
+    linalg::SetKernelPolicy(policy);
+  }
+  ~PolicyGuard() { linalg::SetKernelPolicy(linalg::KernelPolicy::kSimd); }
+};
+
+// --- A·Bᵀ: solver probe-batch shape (d+1) x d times 2d x d. ---
+
+void GemmABt(benchmark::State& state, linalg::KernelPolicy policy) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  PolicyGuard guard(policy);
+  util::Rng rng(kBenchSeed);
+  linalg::Matrix x = RandomMatrix(d + 1, d, &rng);
+  linalg::Matrix w = RandomMatrix(2 * d, d, &rng);
+  for (auto _ : state) {
+    linalg::Matrix z = x.MultiplyABt(w);
+    benchmark::DoNotOptimize(z.data().data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["flops_per_iter"] =
+      static_cast<double>(2 * (d + 1) * d * 2 * d);
+}
+void GemmABtSimd(benchmark::State& state) {
+  GemmABt(state, linalg::KernelPolicy::kSimd);
+}
+void GemmABtReference(benchmark::State& state) {
+  GemmABt(state, linalg::KernelPolicy::kReference);
+}
+BENCHMARK(GemmABtSimd)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(GemmABtReference)->Arg(16)->Arg(64)->Arg(256);
+
+// --- A·Bᵀ: paper-scale layer forward, batch 256 through 784 -> 256. ---
+
+void GemmABtForward(benchmark::State& state, linalg::KernelPolicy policy) {
+  PolicyGuard guard(policy);
+  util::Rng rng(kBenchSeed + 1);
+  linalg::Matrix x = RandomMatrix(256, 784, &rng);
+  linalg::Matrix w = RandomMatrix(256, 784, &rng);
+  for (auto _ : state) {
+    linalg::Matrix z = x.MultiplyABt(w);
+    benchmark::DoNotOptimize(z.data().data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+void GemmABtForwardSimd(benchmark::State& state) {
+  GemmABtForward(state, linalg::KernelPolicy::kSimd);
+}
+void GemmABtForwardReference(benchmark::State& state) {
+  GemmABtForward(state, linalg::KernelPolicy::kReference);
+}
+BENCHMARK(GemmABtForwardSimd);
+BENCHMARK(GemmABtForwardReference);
+
+// --- Blocked i-k-j GEMM: LMT leaf-group shape (n x d) * (d x C). ---
+
+void GemmMultiply(benchmark::State& state, linalg::KernelPolicy policy) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  PolicyGuard guard(policy);
+  util::Rng rng(kBenchSeed + 2);
+  linalg::Matrix group = RandomMatrix(n, 64, &rng);
+  linalg::Matrix weights = RandomMatrix(64, 10, &rng);
+  for (auto _ : state) {
+    linalg::Matrix logits = group.Multiply(weights);
+    benchmark::DoNotOptimize(logits.data().data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+void GemmMultiplySimd(benchmark::State& state) {
+  GemmMultiply(state, linalg::KernelPolicy::kSimd);
+}
+void GemmMultiplyReference(benchmark::State& state) {
+  GemmMultiply(state, linalg::KernelPolicy::kReference);
+}
+BENCHMARK(GemmMultiplySimd)->Arg(64)->Arg(512);
+BENCHMARK(GemmMultiplyReference)->Arg(64)->Arg(512);
+
+// --- LMT routing: pointer walk vs level-order SoA pass. ---
+
+lmt::LogisticModelTree& BenchTree() {
+  static lmt::LogisticModelTree* tree = [] {
+    util::Rng rng(kBenchSeed + 3);
+    data::Dataset train = data::GenerateGaussianBlobs(8, 4, 1200, 0.1, &rng);
+    lmt::LmtConfig config;
+    config.min_split_size = 40;
+    config.max_depth = 6;
+    config.accuracy_threshold = 1.01;
+    config.leaf_config.max_iters = 40;
+    return new lmt::LogisticModelTree(
+        lmt::LogisticModelTree::Fit(train, config));
+  }();
+  return *tree;
+}
+
+std::vector<Vec> RoutingBatch(size_t count) {
+  util::Rng rng(kBenchSeed + 4);
+  std::vector<Vec> xs;
+  xs.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    xs.push_back(rng.UniformVector(8, -1.5, 1.5));
+  }
+  return xs;
+}
+
+void LmtRouteWalk(benchmark::State& state) {
+  const lmt::LogisticModelTree& tree = BenchTree();
+  std::vector<Vec> xs = RoutingBatch(static_cast<size_t>(state.range(0)));
+  std::vector<size_t> leaf_of(xs.size());
+  for (auto _ : state) {
+    for (size_t i = 0; i < xs.size(); ++i) {
+      leaf_of[i] = tree.LeafIndexAt(xs[i]);
+    }
+    benchmark::DoNotOptimize(leaf_of.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * xs.size()));
+}
+void LmtRouteLevelOrder(benchmark::State& state) {
+  const lmt::LogisticModelTree& tree = BenchTree();
+  std::vector<Vec> xs = RoutingBatch(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::vector<size_t> leaf_of = tree.LeafIndicesBatch(xs);
+    benchmark::DoNotOptimize(leaf_of.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * xs.size()));
+}
+BENCHMARK(LmtRouteWalk)->Arg(256)->Arg(2048);
+BENCHMARK(LmtRouteLevelOrder)->Arg(256)->Arg(2048);
+
+// --- PredictBatch crossover sweep (pool-parallel row blocks). ---
+
+void PlnnForwardBatch(benchmark::State& state) {
+  static nn::Plnn* net = [] {
+    util::Rng rng(kBenchSeed + 5);
+    return new nn::Plnn({32, 64, 32, 10}, &rng);
+  }();
+  const size_t batch = static_cast<size_t>(state.range(0));
+  util::Rng rng(kBenchSeed + 6);
+  std::vector<Vec> xs;
+  xs.reserve(batch);
+  for (size_t i = 0; i < batch; ++i) {
+    xs.push_back(rng.UniformVector(32, 0.0, 1.0));
+  }
+  for (auto _ : state) {
+    std::vector<Vec> ys = net->PredictBatch(xs);
+    benchmark::DoNotOptimize(ys.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * batch));
+}
+BENCHMARK(PlnnForwardBatch)->Arg(32)->Arg(128)->Arg(256)->Arg(512)->Arg(2048);
+
+// --- Solver workspace reuse on/off. ---
+
+void InterpretLoop(benchmark::State& state, bool reuse_workspace,
+                   linalg::KernelPolicy policy) {
+  // The paper-scale solver workload: d = 64, C = 10, so one shrink
+  // iteration forwards a 65-probe batch through a 64-128-64-10 net and
+  // solves a 66 x 65 system for 9 right-hand sides.
+  static nn::Plnn* net = [] {
+    util::Rng rng(kBenchSeed + 7);
+    return new nn::Plnn({64, 128, 64, 10}, &rng);
+  }();
+  static api::PredictionApi* api = new api::PredictionApi(net);
+  PolicyGuard guard(policy);
+  interpret::OpenApiConfig config;
+  config.reuse_workspace = reuse_workspace;
+  interpret::OpenApiInterpreter interpreter(config);
+  util::Rng rng(kBenchSeed + 8);
+  for (auto _ : state) {
+    Vec x0 = rng.UniformVector(64, 0.05, 0.95);
+    auto result = interpreter.Interpret(*api, x0, 0, &rng);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+void InterpretWorkspace(benchmark::State& state) {
+  InterpretLoop(state, /*reuse_workspace=*/true, linalg::KernelPolicy::kSimd);
+}
+void InterpretFreshBuffers(benchmark::State& state) {
+  InterpretLoop(state, /*reuse_workspace=*/false,
+                linalg::KernelPolicy::kSimd);
+}
+// The headline end-to-end pair: everything on (the shipped default) vs
+// the pre-PR configuration (scalar kernels, per-iteration allocation).
+void InterpretEndToEnd(benchmark::State& state) {
+  InterpretLoop(state, /*reuse_workspace=*/true, linalg::KernelPolicy::kSimd);
+}
+void InterpretEndToEndPrePr(benchmark::State& state) {
+  InterpretLoop(state, /*reuse_workspace=*/false,
+                linalg::KernelPolicy::kReference);
+}
+BENCHMARK(InterpretWorkspace);
+BENCHMARK(InterpretFreshBuffers);
+BENCHMARK(InterpretEndToEnd);
+BENCHMARK(InterpretEndToEndPrePr);
+
+}  // namespace
+}  // namespace openapi::bench
+
+int main(int argc, char** argv) {
+  return openapi::bench::RunBenchmarksWithPerfCsv(argc, argv,
+                                                  /*append=*/true);
+}

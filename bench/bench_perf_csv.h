@@ -1,0 +1,107 @@
+// Shared perf-trajectory CSV plumbing for the google-benchmark binaries.
+//
+// Set OPENAPI_PERF_CSV=<path> to mirror every benchmark run into a CSV
+// via util::CsvWriter; CI uploads it as the perf-trajectory artifact.
+// bench_scaling CREATES the file (truncating any previous run) and
+// bench_kernels APPENDS, so one artifact carries the whole trajectory.
+// Without the variable the binaries behave exactly like BENCHMARK_MAIN().
+
+#ifndef OPENAPI_BENCH_BENCH_PERF_CSV_H_
+#define OPENAPI_BENCH_BENCH_PERF_CSV_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/csv_writer.h"
+#include "util/string_util.h"
+
+namespace openapi::bench {
+
+class PerfCsvReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit PerfCsvReporter(util::CsvWriter writer)
+      : writer_(std::move(writer)) {}
+
+  static std::vector<std::string> Header() {
+    return {"benchmark", "iterations", "real_ns_per_iter",
+            "cpu_ns_per_iter", "items_per_second"};
+  }
+
+  // Acts as the display reporter (google-benchmark insists that pure file
+  // reporters come with --benchmark_out): console output passes through,
+  // each per-iteration run is mirrored into the CSV.
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const double iters = static_cast<double>(run.iterations);
+      auto items = run.counters.find("items_per_second");
+      Check(writer_.WriteRow(std::vector<std::string>{
+          run.benchmark_name(),
+          std::to_string(run.iterations),
+          util::FormatDouble(run.real_accumulated_time / iters * 1e9, 1),
+          util::FormatDouble(run.cpu_accumulated_time / iters * 1e9, 1),
+          items != run.counters.end()
+              ? util::FormatDouble(items->second.value, 1)
+              : "",
+      }));
+    }
+  }
+
+  void Finalize() override {
+    benchmark::ConsoleReporter::Finalize();
+    Check(writer_.Close());
+  }
+
+  /// True once any CSV write failed; the artifact is then incomplete and
+  /// the run should exit non-zero rather than upload a silently
+  /// truncated trajectory.
+  bool failed() const { return failed_; }
+
+ private:
+  void Check(const Status& status) {
+    if (status.ok() || failed_) return;
+    failed_ = true;
+    std::cerr << "OPENAPI_PERF_CSV write failed: " << status.ToString()
+              << "\n";
+  }
+
+  util::CsvWriter writer_;
+  bool failed_ = false;
+};
+
+/// The shared main body: runs the registered benchmarks, mirroring rows
+/// into $OPENAPI_PERF_CSV when set. `append` selects whether this binary
+/// creates the artifact (bench_scaling) or contributes to an existing one
+/// (bench_kernels).
+inline int RunBenchmarksWithPerfCsv(int argc, char** argv, bool append) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  const char* csv_path = std::getenv("OPENAPI_PERF_CSV");
+  if (csv_path != nullptr) {
+    auto writer =
+        append ? util::CsvWriter::OpenAppend(csv_path,
+                                             PerfCsvReporter::Header())
+               : util::CsvWriter::Open(csv_path, PerfCsvReporter::Header());
+    if (!writer.ok()) {
+      std::cerr << "OPENAPI_PERF_CSV: " << writer.status().ToString()
+                << "\n";
+      return 1;
+    }
+    PerfCsvReporter csv(std::move(*writer));
+    benchmark::RunSpecifiedBenchmarks(&csv);
+    benchmark::Shutdown();
+    return csv.failed() ? 1 : 0;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace openapi::bench
+
+#endif  // OPENAPI_BENCH_BENCH_PERF_CSV_H_

@@ -20,6 +20,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.h"
+#include "bench_perf_csv.h"
 #include "linalg/qr.h"
 
 namespace openapi::bench {
@@ -353,69 +354,12 @@ void CandidateScanBucketed(benchmark::State& state) {
 BENCHMARK(CandidateScanLinear)->Arg(64)->Arg(256)->Arg(1024);
 BENCHMARK(CandidateScanBucketed)->Arg(64)->Arg(256)->Arg(1024);
 
-// --- Perf-trajectory CSV artifact. ---
-//
-// Set OPENAPI_PERF_CSV=<path> to mirror every run into a CSV via
-// util::CsvWriter (CI uploads it as the perf-trajectory artifact,
-// replacing the hand-filled README table). Without the variable this main
-// is exactly BENCHMARK_MAIN().
-
-class PerfCsvReporter : public benchmark::ConsoleReporter {
- public:
-  explicit PerfCsvReporter(util::CsvWriter writer)
-      : writer_(std::move(writer)) {}
-
-  // Acts as the display reporter (google-benchmark insists that pure file
-  // reporters come with --benchmark_out): console output passes through,
-  // each per-iteration run is mirrored into the CSV.
-  void ReportRuns(const std::vector<Run>& runs) override {
-    benchmark::ConsoleReporter::ReportRuns(runs);
-    for (const Run& run : runs) {
-      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
-      const double iters = static_cast<double>(run.iterations);
-      auto items = run.counters.find("items_per_second");
-      writer_.WriteRow(std::vector<std::string>{
-          run.benchmark_name(),
-          std::to_string(run.iterations),
-          util::FormatDouble(run.real_accumulated_time / iters * 1e9, 1),
-          util::FormatDouble(run.cpu_accumulated_time / iters * 1e9, 1),
-          items != run.counters.end()
-              ? util::FormatDouble(items->second.value, 1)
-              : "",
-      });
-    }
-  }
-
-  void Finalize() override {
-    benchmark::ConsoleReporter::Finalize();
-    writer_.Close();
-  }
-
- private:
-  util::CsvWriter writer_;
-};
-
 }  // namespace
 }  // namespace openapi::bench
 
+// Perf-trajectory CSV artifact: bench_scaling CREATES $OPENAPI_PERF_CSV
+// (bench_kernels appends to it); see bench_perf_csv.h.
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  const char* csv_path = std::getenv("OPENAPI_PERF_CSV");
-  if (csv_path != nullptr) {
-    auto writer = openapi::util::CsvWriter::Open(
-        csv_path, {"benchmark", "iterations", "real_ns_per_iter",
-                   "cpu_ns_per_iter", "items_per_second"});
-    if (!writer.ok()) {
-      std::cerr << "OPENAPI_PERF_CSV: " << writer.status().ToString()
-                << "\n";
-      return 1;
-    }
-    openapi::bench::PerfCsvReporter csv(std::move(*writer));
-    benchmark::RunSpecifiedBenchmarks(&csv);
-  } else {
-    benchmark::RunSpecifiedBenchmarks();
-  }
-  benchmark::Shutdown();
-  return 0;
+  return openapi::bench::RunBenchmarksWithPerfCsv(argc, argv,
+                                                  /*append=*/false);
 }

@@ -29,20 +29,50 @@ Vec ApiReplicaSet::Predict(const Vec& x) const {
 std::vector<Vec> ApiReplicaSet::PredictBatch(
     const std::vector<Vec>& xs) const {
   if (xs.empty()) return {};
-  const size_t num_shards =
-      std::min(replicas_.size(), xs.size());
+  // Two-level split: one shard per replica while rows last (the old
+  // behavior, preserving small-batch shard shapes), but never fewer than
+  // ceil(batch / kTargetShardRows) shards, so a large batch on few
+  // replicas still fans out wide enough to keep every pool worker busy.
+  const size_t num_shards = std::max(
+      std::min(replicas_.size(), xs.size()),
+      (xs.size() + kTargetShardRows - 1) / kTargetShardRows);
   if (num_shards == 1) return replicas_[0]->PredictBatch(xs);
 
   const size_t block = (xs.size() + num_shards - 1) / num_shards;
-  std::vector<Vec> out(xs.size());
-  auto run_shard = [&](size_t shard) {
-    const size_t begin = shard * block;
+  // Claim every shard's query-count slots and noise tickets up front, in
+  // shard order, on this thread: shard -> replica routing AND each
+  // replica's ticket sequence become pure functions of (batch size,
+  // num_replicas), so results cannot depend on dispatch timing even when
+  // one replica serves several shards concurrently. Per-replica counters
+  // stay exact: each reservation adds exactly the shard's row count to
+  // the replica that serves it.
+  struct Shard {
+    size_t begin;
+    size_t end;
+    size_t replica;
+    uint64_t first_ticket;
+  };
+  std::vector<Shard> shards;
+  shards.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    const size_t begin = s * block;
     const size_t end = std::min(begin + block, xs.size());
-    if (begin >= end) return;
-    std::vector<Vec> rows(xs.begin() + static_cast<ptrdiff_t>(begin),
-                          xs.begin() + static_cast<ptrdiff_t>(end));
-    std::vector<Vec> ys = replicas_[shard]->PredictBatch(rows);
-    for (size_t i = 0; i < ys.size(); ++i) out[begin + i] = std::move(ys[i]);
+    if (begin >= end) break;
+    const size_t replica = s % replicas_.size();
+    shards.push_back(
+        {begin, end, replica, replicas_[replica]->ReserveBatch(end - begin)});
+  }
+
+  std::vector<Vec> out(xs.size());
+  auto run_shard = [&](size_t s) {
+    const Shard& shard = shards[s];
+    std::vector<Vec> rows(xs.begin() + static_cast<ptrdiff_t>(shard.begin),
+                          xs.begin() + static_cast<ptrdiff_t>(shard.end));
+    std::vector<Vec> ys = replicas_[shard.replica]->PredictBatchReserved(
+        rows, shard.first_ticket);
+    for (size_t i = 0; i < ys.size(); ++i) {
+      out[shard.begin + i] = std::move(ys[i]);
+    }
   };
 
   util::ThreadPool* pool = xs.size() < kConcurrentDispatchMin
@@ -54,14 +84,13 @@ std::vector<Vec> ApiReplicaSet::PredictBatch(
     // on its own pool, so it runs its shards inline. Workers therefore
     // never wait on the queue, which is what makes the dispatch below
     // safe for everyone else.
-    for (size_t shard = 0; shard < num_shards; ++shard) run_shard(shard);
+    for (size_t s = 0; s < shards.size(); ++s) run_shard(s);
     return out;
   }
   // Concurrent dispatch on the process-wide shared pool (per-call latch,
-  // so concurrent batches never wait on each other's shards). Shard
-  // assignment (and hence each replica's noise-ticket sequence) is fixed
-  // by index, so the result is identical to the sequential loop above.
-  util::ParallelFor(pool, num_shards, run_shard);
+  // so concurrent batches never wait on each other's shards). Tickets
+  // were reserved above, so scheduling order is free to vary.
+  util::ParallelFor(pool, shards.size(), run_shard);
   return out;
 }
 

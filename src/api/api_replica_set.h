@@ -10,10 +10,17 @@
 //
 // Routing is deterministic:
 //   * Predict         — round-robin over an atomic ticket;
-//   * PredictBatch    — the batch is split into num_replicas contiguous
-//     shards (shard r = rows [r*block, (r+1)*block)), so a given batch
+//   * PredictBatch    — TWO-LEVEL contiguous split: the batch becomes
+//     ceil(batch / kTargetShardRows) shards (never fewer than one per
+//     replica while rows last), shard s = rows [s*block, (s+1)*block)
+//     served by replica s % num_replicas — so at high replica counts a
+//     skewed batch still becomes enough shards to keep every worker
+//     busy, with multiple shards per replica. Before any shard runs, the
+//     caller reserves each shard's query-count slots and noise tickets
+//     IN SHARD ORDER (PredictionApi::ReserveBatch), so a given batch
 //     always lands on the same replicas with the same per-replica noise
-//     tickets regardless of dispatch timing. Large batches dispatch their
+//     tickets regardless of dispatch timing — even when two shards of
+//     one replica execute concurrently. Large batches dispatch their
 //     shards on the process-wide util::SharedThreadPool — with a
 //     deadlock-free story: a caller that IS a shared-pool worker (an
 //     interpretation task probing through the set) runs its shards
@@ -64,6 +71,12 @@ class ApiReplicaSet : public PredictionApi {
   /// Batches smaller than this are served by a sequential shard loop; the
   /// thread hand-off would cost more than the forward passes save.
   static constexpr size_t kConcurrentDispatchMin = 64;
+
+  /// Second-level split target: a batch becomes ceil(batch / this many)
+  /// shards once that exceeds num_replicas, so skewed large batches keep
+  /// every pool worker busy instead of maxing out at one shard per
+  /// replica.
+  static constexpr size_t kTargetShardRows = 64;
 
   std::vector<std::unique_ptr<PredictionApi>> replicas_;
   mutable std::atomic<uint64_t> round_robin_{0};

@@ -18,6 +18,7 @@
 #define OPENAPI_API_PLM_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "linalg/matrix.h"
@@ -52,9 +53,31 @@ class Plm {
   /// Class probabilities for a batch of inputs (xs[i] -> result[i]).
   /// The contract is bit-exact agreement with per-sample Predict; the
   /// default implementation is the per-sample loop, and concrete models
-  /// override it with matrix-matrix forwards (see nn::Plnn::LogitsBatch).
+  /// override it with matrix-matrix forwards (see nn::Plnn::LogitsBatch)
+  /// that additionally split large batches into row blocks across the
+  /// process-wide thread pool (ParallelForwardRowBlocks below).
   virtual std::vector<Vec> PredictBatch(const std::vector<Vec>& xs) const;
 };
+
+/// Crossover batch size at which a model forward splits into row blocks
+/// dispatched on util::SharedThreadPool. Below it the thread hand-off
+/// costs more than the forward saves (measured by bench_kernels'
+/// ParallelForward sweep: one row block of this size runs ~100us of GEMM
+/// on the paper-scale nets, comfortably above the pool's dispatch+latch
+/// overhead).
+inline constexpr size_t kParallelForwardMinBatch = 256;
+
+/// Runs fn(begin, end) over contiguous row blocks covering [0, n). Blocks
+/// are dispatched on util::SharedThreadPool::ParallelFor when n >=
+/// kParallelForwardMinBatch and the calling thread is not itself a pool
+/// worker (a worker — e.g. an interpretation task probing through the
+/// engine — runs inline rather than blocking on its own pool's queue,
+/// the same deadlock-free rule as ApiReplicaSet). Every row belongs to
+/// exactly one block and per-row results must not depend on the split, so
+/// parallel and inline execution are bit-identical; per-sample noise-RNG
+/// forks at the api layer keep that true even for noisy endpoints.
+void ParallelForwardRowBlocks(
+    size_t n, const std::function<void(size_t, size_t)>& fn);
 
 /// Evaluates a locally linear classifier: softmax(weights^T x + bias).
 /// Shared by the extraction module and the interpretation engine's region

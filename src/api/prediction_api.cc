@@ -48,9 +48,17 @@ Vec PredictionApi::Predict(const Vec& x) const {
 std::vector<Vec> PredictionApi::PredictBatch(
     const std::vector<Vec>& xs) const {
   if (xs.empty()) return {};
-  query_count_.fetch_add(xs.size(), std::memory_order_relaxed);
-  const uint64_t first_ticket =
-      noise_ticket_.fetch_add(xs.size(), std::memory_order_relaxed);
+  return PredictBatchReserved(xs, ReserveBatch(xs.size()));
+}
+
+uint64_t PredictionApi::ReserveBatch(size_t count) const {
+  query_count_.fetch_add(count, std::memory_order_relaxed);
+  return noise_ticket_.fetch_add(count, std::memory_order_relaxed);
+}
+
+std::vector<Vec> PredictionApi::PredictBatchReserved(
+    const std::vector<Vec>& xs, uint64_t first_ticket) const {
+  if (xs.empty()) return {};
   std::vector<Vec> ys = model_->PredictBatch(xs);
   for (size_t i = 0; i < ys.size(); ++i) {
     PostProcess(&ys[i], first_ticket + i);

@@ -63,6 +63,20 @@ class PredictionApi {
   /// products through Plm::PredictBatch.
   virtual std::vector<Vec> PredictBatch(const std::vector<Vec>& xs) const;
 
+  /// Splits PredictBatch's accounting from its forwards so a dispatcher
+  /// can fix ticket assignment BEFORE fanning work out: ReserveBatch
+  /// atomically claims `count` query-count slots and noise tickets and
+  /// returns the first ticket; PredictBatchReserved then serves rows
+  /// against a claimed range without touching either counter.
+  /// ApiReplicaSet's two-level batch split reserves each shard's range in
+  /// shard order on the calling thread, so per-replica noise streams stay
+  /// deterministic even with several shards of one replica running
+  /// concurrently. PredictBatch(xs) == PredictBatchReserved(xs,
+  /// ReserveBatch(xs.size())) by definition.
+  uint64_t ReserveBatch(size_t count) const;
+  std::vector<Vec> PredictBatchReserved(const std::vector<Vec>& xs,
+                                        uint64_t first_ticket) const;
+
   /// Number of samples predicted since construction / last reset. Atomic;
   /// the PredictionApi is safe to share across the interpretation engine's
   /// thread pool in every configuration, including noisy ones.

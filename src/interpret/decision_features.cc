@@ -22,29 +22,40 @@ Vec CombinePairEstimates(const std::vector<CoreParameters>& pairs) {
 std::vector<Vec> SampleHypercube(const Vec& x0, double r, size_t count,
                                  util::Rng* rng) {
   std::vector<Vec> probes;
-  probes.reserve(count);
+  SampleHypercube(x0, r, count, rng, &probes);
+  return probes;
+}
+
+void SampleHypercube(const Vec& x0, double r, size_t count, util::Rng* rng,
+                     std::vector<Vec>* out) {
+  out->resize(count);
   for (size_t i = 0; i < count; ++i) {
-    Vec p(x0.size());
+    Vec& p = (*out)[i];
+    p.resize(x0.size());
     for (size_t j = 0; j < x0.size(); ++j) {
       p[j] = x0[j] + rng->Uniform(-r, r);
     }
-    probes.push_back(std::move(p));
   }
-  return probes;
 }
 
 Matrix BuildCoefficientMatrix(const Vec& x0,
                               const std::vector<Vec>& probes) {
+  Matrix a;
+  BuildCoefficientMatrix(x0, probes, &a);
+  return a;
+}
+
+void BuildCoefficientMatrix(const Vec& x0, const std::vector<Vec>& probes,
+                            Matrix* a) {
   const size_t d = x0.size();
-  Matrix a(probes.size() + 1, d + 1);
-  a(0, 0) = 1.0;
-  for (size_t j = 0; j < d; ++j) a(0, j + 1) = x0[j];
+  a->Resize(probes.size() + 1, d + 1);
+  (*a)(0, 0) = 1.0;
+  for (size_t j = 0; j < d; ++j) (*a)(0, j + 1) = x0[j];
   for (size_t i = 0; i < probes.size(); ++i) {
     OPENAPI_CHECK_EQ(probes[i].size(), d);
-    a(i + 1, 0) = 1.0;
-    for (size_t j = 0; j < d; ++j) a(i + 1, j + 1) = probes[i][j];
+    (*a)(i + 1, 0) = 1.0;
+    for (size_t j = 0; j < d; ++j) (*a)(i + 1, j + 1) = probes[i][j];
   }
-  return a;
 }
 
 Result<double> LogOdds(const Vec& y, size_t c, size_t c_prime) {
@@ -60,11 +71,18 @@ Result<double> LogOdds(const Vec& y, size_t c, size_t c_prime) {
 
 Result<Vec> BuildLogOddsRhs(const std::vector<Vec>& predictions, size_t c,
                             size_t c_prime) {
-  Vec rhs(predictions.size());
-  for (size_t i = 0; i < predictions.size(); ++i) {
-    OPENAPI_ASSIGN_OR_RETURN(rhs[i], LogOdds(predictions[i], c, c_prime));
-  }
+  Vec rhs;
+  OPENAPI_RETURN_NOT_OK(BuildLogOddsRhs(predictions, c, c_prime, &rhs));
   return rhs;
+}
+
+Status BuildLogOddsRhs(const std::vector<Vec>& predictions, size_t c,
+                       size_t c_prime, Vec* rhs) {
+  rhs->resize(predictions.size());
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    OPENAPI_ASSIGN_OR_RETURN((*rhs)[i], LogOdds(predictions[i], c, c_prime));
+  }
+  return Status::OK();
 }
 
 std::vector<CoreParameters> ConvertReferencePairs(

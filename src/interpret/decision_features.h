@@ -71,10 +71,22 @@ Vec CombinePairEstimates(const std::vector<CoreParameters>& pairs);
 std::vector<Vec> SampleHypercube(const Vec& x0, double r, size_t count,
                                  util::Rng* rng);
 
+/// SampleHypercube's write-into sibling: overwrites *out with the same
+/// draws (identical rng consumption order), reusing its buffers — the
+/// shrink loop's allocation-free probe redraw.
+void SampleHypercube(const Vec& x0, double r, size_t count, util::Rng* rng,
+                     std::vector<Vec>* out);
+
 /// Builds the coefficient matrix A of the linear systems in Sec. IV:
 /// one row [1, p^T] per point, in the order {x0, probes...}. Shape:
 /// (probes.size()+1) x (d+1); column 0 carries the bias coefficient.
 Matrix BuildCoefficientMatrix(const Vec& x0, const std::vector<Vec>& probes);
+
+/// BuildCoefficientMatrix's write-into sibling; *a is resized in place
+/// (no allocation once its capacity covers the request's largest probe
+/// set) and every entry overwritten.
+void BuildCoefficientMatrix(const Vec& x0, const std::vector<Vec>& probes,
+                            Matrix* a);
 
 /// ln(y_c / y_{c'}) for one prediction vector. Fails with NumericalError if
 /// either probability is non-positive (softmax underflow at the API).
@@ -84,6 +96,10 @@ Result<double> LogOdds(const Vec& y, size_t c, size_t c_prime);
 /// {y0, probe predictions...}, matching BuildCoefficientMatrix's row order.
 Result<Vec> BuildLogOddsRhs(const std::vector<Vec>& predictions, size_t c,
                             size_t c_prime);
+
+/// BuildLogOddsRhs's write-into sibling, reusing *rhs's buffer.
+Status BuildLogOddsRhs(const std::vector<Vec>& predictions, size_t c,
+                       size_t c_prime, Vec* rhs);
 
 /// Re-expresses core-parameter pairs solved against reference class `ref`
 /// as the pairs of class `c`: D_{c,c'} = D_{ref,c'} - D_{ref,c} and

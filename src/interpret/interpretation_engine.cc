@@ -54,13 +54,6 @@ std::optional<SessionStream::Item> SessionStream::Next() {
   return item;
 }
 
-std::optional<InterpretationStream::Item> InterpretationStream::Next() {
-  std::optional<SessionStream::Item> item = inner_.Next();
-  if (!item.has_value()) return std::nullopt;
-  std::optional<Item> legacy;
-  legacy.emplace(Item{item->index, std::move(item->response.result)});
-  return legacy;
-}
 #if defined(__GNUC__) && !defined(__clang__)
 #pragma GCC diagnostic pop
 #endif
@@ -567,96 +560,12 @@ std::shared_ptr<EndpointSession> InterpretationEngine::OpenSession(
       cache_capacity > 0 ? cache_capacity : config_.cache_capacity));
 }
 
-std::shared_ptr<EndpointSession> InterpretationEngine::LegacySession(
-    const api::PredictionApi& api) const {
-  std::lock_guard<std::mutex> lock(legacy_mutex_);
-  std::shared_ptr<EndpointSession>& session = legacy_sessions_[&api];
-  if (session == nullptr) {
-    session = std::shared_ptr<EndpointSession>(
-        new EndpointSession(this, &api, config_.cache_capacity));
-  }
-  return session;
-}
-
 EngineStats InterpretationEngine::stats() const {
   return EndpointSession::Snapshot(stats_);
 }
 
 void InterpretationEngine::ResetStats() const {
   EndpointSession::Reset(stats_);
-}
-
-Result<Interpretation> InterpretationEngine::Interpret(
-    const api::PredictionApi& api, const Vec& x0, size_t c, uint64_t seed,
-    uint64_t stream) const {
-  return LegacySession(api)
-      ->Interpret(EngineRequest{x0, c, {}}, seed, stream)
-      .result;
-}
-
-std::vector<Result<Interpretation>> InterpretationEngine::InterpretAll(
-    const api::PredictionApi& api, const std::vector<EngineRequest>& requests,
-    uint64_t seed) const {
-  std::vector<EngineResponse> responses =
-      LegacySession(api)->InterpretAll(requests, seed);
-  std::vector<Result<Interpretation>> results;
-  results.reserve(responses.size());
-  for (EngineResponse& response : responses) {
-    results.push_back(std::move(response.result));
-  }
-  return results;
-}
-
-std::future<Result<Interpretation>> InterpretationEngine::SubmitAsync(
-    const api::PredictionApi& api, EngineRequest request, uint64_t seed,
-    uint64_t stream) const {
-  auto session = LegacySession(api);
-  auto task = std::make_shared<std::packaged_task<Result<Interpretation>()>>(
-      [session, request = std::move(request), seed, stream]() {
-        return session->Interpret(request, seed, stream).result;
-      });
-  std::future<Result<Interpretation>> future = task->get_future();
-  BeginAsyncTask();
-  pool_->Submit([this, task] {
-    (*task)();
-    EndAsyncTask();
-  });
-  return future;
-}
-
-InterpretationStream InterpretationEngine::InterpretStream(
-    const api::PredictionApi& api, std::vector<EngineRequest> requests,
-    uint64_t seed) const {
-  InterpretationStream stream;
-  stream.inner_ =
-      LegacySession(api)->InterpretStream(std::move(requests), seed);
-  return stream;
-}
-
-size_t InterpretationEngine::cache_size() const {
-  std::lock_guard<std::mutex> lock(legacy_mutex_);
-  size_t total = 0;
-  for (const auto& [api, session] : legacy_sessions_) {
-    total += session->cache_size();
-  }
-  return total;
-}
-
-void InterpretationEngine::ClearCache() const {
-  // Drop the sessions themselves, not just their contents: the legacy
-  // map keys sessions by raw api address, so pruning here both bounds
-  // the map and keeps the pre-session discipline ("ClearCache when
-  // retargeting an endpoint") safe even when a later PredictionApi is
-  // allocated at a recycled address. In-flight shim work is unaffected —
-  // its tasks hold the old session via shared_ptr.
-  std::unordered_map<const api::PredictionApi*,
-                     std::shared_ptr<EndpointSession>>
-      dropped;
-  {
-    std::lock_guard<std::mutex> lock(legacy_mutex_);
-    dropped.swap(legacy_sessions_);
-  }
-  for (const auto& [api, session] : dropped) session->ClearCache();
 }
 
 }  // namespace openapi::interpret

@@ -86,19 +86,10 @@
 // so destroying the engine after abandoning a future/stream is safe;
 // destroying the API before its session's outstanding work is not.
 //
-// ## Deprecated free-standing entry points
-//
-// The pre-session methods (`engine.Interpret/InterpretAll/SubmitAsync/
-// InterpretStream(api, ...)`, plus engine-level cache_size/ClearCache)
-// remain for one release as thin shims: each routes through an internal
-// per-endpoint session keyed by the api ADDRESS, so legacy callers with
-// concurrently live endpoints get isolated caches too. The address key
-// keeps the old lifetime discipline: destroying one PredictionApi and
-// constructing another at a recycled address without engine.ClearCache()
-// in between would reuse the dead endpoint's session (exactly when the
-// old single-cache engine needed ClearCache as well; ClearCache now also
-// prunes the session map). New code should hold an EndpointSession; the
-// shims drop the EngineResponse envelope and will be removed.
+// The pre-session free-standing entry points (Interpret/InterpretAll/
+// SubmitAsync/InterpretStream taking an api argument, plus engine-level
+// cache_size/ClearCache) lived one release as deprecated shims and are
+// now REMOVED: sessions are the only serving surface.
 
 #ifndef OPENAPI_INTERPRET_INTERPRETATION_ENGINE_H_
 #define OPENAPI_INTERPRET_INTERPRETATION_ENGINE_H_
@@ -238,28 +229,6 @@ class SessionStream {
   std::shared_ptr<Shared> shared_;
   size_t total_ = 0;
   size_t delivered_ = 0;
-};
-
-/// DEPRECATED result stream of the free-standing
-/// InterpretationEngine::InterpretStream shim: a thin adapter over
-/// SessionStream that strips the EngineResponse envelope down to the
-/// bare Result. Will be removed with the shims.
-class InterpretationStream {
- public:
-  struct Item {
-    size_t index;
-    Result<Interpretation> result;
-  };
-
-  std::optional<Item> Next();
-
-  size_t total() const { return inner_.total(); }
-  size_t delivered() const { return inner_.delivered(); }
-
- private:
-  friend class InterpretationEngine;
-
-  SessionStream inner_;
 };
 
 class InterpretationEngine;
@@ -462,50 +431,8 @@ class InterpretationEngine {
   size_t num_threads() const { return pool_->num_threads(); }
   bool owns_pool() const { return owned_pool_ != nullptr; }
 
-  // --------------------------------------------------------------------
-  // DEPRECATED free-standing entry points, kept for one release. Each
-  // routes through an internal per-endpoint session keyed by the api
-  // pointer (so even legacy callers get endpoint-isolated caches) and
-  // drops the EngineResponse envelope. Migrate to OpenSession.
-  // --------------------------------------------------------------------
-
-  /// DEPRECATED: use OpenSession(api)->InterpretAll(requests, seed).
-  std::vector<Result<Interpretation>> InterpretAll(
-      const api::PredictionApi& api,
-      const std::vector<EngineRequest>& requests, uint64_t seed) const;
-
-  /// DEPRECATED: use OpenSession(api)->SubmitAsync(request, seed, stream).
-  std::future<Result<Interpretation>> SubmitAsync(
-      const api::PredictionApi& api, EngineRequest request, uint64_t seed,
-      uint64_t stream = 0) const;
-
-  /// DEPRECATED: use OpenSession(api)->InterpretStream(requests, seed).
-  InterpretationStream InterpretStream(const api::PredictionApi& api,
-                                       std::vector<EngineRequest> requests,
-                                       uint64_t seed) const;
-
-  /// DEPRECATED: use OpenSession(api)->Interpret(request, seed, stream).
-  Result<Interpretation> Interpret(const api::PredictionApi& api,
-                                   const Vec& x0, size_t c, uint64_t seed,
-                                   uint64_t stream = 0) const;
-
-  /// DEPRECATED: total cached regions across the legacy per-endpoint
-  /// sessions (sessions from OpenSession report their own cache_size).
-  size_t cache_size() const;
-
-  /// DEPRECATED: clears AND drops the legacy per-endpoint sessions
-  /// (sessions from OpenSession manage their own), so the session map
-  /// cannot grow stale address-keyed entries. Safe to race with
-  /// in-flight requests: they re-extract as needed.
-  void ClearCache() const;
-
  private:
   friend class EndpointSession;
-
-  /// The session backing the deprecated free-standing entry points for
-  /// `api`, created on first use.
-  std::shared_ptr<EndpointSession> LegacySession(
-      const api::PredictionApi& api) const;
 
   /// Async-task bookkeeping so the destructor can drain safely.
   void BeginAsyncTask() const;
@@ -518,11 +445,6 @@ class InterpretationEngine {
   mutable std::mutex async_mutex_;
   mutable std::condition_variable async_idle_;
   mutable size_t async_outstanding_ = 0;
-
-  mutable std::mutex legacy_mutex_;
-  mutable std::unordered_map<const api::PredictionApi*,
-                             std::shared_ptr<EndpointSession>>
-      legacy_sessions_;
 
   mutable EndpointSession::StatCounters stats_;
 };

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <limits>
-#include <optional>
 #include <utility>
 
 #include "linalg/least_squares.h"
@@ -20,32 +19,39 @@ namespace {
 /// must all agree on this threshold.
 constexpr double kMinUsableProb = std::numeric_limits<double>::min();
 
+/// Sizes ws->ref_pairs for num_classes - 1 pairs. Each pair's
+/// coefficient buffer is reused by the assign() at the solve sites,
+/// which sets its size itself.
+void EnsurePairShapes(SolverWorkspace* ws, size_t num_classes) {
+  ws->ref_pairs.resize(num_classes - 1);
+}
+
 /// Fast path (no saturation at x0): one shared QR factorization for all
-/// C-1 systems over the full row set {x0, probes...}. Returns nullopt when
+/// C-1 systems over the full row set {x0, probes...}. Works entirely out
+/// of the workspace (coefficient matrix, rhs, QR storage, pair buffers);
+/// on success the solved pairs sit in ws->ref_pairs. Returns false when
 /// the probe set is degenerate, a probe saturated, or any pair is
 /// inconsistent — all of which mean "shrink and redraw".
-std::optional<std::vector<CoreParameters>> SolvePairsSharedQr(
-    const Vec& x0, const std::vector<Vec>& probes,
-    const std::vector<Vec>& predictions, size_t ref, size_t num_classes,
-    double tol) {
-  Matrix a = BuildCoefficientMatrix(x0, probes);
-  auto qr = linalg::QrDecomposition::Factor(a);
-  if (!qr.ok()) return std::nullopt;  // degenerate probes (probability 0)
-
-  std::vector<CoreParameters> pairs;
-  pairs.reserve(num_classes - 1);
+bool SolvePairsSharedQr(const Vec& x0, size_t ref, size_t num_classes,
+                        double tol, SolverWorkspace* ws) {
+  BuildCoefficientMatrix(x0, ws->probes, &ws->coefficients);
+  if (!ws->qr.Refactor(ws->coefficients).ok()) {
+    return false;  // degenerate probes (probability 0)
+  }
+  EnsurePairShapes(ws, num_classes);
+  size_t out = 0;
   for (size_t c_prime = 0; c_prime < num_classes; ++c_prime) {
     if (c_prime == ref) continue;
-    auto rhs = BuildLogOddsRhs(predictions, ref, c_prime);
-    if (!rhs.ok()) return std::nullopt;  // probe saturation: shrink, retry
-    linalg::LeastSquaresSolution solution = qr->Solve(*rhs);
-    if (!linalg::IsConsistent(solution, *rhs, tol)) return std::nullopt;
-    CoreParameters pair;
-    pair.b = solution.x[0];
-    pair.d.assign(solution.x.begin() + 1, solution.x.end());
-    pairs.push_back(std::move(pair));
+    if (!BuildLogOddsRhs(ws->predictions, ref, c_prime, &ws->rhs).ok()) {
+      return false;  // probe saturation: shrink, retry
+    }
+    ws->qr.Solve(ws->rhs, &ws->qr_scratch, &ws->solution);
+    if (!linalg::IsConsistent(ws->solution, ws->rhs, tol)) return false;
+    CoreParameters& pair = ws->ref_pairs[out++];
+    pair.b = ws->solution.x[0];
+    pair.d.assign(ws->solution.x.begin() + 1, ws->solution.x.end());
   }
-  return pairs;
+  return true;
 }
 
 /// Outcome of the saturation path's attempt. The distinction matters for
@@ -64,21 +70,21 @@ enum class MaskedOutcome { kOk, kTooFewRows, kShrink };
 /// residual test); the caller compensates with adaptive top-up draws so
 /// the surviving system stays overdetermined (>= d+2 rows), preserving
 /// the consistency certificate of Theorem 2. Pairs get their own QR
-/// because their row masks differ.
-MaskedOutcome SolvePairsMaskedRows(const Vec& x0,
-                                   const std::vector<Vec>& probes,
-                                   const std::vector<Vec>& predictions,
-                                   size_t ref, size_t num_classes,
-                                   double tol,
-                                   std::vector<CoreParameters>* pairs) {
+/// (ws->qr, refactored per pair) because their row masks differ; the
+/// masked matrix, rhs, and row-index scratch also live in the workspace.
+MaskedOutcome SolvePairsMaskedRows(const Vec& x0, size_t ref,
+                                   size_t num_classes, double tol,
+                                   SolverWorkspace* ws) {
   const size_t d = x0.size();
-  pairs->clear();
-  pairs->reserve(num_classes - 1);
+  const std::vector<Vec>& probes = ws->probes;
+  const std::vector<Vec>& predictions = ws->predictions;
+  EnsurePairShapes(ws, num_classes);
+  size_t out = 0;
   for (size_t c_prime = 0; c_prime < num_classes; ++c_prime) {
     if (c_prime == ref) continue;
     // Row 0 is x0; row i+1 is probes[i].
-    std::vector<size_t> rows;
-    rows.reserve(predictions.size());
+    std::vector<size_t>& rows = ws->masked_rows;
+    rows.clear();
     for (size_t row = 0; row < predictions.size(); ++row) {
       if (predictions[row][ref] >= kMinUsableProb &&
           predictions[row][c_prime] >= kMinUsableProb) {
@@ -86,8 +92,10 @@ MaskedOutcome SolvePairsMaskedRows(const Vec& x0,
       }
     }
     if (rows.size() < d + 2) return MaskedOutcome::kTooFewRows;
-    Matrix a(rows.size(), d + 1);
-    Vec rhs(rows.size());
+    Matrix& a = ws->masked_coefficients;
+    Vec& rhs = ws->masked_rhs;
+    a.Resize(rows.size(), d + 1);
+    rhs.resize(rows.size());
     for (size_t k = 0; k < rows.size(); ++k) {
       const Vec& point = rows[k] == 0 ? x0 : probes[rows[k] - 1];
       a(k, 0) = 1.0;
@@ -96,16 +104,14 @@ MaskedOutcome SolvePairsMaskedRows(const Vec& x0,
       OPENAPI_CHECK(odds.ok());  // finite by the mask above
       rhs[k] = *odds;
     }
-    auto qr = linalg::QrDecomposition::Factor(a);
-    if (!qr.ok()) return MaskedOutcome::kShrink;
-    linalg::LeastSquaresSolution solution = qr->Solve(rhs);
-    if (!linalg::IsConsistent(solution, rhs, tol)) {
+    if (!ws->qr.Refactor(a).ok()) return MaskedOutcome::kShrink;
+    ws->qr.Solve(rhs, &ws->qr_scratch, &ws->solution);
+    if (!linalg::IsConsistent(ws->solution, rhs, tol)) {
       return MaskedOutcome::kShrink;
     }
-    CoreParameters pair;
-    pair.b = solution.x[0];
-    pair.d.assign(solution.x.begin() + 1, solution.x.end());
-    pairs->push_back(std::move(pair));
+    CoreParameters& pair = ws->ref_pairs[out++];
+    pair.b = ws->solution.x[0];
+    pair.d.assign(ws->solution.x.begin() + 1, ws->solution.x.end());
   }
   return MaskedOutcome::kOk;
 }
@@ -149,14 +155,17 @@ Result<Interpretation> OpenApiInterpreter::Interpret(
 Result<Interpretation> OpenApiInterpreter::InterpretCounted(
     const api::PredictionApi& api, const Vec& x0, size_t c, util::Rng* rng,
     uint64_t* queries_consumed, const RequestOptions& options,
-    size_t* iterations, const Vec* y0_hint) const {
+    size_t* iterations, const Vec* y0_hint,
+    SolverWorkspace* workspace) const {
   // *queries_consumed seeds the count with what the caller already spent
   // on this request, so the budget gates (and their messages) speak in
   // request totals, not solver-local deltas.
   uint64_t consumed = queries_consumed != nullptr ? *queries_consumed : 0;
   size_t iters = 0;
-  Result<Interpretation> result =
-      InterpretImpl(api, x0, c, rng, &consumed, options, &iters, y0_hint);
+  SolverWorkspace local_workspace;
+  Result<Interpretation> result = InterpretImpl(
+      api, x0, c, rng, &consumed, options, &iters, y0_hint,
+      workspace != nullptr ? workspace : &local_workspace);
   if (queries_consumed != nullptr) *queries_consumed = consumed;
   if (iterations != nullptr) *iterations = iters;
   return result;
@@ -165,7 +174,7 @@ Result<Interpretation> OpenApiInterpreter::InterpretCounted(
 Result<Interpretation> OpenApiInterpreter::InterpretImpl(
     const api::PredictionApi& api, const Vec& x0, size_t c, util::Rng* rng,
     uint64_t* consumed, const RequestOptions& options, size_t* iterations,
-    const Vec* y0_hint) const {
+    const Vec* y0_hint, SolverWorkspace* ws) const {
   const size_t d = api.dim();
   const size_t num_classes = api.num_classes();
   if (x0.size() != d) {
@@ -200,8 +209,21 @@ Result<Interpretation> OpenApiInterpreter::InterpretImpl(
   const size_t ref = y0[c] >= kMinUsableProb ? c : linalg::ArgMax(y0);
   const size_t probes_per_iter = d + 1;
 
+  // Grow the probe/prediction buffers to the request's worst case once:
+  // base draw plus the saturated path's top-up cap (d+1 extra), plus the
+  // prepended y0 row.
+  if (config_.reuse_workspace) {
+    ws->probes.reserve(2 * probes_per_iter);
+    ws->predictions.reserve(2 * probes_per_iter + 1);
+  }
+
   double r = config_.initial_edge;
   for (size_t iter = 0; iter < config_.max_iterations; ++iter) {
+    if (!config_.reuse_workspace) {
+      // Bench baseline: discard all scratch so every iteration pays the
+      // pre-workspace allocation pattern.
+      *ws = SolverWorkspace();
+    }
     // Sample the iteration's probes; together with x0 they give the
     // equations of Ω (Algorithm 1 line 2). All probes of one iteration go
     // to the endpoint as a single batched request. The controls gate
@@ -210,12 +232,21 @@ Result<Interpretation> OpenApiInterpreter::InterpretImpl(
     OPENAPI_RETURN_NOT_OK(
         CheckRequestControls(options, *consumed, probes_per_iter));
     *iterations = iter + 1;
-    std::vector<Vec> probes = SampleHypercube(x0, r, probes_per_iter, rng);
-    std::vector<Vec> predictions = api.PredictBatch(probes);
-    *consumed += probes.size();
-    predictions.insert(predictions.begin(), y0);
+    SampleHypercube(x0, r, probes_per_iter, rng, &ws->probes);
+    {
+      // The endpoint's response vectors are the API's own allocations;
+      // copy them into the workspace's stable row buffers ({y0, probe
+      // predictions...}) and let them go.
+      std::vector<Vec> batch = api.PredictBatch(ws->probes);
+      *consumed += ws->probes.size();
+      ws->predictions.resize(batch.size() + 1);
+      ws->predictions[0].assign(y0.begin(), y0.end());
+      for (size_t i = 0; i < batch.size(); ++i) {
+        ws->predictions[i + 1].assign(batch[i].begin(), batch[i].end());
+      }
+    }
 
-    std::optional<std::vector<CoreParameters>> ref_pairs;
+    bool solved = false;
     if (x0_saturated) {
       // Adaptive top-up: instead of doubling the whole budget upfront,
       // draw exactly the worst pair's usable-row deficit, re-check, and
@@ -224,11 +255,11 @@ Result<Interpretation> OpenApiInterpreter::InterpretImpl(
       // needs at least one top-up (d+2 probe rows > the d+1 base), but
       // when saturation is confined to near-x0 the deficit is 1 and the
       // iteration costs d+2 instead of 2(d+1).
-      size_t top_up_cap = d + 1;
+      size_t top_up_cap = probes_per_iter;
       bool too_few_rows = false;
       for (;;) {
         const size_t deficit =
-            MaxPairRowDeficit(predictions, ref, num_classes, d);
+            MaxPairRowDeficit(ws->predictions, ref, num_classes, d);
         if (deficit == 0) break;
         if (top_up_cap == 0) {
           too_few_rows = true;
@@ -241,8 +272,8 @@ Result<Interpretation> OpenApiInterpreter::InterpretImpl(
         *consumed += draw;
         top_up_cap -= draw;
         for (size_t k = 0; k < extra.size(); ++k) {
-          probes.push_back(std::move(extra[k]));
-          predictions.push_back(std::move(extra_predictions[k]));
+          ws->probes.push_back(std::move(extra[k]));
+          ws->predictions.push_back(std::move(extra_predictions[k]));
         }
       }
       if (too_few_rows) {
@@ -251,12 +282,10 @@ Result<Interpretation> OpenApiInterpreter::InterpretImpl(
         // redraw at the same edge.
         continue;
       }
-      std::vector<CoreParameters> masked;
-      switch (SolvePairsMaskedRows(x0, probes, predictions, ref,
-                                   num_classes, config_.consistency_tol,
-                                   &masked)) {
+      switch (SolvePairsMaskedRows(x0, ref, num_classes,
+                                   config_.consistency_tol, ws)) {
         case MaskedOutcome::kOk:
-          ref_pairs = std::move(masked);
+          solved = true;
           break;
         case MaskedOutcome::kTooFewRows:
           continue;  // unreachable given the deficit loop; kept as a guard
@@ -265,20 +294,25 @@ Result<Interpretation> OpenApiInterpreter::InterpretImpl(
           continue;
       }
     } else {
-      ref_pairs = SolvePairsSharedQr(x0, probes, predictions, ref,
-                                     num_classes, config_.consistency_tol);
-      if (!ref_pairs.has_value()) {
+      solved = SolvePairsSharedQr(x0, ref, num_classes,
+                                  config_.consistency_tol, ws);
+      if (!solved) {
         r *= config_.shrink_factor;
         continue;
       }
     }
+    OPENAPI_CHECK(solved);
 
     std::vector<CoreParameters> pairs =
-        ConvertReferencePairs(*ref_pairs, ref, c);
+        ConvertReferencePairs(ws->ref_pairs, ref, c);
     Interpretation out;
     out.dc = CombinePairEstimates(pairs);
     out.pairs = std::move(pairs);
-    out.probes = std::move(probes);
+    // Success is terminal for this request: hand the probe set to the
+    // caller instead of copying it (the workspace regrows on its next
+    // first iteration).
+    out.probes = std::move(ws->probes);
+    ws->probes.clear();
     out.iterations = iter + 1;
     out.edge_length = r;
     // Exact local accounting (1 for x0, probes_per_iter per iteration)

@@ -45,12 +45,20 @@
 //    probe batch, so a request with max_queries = Q never issues more
 //    than Q queries; on rejection the consumed count reported through
 //    InterpretCounted is exact.
+//  * The shrink loop runs out of a per-request SolverWorkspace (probe
+//    set, prediction buffer, coefficient matrix, QR storage + scratch,
+//    masked-row scratch) reused across iterations and across the
+//    saturated top-up path: after the first iteration the solver itself
+//    allocates nothing — redraws, refactorizations, and solves all
+//    overwrite the same buffers. OpenApiConfig::reuse_workspace turns the
+//    reuse off for benchmarking the win.
 
 #ifndef OPENAPI_INTERPRET_OPENAPI_METHOD_H_
 #define OPENAPI_INTERPRET_OPENAPI_METHOD_H_
 
 #include "interpret/decision_features.h"
 #include "interpret/request_options.h"
+#include "linalg/qr.h"
 
 namespace openapi::interpret {
 
@@ -64,6 +72,37 @@ struct OpenApiConfig {
   // a kink-sized residual; 1e-9 cleanly separates the two. bench_ablation
   // sweeps this knob.
   double consistency_tol = 1e-9;
+  // Reuse the per-request SolverWorkspace across shrink iterations (the
+  // allocation-free steady state). Off re-initializes the workspace every
+  // iteration — the pre-workspace allocation behavior, kept ONLY so
+  // bench_kernels can quantify the reuse win. Results are identical
+  // either way.
+  bool reuse_workspace = true;
+};
+
+/// Scratch buffers of one interpretation request, reused across the
+/// shrink loop's iterations and the saturated path's top-up draws. Every
+/// buffer grows to the request's largest shape on the first iteration and
+/// is only overwritten afterwards, so steady-state shrink iterations
+/// perform ZERO heap allocations inside the solver — the remaining
+/// per-iteration allocations are the endpoint's own response vectors in
+/// PredictionApi::PredictBatch. Callers normally pass nullptr and let
+/// InterpretCounted keep a request-local workspace; a caller serving many
+/// requests on one thread may hold one and amortize the first-iteration
+/// growth too. Not thread-safe; one workspace per concurrent request.
+struct SolverWorkspace {
+  std::vector<Vec> probes;       // iteration's probe points
+  std::vector<Vec> predictions;  // {y0, probe predictions...}
+  Matrix coefficients;           // shared coefficient matrix A
+  Vec rhs;                       // per-pair log-odds right-hand side
+  linalg::QrDecomposition qr;    // factorization storage
+  linalg::QrDecomposition::Scratch qr_scratch;
+  linalg::LeastSquaresSolution solution;
+  std::vector<CoreParameters> ref_pairs;  // pairs vs the reference class
+  // Saturated path: per-pair row masking.
+  std::vector<size_t> masked_rows;  // usable-row index scratch
+  Matrix masked_coefficients;
+  Vec masked_rhs;
 };
 
 class OpenApiInterpreter : public BlackBoxInterpreter {
@@ -97,11 +136,14 @@ class OpenApiInterpreter : public BlackBoxInterpreter {
   /// the solver then skips its own anchor query, so a cache miss in the
   /// engine does not bill x0 twice against the request's budget.
   /// Interpret() above is InterpretCounted with the count dropped and
-  /// default controls.
+  /// default controls. `workspace` (if non-null) supplies the request's
+  /// solver scratch, letting a per-thread caller amortize buffer growth
+  /// across requests; nullptr uses a request-local workspace.
   Result<Interpretation> InterpretCounted(
       const api::PredictionApi& api, const Vec& x0, size_t c, util::Rng* rng,
       uint64_t* queries_consumed, const RequestOptions& options = {},
-      size_t* iterations = nullptr, const Vec* y0_hint = nullptr) const;
+      size_t* iterations = nullptr, const Vec* y0_hint = nullptr,
+      SolverWorkspace* workspace = nullptr) const;
 
   const OpenApiConfig& config() const { return config_; }
 
@@ -111,7 +153,8 @@ class OpenApiInterpreter : public BlackBoxInterpreter {
                                        util::Rng* rng, uint64_t* consumed,
                                        const RequestOptions& options,
                                        size_t* iterations,
-                                       const Vec* y0_hint) const;
+                                       const Vec* y0_hint,
+                                       SolverWorkspace* workspace) const;
 
   OpenApiConfig config_;
 };

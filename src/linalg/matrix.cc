@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "linalg/simd.h"
+
 namespace openapi::linalg {
 
 Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows)
@@ -24,6 +26,12 @@ Matrix Matrix::FromRows(const std::vector<Vec>& rows) {
   Matrix m(rows.size(), rows[0].size());
   for (size_t r = 0; r < rows.size(); ++r) m.SetRow(r, rows[r]);
   return m;
+}
+
+void Matrix::Resize(size_t rows, size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(rows * cols);
 }
 
 Vec Matrix::Row(size_t r) const {
@@ -51,24 +59,54 @@ void Matrix::SetCol(size_t c, const Vec& values) {
 }
 
 Vec Matrix::Multiply(const Vec& x) const {
+  Vec out;
+  Multiply(x, &out);
+  return out;
+}
+
+void Matrix::Multiply(const Vec& x, Vec* out) const {
   OPENAPI_CHECK_EQ(x.size(), cols_);
-  Vec out(rows_, 0.0);
+  out->resize(rows_);
+  // Deliberately scalar under every policy: this single left-to-right dot
+  // is the accumulation order all batch kernels reproduce per element —
+  // the anchor of the batch/single parity contract.
   for (size_t r = 0; r < rows_; ++r) {
     const double* row = RowPtr(r);
     double sum = 0.0;
     for (size_t c = 0; c < cols_; ++c) sum += row[c] * x[c];
-    out[r] = sum;
+    (*out)[r] = sum;
   }
-  return out;
 }
 
 Vec Matrix::MultiplyTransposed(const Vec& x) const {
   OPENAPI_CHECK_EQ(x.size(), rows_);
   Vec out(cols_, 0.0);
+  if (GetKernelPolicy() == KernelPolicy::kReference) {
+    for (size_t r = 0; r < rows_; ++r) {
+      const double* row = RowPtr(r);
+      double xr = x[r];
+      for (size_t c = 0; c < cols_; ++c) out[c] += row[c] * xr;
+    }
+    return out;
+  }
+  // SIMD: widen the output-column loop. Element c still accumulates
+  // row-by-row in r order, so each out[c] is bit-identical to the
+  // reference loop.
   for (size_t r = 0; r < rows_; ++r) {
     const double* row = RowPtr(r);
-    double xr = x[r];
-    for (size_t c = 0; c < cols_; ++c) out[c] += row[c] * xr;
+    const simd::D8 xr8 = simd::D8::Broadcast(x[r]);
+    const simd::D4 xr4 = simd::D4::Broadcast(x[r]);
+    size_t c = 0;
+    for (; c + 8 <= cols_; c += 8) {
+      simd::MulAdd(xr8, simd::D8::Load(row + c), simd::D8::Load(&out[c]))
+          .Store(&out[c]);
+    }
+    for (; c + 4 <= cols_; c += 4) {
+      simd::MulAdd(xr4, simd::D4::Load(row + c), simd::D4::Load(&out[c]))
+          .Store(&out[c]);
+    }
+    const double xr = x[r];
+    for (; c < cols_; ++c) out[c] += row[c] * xr;
   }
   return out;
 }
@@ -80,7 +118,10 @@ Matrix Matrix::Multiply(const Matrix& other) const {
   // streams contiguous rows of B and out, and the B tile (kBlock x kBlock
   // doubles = 32 KiB) stays L1/L2-resident while every row of the A tile
   // reuses it. For matrices smaller than one tile this degenerates to the
-  // plain i-k-j loop with identical accumulation order.
+  // plain i-k-j loop with identical accumulation order. Under kSimd the
+  // innermost j loop runs in vector lanes; out[i][j] still accumulates
+  // a_ik * b_kj in the same k order, so both policies are bit-identical.
+  const bool use_simd = GetKernelPolicy() == KernelPolicy::kSimd;
   constexpr size_t kBlock = 64;
   const size_t n = other.cols_;
   for (size_t ii = 0; ii < rows_; ii += kBlock) {
@@ -94,9 +135,21 @@ Matrix Matrix::Multiply(const Matrix& other) const {
           double* out_row = out.RowPtr(i);
           for (size_t k = kk; k < k_end; ++k) {
             const double a_ik = a_row[k];
+            // Skipping exact zeros is profitable on the masked affine
+            // maps LocalModelAt composes; both policies must skip so the
+            // (pathological) 0 * inf case cannot diverge between them.
             if (a_ik == 0.0) continue;
             const double* b_row = other.RowPtr(k);
-            for (size_t j = jj; j < j_end; ++j) {
+            size_t j = jj;
+            if (use_simd) {
+              const simd::D8 a8 = simd::D8::Broadcast(a_ik);
+              for (; j + 8 <= j_end; j += 8) {
+                simd::MulAdd(a8, simd::D8::Load(b_row + j),
+                             simd::D8::Load(out_row + j))
+                    .Store(out_row + j);
+              }
+            }
+            for (; j < j_end; ++j) {
               out_row[j] += a_ik * b_row[j];
             }
           }
@@ -107,32 +160,35 @@ Matrix Matrix::Multiply(const Matrix& other) const {
   return out;
 }
 
-Matrix Matrix::MultiplyABt(const Matrix& other) const {
-  OPENAPI_CHECK_EQ(cols_, other.cols_);
-  Matrix out(rows_, other.rows_);
-  const size_t k = cols_;
-  const size_t n = other.rows_;
-  // 2x2 register blocking: four independent accumulator chains hide the
-  // FP-add latency that serializes a single dot product — the throughput
-  // edge the batch path has over per-sample matvecs. Every chain still
-  // sums strictly left to right, so each output stays bit-identical to
-  // Multiply(Vec) on the corresponding row (the batch/single parity
-  // contract).
-  auto dot = [k](const double* a, const double* b) {
-    double sum = 0.0;
-    for (size_t t = 0; t < k; ++t) sum += a[t] * b[t];
-    return sum;
-  };
+namespace {
+
+/// Single left-to-right dot product — the scalar tail shared by both
+/// A·Bᵀ kernels; matches Matrix::Multiply(Vec) per element.
+inline double DotRows(const double* a, const double* b, size_t k) {
+  double sum = 0.0;
+  for (size_t t = 0; t < k; ++t) sum += a[t] * b[t];
+  return sum;
+}
+
+/// Reference A·Bᵀ: 2x2 register blocking, scalar accumulator chains.
+/// Four independent chains hide the FP-add latency that serializes a
+/// single dot product; every chain still sums strictly left to right, so
+/// each output stays bit-identical to Multiply(Vec) on the corresponding
+/// row (the batch/single parity contract).
+void MultiplyABtReference(const Matrix& lhs, const Matrix& rhs,
+                          Matrix* out) {
+  const size_t k = lhs.cols();
+  const size_t n = rhs.rows();
   size_t i = 0;
-  for (; i + 2 <= rows_; i += 2) {
-    const double* a0 = RowPtr(i);
-    const double* a1 = RowPtr(i + 1);
-    double* o0 = out.RowPtr(i);
-    double* o1 = out.RowPtr(i + 1);
+  for (; i + 2 <= lhs.rows(); i += 2) {
+    const double* a0 = lhs.RowPtr(i);
+    const double* a1 = lhs.RowPtr(i + 1);
+    double* o0 = out->RowPtr(i);
+    double* o1 = out->RowPtr(i + 1);
     size_t j = 0;
     for (; j + 2 <= n; j += 2) {
-      const double* b0 = other.RowPtr(j);
-      const double* b1 = other.RowPtr(j + 1);
+      const double* b0 = rhs.RowPtr(j);
+      const double* b1 = rhs.RowPtr(j + 1);
       double s00 = 0.0, s01 = 0.0, s10 = 0.0, s11 = 0.0;
       for (size_t t = 0; t < k; ++t) {
         const double a0t = a0[t], a1t = a1[t];
@@ -148,24 +204,124 @@ Matrix Matrix::MultiplyABt(const Matrix& other) const {
       o1[j + 1] = s11;
     }
     for (; j < n; ++j) {
-      const double* b = other.RowPtr(j);
-      o0[j] = dot(a0, b);
-      o1[j] = dot(a1, b);
+      const double* b = rhs.RowPtr(j);
+      o0[j] = DotRows(a0, b, k);
+      o1[j] = DotRows(a1, b, k);
     }
   }
-  for (; i < rows_; ++i) {
-    const double* a = RowPtr(i);
-    double* o = out.RowPtr(i);
-    for (size_t j = 0; j < n; ++j) o[j] = dot(a, other.RowPtr(j));
+  for (; i < lhs.rows(); ++i) {
+    const double* a = lhs.RowPtr(i);
+    double* o = out->RowPtr(i);
+    for (size_t j = 0; j < n; ++j) o[j] = DotRows(a, rhs.RowPtr(j), k);
+  }
+}
+
+/// SIMD A·Bᵀ. The j (output-column = B-row) loop widens into 8 lanes; to
+/// feed it with one vector load per step instead of an 8-element gather,
+/// B is first PACKED into 8-row column panels (the BLIS/GotoBLAS trick):
+/// panel p stores B rows [8p, 8p+8) column-major, so offset 8t holds the
+/// column-t slice across the panel's rows. Packing costs O(nk) once and
+/// is reused by every row of A. The i loop blocks by 4, so each t feeds
+/// four broadcast-multiply-add chains — 32 outputs in flight. Every lane
+/// is its own accumulator advancing in t order, bit-identical to the
+/// scalar dot of the corresponding (i, j). The final panel is padded
+/// with zero rows; its pad lanes are computed and discarded.
+void MultiplyABtSimd(const Matrix& lhs, const Matrix& rhs, Matrix* out) {
+  constexpr size_t kPanel = simd::D8::kWidth;
+  const size_t k = lhs.cols();
+  const size_t n = rhs.rows();
+  const size_t m = lhs.rows();
+  if (k == 0 || n == 0 || m == 0) return;
+
+  const size_t num_panels = (n + kPanel - 1) / kPanel;
+  AlignedBuffer packed(num_panels * k * kPanel, 0.0);
+  for (size_t j = 0; j < n; ++j) {
+    const double* b = rhs.RowPtr(j);
+    double* panel = packed.data() + (j / kPanel) * k * kPanel + j % kPanel;
+    for (size_t t = 0; t < k; ++t) panel[t * kPanel] = b[t];
+  }
+
+  for (size_t p = 0; p < num_panels; ++p) {
+    const double* panel = packed.data() + p * k * kPanel;
+    const size_t j0 = p * kPanel;
+    const size_t lanes = std::min(kPanel, n - j0);
+    size_t i = 0;
+    for (; i + 4 <= m; i += 4) {
+      const double* a0 = lhs.RowPtr(i);
+      const double* a1 = lhs.RowPtr(i + 1);
+      const double* a2 = lhs.RowPtr(i + 2);
+      const double* a3 = lhs.RowPtr(i + 3);
+      simd::D8 s0 = simd::D8::Zero();
+      simd::D8 s1 = simd::D8::Zero();
+      simd::D8 s2 = simd::D8::Zero();
+      simd::D8 s3 = simd::D8::Zero();
+      for (size_t t = 0; t < k; ++t) {
+        const simd::D8 bt = simd::D8::Load(panel + t * kPanel);
+        s0 = simd::MulAdd(simd::D8::Broadcast(a0[t]), bt, s0);
+        s1 = simd::MulAdd(simd::D8::Broadcast(a1[t]), bt, s1);
+        s2 = simd::MulAdd(simd::D8::Broadcast(a2[t]), bt, s2);
+        s3 = simd::MulAdd(simd::D8::Broadcast(a3[t]), bt, s3);
+      }
+      if (lanes == kPanel) {
+        s0.Store(out->RowPtr(i) + j0);
+        s1.Store(out->RowPtr(i + 1) + j0);
+        s2.Store(out->RowPtr(i + 2) + j0);
+        s3.Store(out->RowPtr(i + 3) + j0);
+      } else {
+        for (size_t l = 0; l < lanes; ++l) {
+          out->RowPtr(i)[j0 + l] = s0[l];
+          out->RowPtr(i + 1)[j0 + l] = s1[l];
+          out->RowPtr(i + 2)[j0 + l] = s2[l];
+          out->RowPtr(i + 3)[j0 + l] = s3[l];
+        }
+      }
+    }
+    for (; i < m; ++i) {
+      const double* a = lhs.RowPtr(i);
+      simd::D8 s = simd::D8::Zero();
+      for (size_t t = 0; t < k; ++t) {
+        s = simd::MulAdd(simd::D8::Broadcast(a[t]),
+                         simd::D8::Load(panel + t * kPanel), s);
+      }
+      if (lanes == kPanel) {
+        s.Store(out->RowPtr(i) + j0);
+      } else {
+        for (size_t l = 0; l < lanes; ++l) out->RowPtr(i)[j0 + l] = s[l];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Matrix Matrix::MultiplyABt(const Matrix& other) const {
+  OPENAPI_CHECK_EQ(cols_, other.cols_);
+  Matrix out(rows_, other.rows_);
+  if (GetKernelPolicy() == KernelPolicy::kReference) {
+    MultiplyABtReference(*this, other, &out);
+  } else {
+    MultiplyABtSimd(*this, other, &out);
   }
   return out;
 }
 
 void Matrix::AddRowInPlace(const Vec& row) {
   OPENAPI_CHECK_EQ(row.size(), cols_);
+  if (GetKernelPolicy() == KernelPolicy::kReference) {
+    for (size_t r = 0; r < rows_; ++r) {
+      double* out_row = RowPtr(r);
+      for (size_t c = 0; c < cols_; ++c) out_row[c] += row[c];
+    }
+    return;
+  }
   for (size_t r = 0; r < rows_; ++r) {
     double* out_row = RowPtr(r);
-    for (size_t c = 0; c < cols_; ++c) out_row[c] += row[c];
+    size_t c = 0;
+    for (; c + 8 <= cols_; c += 8) {
+      (simd::D8::Load(out_row + c) + simd::D8::Load(&row[c]))
+          .Store(out_row + c);
+    }
+    for (; c < cols_; ++c) out_row[c] += row[c];
   }
 }
 

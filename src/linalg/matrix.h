@@ -6,6 +6,16 @@
 // stays small — just storage, element access, and the handful of products
 // the solvers and models need. Factorizations live in lu.h / qr.h /
 // cholesky.h.
+//
+// The product kernels come in two implementations selected by a
+// process-wide KernelPolicy: kSimd (the default) widens the innermost
+// output-column loop into vector lanes, kReference is the plain scalar
+// loop. Both accumulate every output element over the contraction index
+// in the same left-to-right order, so the two policies are BIT-IDENTICAL
+// on every input — kReference exists so tests can diff the SIMD kernels
+// element-for-element, and as the fallback reading for the parity
+// contract comments below. Storage is 64-byte aligned (aligned_alloc.h)
+// so vector loads on row 0 and on power-of-two row lengths are aligned.
 
 #ifndef OPENAPI_LINALG_MATRIX_H_
 #define OPENAPI_LINALG_MATRIX_H_
@@ -14,6 +24,7 @@
 #include <initializer_list>
 #include <vector>
 
+#include "linalg/aligned_alloc.h"
 #include "linalg/vector_ops.h"
 #include "util/check.h"
 
@@ -47,6 +58,12 @@ class Matrix {
   size_t size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
 
+  /// Reshapes to rows x cols, reusing the existing allocation whenever it
+  /// is large enough (the workspace-reuse primitive of the solver's
+  /// shrink loop). Element CONTENTS are unspecified afterwards — callers
+  /// are expected to overwrite every entry.
+  void Resize(size_t rows, size_t cols);
+
   double& operator()(size_t r, size_t c) {
     OPENAPI_DCHECK(r < rows_ && c < cols_);
     return data_[r * cols_ + c];
@@ -69,6 +86,10 @@ class Matrix {
 
   /// Matrix-vector product (rows x cols) * (cols) -> (rows).
   Vec Multiply(const Vec& x) const;
+
+  /// Matrix-vector product written into *out (resized to rows()); no
+  /// allocation when out's capacity suffices. out must not alias x.
+  void Multiply(const Vec& x, Vec* out) const;
 
   /// Transposed matrix-vector product A^T x: (cols) result.
   Vec MultiplyTransposed(const Vec& x) const;
@@ -109,16 +130,18 @@ class Matrix {
   /// True iff every entry is finite.
   bool AllFinite() const;
 
-  /// Flat row-major data access (for serialization and tests).
-  const std::vector<double>& data() const { return data_; }
-  std::vector<double>& mutable_data() { return data_; }
+  /// Flat row-major data access (for serialization and tests). The
+  /// buffer is a std::vector with a 64-byte-aligned allocator; element
+  /// access and iteration are identical to std::vector<double>.
+  const AlignedBuffer& data() const { return data_; }
+  AlignedBuffer& mutable_data() { return data_; }
 
   bool operator==(const Matrix& other) const = default;
 
  private:
   size_t rows_;
   size_t cols_;
-  std::vector<double> data_;
+  AlignedBuffer data_;
 };
 
 }  // namespace openapi::linalg

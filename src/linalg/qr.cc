@@ -2,19 +2,80 @@
 
 #include <cmath>
 
+#include "linalg/simd.h"
 #include "util/string_util.h"
 
 namespace openapi::linalg {
+namespace {
+
+/// Applies the reflection (I - tau v v^T) to trailing columns [k+1, n) of
+/// qr, with v = (1, qr(k+1..m-1, k)). The j (column) loop widens into
+/// vector lanes: each column's dot product still accumulates over rows in
+/// i order and each element's update is the same mul-then-subtract, so
+/// the result is bit-identical to the scalar loop under kReference. This
+/// is the O(m n) inner heart of the factorization — the solver spends a
+/// third of a shrink iteration here at paper-scale d.
+void ApplyReflection(Matrix& qr, size_t k, double tau_k) {
+  const size_t m = qr.rows();
+  const size_t n = qr.cols();
+  if (GetKernelPolicy() == KernelPolicy::kReference) {
+    for (size_t j = k + 1; j < n; ++j) {
+      double dot = qr(k, j);  // v[0] = 1
+      for (size_t i = k + 1; i < m; ++i) dot += qr(i, k) * qr(i, j);
+      double scale = tau_k * dot;
+      qr(k, j) -= scale;
+      for (size_t i = k + 1; i < m; ++i) qr(i, j) -= scale * qr(i, k);
+    }
+    return;
+  }
+  const simd::D8 tau8 = simd::D8::Broadcast(tau_k);
+  size_t j = k + 1;
+  for (; j + 8 <= n; j += 8) {
+    simd::D8 dot = simd::D8::Load(qr.RowPtr(k) + j);
+    for (size_t i = k + 1; i < m; ++i) {
+      dot = simd::MulAdd(simd::D8::Broadcast(qr(i, k)),
+                         simd::D8::Load(qr.RowPtr(i) + j), dot);
+    }
+    const simd::D8 scale = tau8 * dot;
+    (simd::D8::Load(qr.RowPtr(k) + j) - scale).Store(qr.RowPtr(k) + j);
+    for (size_t i = k + 1; i < m; ++i) {
+      (simd::D8::Load(qr.RowPtr(i) + j) -
+       scale * simd::D8::Broadcast(qr(i, k)))
+          .Store(qr.RowPtr(i) + j);
+    }
+  }
+  for (; j < n; ++j) {
+    double dot = qr(k, j);
+    for (size_t i = k + 1; i < m; ++i) dot += qr(i, k) * qr(i, j);
+    double scale = tau_k * dot;
+    qr(k, j) -= scale;
+    for (size_t i = k + 1; i < m; ++i) qr(i, j) -= scale * qr(i, k);
+  }
+}
+
+}  // namespace
 
 Result<QrDecomposition> QrDecomposition::Factor(const Matrix& a) {
+  QrDecomposition out;
+  OPENAPI_RETURN_NOT_OK(out.Refactor(a));
+  return out;
+}
+
+Status QrDecomposition::Refactor(const Matrix& a) {
   const size_t m = a.rows();
   const size_t n = a.cols();
   if (m < n || n == 0) {
     return Status::InvalidArgument(util::StrFormat(
         "QR requires rows >= cols >= 1; got %zux%zu", m, n));
   }
-  Matrix qr = a;
-  Vec tau(n, 0.0);
+  // Copy assignments reuse this object's buffers once their capacity has
+  // grown to the request's largest shape — the allocation-free property
+  // the solver's per-request workspace depends on.
+  a_ = a;
+  qr_ = a;
+  tau_.assign(n, 0.0);
+  Matrix& qr = qr_;
+  Vec& tau = tau_;
 
   for (size_t k = 0; k < n; ++k) {
     // Householder vector for column k, rows k..m-1.
@@ -45,14 +106,9 @@ Result<QrDecomposition> QrDecomposition::Factor(const Matrix& a) {
     tau[k] *= v0 * v0;
     qr(k, k) = alpha;
 
-    // Apply (I - tau v v^T) to the trailing columns.
-    for (size_t j = k + 1; j < n; ++j) {
-      double dot = qr(k, j);  // v[0] = 1
-      for (size_t i = k + 1; i < m; ++i) dot += qr(i, k) * qr(i, j);
-      double scale = tau[k] * dot;
-      qr(k, j) -= scale;
-      for (size_t i = k + 1; i < m; ++i) qr(i, j) -= scale * qr(i, k);
-    }
+    // Apply (I - tau v v^T) to the trailing columns (SIMD across j under
+    // kSimd; bit-identical either way).
+    ApplyReflection(qr, k, tau[k]);
   }
 
   // Detect rank deficiency from R's diagonal.
@@ -67,34 +123,49 @@ Result<QrDecomposition> QrDecomposition::Factor(const Matrix& a) {
           "rank-deficient matrix: |R[%zu,%zu]| below tolerance", k, k));
     }
   }
-  return QrDecomposition(a, std::move(qr), std::move(tau));
+  return Status::OK();
+}
+
+void QrDecomposition::ApplyQTransposedInPlace(Vec* y) const {
+  const size_t m = qr_.rows();
+  const size_t n = qr_.cols();
+  OPENAPI_CHECK_EQ(y->size(), m);
+  for (size_t k = 0; k < n; ++k) {
+    if (tau_[k] == 0.0) continue;
+    double dot = (*y)[k];  // v[0] = 1
+    for (size_t i = k + 1; i < m; ++i) dot += qr_(i, k) * (*y)[i];
+    double scale = tau_[k] * dot;
+    (*y)[k] -= scale;
+    for (size_t i = k + 1; i < m; ++i) (*y)[i] -= scale * qr_(i, k);
+  }
 }
 
 Vec QrDecomposition::ApplyQTransposed(const Vec& v) const {
-  const size_t m = qr_.rows();
-  const size_t n = qr_.cols();
-  OPENAPI_CHECK_EQ(v.size(), m);
   Vec y = v;
-  for (size_t k = 0; k < n; ++k) {
-    if (tau_[k] == 0.0) continue;
-    double dot = y[k];  // v[0] = 1
-    for (size_t i = k + 1; i < m; ++i) dot += qr_(i, k) * y[i];
-    double scale = tau_[k] * dot;
-    y[k] -= scale;
-    for (size_t i = k + 1; i < m; ++i) y[i] -= scale * qr_(i, k);
-  }
+  ApplyQTransposedInPlace(&y);
   return y;
 }
 
 LeastSquaresSolution QrDecomposition::Solve(const Vec& b) const {
+  Scratch scratch;
+  LeastSquaresSolution solution;
+  Solve(b, &scratch, &solution);
+  return solution;
+}
+
+void QrDecomposition::Solve(const Vec& b, Scratch* scratch,
+                            LeastSquaresSolution* solution) const {
   const size_t m = qr_.rows();
   const size_t n = qr_.cols();
   OPENAPI_CHECK_EQ(b.size(), m);
 
-  Vec qtb = ApplyQTransposed(b);
+  Vec& qtb = scratch->qtb;
+  qtb.assign(b.begin(), b.end());
+  ApplyQTransposedInPlace(&qtb);
 
   // Back substitution: R x = qtb[0..n-1].
-  Vec x(n);
+  Vec& x = solution->x;
+  x.resize(n);
   for (size_t ii = n; ii-- > 0;) {
     double sum = qtb[ii];
     const double* row = qr_.RowPtr(ii);
@@ -103,15 +174,16 @@ LeastSquaresSolution QrDecomposition::Solve(const Vec& b) const {
   }
 
   // Exact residual in the original coordinates.
-  Vec ax = a_.Multiply(x);
+  a_.Multiply(x, &scratch->ax);
   double norm2_sq = 0.0;
   double norminf = 0.0;
   for (size_t i = 0; i < m; ++i) {
-    double r = ax[i] - b[i];
+    double r = scratch->ax[i] - b[i];
     norm2_sq += r * r;
     norminf = std::max(norminf, std::fabs(r));
   }
-  return LeastSquaresSolution{std::move(x), std::sqrt(norm2_sq), norminf};
+  solution->residual_norm2 = std::sqrt(norm2_sq);
+  solution->residual_norminf = norminf;
 }
 
 double QrDecomposition::ReciprocalPivotRatio() const {

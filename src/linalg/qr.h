@@ -28,14 +28,38 @@ struct LeastSquaresSolution {
 /// A = QR via Householder reflections; requires rows >= cols.
 class QrDecomposition {
  public:
+  /// Reusable scratch for the allocation-free Solve overload.
+  struct Scratch {
+    Vec qtb;  // Q^T b workspace
+    Vec ax;   // A x workspace for the exact residual
+  };
+
+  /// An empty decomposition; Refactor before use. Exists so a solver
+  /// workspace can hold one QR object whose storage is reused across
+  /// shrink iterations.
+  QrDecomposition() = default;
+
   /// Factors `a` (m x n with m >= n). Rank deficiency to working precision
   /// is reported as NumericalError (the paper's Lemma 1 says random probes
   /// make A full column rank with probability 1, so hitting this means the
   /// probe set was degenerate and should be re-sampled).
   static Result<QrDecomposition> Factor(const Matrix& a);
 
+  /// Factor's allocation-free sibling: factors `a` into THIS object,
+  /// reusing its existing storage whenever the capacities suffice (always,
+  /// after the first call at a given shape). Same errors as Factor; after
+  /// a failure the decomposition is unusable until the next successful
+  /// Refactor.
+  Status Refactor(const Matrix& a);
+
   /// Least-squares solve min_x ||A x - b||_2 with residual diagnostics.
   LeastSquaresSolution Solve(const Vec& b) const;
+
+  /// Solve's allocation-free sibling: writes the minimizer into
+  /// solution->x and works out of *scratch, reusing both buffers' storage
+  /// across calls.
+  void Solve(const Vec& b, Scratch* scratch,
+             LeastSquaresSolution* solution) const;
 
   /// Applies Q^T to a vector of length m (exposed for tests).
   Vec ApplyQTransposed(const Vec& v) const;
@@ -47,8 +71,8 @@ class QrDecomposition {
   double ReciprocalPivotRatio() const;
 
  private:
-  QrDecomposition(Matrix a, Matrix qr, Vec tau)
-      : a_(std::move(a)), qr_(std::move(qr)), tau_(std::move(tau)) {}
+  /// In-place Q^T y over a length-m buffer.
+  void ApplyQTransposedInPlace(Vec* y) const;
 
   // Original matrix, kept to report exact residuals (A x - b) in the input
   // coordinates; cheap at OpenAPI's (d+2) x (d+1) sizes.

@@ -1,11 +1,26 @@
 #include "linalg/vector_ops.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
+#include "linalg/simd.h"
 #include "util/check.h"
 
 namespace openapi::linalg {
+namespace {
+
+std::atomic<KernelPolicy> g_kernel_policy{KernelPolicy::kSimd};
+
+}  // namespace
+
+KernelPolicy GetKernelPolicy() {
+  return g_kernel_policy.load(std::memory_order_relaxed);
+}
+
+void SetKernelPolicy(KernelPolicy policy) {
+  g_kernel_policy.store(policy, std::memory_order_relaxed);
+}
 
 double Dot(const Vec& a, const Vec& b) {
   OPENAPI_CHECK_EQ(a.size(), b.size());
@@ -102,15 +117,34 @@ bool AllFinite(const Vec& a) {
 
 Vec Softmax(const Vec& logits) {
   OPENAPI_CHECK(!logits.empty());
-  double max_logit = *std::max_element(logits.begin(), logits.end());
   Vec out(logits.size());
+  SoftmaxInto(logits.data(), logits.size(), out.data());
+  return out;
+}
+
+void SoftmaxInto(const double* logits, size_t n, double* out) {
+  OPENAPI_CHECK_GT(n, 0u);
+  // Max scan and exp-sum stay scalar under every policy: the sum is a
+  // reduction whose order fixes the result, and exp is a libm call. Only
+  // the element-wise normalization widens — division is per-element, so
+  // both policies are bit-identical.
+  double max_logit = logits[0];
+  for (size_t i = 1; i < n; ++i) max_logit = std::max(max_logit, logits[i]);
   double sum = 0.0;
-  for (size_t i = 0; i < logits.size(); ++i) {
+  for (size_t i = 0; i < n; ++i) {
     out[i] = std::exp(logits[i] - max_logit);
     sum += out[i];
   }
-  for (double& x : out) x /= sum;
-  return out;
+  if (GetKernelPolicy() == KernelPolicy::kReference) {
+    for (size_t i = 0; i < n; ++i) out[i] /= sum;
+    return;
+  }
+  const simd::D4 sum4 = simd::D4::Broadcast(sum);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    (simd::D4::Load(out + i) / sum4).Store(out + i);
+  }
+  for (; i < n; ++i) out[i] /= sum;
 }
 
 Vec LogSoftmax(const Vec& logits) {

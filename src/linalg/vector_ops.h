@@ -15,6 +15,20 @@ namespace openapi::linalg {
 
 using Vec = std::vector<double>;
 
+/// Which implementation the vectorizable linalg kernels (Matrix products,
+/// AddRowInPlace, Softmax normalization) dispatch to. kSimd widens the
+/// innermost output-column loop into vector lanes; kReference is the
+/// plain scalar loop. The two are BIT-IDENTICAL by construction — every
+/// output element accumulates over the contraction index in the same
+/// left-to-right order — so kReference exists for element-for-element
+/// diffing in tests and as the baseline leg of the kernel benches.
+enum class KernelPolicy { kSimd, kReference };
+
+/// Process-wide kernel selection (atomic; safe to read concurrently).
+/// Tests set kReference, compute, restore kSimd, and diff.
+KernelPolicy GetKernelPolicy();
+void SetKernelPolicy(KernelPolicy policy);
+
 /// Dot product. Sizes must match.
 double Dot(const Vec& a, const Vec& b);
 
@@ -60,6 +74,12 @@ bool AllFinite(const Vec& a);
 
 /// Numerically stable softmax of `logits`.
 Vec Softmax(const Vec& logits);
+
+/// Softmax of logits[0..n) written into out[0..n) (may not alias). The
+/// raw-pointer form lets batch forwards softmax one matrix row directly
+/// into a reusable output buffer — no row copy, no allocation. Identical
+/// arithmetic to Softmax (same max, same summation order).
+void SoftmaxInto(const double* logits, size_t n, double* out);
 
 /// Numerically stable log-softmax of `logits`.
 Vec LogSoftmax(const Vec& logits);

@@ -1,6 +1,7 @@
 #include "lmt/lmt.h"
 
 #include <fstream>
+#include <limits>
 
 #include "util/check.h"
 #include "util/string_util.h"
@@ -14,7 +15,87 @@ LogisticModelTree LogisticModelTree::Fit(const data::Dataset& train,
   std::vector<size_t> all(train.size());
   for (size_t i = 0; i < all.size(); ++i) all[i] = i;
   tree.BuildNode(train, all, /*depth=*/0, config);
+  tree.FinalizeRouting();
   return tree;
+}
+
+void LogisticModelTree::FinalizeRouting() {
+  const size_t n = nodes_.size();
+  route_feature_.resize(n);
+  route_threshold_.resize(n);
+  route_left_.resize(n);
+  route_right_.resize(n);
+  node_leaf_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Node& node = nodes_[i];
+    if (node.is_leaf) {
+      // Self-loop: x[0] <= +inf always routes "left" back to the leaf, so
+      // parked samples stay put through the remaining level passes with
+      // no is-leaf branch in the routing loop.
+      route_feature_[i] = 0;
+      route_threshold_[i] = std::numeric_limits<double>::infinity();
+      route_left_[i] = static_cast<uint32_t>(i);
+      route_right_[i] = static_cast<uint32_t>(i);
+      node_leaf_[i] = node.leaf_index;
+    } else {
+      route_feature_[i] = static_cast<uint32_t>(node.feature);
+      route_threshold_[i] = node.threshold;
+      route_left_[i] = static_cast<uint32_t>(node.left);
+      route_right_[i] = static_cast<uint32_t>(node.right);
+      node_leaf_[i] = std::numeric_limits<size_t>::max();
+    }
+  }
+}
+
+void LogisticModelTree::RouteRange(const std::vector<Vec>& xs, size_t begin,
+                                   size_t end, size_t* leaf_of) const {
+  const size_t count = end - begin;
+  constexpr size_t kNotLeaf = std::numeric_limits<size_t>::max();
+  // Level-order with active-list compaction: every pass advances each
+  // still-routing sample one tree level, streaming the SoA arrays
+  // instead of chasing one sample's pointer chain to the bottom before
+  // starting the next; samples that reach their leaf drop out of the
+  // active list so unbalanced trees don't re-touch parked samples. The
+  // comparison is exactly LeafIndexAt's (x[feature] <= threshold), so
+  // assignments are identical per sample.
+  std::vector<uint32_t> current(count, 0);
+  std::vector<uint32_t> active;
+  if (node_leaf_[0] == kNotLeaf) {
+    active.resize(count);
+    for (size_t i = 0; i < count; ++i) active[i] = static_cast<uint32_t>(i);
+  }
+  for (size_t level = 0; level < depth_ && !active.empty(); ++level) {
+    size_t kept = 0;
+    for (const uint32_t i : active) {
+      const uint32_t node = current[i];
+      const uint32_t next =
+          xs[begin + i][route_feature_[node]] <= route_threshold_[node]
+              ? route_left_[node]
+              : route_right_[node];
+      current[i] = next;
+      if (node_leaf_[next] == kNotLeaf) active[kept++] = i;
+    }
+    active.resize(kept);
+  }
+  for (size_t i = 0; i < count; ++i) {
+    size_t node = current[i];
+    // depth_ passes suffice for any path; the walk below is a guard for
+    // trees whose serialized depth understates the true height.
+    while (node_leaf_[node] == kNotLeaf) {
+      node = xs[begin + i][route_feature_[node]] <= route_threshold_[node]
+                 ? route_left_[node]
+                 : route_right_[node];
+    }
+    leaf_of[i] = node_leaf_[node];
+  }
+}
+
+std::vector<size_t> LogisticModelTree::LeafIndicesBatch(
+    const std::vector<Vec>& xs) const {
+  for (const Vec& x : xs) OPENAPI_CHECK_EQ(x.size(), dim_);
+  std::vector<size_t> leaf_of(xs.size());
+  if (!xs.empty()) RouteRange(xs, 0, xs.size(), leaf_of.data());
+  return leaf_of;
 }
 
 size_t LogisticModelTree::BuildNode(const data::Dataset& train,
@@ -85,30 +166,36 @@ Vec LogisticModelTree::Predict(const Vec& x) const {
 std::vector<Vec> LogisticModelTree::PredictBatch(
     const std::vector<Vec>& xs) const {
   if (xs.empty()) return {};
-  // Route all samples first, then evaluate one GEMM per populated leaf.
-  // The Multiply i-k-j kernel accumulates over features in the same order
-  // as MultiplyTransposed in LogisticRegression::Predict, so each row is
-  // bit-identical to the single-sample path.
-  std::vector<size_t> leaf_of(xs.size());
-  std::vector<std::vector<size_t>> members(leaves_.size());
-  for (size_t i = 0; i < xs.size(); ++i) {
-    leaf_of[i] = LeafIndexAt(xs[i]);
-    members[leaf_of[i]].push_back(i);
-  }
   std::vector<Vec> out(xs.size());
-  for (size_t leaf = 0; leaf < leaves_.size(); ++leaf) {
-    if (members[leaf].empty()) continue;
-    const LogisticRegression& clf = leaves_[leaf];
-    linalg::Matrix group(members[leaf].size(), dim_);
-    for (size_t r = 0; r < members[leaf].size(); ++r) {
-      group.SetRow(r, xs[members[leaf][r]]);
+  // Per row block: level-order routing, then one GEMM per populated leaf
+  // over the block's members. The Multiply i-k-j kernel accumulates over
+  // features in the same order as MultiplyTransposed in
+  // LogisticRegression::Predict, and each GEMM row depends only on its
+  // own sample, so every row is bit-identical to the single-sample path
+  // regardless of how the batch splits across the pool.
+  api::ParallelForwardRowBlocks(xs.size(), [&](size_t begin, size_t end) {
+    std::vector<size_t> leaf_of(end - begin);
+    RouteRange(xs, begin, end, leaf_of.data());
+    std::vector<std::vector<size_t>> members(leaves_.size());
+    for (size_t i = begin; i < end; ++i) {
+      members[leaf_of[i - begin]].push_back(i);
     }
-    linalg::Matrix logits = group.Multiply(clf.weights());  // n_leaf x C
-    logits.AddRowInPlace(clf.bias());
-    for (size_t r = 0; r < members[leaf].size(); ++r) {
-      out[members[leaf][r]] = linalg::Softmax(logits.Row(r));
+    for (size_t leaf = 0; leaf < leaves_.size(); ++leaf) {
+      if (members[leaf].empty()) continue;
+      const LogisticRegression& clf = leaves_[leaf];
+      linalg::Matrix group(members[leaf].size(), dim_);
+      for (size_t r = 0; r < members[leaf].size(); ++r) {
+        group.SetRow(r, xs[members[leaf][r]]);
+      }
+      linalg::Matrix logits = group.Multiply(clf.weights());  // n_leaf x C
+      logits.AddRowInPlace(clf.bias());
+      for (size_t r = 0; r < members[leaf].size(); ++r) {
+        Vec& dst = out[members[leaf][r]];
+        dst.resize(logits.cols());
+        linalg::SoftmaxInto(logits.RowPtr(r), logits.cols(), dst.data());
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -199,6 +286,7 @@ Result<LogisticModelTree> LogisticModelTree::Load(const std::string& path) {
       return Status::IoError(path + ": node reference out of range");
     }
   }
+  tree.FinalizeRouting();
   return tree;
 }
 

@@ -44,9 +44,11 @@ class LogisticModelTree : public api::Plm, public api::PlmOracle {
   size_t dim() const override { return dim_; }
   size_t num_classes() const override { return num_classes_; }
   Vec Predict(const Vec& x) const override;
-  /// Batched prediction: routes every sample to its leaf, then evaluates
-  /// each leaf's classifier over its group with one matrix-matrix product.
-  /// Bit-matches per-sample Predict.
+  /// Batched prediction: routes every sample to its leaf with the
+  /// level-order SoA pass (LeafIndicesBatch), then evaluates each leaf's
+  /// classifier over its group with one matrix-matrix product; large
+  /// batches split into row blocks on the shared pool. Bit-matches
+  /// per-sample Predict.
   std::vector<Vec> PredictBatch(const std::vector<Vec>& xs) const override;
 
   // --- api::PlmOracle ---
@@ -54,8 +56,17 @@ class LogisticModelTree : public api::Plm, public api::PlmOracle {
   uint64_t RegionId(const Vec& x) const override;
   api::LocalLinearModel LocalModelAt(const Vec& x) const override;
 
-  /// Index of the leaf whose cell contains x.
+  /// Index of the leaf whose cell contains x (single-sample pointer
+  /// walk — the parity anchor for LeafIndicesBatch).
   size_t LeafIndexAt(const Vec& x) const;
+
+  /// Leaf indices for a whole batch, routed one tree LEVEL at a time over
+  /// flat SoA arrays (feature / threshold / child indices): each pass
+  /// advances every still-routing sample one level, streaming the arrays
+  /// instead of chasing Node structs per sample. Leaves self-loop, so
+  /// depth() passes land every sample on its leaf. Identical to
+  /// LeafIndexAt per sample.
+  std::vector<size_t> LeafIndicesBatch(const std::vector<Vec>& xs) const;
 
   /// The leaf's logistic classifier (for inspection and tests).
   const LogisticRegression& LeafClassifier(size_t leaf_index) const;
@@ -89,11 +100,31 @@ class LogisticModelTree : public api::Plm, public api::PlmOracle {
                    const std::vector<size_t>& indices, size_t depth,
                    const LmtConfig& config);
 
+  /// Flattens nodes_ into the routing SoA arrays below. Called once after
+  /// Fit / Load; the arrays are derived state and are not serialized.
+  void FinalizeRouting();
+
+  /// Routes xs[begin..end) to leaf indices in leaf_of[0..end-begin).
+  void RouteRange(const std::vector<Vec>& xs, size_t begin, size_t end,
+                  size_t* leaf_of) const;
+
   size_t dim_;
   size_t num_classes_;
   std::vector<Node> nodes_;  // nodes_[0] is the root
   std::vector<LogisticRegression> leaves_;
   size_t depth_ = 0;
+
+  // Routing SoA (structure-of-arrays mirror of nodes_, level-order batch
+  // routing): for internal node i, sample goes to route_left_[i] iff
+  // x[route_feature_[i]] <= route_threshold_[i]. Leaves self-loop
+  // (left == right == i, threshold == +inf) so a routed sample parks on
+  // its leaf while other samples finish; node_leaf_[i] maps a leaf node
+  // to its leaves_ index (SIZE_MAX for internal nodes).
+  std::vector<uint32_t> route_feature_;
+  std::vector<double> route_threshold_;
+  std::vector<uint32_t> route_left_;
+  std::vector<uint32_t> route_right_;
+  std::vector<size_t> node_leaf_;
 };
 
 }  // namespace openapi::lmt

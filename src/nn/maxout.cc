@@ -85,12 +85,20 @@ Matrix MaxoutPlnn::LogitsBatch(const Matrix& x) const {
 
 std::vector<Vec> MaxoutPlnn::PredictBatch(const std::vector<Vec>& xs) const {
   if (xs.empty()) return {};
-  Matrix logits = LogitsBatch(Matrix::FromRows(xs));
-  std::vector<Vec> out;
-  out.reserve(xs.size());
-  for (size_t i = 0; i < logits.rows(); ++i) {
-    out.push_back(linalg::Softmax(logits.Row(i)));
-  }
+  std::vector<Vec> out(xs.size());
+  // Row-block split on the shared pool, same contract as Plnn: the piece
+  // forwards and the element-wise max are row-local, so the split point
+  // cannot change any row.
+  api::ParallelForwardRowBlocks(xs.size(), [&](size_t begin, size_t end) {
+    Matrix block(end - begin, dim());
+    for (size_t i = begin; i < end; ++i) block.SetRow(i - begin, xs[i]);
+    Matrix logits = LogitsBatch(block);
+    for (size_t i = begin; i < end; ++i) {
+      out[i].resize(logits.cols());
+      linalg::SoftmaxInto(logits.RowPtr(i - begin), logits.cols(),
+                          out[i].data());
+    }
+  });
   return out;
 }
 

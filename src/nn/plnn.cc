@@ -44,12 +44,21 @@ Matrix Plnn::LogitsBatch(const Matrix& x) const {
 
 std::vector<Vec> Plnn::PredictBatch(const std::vector<Vec>& xs) const {
   if (xs.empty()) return {};
-  Matrix logits = LogitsBatch(Matrix::FromRows(xs));
-  std::vector<Vec> out;
-  out.reserve(xs.size());
-  for (size_t i = 0; i < logits.rows(); ++i) {
-    out.push_back(linalg::Softmax(logits.Row(i)));
-  }
+  std::vector<Vec> out(xs.size());
+  // Large batches split into row blocks across the shared pool; each
+  // block is its own matrix forward. Every kernel in LogitsBatch computes
+  // row i from row i alone, so the split point cannot change any row —
+  // blocked, inline, and per-sample results are all bit-identical.
+  api::ParallelForwardRowBlocks(xs.size(), [&](size_t begin, size_t end) {
+    Matrix block(end - begin, dim());
+    for (size_t i = begin; i < end; ++i) block.SetRow(i - begin, xs[i]);
+    Matrix logits = LogitsBatch(block);
+    for (size_t i = begin; i < end; ++i) {
+      out[i].resize(logits.cols());
+      linalg::SoftmaxInto(logits.RowPtr(i - begin), logits.cols(),
+                          out[i].data());
+    }
+  });
   return out;
 }
 

@@ -1,5 +1,8 @@
 #include "util/csv_writer.h"
 
+#include <filesystem>
+#include <system_error>
+
 #include "util/string_util.h"
 
 namespace openapi::util {
@@ -15,6 +18,25 @@ Result<CsvWriter> CsvWriter::Open(const std::string& path,
   }
   CsvWriter writer(std::move(out), header.size());
   OPENAPI_RETURN_NOT_OK(writer.WriteRow(header));
+  return writer;
+}
+
+Result<CsvWriter> CsvWriter::OpenAppend(
+    const std::string& path, const std::vector<std::string>& header) {
+  if (header.empty()) {
+    return Status::InvalidArgument("CSV header must be non-empty");
+  }
+  std::error_code ec;
+  const auto existing_size = std::filesystem::file_size(path, ec);
+  const bool need_header = ec || existing_size == 0;
+  std::ofstream out(path, std::ios::app);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open for appending: " + path);
+  }
+  CsvWriter writer(std::move(out), header.size());
+  if (need_header) {
+    OPENAPI_RETURN_NOT_OK(writer.WriteRow(header));
+  }
   return writer;
 }
 

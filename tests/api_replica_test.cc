@@ -73,6 +73,47 @@ TEST(ApiReplicaSetTest, BatchShardsContiguouslyWithExactPerReplicaCounts) {
   EXPECT_EQ(set.query_count(), 0u);
 }
 
+TEST(ApiReplicaSetTest, LargeBatchSplitsIntoMultipleShardsPerReplica) {
+  // Two-level split: 1000 rows on 4 replicas become ceil(1000/64) = 16
+  // shards of block ceil(1000/16) = 63 (last shard 55), shard s served
+  // by replica s % 4 — every replica runs several shards and the
+  // counters stay exact on the skewed tail.
+  nn::Plnn net = MakeNet(96);
+  ApiReplicaSet set(&net, 4);
+  util::Rng rng(13);
+  std::vector<Vec> xs;
+  for (size_t i = 0; i < 1000; ++i) {
+    xs.push_back(rng.UniformVector(6, 0.0, 1.0));
+  }
+  set.PredictBatch(xs);
+  EXPECT_EQ(set.replica_query_count(0), 252u);  // shards 0,4,8,12: 4 x 63
+  EXPECT_EQ(set.replica_query_count(1), 252u);
+  EXPECT_EQ(set.replica_query_count(2), 252u);
+  EXPECT_EQ(set.replica_query_count(3), 244u);  // 3 x 63 + tail 55
+  EXPECT_EQ(set.query_count(), 1000u);
+}
+
+TEST(ApiReplicaSetTest, NoisyLargeBatchIsDeterministicUnderTheSplit) {
+  // Shard tickets are reserved in shard order before dispatch, so a
+  // noisy replica set replays a large batch bit-identically after a
+  // noise-stream reset — concurrency in the shard execution cannot
+  // reorder the per-replica noise streams.
+  nn::Plnn net = MakeNet(97);
+  ApiReplicaSet set(&net, 3, /*round_digits=*/0, /*noise_stddev=*/1e-3);
+  util::Rng rng(14);
+  std::vector<Vec> xs;
+  for (size_t i = 0; i < 300; ++i) {
+    xs.push_back(rng.UniformVector(6, 0.0, 1.0));
+  }
+  std::vector<Vec> first = set.PredictBatch(xs);
+  set.ResetNoiseStream();
+  std::vector<Vec> second = set.PredictBatch(xs);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i], second[i]) << "sample " << i;
+  }
+}
+
 TEST(ApiReplicaSetTest, EngineTotalsEqualTheSumOfReplicaCounters) {
   // The acceptance check of the serving layer: drive the interpretation
   // engine through a 4-replica set and require the engine's reported

@@ -225,19 +225,20 @@ TEST(SessionStreamTest, SurvivesEngineAndSessionDestruction) {
   EXPECT_EQ(count, requests.size());
 }
 
-TEST(DeprecatedStreamShimTest, LegacyInterpretStreamStillYieldsResults) {
-  // The free-standing InterpretStream shim (bare Result items) keeps its
-  // contract for one release.
+TEST(SessionStreamTest, StreamQueriesMatchEndpointCounter) {
+  // The session stream's accounting contract (previously covered through
+  // the removed free-standing shim): engine aggregate queries equal the
+  // endpoint's own counter after a full stream drains.
   lmt::LogisticModelTree tree = MakeTree(6);
   api::PredictionApi api(&tree);
   InterpretationEngine engine;
+  auto session = engine.OpenSession(api);
   std::vector<EngineRequest> requests = RandomRequests(12, 5, 3, 107);
-  InterpretationStream stream =
-      engine.InterpretStream(api, requests, /*seed=*/109);
+  SessionStream stream = session->InterpretStream(requests, /*seed=*/109);
   EXPECT_EQ(stream.total(), requests.size());
   size_t count = 0;
   while (auto item = stream.Next()) {
-    ASSERT_TRUE(item->result.ok());
+    ASSERT_TRUE(item->response.result.ok());
     ++count;
   }
   EXPECT_EQ(count, requests.size());

@@ -351,11 +351,12 @@ TEST(EndpointSessionTest, ClearCacheForcesReExtraction) {
   EXPECT_EQ(session->stats().cache_misses, 2u);
 }
 
-TEST(DeprecatedEngineShimsTest, FreeStandingEntryPointsStillServe) {
-  // The pre-session methods remain for one release as thin shims over an
-  // internal per-endpoint session; results and accounting are unchanged,
-  // and two distinct endpoints no longer cross-contaminate even through
-  // the shims.
+TEST(EngineAggregateTest, StatsSumAcrossSessionsOnDistinctEndpoints) {
+  // One engine, two endpoints, two sessions: answers are exact per
+  // endpoint (no cross-contamination at a shared x0) and the engine's
+  // aggregate counters equal the sum of what both endpoints served. This
+  // is the multi-endpoint coverage the removed free-standing shims used
+  // to exercise, now through the only remaining surface: sessions.
   nn::Plnn net_a = MakeNet(65);
   nn::Plnn net_b = MakeNet(66);
   api::PredictionApi api_a(&net_a);
@@ -363,29 +364,23 @@ TEST(DeprecatedEngineShimsTest, FreeStandingEntryPointsStillServe) {
   EngineConfig config;
   config.num_threads = 1;
   InterpretationEngine engine(config);
+  auto session_a = engine.OpenSession(api_a);
+  auto session_b = engine.OpenSession(api_b);
   util::Rng rng(9);
   Vec x0 = rng.UniformVector(6, 0.2, 0.8);
-  auto via_a = engine.Interpret(api_a, x0, 0, /*seed=*/71, 0);
-  ASSERT_TRUE(via_a.ok());
-  EXPECT_LT(eval::L1Dist(net_a, x0, 0, via_a->dc), 1e-6);
-  // Same x0 on a DIFFERENT endpoint through the same engine: the shims'
-  // per-endpoint sessions keep the point memo from serving net_a's
-  // region, so the answer is exact for net_b.
-  auto via_b = engine.Interpret(api_b, x0, 0, /*seed=*/71, 1);
-  ASSERT_TRUE(via_b.ok());
-  EXPECT_LT(eval::L1Dist(net_b, x0, 0, via_b->dc), 1e-6);
-  EXPECT_EQ(engine.cache_size(), 2u);  // one region per endpoint session
+  auto via_a = session_a->Interpret({x0, 0}, /*seed=*/71, 0);
+  ASSERT_TRUE(via_a.result.ok());
+  EXPECT_LT(eval::L1Dist(net_a, x0, 0, via_a.result->dc), 1e-6);
+  // Same x0 on a DIFFERENT endpoint through the same engine: session
+  // isolation keeps the point memo from serving net_a's region, so the
+  // answer is exact for net_b.
+  auto via_b = session_b->Interpret({x0, 0}, /*seed=*/71, 1);
+  ASSERT_TRUE(via_b.result.ok());
+  EXPECT_LT(eval::L1Dist(net_b, x0, 0, via_b.result->dc), 1e-6);
+  EXPECT_EQ(session_a->cache_size() + session_b->cache_size(), 2u);
   EXPECT_EQ(engine.stats().queries,
             api_a.query_count() + api_b.query_count());
-
-  std::vector<EngineRequest> requests = {{x0, 0}, {x0, 1}};
-  auto results = engine.InterpretAll(api_a, requests, /*seed=*/73);
-  ASSERT_TRUE(results[0].ok());
-  ASSERT_TRUE(results[1].ok());
-  auto future = engine.SubmitAsync(api_a, {x0, 2}, /*seed=*/73, 2);
-  ASSERT_TRUE(future.get().ok());
-  engine.ClearCache();
-  EXPECT_EQ(engine.cache_size(), 0u);
+  EXPECT_EQ(engine.stats().requests, 2u);
 }
 
 // --- Ported from the deleted extract_cached_test.cc: interpretation

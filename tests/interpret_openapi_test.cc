@@ -44,6 +44,59 @@ TEST_F(OpenApiPlnnTest, RecoversExactDecisionFeatures) {
   }
 }
 
+TEST_F(OpenApiPlnnTest, SimdAndReferenceKernelsGiveBitIdenticalResults) {
+  // The whole solve — probe forwards, shared QR, consistency residuals —
+  // runs on linalg kernels whose kSimd and kReference implementations
+  // are bit-identical by contract; a full interpretation must therefore
+  // be EXACTLY equal under both policies, probes included.
+  OpenApiInterpreter interpreter;
+  util::Rng rng_reference(400);
+  util::Rng rng_simd(400);
+  Vec x0 = rng_.UniformVector(6, 0.1, 0.9);
+  linalg::SetKernelPolicy(linalg::KernelPolicy::kReference);
+  auto reference = interpreter.Interpret(api_, x0, 1, &rng_reference);
+  linalg::SetKernelPolicy(linalg::KernelPolicy::kSimd);
+  auto vectorized = interpreter.Interpret(api_, x0, 1, &rng_simd);
+  ASSERT_TRUE(reference.ok());
+  ASSERT_TRUE(vectorized.ok());
+  EXPECT_EQ(vectorized->dc, reference->dc);
+  EXPECT_EQ(vectorized->probes, reference->probes);
+  EXPECT_EQ(vectorized->iterations, reference->iterations);
+  EXPECT_EQ(vectorized->queries, reference->queries);
+  ASSERT_EQ(vectorized->pairs.size(), reference->pairs.size());
+  for (size_t i = 0; i < reference->pairs.size(); ++i) {
+    EXPECT_EQ(vectorized->pairs[i].d, reference->pairs[i].d);
+    EXPECT_EQ(vectorized->pairs[i].b, reference->pairs[i].b);
+  }
+}
+
+TEST_F(OpenApiPlnnTest, WorkspaceReuseDoesNotChangeResults) {
+  // reuse_workspace only changes WHERE the solver's scratch lives;
+  // results, probe draws, and query counts must be bit-identical with it
+  // on or off, and an externally supplied workspace must serve several
+  // requests in a row without contaminating them.
+  OpenApiConfig fresh_config;
+  fresh_config.reuse_workspace = false;
+  OpenApiInterpreter reusing;
+  OpenApiInterpreter fresh(fresh_config);
+  SolverWorkspace shared_workspace;
+  util::Rng rng_a(401);
+  util::Rng rng_b(401);
+  for (int trial = 0; trial < 5; ++trial) {
+    Vec x0 = rng_.UniformVector(6, 0.05, 0.95);
+    uint64_t consumed_a = 0, consumed_b = 0;
+    auto with_reuse =
+        reusing.InterpretCounted(api_, x0, 0, &rng_a, &consumed_a, {},
+                                 nullptr, nullptr, &shared_workspace);
+    auto without = fresh.InterpretCounted(api_, x0, 0, &rng_b, &consumed_b);
+    ASSERT_TRUE(with_reuse.ok());
+    ASSERT_TRUE(without.ok());
+    EXPECT_EQ(with_reuse->dc, without->dc) << "trial " << trial;
+    EXPECT_EQ(with_reuse->probes, without->probes) << "trial " << trial;
+    EXPECT_EQ(consumed_a, consumed_b) << "trial " << trial;
+  }
+}
+
 TEST_F(OpenApiPlnnTest, PairEstimatesMatchGroundTruthCoreParameters) {
   OpenApiInterpreter interpreter;
   Vec x0 = rng_.UniformVector(6, 0.1, 0.9);

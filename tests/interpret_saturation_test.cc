@@ -143,6 +143,49 @@ TEST(SaturationRegressionTest, QueryAccountingStaysExactUnderSaturation) {
   EXPECT_LT(consumed, 1 + result->iterations * 8);
 }
 
+TEST(SaturationRegressionTest, SaturatedSolveIsBitIdenticalAcrossPolicies) {
+  // The masked-row path (per-pair QR over the usable rows + adaptive
+  // top-ups) must be exactly equal under kSimd and kReference, and with
+  // the solver workspace reused or rebuilt per iteration — the saturated
+  // branch exercises the Resize/Refactor reuse cycle the fast path never
+  // touches.
+  LinearPlm plm(SaturatingModel());
+  api::PredictionApi api(&plm);
+  OpenApiConfig fresh_config;
+  fresh_config.reuse_workspace = false;
+  OpenApiInterpreter reusing;
+  OpenApiInterpreter fresh(fresh_config);
+  struct Leg {
+    linalg::KernelPolicy policy;
+    const OpenApiInterpreter* interpreter;
+  };
+  const Leg legs[] = {
+      {linalg::KernelPolicy::kReference, &fresh},
+      {linalg::KernelPolicy::kSimd, &fresh},
+      {linalg::KernelPolicy::kSimd, &reusing},
+  };
+  std::optional<Interpretation> baseline;
+  uint64_t baseline_consumed = 0;
+  for (const Leg& leg : legs) {
+    linalg::SetKernelPolicy(leg.policy);
+    util::Rng rng(77);
+    uint64_t consumed = 0;
+    auto result = leg.interpreter->InterpretCounted(
+        api, SaturatedAnchor(), 0, &rng, &consumed);
+    linalg::SetKernelPolicy(linalg::KernelPolicy::kSimd);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    if (!baseline.has_value()) {
+      baseline = std::move(*result);
+      baseline_consumed = consumed;
+      continue;
+    }
+    EXPECT_EQ(result->dc, baseline->dc);
+    EXPECT_EQ(result->probes, baseline->probes);
+    EXPECT_EQ(result->iterations, baseline->iterations);
+    EXPECT_EQ(consumed, baseline_consumed);
+  }
+}
+
 TEST(SaturationRegressionTest, ExtractorReturnsColumnZeroPinnedGauge) {
   // The extractor pins its reference to class 0 — exactly the class that
   // saturates. The solver's internal reference switch must be invisible:
