@@ -12,14 +12,22 @@
 //   * PlnnForwardBatch               — PredictBatch throughput across the
 //     pool-parallel crossover (batch 32 .. 2048); the crossover threshold
 //     api::kParallelForwardMinBatch was picked from this sweep.
-//   * Interpret{Workspace,Fresh}     — one full closed-form interpretation
-//     per iteration with the per-request SolverWorkspace reused vs
-//     discarded every shrink iteration (OpenApiConfig::reuse_workspace),
-//     isolating the allocation-free-loop win.
+//   * InterpretWorkspace{Pooled,PerRequest} — one full closed-form
+//     interpretation per iteration with the SolverWorkspace held across
+//     REQUESTS (the engine workspace pool's steady state: zero solver
+//     allocations after the first request) vs a request-local workspace
+//     that regrows every request (the old engine miss path).
+//   * InterpretDispatch{Chunked,Unchunked} — a deadlined request (far
+//     deadline, so every batch passes through the chunk planner and the
+//     predictive gates) vs ChunkedDispatchConfig::enabled = false (one
+//     PredictBatch per batch, the pre-chunking dispatch). The acceptance
+//     bar is overhead < 3% on fast endpoints — chunk planning must be in
+//     the noise.
 //   * InterpretEndToEnd              — the headline number: uncached
 //     interpretations/sec straight through OpenApiInterpreter (fresh x0
-//     every iteration, no engine cache), SIMD+workspace vs the scalar
-//     reference kernels with per-iteration allocation.
+//     every iteration, no engine cache), SIMD + pooled workspace +
+//     chunked dispatch (the shipped default) vs the scalar reference
+//     kernels with per-request allocation and unchunked dispatch.
 
 #include <benchmark/benchmark.h>
 
@@ -189,10 +197,11 @@ void PlnnForwardBatch(benchmark::State& state) {
 }
 BENCHMARK(PlnnForwardBatch)->Arg(32)->Arg(128)->Arg(256)->Arg(512)->Arg(2048);
 
-// --- Solver workspace reuse on/off. ---
+// --- Solver workspace pooling and chunked dispatch. ---
 
-void InterpretLoop(benchmark::State& state, bool reuse_workspace,
-                   linalg::KernelPolicy policy) {
+void InterpretLoop(benchmark::State& state, linalg::KernelPolicy policy,
+                   bool pooled_workspace, bool chunked_dispatch,
+                   bool with_deadline) {
   // The paper-scale solver workload: d = 64, C = 10, so one shrink
   // iteration forwards a 65-probe batch through a 64-128-64-10 net and
   // solves a 66 x 65 system for 9 right-hand sides.
@@ -203,34 +212,69 @@ void InterpretLoop(benchmark::State& state, bool reuse_workspace,
   static api::PredictionApi* api = new api::PredictionApi(net);
   PolicyGuard guard(policy);
   interpret::OpenApiConfig config;
-  config.reuse_workspace = reuse_workspace;
+  config.dispatch.enabled = chunked_dispatch;
   interpret::OpenApiInterpreter interpreter(config);
+  // Cross-request workspace, the engine pool's steady state: request 1
+  // grows it, every later request runs allocation-free in the solver.
+  interpret::SolverWorkspace pooled;
   util::Rng rng(kBenchSeed + 8);
   for (auto _ : state) {
     Vec x0 = rng.UniformVector(64, 0.05, 0.95);
-    auto result = interpreter.Interpret(*api, x0, 0, &rng);
+    interpret::RequestOptions options;
+    if (with_deadline) {
+      // Far enough to never fire, close enough that every batch walks
+      // the chunk planner and the predictive deadline gates.
+      options.deadline =
+          std::chrono::steady_clock::now() + std::chrono::hours(1);
+    }
+    uint64_t consumed = 0;
+    auto result = interpreter.InterpretCounted(
+        *api, x0, 0, &rng, &consumed, options, nullptr, nullptr,
+        pooled_workspace ? &pooled : nullptr);
     benchmark::DoNotOptimize(result);
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
-void InterpretWorkspace(benchmark::State& state) {
-  InterpretLoop(state, /*reuse_workspace=*/true, linalg::KernelPolicy::kSimd);
+void InterpretWorkspacePooled(benchmark::State& state) {
+  InterpretLoop(state, linalg::KernelPolicy::kSimd,
+                /*pooled_workspace=*/true, /*chunked_dispatch=*/true,
+                /*with_deadline=*/false);
 }
-void InterpretFreshBuffers(benchmark::State& state) {
-  InterpretLoop(state, /*reuse_workspace=*/false,
-                linalg::KernelPolicy::kSimd);
+void InterpretWorkspacePerRequest(benchmark::State& state) {
+  InterpretLoop(state, linalg::KernelPolicy::kSimd,
+                /*pooled_workspace=*/false, /*chunked_dispatch=*/true,
+                /*with_deadline=*/false);
+}
+// Chunked-vs-unchunked dispatch on a fast endpoint: the chunk planner's
+// overhead (clock reads, EWMA update, per-chunk gates) must be in the
+// noise (< 3%).
+void InterpretDispatchChunked(benchmark::State& state) {
+  InterpretLoop(state, linalg::KernelPolicy::kSimd,
+                /*pooled_workspace=*/true, /*chunked_dispatch=*/true,
+                /*with_deadline=*/true);
+}
+void InterpretDispatchUnchunked(benchmark::State& state) {
+  InterpretLoop(state, linalg::KernelPolicy::kSimd,
+                /*pooled_workspace=*/true, /*chunked_dispatch=*/false,
+                /*with_deadline=*/true);
 }
 // The headline end-to-end pair: everything on (the shipped default) vs
-// the pre-PR configuration (scalar kernels, per-iteration allocation).
+// the pre-PR configuration (scalar kernels, per-request allocation,
+// unchunked dispatch).
 void InterpretEndToEnd(benchmark::State& state) {
-  InterpretLoop(state, /*reuse_workspace=*/true, linalg::KernelPolicy::kSimd);
+  InterpretLoop(state, linalg::KernelPolicy::kSimd,
+                /*pooled_workspace=*/true, /*chunked_dispatch=*/true,
+                /*with_deadline=*/false);
 }
 void InterpretEndToEndPrePr(benchmark::State& state) {
-  InterpretLoop(state, /*reuse_workspace=*/false,
-                linalg::KernelPolicy::kReference);
+  InterpretLoop(state, linalg::KernelPolicy::kReference,
+                /*pooled_workspace=*/false, /*chunked_dispatch=*/false,
+                /*with_deadline=*/false);
 }
-BENCHMARK(InterpretWorkspace);
-BENCHMARK(InterpretFreshBuffers);
+BENCHMARK(InterpretWorkspacePooled);
+BENCHMARK(InterpretWorkspacePerRequest);
+BENCHMARK(InterpretDispatchChunked);
+BENCHMARK(InterpretDispatchUnchunked);
 BENCHMARK(InterpretEndToEnd);
 BENCHMARK(InterpretEndToEndPrePr);
 

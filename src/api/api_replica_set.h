@@ -31,6 +31,13 @@
 // query counter, query_count() is their sum, and every sample increments
 // exactly one replica, so per-replica counts always sum to the totals the
 // interpretation engine reports.
+//
+// Latency: the set inherits PredictionApi::row_latency(), so deadline-
+// aware dispatchers (interpret's chunked probe dispatch) keep ONE
+// set-level EWMA — the per-row cost of a batch through the whole fan-out
+// path, which is exactly the figure a dispatcher plans chunks with. The
+// inner replicas' own estimates are unused: chunks are timed where they
+// are dispatched, at the set boundary.
 
 #ifndef OPENAPI_API_API_REPLICA_SET_H_
 #define OPENAPI_API_API_REPLICA_SET_H_

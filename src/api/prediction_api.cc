@@ -1,10 +1,29 @@
 #include "api/prediction_api.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/check.h"
 
 namespace openapi::api {
+
+void LatencyEstimate::Record(size_t rows, double seconds, double alpha) {
+  if (rows == 0) return;
+  OPENAPI_CHECK(alpha > 0.0 && alpha <= 1.0);
+  // Clamp to a tiny positive floor: 0.0 is the "no samples yet"
+  // sentinel, so a sub-resolution timer reading must not zero the
+  // estimate (1 ps/row is indistinguishable from free either way).
+  const double per_row =
+      std::max(seconds / static_cast<double>(rows), 1e-12);
+  double current = seconds_per_row_.load(std::memory_order_relaxed);
+  double next;
+  do {
+    next = current <= 0.0 ? per_row
+                          : (1.0 - alpha) * current + alpha * per_row;
+  } while (!seconds_per_row_.compare_exchange_weak(
+      current, next, std::memory_order_relaxed));
+  samples_.fetch_add(1, std::memory_order_relaxed);
+}
 
 PredictionApi::PredictionApi(const Plm* model, int round_digits,
                              double noise_stddev, uint64_t noise_seed)

@@ -35,6 +35,46 @@
 
 namespace openapi::api {
 
+/// Thread-safe exponentially weighted moving average of an endpoint's
+/// observed per-row prediction latency. The API never times itself:
+/// latency-aware callers (the chunked probe dispatch in
+/// interpret/probe_dispatch.h) time each batch they send and Record it
+/// here, so the estimate reflects whatever path actually served the rows
+/// — replica fan-out, pool hand-offs, and network stand-ins included.
+/// One estimate lives on every PredictionApi (an ApiReplicaSet carries a
+/// single set-level estimate, which is the cost a dispatcher actually
+/// pays per row through the set).
+class LatencyEstimate {
+ public:
+  /// Folds one observation into the EWMA: a batch of `rows` rows took
+  /// `seconds` of wall time. `alpha` in (0, 1] is the weight of this
+  /// observation; the first observation seeds the estimate directly.
+  /// Lock-free (CAS loop); safe from any thread.
+  void Record(size_t rows, double seconds, double alpha);
+
+  /// Current estimate in seconds per row; 0.0 until the first Record
+  /// (callers substitute their own conservative prior for a cold
+  /// endpoint — see interpret::EffectiveRowLatency).
+  double seconds_per_row() const {
+    return seconds_per_row_.load(std::memory_order_relaxed);
+  }
+
+  /// Observations folded in so far.
+  uint64_t samples() const {
+    return samples_.load(std::memory_order_relaxed);
+  }
+
+  /// Forgets every observation (tests replaying cold-endpoint behavior).
+  void Reset() {
+    seconds_per_row_.store(0.0, std::memory_order_relaxed);
+    samples_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> seconds_per_row_{0.0};
+  std::atomic<uint64_t> samples_{0};
+};
+
 class PredictionApi {
  public:
   /// Wraps `model` (not owned; must outlive the API). `round_digits` <= 0
@@ -95,6 +135,13 @@ class PredictionApi {
     noise_ticket_.store(0, std::memory_order_relaxed);
   }
 
+  /// Per-endpoint latency estimate maintained by deadline-aware
+  /// dispatchers (interpret's chunked probe dispatch times every chunk it
+  /// sends here and records it). State of the serving VIEW, not the
+  /// model, hence mutable-through-const: the recorders sit on the const
+  /// query path.
+  LatencyEstimate& row_latency() const { return row_latency_; }
+
   int round_digits() const { return round_digits_; }
   double noise_stddev() const { return noise_stddev_; }
 
@@ -108,6 +155,7 @@ class PredictionApi {
   uint64_t noise_seed_;
   mutable std::atomic<uint64_t> noise_ticket_{0};
   mutable std::atomic<uint64_t> query_count_{0};
+  mutable LatencyEstimate row_latency_;
 };
 
 }  // namespace openapi::api

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "api/ground_truth.h"
+#include "util/check.h"
 #include "util/timer.h"
 
 namespace openapi::interpret {
@@ -287,12 +288,26 @@ Result<Interpretation> EndpointSession::InterpretCached(
 
   // 2. Candidate scan: one batched request (x0 + validation probe) decides
   //    every cached region at once. It costs 2 queries, so it is gated on
-  //    the request's budget/deadline/cancellation first.
-  OPENAPI_RETURN_NOT_OK(CheckRequestControls(options, *consumed, 2));
+  //    the request's budget/deadline/cancellation first — predictively,
+  //    when chunked dispatch is on: this is the request's first endpoint
+  //    traffic, so a deadline the estimated pair latency already blows
+  //    rejects here with queries == 0 (a memoized repeat above still
+  //    serves for free). The pair is timed into the endpoint's latency
+  //    estimate like any probe chunk.
+  const ChunkedDispatchConfig& dispatch = config.openapi.dispatch;
+  const double pair_row_latency =
+      dispatch.enabled ? EffectiveRowLatency(*api_, dispatch) : 0.0;
+  OPENAPI_RETURN_NOT_OK(EnforceRequestOptions(options, *consumed, 2,
+                                              2.0 * pair_row_latency));
   Vec probe =
       SampleHypercube(x0, config.validation_edge, /*count=*/1, rng)[0];
+  util::Timer pair_timer;
   std::vector<Vec> pair = api_->PredictBatch({x0, probe});
   *consumed += 2;
+  if (dispatch.enabled) {
+    api_->row_latency().Record(2, pair_timer.ElapsedSeconds(),
+                               dispatch.ewma_alpha);
+  }
   const Vec& y0 = pair[0];
   const Vec& y_probe = pair[1];
   const size_t argmax = linalg::ArgMax(y0);
@@ -367,9 +382,13 @@ Result<Interpretation> EndpointSession::InterpretCached(
   // validation queries as its consumed seed (in/out), so its budget
   // gates — and their rejection messages — account in request totals;
   // and y0 is handed over as the anchor prediction, so a miss does not
-  // bill the endpoint (or the request's budget) for x0 twice.
+  // bill the endpoint (or the request's budget) for x0 twice. The
+  // solver's scratch comes from the engine's workspace pool: every miss
+  // after a worker's first runs allocation-free inside the solver.
+  InterpretationEngine::WorkspaceLease lease(*engine_);
   auto solved = interpreter.InterpretCounted(*api_, x0, 0, rng, consumed,
-                                             options, iterations, &y0);
+                                             options, iterations, &y0,
+                                             lease.get());
   if (!solved.ok()) {
     return solved.status();
   }
@@ -407,9 +426,11 @@ Result<Interpretation> EndpointSession::Serve(const EngineRequest& request,
   if (!engine_->config().use_region_cache) {
     OpenApiInterpreter interpreter(engine_->config().openapi);
     Bump(&StatCounters::cache_misses);  // attempted a full solve
+    InterpretationEngine::WorkspaceLease lease(*engine_);
     return interpreter.InterpretCounted(*api_, request.x0, request.c, &rng,
                                         consumed, request.options,
-                                        iterations);
+                                        iterations, /*y0_hint=*/nullptr,
+                                        lease.get());
   }
   return InterpretCached(request.x0, request.c, request.options, &rng,
                          consumed, outcome, iterations);
@@ -541,6 +562,39 @@ InterpretationEngine::~InterpretationEngine() {
   // the owned pool (if any) additionally drains in its own destructor.
   std::unique_lock<std::mutex> lock(async_mutex_);
   async_idle_.wait(lock, [this] { return async_outstanding_ == 0; });
+}
+
+SolverWorkspace* InterpretationEngine::AcquireWorkspace() const {
+  std::lock_guard<std::mutex> lock(workspace_mutex_);
+  if (!free_workspaces_.empty()) {
+    SolverWorkspace* workspace = free_workspaces_.back();
+    free_workspaces_.pop_back();
+    return workspace;
+  }
+  // First time this many requests run at once: grow the pool by one. The
+  // pool size therefore converges to the engine's peak request
+  // concurrency (one workspace per pool worker in steady state).
+  workspaces_.push_back(std::make_unique<SolverWorkspace>());
+  return workspaces_.back().get();
+}
+
+void InterpretationEngine::ReleaseWorkspace(
+    SolverWorkspace* workspace) const {
+  // Sizes reset, capacity kept: the next request regrows nothing.
+  workspace->Clear();
+  std::lock_guard<std::mutex> lock(workspace_mutex_);
+  for (SolverWorkspace* free_workspace : free_workspaces_) {
+    // A workspace already on the free list being released again means
+    // two requests held it concurrently — corruption, not a recoverable
+    // state.
+    OPENAPI_CHECK(free_workspace != workspace);
+  }
+  free_workspaces_.push_back(workspace);
+}
+
+size_t InterpretationEngine::workspace_pool_size() const {
+  std::lock_guard<std::mutex> lock(workspace_mutex_);
+  return workspaces_.size();
 }
 
 void InterpretationEngine::BeginAsyncTask() const {

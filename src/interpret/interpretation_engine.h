@@ -28,10 +28,20 @@
 //
 // Each `EngineRequest` carries `RequestOptions` (query budget, deadline,
 // CancelToken), enforced before every probe batch down in the solver's
-// shrink loop: a request with max_queries = Q never issues more than Q
-// API queries, and a rejected request reports the exact count it did
-// consume on the new BudgetExhausted / DeadlineExceeded / Cancelled
-// statuses.
+// shrink loop — and, for deadlined/cancellable requests, between the
+// latency-sized CHUNKS each batch is split into (probe_dispatch.h): the
+// chunk size comes from a per-endpoint EWMA of observed per-row latency,
+// so a request stops within one chunk (not one slow batch) of its
+// deadline, a request whose first chunk is already predicted past the
+// deadline is rejected with zero queries, and a request with
+// max_queries = Q never issues more than Q API queries. A rejected
+// request reports the exact count it did consume on the BudgetExhausted
+// / DeadlineExceeded / Cancelled statuses — partial chunks included.
+//
+// The extraction (cache-miss) path runs each request out of a pooled
+// SolverWorkspace (one per concurrently running request, checked out per
+// request via WorkspaceLease), so the solver's first-iteration buffer
+// growth is paid once per worker, not once per miss.
 //
 // Session caches are BOUNDED: `EngineConfig::cache_capacity` (or the
 // OpenSession override) caps the region count, and inserts past capacity
@@ -123,7 +133,13 @@ struct EngineRequest {
 };
 
 struct EngineConfig {
-  /// Settings of the inner closed-form solver.
+  /// Settings of the inner closed-form solver — including the
+  /// latency-aware chunked probe dispatch (`openapi.dispatch`: EWMA
+  /// alpha, conservative cold-endpoint seed, per-chunk time targets; see
+  /// interpret/probe_dispatch.h). Deadlined requests served through the
+  /// engine split their probe batches into chunks sized from the
+  /// endpoint's observed per-row latency and re-check their controls
+  /// between chunks, so deadline overshoot is bounded by one chunk.
   OpenApiConfig openapi;
   /// Worker threads. 0 (the default) borrows the process-wide
   /// util::SharedThreadPool; > 0 gives this engine a private pool of
@@ -414,6 +430,36 @@ class InterpretationEngine {
   /// Blocks until every async task this engine submitted has finished.
   ~InterpretationEngine();
 
+  /// Scoped checkout of a pooled per-request SolverWorkspace. The engine
+  /// keeps one workspace per concurrently running request (in steady
+  /// state: one per pool worker) and hands them out per request, so the
+  /// solver's first-iteration buffer growth amortizes across cache
+  /// misses instead of being re-paid by every request. Sessions lease on
+  /// the extraction path; public so serving code built directly on the
+  /// engine can amortize the same way. A leased workspace is exclusively
+  /// owned until the lease dies (never shared across concurrent
+  /// requests); it is Clear()ed — sizes reset, capacity kept — on
+  /// release.
+  class WorkspaceLease {
+   public:
+    explicit WorkspaceLease(const InterpretationEngine& engine)
+        : engine_(&engine), workspace_(engine.AcquireWorkspace()) {}
+    ~WorkspaceLease() { engine_->ReleaseWorkspace(workspace_); }
+    WorkspaceLease(const WorkspaceLease&) = delete;
+    WorkspaceLease& operator=(const WorkspaceLease&) = delete;
+
+    SolverWorkspace* get() const { return workspace_; }
+
+   private:
+    const InterpretationEngine* engine_;
+    SolverWorkspace* workspace_;
+  };
+
+  /// Pooled workspaces created so far: an upper bound on the engine's
+  /// historical request concurrency, and the direct signal that
+  /// sequential requests reuse one workspace (the size stays 1).
+  size_t workspace_pool_size() const;
+
   /// Opens a serving session bound to `api` with its own endpoint-scoped
   /// cache. `cache_capacity` overrides EngineConfig::cache_capacity when
   /// > 0. The engine must outlive every use of the session; `api` must
@@ -438,6 +484,14 @@ class InterpretationEngine {
   void BeginAsyncTask() const;
   void EndAsyncTask() const;
 
+  /// Workspace pool backing WorkspaceLease: pops a free workspace or
+  /// grows the pool by one. Release Clear()s and returns it; it CHECKs
+  /// the workspace is not already free, so a double release (the only
+  /// way one workspace could serve two concurrent requests) aborts
+  /// rather than corrupting a request.
+  SolverWorkspace* AcquireWorkspace() const;
+  void ReleaseWorkspace(SolverWorkspace* workspace) const;
+
   EngineConfig config_;
   std::unique_ptr<util::ThreadPool> owned_pool_;  // only if num_threads > 0
   util::ThreadPool* pool_ = nullptr;              // owned or shared
@@ -445,6 +499,10 @@ class InterpretationEngine {
   mutable std::mutex async_mutex_;
   mutable std::condition_variable async_idle_;
   mutable size_t async_outstanding_ = 0;
+
+  mutable std::mutex workspace_mutex_;
+  mutable std::vector<std::unique_ptr<SolverWorkspace>> workspaces_;
+  mutable std::vector<SolverWorkspace*> free_workspaces_;
 
   mutable EndpointSession::StatCounters stats_;
 };

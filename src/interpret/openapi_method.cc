@@ -7,6 +7,7 @@
 #include "linalg/least_squares.h"
 #include "linalg/qr.h"
 #include "util/string_util.h"
+#include "util/timer.h"
 
 namespace openapi::interpret {
 namespace {
@@ -139,6 +140,26 @@ size_t MaxPairRowDeficit(const std::vector<Vec>& predictions, size_t ref,
 
 }  // namespace
 
+void SolverWorkspace::Clear() {
+  // Empty each row IN PLACE: vector::clear() on the outer vectors would
+  // destroy the row Vecs and free their buffers, defeating the reuse.
+  // The next request (or iteration) resizes rows back within their kept
+  // capacity, so a Cleared workspace regrows nothing at its old shapes.
+  for (Vec& p : probes) p.clear();
+  for (Vec& y : predictions) y.clear();
+  for (CoreParameters& pair : ref_pairs) pair.d.clear();
+  rhs.clear();
+  solution.x.clear();
+  qr_scratch.qtb.clear();
+  qr_scratch.ax.clear();
+  masked_rows.clear();
+  masked_rhs.clear();
+  // Matrix::Resize keeps the data vector's capacity; the QR object keeps
+  // its factorization storage outright (Refactor overwrites it wholesale).
+  coefficients.Resize(0, 0);
+  masked_coefficients.Resize(0, 0);
+}
+
 OpenApiInterpreter::OpenApiInterpreter(OpenApiConfig config)
     : config_(config) {
   OPENAPI_CHECK_GT(config_.max_iterations, 0u);
@@ -165,7 +186,8 @@ Result<Interpretation> OpenApiInterpreter::InterpretCounted(
   SolverWorkspace local_workspace;
   Result<Interpretation> result = InterpretImpl(
       api, x0, c, rng, &consumed, options, &iters, y0_hint,
-      workspace != nullptr ? workspace : &local_workspace);
+      workspace != nullptr ? workspace : &local_workspace,
+      /*caller_owned_workspace=*/workspace != nullptr);
   if (queries_consumed != nullptr) *queries_consumed = consumed;
   if (iterations != nullptr) *iterations = iters;
   return result;
@@ -174,7 +196,8 @@ Result<Interpretation> OpenApiInterpreter::InterpretCounted(
 Result<Interpretation> OpenApiInterpreter::InterpretImpl(
     const api::PredictionApi& api, const Vec& x0, size_t c, util::Rng* rng,
     uint64_t* consumed, const RequestOptions& options, size_t* iterations,
-    const Vec* y0_hint, SolverWorkspace* ws) const {
+    const Vec* y0_hint, SolverWorkspace* ws,
+    bool caller_owned_workspace) const {
   const size_t d = api.dim();
   const size_t num_classes = api.num_classes();
   if (x0.size() != d) {
@@ -190,6 +213,18 @@ Result<Interpretation> OpenApiInterpreter::InterpretImpl(
   Vec y0;
   if (y0_hint != nullptr) {
     y0 = *y0_hint;  // anchor prediction already paid for by the caller
+  } else if (config_.dispatch.enabled) {
+    // The anchor is the request's first endpoint traffic: gate it
+    // predictively (a deadline the estimated anchor latency already
+    // blows rejects with zero queries) and fold its observed latency
+    // into the endpoint's estimate like any chunk.
+    OPENAPI_RETURN_NOT_OK(EnforceRequestOptions(
+        options, *consumed, 1, EffectiveRowLatency(api, config_.dispatch)));
+    util::Timer anchor_timer;
+    y0 = api.Predict(x0);
+    *consumed += 1;
+    api.row_latency().Record(1, anchor_timer.ElapsedSeconds(),
+                             config_.dispatch.ewma_alpha);
   } else {
     OPENAPI_RETURN_NOT_OK(CheckRequestControls(options, *consumed, 1));
     y0 = api.Predict(x0);
@@ -220,31 +255,37 @@ Result<Interpretation> OpenApiInterpreter::InterpretImpl(
   double r = config_.initial_edge;
   for (size_t iter = 0; iter < config_.max_iterations; ++iter) {
     if (!config_.reuse_workspace) {
-      // Bench baseline: discard all scratch so every iteration pays the
-      // pre-workspace allocation pattern.
-      *ws = SolverWorkspace();
+      // Bench baseline for cross-iteration reuse: reset the workspace's
+      // logical contents every iteration. Clear keeps the heap blocks —
+      // a caller-supplied (pooled) workspace must never lose its grown
+      // buffers to one request's config.
+      ws->Clear();
     }
     // Sample the iteration's probes; together with x0 they give the
-    // equations of Ω (Algorithm 1 line 2). All probes of one iteration go
-    // to the endpoint as a single batched request. The controls gate
-    // comes first: a request rejected here never started this iteration,
-    // so it is not counted in *iterations.
+    // equations of Ω (Algorithm 1 line 2). The controls gate comes
+    // first: a request rejected here never started this iteration, so it
+    // is not counted in *iterations. (This gate covers the WHOLE batch's
+    // budget — an iteration the budget cannot finish is never started,
+    // because a partial probe set can't certify consistency — but it is
+    // deliberately NOT predictive for the deadline: the EWMA is an
+    // estimate, and refusing whole iterations on it would spuriously
+    // fail feasible requests. The per-chunk gates inside DispatchProbes
+    // bound the optimism to one chunk.)
     OPENAPI_RETURN_NOT_OK(
         CheckRequestControls(options, *consumed, probes_per_iter));
     *iterations = iter + 1;
     SampleHypercube(x0, r, probes_per_iter, rng, &ws->probes);
-    {
-      // The endpoint's response vectors are the API's own allocations;
-      // copy them into the workspace's stable row buffers ({y0, probe
-      // predictions...}) and let them go.
-      std::vector<Vec> batch = api.PredictBatch(ws->probes);
-      *consumed += ws->probes.size();
-      ws->predictions.resize(batch.size() + 1);
-      ws->predictions[0].assign(y0.begin(), y0.end());
-      for (size_t i = 0; i < batch.size(); ++i) {
-        ws->predictions[i + 1].assign(batch[i].begin(), batch[i].end());
-      }
-    }
+    // The iteration's probes go to the endpoint through the chunked
+    // dispatch: one PredictBatch for unbounded requests, latency-sized
+    // chunks with per-chunk control gates when a deadline or cancel
+    // token is set. Predictions land in the workspace's stable row
+    // buffers ({y0, probe predictions...}).
+    ws->predictions.resize(ws->probes.size() + 1);
+    ws->predictions[0].assign(y0.begin(), y0.end());
+    OPENAPI_RETURN_NOT_OK(DispatchProbes(api, ws->probes, options,
+                                         config_.dispatch, consumed,
+                                         &ws->predictions,
+                                         /*out_offset=*/1));
 
     bool solved = false;
     if (x0_saturated) {
@@ -268,8 +309,11 @@ Result<Interpretation> OpenApiInterpreter::InterpretImpl(
         const size_t draw = std::min(deficit, top_up_cap);
         OPENAPI_RETURN_NOT_OK(CheckRequestControls(options, *consumed, draw));
         std::vector<Vec> extra = SampleHypercube(x0, r, draw, rng);
-        std::vector<Vec> extra_predictions = api.PredictBatch(extra);
-        *consumed += draw;
+        std::vector<Vec> extra_predictions(draw);
+        OPENAPI_RETURN_NOT_OK(DispatchProbes(api, extra, options,
+                                             config_.dispatch, consumed,
+                                             &extra_predictions,
+                                             /*out_offset=*/0));
         top_up_cap -= draw;
         for (size_t k = 0; k < extra.size(); ++k) {
           ws->probes.push_back(std::move(extra[k]));
@@ -308,11 +352,18 @@ Result<Interpretation> OpenApiInterpreter::InterpretImpl(
     Interpretation out;
     out.dc = CombinePairEstimates(pairs);
     out.pairs = std::move(pairs);
-    // Success is terminal for this request: hand the probe set to the
-    // caller instead of copying it (the workspace regrows on its next
-    // first iteration).
-    out.probes = std::move(ws->probes);
-    ws->probes.clear();
+    if (caller_owned_workspace) {
+      // A pooled / caller-held workspace keeps its grown probe buffers
+      // for the next request; the response gets a copy (the same row
+      // copies a move would have saved are what buys the pool its
+      // zero-allocation steady state).
+      out.probes = ws->probes;
+    } else {
+      // Request-local workspace: its buffers die with the request, so
+      // hand the probe set to the caller instead of copying it.
+      out.probes = std::move(ws->probes);
+      ws->probes.clear();
+    }
     out.iterations = iter + 1;
     out.edge_length = r;
     // Exact local accounting (1 for x0, probes_per_iter per iteration)

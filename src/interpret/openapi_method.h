@@ -44,7 +44,14 @@
 //    cancellation) are checked before the anchor query and before every
 //    probe batch, so a request with max_queries = Q never issues more
 //    than Q queries; on rejection the consumed count reported through
-//    InterpretCounted is exact.
+//    InterpretCounted is exact. Probe batches are additionally routed
+//    through the latency-aware chunked dispatch (probe_dispatch.h): when
+//    a deadline or cancel token is set, each batch is split into chunks
+//    sized from the endpoint's per-row latency EWMA and the controls are
+//    re-checked (predictively, for the deadline) between chunks — a slow
+//    endpoint overshoots its deadline by at most one chunk, not one
+//    batch, and partial-chunk consumption stays exact against
+//    api.query_count().
 //  * The shrink loop runs out of a per-request SolverWorkspace (probe
 //    set, prediction buffer, coefficient matrix, QR storage + scratch,
 //    masked-row scratch) reused across iterations and across the
@@ -57,6 +64,7 @@
 #define OPENAPI_INTERPRET_OPENAPI_METHOD_H_
 
 #include "interpret/decision_features.h"
+#include "interpret/probe_dispatch.h"
 #include "interpret/request_options.h"
 #include "linalg/qr.h"
 
@@ -73,11 +81,18 @@ struct OpenApiConfig {
   // sweeps this knob.
   double consistency_tol = 1e-9;
   // Reuse the per-request SolverWorkspace across shrink iterations (the
-  // allocation-free steady state). Off re-initializes the workspace every
-  // iteration — the pre-workspace allocation behavior, kept ONLY so
-  // bench_kernels can quantify the reuse win. Results are identical
-  // either way.
+  // allocation-free steady state). Off Clear()s the workspace before
+  // every iteration: logical contents are rebuilt from scratch but the
+  // heap blocks are KEPT — a caller-supplied (pooled) workspace never
+  // loses its grown buffers to one request's config. (An earlier
+  // revision assigned a fresh SolverWorkspace here, silently destroying
+  // the caller's amortized buffers.) Results are identical either way.
   bool reuse_workspace = true;
+  // Latency-aware chunk splitting of probe batches (deadline tightness,
+  // cancellation reaction time, per-endpoint latency EWMA). See
+  // probe_dispatch.h; dispatch.enabled = false restores the one-call-
+  // per-batch dispatch for benching.
+  ChunkedDispatchConfig dispatch;
 };
 
 /// Scratch buffers of one interpretation request, reused across the
@@ -88,8 +103,13 @@ struct OpenApiConfig {
 /// per-iteration allocations are the endpoint's own response vectors in
 /// PredictionApi::PredictBatch. Callers normally pass nullptr and let
 /// InterpretCounted keep a request-local workspace; a caller serving many
-/// requests on one thread may hold one and amortize the first-iteration
-/// growth too. Not thread-safe; one workspace per concurrent request.
+/// requests may hold one and amortize the first-iteration growth across
+/// requests too — the interpretation engine does exactly that with a
+/// pool of per-worker workspaces checked out per request, and a
+/// caller-supplied workspace KEEPS its probe buffers on success (the
+/// response gets a copy), so the second request onward performs zero
+/// solver allocations. Not thread-safe; one workspace per concurrent
+/// request.
 struct SolverWorkspace {
   std::vector<Vec> probes;       // iteration's probe points
   std::vector<Vec> predictions;  // {y0, probe predictions...}
@@ -103,6 +123,14 @@ struct SolverWorkspace {
   std::vector<size_t> masked_rows;  // usable-row index scratch
   Matrix masked_coefficients;
   Vec masked_rhs;
+
+  /// Resets logical sizes while keeping every heap block — including each
+  /// probe/prediction ROW's buffer, which clearing the outer vectors
+  /// would free. A Cleared workspace behaves like a fresh one but regrows
+  /// nothing at its old shapes; the engine's workspace pool Clears
+  /// between requests, and reuse_workspace = false Clears between
+  /// iterations.
+  void Clear();
 };
 
 class OpenApiInterpreter : public BlackBoxInterpreter {
@@ -148,13 +176,18 @@ class OpenApiInterpreter : public BlackBoxInterpreter {
   const OpenApiConfig& config() const { return config_; }
 
  private:
+  /// `caller_owned_workspace` distinguishes a caller-supplied (pooled)
+  /// workspace from the request-local one: the former keeps its probe
+  /// buffers on success (the result gets a copy), the latter donates
+  /// them (a move; the buffers would die with the request anyway).
   Result<Interpretation> InterpretImpl(const api::PredictionApi& api,
                                        const Vec& x0, size_t c,
                                        util::Rng* rng, uint64_t* consumed,
                                        const RequestOptions& options,
                                        size_t* iterations,
                                        const Vec* y0_hint,
-                                       SolverWorkspace* workspace) const;
+                                       SolverWorkspace* workspace,
+                                       bool caller_owned_workspace) const;
 
   OpenApiConfig config_;
 };

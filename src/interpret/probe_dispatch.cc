@@ -1,0 +1,116 @@
+#include "interpret/probe_dispatch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace openapi::interpret {
+
+double EffectiveRowLatency(const api::PredictionApi& api,
+                           const ChunkedDispatchConfig& config) {
+  const double observed = api.row_latency().seconds_per_row();
+  return observed > 0.0 ? observed : config.seed_seconds_per_row;
+}
+
+size_t PlanChunkRows(const ChunkedDispatchConfig& config,
+                     const RequestOptions& options, double seconds_per_row,
+                     size_t rows_left) {
+  OPENAPI_CHECK_GT(rows_left, 0u);
+  double target_seconds;
+  if (options.deadline.has_value()) {
+    const double remaining =
+        std::chrono::duration<double>(*options.deadline -
+                                      std::chrono::steady_clock::now())
+            .count();
+    target_seconds =
+        std::max(remaining, 0.0) * config.deadline_chunk_fraction;
+    if (options.cancel.cancellable()) {
+      // A roomy deadline must not cost cancellation its reaction bound:
+      // the tighter of the two targets wins.
+      target_seconds = std::min(target_seconds, config.cancel_chunk_seconds);
+    }
+  } else {
+    target_seconds = config.cancel_chunk_seconds;
+  }
+  const double per_row = std::max(seconds_per_row, 1e-12);
+  const size_t floor_rows = std::max<size_t>(config.min_chunk_rows, 1);
+  const double planned = std::floor(target_seconds / per_row);
+  if (planned >= static_cast<double>(rows_left)) return rows_left;
+  if (planned <= static_cast<double>(floor_rows)) {
+    return std::min(floor_rows, rows_left);
+  }
+  return static_cast<size_t>(planned);
+}
+
+Status DispatchProbes(const api::PredictionApi& api,
+                      const std::vector<Vec>& points,
+                      const RequestOptions& options,
+                      const ChunkedDispatchConfig& config,
+                      uint64_t* consumed, std::vector<Vec>* predictions,
+                      size_t out_offset) {
+  if (points.empty()) return Status::OK();
+  OPENAPI_CHECK_GE(predictions->size(), out_offset + points.size());
+  // The endpoint's response vectors are its own allocations; assign()
+  // copies them into the caller's stable row buffers and lets them go.
+  auto emit = [&](const std::vector<Vec>& batch, size_t base) {
+    for (size_t i = 0; i < batch.size(); ++i) {
+      (*predictions)[out_offset + base + i].assign(batch[i].begin(),
+                                                   batch[i].end());
+    }
+  };
+
+  if (!config.enabled) {  // pre-chunking dispatch, the bench baseline
+    std::vector<Vec> batch = api.PredictBatch(points);
+    *consumed += points.size();
+    emit(batch, 0);
+    return Status::OK();
+  }
+
+  const bool bounded =
+      options.deadline.has_value() || options.cancel.cancellable();
+  if (!bounded) {
+    // Unbounded request: the whole batch is one chunk — but still timed,
+    // so deadline-free traffic keeps the endpoint's estimate warm for
+    // the deadlined requests that follow it.
+    util::Timer timer;
+    std::vector<Vec> batch = api.PredictBatch(points);
+    *consumed += points.size();
+    api.row_latency().Record(points.size(), timer.ElapsedSeconds(),
+                             config.ewma_alpha);
+    emit(batch, 0);
+    return Status::OK();
+  }
+
+  size_t done = 0;
+  std::vector<Vec> chunk;  // sub-batch buffer, reused across chunks
+  while (done < points.size()) {
+    const double per_row = EffectiveRowLatency(api, config);
+    const size_t rows =
+        PlanChunkRows(config, options, per_row, points.size() - done);
+    // Predictive gate: dispatch only if the chunk's estimated duration
+    // still fits before the deadline (and the budget covers it, and no
+    // cancellation landed). Rows already dispatched stay in *consumed.
+    OPENAPI_RETURN_NOT_OK(EnforceRequestOptions(
+        options, *consumed, rows, per_row * static_cast<double>(rows)));
+    const bool whole_batch = done == 0 && rows == points.size();
+    if (!whole_batch) {
+      // Sub-batch rows are copied into the reusable chunk buffer; the
+      // whole-batch case (a fast endpoint under a roomy deadline plans
+      // one chunk) skips the copy and sends `points` directly.
+      chunk.assign(points.begin() + static_cast<ptrdiff_t>(done),
+                   points.begin() + static_cast<ptrdiff_t>(done + rows));
+    }
+    util::Timer timer;
+    std::vector<Vec> batch = api.PredictBatch(whole_batch ? points : chunk);
+    *consumed += rows;
+    api.row_latency().Record(rows, timer.ElapsedSeconds(),
+                             config.ewma_alpha);
+    emit(batch, done);
+    done += rows;
+  }
+  return Status::OK();
+}
+
+}  // namespace openapi::interpret

@@ -1,0 +1,123 @@
+// Latency-aware chunked probe dispatch: the tight-deadline story.
+//
+// RequestOptions deadlines used to be enforced only BETWEEN probe
+// batches: the shrink loop gated each d+1-probe batch on
+// CheckRequestControls and then handed the whole batch to
+// PredictionApi::PredictBatch in one call, so one slow batch against a
+// high-latency endpoint overshot the deadline by up to the batch's full
+// latency — unboundedly, since the endpoint's speed is not ours to pick.
+// That is exactly the per-request cost unpredictability the closed-form
+// method's fixed query budget is supposed to eliminate (Cong et al.,
+// ICDE 2020), and the failure mode local-approximation baselines pay on
+// every instance.
+//
+// DispatchProbes makes the guarantee tight. A probe batch is split into
+// CHUNKS sized from a per-endpoint EWMA of observed per-row latency
+// (api::PredictionApi::row_latency(); seeded with a deliberately
+// pessimistic prior while the endpoint is cold) and the request's
+// controls are re-checked between chunks with a PREDICTIVE gate: a chunk
+// is only dispatched when its estimated duration still fits before the
+// deadline (EnforceRequestOptions). Consequences:
+//
+//   * a request now stops within one CHUNK, not one batch, of its
+//     deadline — and the chunk was sized at a fraction of the remaining
+//     time, so the overshoot is bounded by one (mis)estimated chunk;
+//   * a request whose FIRST chunk is already predicted past the deadline
+//     is rejected before any endpoint traffic (DeadlineExceeded with
+//     queries == 0), closing the old disagreement between the pre-flight
+//     and the per-batch check on that boundary case;
+//   * cancellation reaction time is bounded by cancel_chunk_seconds for
+//     cancellable requests without a deadline;
+//   * partial consumption stays exact: every chunk is a real
+//     PredictBatch of exactly that many rows, counted into *consumed as
+//     it lands, so a mid-batch rejection reports precisely what
+//     api.query_count() saw.
+//
+// Chunking is semantically invisible: chunks run sequentially in row
+// order, so query counts and noise tickets are consumed in exactly the
+// batch order and results stay bit-identical to the unchunked dispatch.
+// Requests with no deadline and no cancel token are dispatched as a
+// single chunk (one PredictBatch, one timer read pair to keep the
+// endpoint's estimate warm), so the fast path pays ~nothing.
+
+#ifndef OPENAPI_INTERPRET_PROBE_DISPATCH_H_
+#define OPENAPI_INTERPRET_PROBE_DISPATCH_H_
+
+#include <vector>
+
+#include "api/prediction_api.h"
+#include "interpret/request_options.h"
+
+namespace openapi::interpret {
+
+using linalg::Vec;
+
+/// Knobs of the latency-aware chunk splitter. Lives in
+/// OpenApiConfig::dispatch, so the engine exposes it as
+/// EngineConfig::openapi.dispatch.
+struct ChunkedDispatchConfig {
+  /// Master switch. Off = one PredictBatch per probe batch, no latency
+  /// recording, no per-chunk gates — bit-for-bit the pre-chunking
+  /// dispatch, kept as the bench baseline (bench_kernels quantifies the
+  /// overhead as within noise on fast endpoints).
+  bool enabled = true;
+
+  /// Weight of the newest chunk observation in the per-endpoint EWMA.
+  double ewma_alpha = 0.25;
+
+  /// Assumed per-row latency while the endpoint has no recorded chunks.
+  /// Deliberately pessimistic (10 ms/row): a cold endpoint gets a tiny
+  /// first chunk whose observation immediately corrects the estimate, so
+  /// a fast endpoint pays one extra round-trip instead of a slow one
+  /// blowing a deadline by a whole batch. Corollary: a COLD endpoint
+  /// with a deadline tighter than this prior's first chunk is rejected
+  /// up front with zero queries — conservative by design.
+  double seed_seconds_per_row = 0.010;
+
+  /// A chunk targets at most this fraction of the time remaining to the
+  /// deadline, so chunks shrink geometrically as the deadline nears and
+  /// the final overshoot is a fraction of the remaining window.
+  double deadline_chunk_fraction = 0.25;
+
+  /// Chunk duration cap for any CANCELLABLE request: bounds how long a
+  /// cancellation can go unnoticed mid-batch. With no deadline it is the
+  /// chunk target outright; with one, the tighter of this and the
+  /// deadline-fraction target wins (a roomy deadline must not slow the
+  /// cancel reaction down).
+  double cancel_chunk_seconds = 0.010;
+
+  /// Never plan fewer rows than this per chunk (>= 1 enforced). Raising
+  /// it trades deadline tightness for fewer round-trips.
+  size_t min_chunk_rows = 1;
+};
+
+/// The per-row latency estimate a dispatcher should plan with: the
+/// endpoint's recorded EWMA, or the conservative seed while cold.
+double EffectiveRowLatency(const api::PredictionApi& api,
+                           const ChunkedDispatchConfig& config);
+
+/// Rows the next chunk should carry, given the request's controls and
+/// the current per-row estimate. `rows_left` > 0; the result is in
+/// [1, rows_left].
+size_t PlanChunkRows(const ChunkedDispatchConfig& config,
+                     const RequestOptions& options, double seconds_per_row,
+                     size_t rows_left);
+
+/// Sends `points` to `api` in latency-aware chunks, writing prediction i
+/// into (*predictions)[out_offset + i] (rows are assign()ed, so a
+/// workspace's prediction buffers are reused, not reallocated).
+/// `predictions` must already be sized to at least out_offset +
+/// points.size(). *consumed is advanced by exactly the rows dispatched,
+/// chunk by chunk; on a mid-batch rejection (Cancelled /
+/// DeadlineExceeded / BudgetExhausted) the rows already dispatched stay
+/// counted and the remainder of `points` is never sent.
+Status DispatchProbes(const api::PredictionApi& api,
+                      const std::vector<Vec>& points,
+                      const RequestOptions& options,
+                      const ChunkedDispatchConfig& config,
+                      uint64_t* consumed, std::vector<Vec>* predictions,
+                      size_t out_offset);
+
+}  // namespace openapi::interpret
+
+#endif  // OPENAPI_INTERPRET_PROBE_DISPATCH_H_

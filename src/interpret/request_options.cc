@@ -4,18 +4,31 @@
 
 namespace openapi::interpret {
 
-Status CheckRequestControls(const RequestOptions& options, uint64_t consumed,
-                            uint64_t next_cost) {
+Status EnforceRequestOptions(const RequestOptions& options,
+                             uint64_t consumed, uint64_t next_cost,
+                             double estimated_seconds) {
   if (options.cancel.cancel_requested()) {
     return Status::Cancelled(util::StrFormat(
         "request cancelled after %llu queries",
         static_cast<unsigned long long>(consumed)));
   }
-  if (options.deadline.has_value() &&
-      std::chrono::steady_clock::now() >= *options.deadline) {
-    return Status::DeadlineExceeded(util::StrFormat(
-        "deadline exceeded after %llu queries",
-        static_cast<unsigned long long>(consumed)));
+  if (options.deadline.has_value()) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= *options.deadline) {
+      return Status::DeadlineExceeded(util::StrFormat(
+          "deadline exceeded after %llu queries",
+          static_cast<unsigned long long>(consumed)));
+    }
+    if (estimated_seconds > 0.0 &&
+        std::chrono::duration<double>(*options.deadline - now).count() <=
+            estimated_seconds) {
+      return Status::DeadlineExceeded(util::StrFormat(
+          "next batch of %llu rows predicted to take %.2f ms, past the "
+          "deadline; %llu queries consumed",
+          static_cast<unsigned long long>(next_cost),
+          estimated_seconds * 1e3,
+          static_cast<unsigned long long>(consumed)));
+    }
   }
   if (options.max_queries > 0 && consumed + next_cost > options.max_queries) {
     return Status::BudgetExhausted(util::StrFormat(
@@ -25,6 +38,12 @@ Status CheckRequestControls(const RequestOptions& options, uint64_t consumed,
         static_cast<unsigned long long>(next_cost)));
   }
   return Status::OK();
+}
+
+Status CheckRequestControls(const RequestOptions& options, uint64_t consumed,
+                            uint64_t next_cost) {
+  return EnforceRequestOptions(options, consumed, next_cost,
+                               /*estimated_seconds=*/0.0);
 }
 
 }  // namespace openapi::interpret

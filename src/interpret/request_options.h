@@ -7,8 +7,12 @@
 // "spend at most Q queries / T milliseconds on this request" — or revoke
 // work that is no longer needed. RequestOptions carries those three
 // controls; the solver and the engine's cached path check them BEFORE
-// every probe batch, so a request with max_queries = Q never issues more
-// than Q API queries and every rejection reports the exact count it did
+// every probe batch — and, through the chunked dispatch layer
+// (probe_dispatch.h), between the latency-sized CHUNKS of each batch,
+// with a predictive deadline gate fed by the endpoint's per-row latency
+// EWMA — so a request with max_queries = Q never issues more than Q API
+// queries, a deadlined request stops within one chunk (not one batch) of
+// its deadline, and every rejection reports the exact count it did
 // consume (via interpret::EngineResponse::queries and the solver's
 // queries_consumed out-parameter).
 //
@@ -33,8 +37,10 @@ struct RequestOptions {
   /// path's validation pair AND the solver's probe batches. 0 = unlimited.
   uint64_t max_queries = 0;
 
-  /// Absolute wall-clock deadline. Checked before every probe batch; work
-  /// in flight is finished, no new batch starts past the deadline.
+  /// Absolute wall-clock deadline. Checked before every probe chunk
+  /// (batches are split into latency-sized chunks when a deadline is
+  /// set); work in flight is finished, no new chunk starts past — or is
+  /// predicted to finish past — the deadline.
   std::optional<std::chrono::steady_clock::time_point> deadline;
 
   /// Cooperative cancellation handle (empty = never cancelled).
@@ -56,7 +62,21 @@ struct RequestOptions {
 /// Gate before spending `next_cost` more queries on a request that has
 /// already consumed `consumed`: OK, or Cancelled / DeadlineExceeded /
 /// BudgetExhausted (checked in that order) with the exact consumed count
-/// in the message. next_cost == 0 checks only cancellation + deadline.
+/// in the message. `estimated_seconds` is the PREDICTED duration of the
+/// next batch (from the endpoint's per-row latency EWMA — see
+/// interpret/probe_dispatch.h): when a deadline is set and the batch is
+/// predicted to finish past it, the gate rejects with DeadlineExceeded
+/// BEFORE the batch is dispatched, so a request whose very first chunk
+/// would already blow the deadline fails with queries == 0 instead of
+/// overshooting. estimated_seconds <= 0 disables the predictive part
+/// (pure now-vs-deadline check); next_cost == 0 checks only
+/// cancellation + deadline.
+Status EnforceRequestOptions(const RequestOptions& options,
+                             uint64_t consumed, uint64_t next_cost,
+                             double estimated_seconds);
+
+/// EnforceRequestOptions without the predictive deadline gate — the
+/// non-latency-aware call sites (budget pre-checks, pre-flight).
 Status CheckRequestControls(const RequestOptions& options, uint64_t consumed,
                             uint64_t next_cost);
 

@@ -1,0 +1,268 @@
+// Tight deadlines through the chunked probe dispatch: overshoot bounded
+// by one latency-sized chunk (previously one arbitrarily slow batch),
+// predictive rejection of requests whose first chunk already blows the
+// deadline (queries == 0), cancellation stopping at a chunk boundary
+// mid-batch with exact consumed counts, and bit-parity of chunked vs
+// unchunked dispatch on unconstrained requests. Runs in the CI
+// ThreadSanitizer job: the replica-set test exercises concurrent
+// deadlined traffic against the shared per-endpoint latency EWMA.
+
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/api_replica_set.h"
+#include "interpret/interpretation_engine.h"
+#include "nn/plnn.h"
+#include "util/timer.h"
+
+namespace openapi::interpret {
+namespace {
+
+using std::chrono::milliseconds;
+
+/// Endpoint test double with configurable per-row latency: every row —
+/// single or batched — sleeps `per_row` before the model runs, the way a
+/// remote endpoint's serving stack costs wall time per sample. All the
+/// real PredictionApi machinery (query counter, noise tickets) still
+/// runs, so accounting assertions stay exact.
+class SlowPredictionApi : public api::PredictionApi {
+ public:
+  SlowPredictionApi(const api::Plm* model, milliseconds per_row,
+                    double noise_stddev = 0.0)
+      : PredictionApi(model, /*round_digits=*/0, noise_stddev),
+        per_row_(per_row) {}
+
+  Vec Predict(const Vec& x) const override {
+    std::this_thread::sleep_for(per_row_);
+    return PredictionApi::Predict(x);
+  }
+
+  std::vector<Vec> PredictBatch(const std::vector<Vec>& xs) const override {
+    std::this_thread::sleep_for(per_row_ * xs.size());
+    return PredictionApi::PredictBatch(xs);
+  }
+
+ private:
+  milliseconds per_row_;
+};
+
+nn::Plnn MakeNet(size_t d, uint64_t seed) {
+  util::Rng rng(seed);
+  return nn::Plnn({d, 16, 8, 3}, &rng);
+}
+
+TEST(ChunkedDeadlineTest, OvershootIsBoundedByOneChunk) {
+  // A 5 ms/row endpoint, a 50 ms deadline, and a noisy model the closed
+  // form can never certify (so the request runs until stopped). One
+  // unchunked d+1 = 25-probe batch costs 125 ms: the old between-batch
+  // check would overshoot the deadline by ~80 ms. Chunked dispatch sizes
+  // chunks from the endpoint's EWMA (warmed by the 5 ms anchor), so the
+  // request stops within one small chunk of the deadline.
+  const size_t d = 24;
+  nn::Plnn net = MakeNet(d, 11);
+  SlowPredictionApi api(&net, milliseconds(5), /*noise_stddev=*/1e-3);
+  OpenApiInterpreter interpreter;
+  util::Rng rng(13);
+  Vec x0 = rng.UniformVector(d, 0.2, 0.8);
+
+  uint64_t consumed = 0;
+  util::Timer timer;
+  auto result = interpreter.InterpretCounted(
+      api, x0, 0, &rng, &consumed, RequestOptions::WithTimeout(milliseconds(50)));
+  const double elapsed_ms = timer.ElapsedMillis();
+
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeadlineExceeded())
+      << result.status().ToString();
+  // Partial-chunk consumption is exact against the endpoint's counter.
+  EXPECT_EQ(consumed, api.query_count());
+  // Some chunks were dispatched (the deadline was not pre-blown)...
+  EXPECT_GE(consumed, 1u);
+  // ...but the request never finished even its first 25-probe batch.
+  EXPECT_LT(consumed, 1u + d + 1);
+  // The tightness claim: with the EWMA at ~5 ms/row, every chunk targets
+  // <= 25% of the remaining window (<= ~12.5 ms), so the overshoot is a
+  // fraction of what one full batch (125 ms) would have cost. 95 ms
+  // leaves CI scheduling slack while still failing hard if dispatch ever
+  // regresses to whole batches (>= 130 ms).
+  EXPECT_LT(elapsed_ms, 95.0);
+}
+
+TEST(ChunkedDeadlineTest, FirstChunkPredictedPastDeadlineRejectsAtZeroQueries) {
+  // The pre-flight boundary case: the deadline is still in the future,
+  // but the conservative cold-endpoint prior (10 ms/row) already predicts
+  // the first row past it. The request must fail DeadlineExceeded with
+  // ZERO queries — before the anchor, before any probe — instead of
+  // dispatching traffic it cannot finish.
+  const size_t d = 6;
+  nn::Plnn net = MakeNet(d, 17);
+  SlowPredictionApi api(&net, milliseconds(5));
+  OpenApiInterpreter interpreter;
+  util::Rng rng(19);
+  Vec x0 = rng.UniformVector(d, 0.2, 0.8);
+
+  uint64_t consumed = 0;
+  auto result = interpreter.InterpretCounted(
+      api, x0, 0, &rng, &consumed, RequestOptions::WithTimeout(milliseconds(5)));
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeadlineExceeded())
+      << result.status().ToString();
+  EXPECT_EQ(consumed, 0u);
+  EXPECT_EQ(api.query_count(), 0u);
+}
+
+TEST(ChunkedDeadlineTest, EngineRejectsPreBlownFirstChunkBeforeValidation) {
+  // Same boundary case through the serving layer: the session's
+  // validation pair is the request's first traffic, so the predictive
+  // gate fires there and the envelope reports queries == 0.
+  const size_t d = 6;
+  nn::Plnn net = MakeNet(d, 23);
+  SlowPredictionApi api(&net, milliseconds(5));
+  EngineConfig config;
+  config.num_threads = 1;
+  InterpretationEngine engine(config);
+  auto session = engine.OpenSession(api);
+  util::Rng rng(29);
+  EngineRequest request{rng.UniformVector(d, 0.2, 0.8), 0,
+                        RequestOptions::WithTimeout(milliseconds(5))};
+  auto response = session->Interpret(request, /*seed=*/31, 0);
+  ASSERT_FALSE(response.result.ok());
+  EXPECT_TRUE(response.result.status().IsDeadlineExceeded())
+      << response.result.status().ToString();
+  EXPECT_EQ(response.queries, 0u);
+  EXPECT_EQ(api.query_count(), 0u);
+  EXPECT_EQ(session->stats().failures, 1u);
+}
+
+TEST(ChunkedDeadlineTest, CancellationStopsAtAChunkBoundaryMidBatch) {
+  // Cancel while the first 17-probe batch (85 ms unchunked) is in
+  // flight. The old dispatch would have finished the whole batch before
+  // noticing; chunked dispatch reacts at the next chunk boundary
+  // (cancel_chunk_seconds bounds the reaction), and the consumed count
+  // covers exactly the chunks that ran.
+  const size_t d = 16;
+  nn::Plnn net = MakeNet(d, 37);
+  SlowPredictionApi api(&net, milliseconds(5), /*noise_stddev=*/1e-3);
+  OpenApiInterpreter interpreter;
+  util::CancelToken token = util::CancelToken::Cancellable();
+  // A roomy deadline alongside the token: cancellation must keep its
+  // cancel_chunk_seconds reaction bound, not inherit the deadline's
+  // whole-batch-sized chunks.
+  RequestOptions options = RequestOptions::WithTimeout(std::chrono::seconds(10));
+  options.cancel = token;
+  util::Rng rng(41);
+  Vec x0 = rng.UniformVector(d, 0.2, 0.8);
+
+  uint64_t consumed = 0;
+  util::Timer timer;
+  auto pending = std::async(std::launch::async, [&] {
+    return interpreter.InterpretCounted(api, x0, 0, &rng, &consumed, options);
+  });
+  std::this_thread::sleep_for(milliseconds(25));
+  token.RequestCancel();
+  auto result = pending.get();
+  const double elapsed_ms = timer.ElapsedMillis();
+
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCancelled()) << result.status().ToString();
+  // Exact partial consumption: anchor plus the chunks that completed.
+  EXPECT_EQ(consumed, api.query_count());
+  EXPECT_GE(consumed, 1u);
+  // Cancelled at ~25 ms, i.e. mid-first-batch: the request must NOT have
+  // consumed the full 17-probe batch the old dispatch would have
+  // finished.
+  EXPECT_LT(consumed, 1u + d + 1);
+  // Reaction bound: cancel lands at 25 ms, each chunk targets
+  // cancel_chunk_seconds (10 ms) => return well before the 90 ms the
+  // unchunked batch would have needed.
+  EXPECT_LT(elapsed_ms, 70.0);
+}
+
+TEST(ChunkedDispatchParityTest, ChunkingIsBitInvisibleOnFastEndpoints) {
+  // Chunks run sequentially in row order, so query counts and noise
+  // tickets replay exactly: a deadlined (hence chunked) request on a
+  // fast endpoint must produce bit-identical results, probes, and counts
+  // to an unchunked run with the same seeds — noise on, to pin the
+  // ticket streams too.
+  const size_t d = 6;
+  nn::Plnn net = MakeNet(d, 43);
+  util::Rng seed_rng(47);
+  Vec x0 = seed_rng.UniformVector(d, 0.2, 0.8);
+
+  // Noise far below consistency_tol: the solve still certifies, but any
+  // chunking-induced shift in the ticket stream would change the bits.
+  api::PredictionApi chunked_api(&net, 0, /*noise_stddev=*/1e-13);
+  api::PredictionApi plain_api(&net, 0, /*noise_stddev=*/1e-13);
+  OpenApiConfig unchunked_config;
+  unchunked_config.dispatch.enabled = false;
+  OpenApiInterpreter chunked;
+  OpenApiInterpreter unchunked(unchunked_config);
+
+  util::Rng rng_a(53), rng_b(53);
+  uint64_t consumed_a = 0, consumed_b = 0;
+  auto a = chunked.InterpretCounted(
+      chunked_api, x0, 0, &rng_a, &consumed_a,
+      RequestOptions::WithTimeout(std::chrono::seconds(30)));
+  auto b = unchunked.InterpretCounted(plain_api, x0, 0, &rng_b, &consumed_b);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(a->dc, b->dc);
+  EXPECT_EQ(a->probes, b->probes);
+  EXPECT_EQ(a->iterations, b->iterations);
+  EXPECT_EQ(consumed_a, consumed_b);
+  EXPECT_EQ(chunked_api.query_count(), plain_api.query_count());
+  // The chunked run kept the endpoint's latency estimate warm.
+  EXPECT_GT(chunked_api.row_latency().samples(), 0u);
+}
+
+TEST(ChunkedDeadlineTest, ReplicaSetAccountingStaysExactUnderMixedDeadlines) {
+  // Concurrent deadlined / budgeted / unconstrained traffic against a
+  // replica set: every chunk is a real PredictBatch against the set, so
+  // the per-replica counters still sum exactly to the envelopes — and
+  // the shared set-level latency EWMA takes concurrent recordings
+  // (TSan-checked in CI).
+  const size_t d = 6;
+  nn::Plnn net = MakeNet(d, 59);
+  api::ApiReplicaSet endpoint(&net, /*num_replicas=*/3);
+  EngineConfig config;
+  config.num_threads = 4;
+  InterpretationEngine engine(config);
+  auto session = engine.OpenSession(endpoint);
+  util::Rng rng(61);
+  std::vector<EngineRequest> requests;
+  for (size_t i = 0; i < 24; ++i) {
+    EngineRequest request{rng.UniformVector(d, 0.2, 0.8), i % 3};
+    if (i % 4 == 1) {
+      request.options = RequestOptions::WithTimeout(milliseconds(0));
+    } else if (i % 4 == 2) {
+      request.options = RequestOptions::WithBudget(1 + i);
+    } else if (i % 4 == 3) {
+      request.options = RequestOptions::WithTimeout(std::chrono::seconds(30));
+    }
+    requests.push_back(std::move(request));
+  }
+  auto responses = session->InterpretAll(requests, /*seed=*/67);
+  uint64_t reported = 0;
+  for (size_t i = 0; i < responses.size(); ++i) {
+    reported += responses[i].queries;
+    if (i % 4 == 1) {
+      EXPECT_TRUE(responses[i].result.status().IsDeadlineExceeded())
+          << "request " << i;
+      EXPECT_EQ(responses[i].queries, 0u);
+    }
+  }
+  EXPECT_EQ(reported, endpoint.query_count());
+  EXPECT_EQ(session->stats().queries, endpoint.query_count());
+  uint64_t replica_sum = 0;
+  for (size_t r = 0; r < endpoint.num_replicas(); ++r) {
+    replica_sum += endpoint.replica_query_count(r);
+  }
+  EXPECT_EQ(replica_sum, endpoint.query_count());
+}
+
+}  // namespace
+}  // namespace openapi::interpret
