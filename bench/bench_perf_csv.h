@@ -1,10 +1,15 @@
-// Shared perf-trajectory CSV plumbing for the google-benchmark binaries.
+// Shared perf-trajectory artifact plumbing for the google-benchmark
+// binaries.
 //
 // Set OPENAPI_PERF_CSV=<path> to mirror every benchmark run into a CSV
 // via util::CsvWriter; CI uploads it as the perf-trajectory artifact.
-// bench_scaling CREATES the file (truncating any previous run) and
-// bench_kernels APPENDS, so one artifact carries the whole trajectory.
-// Without the variable the binaries behave exactly like BENCHMARK_MAIN().
+// Set OPENAPI_PERF_JSON=<path> to additionally emit a machine-readable
+// JSON array of the same rows (plus every user counter), the snapshot a
+// per-PR perf diff consumes — CI fails the bench step when the file is
+// missing. Either variable works alone. bench_scaling CREATES both files
+// (truncating any previous run) and bench_kernels APPENDS, so one
+// artifact pair carries the whole trajectory. Without the variables the
+// binaries behave exactly like BENCHMARK_MAIN().
 
 #ifndef OPENAPI_BENCH_BENCH_PERF_CSV_H_
 #define OPENAPI_BENCH_BENCH_PERF_CSV_H_
@@ -12,8 +17,12 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <optional>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/csv_writer.h"
@@ -21,10 +30,91 @@
 
 namespace openapi::bench {
 
+/// Accumulates benchmark rows and writes them as one JSON array. In
+/// append mode the existing array is spliced open (the trailing `]` is
+/// replaced by `,` + the new rows), so bench_scaling and bench_kernels
+/// together produce a single well-formed BENCH_scaling.json.
+class PerfJsonWriter {
+ public:
+  explicit PerfJsonWriter(std::string path, bool append)
+      : path_(std::move(path)), append_(append) {}
+
+  void AddRow(const std::string& name, int64_t iterations, double real_ns,
+              double cpu_ns, std::optional<double> items_per_second,
+              const std::vector<std::pair<std::string, double>>& counters) {
+    std::ostringstream row;
+    row << "  {\"benchmark\": \"" << Escape(name) << "\""
+        << ", \"iterations\": " << iterations
+        << ", \"real_ns_per_iter\": " << util::FormatDouble(real_ns, 1)
+        << ", \"cpu_ns_per_iter\": " << util::FormatDouble(cpu_ns, 1)
+        << ", \"items_per_second\": "
+        << (items_per_second.has_value()
+                ? util::FormatDouble(*items_per_second, 1)
+                : std::string("null"));
+    row << ", \"counters\": {";
+    bool first = true;
+    for (const auto& [key, value] : counters) {
+      if (!first) row << ", ";
+      first = false;
+      row << "\"" << Escape(key) << "\": " << util::FormatDouble(value, 4);
+    }
+    row << "}}";
+    rows_.push_back(row.str());
+  }
+
+  /// Writes (or splices) the array; returns false on any I/O failure.
+  bool Close() {
+    std::string prefix = "[\n";
+    if (append_) {
+      std::ifstream in(path_);
+      if (in) {
+        std::ostringstream existing;
+        existing << in.rdbuf();
+        std::string text = existing.str();
+        // Splice before the final `]` of the existing array.
+        size_t end = text.find_last_of(']');
+        if (end != std::string::npos) {
+          prefix = text.substr(0, end);
+          while (!prefix.empty() &&
+                 (prefix.back() == '\n' || prefix.back() == ' ')) {
+            prefix.pop_back();
+          }
+          prefix += ",\n";
+        }
+      }
+    }
+    std::ofstream out(path_, std::ios::trunc);
+    if (!out) return false;
+    out << prefix;
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      out << rows_[i] << (i + 1 < rows_.size() ? ",\n" : "\n");
+    }
+    out << "]\n";
+    out.flush();
+    return static_cast<bool>(out);
+  }
+
+ private:
+  static std::string Escape(const std::string& s) {
+    std::string escaped;
+    escaped.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') escaped.push_back('\\');
+      escaped.push_back(c);
+    }
+    return escaped;
+  }
+
+  std::string path_;
+  bool append_;
+  std::vector<std::string> rows_;
+};
+
 class PerfCsvReporter : public benchmark::ConsoleReporter {
  public:
-  explicit PerfCsvReporter(util::CsvWriter writer)
-      : writer_(std::move(writer)) {}
+  PerfCsvReporter(std::optional<util::CsvWriter> writer,
+                  std::optional<PerfJsonWriter> json)
+      : writer_(std::move(writer)), json_(std::move(json)) {}
 
   static std::vector<std::string> Header() {
     return {"benchmark", "iterations", "real_ns_per_iter",
@@ -33,33 +123,52 @@ class PerfCsvReporter : public benchmark::ConsoleReporter {
 
   // Acts as the display reporter (google-benchmark insists that pure file
   // reporters come with --benchmark_out): console output passes through,
-  // each per-iteration run is mirrored into the CSV.
+  // each per-iteration run is mirrored into the CSV/JSON sinks.
   void ReportRuns(const std::vector<Run>& runs) override {
     benchmark::ConsoleReporter::ReportRuns(runs);
     for (const Run& run : runs) {
       if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
       const double iters = static_cast<double>(run.iterations);
+      const double real_ns = run.real_accumulated_time / iters * 1e9;
+      const double cpu_ns = run.cpu_accumulated_time / iters * 1e9;
       auto items = run.counters.find("items_per_second");
-      Check(writer_.WriteRow(std::vector<std::string>{
-          run.benchmark_name(),
-          std::to_string(run.iterations),
-          util::FormatDouble(run.real_accumulated_time / iters * 1e9, 1),
-          util::FormatDouble(run.cpu_accumulated_time / iters * 1e9, 1),
-          items != run.counters.end()
-              ? util::FormatDouble(items->second.value, 1)
-              : "",
-      }));
+      if (writer_.has_value()) {
+        Check(writer_->WriteRow(std::vector<std::string>{
+            run.benchmark_name(),
+            std::to_string(run.iterations),
+            util::FormatDouble(real_ns, 1),
+            util::FormatDouble(cpu_ns, 1),
+            items != run.counters.end()
+                ? util::FormatDouble(items->second.value, 1)
+                : "",
+        }));
+      }
+      if (json_.has_value()) {
+        std::vector<std::pair<std::string, double>> counters;
+        for (const auto& [key, counter] : run.counters) {
+          counters.emplace_back(key, counter.value);
+        }
+        json_->AddRow(run.benchmark_name(), run.iterations, real_ns, cpu_ns,
+                      items != run.counters.end()
+                          ? std::optional<double>(items->second.value)
+                          : std::nullopt,
+                      counters);
+      }
     }
   }
 
   void Finalize() override {
     benchmark::ConsoleReporter::Finalize();
-    Check(writer_.Close());
+    if (writer_.has_value()) Check(writer_->Close());
+    if (json_.has_value() && !json_->Close()) {
+      failed_ = true;
+      std::cerr << "OPENAPI_PERF_JSON write failed\n";
+    }
   }
 
-  /// True once any CSV write failed; the artifact is then incomplete and
-  /// the run should exit non-zero rather than upload a silently
-  /// truncated trajectory.
+  /// True once any artifact write failed; the trajectory is then
+  /// incomplete and the run should exit non-zero rather than upload a
+  /// silently truncated artifact.
   bool failed() const { return failed_; }
 
  private:
@@ -70,18 +179,26 @@ class PerfCsvReporter : public benchmark::ConsoleReporter {
               << "\n";
   }
 
-  util::CsvWriter writer_;
+  std::optional<util::CsvWriter> writer_;
+  std::optional<PerfJsonWriter> json_;
   bool failed_ = false;
 };
 
 /// The shared main body: runs the registered benchmarks, mirroring rows
-/// into $OPENAPI_PERF_CSV when set. `append` selects whether this binary
-/// creates the artifact (bench_scaling) or contributes to an existing one
-/// (bench_kernels).
+/// into $OPENAPI_PERF_CSV / $OPENAPI_PERF_JSON when set. `append` selects
+/// whether this binary creates the artifacts (bench_scaling) or
+/// contributes to existing ones (bench_kernels).
 inline int RunBenchmarksWithPerfCsv(int argc, char** argv, bool append) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   const char* csv_path = std::getenv("OPENAPI_PERF_CSV");
+  const char* json_path = std::getenv("OPENAPI_PERF_JSON");
+  if (csv_path == nullptr && json_path == nullptr) {
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+  }
+  std::optional<util::CsvWriter> csv_writer;
   if (csv_path != nullptr) {
     auto writer =
         append ? util::CsvWriter::OpenAppend(csv_path,
@@ -92,14 +209,16 @@ inline int RunBenchmarksWithPerfCsv(int argc, char** argv, bool append) {
                 << "\n";
       return 1;
     }
-    PerfCsvReporter csv(std::move(*writer));
-    benchmark::RunSpecifiedBenchmarks(&csv);
-    benchmark::Shutdown();
-    return csv.failed() ? 1 : 0;
+    csv_writer.emplace(std::move(*writer));
   }
-  benchmark::RunSpecifiedBenchmarks();
+  std::optional<PerfJsonWriter> json_writer;
+  if (json_path != nullptr) {
+    json_writer.emplace(json_path, append);
+  }
+  PerfCsvReporter reporter(std::move(csv_writer), std::move(json_writer));
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
-  return 0;
+  return reporter.failed() ? 1 : 0;
 }
 
 }  // namespace openapi::bench

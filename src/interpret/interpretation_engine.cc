@@ -66,7 +66,12 @@ std::optional<SessionStream::Item> SessionStream::Next() {
 EndpointSession::EndpointSession(const InterpretationEngine* engine,
                                  const api::PredictionApi* api,
                                  size_t capacity)
-    : engine_(engine), api_(api), capacity_(capacity) {}
+    : engine_(engine), api_(api), capacity_(capacity) {
+  if (engine_->config().use_region_cache &&
+      engine_->config().use_region_index) {
+    index_ = std::make_unique<RegionIndex>(api_->dim());
+  }
+}
 
 EngineStats EndpointSession::Snapshot(const StatCounters& counters) {
   EngineStats s;
@@ -126,6 +131,53 @@ size_t EndpointSession::FindMatchingRegion(const Vec& x0, const Vec& y0,
                                            const Vec& y_probe,
                                            size_t argmax) const {
   std::shared_lock<std::shared_mutex> lock(cache_mutex_);
+  if (index_ != nullptr) {
+    // Point location: stab the learned boxes and validate each candidate
+    // with the exact predicate. Boxes only cover what traffic has
+    // certified, so they can admit a false candidate (validation rejects
+    // it) but a validated candidate is always a hit the linear scan would
+    // also have found. The argmax(y0) forest is stabbed AND validated
+    // first: in the common case the query predicts its region's own
+    // class, so the steady-state hit never pays for the other C-1
+    // forests. Validation is exact either way, so phase order only moves
+    // work, never the outcome.
+    std::vector<size_t> candidates;
+    index_->CollectBucket(x0, argmax, &candidates);
+    for (size_t slot : candidates) {
+      if (RegionMatches(regions_[slot].model, x0, y0) &&
+          RegionMatches(regions_[slot].model, probe, y_probe)) {
+        return slot;
+      }
+    }
+    const size_t first_phase = candidates.size();
+    index_->CollectRest(x0, argmax, &candidates);
+    for (size_t i = first_phase; i < candidates.size(); ++i) {
+      const size_t slot = candidates[i];
+      if (RegionMatches(regions_[slot].model, x0, y0) &&
+          RegionMatches(regions_[slot].model, probe, y_probe)) {
+        return slot;
+      }
+    }
+    // No candidate survived. A learned box UNDER-covers its region until
+    // traffic teaches it, so this is not yet a miss: scan the remaining
+    // regions exactly like the reference leg (skipping the candidates
+    // already rejected above). A match found here is a first visit to an
+    // uncovered part of a cached region — the hit path then grows its
+    // box, so the next nearby request resolves in the stab above. This
+    // fallback is what makes the index decision-invisible; a true miss
+    // pays it once and then pays the extraction that dwarfs it.
+    std::sort(candidates.begin(), candidates.end());
+    for (size_t slot = 0; slot < regions_.size(); ++slot) {
+      if (std::binary_search(candidates.begin(), candidates.end(), slot)) {
+        continue;
+      }
+      if (RegionMatches(regions_[slot].model, x0, y0) &&
+          RegionMatches(regions_[slot].model, probe, y_probe)) {
+        return slot;
+      }
+    }
+    return kNoSlot;
+  }
   if (!engine_->config().bucket_candidates) {
     for (size_t slot = 0; slot < regions_.size(); ++slot) {
       if (RegionMatches(regions_[slot].model, x0, y0) &&
@@ -165,6 +217,35 @@ size_t EndpointSession::FindMatchingRegion(const Vec& x0, const Vec& y0,
   return kNoSlot;
 }
 
+void EndpointSession::DropRegionAuxLocked(size_t slot) const {
+  CachedRegion& victim = regions_[slot];
+  by_fingerprint_.erase(victim.fingerprint);
+  // Drop the victim's memo keys so a stale memo entry can never serve
+  // the slot's next occupant (point-memo answers skip API validation).
+  for (const PointKey& key : victim.points) {
+    auto it = point_memo_.find(key);
+    if (it != point_memo_.end() && it->second == slot) {
+      point_memo_.erase(it);
+    }
+  }
+  victim.points.clear();
+  for (size_t bucket_key : victim.bucket_keys) {
+    auto bucket = by_argmax_.find(bucket_key);
+    if (bucket != by_argmax_.end()) {
+      auto& slots = bucket->second;
+      slots.erase(std::remove(slots.begin(), slots.end(), slot),
+                  slots.end());
+    }
+  }
+  victim.bucket_keys.clear();
+  if (index_ != nullptr) index_->Remove(slot);
+}
+
+void EndpointSession::CheckAuxCoherenceLocked() const {
+  if (index_ == nullptr) return;
+  OPENAPI_CHECK_EQ(index_->size(), regions_.size());
+}
+
 size_t EndpointSession::EvictOneLocked() const {
   // Second-chance clock: a region with recorded hits gets its counter
   // halved and survives the sweep; the first cold slot is the victim.
@@ -180,28 +261,15 @@ size_t EndpointSession::EvictOneLocked() const {
     ++clock_hand_;
   }
   const size_t slot = clock_hand_++;
-  CachedRegion& victim = regions_[slot];
-  by_fingerprint_.erase(victim.fingerprint);
-  // Drop the victim's memo keys so a stale memo entry can never serve
-  // the slot's next occupant (point-memo answers skip API validation).
-  for (const PointKey& key : victim.points) {
-    auto it = point_memo_.find(key);
-    if (it != point_memo_.end() && it->second == slot) {
-      point_memo_.erase(it);
-    }
-  }
-  for (size_t bucket_key : victim.bucket_keys) {
-    auto bucket = by_argmax_.find(bucket_key);
-    if (bucket != by_argmax_.end()) {
-      auto& slots = bucket->second;
-      slots.erase(std::remove(slots.begin(), slots.end(), slot),
-                  slots.end());
-    }
-  }
+  const uint64_t victim_fingerprint = regions_[slot].fingerprint;
+  // One step removes the victim from every auxiliary structure
+  // (fingerprint map, memo, buckets, index) — there is no code path that
+  // can leave one of them holding the dead slot.
+  DropRegionAuxLocked(slot);
   if (evicted_fingerprints_.size() > 8 * capacity_ + 64) {
     evicted_fingerprints_.clear();  // bounded classification memory
   }
-  evicted_fingerprints_.insert(victim.fingerprint);
+  evicted_fingerprints_.insert(victim_fingerprint);
   Bump(&StatCounters::evictions);
   return slot;
 }
@@ -225,22 +293,45 @@ void EndpointSession::FilePointLocked(const PointKey& key,
 }
 
 void EndpointSession::FileBucketLocked(size_t slot, size_t argmax) const {
-  std::vector<size_t>& bucket = by_argmax_[argmax];
-  if (std::find(bucket.begin(), bucket.end(), slot) == bucket.end()) {
-    bucket.push_back(slot);
-    regions_[slot].bucket_keys.push_back(argmax);
+  // Membership test via the slot's own key list (one entry per filed
+  // bucket, so a handful at most): slot ∈ by_argmax_[b] iff b ∈
+  // bucket_keys — both are only ever mutated together, here and in
+  // DropRegionAuxLocked. Scanning the bucket vector instead would be
+  // O(n/C) per fill, quadratic across a large import.
+  std::vector<size_t>& keys = regions_[slot].bucket_keys;
+  if (std::find(keys.begin(), keys.end(), argmax) == keys.end()) {
+    by_argmax_[argmax].push_back(slot);
+    keys.push_back(argmax);
+    if (index_ != nullptr && index_->contains(slot)) {
+      index_->File(slot, argmax);
+    }
   }
 }
 
 size_t EndpointSession::InsertRegion(api::LocalLinearModel model,
                                      uint64_t fingerprint, const Vec& x0,
-                                     size_t argmax,
+                                     size_t argmax, double edge_length,
                                      CacheOutcome* outcome) const {
   std::unique_lock<std::shared_mutex> lock(cache_mutex_);
+  // The solver certified the model on probes drawn from the final
+  // consistent hypercube [x0 - edge, x0 + edge] per dimension — the
+  // region's learned box starts as exactly that certificate.
+  Vec lo, hi;
+  if (index_ != nullptr) {
+    lo = x0;
+    hi = x0;
+    for (size_t j = 0; j < lo.size(); ++j) {
+      lo[j] -= edge_length;
+      hi[j] += edge_length;
+    }
+  }
   size_t slot;
   auto it = by_fingerprint_.find(fingerprint);
   if (it != by_fingerprint_.end()) {
     slot = it->second;  // another worker extracted this region first
+    if (index_ != nullptr) {
+      index_->Expand(slot, lo, hi);  // union of both certificates
+    }
   } else {
     if (capacity_ > 0 && regions_.size() >= capacity_) {
       slot = EvictOneLocked();
@@ -250,13 +341,31 @@ size_t EndpointSession::InsertRegion(api::LocalLinearModel model,
       regions_.push_back(CachedRegion(std::move(model), fingerprint));
     }
     by_fingerprint_.emplace(fingerprint, slot);
+    if (index_ != nullptr) index_->Insert(slot, lo, hi);
     if (evicted_fingerprints_.erase(fingerprint) > 0 && outcome != nullptr) {
       *outcome = CacheOutcome::kEvictedRefetch;
     }
   }
   FileBucketLocked(slot, argmax);
   FilePointLocked(PointKeyOf(x0), slot);
+  CheckAuxCoherenceLocked();
   return slot;
+}
+
+size_t EndpointSession::ImportRegion(api::LocalLinearModel model,
+                                     const Vec& anchor,
+                                     double edge_length) const {
+  if (!engine_->config().use_region_cache) {
+    return static_cast<size_t>(-1);
+  }
+  OPENAPI_CHECK_EQ(anchor.size(), api_->dim());
+  OPENAPI_CHECK_EQ(model.bias.size(), api_->num_classes());
+  const Vec y0 = api::EvaluateLocalModel(model, anchor);
+  const size_t argmax = linalg::ArgMax(y0);
+  const uint64_t fingerprint =
+      LocalModelFingerprint(model, engine_->config().fingerprint_resolution);
+  return InsertRegion(std::move(model), fingerprint, anchor, argmax,
+                      edge_length, /*outcome=*/nullptr);
 }
 
 Result<Interpretation> EndpointSession::InterpretCached(
@@ -339,15 +448,34 @@ Result<Interpretation> EndpointSession::InterpretCached(
             regions_[slot].fingerprint == fingerprint) {
           FilePointLocked(key, slot);
           regions_[slot].hits.fetch_add(1, std::memory_order_relaxed);
-          std::vector<size_t>& bucket = by_argmax_[argmax];
-          auto pos = std::find(bucket.begin(), bucket.end(), slot);
-          if (pos == bucket.end()) {
-            FileBucketLocked(slot, argmax);
-          } else if (pos != bucket.begin()) {
-            // Transpose promotion: each hit moves the region one step
-            // toward the front of its bucket, so hot regions drift to
-            // the head without any per-scan sorting.
-            std::iter_swap(pos, pos - 1);
+          if (index_ != nullptr) {
+            if (index_->contains(slot)) {
+              // A validated hit teaches the learned box: grow it to
+              // cover x0 so the next nearby request resolves in the
+              // index stab instead of the fallback scan.
+              index_->Expand(slot, x0);
+            }
+            // Buckets are not a scan structure when the index is on, so
+            // the O(bucket) transpose promotion below would be pure
+            // overhead (at 10^6 regions it would dominate the lookup).
+            // Membership comes from the slot's own short key list; a
+            // boundary-spanning region still gets filed under the new
+            // argmax (which also files its index forest).
+            const std::vector<size_t>& keys = regions_[slot].bucket_keys;
+            if (std::find(keys.begin(), keys.end(), argmax) == keys.end()) {
+              FileBucketLocked(slot, argmax);
+            }
+          } else {
+            std::vector<size_t>& bucket = by_argmax_[argmax];
+            auto pos = std::find(bucket.begin(), bucket.end(), slot);
+            if (pos == bucket.end()) {
+              FileBucketLocked(slot, argmax);
+            } else if (pos != bucket.begin()) {
+              // Transpose promotion: each hit moves the region one step
+              // toward the front of its bucket, so hot regions drift to
+              // the head without any per-scan sorting.
+              std::iter_swap(pos, pos - 1);
+            }
           }
         }
       }
@@ -403,7 +531,8 @@ Result<Interpretation> EndpointSession::InterpretCached(
   out.iterations = solved->iterations;
   out.edge_length = solved->edge_length;
   out.queries = *consumed;
-  InsertRegion(std::move(model), fingerprint, x0, argmax, outcome);
+  InsertRegion(std::move(model), fingerprint, x0, argmax,
+               solved->edge_length, outcome);
   return out;
 }
 
@@ -539,6 +668,8 @@ void EndpointSession::ClearCache() const {
   point_memo_.clear();
   evicted_fingerprints_.clear();
   clock_hand_ = 0;
+  if (index_ != nullptr) index_->Clear();
+  CheckAuxCoherenceLocked();
 }
 
 // ---------------------------------------------------------------------------

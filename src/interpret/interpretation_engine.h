@@ -70,7 +70,17 @@
 //     promotes its region one step toward the bucket head, the classic
 //     transpose heuristic) — and only falls back to the remaining regions
 //     when the bucket misses (a region can span the decision boundary, so
-//     the bucket key is a pruning heuristic, never a correctness filter).
+//     the bucket key is a pruning heuristic, never a correctness filter);
+//   * the REGION INDEX (region_index.h, EngineConfig::use_region_index,
+//     default on): hierarchical point location over learned per-region
+//     bounding boxes, the argmax partition as its top level. At
+//     production cache sizes (10^5-10^6 regions) the bucketed scan above
+//     still evaluates every cached model; the index stabs the boxes in
+//     O(log n)-ish time, validates the few candidates exactly, and only
+//     when none survives falls back to the full scan (then GROWS the
+//     matched region's box, so repeat traffic stays logarithmic). The
+//     index is decision-invisible: identical hit/miss outcomes and query
+//     counts as the scan legs on every request.
 // A request at a new x0 still validates cache candidates against the API
 // output (2 batched queries) — black-box point location fundamentally
 // needs the candidate test — but candidates are scanned under a shared
@@ -119,6 +129,7 @@
 #include <vector>
 
 #include "interpret/openapi_method.h"
+#include "interpret/region_index.h"
 #include "interpret/request_options.h"
 #include "util/thread_pool.h"
 
@@ -156,8 +167,19 @@ struct EngineConfig {
   bool use_region_cache = true;
   /// Prune the candidate scan with argmax buckets + hit-frequency
   /// ordering. Off = the plain linear scan (bench baseline). Hit/miss
-  /// behavior is identical either way.
+  /// behavior is identical either way. Consulted only when
+  /// use_region_index is off — the index supersedes the bucket scan.
   bool bucket_candidates = true;
+  /// Answer the candidate scan by hierarchical point location
+  /// (region_index.h): stab the learned per-region bounding boxes in
+  /// O(log n)-ish time, validate the few candidates exactly, and fall
+  /// back to the full scan only when no candidate survives (first visit
+  /// to an uncovered part of a region; the validated hit then grows the
+  /// region's box, so repeat traffic stays logarithmic). Off preserves
+  /// the linear/bucketed scan as the reference leg. DECISION-INVISIBLE:
+  /// hit/miss outcomes and consumed query counts are identical either
+  /// way on every request (the parity fuzz tests assert it).
+  bool use_region_index = true;
   /// Default region capacity of each session's cache; 0 = unbounded.
   /// OpenSession can override per session. At capacity, inserts evict
   /// via a second-chance clock over per-region hit counters.
@@ -285,6 +307,24 @@ class EndpointSession
   SessionStream InterpretStream(std::vector<EngineRequest> requests,
                                 uint64_t seed) const;
 
+  /// Warm-start hook: installs an already-known locally linear region —
+  /// `model` valid around `anchor`, certified over the hypercube
+  /// {x : |x_j - anchor_j| <= edge_length} — without paying extraction
+  /// queries. This is how a tiered store (or a bench) reloads a cache of
+  /// millions of regions: the model is fingerprinted, filed under the
+  /// class it predicts at `anchor`, memoized for the anchor point, and
+  /// filed into the region index with the certified hypercube as its
+  /// initial learned box. Imported models are trusted exactly like
+  /// extracted ones (an anchor repeat serves from the memo with zero
+  /// validation queries; any other point still pays the 2-query
+  /// validation pair), so the caller must import models that match the
+  /// live endpoint. Pass canonical (column-0-pinned) models if later
+  /// re-extractions of the same region should deduplicate against the
+  /// import. Returns the region's cache slot, or SIZE_MAX when the
+  /// engine's region cache is disabled. Thread-safe.
+  size_t ImportRegion(api::LocalLinearModel model, const Vec& anchor,
+                      double edge_length) const;
+
   const api::PredictionApi& api() const { return *api_; }
   size_t cache_size() const;
   /// Region capacity of this session's cache; 0 = unbounded.
@@ -378,22 +418,42 @@ class EndpointSession
 
   /// Returns the slot whose model explains (x0, y0) and (probe, y_probe),
   /// or SIZE_MAX. Shared (reader) lock. `argmax` is the predicted class at
-  /// x0 (from y0) selecting the bucket scanned first.
+  /// x0 (from y0) selecting the bucket (or index forest) scanned first.
+  /// With use_region_index on, candidates come from the index's stabbing
+  /// query and the full scan runs only when none of them validates — the
+  /// decision (and therefore every downstream query count) is identical
+  /// to the scan legs.
   size_t FindMatchingRegion(const Vec& x0, const Vec& y0, const Vec& probe,
                             const Vec& y_probe, size_t argmax) const;
 
   /// Inserts `model` (deduplicating by fingerprint; evicting at
-  /// capacity), memoizes x0 -> slot, and files the slot under bucket
-  /// `argmax`. Exclusive (writer) lock. Flips *outcome to
-  /// kEvictedRefetch when the fingerprint matches a region this session
-  /// evicted earlier.
+  /// capacity), memoizes x0 -> slot, files the slot under bucket
+  /// `argmax`, and files the slot into the region index with initial box
+  /// {x : |x_j - x0_j| <= edge_length} (the solver's final certified
+  /// hypercube; a fingerprint-deduplicated re-extraction unions its
+  /// hypercube into the existing box instead). Exclusive (writer) lock.
+  /// Flips *outcome to kEvictedRefetch when the fingerprint matches a
+  /// region this session evicted earlier.
   size_t InsertRegion(api::LocalLinearModel model, uint64_t fingerprint,
-                      const Vec& x0, size_t argmax,
+                      const Vec& x0, size_t argmax, double edge_length,
                       CacheOutcome* outcome) const;
 
   /// Second-chance clock sweep; evicts one region and returns its (now
   /// vacant) slot. Requires the writer lock and a full cache.
   size_t EvictOneLocked() const;
+
+  /// Removes one region from EVERY auxiliary structure — fingerprint
+  /// map, point-memo keys, argmax buckets, region index — as one step,
+  /// so no mutation path can leave a structure holding a dead slot.
+  /// Requires the writer lock; the slot itself stays allocated for the
+  /// caller to refill.
+  void DropRegionAuxLocked(size_t slot) const;
+
+  /// CHECKs the eviction/index coherence invariant: with the index on,
+  /// every cache slot is present in the index (index size == cache
+  /// size). Called after every cache mutation; a violation is memory
+  /// corruption in the making, so it aborts rather than degrades.
+  void CheckAuxCoherenceLocked() const;
 
   /// Files `key` -> `slot` in the point memo and the slot's bounded
   /// per-region key list. Requires the writer lock.
@@ -419,6 +479,11 @@ class EndpointSession
   /// re-extraction as kEvictedRefetch.
   mutable std::unordered_set<uint64_t> evicted_fingerprints_;
   mutable size_t clock_hand_ = 0;
+  /// Hierarchical point-location index over the learned per-region
+  /// bounding boxes (nullptr when EngineConfig::use_region_index is off
+  /// or the cache is disabled). Shares cache_mutex_: stabbed under the
+  /// reader lock, mutated under the writer lock.
+  mutable std::unique_ptr<RegionIndex> index_;
 
   mutable StatCounters stats_;
 };

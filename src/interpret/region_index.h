@@ -1,0 +1,243 @@
+// RegionIndex: hierarchical point location over cached region bounding
+// boxes — the O(log n) replacement for the session cache's linear
+// candidate scan.
+//
+// ## The problem
+//
+// A production audit of one endpoint accumulates 10^5-10^6 cached
+// regions. EndpointSession answers "which cached region explains the API
+// output at x0" — and its candidate scan (argmax buckets + linear
+// fallback) evaluates every cached model, so lookup cost grows linearly
+// with the cache. This index answers the same question by point location:
+// each cached region carries an axis-aligned bounding box of the inputs
+// it is KNOWN to cover, and a stabbing query over those boxes returns the
+// few regions whose box contains x0.
+//
+// ## Why boxes are learned, not exact
+//
+// A cached region is a convex polytope of the hidden model, observed only
+// through the API: its true extent is unknowable black-box. What IS known
+// is every point the engine has validated inside it — the extraction
+// anchor with its final consistent hypercube (the solver certified the
+// model on probes drawn from it) and every later scan hit. The index
+// therefore keeps a LEARNED box per region: seeded with the anchor's
+// hypercube, grown (monotonically, under the cache's writer lock) each
+// time a point outside it validates against the region. Boxes
+// under-cover their polytope until traffic teaches them, and may overlap
+// or over-cover after unions — neither affects correctness, because the
+// caller validates every candidate with the exact match predicate and
+// falls back to the full scan when no candidate survives. The index
+// prunes; it never decides. That is what keeps it DECISION-INVISIBLE:
+// hit/miss outcomes and consumed query counts are bit-identical to the
+// linear reference scan on every request (asserted by the parity fuzz
+// tests), while repeat traffic — the reason a cache ever reaches 10^6
+// regions — stabs in logarithmic time.
+//
+// ## Structure
+//
+// Top level: the session's existing argmax-class partition. Regions are
+// filed under the class(es) they predict at their anchor, one FOREST per
+// class; a query stabs the forest matching argmax(y0) first — the bucket
+// that almost always holds the answer — then the remaining forests (the
+// class count is a small constant; a region spanning the decision
+// boundary is filed under every class it has served).
+//
+// Within a forest: Bentley's logarithmic method. Incremental k-d
+// insertion degrades to a linear spine under sorted insertion orders —
+// exactly what a bulk import or a sweep-shaped audit produces — so each
+// forest is a set of PERFECTLY BALANCED static k-d trees with
+// power-of-two-ish sizes, merged binary-counter style: an insert appends
+// a singleton tree, then merges the trailing trees while the penultimate
+// is no larger than the last, rebuilding the union as one median-split
+// balanced tree (leaves hold small region batches). Every region takes
+// part in O(log n) rebuilds over its lifetime (amortized O(log n) per
+// insert, insertion-order-independent), a forest holds O(log n) trees,
+// and a stabbing query descends only subtrees whose bound contains the
+// query point: O(log^2 n) node visits worst case, a few hundred at
+// 10^6 regions where the linear scan evaluates 10^6 models.
+//
+// Removals (second-chance eviction, ClearCache) erase the slot from its
+// leaf immediately; a tree that falls below half its built size is
+// rebuilt compactly, so dead space stays bounded. The session CHECKs
+// size() == cache size after every mutation (eviction/index coherence is
+// an abort, not a drift).
+//
+// ## Concurrency
+//
+// The index has no locks of its own: it is owned by EndpointSession and
+// shares the session's shared_mutex — Collect runs under the reader
+// lock (no interior mutation, safe concurrent readers), every mutator
+// runs under the writer lock the cache mutation already holds.
+
+#ifndef OPENAPI_INTERPRET_REGION_INDEX_H_
+#define OPENAPI_INTERPRET_REGION_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "linalg/vector_ops.h"
+
+namespace openapi::interpret {
+
+using linalg::Vec;
+
+class RegionIndex {
+ public:
+  /// `dim` is the input dimensionality of the boxes; `leaf_capacity` the
+  /// region batch size held by one k-d leaf.
+  explicit RegionIndex(size_t dim, size_t leaf_capacity = 8);
+
+  RegionIndex(const RegionIndex&) = delete;
+  RegionIndex& operator=(const RegionIndex&) = delete;
+
+  /// Registers `slot` with learned box [lo, hi] (componentwise). The slot
+  /// is not yet filed under any class forest — call File next; Collect
+  /// cannot return an unfiled slot. `slot` must not be present.
+  void Insert(size_t slot, const Vec& lo, const Vec& hi);
+
+  /// Files a present slot under class forest `bucket` (idempotent).
+  void File(size_t slot, size_t bucket);
+
+  /// Removes a present slot from every forest it is filed under.
+  void Remove(size_t slot);
+
+  /// Grows slot's box to cover x (monotone; ancestors refit expand-only).
+  void Expand(size_t slot, const Vec& x);
+
+  /// Grows slot's box to cover the whole box [lo, hi] — the union applied
+  /// when a second extraction of the same region certifies a new
+  /// hypercube.
+  void Expand(size_t slot, const Vec& lo, const Vec& hi);
+
+  /// Drops every slot and every tree.
+  void Clear();
+
+  /// Number of present slots. The session CHECKs this against its region
+  /// count after every cache mutation.
+  size_t size() const { return live_; }
+
+  bool contains(size_t slot) const {
+    return slot < entries_.size() && entries_[slot].present;
+  }
+
+  size_t dim() const { return dim_; }
+
+  /// Appends the slots whose learned box contains x, deduplicated, the
+  /// forest filed under `first_bucket` first, then the remaining forests
+  /// in ascending bucket order. Read-only (safe under a shared lock).
+  /// The result is a conservative candidate set: a slot whose box has not
+  /// yet learned to cover x is NOT returned — the caller's exact-scan
+  /// fallback covers that case and teaches the box.
+  void Collect(const Vec& x, size_t first_bucket,
+               std::vector<size_t>* out) const;
+
+  /// The two phases of Collect, split so the caller can validate the
+  /// `first_bucket` candidates (the common hit: the query predicts the
+  /// region's own argmax) before paying for the other C-1 forests.
+  /// CollectRest deduplicates against whatever is already in `out`.
+  void CollectBucket(const Vec& x, size_t bucket,
+                     std::vector<size_t>* out) const;
+  void CollectRest(const Vec& x, size_t exclude_bucket,
+                   std::vector<size_t>* out) const;
+
+  /// O(n) structural audit for tests: every present slot reachable from
+  /// exactly one leaf per filed bucket, node bounds containing their
+  /// subtree, tree live counts exact. Aborts via OPENAPI_CHECK on any
+  /// violation.
+  void CheckConsistent() const;
+
+  /// Diagnostics: number of balanced trees across all forests, and the
+  /// total node count (tests assert the logarithmic-method shape).
+  size_t tree_count() const;
+  size_t node_count() const;
+
+ private:
+  struct Node {
+    int32_t parent = -1;
+    int32_t left = -1;   // < 0: leaf
+    int32_t right = -1;
+    std::vector<uint32_t> slots;  // leaf payload
+  };
+
+  /// One balanced static k-d tree (a logarithmic-method rank). Node
+  /// bounds live in one flat array (`bounds[id * 2 * dim]` = lo then hi,
+  /// expand-only between rebuilds): a stab descent reads contiguous
+  /// cache lines instead of chasing two heap-allocated vectors per node
+  /// — at 10^6 regions the descent runs cold and the pointer chases,
+  /// not the comparisons, would dominate the lookup.
+  struct Tree {
+    std::vector<Node> nodes;     // nodes[0] is the root
+    std::vector<double> bounds;  // [id*2*dim, id*2*dim+dim) lo, then hi
+    size_t live = 0;             // slots currently stored
+    size_t built = 0;            // slots at the last (re)build
+  };
+
+  /// Where one slot lives inside one forest.
+  struct Location {
+    size_t bucket = 0;
+    Tree* tree = nullptr;
+    int32_t node = -1;
+  };
+
+  struct Entry {
+    std::vector<Location> locations;  // one per filed bucket
+    bool present = false;
+  };
+
+  using Forest = std::vector<std::unique_ptr<Tree>>;
+
+  // Flat-bounds accessors (the learned per-slot boxes live in
+  // entry_bounds_, same layout as Tree::bounds).
+  double* EntryLo(size_t slot) {
+    return entry_bounds_.data() + slot * 2 * dim_;
+  }
+  const double* EntryLo(size_t slot) const {
+    return entry_bounds_.data() + slot * 2 * dim_;
+  }
+  double* EntryHi(size_t slot) { return EntryLo(slot) + dim_; }
+  const double* EntryHi(size_t slot) const { return EntryLo(slot) + dim_; }
+  static double* NodeLo(Tree* tree, int32_t id, size_t dim) {
+    return tree->bounds.data() + static_cast<size_t>(id) * 2 * dim;
+  }
+
+  bool BoxContains(const double* lo, const double* hi, const Vec& x) const;
+  void ExpandBox(double* lo, double* hi, const double* add_lo,
+                 const double* add_hi) const;
+
+  /// Builds a balanced tree over `slots` by recursive median split on the
+  /// widest center spread; fills each stored slot's Location for
+  /// `bucket`.
+  std::unique_ptr<Tree> BuildTree(size_t bucket,
+                                  std::vector<uint32_t> slots);
+  int32_t BuildNode(Tree* tree, size_t bucket, uint32_t* slots,
+                    size_t count, int32_t parent);
+
+  /// Appends a singleton tree for `slot` to `bucket`'s forest, then
+  /// restores the binary-counter shape (merge trailing trees while the
+  /// penultimate is no larger than the last).
+  void InsertIntoForest(size_t bucket, size_t slot);
+
+  /// Collects the live slots of a tree (for merges and rebuilds).
+  static void AppendLiveSlots(const Tree& tree, std::vector<uint32_t>* out);
+
+  /// Refits bounds on the path from `node` to the root so they cover
+  /// [lo, hi]; stops early once a node already covers it.
+  void RefitUp(Tree* tree, int32_t node, const double* lo,
+               const double* hi) const;
+
+  void StabTree(const Tree& tree, const Vec& x,
+                std::vector<size_t>* out) const;
+
+  const size_t dim_;
+  const size_t leaf_capacity_;
+  size_t live_ = 0;
+  std::vector<Entry> entries_;         // indexed by slot
+  std::vector<double> entry_bounds_;   // slot -> flat learned box
+  std::map<size_t, Forest> forests_;  // ordered: deterministic scan order
+};
+
+}  // namespace openapi::interpret
+
+#endif  // OPENAPI_INTERPRET_REGION_INDEX_H_

@@ -1,0 +1,185 @@
+// Decision-invisibility of the region index (EngineConfig::
+// use_region_index): on every request the index leg must produce
+// BIT-IDENTICAL serving decisions to the reference scan legs — same
+// status, same cache_outcome, same consumed query count, same decision
+// features — under randomized traffic with repeats, nudges, evictions,
+// and interleaved ClearCache. Three sessions serve the same request
+// tape: index on, bucketed scan, plain linear scan. Requests run
+// sequentially with num_threads = 1 and stateless (seed, stream) RNG
+// derivation, so any divergence is a semantic difference in the lookup,
+// not scheduling noise.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "api/plm.h"
+#include "data/synthetic.h"
+#include "interpret/interpretation_engine.h"
+#include "lmt/lmt.h"
+#include "nn/plnn.h"
+#include "util/rng.h"
+
+namespace openapi::interpret {
+namespace {
+
+struct Leg {
+  const char* name;
+  InterpretationEngine engine;
+  std::shared_ptr<EndpointSession> session;
+
+  Leg(const char* n, const api::PredictionApi& api, size_t capacity,
+      bool use_index, bool bucketed)
+      : name(n), engine(MakeConfig(use_index, bucketed)) {
+    session = engine.OpenSession(api, capacity);
+  }
+
+  static EngineConfig MakeConfig(bool use_index, bool bucketed) {
+    EngineConfig config;
+    config.num_threads = 1;
+    config.use_region_index = use_index;
+    config.bucket_candidates = bucketed;
+    return config;
+  }
+};
+
+/// One step of the fuzz tape: a request (or a ClearCache marker) applied
+/// identically to every leg.
+struct Step {
+  bool clear_cache = false;
+  Vec x0;
+  size_t c = 0;
+};
+
+std::vector<Step> MakeTape(size_t n, size_t d, size_t num_classes,
+                           uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Step> tape;
+  std::vector<Vec> seen;
+  tape.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Step step;
+    const double roll = rng.Uniform(0.0, 1.0);
+    if (roll < 0.03 && i > 10) {
+      step.clear_cache = true;
+      tape.push_back(std::move(step));
+      continue;
+    }
+    if (roll < 0.35 && !seen.empty()) {
+      // Exact repeat of an earlier point: exercises the point memo.
+      step.x0 = seen[static_cast<size_t>(
+          rng.Uniform(0.0, static_cast<double>(seen.size())))];
+    } else if (roll < 0.70 && !seen.empty()) {
+      // Nudge of an earlier point: same region, fresh raw bits — the
+      // candidate-scan path where index/scan parity actually matters.
+      step.x0 = seen[static_cast<size_t>(
+          rng.Uniform(0.0, static_cast<double>(seen.size())))];
+      const size_t j = static_cast<size_t>(
+          rng.Uniform(0.0, static_cast<double>(d)));
+      step.x0[j] += rng.Uniform(-1e-7, 1e-7);
+    } else {
+      step.x0 = rng.UniformVector(d, 0.05, 0.95);
+      seen.push_back(step.x0);
+    }
+    step.c = static_cast<size_t>(
+        rng.Uniform(0.0, static_cast<double>(num_classes)));
+    tape.push_back(std::move(step));
+  }
+  return tape;
+}
+
+void RunTapeAndAssertParity(const api::PredictionApi& api,
+                            const std::vector<Step>& tape,
+                            size_t capacity, uint64_t seed) {
+  Leg indexed("indexed", api, capacity, /*use_index=*/true,
+              /*bucketed=*/true);
+  Leg bucketed("bucketed", api, capacity, /*use_index=*/false,
+               /*bucketed=*/true);
+  Leg linear("linear", api, capacity, /*use_index=*/false,
+             /*bucketed=*/false);
+  Leg* legs[] = {&indexed, &bucketed, &linear};
+  for (size_t i = 0; i < tape.size(); ++i) {
+    const Step& step = tape[i];
+    if (step.clear_cache) {
+      for (Leg* leg : legs) leg->session->ClearCache();
+      continue;
+    }
+    std::optional<EngineResponse> reference;
+    for (size_t l = 0; l < 3; ++l) {
+      EngineResponse response =
+          legs[l]->session->Interpret({step.x0, step.c, {}}, seed, i);
+      if (l == 0) {
+        reference.emplace(std::move(response));
+        continue;
+      }
+      // Bit-identical serving decisions, not approximately equal ones.
+      ASSERT_EQ(response.result.ok(), reference->result.ok())
+          << "step " << i << ": " << legs[l]->name << " vs indexed";
+      ASSERT_EQ(response.cache_outcome, reference->cache_outcome)
+          << "step " << i << ": " << legs[l]->name << " vs indexed";
+      ASSERT_EQ(response.queries, reference->queries)
+          << "step " << i << ": " << legs[l]->name << " vs indexed";
+      ASSERT_EQ(response.shrink_iterations, reference->shrink_iterations)
+          << "step " << i << ": " << legs[l]->name << " vs indexed";
+      if (reference->result.ok()) {
+        ASSERT_EQ(response.result->dc.size(), reference->result->dc.size());
+        for (size_t k = 0; k < reference->result->dc.size(); ++k) {
+          ASSERT_EQ(response.result->dc[k], reference->result->dc[k])
+              << "step " << i << " feature " << k;
+        }
+      }
+    }
+  }
+  // The per-request assertions imply equal aggregates; check anyway so a
+  // stats-accounting divergence cannot hide behind matching envelopes.
+  EngineStats a = indexed.session->stats();
+  for (Leg* leg : {&bucketed, &linear}) {
+    EngineStats b = leg->session->stats();
+    EXPECT_EQ(a.requests, b.requests) << leg->name;
+    EXPECT_EQ(a.point_memo_hits, b.point_memo_hits) << leg->name;
+    EXPECT_EQ(a.cache_hits, b.cache_hits) << leg->name;
+    EXPECT_EQ(a.cache_misses, b.cache_misses) << leg->name;
+    EXPECT_EQ(a.evictions, b.evictions) << leg->name;
+    EXPECT_EQ(a.failures, b.failures) << leg->name;
+    EXPECT_EQ(a.queries, b.queries) << leg->name;
+  }
+  // The tape must actually have exercised every decision class, or the
+  // parity proved nothing.
+  EXPECT_GT(a.point_memo_hits, 0u);
+  EXPECT_GT(a.cache_hits, 0u);
+  EXPECT_GT(a.cache_misses, 0u);
+  EXPECT_GT(a.evictions, 0u);
+}
+
+TEST(IndexParityFuzzTest, PlnnRandomTrafficWithEvictionsAndClears) {
+  // Irregular random polytopes from a ReLU net: regions of wildly
+  // different shapes and sizes, anchors scattered by traffic.
+  util::Rng net_rng(77);
+  nn::Plnn net({5, 9, 7, 3}, &net_rng);
+  api::PredictionApi api(&net);
+  auto tape = MakeTape(/*n=*/140, /*d=*/5, /*num_classes=*/3, /*seed=*/41);
+  RunTapeAndAssertParity(api, tape, /*capacity=*/6, /*seed=*/1234);
+}
+
+TEST(IndexParityFuzzTest, LmtRandomTrafficWithEvictionsAndClears) {
+  // Axis-aligned LMT leaves: large flat regions where many nudged points
+  // share one region — the workload where the index serves almost every
+  // request from its stab and the fallback scan must still agree.
+  util::Rng data_rng(5);
+  data::Dataset train =
+      data::GenerateGaussianBlobs(4, 3, 300, 0.1, &data_rng);
+  lmt::LmtConfig lmt_config;
+  lmt_config.min_split_size = 50;
+  lmt_config.max_depth = 3;
+  lmt_config.accuracy_threshold = 1.01;
+  lmt_config.leaf_config.max_iters = 60;
+  auto tree = lmt::LogisticModelTree::Fit(train, lmt_config);
+  api::PredictionApi api(&tree);
+  auto tape = MakeTape(/*n=*/140, /*d=*/4, /*num_classes=*/3, /*seed=*/43);
+  RunTapeAndAssertParity(api, tape, /*capacity=*/2, /*seed=*/999);
+}
+
+}  // namespace
+}  // namespace openapi::interpret

@@ -1,0 +1,454 @@
+// RegionIndex: structural unit tests (logarithmic-method shape, learned
+// box growth, removal/rebuild, brute-force stab parity) plus the
+// session-level integration contracts — ImportRegion warm starts, the
+// eviction/index coherence invariant under capacity pressure, and the
+// concurrent lookup/insert/evict/ClearCache test the ThreadSanitizer job
+// runs.
+
+#include "interpret/region_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "api/plm.h"
+#include "interpret/interpretation_engine.h"
+#include "util/rng.h"
+
+namespace openapi::interpret {
+namespace {
+
+Vec Box(double a, double b) { return Vec{a, b}; }
+
+/// Unit-cube box centered at (cx, cy) with half-edge r.
+struct TestBox {
+  Vec lo, hi;
+  TestBox(double cx, double cy, double r)
+      : lo(Box(cx - r, cy - r)), hi(Box(cx + r, cy + r)) {}
+};
+
+TEST(RegionIndexTest, CollectReturnsOnlyFiledContainingBoxes) {
+  RegionIndex index(/*dim=*/2);
+  TestBox a(0.25, 0.25, 0.1), b(0.75, 0.75, 0.1), c(0.25, 0.3, 0.2);
+  index.Insert(0, a.lo, a.hi);
+  index.Insert(1, b.lo, b.hi);
+  index.Insert(2, c.lo, c.hi);
+  index.File(0, /*bucket=*/0);
+  index.File(1, /*bucket=*/1);
+  // Slot 2 stays unfiled: Collect must not return it even though its box
+  // contains the query point.
+  std::vector<size_t> out;
+  index.Collect(Box(0.25, 0.25), /*first_bucket=*/0, &out);
+  EXPECT_EQ(out, std::vector<size_t>({0}));
+  index.File(2, /*bucket=*/0);
+  out.clear();
+  index.Collect(Box(0.25, 0.25), /*first_bucket=*/0, &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_TRUE(std::find(out.begin(), out.end(), 0) != out.end());
+  EXPECT_TRUE(std::find(out.begin(), out.end(), 2) != out.end());
+  out.clear();
+  index.Collect(Box(0.75, 0.75), /*first_bucket=*/0, &out);
+  EXPECT_EQ(out, std::vector<size_t>({1}));
+  index.CheckConsistent();
+}
+
+TEST(RegionIndexTest, FirstBucketForestIsStabbedFirst) {
+  RegionIndex index(/*dim=*/2);
+  TestBox shared(0.5, 0.5, 0.4);
+  index.Insert(0, shared.lo, shared.hi);
+  index.Insert(1, shared.lo, shared.hi);
+  index.File(0, /*bucket=*/3);
+  index.File(1, /*bucket=*/1);
+  std::vector<size_t> out;
+  index.Collect(Box(0.5, 0.5), /*first_bucket=*/3, &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 0u);  // bucket 3's forest first
+  out.clear();
+  index.Collect(Box(0.5, 0.5), /*first_bucket=*/1, &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 1u);
+}
+
+TEST(RegionIndexTest, MultiBucketFilingDeduplicatesAndRemovesEverywhere) {
+  RegionIndex index(/*dim=*/2);
+  TestBox a(0.5, 0.5, 0.25);
+  index.Insert(7, a.lo, a.hi);
+  index.File(7, 0);
+  index.File(7, 2);
+  index.File(7, 0);  // idempotent refile
+  std::vector<size_t> out;
+  index.Collect(Box(0.5, 0.5), /*first_bucket=*/0, &out);
+  EXPECT_EQ(out, std::vector<size_t>({7}));  // deduplicated across forests
+  index.CheckConsistent();
+  index.Remove(7);
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_FALSE(index.contains(7));
+  out.clear();
+  index.Collect(Box(0.5, 0.5), /*first_bucket=*/2, &out);
+  EXPECT_TRUE(out.empty());
+  index.CheckConsistent();
+}
+
+TEST(RegionIndexTest, ExpandTeachesTheBoxAndRefitsAncestors) {
+  RegionIndex index(/*dim=*/2);
+  // Enough boxes that the forest has internal nodes whose bounds must be
+  // refit when a leaf box grows.
+  for (size_t s = 0; s < 64; ++s) {
+    TestBox b(0.1 + 0.01 * static_cast<double>(s), 0.2, 0.004);
+    index.Insert(s, b.lo, b.hi);
+    index.File(s, 0);
+  }
+  Vec far = Box(0.9, 0.9);
+  std::vector<size_t> out;
+  index.Collect(far, 0, &out);
+  EXPECT_TRUE(out.empty());
+  index.Expand(17, far);
+  index.CheckConsistent();  // ancestor bounds must now cover the point
+  out.clear();
+  index.Collect(far, 0, &out);
+  EXPECT_EQ(out, std::vector<size_t>({17}));
+  // Box-union expand: slot 3 absorbs a whole certificate elsewhere.
+  TestBox cert(0.8, 0.1, 0.05);
+  index.Expand(3, cert.lo, cert.hi);
+  index.CheckConsistent();
+  out.clear();
+  index.Collect(Box(0.82, 0.12), 0, &out);
+  EXPECT_EQ(out, std::vector<size_t>({3}));
+}
+
+TEST(RegionIndexTest, SortedBulkInsertKeepsLogarithmicShape) {
+  // The degenerate case for naive incremental k-d insertion: anchors
+  // arrive in sorted order. The logarithmic method must keep the forest
+  // at O(log n) balanced trees regardless.
+  RegionIndex index(/*dim=*/2);
+  const size_t n = 1024;
+  for (size_t s = 0; s < n; ++s) {
+    const double cx = (static_cast<double>(s) + 0.5) / static_cast<double>(n);
+    TestBox b(cx, 0.5, 0.4 / static_cast<double>(n));
+    index.Insert(s, b.lo, b.hi);
+    index.File(s, s % 3);
+  }
+  index.CheckConsistent();
+  EXPECT_EQ(index.size(), n);
+  // Binary-counter shape: at most ~log2(n) trees per forest, 3 forests.
+  EXPECT_LE(index.tree_count(), 3 * 11u);
+  // Every box is disjoint on dim 0, so each stab returns exactly its cell.
+  std::vector<size_t> out;
+  for (size_t s = 0; s < n; s += 37) {
+    out.clear();
+    const double cx = (static_cast<double>(s) + 0.5) / static_cast<double>(n);
+    index.Collect(Box(cx, 0.5), s % 3, &out);
+    EXPECT_EQ(out, std::vector<size_t>({s}));
+  }
+}
+
+TEST(RegionIndexTest, RemovalRebuildsSparseTreesAndClearResets) {
+  RegionIndex index(/*dim=*/2);
+  const size_t n = 256;
+  for (size_t s = 0; s < n; ++s) {
+    TestBox b(0.001 * static_cast<double>(s), 0.5, 0.0004);
+    index.Insert(s, b.lo, b.hi);
+    index.File(s, 0);
+  }
+  const size_t nodes_full = index.node_count();
+  for (size_t s = 0; s < n; ++s) {
+    if (s % 4 != 0) index.Remove(s);  // drop 3/4 of the slots
+  }
+  index.CheckConsistent();
+  EXPECT_EQ(index.size(), n / 4);
+  // Sparse trees were rebuilt compactly: dead space is bounded.
+  EXPECT_LT(index.node_count(), nodes_full);
+  std::vector<size_t> out;
+  index.Collect(Box(0.001 * 64.0, 0.5), 0, &out);
+  EXPECT_EQ(out, std::vector<size_t>({64}));
+  index.Clear();
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_EQ(index.tree_count(), 0u);
+  out.clear();
+  index.Collect(Box(0.001 * 64.0, 0.5), 0, &out);
+  EXPECT_TRUE(out.empty());
+  index.CheckConsistent();
+}
+
+TEST(RegionIndexTest, RandomizedOpsMatchBruteForceStab) {
+  // Drive the index with a random op stream (insert / remove / expand /
+  // re-file) and after every batch compare Collect against a brute-force
+  // scan of the shadow boxes.
+  util::Rng rng(2024);
+  const size_t d = 3;
+  RegionIndex index(d);
+  struct Shadow {
+    Vec lo, hi;
+    std::set<size_t> buckets;
+    bool present = false;
+  };
+  std::vector<Shadow> shadow(512);
+  size_t next_slot = 0;
+  for (size_t round = 0; round < 40; ++round) {
+    for (size_t op = 0; op < 32; ++op) {
+      const double roll = rng.Uniform(0.0, 1.0);
+      if (roll < 0.5 && next_slot < shadow.size()) {
+        const size_t slot = next_slot++;
+        Vec center = rng.UniformVector(d, 0.1, 0.9);
+        const double r = rng.Uniform(0.01, 0.15);
+        Shadow& s = shadow[slot];
+        s.lo = center;
+        s.hi = center;
+        for (size_t j = 0; j < d; ++j) {
+          s.lo[j] -= r;
+          s.hi[j] += r;
+        }
+        s.present = true;
+        const size_t bucket = static_cast<size_t>(rng.Uniform(0.0, 4.0));
+        s.buckets = {bucket};
+        index.Insert(slot, s.lo, s.hi);
+        index.File(slot, bucket);
+      } else if (roll < 0.65 && next_slot > 0) {
+        const size_t slot =
+            static_cast<size_t>(rng.Uniform(0.0, 1.0) *
+                                static_cast<double>(next_slot));
+        if (shadow[slot].present) {
+          shadow[slot].present = false;
+          index.Remove(slot);
+        }
+      } else if (roll < 0.85 && next_slot > 0) {
+        const size_t slot =
+            static_cast<size_t>(rng.Uniform(0.0, 1.0) *
+                                static_cast<double>(next_slot));
+        if (shadow[slot].present) {
+          Vec x = rng.UniformVector(d, 0.0, 1.0);
+          index.Expand(slot, x);
+          Shadow& s = shadow[slot];
+          for (size_t j = 0; j < d; ++j) {
+            s.lo[j] = std::min(s.lo[j], x[j]);
+            s.hi[j] = std::max(s.hi[j], x[j]);
+          }
+        }
+      } else if (next_slot > 0) {
+        const size_t slot =
+            static_cast<size_t>(rng.Uniform(0.0, 1.0) *
+                                static_cast<double>(next_slot));
+        if (shadow[slot].present) {
+          const size_t bucket = static_cast<size_t>(rng.Uniform(0.0, 4.0));
+          index.File(slot, bucket);
+          shadow[slot].buckets.insert(bucket);
+        }
+      }
+    }
+    index.CheckConsistent();
+    size_t live = 0;
+    for (const Shadow& s : shadow) live += s.present ? 1 : 0;
+    ASSERT_EQ(index.size(), live);
+    for (size_t q = 0; q < 8; ++q) {
+      Vec x = rng.UniformVector(d, 0.0, 1.0);
+      std::vector<size_t> got;
+      index.Collect(x, q % 4, &got);
+      std::set<size_t> got_set(got.begin(), got.end());
+      ASSERT_EQ(got_set.size(), got.size()) << "Collect returned dupes";
+      std::set<size_t> want;
+      for (size_t slot = 0; slot < next_slot; ++slot) {
+        const Shadow& s = shadow[slot];
+        if (!s.present || s.buckets.empty()) continue;
+        bool inside = true;
+        for (size_t j = 0; j < d; ++j) {
+          inside = inside && s.lo[j] <= x[j] && x[j] <= s.hi[j];
+        }
+        if (inside) want.insert(slot);
+      }
+      ASSERT_EQ(got_set, want);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Session-level integration
+// ---------------------------------------------------------------------------
+
+/// k x k axis-aligned grid of locally linear cells over dims 0 and 1 —
+/// the same shape bench_scaling uses: each cell is a genuine region whose
+/// local model the test can also hand to ImportRegion.
+class GridPlm : public api::Plm {
+ public:
+  GridPlm(size_t d, size_t num_classes, size_t k, util::Rng* rng)
+      : d_(d), num_classes_(num_classes), k_(k) {
+    cells_.reserve(k * k);
+    for (size_t cell = 0; cell < k * k; ++cell) {
+      api::LocalLinearModel model;
+      model.weights = linalg::Matrix(d, num_classes);
+      for (size_t j = 0; j < d; ++j) {
+        for (size_t c = 0; c < num_classes; ++c) {
+          model.weights(j, c) = rng->Uniform(-0.5, 0.5);
+        }
+      }
+      model.bias = rng->UniformVector(num_classes, -0.5, 0.5);
+      model.bias[cell % num_classes] += 4.0;
+      cells_.push_back(std::move(model));
+    }
+  }
+
+  size_t dim() const override { return d_; }
+  size_t num_classes() const override { return num_classes_; }
+  Vec Predict(const Vec& x) const override {
+    return api::EvaluateLocalModel(cells_[CellOf(x)], x);
+  }
+
+  const api::LocalLinearModel& CellModel(size_t i, size_t j) const {
+    return cells_[i * k_ + j];
+  }
+  Vec CellCenter(size_t i, size_t j) const {
+    Vec x(d_, 0.5);
+    x[0] = (static_cast<double>(i) + 0.5) / static_cast<double>(k_);
+    x[1] = (static_cast<double>(j) + 0.5) / static_cast<double>(k_);
+    return x;
+  }
+  double CellHalfEdge() const { return 0.5 / static_cast<double>(k_); }
+
+ private:
+  size_t CellOf(const Vec& x) const {
+    auto axis = [this](double v) {
+      double scaled = v * static_cast<double>(k_);
+      if (scaled < 0.0) scaled = 0.0;
+      size_t idx = static_cast<size_t>(scaled);
+      return idx >= k_ ? k_ - 1 : idx;
+    };
+    return axis(x[0]) * k_ + axis(x[1]);
+  }
+
+  size_t d_, num_classes_, k_;
+  std::vector<api::LocalLinearModel> cells_;
+};
+
+TEST(RegionIndexSessionTest, ImportRegionWarmStartServesWithoutExtraction) {
+  util::Rng model_rng(91);
+  GridPlm grid(/*d=*/4, /*num_classes=*/3, /*k=*/8, &model_rng);
+  api::PredictionApi api(&grid);
+  EngineConfig config;
+  config.num_threads = 1;
+  InterpretationEngine engine(config);
+  auto session = engine.OpenSession(api);
+  for (size_t i = 0; i < 8; ++i) {
+    for (size_t j = 0; j < 8; ++j) {
+      const size_t slot = session->ImportRegion(
+          grid.CellModel(i, j), grid.CellCenter(i, j), grid.CellHalfEdge());
+      ASSERT_NE(slot, static_cast<size_t>(-1));
+    }
+  }
+  EXPECT_EQ(session->cache_size(), 64u);
+
+  // Anchor repeat: point memo, zero queries.
+  auto memo = session->Interpret({grid.CellCenter(2, 5), 1, {}}, /*seed=*/7);
+  ASSERT_TRUE(memo.result.ok());
+  EXPECT_EQ(memo.cache_outcome, CacheOutcome::kPointMemo);
+  EXPECT_EQ(memo.queries, 0u);
+
+  // Fresh point inside an imported cell (still within the certified
+  // hypercube): a 2-query validated hit, no extraction.
+  Vec x = grid.CellCenter(3, 3);
+  x[0] += 0.3 * grid.CellHalfEdge();
+  x[2] += 0.01;
+  auto hit = session->Interpret({x, 0, {}}, /*seed=*/8, /*stream=*/1);
+  ASSERT_TRUE(hit.result.ok());
+  EXPECT_EQ(hit.cache_outcome, CacheOutcome::kHit);
+  EXPECT_EQ(hit.queries, 2u);
+  EXPECT_EQ(session->stats().cache_misses, 0u);
+}
+
+TEST(RegionIndexSessionTest, ImportRegionReturnsSentinelWhenCacheDisabled) {
+  util::Rng model_rng(92);
+  GridPlm grid(4, 3, 4, &model_rng);
+  api::PredictionApi api(&grid);
+  EngineConfig config;
+  config.use_region_cache = false;
+  InterpretationEngine engine(config);
+  auto session = engine.OpenSession(api);
+  EXPECT_EQ(session->ImportRegion(grid.CellModel(0, 0), grid.CellCenter(0, 0),
+                                  grid.CellHalfEdge()),
+            static_cast<size_t>(-1));
+  EXPECT_EQ(session->cache_size(), 0u);
+}
+
+TEST(RegionIndexSessionTest, EvictionKeepsIndexCoherentUnderPressure) {
+  // Capacity far below the region count: every insert past capacity
+  // evicts. The session CHECKs index size == cache size after each
+  // mutation, so mere survival of this loop is the invariant; the
+  // assertions confirm the cache still answers correctly afterwards.
+  util::Rng model_rng(93);
+  GridPlm grid(/*d=*/4, /*num_classes=*/3, /*k=*/10, &model_rng);
+  api::PredictionApi api(&grid);
+  EngineConfig config;
+  config.num_threads = 1;
+  InterpretationEngine engine(config);
+  auto session = engine.OpenSession(api, /*cache_capacity=*/16);
+  size_t stream = 0;
+  for (size_t pass = 0; pass < 2; ++pass) {
+    for (size_t i = 0; i < 10; ++i) {
+      for (size_t j = 0; j < 10; ++j) {
+        auto response =
+            session->Interpret({grid.CellCenter(i, j), 0, {}}, 17, stream++);
+        ASSERT_TRUE(response.result.ok())
+            << response.result.status().ToString();
+      }
+    }
+  }
+  EXPECT_LE(session->cache_size(), 16u);
+  EXPECT_GT(session->stats().evictions, 0u);
+  // A resident region still validates via the index after the churn.
+  auto stats_before = session->stats();
+  Vec x = grid.CellCenter(9, 9);
+  x[0] -= 1e-5;
+  auto response = session->Interpret({x, 0, {}}, 17, stream++);
+  ASSERT_TRUE(response.result.ok());
+  EXPECT_EQ(response.cache_outcome, CacheOutcome::kHit);
+  (void)stats_before;
+}
+
+TEST(RegionIndexSessionTest, ConcurrentLookupsInsertsEvictionsAndClears) {
+  // The ThreadSanitizer target: hammer one session from many threads with
+  // lookups (shared-lock index stabs), extractions (writer-lock inserts +
+  // evictions at tiny capacity), imports, and periodic ClearCache calls.
+  util::Rng model_rng(94);
+  GridPlm grid(/*d=*/4, /*num_classes=*/3, /*k=*/12, &model_rng);
+  api::PredictionApi api(&grid);
+  EngineConfig config;
+  config.num_threads = 4;
+  InterpretationEngine engine(config);
+  auto session = engine.OpenSession(api, /*cache_capacity=*/24);
+  std::atomic<size_t> failures{0};
+  const size_t kThreads = 6;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      util::Rng rng(1000 + t);
+      for (size_t iter = 0; iter < 60; ++iter) {
+        const size_t i = static_cast<size_t>(rng.Uniform(0.0, 12.0));
+        const size_t j = static_cast<size_t>(rng.Uniform(0.0, 12.0));
+        if (t == 0 && iter % 20 == 10) {
+          session->ClearCache();
+          continue;
+        }
+        if (t == 1 && iter % 7 == 3) {
+          session->ImportRegion(grid.CellModel(i, j), grid.CellCenter(i, j),
+                                grid.CellHalfEdge());
+          continue;
+        }
+        Vec x = grid.CellCenter(i, j);
+        x[0] += rng.Uniform(-0.3, 0.3) * grid.CellHalfEdge();
+        auto response =
+            session->Interpret({x, iter % 3, {}}, 29, t * 1000 + iter);
+        if (!response.result.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_LE(session->cache_size(), 24u);
+}
+
+}  // namespace
+}  // namespace openapi::interpret
