@@ -1,8 +1,46 @@
 #!/usr/bin/env bash
-# Tier-1 verification: configure, build, run the full test suite.
+# Tier-1 verification plus the CI correctness matrix, runnable locally.
+#
+#   scripts/check.sh            # tier-1: configure, build, full ctest
+#   scripts/check.sh --lint     # invariant linter + its selftest only
+#   scripts/check.sh --asan     # ASan+UBSan build, full ctest
+#   scripts/check.sh --tsan     # TSan build, concurrent-labeled tests
+#
+# Each mode mirrors its CI job exactly (same OPENAPI_SANITIZE value, same
+# ctest selection), so a green local run predicts a green matrix leg.
+# Sanitizer builds use their own build directories and never disturb the
+# primary build/.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -S .
-cmake --build build -j
-cd build && ctest --output-on-failure -j
+mode="${1:-}"
+case "$mode" in
+  "")
+    cmake -B build -S .
+    cmake --build build -j
+    cd build && ctest --output-on-failure -j
+    ;;
+  --lint)
+    python3 scripts/lint_invariants.py
+    python3 scripts/lint_invariants_test.py
+    ;;
+  --asan)
+    cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DOPENAPI_SANITIZE=address,undefined
+    cmake --build build-asan -j
+    cd build-asan && ctest --output-on-failure -j
+    ;;
+  --tsan)
+    cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DOPENAPI_SANITIZE=thread
+    cmake --build build-tsan -j
+    # Concurrent tests self-select via their in-file OPENAPI_TEST_LABELS
+    # marker (enforced by lint_invariants.py), so this list never goes
+    # stale.
+    cd build-tsan && ctest -L concurrent --output-on-failure -j 2
+    ;;
+  *)
+    echo "usage: $0 [--lint|--asan|--tsan]" >&2
+    exit 2
+    ;;
+esac

@@ -1,0 +1,287 @@
+#!/usr/bin/env python3
+"""Unit tests for lint_invariants.py: every rule must fire on a seeded
+violation and stay silent on the compliant counterpart. Run directly or
+via ctest (the `lint_selftest` test)."""
+
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import lint_invariants as lint  # noqa: E402
+
+
+def run_on_tree(files: dict) -> list:
+    """Materializes {relpath: content} in a temp dir and lints it.
+    Returns the violations list."""
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        for rel, content in files.items():
+            path = root / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(content)
+        return lint.lint(lint.collect_files(root))
+
+
+def rule_ids(violations) -> set:
+    return {v.rule for v in violations}
+
+
+class StripTest(unittest.TestCase):
+    def test_strips_comments_and_strings_preserving_lines(self):
+        src = ('int a; // std::mutex in a comment\n'
+               '/* std::lock_guard\n   spanning lines */\n'
+               'const char* s = "std::mutex";\n'
+               "char c = 'x';\n")
+        stripped = lint.strip_comments_and_strings(src)
+        self.assertNotIn("std::mutex", stripped)
+        self.assertNotIn("std::lock_guard", stripped)
+        self.assertEqual(src.count("\n"), stripped.count("\n"))
+        self.assertIn("int a;", stripped)
+
+    def test_escaped_quote_does_not_end_string(self):
+        src = 'const char* s = "a\\"b std::mutex";\nint x;\n'
+        stripped = lint.strip_comments_and_strings(src)
+        self.assertNotIn("std::mutex", stripped)
+        self.assertIn("int x;", stripped)
+
+
+class RawSyncPrimitiveTest(unittest.TestCase):
+    def test_fires_on_std_mutex_member(self):
+        v = run_on_tree({
+            "src/foo/bar.h": "struct S { std::mutex mu_; };\n"})
+        self.assertIn("raw-sync-primitive", rule_ids(v))
+
+    def test_fires_on_lock_guard(self):
+        v = run_on_tree({
+            "src/foo/bar.cc":
+            "void F() { std::lock_guard<std::mutex> l(m); }\n"})
+        self.assertIn("raw-sync-primitive", rule_ids(v))
+
+    def test_mutex_wrapper_itself_is_exempt(self):
+        v = run_on_tree({
+            "src/util/mutex.h": "class Mutex { std::mutex mu_; };\n"})
+        self.assertNotIn("raw-sync-primitive", rule_ids(v))
+
+    def test_comment_mention_is_fine(self):
+        v = run_on_tree({
+            "src/foo/bar.h": "// std::mutex is invisible to the TSA\n"})
+        self.assertNotIn("raw-sync-primitive", rule_ids(v))
+
+    def test_tests_dir_may_use_std_threads(self):
+        v = run_on_tree({
+            "tests/x_test.cc":
+            "// OPENAPI_TEST_LABELS: concurrent\n"
+            "#include <thread>\nstd::thread t;\n"})
+        self.assertNotIn("raw-sync-primitive", rule_ids(v))
+
+
+class ManualLockCallTest(unittest.TestCase):
+    def test_fires_on_manual_lock(self):
+        v = run_on_tree({
+            "src/foo/bar.cc": "void F() { mu_.lock(); mu_.unlock(); }\n"})
+        self.assertIn("manual-lock-call", rule_ids(v))
+
+    def test_fires_on_lock_shared(self):
+        v = run_on_tree({
+            "src/foo/bar.cc": "void F() { mu_.lock_shared(); }\n"})
+        self.assertIn("manual-lock-call", rule_ids(v))
+
+    def test_raii_guard_is_fine(self):
+        v = run_on_tree({
+            "src/foo/bar.cc": "void F() { util::MutexLock lock(mu_); }\n"})
+        self.assertNotIn("manual-lock-call", rule_ids(v))
+
+
+class LockedRequiresTest(unittest.TestCase):
+    def test_fires_on_unannotated_locked_helper(self):
+        v = run_on_tree({
+            "src/foo/bar.h": "class C { void EvictOneLocked() const; };\n"})
+        self.assertIn("locked-requires", rule_ids(v))
+
+    def test_annotated_declaration_is_fine(self):
+        v = run_on_tree({
+            "src/foo/bar.h":
+            "class C {\n"
+            "  void EvictOneLocked() const REQUIRES(mutex_);\n"
+            "};\n"})
+        self.assertNotIn("locked-requires", rule_ids(v))
+
+    def test_call_site_resolved_by_annotated_declaration_elsewhere(self):
+        v = run_on_tree({
+            "src/foo/bar.h":
+            "class C { void DropLocked() REQUIRES(mutex_); };\n",
+            "src/foo/bar.cc": "void C::Clear() { DropLocked(); }\n"})
+        self.assertNotIn("locked-requires", rule_ids(v))
+
+    def test_requires_shared_counts(self):
+        v = run_on_tree({
+            "src/foo/bar.h":
+            "class C { size_t SizeLocked() REQUIRES_SHARED(mutex_); };\n"})
+        self.assertNotIn("locked-requires", rule_ids(v))
+
+
+class UnannotatedMutexTest(unittest.TestCase):
+    def test_fires_on_mutex_guarding_nothing(self):
+        v = run_on_tree({
+            "src/foo/bar.h":
+            "class C { util::Mutex mutex_; int x_ = 0; };\n"})
+        self.assertIn("unannotated-mutex", rule_ids(v))
+
+    def test_guarded_by_reference_satisfies(self):
+        v = run_on_tree({
+            "src/foo/bar.h":
+            "class C {\n"
+            "  util::Mutex mutex_;\n"
+            "  int x_ GUARDED_BY(mutex_) = 0;\n"
+            "};\n"})
+        self.assertNotIn("unannotated-mutex", rule_ids(v))
+
+    def test_shared_mutex_with_requires_satisfies(self):
+        v = run_on_tree({
+            "src/foo/bar.h":
+            "class C {\n"
+            "  mutable util::SharedMutex cache_mutex_;\n"
+            "  void DropLocked() REQUIRES(cache_mutex_);\n"
+            "};\n"})
+        self.assertNotIn("unannotated-mutex", rule_ids(v))
+
+
+class FpContractTest(unittest.TestCase):
+    CMAKE_OK = "add_compile_options(-ffp-contract=off)\n"
+
+    def test_fires_on_fma_in_linalg(self):
+        v = run_on_tree({
+            "CMakeLists.txt": self.CMAKE_OK,
+            "src/linalg/kernels.cc":
+            "double F(double a, double b, double c) "
+            "{ return std::fma(a, b, c); }\n"})
+        self.assertIn("fp-contract", rule_ids(v))
+
+    def test_fires_on_fp_contract_pragma(self):
+        v = run_on_tree({
+            "CMakeLists.txt": self.CMAKE_OK,
+            "src/linalg/kernels.cc": "#pragma STDC FP_CONTRACT ON\n"})
+        self.assertIn("fp-contract", rule_ids(v))
+
+    def test_fma_outside_linalg_is_fine(self):
+        v = run_on_tree({
+            "CMakeLists.txt": self.CMAKE_OK,
+            "src/eval/metrics.cc": "double d = std::fma(a, b, c);\n"})
+        self.assertNotIn("fp-contract", rule_ids(v))
+
+    def test_fires_on_fast_math_in_build_file(self):
+        v = run_on_tree({
+            "CMakeLists.txt":
+            self.CMAKE_OK + "add_compile_options(-ffast-math)\n"})
+        self.assertIn("fp-contract", rule_ids(v))
+
+    def test_fires_when_root_cmake_drops_contract_off(self):
+        v = run_on_tree({
+            "CMakeLists.txt": "project(x)\n"})
+        self.assertIn("fp-contract", rule_ids(v))
+
+
+class RngDisciplineTest(unittest.TestCase):
+    def test_fires_on_rand(self):
+        v = run_on_tree({
+            "src/foo/bar.cc": "int r = rand() % 7;\n"})
+        self.assertIn("rng-discipline", rule_ids(v))
+
+    def test_fires_on_random_device(self):
+        v = run_on_tree({
+            "src/foo/bar.cc": "std::random_device rd;\n"})
+        self.assertIn("rng-discipline", rule_ids(v))
+
+    def test_rng_header_exempt(self):
+        v = run_on_tree({
+            "src/util/rng.h": "// could seed from std::random_device\n"
+                              "std::random_device rd;\n"})
+        self.assertNotIn("rng-discipline", rule_ids(v))
+
+    def test_util_rng_usage_is_fine(self):
+        v = run_on_tree({
+            "src/foo/bar.cc": "util::Rng rng(seed); rng.Uniform(0, 1);\n"})
+        self.assertNotIn("rng-discipline", rule_ids(v))
+
+
+class CheckMacroSourceTest(unittest.TestCase):
+    def test_fires_on_local_check_define(self):
+        v = run_on_tree({
+            "src/foo/bar.h": "#define MY_CHECK(x) ((void)0)\n"})
+        self.assertIn("check-macro-source", rule_ids(v))
+
+    def test_fires_on_cassert(self):
+        v = run_on_tree({
+            "src/foo/bar.cc": "#include <cassert>\nvoid F() "
+                              "{ assert(1 == 1); }\n"})
+        self.assertIn("check-macro-source", rule_ids(v))
+
+    def test_static_assert_is_fine(self):
+        v = run_on_tree({
+            "src/foo/bar.h": "static_assert(sizeof(int) == 4);\n"})
+        self.assertNotIn("check-macro-source", rule_ids(v))
+
+    def test_check_header_exempt(self):
+        v = run_on_tree({
+            "src/util/check.h": "#define OPENAPI_CHECK(c) ...\n"})
+        self.assertNotIn("check-macro-source", rule_ids(v))
+
+
+class ConcurrentTestLabelTest(unittest.TestCase):
+    def test_fires_on_unlabeled_thread_test(self):
+        v = run_on_tree({
+            "tests/foo_test.cc":
+            "#include <thread>\nTEST(F, T) { std::thread t([]{}); }\n"})
+        self.assertIn("concurrent-test-label", rule_ids(v))
+
+    def test_marker_satisfies(self):
+        v = run_on_tree({
+            "tests/foo_test.cc":
+            "// OPENAPI_TEST_LABELS: concurrent\n"
+            "#include <thread>\nTEST(F, T) { std::thread t([]{}); }\n"})
+        self.assertNotIn("concurrent-test-label", rule_ids(v))
+
+    def test_sequential_test_needs_no_marker(self):
+        v = run_on_tree({
+            "tests/foo_test.cc": "TEST(F, T) { EXPECT_EQ(1, 1); }\n"})
+        self.assertNotIn("concurrent-test-label", rule_ids(v))
+
+    def test_atomic_usage_counts_as_concurrent(self):
+        v = run_on_tree({
+            "tests/foo_test.cc":
+            "TEST(F, T) { std::atomic<int> n{0}; }\n"})
+        self.assertIn("concurrent-test-label", rule_ids(v))
+
+
+class CleanTreeTest(unittest.TestCase):
+    def test_representative_clean_tree_passes(self):
+        v = run_on_tree({
+            "CMakeLists.txt": "add_compile_options(-ffp-contract=off)\n",
+            "src/util/mutex.h":
+            "class Mutex { std::mutex mu_; };\n",
+            "src/foo/engine.h":
+            "class E {\n"
+            "  mutable util::SharedMutex cache_mutex_;\n"
+            "  int cache_ GUARDED_BY(cache_mutex_) = 0;\n"
+            "  void EvictLocked() REQUIRES(cache_mutex_);\n"
+            "};\n",
+            "src/foo/engine.cc":
+            "void E::Clear() { util::WriterMutexLock l(cache_mutex_); "
+            "EvictLocked(); }\n",
+            "tests/engine_test.cc":
+            "// OPENAPI_TEST_LABELS: concurrent\n"
+            "#include <thread>\nTEST(E, T) { std::thread t([]{}); }\n"})
+        self.assertEqual([], [str(x) for x in v])
+
+    def test_violation_reports_file_and_line(self):
+        v = run_on_tree({
+            "src/foo/bar.cc": "int a;\nint r = rand();\n"})
+        self.assertEqual(1, len(v))
+        self.assertEqual("src/foo/bar.cc", v[0].rel)
+        self.assertEqual(2, v[0].line)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -85,7 +85,13 @@ class ApiReplicaSet : public PredictionApi {
   /// replica.
   static constexpr size_t kTargetShardRows = 64;
 
+  /// Immutable after construction (built in the ctor, never resized):
+  /// read lock-free by every routing path.
   std::vector<std::unique_ptr<PredictionApi>> replicas_;
+  /// Lock-free routing ticket: fetch_add assigns each single-sample
+  /// Predict a unique monotone ticket, so concurrent singles spread
+  /// round-robin without a lock. Relaxed: routing needs no ordering,
+  /// only uniqueness. Reset only by ResetNoiseStream (test replays).
   mutable std::atomic<uint64_t> round_robin_{0};
 };
 

@@ -15,6 +15,11 @@ void LatencyEstimate::Record(size_t rows, double seconds, double alpha) {
   // estimate (1 ps/row is indistinguishable from free either way).
   const double per_row =
       std::max(seconds / static_cast<double>(rows), 1e-12);
+  // CAS loop: fold against the value current at commit time. On failure
+  // compare_exchange_weak reloads `current`, so the fold is recomputed
+  // against the racing writer's result — every observation lands exactly
+  // once, in some serialization order (see the protocol note in the
+  // header).
   double current = seconds_per_row_.load(std::memory_order_relaxed);
   double next;
   do {

@@ -44,6 +44,35 @@ namespace openapi::api {
 /// One estimate lives on every PredictionApi (an ApiReplicaSet carries a
 /// single set-level estimate, which is the cost a dispatcher actually
 /// pays per row through the set).
+///
+/// ## Lock-free protocol
+///
+/// The estimate sits on the hot probe path — every chunk of every
+/// concurrent request records into it — so it takes no lock and carries
+/// no GUARDED_BY capability. Its correctness argument, since the
+/// thread-safety analysis cannot state it, is spelled out here and
+/// exercised by the concurrent-mutation tests (tests/api_latency_test.cc,
+/// run under TSan in CI):
+///
+///   * `seconds_per_row_` is a single atomic double updated by a CAS
+///     loop: each Record folds its observation against the value CURRENT
+///     at commit time, so concurrent Records serialize into SOME order
+///     and every observation is folded exactly once — none is lost, no
+///     torn read is possible. The fold order between racing Records is
+///     unspecified; EWMA is order-sensitive in principle, but any
+///     interleaving is a valid latency history, which is all an estimate
+///     seeded from wall-clock timings can promise.
+///   * `samples_` is a separate relaxed counter bumped after the CAS
+///     commits. Readers may observe it lagging the estimate by in-flight
+///     Records; nothing couples the two — samples() is diagnostics, the
+///     dispatcher plans only off seconds_per_row().
+///   * All orderings are relaxed: the estimate is ADVISORY (it sizes
+///     chunks; EnforceRequestOptions re-checks real clocks before every
+///     dispatch), so stale reads cost at most one conservatively sized
+///     chunk, never correctness.
+///   * Reset() is not atomic with respect to concurrent Records (a racing
+///     Record may land after the store and re-seed the estimate); it is a
+///     test/bench hook, not a serving-path operation.
 class LatencyEstimate {
  public:
   /// Folds one observation into the EWMA: a batch of `rows` rows took
@@ -149,10 +178,16 @@ class PredictionApi {
   /// Applies noise (stream = `ticket`) then rounding to one prediction.
   void PostProcess(Vec* y, uint64_t ticket) const;
 
-  const Plm* model_;
+  const Plm* model_;  // immutable after construction: read lock-free
   int round_digits_;
   double noise_stddev_;
   uint64_t noise_seed_;
+  /// Lock-free accounting: one fetch_add claims a contiguous ticket /
+  /// query-count range (ReserveBatch), so concurrent batches get disjoint
+  /// noise streams and the counter equals the exact number of samples
+  /// served, with no lock on the query path. Relaxed ordering suffices:
+  /// each sample's noise depends only on its own ticket value, never on
+  /// cross-thread data published alongside it.
   mutable std::atomic<uint64_t> noise_ticket_{0};
   mutable std::atomic<uint64_t> query_count_{0};
   mutable LatencyEstimate row_latency_;

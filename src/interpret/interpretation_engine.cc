@@ -44,10 +44,10 @@ std::vector<CoreParameters> PairsFromModel(const api::LocalLinearModel& model,
 #endif
 std::optional<SessionStream::Item> SessionStream::Next() {
   if (shared_ == nullptr || delivered_ == total_) return std::nullopt;
-  std::unique_lock<std::mutex> lock(shared_->mutex);
+  util::MutexLock lock(shared_->mutex);
   // delivered_ < total_, so an undelivered item is either queued already
   // or still running on the pool and will be queued when it finishes.
-  shared_->ready.wait(lock, [this] { return !shared_->completed.empty(); });
+  while (shared_->completed.empty()) shared_->ready.Wait(shared_->mutex);
   std::optional<Item> item;
   item.emplace(std::move(shared_->completed.front()));
   shared_->completed.pop_front();
@@ -130,7 +130,7 @@ size_t EndpointSession::FindMatchingRegion(const Vec& x0, const Vec& y0,
                                            const Vec& probe,
                                            const Vec& y_probe,
                                            size_t argmax) const {
-  std::shared_lock<std::shared_mutex> lock(cache_mutex_);
+  util::ReaderMutexLock lock(cache_mutex_);
   if (index_ != nullptr) {
     // Point location: stab the learned boxes and validate each candidate
     // with the exact predicate. Boxes only cover what traffic has
@@ -312,7 +312,7 @@ size_t EndpointSession::InsertRegion(api::LocalLinearModel model,
                                      uint64_t fingerprint, const Vec& x0,
                                      size_t argmax, double edge_length,
                                      CacheOutcome* outcome) const {
-  std::unique_lock<std::shared_mutex> lock(cache_mutex_);
+  util::WriterMutexLock lock(cache_mutex_);
   // The solver certified the model on probes drawn from the final
   // consistent hypercube [x0 - edge, x0 + edge] per dimension — the
   // region's learned box starts as exactly that certificate.
@@ -376,7 +376,7 @@ Result<Interpretation> EndpointSession::InterpretCached(
   //    costs zero API queries.
   const PointKey key = PointKeyOf(x0);
   {
-    std::shared_lock<std::shared_mutex> lock(cache_mutex_);
+    util::ReaderMutexLock lock(cache_mutex_);
     auto it = point_memo_.find(key);
     if (it != point_memo_.end()) {
       // The hit bump is an atomic on a mutable container: safe under the
@@ -429,7 +429,7 @@ Result<Interpretation> EndpointSession::InterpretCached(
     std::optional<api::LocalLinearModel> model;
     uint64_t fingerprint = 0;
     {
-      std::shared_lock<std::shared_mutex> lock(cache_mutex_);
+      util::ReaderMutexLock lock(cache_mutex_);
       if (slot < regions_.size()) {
         fingerprint = regions_[slot].fingerprint;
         model = regions_[slot].model;
@@ -443,7 +443,7 @@ Result<Interpretation> EndpointSession::InterpretCached(
         // the decision boundary), so the next same-side request hits the
         // bucket pass. The fingerprint check keeps a refilled slot from
         // poisoning the memo.
-        std::unique_lock<std::shared_mutex> lock(cache_mutex_);
+        util::WriterMutexLock lock(cache_mutex_);
         if (slot < regions_.size() &&
             regions_[slot].fingerprint == fingerprint) {
           FilePointLocked(key, slot);
@@ -640,11 +640,11 @@ SessionStream EndpointSession::InterpretStream(
           self->Interpret(shared->requests[i], seed, /*stream=*/i);
       response.latency_ms = queue_timer.ElapsedMillis();
       {
-        std::lock_guard<std::mutex> lock(shared->mutex);
+        util::MutexLock lock(shared->mutex);
         shared->completed.push_back(
             SessionStream::Item{i, std::move(response)});
       }
-      shared->ready.notify_all();
+      shared->ready.NotifyAll();
       engine->EndAsyncTask();
     });
   }
@@ -652,7 +652,7 @@ SessionStream EndpointSession::InterpretStream(
 }
 
 size_t EndpointSession::cache_size() const {
-  std::shared_lock<std::shared_mutex> lock(cache_mutex_);
+  util::ReaderMutexLock lock(cache_mutex_);
   return regions_.size();
 }
 
@@ -661,7 +661,7 @@ EngineStats EndpointSession::stats() const { return Snapshot(stats_); }
 void EndpointSession::ResetStats() const { Reset(stats_); }
 
 void EndpointSession::ClearCache() const {
-  std::unique_lock<std::shared_mutex> lock(cache_mutex_);
+  util::WriterMutexLock lock(cache_mutex_);
   regions_.clear();
   by_fingerprint_.clear();
   by_argmax_.clear();
@@ -691,12 +691,12 @@ InterpretationEngine::~InterpretationEngine() {
   // Drain async work that still references this engine. Tasks on the
   // shared pool outlive owned infrastructure, so this must come first;
   // the owned pool (if any) additionally drains in its own destructor.
-  std::unique_lock<std::mutex> lock(async_mutex_);
-  async_idle_.wait(lock, [this] { return async_outstanding_ == 0; });
+  util::MutexLock lock(async_mutex_);
+  while (async_outstanding_ != 0) async_idle_.Wait(async_mutex_);
 }
 
 SolverWorkspace* InterpretationEngine::AcquireWorkspace() const {
-  std::lock_guard<std::mutex> lock(workspace_mutex_);
+  util::MutexLock lock(workspace_mutex_);
   if (!free_workspaces_.empty()) {
     SolverWorkspace* workspace = free_workspaces_.back();
     free_workspaces_.pop_back();
@@ -713,7 +713,7 @@ void InterpretationEngine::ReleaseWorkspace(
     SolverWorkspace* workspace) const {
   // Sizes reset, capacity kept: the next request regrows nothing.
   workspace->Clear();
-  std::lock_guard<std::mutex> lock(workspace_mutex_);
+  util::MutexLock lock(workspace_mutex_);
   for (SolverWorkspace* free_workspace : free_workspaces_) {
     // A workspace already on the free list being released again means
     // two requests held it concurrently — corruption, not a recoverable
@@ -724,18 +724,18 @@ void InterpretationEngine::ReleaseWorkspace(
 }
 
 size_t InterpretationEngine::workspace_pool_size() const {
-  std::lock_guard<std::mutex> lock(workspace_mutex_);
+  util::MutexLock lock(workspace_mutex_);
   return workspaces_.size();
 }
 
 void InterpretationEngine::BeginAsyncTask() const {
-  std::lock_guard<std::mutex> lock(async_mutex_);
+  util::MutexLock lock(async_mutex_);
   ++async_outstanding_;
 }
 
 void InterpretationEngine::EndAsyncTask() const {
-  std::lock_guard<std::mutex> lock(async_mutex_);
-  if (--async_outstanding_ == 0) async_idle_.notify_all();
+  util::MutexLock lock(async_mutex_);
+  if (--async_outstanding_ == 0) async_idle_.NotifyAll();
 }
 
 std::shared_ptr<EndpointSession> InterpretationEngine::OpenSession(

@@ -115,14 +115,11 @@
 #define OPENAPI_INTERPRET_INTERPRETATION_ENGINE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -131,6 +128,8 @@
 #include "interpret/openapi_method.h"
 #include "interpret/region_index.h"
 #include "interpret/request_options.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace openapi::interpret {
@@ -258,10 +257,12 @@ class SessionStream {
   friend class EndpointSession;
 
   struct Shared {
-    std::mutex mutex;
-    std::condition_variable ready;
-    std::deque<Item> completed;
-    std::vector<EngineRequest> requests;  // stable storage for workers
+    util::Mutex mutex;
+    util::CondVar ready;
+    std::deque<Item> completed GUARDED_BY(mutex);
+    /// Stable storage for workers: written once by InterpretStream before
+    /// any task is submitted, immutable afterwards — read lock-free.
+    std::vector<EngineRequest> requests;
   };
 
   std::shared_ptr<Shared> shared_;
@@ -326,7 +327,7 @@ class EndpointSession
                       double edge_length) const;
 
   const api::PredictionApi& api() const { return *api_; }
-  size_t cache_size() const;
+  size_t cache_size() const EXCLUDES(cache_mutex_);
   /// Region capacity of this session's cache; 0 = unbounded.
   size_t cache_capacity() const { return capacity_; }
   /// This session's own counters (the engine aggregates all sessions).
@@ -335,7 +336,7 @@ class EndpointSession
   /// Drops this session's cached regions, point memo, argmax buckets,
   /// and eviction bookkeeping. Safe to race with in-flight requests:
   /// they re-extract as needed.
-  void ClearCache() const;
+  void ClearCache() const EXCLUDES(cache_mutex_);
 
  private:
   friend class InterpretationEngine;
@@ -417,14 +418,15 @@ class EndpointSession
                                          size_t* iterations) const;
 
   /// Returns the slot whose model explains (x0, y0) and (probe, y_probe),
-  /// or SIZE_MAX. Shared (reader) lock. `argmax` is the predicted class at
-  /// x0 (from y0) selecting the bucket (or index forest) scanned first.
-  /// With use_region_index on, candidates come from the index's stabbing
-  /// query and the full scan runs only when none of them validates — the
-  /// decision (and therefore every downstream query count) is identical
-  /// to the scan legs.
+  /// or SIZE_MAX. Takes the shared (reader) lock itself. `argmax` is the
+  /// predicted class at x0 (from y0) selecting the bucket (or index
+  /// forest) scanned first. With use_region_index on, candidates come
+  /// from the index's stabbing query and the full scan runs only when
+  /// none of them validates — the decision (and therefore every
+  /// downstream query count) is identical to the scan legs.
   size_t FindMatchingRegion(const Vec& x0, const Vec& y0, const Vec& probe,
-                            const Vec& y_probe, size_t argmax) const;
+                            const Vec& y_probe, size_t argmax) const
+      EXCLUDES(cache_mutex_);
 
   /// Inserts `model` (deduplicating by fingerprint; evicting at
   /// capacity), memoizes x0 -> slot, files the slot under bucket
@@ -436,31 +438,33 @@ class EndpointSession
   /// region this session evicted earlier.
   size_t InsertRegion(api::LocalLinearModel model, uint64_t fingerprint,
                       const Vec& x0, size_t argmax, double edge_length,
-                      CacheOutcome* outcome) const;
+                      CacheOutcome* outcome) const EXCLUDES(cache_mutex_);
 
   /// Second-chance clock sweep; evicts one region and returns its (now
   /// vacant) slot. Requires the writer lock and a full cache.
-  size_t EvictOneLocked() const;
+  size_t EvictOneLocked() const REQUIRES(cache_mutex_);
 
   /// Removes one region from EVERY auxiliary structure — fingerprint
   /// map, point-memo keys, argmax buckets, region index — as one step,
   /// so no mutation path can leave a structure holding a dead slot.
   /// Requires the writer lock; the slot itself stays allocated for the
   /// caller to refill.
-  void DropRegionAuxLocked(size_t slot) const;
+  void DropRegionAuxLocked(size_t slot) const REQUIRES(cache_mutex_);
 
   /// CHECKs the eviction/index coherence invariant: with the index on,
   /// every cache slot is present in the index (index size == cache
   /// size). Called after every cache mutation; a violation is memory
   /// corruption in the making, so it aborts rather than degrades.
-  void CheckAuxCoherenceLocked() const;
+  void CheckAuxCoherenceLocked() const REQUIRES(cache_mutex_);
 
   /// Files `key` -> `slot` in the point memo and the slot's bounded
   /// per-region key list. Requires the writer lock.
-  void FilePointLocked(const PointKey& key, size_t slot) const;
+  void FilePointLocked(const PointKey& key, size_t slot) const
+      REQUIRES(cache_mutex_);
 
   /// Files `slot` under bucket `argmax` (once). Requires the writer lock.
-  void FileBucketLocked(size_t slot, size_t argmax) const;
+  void FileBucketLocked(size_t slot, size_t argmax) const
+      REQUIRES(cache_mutex_);
 
   bool RegionMatches(const api::LocalLinearModel& model, const Vec& x,
                      const Vec& y) const;
@@ -469,21 +473,33 @@ class EndpointSession
   const api::PredictionApi* api_;
   const size_t capacity_;  // 0 = unbounded
 
-  mutable std::shared_mutex cache_mutex_;
-  mutable std::vector<CachedRegion> regions_;
-  mutable std::unordered_map<uint64_t, size_t> by_fingerprint_;
+  mutable util::SharedMutex cache_mutex_;
+  /// NOTE on shared-lock mutation: CachedRegion::hits is atomic, so the
+  /// hit path bumps it under the READER lock — an access the analysis
+  /// sees as a read of `regions_`, which is exactly the discipline:
+  /// container shape changes only under the writer lock, per-slot atomics
+  /// tick freely.
+  mutable std::vector<CachedRegion> regions_ GUARDED_BY(cache_mutex_);
+  mutable std::unordered_map<uint64_t, size_t> by_fingerprint_
+      GUARDED_BY(cache_mutex_);
   /// argmax class at the region's anchor -> slots, scan order by hits.
-  mutable std::unordered_map<size_t, std::vector<size_t>> by_argmax_;
-  mutable std::unordered_map<PointKey, size_t, PairHash> point_memo_;
+  mutable std::unordered_map<size_t, std::vector<size_t>> by_argmax_
+      GUARDED_BY(cache_mutex_);
+  mutable std::unordered_map<PointKey, size_t, PairHash> point_memo_
+      GUARDED_BY(cache_mutex_);
   /// Fingerprints of evicted regions, kept (bounded) to classify their
   /// re-extraction as kEvictedRefetch.
-  mutable std::unordered_set<uint64_t> evicted_fingerprints_;
-  mutable size_t clock_hand_ = 0;
+  mutable std::unordered_set<uint64_t> evicted_fingerprints_
+      GUARDED_BY(cache_mutex_);
+  mutable size_t clock_hand_ GUARDED_BY(cache_mutex_) = 0;
   /// Hierarchical point-location index over the learned per-region
   /// bounding boxes (nullptr when EngineConfig::use_region_index is off
-  /// or the cache is disabled). Shares cache_mutex_: stabbed under the
-  /// reader lock, mutated under the writer lock.
-  mutable std::unique_ptr<RegionIndex> index_;
+  /// or the cache is disabled). RegionIndex has no locks of its own: the
+  /// POINTEE shares cache_mutex_ — Collect* run under the reader lock
+  /// (no interior mutation), every mutator under the writer lock. The
+  /// pointer itself is set once in the constructor and never reseated,
+  /// so the `index_ != nullptr` checks read it lock-free.
+  mutable std::unique_ptr<RegionIndex> index_ PT_GUARDED_BY(cache_mutex_);
 
   mutable StatCounters stats_;
 };
@@ -546,28 +562,31 @@ class InterpretationEngine {
   friend class EndpointSession;
 
   /// Async-task bookkeeping so the destructor can drain safely.
-  void BeginAsyncTask() const;
-  void EndAsyncTask() const;
+  void BeginAsyncTask() const EXCLUDES(async_mutex_);
+  void EndAsyncTask() const EXCLUDES(async_mutex_);
 
   /// Workspace pool backing WorkspaceLease: pops a free workspace or
   /// grows the pool by one. Release Clear()s and returns it; it CHECKs
   /// the workspace is not already free, so a double release (the only
   /// way one workspace could serve two concurrent requests) aborts
   /// rather than corrupting a request.
-  SolverWorkspace* AcquireWorkspace() const;
-  void ReleaseWorkspace(SolverWorkspace* workspace) const;
+  SolverWorkspace* AcquireWorkspace() const EXCLUDES(workspace_mutex_);
+  void ReleaseWorkspace(SolverWorkspace* workspace) const
+      EXCLUDES(workspace_mutex_);
 
   EngineConfig config_;
   std::unique_ptr<util::ThreadPool> owned_pool_;  // only if num_threads > 0
   util::ThreadPool* pool_ = nullptr;              // owned or shared
 
-  mutable std::mutex async_mutex_;
-  mutable std::condition_variable async_idle_;
-  mutable size_t async_outstanding_ = 0;
+  mutable util::Mutex async_mutex_;
+  mutable util::CondVar async_idle_;
+  mutable size_t async_outstanding_ GUARDED_BY(async_mutex_) = 0;
 
-  mutable std::mutex workspace_mutex_;
-  mutable std::vector<std::unique_ptr<SolverWorkspace>> workspaces_;
-  mutable std::vector<SolverWorkspace*> free_workspaces_;
+  mutable util::Mutex workspace_mutex_;
+  mutable std::vector<std::unique_ptr<SolverWorkspace>> workspaces_
+      GUARDED_BY(workspace_mutex_);
+  mutable std::vector<SolverWorkspace*> free_workspaces_
+      GUARDED_BY(workspace_mutex_);
 
   mutable EndpointSession::StatCounters stats_;
 };

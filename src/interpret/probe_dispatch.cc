@@ -105,6 +105,9 @@ Status DispatchProbes(const api::PredictionApi& api,
     util::Timer timer;
     std::vector<Vec> batch = api.PredictBatch(whole_batch ? points : chunk);
     *consumed += rows;
+    // Lock-free fold into the endpoint's shared estimate: concurrent
+    // requests chunking against this endpoint serialize through the CAS
+    // in LatencyEstimate::Record, no lock on the probe path.
     api.row_latency().Record(rows, timer.ElapsedSeconds(),
                              config.ewma_alpha);
     emit(batch, done);

@@ -93,6 +93,15 @@ struct ChunkedDispatchConfig {
 
 /// The per-row latency estimate a dispatcher should plan with: the
 /// endpoint's recorded EWMA, or the conservative seed while cold.
+///
+/// Concurrency: api::LatencyEstimate is LOCK-FREE (a CAS-looped atomic
+/// double; protocol documented on the class), so this read — and the
+/// Record calls DispatchProbes makes after timing each chunk — take no
+/// lock and carry no capability annotation. Concurrent requests chunking
+/// against one endpoint fold their observations in some serialization
+/// order; a racing read sees either side of a fold, both of which are
+/// valid plans (the deadline gate re-checks real clocks before every
+/// chunk).
 double EffectiveRowLatency(const api::PredictionApi& api,
                            const ChunkedDispatchConfig& config);
 

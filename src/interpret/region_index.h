@@ -65,9 +65,15 @@
 // ## Concurrency
 //
 // The index has no locks of its own: it is owned by EndpointSession and
-// shares the session's shared_mutex — Collect runs under the reader
-// lock (no interior mutation, safe concurrent readers), every mutator
-// runs under the writer lock the cache mutation already holds.
+// shares the session's cache lock — Collect runs under the reader lock
+// (no interior mutation, safe concurrent readers), every mutator runs
+// under the writer lock the cache mutation already holds. That contract
+// is stated where the compiler can check it: the session declares its
+// `index_` member PT_GUARDED_BY(cache_mutex_) (util/thread_annotations.h),
+// so under Clang -Werror=thread-safety any dereference outside the
+// session's lock is a compile error. This class stays annotation-free by
+// design — a capability on a lock the class does not own cannot be named
+// here, and adding an internal lock would double-lock the hot stab path.
 
 #ifndef OPENAPI_INTERPRET_REGION_INDEX_H_
 #define OPENAPI_INTERPRET_REGION_INDEX_H_

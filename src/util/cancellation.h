@@ -14,7 +14,13 @@
 //
 // Thread safety: all members are safe to call concurrently; the flag is a
 // single relaxed atomic (cancellation needs no ordering guarantees beyond
-// eventual visibility — the poll sites re-check on every batch).
+// eventual visibility — the poll sites re-check on every batch), so the
+// token carries no lock and no capability annotation. COPYING a token
+// concurrently with reads/cancels on other copies is safe (shared_ptr
+// control blocks are thread-safe); mutating ONE CancelToken object from
+// several threads (e.g. assigning over it) is not, and no serving path
+// does — tokens are passed by value and each thread owns its copy
+// (exercised under TSan by tests/util_cancellation_test.cc).
 
 #ifndef OPENAPI_UTIL_CANCELLATION_H_
 #define OPENAPI_UTIL_CANCELLATION_H_

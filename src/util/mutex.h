@@ -1,0 +1,160 @@
+// Annotated synchronization primitives: the only lock types used in src/.
+//
+// Clang's thread-safety analysis (util/thread_annotations.h) can only
+// check locking discipline through types it can see, and libstdc++'s
+// std::mutex / std::shared_mutex / std::lock_guard carry no annotations —
+// locking through them is invisible, so a GUARDED_BY member would warn on
+// every correctly-locked access. These zero-cost wrappers re-export the
+// std primitives WITH capability annotations:
+//
+//   * Mutex / SharedMutex     — annotated lockables (CAPABILITY);
+//   * MutexLock               — RAII exclusive lock over Mutex;
+//   * WriterMutexLock /
+//     ReaderMutexLock         — RAII exclusive / shared lock over
+//                               SharedMutex;
+//   * CondVar                 — condition variable whose Wait REQUIRES the
+//                               mutex, re-established on return.
+//
+// Every wrapper is a thin inline shim over the std type (same layout, no
+// extra state), so the generated code is identical to using the std types
+// directly; what changes is that `-Werror=thread-safety` now proves every
+// access to a GUARDED_BY member happens under its lock.
+//
+// CondVar::Wait deliberately has no predicate overload: the analysis does
+// not propagate capabilities into lambdas, so a predicate reading guarded
+// state inside cv.wait(lock, pred) would warn spuriously. Call sites
+// spell the standard loop instead —
+//
+//     while (!condition) cv.Wait(mutex);   // capability held throughout
+//
+// — which the analysis checks exactly.
+//
+// scripts/lint_invariants.py enforces that no raw std synchronization
+// primitive appears outside this file, and that no code calls
+// .lock()/.unlock() manually outside the RAII guards defined here.
+
+#ifndef OPENAPI_UTIL_MUTEX_H_
+#define OPENAPI_UTIL_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/thread_annotations.h"
+
+namespace openapi::util {
+
+/// Annotated exclusive mutex. Prefer MutexLock to manual lock()/unlock()
+/// (the linter rejects manual calls outside this header).
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// Annotated reader/writer mutex (the session region cache's lock:
+/// candidate scans share, insertions are exclusive).
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  void lock_shared() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool try_lock_shared() TRY_ACQUIRE_SHARED(true) {
+    return mu_.try_lock_shared();
+  }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock over Mutex (std::lock_guard with annotations).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII exclusive (writer) lock over SharedMutex.
+class SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~WriterMutexLock() RELEASE() { mu_.unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII shared (reader) lock over SharedMutex.
+class SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~ReaderMutexLock() RELEASE_GENERIC() { mu_.unlock_shared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable bound to util::Mutex. Wait atomically releases and
+/// re-acquires the mutex through std::condition_variable; to the
+/// analysis the capability is simply held across the call (true on entry
+/// and on return, which is the contract callers rely on).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified. The calling thread must hold `mu`; it holds
+  /// it again when Wait returns. Spurious wakeups happen — always wait in
+  /// a `while (!condition)` loop.
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    // Adopt the already-held std::mutex for the duration of the wait and
+    // release the unique_lock before it destructs, so ownership stays
+    // with the caller's scope (its MutexLock still unlocks on exit).
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace openapi::util
+
+#endif  // OPENAPI_UTIL_MUTEX_H_

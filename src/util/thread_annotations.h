@@ -1,0 +1,106 @@
+// Clang thread-safety-analysis attribute macros.
+//
+// The serving layer's correctness contract — every shared structure
+// (region cache, point memo, region index, workspace pool, async
+// bookkeeping, the thread pool's queue) is touched only under its lock —
+// used to be enforced purely dynamically, by running a hand-picked test
+// list under ThreadSanitizer. These macros move that contract into the
+// TYPE SYSTEM: a member declared GUARDED_BY(mu) cannot be read or written
+// without holding mu, a helper declared REQUIRES(mu) cannot be called
+// without it, and the violation is a COMPILE ERROR under Clang's
+// -Wthread-safety (CI builds with -Werror=thread-safety), not a race that
+// a sanitizer may or may not catch on a lucky interleaving.
+//
+// The analysis only understands capabilities it can see: libstdc++'s
+// std::mutex carries no annotations, so locking through it is invisible.
+// All lock-based code in src/ therefore uses the annotated wrappers in
+// util/mutex.h (util::Mutex, util::SharedMutex, the RAII guards, and
+// util::CondVar); scripts/lint_invariants.py rejects raw std
+// synchronization primitives outside that one file.
+//
+// On GCC (which has no thread-safety analysis) every macro expands to
+// nothing, so the annotations are free and the build is unchanged.
+//
+// Macro names and semantics follow the Clang documentation
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html); they are
+// deliberately unprefixed so annotated code reads like the upstream
+// examples and like every other codebase using the analysis.
+
+#ifndef OPENAPI_UTIL_THREAD_ANNOTATIONS_H_
+#define OPENAPI_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && (!defined(SWIG))
+#define OPENAPI_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define OPENAPI_THREAD_ANNOTATION(x)  // no-op on GCC and others
+#endif
+
+/// Marks a class as a lockable capability ("mutex", "shared_mutex", ...).
+#define CAPABILITY(x) OPENAPI_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases
+/// a capability.
+#define SCOPED_CAPABILITY OPENAPI_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding the capability.
+#define GUARDED_BY(x) OPENAPI_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose POINTEE is protected by the capability (the
+/// pointer itself may be read freely).
+#define PT_GUARDED_BY(x) OPENAPI_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Lock-ordering edges (deadlock detection).
+#define ACQUIRED_BEFORE(...) \
+  OPENAPI_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  OPENAPI_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function requires the capability held EXCLUSIVELY (resp. at least
+/// shared) on entry; it is not released.
+#define REQUIRES(...) \
+  OPENAPI_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  OPENAPI_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability (exclusive / shared) and holds it on
+/// return.
+#define ACQUIRE(...) \
+  OPENAPI_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  OPENAPI_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (held exclusively / shared / either).
+#define RELEASE(...) \
+  OPENAPI_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  OPENAPI_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  OPENAPI_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+/// Function attempts the acquisition; holds the capability iff the return
+/// value equals the first argument.
+#define TRY_ACQUIRE(...) \
+  OPENAPI_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  OPENAPI_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the capability held (it acquires the
+/// lock itself; a caller already holding it would self-deadlock).
+#define EXCLUDES(...) OPENAPI_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the calling thread holds the capability.
+#define ASSERT_CAPABILITY(x) \
+  OPENAPI_THREAD_ANNOTATION(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  OPENAPI_THREAD_ANNOTATION(assert_shared_capability(x))
+
+/// Function returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) OPENAPI_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: turns the analysis off for one function. Use only with a
+/// comment explaining why the function is correct anyway (e.g. adopting a
+/// lock held by the caller through a type the analysis cannot track).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  OPENAPI_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // OPENAPI_UTIL_THREAD_ANNOTATIONS_H_

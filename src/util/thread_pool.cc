@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.h"
+#include "util/mutex.h"
 
 namespace openapi::util {
 namespace {
@@ -23,26 +24,26 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutting_down_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     OPENAPI_CHECK(!shutting_down_);
     queue_.push(std::move(task));
     ++in_flight_;
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  while (in_flight_ != 0) all_done_.Wait(mutex_);
 }
 
 bool ThreadPool::OnWorkerThread() const {
@@ -54,9 +55,10 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(
-          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!shutting_down_ && queue_.empty()) {
+        work_available_.Wait(mutex_);
+      }
       if (queue_.empty()) {
         if (shutting_down_) return;
         continue;
@@ -66,9 +68,9 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
+      if (in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }
@@ -82,9 +84,9 @@ void ParallelFor(ThreadPool* pool, size_t count,
   // Per-call latch: this call only waits for its own shards, so several
   // clients can interleave work on one shared pool.
   struct Latch {
-    std::mutex mutex;
-    std::condition_variable done;
-    size_t pending = 0;
+    Mutex mutex;
+    CondVar done;
+    size_t pending GUARDED_BY(mutex) = 0;
   } latch;
 
   size_t num_blocks = 0;
@@ -92,7 +94,7 @@ void ParallelFor(ThreadPool* pool, size_t count,
     if (shard * block < count) ++num_blocks;
   }
   {
-    std::unique_lock<std::mutex> lock(latch.mutex);
+    MutexLock lock(latch.mutex);
     latch.pending = num_blocks - 1;  // block 0 runs inline below
   }
   for (size_t shard = 1; shard < num_blocks; ++shard) {
@@ -100,13 +102,13 @@ void ParallelFor(ThreadPool* pool, size_t count,
     size_t end = std::min(begin + block, count);
     pool->Submit([begin, end, &body, &latch] {
       for (size_t i = begin; i < end; ++i) body(i);
-      std::unique_lock<std::mutex> lock(latch.mutex);
-      if (--latch.pending == 0) latch.done.notify_all();
+      MutexLock lock(latch.mutex);
+      if (--latch.pending == 0) latch.done.NotifyAll();
     });
   }
   for (size_t i = 0; i < std::min(block, count); ++i) body(i);
-  std::unique_lock<std::mutex> lock(latch.mutex);
-  latch.done.wait(lock, [&latch] { return latch.pending == 0; });
+  MutexLock lock(latch.mutex);
+  while (latch.pending != 0) latch.done.Wait(latch.mutex);
 }
 
 size_t DefaultThreadCount(size_t max_threads) {

@@ -22,12 +22,13 @@
 #ifndef OPENAPI_UTIL_THREAD_POOL_H_
 #define OPENAPI_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace openapi::util {
 
@@ -43,12 +44,12 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues one task.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mutex_);
 
   /// Blocks until every submitted task has finished. On a shared pool this
   /// includes other clients' tasks; prefer ParallelFor's per-call latch (or
   /// futures) when the pool is shared.
-  void Wait();
+  void Wait() EXCLUDES(mutex_);
 
   /// True when the CALLING thread is one of this pool's workers. Nested
   /// dispatchers (e.g. api::ApiReplicaSet's batch sharding) use this to
@@ -59,15 +60,15 @@ class ThreadPool {
   size_t num_threads() const { return workers_.size(); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  size_t in_flight_ = 0;
-  bool shutting_down_ = false;
+  Mutex mutex_;
+  std::queue<std::function<void()>> queue_ GUARDED_BY(mutex_);
+  CondVar work_available_;
+  CondVar all_done_;
+  size_t in_flight_ GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ GUARDED_BY(mutex_) = false;
 };
 
 /// Runs body(i) for i in [0, count) across `pool`, blocking until done.

@@ -1,3 +1,4 @@
+// OPENAPI_TEST_LABELS: concurrent  (run under TSan in CI: ctest -L concurrent)
 // Batch/single parity of the API boundary: PredictBatch must bit-match
 // per-sample Predict in every configuration (exact, rounded, seeded
 // noise), and query accounting must stay exact under concurrency.

@@ -1,0 +1,114 @@
+// OPENAPI_TEST_LABELS: concurrent  (run under TSan in CI: ctest -L concurrent)
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/prediction_api.h"
+
+namespace openapi::api {
+namespace {
+
+TEST(LatencyEstimateTest, ColdEstimateIsZero) {
+  LatencyEstimate estimate;
+  EXPECT_EQ(estimate.seconds_per_row(), 0.0);
+  EXPECT_EQ(estimate.samples(), 0u);
+}
+
+TEST(LatencyEstimateTest, FirstObservationSeedsDirectly) {
+  LatencyEstimate estimate;
+  estimate.Record(/*rows=*/10, /*seconds=*/1.0, /*alpha=*/0.2);
+  EXPECT_DOUBLE_EQ(estimate.seconds_per_row(), 0.1);
+  EXPECT_EQ(estimate.samples(), 1u);
+}
+
+TEST(LatencyEstimateTest, SecondObservationFoldsWithAlpha) {
+  LatencyEstimate estimate;
+  estimate.Record(1, 0.1, 0.5);   // seeds at 0.1
+  estimate.Record(1, 0.2, 0.5);   // 0.5 * 0.1 + 0.5 * 0.2
+  EXPECT_DOUBLE_EQ(estimate.seconds_per_row(), 0.15);
+  EXPECT_EQ(estimate.samples(), 2u);
+}
+
+TEST(LatencyEstimateTest, ResetForgetsEverything) {
+  LatencyEstimate estimate;
+  estimate.Record(1, 0.5, 0.3);
+  estimate.Reset();
+  EXPECT_EQ(estimate.seconds_per_row(), 0.0);
+  EXPECT_EQ(estimate.samples(), 0u);
+}
+
+// The CAS loop's exactly-once guarantee: every concurrent Record folds
+// into the estimate exactly once, so the sample counter is exact and the
+// estimate lands inside the convex hull of the observed per-row rates —
+// each successful fold is either a seed (= one observation) or a convex
+// combination of the previous value and one observation, and both
+// preserve the hull no matter how the threads interleave.
+TEST(LatencyEstimateTest, ConcurrentRecordsFoldExactlyOnce) {
+  LatencyEstimate estimate;
+  constexpr int kThreads = 8;
+  constexpr int kRecordsPerThread = 2000;
+  constexpr double kMinRate = 1e-4;  // thread 0's per-row seconds
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&estimate, t] {
+      const double rate = kMinRate * (t + 1);
+      for (int i = 0; i < kRecordsPerThread; ++i) {
+        estimate.Record(/*rows=*/4, /*seconds=*/4 * rate, /*alpha=*/0.1);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  EXPECT_EQ(estimate.samples(),
+            static_cast<uint64_t>(kThreads) * kRecordsPerThread);
+  const double value = estimate.seconds_per_row();
+  EXPECT_GE(value, kMinRate);
+  EXPECT_LE(value, kMinRate * kThreads);
+}
+
+// Readers racing the writers (the probe planner reads seconds_per_row()
+// while other requests fold new chunks in): every read must see either
+// the cold 0.0 or a value inside the observation hull — never a torn or
+// partially-folded double.
+TEST(LatencyEstimateTest, ConcurrentReadsSeeConsistentValues) {
+  LatencyEstimate estimate;
+  constexpr double kLow = 0.001;
+  constexpr double kHigh = 0.002;
+  std::atomic<bool> stop{false};
+  std::atomic<int> bad_reads{0};
+  std::vector<std::thread> readers;
+  readers.reserve(4);
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&estimate, &stop, &bad_reads] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const double value = estimate.seconds_per_row();
+        const bool ok =
+            value == 0.0 || (value >= kLow && value <= kHigh);
+        if (!ok || std::isnan(value)) bad_reads.fetch_add(1);
+      }
+    });
+  }
+  std::vector<std::thread> writers;
+  writers.reserve(2);
+  for (int w = 0; w < 2; ++w) {
+    writers.emplace_back([&estimate, w] {
+      const double rate = w == 0 ? kLow : kHigh;
+      for (int i = 0; i < 5000; ++i) {
+        estimate.Record(1, rate, 0.25);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(bad_reads.load(), 0);
+  EXPECT_GE(estimate.seconds_per_row(), kLow);
+  EXPECT_LE(estimate.seconds_per_row(), kHigh);
+}
+
+}  // namespace
+}  // namespace openapi::api

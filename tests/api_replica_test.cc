@@ -1,3 +1,4 @@
+// OPENAPI_TEST_LABELS: concurrent  (run under TSan in CI: ctest -L concurrent)
 // ApiReplicaSet: sharding probe traffic across N replicas must change
 // nothing observable (same predictions, same totals) while the
 // per-replica counters account for every sample exactly.

@@ -1,3 +1,4 @@
+// OPENAPI_TEST_LABELS: concurrent  (run under TSan in CI: ctest -L concurrent)
 // Pool-parallel batch forwards: splitting a large batch into row blocks
 // on the shared thread pool must be INVISIBLE in the results — every row
 // bit-matches the single-sample Predict path for all three model

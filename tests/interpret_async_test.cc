@@ -1,3 +1,4 @@
+// OPENAPI_TEST_LABELS: concurrent  (run under TSan in CI: ctest -L concurrent)
 // The async serving layer on sessions: SubmitAsync futures and
 // SessionStream must produce exactly the results of the synchronous paths
 // — identical content per request index at any thread count and any

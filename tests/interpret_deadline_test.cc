@@ -1,3 +1,4 @@
+// OPENAPI_TEST_LABELS: concurrent  (run under TSan in CI: ctest -L concurrent)
 // Tight deadlines through the chunked probe dispatch: overshoot bounded
 // by one latency-sized chunk (previously one arbitrarily slow batch),
 // predictive rejection of requests whose first chunk already blows the

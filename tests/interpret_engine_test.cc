@@ -1,3 +1,4 @@
+// OPENAPI_TEST_LABELS: concurrent  (run under TSan in CI: ctest -L concurrent)
 // InterpretationEngine + EndpointSession: the concurrent pipeline must
 // deliver the same exact answers as the sequential path, with
 // deterministic probe streams, correctly namespaced per-endpoint region

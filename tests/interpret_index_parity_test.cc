@@ -1,3 +1,4 @@
+// OPENAPI_TEST_LABELS: concurrent  (run under TSan in CI: ctest -L concurrent)
 // Decision-invisibility of the region index (EngineConfig::
 // use_region_index): on every request the index leg must produce
 // BIT-IDENTICAL serving decisions to the reference scan legs — same

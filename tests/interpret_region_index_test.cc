@@ -1,3 +1,4 @@
+// OPENAPI_TEST_LABELS: concurrent  (run under TSan in CI: ctest -L concurrent)
 // RegionIndex: structural unit tests (logarithmic-method shape, learned
 // box growth, removal/rebuild, brute-force stab parity) plus the
 // session-level integration contracts — ImportRegion warm starts, the

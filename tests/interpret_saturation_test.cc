@@ -1,3 +1,4 @@
+// OPENAPI_TEST_LABELS: concurrent  (run under TSan in CI: ctest -L concurrent)
 // Regression tests for the saturating-reference-class failure (ROADMAP:
 // "Engine currently extracts with reference class 0; a saturating class 0
 // fails requests that a smarter reference-class choice would answer").

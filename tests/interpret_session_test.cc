@@ -1,3 +1,4 @@
+// OPENAPI_TEST_LABELS: concurrent  (run under TSan in CI: ctest -L concurrent)
 // The session-scoped serving surface: per-request budgets, deadlines and
 // cancellation (enforced down in the solver's shrink loop, with exact
 // consumed-query reporting), bounded per-session caches with

@@ -1,3 +1,4 @@
+// OPENAPI_TEST_LABELS: concurrent  (run under TSan in CI: ctest -L concurrent)
 // The solver workspace pool: SolverWorkspace::Clear() keeps grown
 // buffers, a caller-held workspace serves its second request with ZERO
 // solver allocations (heap-counted and pointer-checked), the engine's

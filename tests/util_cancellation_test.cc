@@ -1,0 +1,105 @@
+// OPENAPI_TEST_LABELS: concurrent  (run under TSan in CI: ctest -L concurrent)
+#include "util/cancellation.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace openapi::util {
+namespace {
+
+TEST(CancelTokenTest, EmptyTokenNeverCancels) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancellable());
+  EXPECT_FALSE(token.cancel_requested());
+  token.RequestCancel();  // no-op, must not crash
+  EXPECT_FALSE(token.cancel_requested());
+}
+
+TEST(CancelTokenTest, CancellableTokenFlipsOnce) {
+  CancelToken token = CancelToken::Cancellable();
+  EXPECT_TRUE(token.cancellable());
+  EXPECT_FALSE(token.cancel_requested());
+  token.RequestCancel();
+  EXPECT_TRUE(token.cancel_requested());
+  token.RequestCancel();  // idempotent
+  EXPECT_TRUE(token.cancel_requested());
+}
+
+TEST(CancelTokenTest, CopiesShareTheFlag) {
+  CancelToken original = CancelToken::Cancellable();
+  CancelToken copy = original;
+  EXPECT_FALSE(copy.cancel_requested());
+  original.RequestCancel();
+  EXPECT_TRUE(copy.cancel_requested());
+}
+
+TEST(CancelTokenTest, CopiesAreIndependentAcrossTokens) {
+  CancelToken a = CancelToken::Cancellable();
+  CancelToken b = CancelToken::Cancellable();
+  a.RequestCancel();
+  EXPECT_TRUE(a.cancel_requested());
+  EXPECT_FALSE(b.cancel_requested());
+}
+
+// The serving contract: each worker owns a COPY of the request's token
+// and polls it between probe batches; cancellation from any other copy
+// becomes visible to every poller. Run enough pollers that a data race
+// on the shared flag (rather than an atomic) would trip TSan.
+TEST(CancelTokenTest, CancellationVisibleToConcurrentPollers) {
+  CancelToken token = CancelToken::Cancellable();
+  constexpr int kPollers = 8;
+  std::atomic<int> observed{0};
+  std::vector<std::thread> pollers;
+  pollers.reserve(kPollers);
+  for (int i = 0; i < kPollers; ++i) {
+    pollers.emplace_back([copy = token, &observed] {
+      while (!copy.cancel_requested()) {
+        std::this_thread::yield();
+      }
+      observed.fetch_add(1);
+    });
+  }
+  token.RequestCancel();
+  for (auto& t : pollers) t.join();
+  EXPECT_EQ(observed.load(), kPollers);
+}
+
+// Several parties may hold revocation rights (client disconnect, server
+// shutdown, per-request timeout): concurrent RequestCancel calls from
+// distinct copies must be safe and leave the flag set.
+TEST(CancelTokenTest, ConcurrentCancelFromManyCopies) {
+  CancelToken token = CancelToken::Cancellable();
+  constexpr int kCancellers = 8;
+  std::vector<std::thread> cancellers;
+  cancellers.reserve(kCancellers);
+  for (int i = 0; i < kCancellers; ++i) {
+    cancellers.emplace_back([copy = token] { copy.RequestCancel(); });
+  }
+  for (auto& t : cancellers) t.join();
+  EXPECT_TRUE(token.cancel_requested());
+}
+
+// Copying a token concurrently with cancels/reads on other copies is part
+// of the thread-safety contract (shared_ptr control block): spawn threads
+// that copy-from-a-copy while the original is being cancelled.
+TEST(CancelTokenTest, ConcurrentCopyDuringCancel) {
+  for (int round = 0; round < 50; ++round) {
+    CancelToken token = CancelToken::Cancellable();
+    std::thread copier([&observed_copy = token] {
+      for (int i = 0; i < 100; ++i) {
+        CancelToken local = observed_copy;  // copy while cancel races
+        (void)local.cancel_requested();
+      }
+    });
+    std::thread canceller([copy = token] { copy.RequestCancel(); });
+    copier.join();
+    canceller.join();
+    EXPECT_TRUE(token.cancel_requested());
+  }
+}
+
+}  // namespace
+}  // namespace openapi::util
