@@ -26,8 +26,10 @@ const char* OutcomeName(interpret::CacheOutcome outcome) {
       return "bypass";
     case interpret::CacheOutcome::kPointMemo:
       return "point-memo";
-    case interpret::CacheOutcome::kHit:
-      return "hit";
+    case interpret::CacheOutcome::kMemoryHit:
+      return "memory-hit";
+    case interpret::CacheOutcome::kDiskHit:
+      return "disk-hit";
     case interpret::CacheOutcome::kMiss:
       return "miss";
     case interpret::CacheOutcome::kEvictedRefetch:

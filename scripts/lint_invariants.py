@@ -44,6 +44,14 @@ entry (so `ctest` and `scripts/check.sh --lint` can't drift from CI):
                         local #define *CHECK* and no <cassert> assert()
                         in src/ (asserts vanish under NDEBUG; the solver
                         invariants must hold in release builds too).
+  raw-file-io           fopen/freopen/fdopen/tmpfile, the std::fstream
+                        family, and the POSIX open(2)/creat(2) calls are
+                        banned in src/ outside util/file_io.{h,cc}: the
+                        tiered region store's crash-safety claims
+                        (append-only writes, recovery truncating torn
+                        tails) are only auditable while ONE module can
+                        touch a file descriptor. Tests/benches may use
+                        fstream freely — the rule guards the library.
   concurrent-test-label Any test in tests/ that exercises concurrency
                         (threads, the pool, async/stream entry points,
                         atomics) must declare the marker comment
@@ -334,6 +342,29 @@ def rule_check_macro_source(files):
                 "OPENAPI_CHECK / OPENAPI_DCHECK (util/check.h)")
 
 
+FILE_IO_MODULE = ("src/util/file_io.h", "src/util/file_io.cc")
+
+RAW_FILE_IO = (
+    r"std::basic_[io]?fstream\b|std::[io]?fstream\b"
+    r"|\b(std::)?(fopen|freopen|fdopen|tmpfile)\s*\("
+    # POSIX open(2)/creat(2): free calls only — lookbehind keeps
+    # `File::Open(`, `is_open(` and `log->Open(` out of scope.
+    r"|(?<![\w.:])(open|creat)\s*\(|::(open|creat)\s*\("
+)
+
+
+def rule_raw_file_io(files):
+    for f in files:
+        if not f.rel.startswith("src/") or f.rel in FILE_IO_MODULE:
+            continue
+        for line_no, _ in grep(f.code_lines, RAW_FILE_IO):
+            yield Violation(
+                f.rel, line_no, "raw-file-io",
+                "raw file I/O outside util/file_io.{h,cc}; route bytes "
+                "through util::File / ReadFileToString so the store's "
+                "crash-safety audit stays one module wide")
+
+
 CONCURRENCY_USE = (
     r"std::thread\b|std::atomic\b|std::async\b|util::ThreadPool\b"
     r"|SharedThreadPool\s*\(|ParallelFor\s*\(|SubmitAsync\s*\("
@@ -368,6 +399,7 @@ RULES = [
     ("fp-contract", rule_fp_contract),
     ("rng-discipline", rule_rng_discipline),
     ("check-macro-source", rule_check_macro_source),
+    ("raw-file-io", rule_raw_file_io),
     ("concurrent-test-label", rule_concurrent_test_label),
 ]
 

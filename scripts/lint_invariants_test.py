@@ -229,6 +229,53 @@ class CheckMacroSourceTest(unittest.TestCase):
         self.assertNotIn("check-macro-source", rule_ids(v))
 
 
+class RawFileIoTest(unittest.TestCase):
+    def test_fires_on_fopen_in_src(self):
+        v = run_on_tree({
+            "src/foo/bar.cc":
+            "void F() { FILE* f = std::fopen(p, mode); }\n"})
+        self.assertIn("raw-file-io", rule_ids(v))
+
+    def test_fires_on_ofstream_in_src(self):
+        v = run_on_tree({
+            "src/foo/bar.cc":
+            "void F() { std::ofstream out(path); }\n"})
+        self.assertIn("raw-file-io", rule_ids(v))
+
+    def test_fires_on_posix_open(self):
+        v = run_on_tree({
+            "src/foo/bar.cc":
+            "void F() { int fd = ::open(p, 0); }\n"})
+        self.assertIn("raw-file-io", rule_ids(v))
+        v = run_on_tree({
+            "src/foo/bar.cc": "void F() { int fd = open(p, 0); }\n"})
+        self.assertIn("raw-file-io", rule_ids(v))
+
+    def test_file_io_module_itself_is_exempt(self):
+        v = run_on_tree({
+            "src/util/file_io.cc":
+            "void F() { FILE* f = std::fopen(p, mode); }\n"})
+        self.assertNotIn("raw-file-io", rule_ids(v))
+
+    def test_wrapper_calls_and_methods_are_fine(self):
+        v = run_on_tree({
+            "src/foo/bar.cc":
+            "void F() { auto f = util::File::Open(p, m);\n"
+            "  if (f->is_open()) log->Open(p); popen(cmd, m); }\n"})
+        self.assertNotIn("raw-file-io", rule_ids(v))
+
+    def test_tests_and_benches_may_use_fstream(self):
+        v = run_on_tree({
+            "tests/x_test.cc": "std::ifstream in(path);\n",
+            "bench/b.cc": "std::ofstream out(path);\n"})
+        self.assertNotIn("raw-file-io", rule_ids(v))
+
+    def test_comment_mention_is_fine(self):
+        v = run_on_tree({
+            "src/foo/bar.h": "// scattered std::ofstream calls drift\n"})
+        self.assertNotIn("raw-file-io", rule_ids(v))
+
+
 class ConcurrentTestLabelTest(unittest.TestCase):
     def test_fires_on_unlabeled_thread_test(self):
         v = run_on_tree({

@@ -1,7 +1,6 @@
 #include "data/idx_io.h"
 
-#include <fstream>
-
+#include "util/file_io.h"
 #include "util/string_util.h"
 
 namespace openapi::data {
@@ -24,27 +23,18 @@ void AppendBigEndian32(uint32_t v, std::vector<uint8_t>* out) {
 }
 
 Result<std::vector<uint8_t>> ReadAll(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.is_open()) {
+  Result<std::string> content = util::ReadFileToString(path);
+  if (!content.ok()) {
     return Status::IoError("cannot open " + path);
   }
-  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
-                             std::istreambuf_iterator<char>());
-  if (in.bad()) {
-    return Status::IoError("read failed for " + path);
-  }
-  return bytes;
+  return std::vector<uint8_t>(content->begin(), content->end());
 }
 
 Status WriteAll(const std::string& path, const std::vector<uint8_t>& bytes) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out.is_open()) {
-    return Status::IoError("cannot open for writing: " + path);
-  }
-  out.write(reinterpret_cast<const char*>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
-  if (!out.good()) {
-    return Status::IoError("write failed for " + path);
+  const Status status = util::WriteStringToFile(
+      path, std::string(bytes.begin(), bytes.end()));
+  if (!status.ok()) {
+    return Status::IoError("cannot write " + path + ": " + status.message());
   }
   return Status::OK();
 }

@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <fstream>
+#include <sstream>
 
 #include "util/check.h"
+#include "util/file_io.h"
 
 namespace openapi::eval {
 
@@ -50,10 +51,7 @@ Status WritePgm(const std::string& path, const Vec& values, size_t width,
   if (values.size() != width * height) {
     return Status::InvalidArgument("heatmap size mismatch");
   }
-  std::ofstream out(path, std::ios::binary);
-  if (!out.is_open()) {
-    return Status::IoError("cannot open for writing: " + path);
-  }
+  std::ostringstream out;
   out << "P5\n" << width << " " << height << "\n255\n";
   const double max_mag = MaxMagnitude(values);
   for (double v : values) {
@@ -61,8 +59,7 @@ Status WritePgm(const std::string& path, const Vec& values, size_t width,
     out.put(static_cast<char>(
         static_cast<unsigned char>(std::lround(norm * 255.0))));
   }
-  if (!out.good()) return Status::IoError("write failed for " + path);
-  return Status::OK();
+  return util::WriteStringToFile(path, out.str());
 }
 
 Status WriteSignedPpm(const std::string& path, const Vec& values,
@@ -70,10 +67,7 @@ Status WriteSignedPpm(const std::string& path, const Vec& values,
   if (values.size() != width * height) {
     return Status::InvalidArgument("heatmap size mismatch");
   }
-  std::ofstream out(path, std::ios::binary);
-  if (!out.is_open()) {
-    return Status::IoError("cannot open for writing: " + path);
-  }
+  std::ostringstream out;
   out << "P6\n" << width << " " << height << "\n255\n";
   const double max_mag = MaxMagnitude(values);
   for (double v : values) {
@@ -88,8 +82,7 @@ Status WriteSignedPpm(const std::string& path, const Vec& values,
     }
     out.write(reinterpret_cast<const char*>(rgb), 3);
   }
-  if (!out.good()) return Status::IoError("write failed for " + path);
-  return Status::OK();
+  return util::WriteStringToFile(path, out.str());
 }
 
 }  // namespace openapi::eval

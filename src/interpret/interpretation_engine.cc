@@ -5,7 +5,9 @@
 #include <cstring>
 
 #include "api/ground_truth.h"
+#include "store/region_store.h"
 #include "util/check.h"
+#include "util/logging.h"
 #include "util/timer.h"
 
 namespace openapi::interpret {
@@ -17,6 +19,15 @@ constexpr size_t kNoSlot = static_cast<size_t>(-1);
 /// region): together with the region capacity this bounds the whole memo,
 /// closing the "point memo grows without bound" hole.
 constexpr size_t kMaxMemoPointsPerRegion = 256;
+
+/// Estimated resident bytes of one point-memo hash-map entry: the
+/// 128-bit PointKey, the slot value, and the node/bucket overhead of the
+/// unordered_map. Feeds the memo_bytes gauge the byte budget bounds.
+constexpr size_t kMemoMapEntryBytes =
+    2 * sizeof(uint64_t) + sizeof(size_t) + 2 * sizeof(void*);
+
+/// Resident bytes of one entry in a region's bounded per-slot key list.
+constexpr size_t kMemoListEntryBytes = 2 * sizeof(uint64_t);
 
 /// Core parameters of `model` for class c against every c' != c, in the
 /// order Interpretation::pairs documents.
@@ -65,12 +76,38 @@ std::optional<SessionStream::Item> SessionStream::Next() {
 
 EndpointSession::EndpointSession(const InterpretationEngine* engine,
                                  const api::PredictionApi* api,
-                                 size_t capacity)
-    : engine_(engine), api_(api), capacity_(capacity) {
+                                 size_t capacity, size_t byte_budget,
+                                 store::RegionStore* store)
+    : engine_(engine),
+      api_(api),
+      capacity_(capacity),
+      byte_budget_(byte_budget),
+      store_(store) {
+  if (store_ != nullptr) {
+    // A shape-mismatched store would deserialize garbage models that
+    // then fail validation on every reload — catch it at open time.
+    OPENAPI_CHECK_EQ(store_->dim(), api_->dim());
+    OPENAPI_CHECK_EQ(store_->num_classes(), api_->num_classes());
+  }
   if (engine_->config().use_region_cache &&
       engine_->config().use_region_index) {
     index_ = std::make_unique<RegionIndex>(api_->dim());
   }
+}
+
+EndpointSession::~EndpointSession() {
+  // The session's RESIDENCY leaves the engine aggregate with it; its
+  // historical activity counters stay. Direct engine-side subtraction
+  // (not BumpGauge): the session side is being destroyed anyway.
+  engine_->stats_.region_bytes.fetch_sub(
+      stats_.region_bytes.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  engine_->stats_.memo_bytes.fetch_sub(
+      stats_.memo_bytes.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  engine_->stats_.index_bytes.fetch_sub(
+      stats_.index_bytes.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
 }
 
 EngineStats EndpointSession::Snapshot(const StatCounters& counters) {
@@ -79,27 +116,91 @@ EngineStats EndpointSession::Snapshot(const StatCounters& counters) {
   s.point_memo_hits =
       counters.point_memo_hits.load(std::memory_order_relaxed);
   s.cache_hits = counters.cache_hits.load(std::memory_order_relaxed);
+  s.disk_hits = counters.disk_hits.load(std::memory_order_relaxed);
   s.cache_misses = counters.cache_misses.load(std::memory_order_relaxed);
   s.evictions = counters.evictions.load(std::memory_order_relaxed);
   s.failures = counters.failures.load(std::memory_order_relaxed);
   s.queries = counters.queries.load(std::memory_order_relaxed);
+  s.store_appends = counters.store_appends.load(std::memory_order_relaxed);
+  s.region_bytes = counters.region_bytes.load(std::memory_order_relaxed);
+  s.memo_bytes = counters.memo_bytes.load(std::memory_order_relaxed);
+  s.index_bytes = counters.index_bytes.load(std::memory_order_relaxed);
+  s.cache_bytes = s.region_bytes + s.memo_bytes + s.index_bytes;
   return s;
 }
 
 void EndpointSession::Reset(StatCounters& counters) {
+  // Activity counters only: the byte gauges track LIVE residency and
+  // must stay in sync with the cache contents across a stats reset.
   counters.requests.store(0, std::memory_order_relaxed);
   counters.point_memo_hits.store(0, std::memory_order_relaxed);
   counters.cache_hits.store(0, std::memory_order_relaxed);
+  counters.disk_hits.store(0, std::memory_order_relaxed);
   counters.cache_misses.store(0, std::memory_order_relaxed);
   counters.evictions.store(0, std::memory_order_relaxed);
   counters.failures.store(0, std::memory_order_relaxed);
   counters.queries.store(0, std::memory_order_relaxed);
+  counters.store_appends.store(0, std::memory_order_relaxed);
 }
 
 void EndpointSession::Bump(std::atomic<uint64_t> StatCounters::* counter,
                            uint64_t n) const {
   (stats_.*counter).fetch_add(n, std::memory_order_relaxed);
   (engine_->stats_.*counter).fetch_add(n, std::memory_order_relaxed);
+}
+
+void EndpointSession::BumpGauge(std::atomic<uint64_t> StatCounters::* gauge,
+                                int64_t delta) const {
+  // Negative deltas wrap through unsigned arithmetic and cancel exactly
+  // against the positive ones, so the gauge reads correct at any point
+  // where its mutations are ordered (they all run under the writer lock).
+  const uint64_t d = static_cast<uint64_t>(delta);
+  (stats_.*gauge).fetch_add(d, std::memory_order_relaxed);
+  (engine_->stats_.*gauge).fetch_add(d, std::memory_order_relaxed);
+}
+
+size_t EndpointSession::SlotBytes(const CachedRegion& region) {
+  return sizeof(CachedRegion) +
+         sizeof(double) *
+             (region.model.weights.rows() * region.model.weights.cols() +
+              region.model.bias.size() + region.anchor.size());
+}
+
+size_t EndpointSession::CacheBytesLocked() const {
+  return stats_.region_bytes.load(std::memory_order_relaxed) +
+         stats_.memo_bytes.load(std::memory_order_relaxed) +
+         stats_.index_bytes.load(std::memory_order_relaxed);
+}
+
+size_t EndpointSession::OccupiedLocked() const {
+  return regions_.size() - free_slots_.size();
+}
+
+void EndpointSession::RefreshIndexBytesLocked() const {
+  const uint64_t now = index_ != nullptr ? index_->memory_bytes() : 0;
+  const uint64_t before = stats_.index_bytes.load(std::memory_order_relaxed);
+  if (now != before) {
+    BumpGauge(&StatCounters::index_bytes,
+              static_cast<int64_t>(now - before));
+  }
+}
+
+void EndpointSession::EnforceByteBudgetLocked(
+    size_t protect_slot, std::vector<store::RegionRecord>* spills) const {
+  if (byte_budget_ == 0) return;
+  while (CacheBytesLocked() > byte_budget_) {
+    const size_t occupied = OccupiedLocked();
+    if (occupied == 0) break;
+    size_t guard = protect_slot;
+    if (occupied == 1 && protect_slot != kNoSlot &&
+        protect_slot < regions_.size() && regions_[protect_slot].occupied) {
+      // Everything else is gone and the cache still exceeds the budget:
+      // the protected region cannot be cached within the ceiling. Evict
+      // it too (the request it served already holds its own copy).
+      guard = kNoSlot;
+    }
+    free_slots_.push_back(EvictOneLocked(guard, spills));
+  }
 }
 
 EndpointSession::PointKey EndpointSession::PointKeyOf(const Vec& x0) {
@@ -168,7 +269,8 @@ size_t EndpointSession::FindMatchingRegion(const Vec& x0, const Vec& y0,
     // pays it once and then pays the extraction that dwarfs it.
     std::sort(candidates.begin(), candidates.end());
     for (size_t slot = 0; slot < regions_.size(); ++slot) {
-      if (std::binary_search(candidates.begin(), candidates.end(), slot)) {
+      if (!regions_[slot].occupied ||
+          std::binary_search(candidates.begin(), candidates.end(), slot)) {
         continue;
       }
       if (RegionMatches(regions_[slot].model, x0, y0) &&
@@ -180,6 +282,7 @@ size_t EndpointSession::FindMatchingRegion(const Vec& x0, const Vec& y0,
   }
   if (!engine_->config().bucket_candidates) {
     for (size_t slot = 0; slot < regions_.size(); ++slot) {
+      if (!regions_[slot].occupied) continue;
       if (RegionMatches(regions_[slot].model, x0, y0) &&
           RegionMatches(regions_[slot].model, probe, y_probe)) {
         return slot;
@@ -208,7 +311,7 @@ size_t EndpointSession::FindMatchingRegion(const Vec& x0, const Vec& y0,
   // region can span the decision boundary, so the bucket key is a
   // heuristic; this pass keeps hit behavior identical to the linear scan.
   for (size_t slot = 0; slot < regions_.size(); ++slot) {
-    if (scanned[slot]) continue;
+    if (scanned[slot] || !regions_[slot].occupied) continue;
     if (RegionMatches(regions_[slot].model, x0, y0) &&
         RegionMatches(regions_[slot].model, probe, y_probe)) {
       return slot;
@@ -226,8 +329,12 @@ void EndpointSession::DropRegionAuxLocked(size_t slot) const {
     auto it = point_memo_.find(key);
     if (it != point_memo_.end() && it->second == slot) {
       point_memo_.erase(it);
+      BumpGauge(&StatCounters::memo_bytes,
+                -static_cast<int64_t>(kMemoMapEntryBytes));
     }
   }
+  BumpGauge(&StatCounters::memo_bytes,
+            -static_cast<int64_t>(victim.points.size() * kMemoListEntryBytes));
   victim.points.clear();
   for (size_t bucket_key : victim.bucket_keys) {
     auto bucket = by_argmax_.find(bucket_key);
@@ -243,17 +350,23 @@ void EndpointSession::DropRegionAuxLocked(size_t slot) const {
 
 void EndpointSession::CheckAuxCoherenceLocked() const {
   if (index_ == nullptr) return;
-  OPENAPI_CHECK_EQ(index_->size(), regions_.size());
+  OPENAPI_CHECK_EQ(index_->size(), OccupiedLocked());
 }
 
-size_t EndpointSession::EvictOneLocked() const {
+size_t EndpointSession::EvictOneLocked(
+    size_t protect_slot, std::vector<store::RegionRecord>* spills) const {
   // Second-chance clock: a region with recorded hits gets its counter
   // halved and survives the sweep; the first cold slot is the victim.
   // Halving strictly decreases positive counters, so the sweep
-  // terminates, and frequently hit regions take log2(hits) sweeps to
-  // cool — the LFU-flavored survival the serving cache wants.
+  // terminates (the caller guarantees at least one occupied,
+  // unprotected region), and frequently hit regions take log2(hits)
+  // sweeps to cool — the LFU-flavored survival the serving cache wants.
   for (;;) {
     clock_hand_ %= regions_.size();
+    if (!regions_[clock_hand_].occupied || clock_hand_ == protect_slot) {
+      ++clock_hand_;
+      continue;
+    }
     CachedRegion& region = regions_[clock_hand_];
     const uint32_t hits = region.hits.load(std::memory_order_relaxed);
     if (hits == 0) break;
@@ -261,23 +374,58 @@ size_t EndpointSession::EvictOneLocked() const {
     ++clock_hand_;
   }
   const size_t slot = clock_hand_++;
-  const uint64_t victim_fingerprint = regions_[slot].fingerprint;
+  CachedRegion& victim = regions_[slot];
+  const uint64_t victim_fingerprint = victim.fingerprint;
+  // Spill the victim's LEARNED box to the persistent tier before the
+  // teardown: traffic may have grown it well past the certificate the
+  // write-through persisted, and the store's Put re-appends only when
+  // the box actually grew. The record is staged; the caller persists it
+  // after releasing the cache lock (the store has its own mutex).
+  if (store_ != nullptr && spills != nullptr && index_ != nullptr) {
+    store::RegionRecord record;
+    if (index_->ExportBox(slot, &record.lo, &record.hi)) {
+      record.fingerprint = victim_fingerprint;
+      // The insertion-time argmax is the front of the bucket-key list
+      // (FileBucketLocked appends, eviction clears).
+      record.argmax = victim.bucket_keys.empty()
+                          ? static_cast<uint32_t>(linalg::ArgMax(
+                                api::EvaluateLocalModel(victim.model,
+                                                        victim.anchor)))
+                          : static_cast<uint32_t>(victim.bucket_keys.front());
+      record.anchor = victim.anchor;
+      record.model = victim.model;
+      spills->push_back(std::move(record));
+    }
+  }
+  BumpGauge(&StatCounters::region_bytes,
+            -static_cast<int64_t>(SlotBytes(victim)));
   // One step removes the victim from every auxiliary structure
   // (fingerprint map, memo, buckets, index) — there is no code path that
   // can leave one of them holding the dead slot.
   DropRegionAuxLocked(slot);
+  // Release the payload: the byte gauge just gave these bytes back, so
+  // the memory must actually go too (the slot may sit on free_slots_
+  // indefinitely).
+  victim.model = api::LocalLinearModel{};
+  victim.anchor = Vec{};
+  victim.occupied = false;
+  victim.hits.store(0, std::memory_order_relaxed);
   if (evicted_fingerprints_.size() > 8 * capacity_ + 64) {
     evicted_fingerprints_.clear();  // bounded classification memory
   }
   evicted_fingerprints_.insert(victim_fingerprint);
   Bump(&StatCounters::evictions);
+  RefreshIndexBytesLocked();
   return slot;
 }
 
 void EndpointSession::FilePointLocked(const PointKey& key,
                                       size_t slot) const {
   auto [it, inserted] = point_memo_.emplace(key, slot);
-  if (!inserted) {
+  if (inserted) {
+    BumpGauge(&StatCounters::memo_bytes,
+              static_cast<int64_t>(kMemoMapEntryBytes));
+  } else {
     if (it->second == slot) return;
     it->second = slot;  // the key's old region was displaced
   }
@@ -286,10 +434,16 @@ void EndpointSession::FilePointLocked(const PointKey& key,
     auto oldest = point_memo_.find(region.points.front());
     if (oldest != point_memo_.end() && oldest->second == slot) {
       point_memo_.erase(oldest);
+      BumpGauge(&StatCounters::memo_bytes,
+                -static_cast<int64_t>(kMemoMapEntryBytes));
     }
     region.points.erase(region.points.begin());
+    BumpGauge(&StatCounters::memo_bytes,
+              -static_cast<int64_t>(kMemoListEntryBytes));
   }
   region.points.push_back(key);
+  BumpGauge(&StatCounters::memo_bytes,
+            static_cast<int64_t>(kMemoListEntryBytes));
 }
 
 void EndpointSession::FileBucketLocked(size_t slot, size_t argmax) const {
@@ -308,23 +462,11 @@ void EndpointSession::FileBucketLocked(size_t slot, size_t argmax) const {
   }
 }
 
-size_t EndpointSession::InsertRegion(api::LocalLinearModel model,
-                                     uint64_t fingerprint, const Vec& x0,
-                                     size_t argmax, double edge_length,
-                                     CacheOutcome* outcome) const {
+size_t EndpointSession::InsertRegion(
+    api::LocalLinearModel model, uint64_t fingerprint, const Vec& anchor,
+    const Vec& memo_point, size_t argmax, const Vec& lo, const Vec& hi,
+    CacheOutcome* outcome, std::vector<store::RegionRecord>* spills) const {
   util::WriterMutexLock lock(cache_mutex_);
-  // The solver certified the model on probes drawn from the final
-  // consistent hypercube [x0 - edge, x0 + edge] per dimension — the
-  // region's learned box starts as exactly that certificate.
-  Vec lo, hi;
-  if (index_ != nullptr) {
-    lo = x0;
-    hi = x0;
-    for (size_t j = 0; j < lo.size(); ++j) {
-      lo[j] -= edge_length;
-      hi[j] += edge_length;
-    }
-  }
   size_t slot;
   auto it = by_fingerprint_.find(fingerprint);
   if (it != by_fingerprint_.end()) {
@@ -333,39 +475,155 @@ size_t EndpointSession::InsertRegion(api::LocalLinearModel model,
       index_->Expand(slot, lo, hi);  // union of both certificates
     }
   } else {
-    if (capacity_ > 0 && regions_.size() >= capacity_) {
-      slot = EvictOneLocked();
-      regions_[slot] = CachedRegion(std::move(model), fingerprint);
+    CachedRegion incoming(std::move(model), fingerprint, anchor);
+    const size_t incoming_bytes = SlotBytes(incoming);
+    if (byte_budget_ > 0 &&
+        incoming_bytes + kMemoMapEntryBytes + kMemoListEntryBytes >
+            byte_budget_) {
+      // Bigger than the whole budget: the request is served from the
+      // caller's copy, the region is never cached, the ceiling holds.
+      return kNoSlot;
+    }
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+      regions_[slot] = std::move(incoming);
+    } else if (capacity_ > 0 && OccupiedLocked() >= capacity_) {
+      slot = EvictOneLocked(kNoSlot, spills);
+      regions_[slot] = std::move(incoming);
     } else {
       slot = regions_.size();
-      regions_.push_back(CachedRegion(std::move(model), fingerprint));
+      regions_.push_back(std::move(incoming));
     }
     by_fingerprint_.emplace(fingerprint, slot);
+    BumpGauge(&StatCounters::region_bytes,
+              static_cast<int64_t>(SlotBytes(regions_[slot])));
     if (index_ != nullptr) index_->Insert(slot, lo, hi);
     if (evicted_fingerprints_.erase(fingerprint) > 0 && outcome != nullptr) {
       *outcome = CacheOutcome::kEvictedRefetch;
     }
   }
   FileBucketLocked(slot, argmax);
-  FilePointLocked(PointKeyOf(x0), slot);
+  FilePointLocked(PointKeyOf(memo_point), slot);
+  RefreshIndexBytesLocked();
+  EnforceByteBudgetLocked(slot, spills);
   CheckAuxCoherenceLocked();
+  if (!regions_[slot].occupied || regions_[slot].fingerprint != fingerprint) {
+    return kNoSlot;  // the byte budget evicted the region straight away
+  }
   return slot;
 }
 
-size_t EndpointSession::ImportRegion(api::LocalLinearModel model,
-                                     const Vec& anchor,
-                                     double edge_length) const {
-  if (!engine_->config().use_region_cache) {
-    return static_cast<size_t>(-1);
+void EndpointSession::WriteThrough(const api::LocalLinearModel& model,
+                                   uint64_t fingerprint, const Vec& anchor,
+                                   size_t argmax, const Vec& lo,
+                                   const Vec& hi) const {
+  if (store_ == nullptr) return;
+  store::RegionRecord record;
+  record.fingerprint = fingerprint;
+  record.argmax = static_cast<uint32_t>(argmax);
+  record.anchor = anchor;
+  record.lo = lo;
+  record.hi = hi;
+  record.model = model;
+  Result<bool> appended = store_->Put(record);
+  if (!appended.ok()) {
+    // Persistence is best-effort from the serving path's point of view:
+    // a full disk degrades the session to RAM-only, it does not fail
+    // requests.
+    OPENAPI_LOG(Warning) << "region write-through failed: "
+                         << appended.status().message();
+  } else if (*appended) {
+    Bump(&StatCounters::store_appends);
   }
-  OPENAPI_CHECK_EQ(anchor.size(), api_->dim());
-  OPENAPI_CHECK_EQ(model.bias.size(), api_->num_classes());
+}
+
+void EndpointSession::PersistSpills(
+    std::vector<store::RegionRecord>* spills) const {
+  if (store_ != nullptr) {
+    for (const store::RegionRecord& record : *spills) {
+      Result<bool> appended = store_->Put(record);
+      if (!appended.ok()) {
+        OPENAPI_LOG(Warning) << "eviction spill persist failed: "
+                             << appended.status().message();
+      } else if (*appended) {
+        Bump(&StatCounters::store_appends);
+      }
+    }
+  }
+  spills->clear();
+}
+
+bool EndpointSession::ReloadFromStore(
+    const Vec& x0, const Vec& y0, const Vec& probe, const Vec& y_probe,
+    size_t argmax, api::LocalLinearModel* reloaded,
+    std::vector<store::RegionRecord>* spills) const {
+  std::vector<uint64_t> offsets;
+  store_->CollectCandidates(x0, argmax, &offsets);
+  for (uint64_t offset : offsets) {
+    Result<store::RegionRecord> record = store_->Read(offset);
+    if (!record.ok()) {
+      OPENAPI_LOG(Warning) << "region log read at offset " << offset
+                           << " failed: " << record.status().message();
+      continue;
+    }
+    // Same exact predicate as a RAM candidate, against the 2-query pair
+    // the request already bought: a stale, corrupt, or merely
+    // box-overlapping record is rejected here, never served.
+    if (!RegionMatches(record->model, x0, y0) ||
+        !RegionMatches(record->model, probe, y_probe)) {
+      continue;
+    }
+    // The record's fingerprint was computed from these exact bits by the
+    // session that persisted it (the log round-trips raw doubles), so a
+    // later re-extraction of the same region deduplicates against this
+    // slot.
+    InsertRegion(api::LocalLinearModel(record->model), record->fingerprint,
+                 record->anchor, x0, argmax, record->lo, record->hi,
+                 /*outcome=*/nullptr, spills);
+    *reloaded = std::move(record->model);
+    return true;
+  }
+  return false;
+}
+
+Result<size_t> EndpointSession::ImportRegion(api::LocalLinearModel model,
+                                             const Vec& anchor,
+                                             double edge_length) const {
+  if (!engine_->config().use_region_cache) {
+    return Status::FailedPrecondition(
+        "region cache disabled: nothing to import into");
+  }
+  if (anchor.size() != api_->dim() ||
+      model.bias.size() != api_->num_classes() ||
+      model.weights.rows() != api_->dim() ||
+      model.weights.cols() != api_->num_classes()) {
+    return Status::InvalidArgument(
+        "imported model/anchor shape does not match the endpoint");
+  }
   const Vec y0 = api::EvaluateLocalModel(model, anchor);
   const size_t argmax = linalg::ArgMax(y0);
   const uint64_t fingerprint =
       LocalModelFingerprint(model, engine_->config().fingerprint_resolution);
-  return InsertRegion(std::move(model), fingerprint, anchor, argmax,
-                      edge_length, /*outcome=*/nullptr);
+  // The certified hypercube {x : |x_j - anchor_j| <= edge_length} seeds
+  // the learned box, in RAM and (write-through) on the log.
+  Vec lo = anchor;
+  Vec hi = anchor;
+  for (size_t j = 0; j < lo.size(); ++j) {
+    lo[j] -= edge_length;
+    hi[j] += edge_length;
+  }
+  WriteThrough(model, fingerprint, anchor, argmax, lo, hi);
+  std::vector<store::RegionRecord> spills;
+  const size_t slot =
+      InsertRegion(std::move(model), fingerprint, anchor, anchor, argmax, lo,
+                   hi, /*outcome=*/nullptr, &spills);
+  PersistSpills(&spills);
+  if (slot == kNoSlot) {
+    return Status::FailedPrecondition(
+        "region does not fit the session's cache byte budget");
+  }
+  return slot;
 }
 
 Result<Interpretation> EndpointSession::InterpretCached(
@@ -420,6 +678,9 @@ Result<Interpretation> EndpointSession::InterpretCached(
   const Vec& y0 = pair[0];
   const Vec& y_probe = pair[1];
   const size_t argmax = linalg::ArgMax(y0);
+  // Eviction spill records staged under the writer lock on any of the
+  // paths below; persisted (store mutex only) after the lock is gone.
+  std::vector<store::RegionRecord> spills;
   size_t slot = FindMatchingRegion(x0, y0, probe, y_probe, argmax);
   if (slot != kNoSlot) {
     // A racing ClearCache or eviction may have dropped (or refilled) the
@@ -477,10 +738,15 @@ Result<Interpretation> EndpointSession::InterpretCached(
               std::iter_swap(pos, pos - 1);
             }
           }
+          // The memo (and possibly the box/bucket filings) grew: keep
+          // the byte ceiling while protecting the slot just served.
+          RefreshIndexBytesLocked();
+          EnforceByteBudgetLocked(slot, &spills);
         }
       }
+      PersistSpills(&spills);
       Bump(&StatCounters::cache_hits);
-      *outcome = CacheOutcome::kHit;
+      *outcome = CacheOutcome::kMemoryHit;
       Interpretation out;
       out.dc = api::GroundTruthDecisionFeatures(*model, c);
       out.pairs = PairsFromModel(*model, c);
@@ -491,6 +757,31 @@ Result<Interpretation> EndpointSession::InterpretCached(
       return out;
     }
     // The slot vanished under us: treat the request as a miss below.
+  }
+
+  // 2b. Persistent tier: RAM missed, but the region may sit on the
+  //     session's region log (evicted earlier, or written by a previous
+  //     process on this log). A record whose learned box covers x0 is
+  //     read back and validated against the SAME 2-query pair — so a
+  //     disk hit costs exactly what a RAM hit costs (2 queries) and
+  //     saves the entire extraction.
+  if (store_ != nullptr && !options.bypass_disk_tier) {
+    api::LocalLinearModel reloaded;
+    if (ReloadFromStore(x0, y0, probe, y_probe, argmax, &reloaded,
+                        &spills)) {
+      PersistSpills(&spills);
+      Bump(&StatCounters::disk_hits);
+      *outcome = CacheOutcome::kDiskHit;
+      Interpretation out;
+      out.dc = api::GroundTruthDecisionFeatures(reloaded, c);
+      out.pairs = PairsFromModel(reloaded, c);
+      out.iterations = 0;
+      out.edge_length = config.validation_edge;
+      out.probes.push_back(std::move(probe));
+      out.queries = 2;
+      return out;
+    }
+    PersistSpills(&spills);
   }
 
   // 3. Miss: full closed-form extraction with reference class 0, which
@@ -531,8 +822,20 @@ Result<Interpretation> EndpointSession::InterpretCached(
   out.iterations = solved->iterations;
   out.edge_length = solved->edge_length;
   out.queries = *consumed;
-  InsertRegion(std::move(model), fingerprint, x0, argmax,
-               solved->edge_length, outcome);
+  // The solver certified the model on probes drawn from the final
+  // consistent hypercube [x0 - edge, x0 + edge] per dimension — the
+  // region's learned box starts as exactly that certificate, in RAM and
+  // (write-through, before the model is moved away) on the region log.
+  Vec lo = x0;
+  Vec hi = x0;
+  for (size_t j = 0; j < lo.size(); ++j) {
+    lo[j] -= solved->edge_length;
+    hi[j] += solved->edge_length;
+  }
+  WriteThrough(model, fingerprint, x0, argmax, lo, hi);
+  InsertRegion(std::move(model), fingerprint, x0, x0, argmax, lo, hi,
+               outcome, &spills);
+  PersistSpills(&spills);
   return out;
 }
 
@@ -653,7 +956,7 @@ SessionStream EndpointSession::InterpretStream(
 
 size_t EndpointSession::cache_size() const {
   util::ReaderMutexLock lock(cache_mutex_);
-  return regions_.size();
+  return OccupiedLocked();
 }
 
 EngineStats EndpointSession::stats() const { return Snapshot(stats_); }
@@ -668,7 +971,17 @@ void EndpointSession::ClearCache() const {
   point_memo_.clear();
   evicted_fingerprints_.clear();
   clock_hand_ = 0;
+  free_slots_.clear();
   if (index_ != nullptr) index_->Clear();
+  // Gauges follow the residency to zero (balanced deltas keep the
+  // engine aggregate consistent across the session's lifetime).
+  BumpGauge(&StatCounters::region_bytes,
+            -static_cast<int64_t>(
+                stats_.region_bytes.load(std::memory_order_relaxed)));
+  BumpGauge(&StatCounters::memo_bytes,
+            -static_cast<int64_t>(
+                stats_.memo_bytes.load(std::memory_order_relaxed)));
+  RefreshIndexBytesLocked();
   CheckAuxCoherenceLocked();
 }
 
@@ -740,9 +1053,20 @@ void InterpretationEngine::EndAsyncTask() const {
 
 std::shared_ptr<EndpointSession> InterpretationEngine::OpenSession(
     const api::PredictionApi& api, size_t cache_capacity) const {
+  SessionOptions options;
+  options.cache_capacity = cache_capacity;
+  return OpenSession(api, options);
+}
+
+std::shared_ptr<EndpointSession> InterpretationEngine::OpenSession(
+    const api::PredictionApi& api, const SessionOptions& options) const {
   return std::shared_ptr<EndpointSession>(new EndpointSession(
       this, &api,
-      cache_capacity > 0 ? cache_capacity : config_.cache_capacity));
+      options.cache_capacity > 0 ? options.cache_capacity
+                                 : config_.cache_capacity,
+      options.cache_capacity_bytes > 0 ? options.cache_capacity_bytes
+                                       : config_.cache_capacity_bytes,
+      options.store));
 }
 
 EngineStats InterpretationEngine::stats() const {

@@ -43,12 +43,34 @@
 // request via WorkspaceLease), so the solver's first-iteration buffer
 // growth is paid once per worker, not once per miss.
 //
-// Session caches are BOUNDED: `EngineConfig::cache_capacity` (or the
-// OpenSession override) caps the region count, and inserts past capacity
-// evict via a second-chance clock over per-region hit counters (hot
-// regions survive, cold ones cycle out; evictions surface in
-// EngineStats). Evicting a region also drops its point-memo keys and
-// bucket entries, so a stale memo can never serve a dead slot.
+// Session caches are BOUNDED two ways: `EngineConfig::cache_capacity`
+// (or the SessionOptions override) caps the region COUNT, and
+// `cache_capacity_bytes` caps the cache's measured RESIDENT BYTES —
+// region model payloads + point-memo keys + region-index boxes, the
+// gauges EngineStats reports. Inserts past either bound evict via a
+// second-chance clock over per-region hit counters (hot regions survive,
+// cold ones cycle out; evictions surface in EngineStats). Evicting a
+// region also drops its point-memo keys and bucket entries, so a stale
+// memo can never serve a dead slot.
+//
+// ## The persistent tier (store::RegionStore)
+//
+// A session opened with SessionOptions::store gets a DISK tier under the
+// RAM cache: every region the session pays extraction queries for (and
+// every ImportRegion) is written through to the store's append-only
+// region log, and a RAM miss consults the store's directory BEFORE
+// paying a fresh extraction. The reload costs only the 2-query
+// validation pair the request already bought — the decoded model is
+// revalidated against (x0, y0) and (probe, y_probe) exactly like a RAM
+// candidate, so a stale or corrupt record can never serve. The three
+// ways a cache lookup can resolve are distinct CacheOutcomes:
+// kMemoryHit (RAM, 2 queries), kDiskHit (log reload, 2 queries, zero
+// extraction), kMiss (full extraction). Eviction REFRESHES the store:
+// the victim's learned box (grown by traffic since it was persisted) is
+// put back, re-appending only when the box actually grew. Restarting a
+// process on the same log therefore serves its whole region history
+// without re-paying any extraction — the warm-restart contract the
+// store tests pin down.
 //
 // By default the engine BORROWS the process-wide util::SharedThreadPool
 // rather than owning workers, so any number of engines / concurrent
@@ -132,6 +154,11 @@
 #include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
+namespace openapi::store {
+struct RegionRecord;
+class RegionStore;
+}  // namespace openapi::store
+
 namespace openapi::interpret {
 
 /// One unit of work: interpret the prediction at x0 for class c, under
@@ -183,6 +210,15 @@ struct EngineConfig {
   /// OpenSession can override per session. At capacity, inserts evict
   /// via a second-chance clock over per-region hit counters.
   size_t cache_capacity = 0;
+  /// Default BYTE budget of each session's cache; 0 = unbounded.
+  /// SessionOptions can override per session. The budget covers the
+  /// cache's measured resident bytes — region model payloads, point-memo
+  /// keys, and region-index boxes (the EngineStats gauges) — and is a
+  /// hard ceiling: the same clock eviction runs until the cache fits,
+  /// and a region that cannot fit even alone is served without being
+  /// cached. Orthogonal to cache_capacity; either (or both) may bound a
+  /// session.
+  size_t cache_capacity_bytes = 0;
   /// Match tolerance when validating a cached region model against the
   /// API's output (infinity norm over probabilities).
   double match_tol = 1e-9;
@@ -192,25 +228,42 @@ struct EngineConfig {
   double fingerprint_resolution = 1e-6;
 };
 
-/// Monotonic counters describing activity since construction (or the
-/// last ResetStats). Available per session and aggregated across every
-/// session on the engine. All updates are atomic.
+/// Counters and gauges describing a session (or, aggregated, every
+/// session on the engine). The first block is monotonic activity since
+/// construction (or the last ResetStats); the *_bytes fields are GAUGES
+/// of current cache residency — they track live state, are NOT cleared
+/// by ResetStats, and a session's gauges leave the engine aggregate when
+/// the session is destroyed. All updates are atomic.
 struct EngineStats {
   uint64_t requests = 0;
   uint64_t point_memo_hits = 0;  // answered with 0 API queries
-  uint64_t cache_hits = 0;       // answered with 2 API queries
+  uint64_t cache_hits = 0;       // RAM hits: answered with 2 API queries
+  uint64_t disk_hits = 0;        // region-log reloads: 2 API queries,
+                                 // zero extraction
   uint64_t cache_misses = 0;     // paid (or attempted) a full extraction
-  uint64_t evictions = 0;        // regions displaced by capacity pressure
+  uint64_t evictions = 0;        // regions displaced by capacity/byte
+                                 // pressure
   uint64_t failures = 0;         // solver failures, bad requests, and
                                  // budget/deadline/cancel rejections
   uint64_t queries = 0;          // total API queries consumed
+  uint64_t store_appends = 0;    // records written through to the region
+                                 // log (inserts, imports, grown-box
+                                 // eviction refreshes)
+
+  uint64_t region_bytes = 0;  // gauge: cached model payloads + slots
+  uint64_t memo_bytes = 0;    // gauge: point-memo map + per-region keys
+  uint64_t index_bytes = 0;   // gauge: region-index nodes + learned boxes
+  /// Gauge: total cache residency — the value the byte budget bounds.
+  uint64_t cache_bytes = 0;   // region_bytes + memo_bytes + index_bytes
 };
 
 /// How the session cache served one request.
 enum class CacheOutcome {
   kBypass,          // cache disabled, or rejected before the lookup
   kPointMemo,       // exact x0 repeat: 0 API queries
-  kHit,             // candidate scan validated a cached region: 2 queries
+  kMemoryHit,       // candidate scan validated a RAM region: 2 queries
+  kDiskHit,         // RAM missed; a region-log record validated: 2
+                    // queries, zero extraction
   kMiss,            // paid (or attempted) a full extraction
   kEvictedRefetch,  // a miss that re-extracted a previously EVICTED region
 };
@@ -272,6 +325,25 @@ class SessionStream {
 
 class InterpretationEngine;
 
+/// Per-session overrides and attachments for OpenSession. Zero/null
+/// fields fall back to the EngineConfig defaults, so `OpenSession(api,
+/// {})` behaves exactly like the plain overload.
+struct SessionOptions {
+  /// Region-count cap of this session's cache; 0 = use
+  /// EngineConfig::cache_capacity.
+  size_t cache_capacity = 0;
+  /// Byte budget of this session's cache (region payloads + memo keys +
+  /// index boxes); 0 = use EngineConfig::cache_capacity_bytes.
+  size_t cache_capacity_bytes = 0;
+  /// Persistent tier: the session writes every extracted/imported region
+  /// through to this store and consults it on RAM misses (kDiskHit).
+  /// nullptr = RAM-only session. The store must outlive the session and
+  /// match the endpoint's (dim, num_classes); any number of sessions may
+  /// share ONE store instance (it is thread-safe), but two stores must
+  /// never be opened on the same log file.
+  store::RegionStore* store = nullptr;
+};
+
 /// One endpoint's serving context: a region cache + point memo + argmax
 /// buckets namespaced to a single PredictionApi, with a bounded capacity.
 /// Obtained from InterpretationEngine::OpenSession; always held by
@@ -282,6 +354,10 @@ class EndpointSession
  public:
   EndpointSession(const EndpointSession&) = delete;
   EndpointSession& operator=(const EndpointSession&) = delete;
+
+  /// Unwinds this session's byte gauges from the engine aggregate (its
+  /// historical activity counters stay in the aggregate).
+  ~EndpointSession();
 
   /// Serves one request synchronously. `stream` disambiguates the probe
   /// RNG stream — pass distinct values for distinct requests under one
@@ -321,15 +397,24 @@ class EndpointSession
   /// validation pair), so the caller must import models that match the
   /// live endpoint. Pass canonical (column-0-pinned) models if later
   /// re-extractions of the same region should deduplicate against the
-  /// import. Returns the region's cache slot, or SIZE_MAX when the
-  /// engine's region cache is disabled. Thread-safe.
-  size_t ImportRegion(api::LocalLinearModel model, const Vec& anchor,
-                      double edge_length) const;
+  /// import. With a store attached the import is also written through to
+  /// the region log, so a bulk import is how a log is seeded without
+  /// endpoint traffic. Returns the region's cache slot;
+  /// FailedPrecondition when the engine's region cache is disabled or
+  /// the region cannot fit the session's byte budget even alone;
+  /// InvalidArgument when the model/anchor shape does not match the
+  /// endpoint. Thread-safe.
+  Result<size_t> ImportRegion(api::LocalLinearModel model, const Vec& anchor,
+                              double edge_length) const;
 
   const api::PredictionApi& api() const { return *api_; }
   size_t cache_size() const EXCLUDES(cache_mutex_);
   /// Region capacity of this session's cache; 0 = unbounded.
   size_t cache_capacity() const { return capacity_; }
+  /// Byte budget of this session's cache; 0 = unbounded.
+  size_t cache_capacity_bytes() const { return byte_budget_; }
+  /// The attached persistent tier; nullptr for a RAM-only session.
+  const store::RegionStore* store() const { return store_; }
   /// This session's own counters (the engine aggregates all sessions).
   EngineStats stats() const;
   void ResetStats() const;
@@ -346,6 +431,15 @@ class EndpointSession
   struct CachedRegion {
     api::LocalLinearModel model;
     uint64_t fingerprint = 0;
+    /// A point the region is known to contain (the extraction x0 or the
+    /// persisted record's anchor). Eviction spills the region with THIS
+    /// anchor — a learned box's center can lie outside the true polytope,
+    /// so the anchor is the only point a reloaded record may trust.
+    Vec anchor;
+    /// False for a slot vacated by byte-budget eviction and not yet
+    /// refilled (on free_slots_): every scan/sweep skips it. The model is
+    /// emptied on eviction, so a free slot holds no payload bytes.
+    bool occupied = true;
     /// Hit counter feeding the second-chance eviction clock: bumped on
     /// every memo/scan hit, halved each time the clock passes. Atomic so
     /// hits under the shared (reader) lock need no writer upgrade.
@@ -356,17 +450,23 @@ class EndpointSession
     /// Argmax bucket keys this slot is filed under.
     std::vector<size_t> bucket_keys;
 
-    CachedRegion(api::LocalLinearModel m, uint64_t fp)
-        : model(std::move(m)), fingerprint(fp) {}
+    CachedRegion(api::LocalLinearModel m, uint64_t fp, Vec anchor_point)
+        : model(std::move(m)),
+          fingerprint(fp),
+          anchor(std::move(anchor_point)) {}
     CachedRegion(CachedRegion&& other) noexcept
         : model(std::move(other.model)),
           fingerprint(other.fingerprint),
+          anchor(std::move(other.anchor)),
+          occupied(other.occupied),
           hits(other.hits.load(std::memory_order_relaxed)),
           points(std::move(other.points)),
           bucket_keys(std::move(other.bucket_keys)) {}
     CachedRegion& operator=(CachedRegion&& other) noexcept {
       model = std::move(other.model);
       fingerprint = other.fingerprint;
+      anchor = std::move(other.anchor);
+      occupied = other.occupied;
       hits.store(other.hits.load(std::memory_order_relaxed),
                  std::memory_order_relaxed);
       points = std::move(other.points);
@@ -381,20 +481,30 @@ class EndpointSession
     }
   };
 
-  /// Per-session monotonic counters; every bump is mirrored into the
-  /// engine's aggregate.
+  /// Per-session counters and byte gauges; every bump is mirrored into
+  /// the engine's aggregate. Gauges move by balanced +/- deltas (negative
+  /// deltas wrap through unsigned arithmetic and cancel exactly), are
+  /// only mutated under the writer lock — so reads under either lock are
+  /// coherent — and are NOT touched by Reset.
   struct StatCounters {
     std::atomic<uint64_t> requests{0};
     std::atomic<uint64_t> point_memo_hits{0};
     std::atomic<uint64_t> cache_hits{0};
+    std::atomic<uint64_t> disk_hits{0};
     std::atomic<uint64_t> cache_misses{0};
     std::atomic<uint64_t> evictions{0};
     std::atomic<uint64_t> failures{0};
     std::atomic<uint64_t> queries{0};
+    std::atomic<uint64_t> store_appends{0};
+
+    std::atomic<uint64_t> region_bytes{0};
+    std::atomic<uint64_t> memo_bytes{0};
+    std::atomic<uint64_t> index_bytes{0};
   };
 
   EndpointSession(const InterpretationEngine* engine,
-                  const api::PredictionApi* api, size_t capacity);
+                  const api::PredictionApi* api, size_t capacity,
+                  size_t byte_budget, store::RegionStore* store);
 
   static EngineStats Snapshot(const StatCounters& counters);
   static void Reset(StatCounters& counters);
@@ -405,6 +515,36 @@ class EndpointSession
 
   void Bump(std::atomic<uint64_t> StatCounters::* counter,
             uint64_t n = 1) const;
+
+  /// Moves a byte gauge by a signed delta in the session AND engine
+  /// counters (two's-complement wraparound makes +/- deltas cancel
+  /// exactly in the unsigned atomics). Gauge mutations happen only under
+  /// the writer lock.
+  void BumpGauge(std::atomic<uint64_t> StatCounters::* gauge,
+                 int64_t delta) const REQUIRES(cache_mutex_);
+
+  /// Resident bytes one cached region pins: the slot struct + its model
+  /// payload + its anchor (memo keys and index boxes are accounted by
+  /// their own gauges).
+  static size_t SlotBytes(const CachedRegion& region);
+
+  /// Sum of the three byte gauges — the value the byte budget bounds.
+  size_t CacheBytesLocked() const REQUIRES(cache_mutex_);
+
+  /// Occupied slots: regions_.size() minus the vacated free slots.
+  size_t OccupiedLocked() const REQUIRES_SHARED(cache_mutex_);
+
+  /// Re-measures the region index and moves the index_bytes gauge by the
+  /// difference. Called after every index mutation under the writer lock.
+  void RefreshIndexBytesLocked() const REQUIRES(cache_mutex_);
+
+  /// Evicts (never touching `protect_slot`) until the cache fits the
+  /// byte budget. If the protected slot ALONE still exceeds the budget
+  /// after everything else is gone, it is evicted too — a region that
+  /// cannot fit is served uncached rather than breaching the ceiling.
+  void EnforceByteBudgetLocked(size_t protect_slot,
+                               std::vector<store::RegionRecord>* spills)
+      const REQUIRES(cache_mutex_);
 
   Result<Interpretation> Serve(const EngineRequest& request, uint64_t seed,
                                uint64_t stream, uint64_t* consumed,
@@ -428,21 +568,61 @@ class EndpointSession
                             const Vec& y_probe, size_t argmax) const
       EXCLUDES(cache_mutex_);
 
-  /// Inserts `model` (deduplicating by fingerprint; evicting at
-  /// capacity), memoizes x0 -> slot, files the slot under bucket
-  /// `argmax`, and files the slot into the region index with initial box
-  /// {x : |x_j - x0_j| <= edge_length} (the solver's final certified
-  /// hypercube; a fingerprint-deduplicated re-extraction unions its
-  /// hypercube into the existing box instead). Exclusive (writer) lock.
-  /// Flips *outcome to kEvictedRefetch when the fingerprint matches a
-  /// region this session evicted earlier.
+  /// Inserts `model` (deduplicating by fingerprint; evicting at count
+  /// capacity or byte budget), memoizes memo_point -> slot, files the
+  /// slot under bucket `argmax`, and files the slot into the region
+  /// index with initial box [lo, hi] (a fingerprint-deduplicated
+  /// re-insert unions its box into the existing one instead). `anchor`
+  /// is the point the region is certified to contain — equal to
+  /// memo_point on extraction/import, the persisted anchor on a disk
+  /// reload. Exclusive (writer) lock. Flips *outcome to kEvictedRefetch
+  /// when the fingerprint matches a region this session evicted earlier.
+  /// Eviction spill records are appended to *spills for the caller to
+  /// persist AFTER the lock is released (the store has its own mutex; no
+  /// path holds both). Returns kNoSlot when the region was not cached
+  /// (it alone exceeds the byte budget).
   size_t InsertRegion(api::LocalLinearModel model, uint64_t fingerprint,
-                      const Vec& x0, size_t argmax, double edge_length,
-                      CacheOutcome* outcome) const EXCLUDES(cache_mutex_);
+                      const Vec& anchor, const Vec& memo_point,
+                      size_t argmax, const Vec& lo, const Vec& hi,
+                      CacheOutcome* outcome,
+                      std::vector<store::RegionRecord>* spills) const
+      EXCLUDES(cache_mutex_);
 
-  /// Second-chance clock sweep; evicts one region and returns its (now
-  /// vacant) slot. Requires the writer lock and a full cache.
-  size_t EvictOneLocked() const REQUIRES(cache_mutex_);
+  /// Consults the persistent tier on a RAM miss: stabs the store's
+  /// directory for records whose learned box covers x0, reads each
+  /// candidate, and validates it against the 2-query pair the request
+  /// already bought. A validated record is installed into the RAM cache
+  /// (spills out as in InsertRegion), its model moved into *reloaded,
+  /// and true returned — even when the byte budget kept it from being
+  /// cached, the request is still served from it. False when nothing on
+  /// disk explains the pair.
+  bool ReloadFromStore(const Vec& x0, const Vec& y0, const Vec& probe,
+                       const Vec& y_probe, size_t argmax,
+                       api::LocalLinearModel* reloaded,
+                       std::vector<store::RegionRecord>* spills) const
+      EXCLUDES(cache_mutex_);
+
+  /// Write-through: persists one region (by value parts) to the attached
+  /// store, bumping store_appends when bytes were actually appended.
+  /// No-op without a store. Never called with the cache lock held.
+  void WriteThrough(const api::LocalLinearModel& model, uint64_t fingerprint,
+                    const Vec& anchor, size_t argmax, const Vec& lo,
+                    const Vec& hi) const EXCLUDES(cache_mutex_);
+
+  /// Persists the eviction spill records collected under the writer lock
+  /// (grown learned boxes going back to the log), then clears the vector.
+  void PersistSpills(std::vector<store::RegionRecord>* spills) const
+      EXCLUDES(cache_mutex_);
+
+  /// Second-chance clock sweep; evicts one occupied region (never
+  /// `protect_slot`; pass kNoSlot to allow any) and returns its (now
+  /// vacant, unoccupied) slot — the caller either refills it or pushes
+  /// it onto free_slots_. With a store attached the victim's learned box
+  /// is exported into *spills so its growth survives. Requires the
+  /// writer lock and at least one evictable occupied region.
+  size_t EvictOneLocked(size_t protect_slot,
+                        std::vector<store::RegionRecord>* spills) const
+      REQUIRES(cache_mutex_);
 
   /// Removes one region from EVERY auxiliary structure — fingerprint
   /// map, point-memo keys, argmax buckets, region index — as one step,
@@ -452,9 +632,9 @@ class EndpointSession
   void DropRegionAuxLocked(size_t slot) const REQUIRES(cache_mutex_);
 
   /// CHECKs the eviction/index coherence invariant: with the index on,
-  /// every cache slot is present in the index (index size == cache
-  /// size). Called after every cache mutation; a violation is memory
-  /// corruption in the making, so it aborts rather than degrades.
+  /// every OCCUPIED cache slot is present in the index (index size ==
+  /// occupied count). Called after every cache mutation; a violation is
+  /// memory corruption in the making, so it aborts rather than degrades.
   void CheckAuxCoherenceLocked() const REQUIRES(cache_mutex_);
 
   /// Files `key` -> `slot` in the point memo and the slot's bounded
@@ -471,7 +651,12 @@ class EndpointSession
 
   const InterpretationEngine* engine_;
   const api::PredictionApi* api_;
-  const size_t capacity_;  // 0 = unbounded
+  const size_t capacity_;     // region-count cap; 0 = unbounded
+  const size_t byte_budget_;  // resident-byte cap; 0 = unbounded
+  /// The persistent tier (nullptr = RAM-only). The pointee has its own
+  /// mutex; sessions call it only OUTSIDE cache_mutex_, so the two locks
+  /// never nest.
+  store::RegionStore* const store_;
 
   mutable util::SharedMutex cache_mutex_;
   /// NOTE on shared-lock mutation: CachedRegion::hits is atomic, so the
@@ -492,6 +677,10 @@ class EndpointSession
   mutable std::unordered_set<uint64_t> evicted_fingerprints_
       GUARDED_BY(cache_mutex_);
   mutable size_t clock_hand_ GUARDED_BY(cache_mutex_) = 0;
+  /// Slots vacated by byte-budget eviction, reused before regions_
+  /// grows. A listed slot is unoccupied (occupied == false, payload
+  /// emptied) and absent from every auxiliary structure.
+  mutable std::vector<size_t> free_slots_ GUARDED_BY(cache_mutex_);
   /// Hierarchical point-location index over the learned per-region
   /// bounding boxes (nullptr when EngineConfig::use_region_index is off
   /// or the cache is disabled). RegionIndex has no locks of its own: the
@@ -548,6 +737,12 @@ class InterpretationEngine {
   /// any number, on the same or distinct endpoints, from any thread.
   std::shared_ptr<EndpointSession> OpenSession(
       const api::PredictionApi& api, size_t cache_capacity = 0) const;
+
+  /// OpenSession with the full option set: per-session capacity AND byte
+  /// budget overrides, plus the persistent region store to attach (see
+  /// SessionOptions for lifetimes and sharing rules).
+  std::shared_ptr<EndpointSession> OpenSession(
+      const api::PredictionApi& api, const SessionOptions& options) const;
 
   /// Aggregate counters across every session (legacy and OpenSession'd)
   /// this engine served.

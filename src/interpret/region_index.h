@@ -130,6 +130,36 @@ class RegionIndex {
 
   size_t dim() const { return dim_; }
 
+  /// Copies a present slot's learned box into *lo / *hi (false when the
+  /// slot is absent). This is how eviction exports everything traffic
+  /// taught the region — the tiered store re-persists the grown box so a
+  /// post-restart directory stabs as well as the live one did.
+  bool ExportBox(size_t slot, Vec* lo, Vec* hi) const {
+    if (!contains(slot)) return false;
+    const double* l = EntryLo(slot);
+    lo->assign(l, l + dim_);
+    hi->assign(l + dim_, l + 2 * dim_);
+    return true;
+  }
+
+  /// Approximate resident bytes: per-slot entries + learned boxes + every
+  /// tree's node/bound storage. O(trees) = O(C log n), cheap enough to
+  /// refresh after each writer-lock mutation (the session mirrors it into
+  /// the EngineStats::index_bytes gauge); per-leaf slot vectors are
+  /// estimated from live counts rather than walked.
+  size_t memory_bytes() const {
+    size_t bytes = entries_.capacity() * sizeof(Entry) +
+                   entry_bounds_.capacity() * sizeof(double);
+    for (const auto& [bucket, forest] : forests_) {
+      for (const auto& tree : forest) {
+        bytes += sizeof(Tree) + tree->nodes.capacity() * sizeof(Node) +
+                 tree->bounds.capacity() * sizeof(double) +
+                 tree->live * (sizeof(uint32_t) + sizeof(Location));
+      }
+    }
+    return bytes;
+  }
+
   /// Appends the slots whose learned box contains x, deduplicated, the
   /// forest filed under `first_bucket` first, then the remaining forests
   /// in ascending bucket order. Read-only (safe under a shared lock).

@@ -46,6 +46,14 @@ struct RequestOptions {
   /// Cooperative cancellation handle (empty = never cancelled).
   util::CancelToken cancel;
 
+  /// Skip the session's persistent tier (store::RegionStore) on a RAM
+  /// miss: the request pays a fresh extraction instead of reloading a
+  /// persisted region. Latency-sensitive callers use this to keep disk
+  /// reads off their path; it is also the A/B switch the warm-restart
+  /// bench uses to price the disk tier. No effect when the session has no
+  /// store attached.
+  bool bypass_disk_tier = false;
+
   static RequestOptions WithBudget(uint64_t queries) {
     RequestOptions options;
     options.max_queries = queries;

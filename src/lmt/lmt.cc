@@ -1,9 +1,10 @@
 #include "lmt/lmt.h"
 
-#include <fstream>
 #include <limits>
+#include <sstream>
 
 #include "util/check.h"
+#include "util/file_io.h"
 #include "util/string_util.h"
 
 namespace openapi::lmt {
@@ -215,10 +216,9 @@ const LogisticRegression& LogisticModelTree::LeafClassifier(
 }
 
 Status LogisticModelTree::Save(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out.is_open()) {
-    return Status::IoError("cannot open for writing: " + path);
-  }
+  // Serialize into memory, hand the bytes to the confined I/O module
+  // (util/file_io.h is the project's only raw file-I/O site).
+  std::ostringstream out;
   out << "lmt v1\n"
       << dim_ << " " << num_classes_ << " " << nodes_.size() << " "
       << leaves_.size() << " " << depth_ << "\n";
@@ -235,15 +235,15 @@ Status LogisticModelTree::Save(const std::string& path) const {
       out << util::StrFormat("%.17g\n", b);
     }
   }
-  if (!out.good()) return Status::IoError("write failed for " + path);
-  return Status::OK();
+  return util::WriteStringToFile(path, out.str());
 }
 
 Result<LogisticModelTree> LogisticModelTree::Load(const std::string& path) {
-  std::ifstream in(path);
-  if (!in.is_open()) {
+  Result<std::string> content = util::ReadFileToString(path);
+  if (!content.ok()) {
     return Status::IoError("cannot open " + path);
   }
+  std::istringstream in(*content);
   std::string magic, version;
   in >> magic >> version;
   if (magic != "lmt" || version != "v1") {

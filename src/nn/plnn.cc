@@ -1,7 +1,8 @@
 #include "nn/plnn.h"
 
-#include <fstream>
+#include <sstream>
 
+#include "util/file_io.h"
 #include "util/string_util.h"
 
 namespace openapi::nn {
@@ -135,10 +136,9 @@ size_t Plnn::num_hidden_units() const {
 }
 
 Status Plnn::Save(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out.is_open()) {
-    return Status::IoError("cannot open for writing: " + path);
-  }
+  // Serialize into memory, hand the bytes to the confined I/O module
+  // (util/file_io.h is the project's only raw file-I/O site).
+  std::ostringstream out;
   out << "plnn v1\n" << layers_.size() << "\n";
   for (const Layer& layer : layers_) {
     out << layer.in_dim() << " " << layer.out_dim() << "\n";
@@ -149,15 +149,15 @@ Status Plnn::Save(const std::string& path) const {
       out << util::StrFormat("%.17g\n", b);
     }
   }
-  if (!out.good()) return Status::IoError("write failed for " + path);
-  return Status::OK();
+  return util::WriteStringToFile(path, out.str());
 }
 
 Result<Plnn> Plnn::Load(const std::string& path) {
-  std::ifstream in(path);
-  if (!in.is_open()) {
+  Result<std::string> content = util::ReadFileToString(path);
+  if (!content.ok()) {
     return Status::IoError("cannot open " + path);
   }
+  std::istringstream in(*content);
   std::string magic, version;
   in >> magic >> version;
   if (magic != "plnn" || version != "v1") {

@@ -1,0 +1,96 @@
+#include "store/region_directory.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace openapi::store {
+
+void RegionDirectory::Put(uint64_t fingerprint, uint64_t offset,
+                          uint32_t argmax, const Vec& lo, const Vec& hi) {
+  OPENAPI_CHECK_EQ(lo.size(), dim_);
+  OPENAPI_CHECK_EQ(hi.size(), dim_);
+  auto it = by_fingerprint_.find(fingerprint);
+  if (it != by_fingerprint_.end()) {
+    const size_t index = it->second;
+    Entry& entry = entries_[index];
+    entry.offset = offset;
+    double* box_lo = boxes_.data() + index * 2 * dim_;
+    double* box_hi = box_lo + dim_;
+    for (size_t j = 0; j < dim_; ++j) {
+      box_lo[j] = std::min(box_lo[j], lo[j]);
+      box_hi[j] = std::max(box_hi[j], hi[j]);
+    }
+    // A refreshed entry keeps its original argmax filing even if `argmax`
+    // differs (a region spanning the decision boundary can serve several
+    // classes); the partition is a pruning heuristic and
+    // CollectCandidates falls back to the other partitions anyway.
+    return;
+  }
+  const uint32_t index = static_cast<uint32_t>(entries_.size());
+  entries_.push_back(Entry{fingerprint, offset, argmax});
+  boxes_.insert(boxes_.end(), lo.begin(), lo.end());
+  boxes_.insert(boxes_.end(), hi.begin(), hi.end());
+  by_fingerprint_.emplace(fingerprint, index);
+  by_argmax_[argmax].push_back(index);
+}
+
+bool RegionDirectory::Lookup(uint64_t fingerprint, uint64_t* offset) const {
+  auto it = by_fingerprint_.find(fingerprint);
+  if (it == by_fingerprint_.end()) return false;
+  *offset = entries_[it->second].offset;
+  return true;
+}
+
+bool RegionDirectory::GetBox(uint64_t fingerprint, Vec* lo, Vec* hi) const {
+  auto it = by_fingerprint_.find(fingerprint);
+  if (it == by_fingerprint_.end()) return false;
+  const double* box_lo = boxes_.data() + it->second * 2 * dim_;
+  lo->assign(box_lo, box_lo + dim_);
+  hi->assign(box_lo + dim_, box_lo + 2 * dim_);
+  return true;
+}
+
+bool RegionDirectory::BoxContains(size_t entry_index, const Vec& x) const {
+  const double* lo = boxes_.data() + entry_index * 2 * dim_;
+  const double* hi = lo + dim_;
+  for (size_t j = 0; j < dim_; ++j) {
+    if (x[j] < lo[j] || x[j] > hi[j]) return false;
+  }
+  return true;
+}
+
+void RegionDirectory::CollectPartition(
+    const std::vector<uint32_t>& partition, const Vec& x,
+    std::vector<uint64_t>* offsets) const {
+  for (uint32_t index : partition) {
+    if (BoxContains(index, x)) {
+      offsets->push_back(entries_[index].offset);
+    }
+  }
+}
+
+void RegionDirectory::CollectCandidates(
+    const Vec& x, size_t first_argmax,
+    std::vector<uint64_t>* offsets) const {
+  OPENAPI_CHECK_EQ(x.size(), dim_);
+  auto first = by_argmax_.find(static_cast<uint32_t>(first_argmax));
+  if (first != by_argmax_.end()) {
+    CollectPartition(first->second, x, offsets);
+  }
+  for (const auto& [argmax, partition] : by_argmax_) {
+    if (argmax == first_argmax) continue;
+    CollectPartition(partition, x, offsets);
+  }
+}
+
+size_t RegionDirectory::memory_bytes() const {
+  return entries_.capacity() * sizeof(Entry) +
+         boxes_.capacity() * sizeof(double) +
+         by_fingerprint_.size() *
+             (sizeof(uint64_t) + sizeof(uint32_t) + 2 * sizeof(void*)) +
+         by_argmax_.size() * (sizeof(uint32_t) + 3 * sizeof(void*)) +
+         entries_.size() * sizeof(uint32_t);
+}
+
+}  // namespace openapi::store

@@ -1,0 +1,91 @@
+// RegionDirectory: the in-memory fingerprint -> log-offset map of the
+// tiered region store. One entry per distinct region fingerprint in the
+// log, pointing at that fingerprint's LATEST record (the log is
+// append-only; box growth re-appends), plus the metadata a cache miss
+// needs to find reload candidates WITHOUT touching disk: the region's
+// argmax class and its learned bounding box.
+//
+// The directory is what makes an evicted region cheap to bring back: when
+// the RAM cache evicts a slot it keeps (or refreshes) the victim's
+// directory entry, so a later request in that region stabs the directory,
+// reads one record from the log, revalidates it against the API's answer
+// for the 2-query validation pair the request already paid, and installs
+// it — a kDiskHit, never a re-extraction.
+//
+// CollectCandidates mirrors the session's lookup heuristic: boxes whose
+// argmax partition matches the query's predicted class first, then the
+// rest. The scan is linear over entries (the directory cannot reuse
+// interpret::RegionIndex without a dependency cycle, and it sits on the
+// RAM-miss path where one disk read follows anyway); the argmax partition
+// keeps the common case at ~1/C of the entries.
+//
+// Not thread-safe: RegionStore serializes all access behind its mutex.
+
+#ifndef OPENAPI_STORE_REGION_DIRECTORY_H_
+#define OPENAPI_STORE_REGION_DIRECTORY_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "store/region_record.h"
+
+namespace openapi::store {
+
+class RegionDirectory {
+ public:
+  explicit RegionDirectory(size_t dim) : dim_(dim) {}
+
+  /// Inserts or refreshes the entry for `fingerprint`: a new fingerprint
+  /// gets a fresh entry; an existing one is repointed at `offset` and its
+  /// box is UNIONED with [lo, hi] (boxes only ever grow — the invariant
+  /// the learned region boxes already obey in RAM).
+  void Put(uint64_t fingerprint, uint64_t offset, uint32_t argmax,
+           const Vec& lo, const Vec& hi);
+
+  bool Contains(uint64_t fingerprint) const {
+    return by_fingerprint_.count(fingerprint) > 0;
+  }
+
+  /// Latest log offset of `fingerprint`; false when absent.
+  bool Lookup(uint64_t fingerprint, uint64_t* offset) const;
+
+  /// Copies `fingerprint`'s box into *lo / *hi; false when absent.
+  bool GetBox(uint64_t fingerprint, Vec* lo, Vec* hi) const;
+
+  /// Appends the log offsets of every entry whose box contains x —
+  /// entries whose argmax equals `first_argmax` first, then the remaining
+  /// partitions in ascending argmax order.
+  void CollectCandidates(const Vec& x, size_t first_argmax,
+                         std::vector<uint64_t>* offsets) const;
+
+  size_t size() const { return entries_.size(); }
+  size_t dim() const { return dim_; }
+
+  /// Approximate resident bytes (entries + boxes + hash/partition maps).
+  size_t memory_bytes() const;
+
+ private:
+  struct Entry {
+    uint64_t fingerprint = 0;
+    uint64_t offset = 0;
+    uint32_t argmax = 0;
+  };
+
+  bool BoxContains(size_t entry_index, const Vec& x) const;
+  void CollectPartition(const std::vector<uint32_t>& partition,
+                        const Vec& x, std::vector<uint64_t>* offsets) const;
+
+  const size_t dim_;
+  std::vector<Entry> entries_;
+  /// entries_[i]'s box at boxes_[i * 2 * dim_]: lo, then hi.
+  std::vector<double> boxes_;
+  std::unordered_map<uint64_t, uint32_t> by_fingerprint_;
+  /// argmax -> entry indices; ordered so candidate order is deterministic.
+  std::map<uint32_t, std::vector<uint32_t>> by_argmax_;
+};
+
+}  // namespace openapi::store
+
+#endif  // OPENAPI_STORE_REGION_DIRECTORY_H_

@@ -1,0 +1,142 @@
+#include "store/region_log.h"
+
+#include <cstring>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace openapi::store {
+namespace {
+
+constexpr char kLogMagic[8] = {'O', 'A', 'R', 'L', 'O', 'G', '1', '\n'};
+constexpr uint32_t kLogVersion = 1;
+constexpr size_t kHeaderSize = 8 + 4 + 4 + 8 + 8;
+
+void AppendU32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void AppendU64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+uint32_t ReadU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t ReadU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+std::string EncodeHeader(size_t dim, size_t num_classes) {
+  std::string header(kLogMagic, sizeof(kLogMagic));
+  AppendU32(kLogVersion, &header);
+  AppendU32(0, &header);
+  AppendU64(dim, &header);
+  AppendU64(num_classes, &header);
+  return header;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<RegionLog>> RegionLog::Open(
+    const std::string& path, size_t dim, size_t num_classes,
+    const std::function<void(uint64_t, const RegionRecord&)>& on_record) {
+  RecoveryStats recovery;
+  uint64_t record_count = 0;
+
+  if (util::FileExists(path)) {
+    OPENAPI_ASSIGN_OR_RETURN(std::string content,
+                             util::ReadFileToString(path));
+    if (content.size() < kHeaderSize ||
+        std::memcmp(content.data(), kLogMagic, sizeof(kLogMagic)) != 0) {
+      return Status::IoError(path + ": not a region log");
+    }
+    const uint32_t version = ReadU32(content.data() + 8);
+    if (version != kLogVersion) {
+      return Status::IoError(util::StrFormat(
+          "%s: region log version %u, expected %u", path.c_str(),
+          static_cast<unsigned>(version),
+          static_cast<unsigned>(kLogVersion)));
+    }
+    const uint64_t file_dim = ReadU64(content.data() + 16);
+    const uint64_t file_classes = ReadU64(content.data() + 24);
+    if (file_dim != dim || file_classes != num_classes) {
+      return Status::IoError(util::StrFormat(
+          "%s: region log shape (%llu, %llu) does not match endpoint "
+          "(%zu, %zu)",
+          path.c_str(), static_cast<unsigned long long>(file_dim),
+          static_cast<unsigned long long>(file_classes), dim, num_classes));
+    }
+
+    // Replay records front to back; the first frame that fails to decode
+    // marks the recovery point. Everything before it is intact (each
+    // record carries its own checksum); everything from it on is the torn
+    // tail a crash mid-append (or bit rot) left behind.
+    size_t offset = kHeaderSize;
+    const size_t frame_size = RecordFrameSize(dim, num_classes);
+    while (offset < content.size()) {
+      Result<RegionRecord> record =
+          DecodeRecord(content, offset, dim, num_classes);
+      if (!record.ok()) {
+        const uint64_t dropped = content.size() - offset;
+        OPENAPI_LOG(Warning)
+            << path << ": dropping torn log tail (" << dropped
+            << " bytes after " << record_count
+            << " intact records): " << record.status().ToString();
+        OPENAPI_RETURN_NOT_OK(util::TruncateFile(path, offset));
+        recovery.bytes_truncated = dropped;
+        break;
+      }
+      if (on_record) on_record(offset, *record);
+      ++record_count;
+      offset += frame_size;
+    }
+    recovery.records_recovered = record_count;
+
+    OPENAPI_ASSIGN_OR_RETURN(util::File file,
+                             util::File::Open(path, util::File::Mode::kAppend));
+    auto log = std::unique_ptr<RegionLog>(
+        new RegionLog(std::move(file), path, dim, num_classes));
+    log->record_count_ = record_count;
+    log->recovery_ = recovery;
+    return log;
+  }
+
+  // Fresh namespace: write the versioned header.
+  OPENAPI_ASSIGN_OR_RETURN(util::File file,
+                           util::File::Open(path, util::File::Mode::kAppend));
+  OPENAPI_RETURN_NOT_OK(file.Append(EncodeHeader(dim, num_classes)).status());
+  OPENAPI_RETURN_NOT_OK(file.Flush());
+  return std::unique_ptr<RegionLog>(
+      new RegionLog(std::move(file), path, dim, num_classes));
+}
+
+Result<uint64_t> RegionLog::Append(const RegionRecord& record) {
+  std::string frame;
+  frame.reserve(RecordFrameSize(dim_, num_classes_));
+  EncodeRecord(record, dim_, num_classes_, &frame);
+  OPENAPI_ASSIGN_OR_RETURN(uint64_t offset, file_.Append(frame));
+  ++record_count_;
+  return offset;
+}
+
+Result<RegionRecord> RegionLog::ReadAt(uint64_t offset) const {
+  std::string frame;
+  OPENAPI_RETURN_NOT_OK(
+      file_.ReadAt(offset, RecordFrameSize(dim_, num_classes_), &frame));
+  return DecodeRecord(frame, 0, dim_, num_classes_);
+}
+
+Status RegionLog::Flush() { return file_.Flush(); }
+
+}  // namespace openapi::store

@@ -1,0 +1,144 @@
+#include "store/region_record.h"
+
+#include <cstring>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace openapi::store {
+namespace {
+
+void AppendU32(uint32_t v, std::string* out) {
+  char bytes[4];
+  for (int i = 0; i < 4; ++i) bytes[i] = static_cast<char>(v >> (8 * i));
+  out->append(bytes, 4);
+}
+
+void AppendU64(uint64_t v, std::string* out) {
+  char bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<char>(v >> (8 * i));
+  out->append(bytes, 8);
+}
+
+void AppendDoubles(const double* values, size_t count, std::string* out) {
+  out->append(reinterpret_cast<const char*>(values),
+              count * sizeof(double));
+}
+
+uint32_t ReadU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t ReadU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+void ReadDoubles(const char* p, size_t count, double* out) {
+  std::memcpy(out, p, count * sizeof(double));
+}
+
+constexpr size_t kFrameHeaderSize = 4 + 4 + 8;  // magic, size, checksum
+
+}  // namespace
+
+uint64_t Fnv1a64(const char* data, size_t size) {
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t i = 0; i < size; ++i) {
+    h = (h ^ static_cast<unsigned char>(data[i])) * 1099511628211ULL;
+  }
+  return h;
+}
+
+size_t RecordPayloadSize(size_t dim, size_t num_classes) {
+  return 8 + 4 + 4 +
+         sizeof(double) * (3 * dim + dim * num_classes + num_classes);
+}
+
+size_t RecordFrameSize(size_t dim, size_t num_classes) {
+  return kFrameHeaderSize + RecordPayloadSize(dim, num_classes);
+}
+
+void EncodeRecord(const RegionRecord& record, size_t dim,
+                  size_t num_classes, std::string* out) {
+  OPENAPI_CHECK_EQ(record.anchor.size(), dim);
+  OPENAPI_CHECK_EQ(record.lo.size(), dim);
+  OPENAPI_CHECK_EQ(record.hi.size(), dim);
+  OPENAPI_CHECK_EQ(record.model.weights.rows(), dim);
+  OPENAPI_CHECK_EQ(record.model.weights.cols(), num_classes);
+  OPENAPI_CHECK_EQ(record.model.bias.size(), num_classes);
+
+  std::string payload;
+  payload.reserve(RecordPayloadSize(dim, num_classes));
+  AppendU64(record.fingerprint, &payload);
+  AppendU32(record.argmax, &payload);
+  AppendU32(0, &payload);
+  AppendDoubles(record.anchor.data(), dim, &payload);
+  AppendDoubles(record.lo.data(), dim, &payload);
+  AppendDoubles(record.hi.data(), dim, &payload);
+  AppendDoubles(record.model.weights.data().data(), dim * num_classes,
+                &payload);
+  AppendDoubles(record.model.bias.data(), num_classes, &payload);
+  OPENAPI_CHECK_EQ(payload.size(), RecordPayloadSize(dim, num_classes));
+
+  AppendU32(kRecordMagic, out);
+  AppendU32(static_cast<uint32_t>(payload.size()), out);
+  AppendU64(Fnv1a64(payload.data(), payload.size()), out);
+  out->append(payload);
+}
+
+Result<RegionRecord> DecodeRecord(std::string_view data, size_t offset,
+                                  size_t dim, size_t num_classes) {
+  if (offset + kFrameHeaderSize > data.size()) {
+    return Status::OutOfRange("torn frame header");
+  }
+  const char* frame = data.data() + offset;
+  if (ReadU32(frame) != kRecordMagic) {
+    return Status::IoError("bad record magic");
+  }
+  const uint32_t payload_size = ReadU32(frame + 4);
+  const size_t expected = RecordPayloadSize(dim, num_classes);
+  if (payload_size != expected) {
+    return Status::IoError(util::StrFormat(
+        "record payload size %u, expected %zu",
+        static_cast<unsigned>(payload_size), expected));
+  }
+  if (offset + kFrameHeaderSize + payload_size > data.size()) {
+    return Status::OutOfRange("torn record payload");
+  }
+  const uint64_t checksum = ReadU64(frame + 8);
+  const char* payload = frame + kFrameHeaderSize;
+  if (Fnv1a64(payload, payload_size) != checksum) {
+    return Status::IoError("record checksum mismatch");
+  }
+
+  RegionRecord record;
+  record.fingerprint = ReadU64(payload);
+  record.argmax = ReadU32(payload + 8);
+  const char* p = payload + 16;
+  record.anchor.resize(dim);
+  ReadDoubles(p, dim, record.anchor.data());
+  p += dim * sizeof(double);
+  record.lo.resize(dim);
+  ReadDoubles(p, dim, record.lo.data());
+  p += dim * sizeof(double);
+  record.hi.resize(dim);
+  ReadDoubles(p, dim, record.hi.data());
+  p += dim * sizeof(double);
+  record.model.weights = linalg::Matrix(dim, num_classes);
+  ReadDoubles(p, dim * num_classes,
+              record.model.weights.mutable_data().data());
+  p += dim * num_classes * sizeof(double);
+  record.model.bias.resize(num_classes);
+  ReadDoubles(p, num_classes, record.model.bias.data());
+  return record;
+}
+
+}  // namespace openapi::store

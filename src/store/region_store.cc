@@ -1,0 +1,99 @@
+#include "store/region_store.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace openapi::store {
+
+Result<std::unique_ptr<RegionStore>> RegionStore::Open(
+    const std::string& path, size_t dim, size_t num_classes) {
+  RegionDirectory directory(dim);
+  auto log = RegionLog::Open(
+      path, dim, num_classes,
+      [&directory](uint64_t offset, const RegionRecord& record) {
+        // Replay order is append order, so the directory ends pointing at
+        // each fingerprint's latest record with the union of every box it
+        // was persisted with — identical to the directory state the
+        // writing process had.
+        directory.Put(record.fingerprint, offset, record.argmax, record.lo,
+                      record.hi);
+      });
+  OPENAPI_RETURN_NOT_OK(log.status());
+  return std::unique_ptr<RegionStore>(new RegionStore(
+      std::move(*log), std::move(directory), dim, num_classes));
+}
+
+Result<bool> RegionStore::Put(const RegionRecord& record) {
+  util::MutexLock lock(mutex_);
+  Vec stored_lo, stored_hi;
+  if (directory_.GetBox(record.fingerprint, &stored_lo, &stored_hi)) {
+    bool grew = false;
+    for (size_t j = 0; j < dim_; ++j) {
+      if (record.lo[j] < stored_lo[j] || record.hi[j] > stored_hi[j]) {
+        grew = true;
+        break;
+      }
+    }
+    if (!grew) return false;  // already persisted with a covering box
+    // Re-append with the UNION box so a post-restart directory (built
+    // from records alone) sees everything this process learned.
+    RegionRecord updated = record;
+    for (size_t j = 0; j < dim_; ++j) {
+      updated.lo[j] = std::min(record.lo[j], stored_lo[j]);
+      updated.hi[j] = std::max(record.hi[j], stored_hi[j]);
+    }
+    OPENAPI_ASSIGN_OR_RETURN(uint64_t offset, log_->Append(updated));
+    directory_.Put(updated.fingerprint, offset, updated.argmax, updated.lo,
+                   updated.hi);
+    ++appended_records_;
+    return true;
+  }
+  OPENAPI_ASSIGN_OR_RETURN(uint64_t offset, log_->Append(record));
+  directory_.Put(record.fingerprint, offset, record.argmax, record.lo,
+                 record.hi);
+  ++appended_records_;
+  return true;
+}
+
+bool RegionStore::Contains(uint64_t fingerprint) const {
+  util::MutexLock lock(mutex_);
+  return directory_.Contains(fingerprint);
+}
+
+void RegionStore::CollectCandidates(const Vec& x, size_t first_argmax,
+                                    std::vector<uint64_t>* offsets) const {
+  util::MutexLock lock(mutex_);
+  directory_.CollectCandidates(x, first_argmax, offsets);
+}
+
+Result<RegionRecord> RegionStore::Read(uint64_t offset) const {
+  util::MutexLock lock(mutex_);
+  return log_->ReadAt(offset);
+}
+
+Status RegionStore::Flush() {
+  util::MutexLock lock(mutex_);
+  return log_->Flush();
+}
+
+size_t RegionStore::size() const {
+  util::MutexLock lock(mutex_);
+  return directory_.size();
+}
+
+uint64_t RegionStore::appended_records() const {
+  util::MutexLock lock(mutex_);
+  return appended_records_;
+}
+
+RegionLog::RecoveryStats RegionStore::recovery_stats() const {
+  util::MutexLock lock(mutex_);
+  return log_->recovery_stats();
+}
+
+size_t RegionStore::directory_bytes() const {
+  util::MutexLock lock(mutex_);
+  return directory_.memory_bytes();
+}
+
+}  // namespace openapi::store

@@ -1,8 +1,5 @@
 #include "util/csv_writer.h"
 
-#include <filesystem>
-#include <system_error>
-
 #include "util/string_util.h"
 
 namespace openapi::util {
@@ -12,11 +9,11 @@ Result<CsvWriter> CsvWriter::Open(const std::string& path,
   if (header.empty()) {
     return Status::InvalidArgument("CSV header must be non-empty");
   }
-  std::ofstream out(path);
-  if (!out.is_open()) {
+  auto out = File::Open(path, File::Mode::kTruncate);
+  if (!out.ok()) {
     return Status::IoError("cannot open for writing: " + path);
   }
-  CsvWriter writer(std::move(out), header.size());
+  CsvWriter writer(std::move(*out), header.size());
   OPENAPI_RETURN_NOT_OK(writer.WriteRow(header));
   return writer;
 }
@@ -26,14 +23,13 @@ Result<CsvWriter> CsvWriter::OpenAppend(
   if (header.empty()) {
     return Status::InvalidArgument("CSV header must be non-empty");
   }
-  std::error_code ec;
-  const auto existing_size = std::filesystem::file_size(path, ec);
-  const bool need_header = ec || existing_size == 0;
-  std::ofstream out(path, std::ios::app);
-  if (!out.is_open()) {
+  Result<uint64_t> existing_size = FileSizeOf(path);
+  const bool need_header = !existing_size.ok() || *existing_size == 0;
+  auto out = File::Open(path, File::Mode::kAppend);
+  if (!out.ok()) {
     return Status::IoError("cannot open for appending: " + path);
   }
-  CsvWriter writer(std::move(out), header.size());
+  CsvWriter writer(std::move(*out), header.size());
   if (need_header) {
     OPENAPI_RETURN_NOT_OK(writer.WriteRow(header));
   }
@@ -48,9 +44,7 @@ Status CsvWriter::WriteRow(const std::vector<std::string>& fields) {
   std::vector<std::string> escaped;
   escaped.reserve(fields.size());
   for (const auto& f : fields) escaped.push_back(EscapeField(f));
-  out_ << Join(escaped, ",") << "\n";
-  if (!out_.good()) return Status::IoError("CSV write failed");
-  return Status::OK();
+  return out_.Append(Join(escaped, ",") + "\n").status();
 }
 
 Status CsvWriter::WriteRow(const std::vector<double>& values) {
@@ -60,13 +54,7 @@ Status CsvWriter::WriteRow(const std::vector<double>& values) {
   return WriteRow(fields);
 }
 
-Status CsvWriter::Close() {
-  if (out_.is_open()) {
-    out_.close();
-    if (out_.fail()) return Status::IoError("CSV close failed");
-  }
-  return Status::OK();
-}
+Status CsvWriter::Close() { return out_.Close(); }
 
 std::string CsvWriter::EscapeField(const std::string& field) {
   bool needs_quoting = field.find_first_of(",\"\n") != std::string::npos;

@@ -4,10 +4,10 @@
 #ifndef OPENAPI_UTIL_CSV_WRITER_H_
 #define OPENAPI_UTIL_CSV_WRITER_H_
 
-#include <fstream>
 #include <string>
 #include <vector>
 
+#include "util/file_io.h"
 #include "util/status.h"
 
 namespace openapi::util {
@@ -40,12 +40,12 @@ class CsvWriter {
   size_t num_columns() const { return num_columns_; }
 
  private:
-  CsvWriter(std::ofstream out, size_t num_columns)
+  CsvWriter(File out, size_t num_columns)
       : out_(std::move(out)), num_columns_(num_columns) {}
 
   static std::string EscapeField(const std::string& field);
 
-  std::ofstream out_;
+  File out_;
   size_t num_columns_;
 };
 

@@ -123,7 +123,7 @@ TEST(EndpointSessionTest, ScanHitCostsExactlyTwoQueries) {
   nudged[0] += 1e-9;  // same leaf region, different raw bits
   auto hit = session->Interpret({nudged, 0}, /*seed=*/17, 1);
   ASSERT_TRUE(hit.result.ok());
-  EXPECT_EQ(hit.cache_outcome, CacheOutcome::kHit);
+  EXPECT_EQ(hit.cache_outcome, CacheOutcome::kMemoryHit);
   EXPECT_EQ(hit.queries, 2u);
   EXPECT_EQ(hit.shrink_iterations, 0u);
   EXPECT_LT(linalg::L1Distance(miss.result->dc, hit.result->dc), 1e-9);

@@ -334,9 +334,9 @@ TEST(RegionIndexSessionTest, ImportRegionWarmStartServesWithoutExtraction) {
   auto session = engine.OpenSession(api);
   for (size_t i = 0; i < 8; ++i) {
     for (size_t j = 0; j < 8; ++j) {
-      const size_t slot = session->ImportRegion(
+      const Result<size_t> slot = session->ImportRegion(
           grid.CellModel(i, j), grid.CellCenter(i, j), grid.CellHalfEdge());
-      ASSERT_NE(slot, static_cast<size_t>(-1));
+      ASSERT_TRUE(slot.ok()) << slot.status().ToString();
     }
   }
   EXPECT_EQ(session->cache_size(), 64u);
@@ -354,12 +354,15 @@ TEST(RegionIndexSessionTest, ImportRegionWarmStartServesWithoutExtraction) {
   x[2] += 0.01;
   auto hit = session->Interpret({x, 0, {}}, /*seed=*/8, /*stream=*/1);
   ASSERT_TRUE(hit.result.ok());
-  EXPECT_EQ(hit.cache_outcome, CacheOutcome::kHit);
+  EXPECT_EQ(hit.cache_outcome, CacheOutcome::kMemoryHit);
   EXPECT_EQ(hit.queries, 2u);
   EXPECT_EQ(session->stats().cache_misses, 0u);
 }
 
-TEST(RegionIndexSessionTest, ImportRegionReturnsSentinelWhenCacheDisabled) {
+TEST(RegionIndexSessionTest, ImportRegionFailsWhenCacheDisabled) {
+  // Regression: this used to return a silent SIZE_MAX sentinel that
+  // callers could mistake for a slot; the import now reports a typed
+  // FailedPrecondition status instead.
   util::Rng model_rng(92);
   GridPlm grid(4, 3, 4, &model_rng);
   api::PredictionApi api(&grid);
@@ -367,9 +370,33 @@ TEST(RegionIndexSessionTest, ImportRegionReturnsSentinelWhenCacheDisabled) {
   config.use_region_cache = false;
   InterpretationEngine engine(config);
   auto session = engine.OpenSession(api);
-  EXPECT_EQ(session->ImportRegion(grid.CellModel(0, 0), grid.CellCenter(0, 0),
-                                  grid.CellHalfEdge()),
-            static_cast<size_t>(-1));
+  const Result<size_t> slot = session->ImportRegion(
+      grid.CellModel(0, 0), grid.CellCenter(0, 0), grid.CellHalfEdge());
+  ASSERT_FALSE(slot.ok());
+  EXPECT_TRUE(slot.status().IsFailedPrecondition())
+      << slot.status().ToString();
+  EXPECT_EQ(session->cache_size(), 0u);
+}
+
+TEST(RegionIndexSessionTest, ImportRegionRejectsShapeMismatch) {
+  util::Rng model_rng(95);
+  GridPlm grid(4, 3, 4, &model_rng);
+  api::PredictionApi api(&grid);
+  InterpretationEngine engine;
+  auto session = engine.OpenSession(api);
+  // Anchor with the wrong dimensionality.
+  const Result<size_t> bad_anchor = session->ImportRegion(
+      grid.CellModel(0, 0), Vec{0.0, 0.0}, grid.CellHalfEdge());
+  ASSERT_FALSE(bad_anchor.ok());
+  EXPECT_TRUE(bad_anchor.status().IsInvalidArgument());
+  // Model with the wrong class count.
+  api::LocalLinearModel narrow;
+  narrow.weights = linalg::Matrix(4, 2, 0.0);
+  narrow.bias = Vec{0.0, 0.0};
+  const Result<size_t> bad_model = session->ImportRegion(
+      std::move(narrow), grid.CellCenter(0, 0), grid.CellHalfEdge());
+  ASSERT_FALSE(bad_model.ok());
+  EXPECT_TRUE(bad_model.status().IsInvalidArgument());
   EXPECT_EQ(session->cache_size(), 0u);
 }
 
@@ -404,7 +431,7 @@ TEST(RegionIndexSessionTest, EvictionKeepsIndexCoherentUnderPressure) {
   x[0] -= 1e-5;
   auto response = session->Interpret({x, 0, {}}, 17, stream++);
   ASSERT_TRUE(response.result.ok());
-  EXPECT_EQ(response.cache_outcome, CacheOutcome::kHit);
+  EXPECT_EQ(response.cache_outcome, CacheOutcome::kMemoryHit);
   (void)stats_before;
 }
 

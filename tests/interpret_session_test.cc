@@ -403,7 +403,7 @@ TEST(SessionEvictionTest, CapacityIsNeverExceededAndHotRegionsSurvive) {
     nudged[0] += 1e-10 * static_cast<double>(i);
     auto response = session->Interpret({nudged, 0}, 21, stream++);
     ASSERT_TRUE(response.result.ok());
-    EXPECT_EQ(response.cache_outcome, CacheOutcome::kHit);
+    EXPECT_EQ(response.cache_outcome, CacheOutcome::kMemoryHit);
   }
 
   // Capacity pressure: 12 cold regions through a capacity-4 cache.
@@ -423,7 +423,7 @@ TEST(SessionEvictionTest, CapacityIsNeverExceededAndHotRegionsSurvive) {
   probe[1] += 1e-10;
   auto still_hot = session->Interpret({probe, 1}, 21, stream++);
   ASSERT_TRUE(still_hot.result.ok());
-  EXPECT_EQ(still_hot.cache_outcome, CacheOutcome::kHit);
+  EXPECT_EQ(still_hot.cache_outcome, CacheOutcome::kMemoryHit);
   EXPECT_EQ(still_hot.queries, 2u);
   EXPECT_EQ(session->stats().queries, api.query_count());
 }
