@@ -19,14 +19,19 @@
 //   * StoreColdFill / StoreLogReload — the tiered store's warm-restart
 //     pair: regions/sec to build a warm state by importing + writing
 //     through to a fresh region log vs regions/sec to reopen that log
-//     (recovery replay + directory rebuild) on restart.
+//     (recovery replay + directory rebuild) on restart;
+//   * RetryOverhead — the audit workload through a FaultInjectingApi at
+//     0% / 1% / 5% injected transient failures: what budget-aware
+//     retries cost when the endpoint flakes (0% prices the machinery).
 
 #include <benchmark/benchmark.h>
 
+#include "api/fault_injecting_api.h"
 #include "bench_common.h"
 #include "bench_perf_csv.h"
 #include "linalg/qr.h"
 #include "store/region_store.h"
+#include "util/clock.h"
 #include "util/file_io.h"
 
 namespace openapi::bench {
@@ -241,6 +246,62 @@ void InterpretAuditEngine(benchmark::State& state) {
 BENCHMARK(InterpretAuditEngine)
     ->Arg(4)
     ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// --- Retry overhead: the price of the fault-tolerant dispatch path. ---
+//
+// The full-audit workload from InterpretAuditEngine, served through a
+// FaultInjectingApi that refuses a fraction of probe chunks (range(0) is
+// the transient-failure percentage: 0 / 1 / 5). The 0% leg prices the
+// retry machinery itself against InterpretAuditEngine (same workload,
+// bare endpoint); the 1% / 5% legs price realistic flakiness: refused
+// chunks are re-sent under capped exponential backoff, so throughput
+// degrades by the re-dispatch work while `wasted_queries` stays 0
+// (refusals are zero-charge — wasted only counts queries CHARGED by
+// attempts that then failed, e.g. partial multi-chunk aborts).
+// Requests carry a FakeClock so backoff sleeps advance fake time
+// instead of stalling the benchmark: the measured cost is the re-solve
+// work, not the sleep schedule. `query_amplification` = charged queries
+// over queries-that-served; the fault soak test pins it < 1.2x at 5%.
+
+void RetryOverhead(benchmark::State& state) {
+  const size_t d = 16, c = 10;
+  Cache().Ensure(d, c);
+  const double rate = static_cast<double>(state.range(0)) / 100.0;
+  util::FakeClock fake_clock;
+  auto requests = AuditRequests(4, d, c);
+  for (auto& request : requests) request.options.clock = &fake_clock;
+  api::FaultConfig fault;
+  fault.seed = kBenchSeed;
+  fault.transient_rate = rate;
+  fault.clock = &fake_clock;
+  uint64_t retries = 0, wasted = 0, charged = 0;
+  for (auto _ : state) {
+    // Fresh decorator + engine per iteration: the injection schedule and
+    // the cache warmup replay identically every iteration.
+    api::FaultInjectingApi api(Cache().api.get(), fault);
+    interpret::InterpretationEngine engine;
+    auto session = engine.OpenSession(api);
+    auto responses = session->InterpretAll(requests, 11);
+    benchmark::DoNotOptimize(responses);
+    retries = session->stats().retries;
+    wasted = session->stats().wasted_queries;
+    charged = session->stats().queries;
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * requests.size()));
+  state.counters["retries"] = static_cast<double>(retries);
+  state.counters["wasted_queries"] = static_cast<double>(wasted);
+  state.counters["query_amplification"] =
+      charged > wasted
+          ? static_cast<double>(charged) / static_cast<double>(charged - wasted)
+          : 1.0;
+}
+BENCHMARK(RetryOverhead)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(5)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

@@ -4,7 +4,7 @@
 #   scripts/check.sh            # tier-1: configure, build, full ctest
 #   scripts/check.sh --lint     # invariant linter + its selftest only
 #   scripts/check.sh --asan     # ASan+UBSan build, full ctest
-#   scripts/check.sh --tsan     # TSan build, concurrent-labeled tests
+#   scripts/check.sh --tsan     # TSan build, concurrent+fault tests
 #
 # Each mode mirrors its CI job exactly (same OPENAPI_SANITIZE value, same
 # ctest selection), so a green local run predicts a green matrix leg.
@@ -34,10 +34,11 @@ case "$mode" in
     cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DOPENAPI_SANITIZE=thread
     cmake --build build-tsan -j
-    # Concurrent tests self-select via their in-file OPENAPI_TEST_LABELS
-    # marker (enforced by lint_invariants.py), so this list never goes
-    # stale.
-    cd build-tsan && ctest -L concurrent --output-on-failure -j 2
+    # Concurrent and fault-injection tests self-select via their in-file
+    # OPENAPI_TEST_LABELS markers (enforced by lint_invariants.py), so
+    # this list never goes stale. Fault tests ride along because injected
+    # failures exercise the retry/quarantine paths where races hide.
+    cd build-tsan && ctest -L 'concurrent|fault' --output-on-failure -j 2
     ;;
   *)
     echo "usage: $0 [--lint|--asan|--tsan]" >&2

@@ -60,9 +60,16 @@ entry (so `ctest` and `scripts/check.sh --lint` can't drift from CI):
                         runs `ctest -L concurrent` — so a new concurrent
                         test cannot be silently omitted from the
                         sanitizer matrix.
+  fault-test-label      Any test in tests/ that stands up a
+                        FaultInjectingApi must declare `fault` in its
+                        `OPENAPI_TEST_LABELS` marker. The CI sanitizer
+                        legs run `ctest -L 'concurrent|fault'`, so an
+                        unlabeled fault-injection test would dodge the
+                        ASan/TSan matrix exactly where injected failures
+                        make races and lifetime bugs most likely.
 
 Code rules are applied to comment- and string-stripped sources, so prose
-may mention the banned constructs freely; the test-label rule reads raw
+may mention the banned constructs freely; the test-label rules read raw
 text (the marker is a comment).
 
 Usage:
@@ -391,6 +398,34 @@ def rule_concurrent_test_label(files):
                 "the CI TSan job (ctest -L concurrent) silently skips it")
 
 
+FAULT_USE = r"\bFaultInjectingApi\b"
+
+
+def rule_fault_test_label(files):
+    """Any test standing up FaultInjectingApi exercises the failure plane
+    and must carry the `fault` ctest label: the CI sanitizer legs run
+    `ctest -L 'concurrent|fault'`, so an unlabeled fault test would dodge
+    the ASan/TSan matrix exactly where injected failures make races and
+    lifetime bugs most likely."""
+    for f in files:
+        if not (f.rel.startswith("tests/") and f.rel.endswith(".cc")):
+            continue
+        uses = list(grep(f.code_lines, FAULT_USE))
+        if not uses:
+            continue
+        marker = TEST_LABEL_MARKER.search(f.raw)
+        labels = ([s.strip() for s in marker.group(1).split(",")]
+                  if marker else [])
+        if "fault" not in labels:
+            line_no = uses[0][0]
+            yield Violation(
+                f.rel, line_no, "fault-test-label",
+                "test uses FaultInjectingApi but lacks the "
+                "'// OPENAPI_TEST_LABELS: fault' marker — without it the "
+                "CI sanitizer legs (ctest -L 'concurrent|fault') silently "
+                "skip it")
+
+
 RULES = [
     ("raw-sync-primitive", rule_raw_sync_primitive),
     ("manual-lock-call", rule_manual_lock_call),
@@ -401,6 +436,7 @@ RULES = [
     ("check-macro-source", rule_check_macro_source),
     ("raw-file-io", rule_raw_file_io),
     ("concurrent-test-label", rule_concurrent_test_label),
+    ("fault-test-label", rule_fault_test_label),
 ]
 
 LINTED_SUFFIXES = (".h", ".cc", ".cmake", ".txt", ".sh")

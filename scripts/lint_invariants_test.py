@@ -302,6 +302,45 @@ class ConcurrentTestLabelTest(unittest.TestCase):
         self.assertIn("concurrent-test-label", rule_ids(v))
 
 
+class FaultTestLabelTest(unittest.TestCase):
+    def test_fires_on_unlabeled_fault_test(self):
+        v = run_on_tree({
+            "tests/foo_test.cc":
+            "TEST(F, T) { FaultInjectingApi api(&inner, cfg); }\n"})
+        self.assertIn("fault-test-label", rule_ids(v))
+
+    def test_marker_satisfies(self):
+        v = run_on_tree({
+            "tests/foo_test.cc":
+            "// OPENAPI_TEST_LABELS: fault\n"
+            "#include <gtest/gtest.h>\n"
+            "TEST(F, T) { FaultInjectingApi api(&inner, cfg); }\n"})
+        self.assertNotIn("fault-test-label", rule_ids(v))
+
+    def test_comma_list_satisfies(self):
+        v = run_on_tree({
+            "tests/foo_test.cc":
+            "// OPENAPI_TEST_LABELS: concurrent,fault\n"
+            "#include <thread>\n"
+            "TEST(F, T) { FaultInjectingApi api(&inner, cfg); "
+            "std::thread t([]{}); }\n"})
+        ids = rule_ids(v)
+        self.assertNotIn("fault-test-label", ids)
+        self.assertNotIn("concurrent-test-label", ids)
+
+    def test_fault_free_test_needs_no_marker(self):
+        v = run_on_tree({
+            "tests/foo_test.cc": "TEST(F, T) { EXPECT_EQ(1, 1); }\n"})
+        self.assertNotIn("fault-test-label", rule_ids(v))
+
+    def test_comment_mention_does_not_fire(self):
+        v = run_on_tree({
+            "tests/foo_test.cc":
+            "// See FaultInjectingApi for the failure plane.\n"
+            "TEST(F, T) { EXPECT_EQ(1, 1); }\n"})
+        self.assertNotIn("fault-test-label", rule_ids(v))
+
+
 class CleanTreeTest(unittest.TestCase):
     def test_representative_clean_tree_passes(self):
         v = run_on_tree({

@@ -6,38 +6,52 @@
 // distributed piecewise-linear serving). ApiReplicaSet reproduces that
 // topology inside the repo: it IS a PredictionApi (interpreters and the
 // engine use it unchanged), but every request is routed to one of N inner
-// PredictionApi replicas wrapping the same hidden model.
+// PredictionApi replicas — either homogeneous wrappers the set builds over
+// one hidden model, or externally built endpoints (possibly
+// FaultInjectingApi decorators) handed in, which is how the fault soak
+// stands up a degraded fleet.
 //
-// Routing is deterministic:
-//   * Predict         — round-robin over an atomic ticket;
-//   * PredictBatch    — TWO-LEVEL contiguous split: the batch becomes
+// Routing is deterministic while the fleet is healthy:
+//   * Predict         — round-robin over an atomic ticket, skipping
+//     quarantined replicas;
+//   * TryPredictBatch — TWO-LEVEL contiguous split: the batch becomes
 //     ceil(batch / kTargetShardRows) shards (never fewer than one per
-//     replica while rows last), shard s = rows [s*block, (s+1)*block)
-//     served by replica s % num_replicas — so at high replica counts a
-//     skewed batch still becomes enough shards to keep every worker
-//     busy, with multiple shards per replica. Before any shard runs, the
+//     replica while rows last), shard s served by preferred[s % P] where
+//     `preferred` is the healthy (and, when latency routing is on,
+//     not-slow) replica list — the full replica list whenever nothing is
+//     quarantined, so the fault-free shard shapes and noise tickets are
+//     EXACTLY the pre-fault-tolerance ones. Before any shard runs, the
 //     caller reserves each shard's query-count slots and noise tickets
 //     IN SHARD ORDER (PredictionApi::ReserveBatch), so a given batch
 //     always lands on the same replicas with the same per-replica noise
-//     tickets regardless of dispatch timing — even when two shards of
-//     one replica execute concurrently. Large batches dispatch their
+//     tickets regardless of dispatch timing. Large batches dispatch their
 //     shards on the process-wide util::SharedThreadPool — with a
-//     deadlock-free story: a caller that IS a shared-pool worker (an
-//     interpretation task probing through the set) runs its shards
-//     inline instead of blocking on its own pool, so pool workers never
-//     wait on the queue and every latch eventually drains.
+//     deadlock-free story: a caller that IS a shared-pool worker runs its
+//     shards inline, so pool workers never wait on the queue.
+//
+// Failure handling per shard: a refused TryPredictBatchReserved records a
+// failure against its replica (consecutive failures trip the breaker —
+// see ReplicaHealth below) and the shard's rows are RE-DISPATCHED to the
+// next routable replica with a fresh reservation made at failure time; a
+// shard only fails the whole call once every routable replica has refused
+// it. Re-dispatch reservations are deterministic whenever shard execution
+// is serialized (small batches, or the soak's single-threaded replay);
+// under concurrent shard dispatch their ticket interleaving follows
+// scheduling, like every other concurrent reservation in the system.
 //
 // Accounting is exact by construction: each replica keeps its own atomic
-// query counter, query_count() is their sum, and every sample increments
-// exactly one replica, so per-replica counts always sum to the totals the
-// interpretation engine reports.
+// query counter, query_count() is their sum, and every RESERVATION —
+// primary or re-dispatch, served or refused-after-reserve — lands on
+// exactly one replica. TryPredictBatch reports the total it reserved via
+// `rows_consumed`, so callers' books always match the counters even when
+// the call ultimately fails.
 //
-// Latency: the set inherits PredictionApi::row_latency(), so deadline-
-// aware dispatchers (interpret's chunked probe dispatch) keep ONE
-// set-level EWMA — the per-row cost of a batch through the whole fan-out
-// path, which is exactly the figure a dispatcher plans chunks with. The
-// inner replicas' own estimates are unused: chunks are timed where they
-// are dispatched, at the set boundary.
+// Latency: the set inherits PredictionApi::row_latency() (the set-level
+// EWMA external dispatchers plan chunks with) and ADDS per-replica
+// two-point estimates (fixed per-call + per-row seconds, folded from each
+// shard the set times) so the router can drop replicas whose estimated
+// shard cost exceeds `slow_factor` x the fastest — the latency-aware
+// routing leg of ROADMAP item 3.
 
 #ifndef OPENAPI_API_API_REPLICA_SET_H_
 #define OPENAPI_API_API_REPLICA_SET_H_
@@ -51,6 +65,69 @@
 
 namespace openapi::api {
 
+/// Lock-free per-replica two-point latency model: seconds(rows) ~
+/// per_call + per_row * rows, folded online by normalized LMS from the
+/// (rows, seconds) observations the set times around each shard. Same
+/// advisory contract as LatencyEstimate: each component is updated by a
+/// CAS loop (no torn or lost folds per component), cross-component
+/// consistency is best-effort, and every consumer treats the numbers as
+/// planning hints re-checked against real clocks downstream.
+class TwoPointLatency {
+ public:
+  /// Folds one observation: a shard of `rows` rows took `seconds`.
+  /// `alpha` in (0, 1] weights the correction. The first observation
+  /// seeds the per-row component directly (per-call 0), matching the
+  /// one-scalar EWMA's cold behavior.
+  void Record(size_t rows, double seconds, double alpha);
+
+  double per_call_seconds() const {
+    return per_call_.load(std::memory_order_relaxed);
+  }
+  double per_row_seconds() const {
+    return per_row_.load(std::memory_order_relaxed);
+  }
+
+  /// Estimated seconds for a shard of `rows` rows (>= 0; clamped).
+  double Estimate(size_t rows) const;
+
+  uint64_t samples() const {
+    return samples_.load(std::memory_order_relaxed);
+  }
+
+  /// Forgets everything; same modification-order argument as
+  /// LatencyEstimate::Reset (exchange RMWs, concurrent Records either
+  /// die with the reset or re-seed after it).
+  void Reset() {
+    per_call_.exchange(0.0, std::memory_order_acq_rel);
+    per_row_.exchange(0.0, std::memory_order_acq_rel);
+    samples_.exchange(0, std::memory_order_acq_rel);
+  }
+
+ private:
+  std::atomic<double> per_call_{0.0};
+  std::atomic<double> per_row_{0.0};
+  std::atomic<uint64_t> samples_{0};
+};
+
+/// Breaker / routing knobs for a replica set.
+struct ReplicaRouteConfig {
+  /// Consecutive shard failures that open a replica's breaker.
+  uint32_t quarantine_threshold = 3;
+  /// Set-level calls the breaker stays open before the replica is
+  /// half-open (routable again; one more failure re-opens it, one
+  /// success closes it).
+  uint64_t quarantine_calls = 16;
+  /// EWMA weight for the per-replica two-point latency folds.
+  double latency_alpha = 0.25;
+  /// When true, replicas whose estimated shard latency exceeds
+  /// slow_factor x the fastest sampled replica are dropped from primary
+  /// routing (they remain re-dispatch fallbacks). Off by default: it
+  /// re-routes shards, which changes noise-ticket assignment, so callers
+  /// opt in.
+  bool route_by_latency = false;
+  double slow_factor = 4.0;
+};
+
 class ApiReplicaSet : public PredictionApi {
  public:
   /// Builds `num_replicas` endpoints over `model` (not owned; must outlive
@@ -61,10 +138,23 @@ class ApiReplicaSet : public PredictionApi {
                          int round_digits = 0, double noise_stddev = 0.0,
                          uint64_t noise_seed = 0x5eed);
 
-  Vec Predict(const Vec& x) const override;
-  std::vector<Vec> PredictBatch(const std::vector<Vec>& xs) const override;
+  /// Adopts externally built replicas (same shape required) — the way a
+  /// degraded fleet is stood up: wrap each endpoint in a
+  /// FaultInjectingApi, then hand the decorators here.
+  ApiReplicaSet(std::vector<std::unique_ptr<PredictionApi>> replicas,
+                ReplicaRouteConfig route = ReplicaRouteConfig{});
 
-  /// Total samples served by the whole set: the exact sum of the
+  size_t dim() const override { return replicas_[0]->dim(); }
+  size_t num_classes() const override {
+    return replicas_[0]->num_classes();
+  }
+
+  Vec Predict(const Vec& x) const override;
+  Result<std::vector<Vec>> TryPredictBatch(
+      const std::vector<Vec>& xs,
+      uint64_t* rows_consumed = nullptr) const override;
+
+  /// Total samples reserved against the whole set: the exact sum of the
   /// per-replica counters.
   uint64_t query_count() const override;
   void ResetQueryCount() override;
@@ -74,7 +164,35 @@ class ApiReplicaSet : public PredictionApi {
   uint64_t replica_query_count(size_t i) const;
   const PredictionApi& replica(size_t i) const { return *replicas_[i]; }
 
+  /// True while replica i's breaker is open at the CURRENT health tick
+  /// (does not advance the tick).
+  bool replica_quarantined(size_t i) const;
+  uint64_t replica_failures(size_t i) const;
+  uint64_t replica_successes(size_t i) const;
+  const TwoPointLatency& replica_latency(size_t i) const;
+
+  /// Shards whose rows were re-dispatched to a fallback replica after a
+  /// refusal (one count per fallback attempt).
+  uint64_t redispatched_shards() const {
+    return redispatched_.load(std::memory_order_relaxed);
+  }
+
+  const ReplicaRouteConfig& route_config() const { return route_; }
+
  private:
+  /// Per-replica breaker state. `open_until` is a set-level health-tick
+  /// horizon: the replica is quarantined while open_until > tick. All
+  /// transitions are single atomic ops; the breaker is deliberately
+  /// approximate under races (two racing failures may both extend the
+  /// window) — it shapes routing, it does not gate correctness.
+  struct ReplicaState {
+    std::atomic<uint32_t> consecutive_failures{0};
+    std::atomic<uint64_t> open_until{0};
+    std::atomic<uint64_t> failures{0};
+    std::atomic<uint64_t> successes{0};
+    TwoPointLatency latency;
+  };
+
   /// Batches smaller than this are served by a sequential shard loop; the
   /// thread hand-off would cost more than the forward passes save.
   static constexpr size_t kConcurrentDispatchMin = 64;
@@ -85,14 +203,40 @@ class ApiReplicaSet : public PredictionApi {
   /// replica.
   static constexpr size_t kTargetShardRows = 64;
 
+  void CheckReplicaShapes() const;
+
+  bool QuarantinedAt(size_t i, uint64_t tick) const {
+    return state_[i]->open_until.load(std::memory_order_relaxed) > tick;
+  }
+
+  /// Routable (non-quarantined) replicas at `tick`, in index order;
+  /// falls back to EVERY replica when all breakers are open (refusing to
+  /// route at all would turn a breaker bug into an outage). With latency
+  /// routing on, sampled replicas slower than slow_factor x the fastest
+  /// are additionally dropped while >= 2 would remain.
+  std::vector<size_t> RoutableReplicas(uint64_t tick, size_t shard_rows,
+                                       bool apply_latency) const;
+
+  /// Success closes the breaker (streak := 0); failure bumps the streak
+  /// and, at the threshold, opens the breaker for quarantine_calls ticks.
+  void RecordOutcome(size_t i, bool ok, uint64_t tick) const;
+
   /// Immutable after construction (built in the ctor, never resized):
   /// read lock-free by every routing path.
   std::vector<std::unique_ptr<PredictionApi>> replicas_;
+  /// One breaker + latency model per replica; unique_ptr because atomics
+  /// are immovable. Same lifetime/immutability as replicas_.
+  std::vector<std::unique_ptr<ReplicaState>> state_;
+  ReplicaRouteConfig route_;
   /// Lock-free routing ticket: fetch_add assigns each single-sample
   /// Predict a unique monotone ticket, so concurrent singles spread
   /// round-robin without a lock. Relaxed: routing needs no ordering,
   /// only uniqueness. Reset only by ResetNoiseStream (test replays).
   mutable std::atomic<uint64_t> round_robin_{0};
+  /// Monotone set-call counter that quarantine windows are measured in
+  /// (one tick per TryPredictBatch).
+  mutable std::atomic<uint64_t> health_tick_{0};
+  mutable std::atomic<uint64_t> redispatched_{0};
 };
 
 }  // namespace openapi::api

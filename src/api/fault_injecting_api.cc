@@ -1,0 +1,160 @@
+#include "api/fault_injecting_api.h"
+
+#include <cstring>
+#include <string>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace openapi::api {
+
+FaultInjectingApi::FaultInjectingApi(PredictionApi* inner,
+                                     FaultConfig config)
+    : config_(config), inner_(inner) {
+  OPENAPI_CHECK(inner != nullptr);
+  OPENAPI_CHECK_GE(config_.transient_rate, 0.0);
+  OPENAPI_CHECK_GE(config_.timeout_rate, 0.0);
+  OPENAPI_CHECK_GE(config_.throttle_rate, 0.0);
+  OPENAPI_CHECK_LE(config_.transient_rate + config_.timeout_rate +
+                       config_.throttle_rate,
+                   1.0);
+  util::MutexLock lock(mutex_);
+  all_inners_.push_back(inner);
+}
+
+void FaultInjectingApi::SwapInner(PredictionApi* next) {
+  OPENAPI_CHECK(next != nullptr);
+  OPENAPI_CHECK_EQ(next->dim(), dim());
+  OPENAPI_CHECK_EQ(next->num_classes(), num_classes());
+  {
+    util::MutexLock lock(mutex_);
+    bool known = false;
+    for (const PredictionApi* api : all_inners_) known |= (api == next);
+    if (!known) all_inners_.push_back(next);
+  }
+  // Publish after the accounting list already contains `next`, so
+  // query_count() can never miss queries served by the new endpoint.
+  inner_.store(next, std::memory_order_release);
+}
+
+uint64_t FaultInjectingApi::ContentKey(const std::vector<Vec>& xs) {
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](uint64_t bits) {
+    h = (h ^ bits) * 1099511628211ULL;
+  };
+  mix(xs.size());
+  for (const Vec& x : xs) {
+    mix(x.size());
+    for (double v : x) {
+      uint64_t bits;
+      std::memcpy(&bits, &v, sizeof(bits));
+      mix(bits);
+    }
+  }
+  return h;
+}
+
+Status FaultInjectingApi::Decide(uint64_t key, bool* spike) const {
+  *spike = false;
+  // Deterministic throttling window over the arrival index.
+  if (config_.throttle_period > 0) {
+    const uint64_t call = calls_.fetch_add(1, std::memory_order_relaxed);
+    if (call % config_.throttle_period < config_.throttle_burst) {
+      injected_failures_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Throttled("injected throttling window");
+    }
+  }
+  if (config_.max_consecutive_failures == 0) return Status::OK();
+  uint64_t attempt;
+  {
+    util::MutexLock lock(mutex_);
+    attempt = attempts_[key]++;
+  }
+  util::Rng rng(util::Rng::MixSeed(
+      config_.seed, key ^ (attempt * 0x9e3779b97f4a7c15ULL)));
+  const double u = rng.Uniform(0.0, 1.0);
+  if (rng.Uniform(0.0, 1.0) < config_.spike_rate) *spike = true;
+  if (attempt >= config_.max_consecutive_failures) {
+    // Forced through: a capped retry loop over this key always
+    // terminates. The streak resets so a LATER identical call draws
+    // fresh fates rather than staying immune forever.
+    util::MutexLock lock(mutex_);
+    attempts_[key] = 0;
+    return Status::OK();
+  }
+  Status failure = Status::OK();
+  if (u < config_.transient_rate) {
+    failure = Status::Transient("injected transient failure");
+  } else if (u < config_.transient_rate + config_.timeout_rate) {
+    failure = Status::Timeout("injected timeout");
+  } else if (u < config_.transient_rate + config_.timeout_rate +
+                     config_.throttle_rate) {
+    failure = Status::Throttled("injected throttle");
+  }
+  if (!failure.ok()) {
+    injected_failures_.fetch_add(1, std::memory_order_relaxed);
+    return failure;
+  }
+  // A success resets the key's streak: the cap bounds CONSECUTIVE
+  // failures, matching how a breaker-facing endpoint behaves.
+  util::MutexLock lock(mutex_);
+  attempts_[key] = 0;
+  return Status::OK();
+}
+
+Vec FaultInjectingApi::Predict(const Vec& x) const {
+  return inner()->Predict(x);
+}
+
+Result<std::vector<Vec>> FaultInjectingApi::TryPredictBatch(
+    const std::vector<Vec>& xs, uint64_t* rows_consumed) const {
+  if (rows_consumed != nullptr) *rows_consumed = 0;
+  bool spike = false;
+  OPENAPI_RETURN_NOT_OK(Decide(ContentKey(xs), &spike));
+  if (spike) {
+    injected_spikes_.fetch_add(1, std::memory_order_relaxed);
+    util::EffectiveClock(config_.clock)
+        ->SleepFor(config_.latency_spike_seconds);
+  }
+  return inner()->TryPredictBatch(xs, rows_consumed);
+}
+
+uint64_t FaultInjectingApi::ReserveBatch(size_t count) const {
+  return inner()->ReserveBatch(count);
+}
+
+std::vector<Vec> FaultInjectingApi::PredictBatchReserved(
+    const std::vector<Vec>& xs, uint64_t first_ticket) const {
+  return inner()->PredictBatchReserved(xs, first_ticket);
+}
+
+Result<std::vector<Vec>> FaultInjectingApi::TryPredictBatchReserved(
+    const std::vector<Vec>& xs, uint64_t first_ticket) const {
+  bool spike = false;
+  OPENAPI_RETURN_NOT_OK(Decide(ContentKey(xs), &spike));
+  if (spike) {
+    injected_spikes_.fetch_add(1, std::memory_order_relaxed);
+    util::EffectiveClock(config_.clock)
+        ->SleepFor(config_.latency_spike_seconds);
+  }
+  return inner()->TryPredictBatchReserved(xs, first_ticket);
+}
+
+uint64_t FaultInjectingApi::query_count() const {
+  util::MutexLock lock(mutex_);
+  uint64_t total = 0;
+  for (const PredictionApi* api : all_inners_) total += api->query_count();
+  return total;
+}
+
+void FaultInjectingApi::ResetQueryCount() {
+  util::MutexLock lock(mutex_);
+  for (PredictionApi* api : all_inners_) api->ResetQueryCount();
+}
+
+void FaultInjectingApi::ResetNoiseStream() {
+  util::MutexLock lock(mutex_);
+  for (PredictionApi* api : all_inners_) api->ResetNoiseStream();
+}
+
+}  // namespace openapi::api

@@ -1,0 +1,164 @@
+// Deterministic failure injection at the API boundary.
+//
+// FaultInjectingApi decorates any PredictionApi with the failure modes a
+// production endpoint exhibits — transient errors, throttling windows,
+// timeouts, latency spikes, and mid-run model swaps (drift) — without the
+// wrapped endpoint knowing. The whole schedule is a pure function of the
+// injection seed and the call contents, so a faulty run replays
+// bit-identically:
+//
+//   * Per-call failures are keyed on a CONTENT HASH of the submitted rows
+//     plus a per-key attempt counter: the k-th attempt to predict a given
+//     batch draws its fate from Rng(MixSeed(seed, mix(key, k))). The set
+//     of injected failures is therefore independent of thread scheduling
+//     (a retry of the same rows is attempt k+1, a different batch is a
+//     different key), and each key fails at most
+//     `max_consecutive_failures` times before it is forced through — so
+//     bounded retry loops always terminate against pure-rate injection.
+//   * Throttling WINDOWS are keyed on the decorator's own call counter:
+//     with `throttle_period` P and `throttle_burst` B, calls [nP, nP+B)
+//     are refused kThrottled. Deterministic when calls are serialized
+//     (the soak's replay phase); under concurrent callers the window
+//     boundary follows arrival order, like a real rate limiter.
+//   * Latency spikes sleep `latency_spike_seconds` on the injected clock
+//     before serving — a FakeClock makes spike tests instantaneous.
+//   * SwapInner() atomically redirects traffic to a different endpoint
+//     (the retrained model). query_count() keeps summing EVERY endpoint
+//     the decorator has ever fronted, so exact-accounting invariants hold
+//     across the swap.
+//
+// Injection happens BEFORE the inner endpoint is touched: a refused call
+// consumes no queries and no noise tickets on the wrapped API (the
+// `rows_consumed` out-param reports 0). The infallible entry points
+// (Predict, PredictBatch via the base shim, PredictBatchReserved) forward
+// WITHOUT injection — the failing surface is TryPredictBatch /
+// TryPredictBatchReserved, which is all retry-aware dispatchers use.
+
+#ifndef OPENAPI_API_FAULT_INJECTING_API_H_
+#define OPENAPI_API_FAULT_INJECTING_API_H_
+
+#include <atomic>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "api/prediction_api.h"
+#include "util/clock.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace openapi::api {
+
+/// Injection schedule knobs. Rates are probabilities in [0, 1] evaluated
+/// per (content key, attempt); they partition one uniform draw, so their
+/// sum must be <= 1.
+struct FaultConfig {
+  uint64_t seed = 0xfa17;
+
+  /// P(kTransient) per attempt.
+  double transient_rate = 0.0;
+  /// P(kTimeout) per attempt (drawn after transient from the same
+  /// uniform).
+  double timeout_rate = 0.0;
+  /// P(kThrottled) per attempt, in ADDITION to any deterministic
+  /// throttling window below.
+  double throttle_rate = 0.0;
+
+  /// A content key is forced through after failing this many attempts in
+  /// a row, so capped retry loops terminate. 0 disables rate injection.
+  size_t max_consecutive_failures = 3;
+
+  /// Every `throttle_period` calls, the first `throttle_burst` are
+  /// refused kThrottled (0 disables windows).
+  size_t throttle_period = 0;
+  size_t throttle_burst = 0;
+
+  /// P(latency spike) per served call; sleeps `latency_spike_seconds` on
+  /// `clock` before forwarding.
+  double spike_rate = 0.0;
+  double latency_spike_seconds = 0.0;
+
+  /// Time source for spikes; null means the real clock.
+  const util::Clock* clock = nullptr;
+};
+
+class FaultInjectingApi : public PredictionApi {
+ public:
+  /// Decorates `inner` (not owned; must outlive the decorator). Non-const
+  /// so the reset surface (ResetQueryCount / ResetNoiseStream) can
+  /// forward; the query path only ever uses it const.
+  FaultInjectingApi(PredictionApi* inner, FaultConfig config);
+
+  size_t dim() const override { return inner()->dim(); }
+  size_t num_classes() const override { return inner()->num_classes(); }
+
+  /// Infallible single-sample path: forwards without injection (see file
+  /// comment).
+  Vec Predict(const Vec& x) const override;
+
+  Result<std::vector<Vec>> TryPredictBatch(
+      const std::vector<Vec>& xs,
+      uint64_t* rows_consumed = nullptr) const override;
+
+  uint64_t ReserveBatch(size_t count) const override;
+  std::vector<Vec> PredictBatchReserved(const std::vector<Vec>& xs,
+                                        uint64_t first_ticket) const override;
+  Result<std::vector<Vec>> TryPredictBatchReserved(
+      const std::vector<Vec>& xs, uint64_t first_ticket) const override;
+
+  /// Drift: atomically points subsequent traffic at `next` (the
+  /// retrained endpoint). In-flight calls finish against whichever
+  /// endpoint they resolved first; `next` must outlive the decorator and
+  /// match the current shape.
+  void SwapInner(PredictionApi* next);
+
+  /// Sum over every endpoint ever fronted — exact even across swaps.
+  uint64_t query_count() const override;
+  void ResetQueryCount() override;
+  void ResetNoiseStream() override;
+
+  /// Failures injected (refused calls) so far, by any class.
+  uint64_t injected_failures() const {
+    return injected_failures_.load(std::memory_order_relaxed);
+  }
+  /// Latency spikes served so far.
+  uint64_t injected_spikes() const {
+    return injected_spikes_.load(std::memory_order_relaxed);
+  }
+
+  const PredictionApi* inner() const {
+    return inner_.load(std::memory_order_acquire);
+  }
+
+  const FaultConfig& config() const { return config_; }
+
+ private:
+  /// FNV-1a over the raw double bits of every row (plus lengths), the
+  /// deterministic identity of a call's contents.
+  static uint64_t ContentKey(const std::vector<Vec>& xs);
+
+  /// Decides the fate of one attempt at `key`: returns OK or the injected
+  /// failure, and reports whether a latency spike should be served.
+  Status Decide(uint64_t key, bool* spike) const;
+
+  FaultConfig config_;
+  std::atomic<PredictionApi*> inner_;
+
+  mutable util::Mutex mutex_;
+  /// Every endpoint this decorator has fronted, in swap order; the
+  /// accounting surface sums them (an endpoint is never detached).
+  mutable std::vector<PredictionApi*> all_inners_ GUARDED_BY(mutex_);
+  /// Attempt counter per content key: attempt k of a key is deterministic
+  /// no matter which thread lands it.
+  mutable std::unordered_map<uint64_t, uint64_t> attempts_
+      GUARDED_BY(mutex_);
+
+  /// Arrival index for throttling windows.
+  mutable std::atomic<uint64_t> calls_{0};
+  mutable std::atomic<uint64_t> injected_failures_{0};
+  mutable std::atomic<uint64_t> injected_spikes_{0};
+};
+
+}  // namespace openapi::api
+
+#endif  // OPENAPI_API_FAULT_INJECTING_API_H_

@@ -69,10 +69,20 @@ Vec PredictionApi::Predict(const Vec& x) const {
   return y;
 }
 
+Result<std::vector<Vec>> PredictionApi::TryPredictBatch(
+    const std::vector<Vec>& xs, uint64_t* rows_consumed) const {
+  if (rows_consumed != nullptr) *rows_consumed = xs.size();
+  if (xs.empty()) return std::vector<Vec>{};
+  return PredictBatchReserved(xs, ReserveBatch(xs.size()));
+}
+
 std::vector<Vec> PredictionApi::PredictBatch(
     const std::vector<Vec>& xs) const {
-  if (xs.empty()) return {};
-  return PredictBatchReserved(xs, ReserveBatch(xs.size()));
+  Result<std::vector<Vec>> rows = TryPredictBatch(xs);
+  // The infallible contract: a failure reaching this shim means the
+  // caller pointed a non-retrying path at a failing endpoint.
+  OPENAPI_CHECK(rows.ok());
+  return std::move(rows).ValueOrDie();
 }
 
 uint64_t PredictionApi::ReserveBatch(size_t count) const {
@@ -88,6 +98,11 @@ std::vector<Vec> PredictionApi::PredictBatchReserved(
     PostProcess(&ys[i], first_ticket + i);
   }
   return ys;
+}
+
+Result<std::vector<Vec>> PredictionApi::TryPredictBatchReserved(
+    const std::vector<Vec>& xs, uint64_t first_ticket) const {
+  return PredictBatchReserved(xs, first_ticket);
 }
 
 }  // namespace openapi::api

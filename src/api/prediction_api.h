@@ -32,6 +32,7 @@
 
 #include "api/plm.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace openapi::api {
 
@@ -66,13 +67,13 @@ namespace openapi::api {
 ///     commits. Readers may observe it lagging the estimate by in-flight
 ///     Records; nothing couples the two — samples() is diagnostics, the
 ///     dispatcher plans only off seconds_per_row().
-///   * All orderings are relaxed: the estimate is ADVISORY (it sizes
+///   * Most orderings are relaxed: the estimate is ADVISORY (it sizes
 ///     chunks; EnforceRequestOptions re-checks real clocks before every
 ///     dispatch), so stale reads cost at most one conservatively sized
 ///     chunk, never correctness.
-///   * Reset() is not atomic with respect to concurrent Records (a racing
-///     Record may land after the store and re-seed the estimate); it is a
-///     test/bench hook, not a serving-path operation.
+///   * Reset() is safe to run concurrently with Record — it is a
+///     serving-path operation now (replica quarantine clears a recovered
+///     replica's estimate); see its own contract below.
 class LatencyEstimate {
  public:
   /// Folds one observation into the EWMA: a batch of `rows` rows took
@@ -93,10 +94,22 @@ class LatencyEstimate {
     return samples_.load(std::memory_order_relaxed);
   }
 
-  /// Forgets every observation (tests replaying cold-endpoint behavior).
+  /// Forgets every observation. Safe against concurrent Record: the
+  /// exchange is an atomic RMW, so it occupies a unique place in
+  /// `seconds_per_row_`'s modification order. Every concurrent Record's
+  /// CAS commits either BEFORE it (that observation is discarded with the
+  /// rest) or AFTER it (the CAS's expected value fails against 0.0, the
+  /// loop reloads, and the observation re-seeds the estimate exactly like
+  /// a first sample). A torn or resurrected pre-reset estimate is
+  /// impossible. acq_rel gives the exchange release/acquire semantics
+  /// against the Record RMWs on the same atomic, so the discard and any
+  /// re-seed are ordered, not merely atomic. `samples_` is exchanged
+  /// separately and may transiently disagree with the estimate by the
+  /// in-flight Records racing the reset — as documented above it is
+  /// diagnostics-only and never drives planning.
   void Reset() {
-    seconds_per_row_.store(0.0, std::memory_order_relaxed);
-    samples_.store(0, std::memory_order_relaxed);
+    seconds_per_row_.exchange(0.0, std::memory_order_acq_rel);
+    samples_.exchange(0, std::memory_order_acq_rel);
   }
 
  private:
@@ -115,22 +128,41 @@ class PredictionApi {
                          double noise_stddev = 0.0,
                          uint64_t noise_seed = 0x5eed);
 
-  /// Serving topologies subclass the boundary (see api::ApiReplicaSet);
-  /// interpreters only ever talk to this interface.
+  /// Serving topologies subclass the boundary (see api::ApiReplicaSet,
+  /// api::FaultInjectingApi); interpreters only ever talk to this
+  /// interface. Virtual accessors let decorators report the wrapped
+  /// endpoint's shape without holding a model themselves.
   virtual ~PredictionApi() = default;
 
-  size_t dim() const { return model_->dim(); }
-  size_t num_classes() const { return model_->num_classes(); }
+  virtual size_t dim() const { return model_->dim(); }
+  virtual size_t num_classes() const { return model_->num_classes(); }
 
-  /// One API call: class probabilities for x.
+  /// One API call: class probabilities for x. Infallible by definition —
+  /// fault-aware callers batch even single probes through
+  /// TryPredictBatch, which is where injected failures surface.
   virtual Vec Predict(const Vec& x) const;
 
-  /// One batched API call: class probabilities for every row of xs, in
-  /// order. Counts xs.size() queries and draws xs.size() noise tickets
-  /// atomically, so the result is bit-identical to calling Predict on each
-  /// sample in order — but the forward passes run as matrix-matrix
-  /// products through Plm::PredictBatch.
-  virtual std::vector<Vec> PredictBatch(const std::vector<Vec>& xs) const;
+  /// The FAILING surface: one batched API call that may be refused. On
+  /// success returns class probabilities for every row of xs, in order,
+  /// having counted xs.size() queries. On failure returns a
+  /// kTransient/kThrottled/kTimeout status and NO rows. Either way
+  /// `rows_consumed` (when non-null) is set to the exact number of
+  /// queries this call charged against query_count() — xs.size() on
+  /// success; usually 0 on failure, but a composite endpoint (replica
+  /// set) may have reserved rows before failing and reports them here so
+  /// callers keep accounting exact. The base implementation never fails.
+  virtual Result<std::vector<Vec>> TryPredictBatch(
+      const std::vector<Vec>& xs, uint64_t* rows_consumed = nullptr) const;
+
+  /// Infallible shim over TryPredictBatch for callers that predate (or
+  /// don't want) failure handling: the result is checked. Against a
+  /// fault-injecting endpoint an injected failure aborts the process —
+  /// retry-aware paths must use TryPredictBatch. Counts xs.size() queries
+  /// and draws xs.size() noise tickets atomically, so the result is
+  /// bit-identical to calling Predict on each sample in order — but the
+  /// forward passes run as matrix-matrix products through
+  /// Plm::PredictBatch.
+  std::vector<Vec> PredictBatch(const std::vector<Vec>& xs) const;
 
   /// Splits PredictBatch's accounting from its forwards so a dispatcher
   /// can fix ticket assignment BEFORE fanning work out: ReserveBatch
@@ -141,10 +173,19 @@ class PredictionApi {
   /// shard order on the calling thread, so per-replica noise streams stay
   /// deterministic even with several shards of one replica running
   /// concurrently. PredictBatch(xs) == PredictBatchReserved(xs,
-  /// ReserveBatch(xs.size())) by definition.
-  uint64_t ReserveBatch(size_t count) const;
-  std::vector<Vec> PredictBatchReserved(const std::vector<Vec>& xs,
-                                        uint64_t first_ticket) const;
+  /// ReserveBatch(xs.size())) by definition. Virtual so decorators
+  /// forward reservation to the endpoint they wrap.
+  virtual uint64_t ReserveBatch(size_t count) const;
+  virtual std::vector<Vec> PredictBatchReserved(const std::vector<Vec>& xs,
+                                                uint64_t first_ticket) const;
+
+  /// Failing flavor of PredictBatchReserved: the rows' queries and
+  /// tickets were ALREADY claimed by ReserveBatch, so a refusal here
+  /// leaves them charged but unserved — the caller (ApiReplicaSet's shard
+  /// dispatch) reports them as consumed and re-dispatches the rows
+  /// elsewhere. The base implementation never fails.
+  virtual Result<std::vector<Vec>> TryPredictBatchReserved(
+      const std::vector<Vec>& xs, uint64_t first_ticket) const;
 
   /// Number of samples predicted since construction / last reset. Atomic;
   /// the PredictionApi is safe to share across the interpretation engine's
@@ -173,6 +214,14 @@ class PredictionApi {
 
   int round_digits() const { return round_digits_; }
   double noise_stddev() const { return noise_stddev_; }
+
+ protected:
+  /// Decorator constructor: no model of its own. A subclass built this
+  /// way MUST override dim(), num_classes(), Predict, TryPredictBatch,
+  /// ReserveBatch, and PredictBatchReserved (the base implementations
+  /// dereference model_, which is null here).
+  PredictionApi() : model_(nullptr), round_digits_(0), noise_stddev_(0.0),
+                    noise_seed_(0) {}
 
  private:
   /// Applies noise (stream = `ticket`) then rounding to one prediction.

@@ -79,6 +79,7 @@ EndpointSession::EndpointSession(const InterpretationEngine* engine,
                                  size_t capacity, size_t byte_budget,
                                  store::RegionStore* store)
     : engine_(engine),
+      engine_stats_(engine->stats_),
       api_(api),
       capacity_(capacity),
       byte_budget_(byte_budget),
@@ -88,6 +89,9 @@ EndpointSession::EndpointSession(const InterpretationEngine* engine,
     // then fail validation on every reload — catch it at open time.
     OPENAPI_CHECK_EQ(store_->dim(), api_->dim());
     OPENAPI_CHECK_EQ(store_->num_classes(), api_->num_classes());
+    // Resume drift tracking where the log left off: regions persisted at
+    // older epochs stay invalidated across a restart.
+    epoch_.store(store_->current_epoch(), std::memory_order_relaxed);
   }
   if (engine_->config().use_region_cache &&
       engine_->config().use_region_index) {
@@ -98,14 +102,16 @@ EndpointSession::EndpointSession(const InterpretationEngine* engine,
 EndpointSession::~EndpointSession() {
   // The session's RESIDENCY leaves the engine aggregate with it; its
   // historical activity counters stay. Direct engine-side subtraction
-  // (not BumpGauge): the session side is being destroyed anyway.
-  engine_->stats_.region_bytes.fetch_sub(
+  // (not BumpGauge): the session side is being destroyed anyway. Goes
+  // through the co-owned engine_stats_, never engine_ — the session may
+  // be the last thing standing after the engine's own destruction.
+  engine_stats_->region_bytes.fetch_sub(
       stats_.region_bytes.load(std::memory_order_relaxed),
       std::memory_order_relaxed);
-  engine_->stats_.memo_bytes.fetch_sub(
+  engine_stats_->memo_bytes.fetch_sub(
       stats_.memo_bytes.load(std::memory_order_relaxed),
       std::memory_order_relaxed);
-  engine_->stats_.index_bytes.fetch_sub(
+  engine_stats_->index_bytes.fetch_sub(
       stats_.index_bytes.load(std::memory_order_relaxed),
       std::memory_order_relaxed);
 }
@@ -122,6 +128,11 @@ EngineStats EndpointSession::Snapshot(const StatCounters& counters) {
   s.failures = counters.failures.load(std::memory_order_relaxed);
   s.queries = counters.queries.load(std::memory_order_relaxed);
   s.store_appends = counters.store_appends.load(std::memory_order_relaxed);
+  s.drift_events = counters.drift_events.load(std::memory_order_relaxed);
+  s.stale_invalidations =
+      counters.stale_invalidations.load(std::memory_order_relaxed);
+  s.wasted_queries = counters.wasted_queries.load(std::memory_order_relaxed);
+  s.retries = counters.retries.load(std::memory_order_relaxed);
   s.region_bytes = counters.region_bytes.load(std::memory_order_relaxed);
   s.memo_bytes = counters.memo_bytes.load(std::memory_order_relaxed);
   s.index_bytes = counters.index_bytes.load(std::memory_order_relaxed);
@@ -141,12 +152,16 @@ void EndpointSession::Reset(StatCounters& counters) {
   counters.failures.store(0, std::memory_order_relaxed);
   counters.queries.store(0, std::memory_order_relaxed);
   counters.store_appends.store(0, std::memory_order_relaxed);
+  counters.drift_events.store(0, std::memory_order_relaxed);
+  counters.stale_invalidations.store(0, std::memory_order_relaxed);
+  counters.wasted_queries.store(0, std::memory_order_relaxed);
+  counters.retries.store(0, std::memory_order_relaxed);
 }
 
 void EndpointSession::Bump(std::atomic<uint64_t> StatCounters::* counter,
                            uint64_t n) const {
   (stats_.*counter).fetch_add(n, std::memory_order_relaxed);
-  (engine_->stats_.*counter).fetch_add(n, std::memory_order_relaxed);
+  ((*engine_stats_).*counter).fetch_add(n, std::memory_order_relaxed);
 }
 
 void EndpointSession::BumpGauge(std::atomic<uint64_t> StatCounters::* gauge,
@@ -156,7 +171,7 @@ void EndpointSession::BumpGauge(std::atomic<uint64_t> StatCounters::* gauge,
   // where its mutations are ordered (they all run under the writer lock).
   const uint64_t d = static_cast<uint64_t>(delta);
   (stats_.*gauge).fetch_add(d, std::memory_order_relaxed);
-  (engine_->stats_.*gauge).fetch_add(d, std::memory_order_relaxed);
+  ((*engine_stats_).*gauge).fetch_add(d, std::memory_order_relaxed);
 }
 
 size_t EndpointSession::SlotBytes(const CachedRegion& region) {
@@ -232,6 +247,10 @@ size_t EndpointSession::FindMatchingRegion(const Vec& x0, const Vec& y0,
                                            const Vec& y_probe,
                                            size_t argmax) const {
   util::ReaderMutexLock lock(cache_mutex_);
+  // Drift bumps invalidate the whole cache eagerly, so slots at an older
+  // epoch should never be visible here; the skip is belt-and-braces so a
+  // stale closed form cannot serve even mid-invalidation.
+  const uint64_t current_epoch = epoch_.load(std::memory_order_relaxed);
   if (index_ != nullptr) {
     // Point location: stab the learned boxes and validate each candidate
     // with the exact predicate. Boxes only cover what traffic has
@@ -245,6 +264,7 @@ size_t EndpointSession::FindMatchingRegion(const Vec& x0, const Vec& y0,
     std::vector<size_t> candidates;
     index_->CollectBucket(x0, argmax, &candidates);
     for (size_t slot : candidates) {
+      if (regions_[slot].epoch < current_epoch) continue;
       if (RegionMatches(regions_[slot].model, x0, y0) &&
           RegionMatches(regions_[slot].model, probe, y_probe)) {
         return slot;
@@ -254,6 +274,7 @@ size_t EndpointSession::FindMatchingRegion(const Vec& x0, const Vec& y0,
     index_->CollectRest(x0, argmax, &candidates);
     for (size_t i = first_phase; i < candidates.size(); ++i) {
       const size_t slot = candidates[i];
+      if (regions_[slot].epoch < current_epoch) continue;
       if (RegionMatches(regions_[slot].model, x0, y0) &&
           RegionMatches(regions_[slot].model, probe, y_probe)) {
         return slot;
@@ -270,6 +291,7 @@ size_t EndpointSession::FindMatchingRegion(const Vec& x0, const Vec& y0,
     std::sort(candidates.begin(), candidates.end());
     for (size_t slot = 0; slot < regions_.size(); ++slot) {
       if (!regions_[slot].occupied ||
+          regions_[slot].epoch < current_epoch ||
           std::binary_search(candidates.begin(), candidates.end(), slot)) {
         continue;
       }
@@ -282,7 +304,10 @@ size_t EndpointSession::FindMatchingRegion(const Vec& x0, const Vec& y0,
   }
   if (!engine_->config().bucket_candidates) {
     for (size_t slot = 0; slot < regions_.size(); ++slot) {
-      if (!regions_[slot].occupied) continue;
+      if (!regions_[slot].occupied ||
+          regions_[slot].epoch < current_epoch) {
+        continue;
+      }
       if (RegionMatches(regions_[slot].model, x0, y0) &&
           RegionMatches(regions_[slot].model, probe, y_probe)) {
         return slot;
@@ -301,6 +326,7 @@ size_t EndpointSession::FindMatchingRegion(const Vec& x0, const Vec& y0,
   if (it != by_argmax_.end()) {
     for (size_t slot : it->second) {
       scanned[slot] = 1;
+      if (regions_[slot].epoch < current_epoch) continue;
       if (RegionMatches(regions_[slot].model, x0, y0) &&
           RegionMatches(regions_[slot].model, probe, y_probe)) {
         return slot;
@@ -311,7 +337,10 @@ size_t EndpointSession::FindMatchingRegion(const Vec& x0, const Vec& y0,
   // region can span the decision boundary, so the bucket key is a
   // heuristic; this pass keeps hit behavior identical to the linear scan.
   for (size_t slot = 0; slot < regions_.size(); ++slot) {
-    if (scanned[slot] || !regions_[slot].occupied) continue;
+    if (scanned[slot] || !regions_[slot].occupied ||
+        regions_[slot].epoch < current_epoch) {
+      continue;
+    }
     if (RegionMatches(regions_[slot].model, x0, y0) &&
         RegionMatches(regions_[slot].model, probe, y_probe)) {
       return slot;
@@ -476,6 +505,7 @@ size_t EndpointSession::InsertRegion(
     }
   } else {
     CachedRegion incoming(std::move(model), fingerprint, anchor);
+    incoming.epoch = epoch_.load(std::memory_order_relaxed);
     const size_t incoming_bytes = SlotBytes(incoming);
     if (byte_budget_ > 0 &&
         incoming_bytes + kMemoMapEntryBytes + kMemoListEntryBytes >
@@ -628,28 +658,44 @@ Result<size_t> EndpointSession::ImportRegion(api::LocalLinearModel model,
 
 Result<Interpretation> EndpointSession::InterpretCached(
     const Vec& x0, size_t c, const RequestOptions& options, util::Rng* rng,
-    uint64_t* consumed, CacheOutcome* outcome, size_t* iterations) const {
+    uint64_t* consumed, CacheOutcome* outcome, size_t* iterations,
+    ProbeRetryStats* retry_stats) const {
   const EngineConfig& config = engine_->config();
   // 1. Point memo: an exact repeat of a previously answered x0 (any class)
-  //    costs zero API queries.
+  //    costs zero API queries — except every drift_check_interval-th memo
+  //    hit, which falls through to the validation pair below carrying a
+  //    copy of the memoized model: the pair then either re-certifies the
+  //    model against the live endpoint (served as kPointMemo, 2 queries)
+  //    or catches a model swap and invalidates the stale cache.
   const PointKey key = PointKeyOf(x0);
+  std::optional<api::LocalLinearModel> drift_check_model;
   {
     util::ReaderMutexLock lock(cache_mutex_);
     auto it = point_memo_.find(key);
-    if (it != point_memo_.end()) {
+    if (it != point_memo_.end() &&
+        regions_[it->second].epoch ==
+            epoch_.load(std::memory_order_relaxed)) {
       // The hit bump is an atomic on a mutable container: safe under the
       // shared (reader) lock.
       CachedRegion& region = regions_[it->second];
-      region.hits.fetch_add(1, std::memory_order_relaxed);
-      Bump(&StatCounters::point_memo_hits);
-      *outcome = CacheOutcome::kPointMemo;
-      Interpretation out;
-      out.dc = api::GroundTruthDecisionFeatures(region.model, c);
-      out.pairs = PairsFromModel(region.model, c);
-      out.iterations = 0;
-      out.edge_length = 0.0;
-      out.queries = 0;
-      return out;
+      const uint64_t interval = config.drift_check_interval;
+      if (interval > 0 &&
+          (memo_hit_ticks_.fetch_add(1, std::memory_order_relaxed) + 1) %
+                  interval ==
+              0) {
+        drift_check_model = region.model;
+      } else {
+        region.hits.fetch_add(1, std::memory_order_relaxed);
+        Bump(&StatCounters::point_memo_hits);
+        *outcome = CacheOutcome::kPointMemo;
+        Interpretation out;
+        out.dc = api::GroundTruthDecisionFeatures(region.model, c);
+        out.pairs = PairsFromModel(region.model, c);
+        out.iterations = 0;
+        out.edge_length = 0.0;
+        out.queries = 0;
+        return out;
+      }
     }
   }
 
@@ -668,16 +714,44 @@ Result<Interpretation> EndpointSession::InterpretCached(
                                               2.0 * pair_row_latency));
   Vec probe =
       SampleHypercube(x0, config.validation_edge, /*count=*/1, rng)[0];
-  util::Timer pair_timer;
-  std::vector<Vec> pair = api_->PredictBatch({x0, probe});
-  *consumed += 2;
-  if (dispatch.enabled) {
-    api_->row_latency().Record(2, pair_timer.ElapsedSeconds(),
-                               dispatch.ewma_alpha);
-  }
+  // The pair goes through the retry-aware dispatch path, so a transient
+  // endpoint refusal is retried under the request's retry budget instead
+  // of failing the request, and refused-attempt charges land in
+  // retry_stats — accounting stays exact against api.query_count().
+  std::vector<Vec> pair_points{x0, probe};
+  std::vector<Vec> pair(2);
+  OPENAPI_RETURN_NOT_OK(DispatchProbes(*api_, pair_points, options, dispatch,
+                                       consumed, &pair, /*out_offset=*/0,
+                                       retry_stats));
   const Vec& y0 = pair[0];
   const Vec& y_probe = pair[1];
   const size_t argmax = linalg::ArgMax(y0);
+
+  // 2a. Drift check resolution: the memoized model either still explains
+  //     the live endpoint's answers (serve it — a kPointMemo that cost
+  //     the 2-query pair) or the endpoint swapped models underneath the
+  //     cache, in which case every cached/stored closed form from the
+  //     old epoch is invalidated and this request re-extracts fresh.
+  bool drift_refetch = false;
+  if (drift_check_model.has_value()) {
+    if (RegionMatches(*drift_check_model, x0, y0) &&
+        RegionMatches(*drift_check_model, probe, y_probe)) {
+      Bump(&StatCounters::point_memo_hits);
+      *outcome = CacheOutcome::kPointMemo;
+      Interpretation out;
+      out.dc = api::GroundTruthDecisionFeatures(*drift_check_model, c);
+      out.pairs = PairsFromModel(*drift_check_model, c);
+      out.iterations = 0;
+      out.edge_length = config.validation_edge;
+      out.probes.push_back(std::move(probe));
+      out.queries = 2;
+      return out;
+    }
+    Bump(&StatCounters::drift_events);
+    InvalidateStaleRegions();
+    drift_refetch = true;
+  }
+
   // Eviction spill records staged under the writer lock on any of the
   // paths below; persisted (store mutex only) after the lock is gone.
   std::vector<store::RegionRecord> spills;
@@ -795,7 +869,7 @@ Result<Interpretation> EndpointSession::InterpretCached(
   //    already deducted from the budget, so the request as a whole never
   //    overspends.
   Bump(&StatCounters::cache_misses);
-  *outcome = CacheOutcome::kMiss;
+  *outcome = drift_refetch ? CacheOutcome::kStaleRefetch : CacheOutcome::kMiss;
   OpenApiInterpreter interpreter(config.openapi);
   // The solver receives the request's ORIGINAL controls plus the 2
   // validation queries as its consumed seed (in/out), so its budget
@@ -807,7 +881,7 @@ Result<Interpretation> EndpointSession::InterpretCached(
   InterpretationEngine::WorkspaceLease lease(*engine_);
   auto solved = interpreter.InterpretCounted(*api_, x0, 0, rng, consumed,
                                              options, iterations, &y0,
-                                             lease.get());
+                                             lease.get(), retry_stats);
   if (!solved.ok()) {
     return solved.status();
   }
@@ -833,18 +907,19 @@ Result<Interpretation> EndpointSession::InterpretCached(
     hi[j] += solved->edge_length;
   }
   WriteThrough(model, fingerprint, x0, argmax, lo, hi);
+  // A drift refetch keeps its kStaleRefetch classification: the
+  // invalidation cleared the eviction history anyway, and an eviction
+  // refetch label would hide the drift event from the caller.
   InsertRegion(std::move(model), fingerprint, x0, x0, argmax, lo, hi,
-               outcome, &spills);
+               drift_refetch ? nullptr : outcome, &spills);
   PersistSpills(&spills);
   return out;
 }
 
-Result<Interpretation> EndpointSession::Serve(const EngineRequest& request,
-                                              uint64_t seed,
-                                              uint64_t stream,
-                                              uint64_t* consumed,
-                                              CacheOutcome* outcome,
-                                              size_t* iterations) const {
+Result<Interpretation> EndpointSession::Serve(
+    const EngineRequest& request, uint64_t seed, uint64_t stream,
+    uint64_t* consumed, CacheOutcome* outcome, size_t* iterations,
+    ProbeRetryStats* retry_stats) const {
   if (request.x0.size() != api_->dim()) {
     return Status::InvalidArgument("x0 dimensionality mismatch");
   }
@@ -862,10 +937,10 @@ Result<Interpretation> EndpointSession::Serve(const EngineRequest& request,
     return interpreter.InterpretCounted(*api_, request.x0, request.c, &rng,
                                         consumed, request.options,
                                         iterations, /*y0_hint=*/nullptr,
-                                        lease.get());
+                                        lease.get(), retry_stats);
   }
   return InterpretCached(request.x0, request.c, request.options, &rng,
-                         consumed, outcome, iterations);
+                         consumed, outcome, iterations, retry_stats);
 }
 
 EngineResponse EndpointSession::Interpret(const EngineRequest& request,
@@ -876,10 +951,17 @@ EngineResponse EndpointSession::Interpret(const EngineRequest& request,
   uint64_t consumed = 0;
   CacheOutcome outcome = CacheOutcome::kBypass;
   size_t iterations = 0;
-  Result<Interpretation> result =
-      Serve(request, seed, stream, &consumed, &outcome, &iterations);
+  ProbeRetryStats retry_stats;
+  Result<Interpretation> result = Serve(request, seed, stream, &consumed,
+                                        &outcome, &iterations, &retry_stats);
   if (!result.ok()) Bump(&StatCounters::failures);
   if (consumed > 0) Bump(&StatCounters::queries, consumed);
+  if (retry_stats.wasted_queries > 0) {
+    Bump(&StatCounters::wasted_queries, retry_stats.wasted_queries);
+  }
+  if (retry_stats.retries > 0) {
+    Bump(&StatCounters::retries, retry_stats.retries);
+  }
   EngineResponse response{std::move(result)};
   response.queries = consumed;
   response.cache_outcome = outcome;
@@ -911,16 +993,26 @@ std::future<EngineResponse> EndpointSession::SubmitAsync(
   // what a client actually observes under load.
   util::Timer queue_timer;
   auto task = std::make_shared<std::packaged_task<EngineResponse()>>(
-      [self, request = std::move(request), seed, stream, queue_timer]() {
+      [self, request = std::move(request), seed, stream,
+       queue_timer]() mutable {
         EngineResponse response = self->Interpret(request, seed, stream);
         response.latency_ms = queue_timer.ElapsedMillis();
+        // Drop the session reference BEFORE the future is made ready
+        // (packaged_task publishes the result after this returns). If it
+        // survived until the worker destroyed its std::function — which
+        // happens after EndAsyncTask below, i.e. after the engine's
+        // destructor drain — a caller tearing down right after get()
+        // could lose the session/engine under a still-referencing
+        // worker, and ~EndpointSession would touch a dead engine.
+        self.reset();
         return response;
       });
   std::future<EngineResponse> future = task->get_future();
   const InterpretationEngine* engine = engine_;
   engine->BeginAsyncTask();
-  engine->pool_->Submit([engine, task] {
+  engine->pool_->Submit([engine, task]() mutable {
     (*task)();
+    task.reset();  // release task state before the drain gate opens
     engine->EndAsyncTask();
   });
   return future;
@@ -938,7 +1030,8 @@ SessionStream EndpointSession::InterpretStream(
   util::Timer queue_timer;  // latency includes the wait for a worker
   for (size_t i = 0; i < shared->requests.size(); ++i) {
     engine->BeginAsyncTask();
-    engine->pool_->Submit([self, engine, shared, seed, i, queue_timer] {
+    engine->pool_->Submit([self, engine, shared, seed, i,
+                           queue_timer]() mutable {
       EngineResponse response =
           self->Interpret(shared->requests[i], seed, /*stream=*/i);
       response.latency_ms = queue_timer.ElapsedMillis();
@@ -948,6 +1041,12 @@ SessionStream EndpointSession::InterpretStream(
             SessionStream::Item{i, std::move(response)});
       }
       shared->ready.NotifyAll();
+      // Same ordering rule as SubmitAsync: the worker's session/stream
+      // references must die before EndAsyncTask opens the engine's
+      // destructor drain gate — a last-reference release after it would
+      // run ~EndpointSession against a destroyed engine.
+      self.reset();
+      shared.reset();
       engine->EndAsyncTask();
     });
   }
@@ -965,6 +1064,30 @@ void EndpointSession::ResetStats() const { Reset(stats_); }
 
 void EndpointSession::ClearCache() const {
   util::WriterMutexLock lock(cache_mutex_);
+  ClearCacheLocked();
+}
+
+void EndpointSession::InvalidateStaleRegions() const {
+  // The store's epoch advances FIRST, outside the cache lock (the two
+  // locks never nest): a concurrent write-through is then stamped with
+  // the new epoch at worst — never an old-epoch record slipping in after
+  // the invalidation.
+  uint64_t next = 0;
+  if (store_ != nullptr) next = store_->BumpEpoch();
+  util::WriterMutexLock lock(cache_mutex_);
+  if (store_ == nullptr) {
+    next = epoch_.load(std::memory_order_relaxed) + 1;
+  }
+  // Concurrent drift events race to publish their store epochs; the max
+  // guard keeps the session epoch monotonic.
+  if (next > epoch_.load(std::memory_order_relaxed)) {
+    epoch_.store(next, std::memory_order_relaxed);
+  }
+  Bump(&StatCounters::stale_invalidations, OccupiedLocked());
+  ClearCacheLocked();
+}
+
+void EndpointSession::ClearCacheLocked() const {
   regions_.clear();
   by_fingerprint_.clear();
   by_argmax_.clear();
@@ -1070,11 +1193,11 @@ std::shared_ptr<EndpointSession> InterpretationEngine::OpenSession(
 }
 
 EngineStats InterpretationEngine::stats() const {
-  return EndpointSession::Snapshot(stats_);
+  return EndpointSession::Snapshot(*stats_);
 }
 
 void InterpretationEngine::ResetStats() const {
-  EndpointSession::Reset(stats_);
+  EndpointSession::Reset(*stats_);
 }
 
 }  // namespace openapi::interpret

@@ -219,6 +219,16 @@ struct EngineConfig {
   /// cached. Orthogonal to cache_capacity; either (or both) may bound a
   /// session.
   size_t cache_capacity_bytes = 0;
+  /// Drift detection cadence: every Nth POINT-MEMO hit re-pays the
+  /// 2-query validation pair and checks the memoized model against the
+  /// endpoint's live answer. 0 (the default) disables the check — memo
+  /// hits stay 0-query — matching the paper's static-model setting.
+  /// When a drift check (or an ordinary cache-candidate validation)
+  /// catches a mismatch that no cached or stored region explains, the
+  /// session bumps its drift EPOCH: every RAM region, memo entry, index
+  /// entry, and store directory entry tagged with an older epoch is
+  /// invalidated — stale closed forms are re-extracted, never served.
+  uint64_t drift_check_interval = 0;
   /// Match tolerance when validating a cached region model against the
   /// API's output (infinity norm over probabilities).
   double match_tol = 1e-9;
@@ -249,6 +259,14 @@ struct EngineStats {
   uint64_t store_appends = 0;    // records written through to the region
                                  // log (inserts, imports, grown-box
                                  // eviction refreshes)
+  uint64_t drift_events = 0;     // validation pair caught a model swap:
+                                 // the session's drift epoch was bumped
+  uint64_t stale_invalidations = 0;  // cached regions invalidated by
+                                     // drift-epoch bumps (not served)
+  uint64_t wasted_queries = 0;   // queries charged by probe attempts that
+                                 // were refused (retried or given up on)
+  uint64_t retries = 0;          // probe attempts re-sent after a
+                                 // retryable refusal
 
   uint64_t region_bytes = 0;  // gauge: cached model payloads + slots
   uint64_t memo_bytes = 0;    // gauge: point-memo map + per-region keys
@@ -266,6 +284,9 @@ enum class CacheOutcome {
                     // queries, zero extraction
   kMiss,            // paid (or attempted) a full extraction
   kEvictedRefetch,  // a miss that re-extracted a previously EVICTED region
+  kStaleRefetch,    // a drift check caught the endpoint serving a new
+                    // model: the stale cache was invalidated and this
+                    // request re-extracted at the new epoch
 };
 
 /// The serving envelope around one request's answer: what a metered
@@ -422,6 +443,11 @@ class EndpointSession
   /// and eviction bookkeeping. Safe to race with in-flight requests:
   /// they re-extract as needed.
   void ClearCache() const EXCLUDES(cache_mutex_);
+  /// This session's current drift epoch (starts at the attached store's
+  /// recovered epoch, or 0 without a store; bumped per drift event).
+  uint64_t drift_epoch() const {
+    return epoch_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend class InterpretationEngine;
@@ -449,6 +475,11 @@ class EndpointSession
     std::vector<PointKey> points;
     /// Argmax bucket keys this slot is filed under.
     std::vector<size_t> bucket_keys;
+    /// Drift epoch this region was extracted/validated at. Regions from
+    /// an older epoch are invalidated eagerly on a drift bump; the scan
+    /// paths also skip them defensively, so a stale closed form can never
+    /// serve even mid-invalidation.
+    uint64_t epoch = 0;
 
     CachedRegion(api::LocalLinearModel m, uint64_t fp, Vec anchor_point)
         : model(std::move(m)),
@@ -461,7 +492,8 @@ class EndpointSession
           occupied(other.occupied),
           hits(other.hits.load(std::memory_order_relaxed)),
           points(std::move(other.points)),
-          bucket_keys(std::move(other.bucket_keys)) {}
+          bucket_keys(std::move(other.bucket_keys)),
+          epoch(other.epoch) {}
     CachedRegion& operator=(CachedRegion&& other) noexcept {
       model = std::move(other.model);
       fingerprint = other.fingerprint;
@@ -471,6 +503,7 @@ class EndpointSession
                  std::memory_order_relaxed);
       points = std::move(other.points);
       bucket_keys = std::move(other.bucket_keys);
+      epoch = other.epoch;
       return *this;
     }
   };
@@ -496,6 +529,10 @@ class EndpointSession
     std::atomic<uint64_t> failures{0};
     std::atomic<uint64_t> queries{0};
     std::atomic<uint64_t> store_appends{0};
+    std::atomic<uint64_t> drift_events{0};
+    std::atomic<uint64_t> stale_invalidations{0};
+    std::atomic<uint64_t> wasted_queries{0};
+    std::atomic<uint64_t> retries{0};
 
     std::atomic<uint64_t> region_bytes{0};
     std::atomic<uint64_t> memo_bytes{0};
@@ -548,14 +585,15 @@ class EndpointSession
 
   Result<Interpretation> Serve(const EngineRequest& request, uint64_t seed,
                                uint64_t stream, uint64_t* consumed,
-                               CacheOutcome* outcome,
-                               size_t* iterations) const;
+                               CacheOutcome* outcome, size_t* iterations,
+                               ProbeRetryStats* retry_stats) const;
 
   Result<Interpretation> InterpretCached(const Vec& x0, size_t c,
                                          const RequestOptions& options,
                                          util::Rng* rng, uint64_t* consumed,
                                          CacheOutcome* outcome,
-                                         size_t* iterations) const;
+                                         size_t* iterations,
+                                         ProbeRetryStats* retry_stats) const;
 
   /// Returns the slot whose model explains (x0, y0) and (probe, y_probe),
   /// or SIZE_MAX. Takes the shared (reader) lock itself. `argmax` is the
@@ -649,7 +687,24 @@ class EndpointSession
   bool RegionMatches(const api::LocalLinearModel& model, const Vec& x,
                      const Vec& y) const;
 
+  /// ClearCache's body, for callers already holding the writer lock.
+  /// Also clears evicted_fingerprints_ — after an invalidation, a
+  /// re-extraction is a drift/plain refetch, not an eviction refetch.
+  void ClearCacheLocked() const REQUIRES(cache_mutex_);
+
+  /// Drift response: bumps the session epoch (mirrored into the store's
+  /// when one is attached), counts every currently occupied region as a
+  /// stale invalidation, and drops the whole RAM cache — a stale closed
+  /// form must be re-extracted, never served. Takes the writer lock.
+  void InvalidateStaleRegions() const EXCLUDES(cache_mutex_);
+
   const InterpretationEngine* engine_;
+  /// Co-owned engine aggregate counters. Sessions may legally outlive
+  /// their engine (a shared_ptr session + outstanding futures past the
+  /// engine's scope is a supported teardown order); shared ownership
+  /// keeps the aggregate alive for the destructor's gauge subtraction
+  /// instead of reaching through a possibly-dead engine_.
+  const std::shared_ptr<StatCounters> engine_stats_;
   const api::PredictionApi* api_;
   const size_t capacity_;     // region-count cap; 0 = unbounded
   const size_t byte_budget_;  // resident-byte cap; 0 = unbounded
@@ -689,6 +744,13 @@ class EndpointSession
   /// pointer itself is set once in the constructor and never reseated,
   /// so the `index_ != nullptr` checks read it lock-free.
   mutable std::unique_ptr<RegionIndex> index_ PT_GUARDED_BY(cache_mutex_);
+
+  /// Current drift epoch; newly inserted regions are tagged with it.
+  /// Atomic so the hot read (scan skip checks) stays under the reader
+  /// lock; bumps happen inside InvalidateStaleRegions' writer section.
+  mutable std::atomic<uint64_t> epoch_{0};
+  /// Point-memo hit counter driving drift_check_interval cadence.
+  mutable std::atomic<uint64_t> memo_hit_ticks_{0};
 
   mutable StatCounters stats_;
 };
@@ -783,7 +845,11 @@ class InterpretationEngine {
   mutable std::vector<SolverWorkspace*> free_workspaces_
       GUARDED_BY(workspace_mutex_);
 
-  mutable EndpointSession::StatCounters stats_;
+  /// Engine-wide aggregate, co-owned by every session it opened (see
+  /// EndpointSession::engine_stats_): the counters outlive whichever
+  /// side is destroyed last.
+  std::shared_ptr<EndpointSession::StatCounters> stats_ =
+      std::make_shared<EndpointSession::StatCounters>();
 };
 
 }  // namespace openapi::interpret

@@ -176,8 +176,8 @@ Result<Interpretation> OpenApiInterpreter::Interpret(
 Result<Interpretation> OpenApiInterpreter::InterpretCounted(
     const api::PredictionApi& api, const Vec& x0, size_t c, util::Rng* rng,
     uint64_t* queries_consumed, const RequestOptions& options,
-    size_t* iterations, const Vec* y0_hint,
-    SolverWorkspace* workspace) const {
+    size_t* iterations, const Vec* y0_hint, SolverWorkspace* workspace,
+    ProbeRetryStats* retry_stats) const {
   // *queries_consumed seeds the count with what the caller already spent
   // on this request, so the budget gates (and their messages) speak in
   // request totals, not solver-local deltas.
@@ -187,7 +187,7 @@ Result<Interpretation> OpenApiInterpreter::InterpretCounted(
   Result<Interpretation> result = InterpretImpl(
       api, x0, c, rng, &consumed, options, &iters, y0_hint,
       workspace != nullptr ? workspace : &local_workspace,
-      /*caller_owned_workspace=*/workspace != nullptr);
+      /*caller_owned_workspace=*/workspace != nullptr, retry_stats);
   if (queries_consumed != nullptr) *queries_consumed = consumed;
   if (iterations != nullptr) *iterations = iters;
   return result;
@@ -196,8 +196,8 @@ Result<Interpretation> OpenApiInterpreter::InterpretCounted(
 Result<Interpretation> OpenApiInterpreter::InterpretImpl(
     const api::PredictionApi& api, const Vec& x0, size_t c, util::Rng* rng,
     uint64_t* consumed, const RequestOptions& options, size_t* iterations,
-    const Vec* y0_hint, SolverWorkspace* ws,
-    bool caller_owned_workspace) const {
+    const Vec* y0_hint, SolverWorkspace* ws, bool caller_owned_workspace,
+    ProbeRetryStats* retry_stats) const {
   const size_t d = api.dim();
   const size_t num_classes = api.num_classes();
   if (x0.size() != d) {
@@ -213,22 +213,23 @@ Result<Interpretation> OpenApiInterpreter::InterpretImpl(
   Vec y0;
   if (y0_hint != nullptr) {
     y0 = *y0_hint;  // anchor prediction already paid for by the caller
-  } else if (config_.dispatch.enabled) {
+  } else {
     // The anchor is the request's first endpoint traffic: gate it
     // predictively (a deadline the estimated anchor latency already
-    // blows rejects with zero queries) and fold its observed latency
-    // into the endpoint's estimate like any chunk.
+    // blows rejects with zero queries), then route it through the same
+    // retry-aware dispatch as every probe chunk — a transiently failing
+    // endpoint costs the anchor a retry, never the request.
     OPENAPI_RETURN_NOT_OK(EnforceRequestOptions(
-        options, *consumed, 1, EffectiveRowLatency(api, config_.dispatch)));
-    util::Timer anchor_timer;
-    y0 = api.Predict(x0);
-    *consumed += 1;
-    api.row_latency().Record(1, anchor_timer.ElapsedSeconds(),
-                             config_.dispatch.ewma_alpha);
-  } else {
-    OPENAPI_RETURN_NOT_OK(CheckRequestControls(options, *consumed, 1));
-    y0 = api.Predict(x0);
-    *consumed += 1;
+        options, *consumed, 1,
+        config_.dispatch.enabled ? EffectiveRowLatency(api, config_.dispatch)
+                                 : 0.0));
+    std::vector<Vec> anchor(1, x0);
+    std::vector<Vec> anchor_prediction(1);
+    OPENAPI_RETURN_NOT_OK(DispatchProbes(api, anchor, options,
+                                         config_.dispatch, consumed,
+                                         &anchor_prediction,
+                                         /*out_offset=*/0, retry_stats));
+    y0 = std::move(anchor_prediction[0]);
   }
 
   // Saturation analysis at the anchor. A class whose probability
@@ -285,7 +286,7 @@ Result<Interpretation> OpenApiInterpreter::InterpretImpl(
     OPENAPI_RETURN_NOT_OK(DispatchProbes(api, ws->probes, options,
                                          config_.dispatch, consumed,
                                          &ws->predictions,
-                                         /*out_offset=*/1));
+                                         /*out_offset=*/1, retry_stats));
 
     bool solved = false;
     if (x0_saturated) {
@@ -313,7 +314,7 @@ Result<Interpretation> OpenApiInterpreter::InterpretImpl(
         OPENAPI_RETURN_NOT_OK(DispatchProbes(api, extra, options,
                                              config_.dispatch, consumed,
                                              &extra_predictions,
-                                             /*out_offset=*/0));
+                                             /*out_offset=*/0, retry_stats));
         top_up_cap -= draw;
         for (size_t k = 0; k < extra.size(); ++k) {
           ws->probes.push_back(std::move(extra[k]));

@@ -167,11 +167,17 @@ class OpenApiInterpreter : public BlackBoxInterpreter {
   /// default controls. `workspace` (if non-null) supplies the request's
   /// solver scratch, letting a per-thread caller amortize buffer growth
   /// across requests; nullptr uses a request-local workspace.
+  /// `retry_stats` (if non-null) accumulates the request's failed
+  /// endpoint attempts and wasted queries (see ProbeRetryStats) — every
+  /// endpoint touch, the anchor included, goes through the retry-aware
+  /// dispatch, so a transiently failing endpoint costs retries, not the
+  /// request.
   Result<Interpretation> InterpretCounted(
       const api::PredictionApi& api, const Vec& x0, size_t c, util::Rng* rng,
       uint64_t* queries_consumed, const RequestOptions& options = {},
       size_t* iterations = nullptr, const Vec* y0_hint = nullptr,
-      SolverWorkspace* workspace = nullptr) const;
+      SolverWorkspace* workspace = nullptr,
+      ProbeRetryStats* retry_stats = nullptr) const;
 
   const OpenApiConfig& config() const { return config_; }
 
@@ -180,14 +186,11 @@ class OpenApiInterpreter : public BlackBoxInterpreter {
   /// workspace from the request-local one: the former keeps its probe
   /// buffers on success (the result gets a copy), the latter donates
   /// them (a move; the buffers would die with the request anyway).
-  Result<Interpretation> InterpretImpl(const api::PredictionApi& api,
-                                       const Vec& x0, size_t c,
-                                       util::Rng* rng, uint64_t* consumed,
-                                       const RequestOptions& options,
-                                       size_t* iterations,
-                                       const Vec* y0_hint,
-                                       SolverWorkspace* workspace,
-                                       bool caller_owned_workspace) const;
+  Result<Interpretation> InterpretImpl(
+      const api::PredictionApi& api, const Vec& x0, size_t c, util::Rng* rng,
+      uint64_t* consumed, const RequestOptions& options, size_t* iterations,
+      const Vec* y0_hint, SolverWorkspace* workspace,
+      bool caller_owned_workspace, ProbeRetryStats* retry_stats) const;
 
   OpenApiConfig config_;
 };

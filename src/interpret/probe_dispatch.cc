@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/rng.h"
+#include "util/string_util.h"
 #include "util/timer.h"
 
 namespace openapi::interpret {
@@ -21,8 +23,8 @@ size_t PlanChunkRows(const ChunkedDispatchConfig& config,
   double target_seconds;
   if (options.deadline.has_value()) {
     const double remaining =
-        std::chrono::duration<double>(*options.deadline -
-                                      std::chrono::steady_clock::now())
+        std::chrono::duration<double>(
+            *options.deadline - util::EffectiveClock(options.clock)->Now())
             .count();
     target_seconds =
         std::max(remaining, 0.0) * config.deadline_chunk_fraction;
@@ -44,14 +46,103 @@ size_t PlanChunkRows(const ChunkedDispatchConfig& config,
   return static_cast<size_t>(planned);
 }
 
+namespace {
+
+/// Sends one chunk, absorbing retryable refusals under config.retry.
+/// Accounting rules (the reason this is the ONLY place a chunk touches
+/// the endpoint): *consumed advances by exactly what each attempt
+/// charged — served or refused — so it tracks api.query_count() even
+/// through failures; every charged-but-unanswered query additionally
+/// lands in stats->wasted_queries, and each refused attempt bumps
+/// stats->retries. On success with latency recording on, only the
+/// WINNING attempt's duration is folded into the endpoint's EWMA —
+/// backoff sleeps and refused round-trips are failure costs, not row
+/// latency.
+Status SendChunkWithRetry(const api::PredictionApi& api,
+                          const std::vector<Vec>& rows,
+                          const RequestOptions& options,
+                          const ChunkedDispatchConfig& config,
+                          bool record_latency, uint64_t* consumed,
+                          ProbeRetryStats* stats, std::vector<Vec>* out) {
+  const RetryConfig& retry = config.retry;
+  const util::Clock* clock = util::EffectiveClock(options.clock);
+  // Decorrelated-jitter stream, a pure function of (seed, position): a
+  // single-threaded run replays its backoff schedule bit-identically.
+  util::Rng jitter(util::Rng::MixSeed(
+      retry.seed, *consumed ^ static_cast<uint64_t>(rows.size())));
+  const size_t max_attempts = std::max<size_t>(retry.max_attempts, 1);
+  double prev_sleep = retry.initial_backoff_seconds;
+  for (size_t attempt = 0;; ++attempt) {
+    uint64_t attempt_consumed = 0;
+    util::Timer timer(options.clock);
+    Result<std::vector<Vec>> batch =
+        api.TryPredictBatch(rows, &attempt_consumed);
+    *consumed += attempt_consumed;
+    if (batch.ok()) {
+      if (attempt_consumed > rows.size()) {
+        // A composite endpoint (replica set) reserved extra queries for
+        // internal re-dispatch on the way to this answer: charged, but
+        // no caller-visible rows came of them.
+        stats->wasted_queries += attempt_consumed - rows.size();
+      }
+      if (record_latency) {
+        api.row_latency().Record(rows.size(), timer.ElapsedSeconds(),
+                                 config.ewma_alpha);
+      }
+      *out = std::move(batch).ValueOrDie();
+      return Status::OK();
+    }
+    stats->wasted_queries += attempt_consumed;
+    stats->retries += 1;
+    const Status& refusal = batch.status();
+    if (!refusal.IsRetryable()) return refusal;
+    if (attempt + 1 >= max_attempts) {
+      return Status::Unavailable(util::StrFormat(
+          "chunk of %llu rows refused %llu consecutive times (last: %s); "
+          "%llu queries consumed, %llu wasted, %llu retries this request",
+          static_cast<unsigned long long>(rows.size()),
+          static_cast<unsigned long long>(max_attempts),
+          refusal.message().c_str(),
+          static_cast<unsigned long long>(*consumed),
+          static_cast<unsigned long long>(stats->wasted_queries),
+          static_cast<unsigned long long>(stats->retries)));
+    }
+    if (retry.retry_budget > 0 && stats->retries >= retry.retry_budget) {
+      return Status::Unavailable(util::StrFormat(
+          "retry budget %llu exhausted (last refusal: %s); %llu queries "
+          "consumed, %llu wasted",
+          static_cast<unsigned long long>(retry.retry_budget),
+          refusal.message().c_str(),
+          static_cast<unsigned long long>(*consumed),
+          static_cast<unsigned long long>(stats->wasted_queries)));
+    }
+    const double sleep =
+        std::min(retry.max_backoff_seconds,
+                 jitter.Uniform(retry.initial_backoff_seconds,
+                                std::max(retry.initial_backoff_seconds,
+                                         prev_sleep * 3.0)));
+    prev_sleep = sleep;
+    // Re-gate before sleeping: the backoff itself must not carry the
+    // request past a deadline/cancel a fresh chunk would have honored.
+    OPENAPI_RETURN_NOT_OK(
+        EnforceRequestOptions(options, *consumed, rows.size(), sleep));
+    clock->SleepFor(sleep);
+  }
+}
+
+}  // namespace
+
 Status DispatchProbes(const api::PredictionApi& api,
                       const std::vector<Vec>& points,
                       const RequestOptions& options,
                       const ChunkedDispatchConfig& config,
                       uint64_t* consumed, std::vector<Vec>* predictions,
-                      size_t out_offset) {
+                      size_t out_offset, ProbeRetryStats* retry_stats) {
   if (points.empty()) return Status::OK();
   OPENAPI_CHECK_GE(predictions->size(), out_offset + points.size());
+  ProbeRetryStats local_stats;  // callers that don't track still get bounds
+  ProbeRetryStats* stats =
+      retry_stats != nullptr ? retry_stats : &local_stats;
   // The endpoint's response vectors are its own allocations; assign()
   // copies them into the caller's stable row buffers and lets them go.
   auto emit = [&](const std::vector<Vec>& batch, size_t base) {
@@ -61,9 +152,11 @@ Status DispatchProbes(const api::PredictionApi& api,
     }
   };
 
+  std::vector<Vec> batch;
   if (!config.enabled) {  // pre-chunking dispatch, the bench baseline
-    std::vector<Vec> batch = api.PredictBatch(points);
-    *consumed += points.size();
+    OPENAPI_RETURN_NOT_OK(SendChunkWithRetry(api, points, options, config,
+                                             /*record_latency=*/false,
+                                             consumed, stats, &batch));
     emit(batch, 0);
     return Status::OK();
   }
@@ -74,11 +167,9 @@ Status DispatchProbes(const api::PredictionApi& api,
     // Unbounded request: the whole batch is one chunk — but still timed,
     // so deadline-free traffic keeps the endpoint's estimate warm for
     // the deadlined requests that follow it.
-    util::Timer timer;
-    std::vector<Vec> batch = api.PredictBatch(points);
-    *consumed += points.size();
-    api.row_latency().Record(points.size(), timer.ElapsedSeconds(),
-                             config.ewma_alpha);
+    OPENAPI_RETURN_NOT_OK(SendChunkWithRetry(api, points, options, config,
+                                             /*record_latency=*/true,
+                                             consumed, stats, &batch));
     emit(batch, 0);
     return Status::OK();
   }
@@ -91,7 +182,7 @@ Status DispatchProbes(const api::PredictionApi& api,
         PlanChunkRows(config, options, per_row, points.size() - done);
     // Predictive gate: dispatch only if the chunk's estimated duration
     // still fits before the deadline (and the budget covers it, and no
-    // cancellation landed). Rows already dispatched stay in *consumed.
+    // cancellation landed). Queries already charged stay in *consumed.
     OPENAPI_RETURN_NOT_OK(EnforceRequestOptions(
         options, *consumed, rows, per_row * static_cast<double>(rows)));
     const bool whole_batch = done == 0 && rows == points.size();
@@ -102,14 +193,9 @@ Status DispatchProbes(const api::PredictionApi& api,
       chunk.assign(points.begin() + static_cast<ptrdiff_t>(done),
                    points.begin() + static_cast<ptrdiff_t>(done + rows));
     }
-    util::Timer timer;
-    std::vector<Vec> batch = api.PredictBatch(whole_batch ? points : chunk);
-    *consumed += rows;
-    // Lock-free fold into the endpoint's shared estimate: concurrent
-    // requests chunking against this endpoint serialize through the CAS
-    // in LatencyEstimate::Record, no lock on the probe path.
-    api.row_latency().Record(rows, timer.ElapsedSeconds(),
-                             config.ewma_alpha);
+    OPENAPI_RETURN_NOT_OK(SendChunkWithRetry(
+        api, whole_batch ? points : chunk, options, config,
+        /*record_latency=*/true, consumed, stats, &batch));
     emit(batch, done);
     done += rows;
   }

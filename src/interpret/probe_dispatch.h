@@ -52,6 +52,48 @@ namespace openapi::interpret {
 
 using linalg::Vec;
 
+/// Retry policy for refused probe chunks (TryPredictBatch returning a
+/// retryable failure class — kTransient/kThrottled/kTimeout). Backoff is
+/// capped exponential with DECORRELATED JITTER: each sleep is drawn
+/// uniformly from [initial, 3 x previous sleep], clamped to the cap, so
+/// synchronized failures de-synchronize instead of thundering back in
+/// lockstep. Every sleep is re-gated against the request's
+/// deadline/budget/cancel first, so backing off can never blow a control
+/// a fresh chunk would have respected.
+struct RetryConfig {
+  /// Attempts per chunk, including the first. 1 = no retries.
+  size_t max_attempts = 4;
+
+  /// First backoff sleep, and the lower bound of every jittered draw.
+  double initial_backoff_seconds = 0.001;
+
+  /// Hard cap on any single backoff sleep.
+  double max_backoff_seconds = 0.100;
+
+  /// Failed attempts allowed per REQUEST (across all its chunks), the
+  /// bound on retry amplification: once a request has burned this many
+  /// failed attempts, the next failure degrades to kUnavailable instead
+  /// of retrying. 0 = no request-level bound (per-chunk max_attempts
+  /// still applies).
+  uint64_t retry_budget = 16;
+
+  /// Jitter stream seed: backoff sleeps are a pure function of (seed,
+  /// consumed-so-far, chunk size), so a single-threaded run replays its
+  /// retry schedule bit-identically.
+  uint64_t seed = 0xb0ff;
+};
+
+/// Per-request retry accounting, surfaced as EngineStats::wasted_queries
+/// / retries. `wasted_queries` counts queries charged by attempts that
+/// produced no answer (a simple endpoint refuses before consuming — 0;
+/// a replica set may have reserved rows before a shard was refused) plus
+/// a composite endpoint's internal re-dispatch overhead on success;
+/// `retries` counts failed attempts.
+struct ProbeRetryStats {
+  uint64_t wasted_queries = 0;
+  uint64_t retries = 0;
+};
+
 /// Knobs of the latency-aware chunk splitter. Lives in
 /// OpenApiConfig::dispatch, so the engine exposes it as
 /// EngineConfig::openapi.dispatch.
@@ -89,6 +131,11 @@ struct ChunkedDispatchConfig {
   /// Never plan fewer rows than this per chunk (>= 1 enforced). Raising
   /// it trades deadline tightness for fewer round-trips.
   size_t min_chunk_rows = 1;
+
+  /// Retry/backoff policy applied to every chunk (including the
+  /// single-chunk fast paths), so transient endpoint failures are
+  /// absorbed here instead of surfacing to the solver.
+  RetryConfig retry;
 };
 
 /// The per-row latency estimate a dispatcher should plan with: the
@@ -116,16 +163,27 @@ size_t PlanChunkRows(const ChunkedDispatchConfig& config,
 /// into (*predictions)[out_offset + i] (rows are assign()ed, so a
 /// workspace's prediction buffers are reused, not reallocated).
 /// `predictions` must already be sized to at least out_offset +
-/// points.size(). *consumed is advanced by exactly the rows dispatched,
-/// chunk by chunk; on a mid-batch rejection (Cancelled /
-/// DeadlineExceeded / BudgetExhausted) the rows already dispatched stay
-/// counted and the remainder of `points` is never sent.
+/// points.size(). *consumed is advanced by exactly the queries charged,
+/// chunk by chunk — including queries a composite endpoint consumed on a
+/// REFUSED attempt — so it always matches api.query_count(); on a
+/// mid-batch rejection (Cancelled / DeadlineExceeded / BudgetExhausted /
+/// Unavailable) the queries already charged stay counted and the
+/// remainder of `points` is never sent.
+///
+/// Failure handling: a chunk refused with a retryable class is retried
+/// under config.retry (capped backoff with decorrelated jitter, each
+/// sleep re-gated against the request's controls). A non-retryable
+/// refusal propagates as-is; exhausting per-chunk attempts or the
+/// request's retry budget degrades to kUnavailable with exact counts in
+/// the message. `retry_stats` (nullable) accumulates the request's
+/// failed attempts and wasted queries across calls.
 Status DispatchProbes(const api::PredictionApi& api,
                       const std::vector<Vec>& points,
                       const RequestOptions& options,
                       const ChunkedDispatchConfig& config,
                       uint64_t* consumed, std::vector<Vec>* predictions,
-                      size_t out_offset);
+                      size_t out_offset,
+                      ProbeRetryStats* retry_stats = nullptr);
 
 }  // namespace openapi::interpret
 

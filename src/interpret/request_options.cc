@@ -13,7 +13,7 @@ Status EnforceRequestOptions(const RequestOptions& options,
         static_cast<unsigned long long>(consumed)));
   }
   if (options.deadline.has_value()) {
-    const auto now = std::chrono::steady_clock::now();
+    const auto now = util::EffectiveClock(options.clock)->Now();
     if (now >= *options.deadline) {
       return Status::DeadlineExceeded(util::StrFormat(
           "deadline exceeded after %llu queries",

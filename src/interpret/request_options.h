@@ -28,6 +28,7 @@
 #include <optional>
 
 #include "util/cancellation.h"
+#include "util/clock.h"
 #include "util/status.h"
 
 namespace openapi::interpret {
@@ -54,15 +55,23 @@ struct RequestOptions {
   /// store attached.
   bool bypass_disk_tier = false;
 
+  /// Time source for every clock read this request's controls trigger —
+  /// deadline checks, chunk planning, retry backoff sleeps. Null means
+  /// the real steady clock; tests inject a util::FakeClock to make
+  /// deadline and backoff behavior deterministic.
+  const util::Clock* clock = nullptr;
+
   static RequestOptions WithBudget(uint64_t queries) {
     RequestOptions options;
     options.max_queries = queries;
     return options;
   }
 
-  static RequestOptions WithTimeout(std::chrono::milliseconds timeout) {
+  static RequestOptions WithTimeout(std::chrono::milliseconds timeout,
+                                    const util::Clock* clock = nullptr) {
     RequestOptions options;
-    options.deadline = std::chrono::steady_clock::now() + timeout;
+    options.clock = clock;
+    options.deadline = util::EffectiveClock(clock)->Now() + timeout;
     return options;
   }
 };

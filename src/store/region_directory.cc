@@ -7,7 +7,8 @@
 namespace openapi::store {
 
 void RegionDirectory::Put(uint64_t fingerprint, uint64_t offset,
-                          uint32_t argmax, const Vec& lo, const Vec& hi) {
+                          uint32_t argmax, const Vec& lo, const Vec& hi,
+                          uint32_t epoch) {
   OPENAPI_CHECK_EQ(lo.size(), dim_);
   OPENAPI_CHECK_EQ(hi.size(), dim_);
   auto it = by_fingerprint_.find(fingerprint);
@@ -15,6 +16,7 @@ void RegionDirectory::Put(uint64_t fingerprint, uint64_t offset,
     const size_t index = it->second;
     Entry& entry = entries_[index];
     entry.offset = offset;
+    entry.epoch = std::max(entry.epoch, epoch);
     double* box_lo = boxes_.data() + index * 2 * dim_;
     double* box_hi = box_lo + dim_;
     for (size_t j = 0; j < dim_; ++j) {
@@ -28,7 +30,7 @@ void RegionDirectory::Put(uint64_t fingerprint, uint64_t offset,
     return;
   }
   const uint32_t index = static_cast<uint32_t>(entries_.size());
-  entries_.push_back(Entry{fingerprint, offset, argmax});
+  entries_.push_back(Entry{fingerprint, offset, argmax, epoch});
   boxes_.insert(boxes_.end(), lo.begin(), lo.end());
   boxes_.insert(boxes_.end(), hi.begin(), hi.end());
   by_fingerprint_.emplace(fingerprint, index);
@@ -39,6 +41,13 @@ bool RegionDirectory::Lookup(uint64_t fingerprint, uint64_t* offset) const {
   auto it = by_fingerprint_.find(fingerprint);
   if (it == by_fingerprint_.end()) return false;
   *offset = entries_[it->second].offset;
+  return true;
+}
+
+bool RegionDirectory::GetEpoch(uint64_t fingerprint, uint32_t* epoch) const {
+  auto it = by_fingerprint_.find(fingerprint);
+  if (it == by_fingerprint_.end()) return false;
+  *epoch = entries_[it->second].epoch;
   return true;
 }
 
@@ -61,26 +70,27 @@ bool RegionDirectory::BoxContains(size_t entry_index, const Vec& x) const {
 }
 
 void RegionDirectory::CollectPartition(
-    const std::vector<uint32_t>& partition, const Vec& x,
+    const std::vector<uint32_t>& partition, const Vec& x, uint32_t min_epoch,
     std::vector<uint64_t>* offsets) const {
   for (uint32_t index : partition) {
+    if (entries_[index].epoch < min_epoch) continue;  // stale drift epoch
     if (BoxContains(index, x)) {
       offsets->push_back(entries_[index].offset);
     }
   }
 }
 
-void RegionDirectory::CollectCandidates(
-    const Vec& x, size_t first_argmax,
-    std::vector<uint64_t>* offsets) const {
+void RegionDirectory::CollectCandidates(const Vec& x, size_t first_argmax,
+                                        std::vector<uint64_t>* offsets,
+                                        uint32_t min_epoch) const {
   OPENAPI_CHECK_EQ(x.size(), dim_);
   auto first = by_argmax_.find(static_cast<uint32_t>(first_argmax));
   if (first != by_argmax_.end()) {
-    CollectPartition(first->second, x, offsets);
+    CollectPartition(first->second, x, min_epoch, offsets);
   }
   for (const auto& [argmax, partition] : by_argmax_) {
     if (argmax == first_argmax) continue;
-    CollectPartition(partition, x, offsets);
+    CollectPartition(partition, x, min_epoch, offsets);
   }
 }
 

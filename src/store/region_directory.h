@@ -38,11 +38,13 @@ class RegionDirectory {
   explicit RegionDirectory(size_t dim) : dim_(dim) {}
 
   /// Inserts or refreshes the entry for `fingerprint`: a new fingerprint
-  /// gets a fresh entry; an existing one is repointed at `offset` and its
+  /// gets a fresh entry; an existing one is repointed at `offset`, its
   /// box is UNIONED with [lo, hi] (boxes only ever grow — the invariant
-  /// the learned region boxes already obey in RAM).
+  /// the learned region boxes already obey in RAM), and its epoch raised
+  /// to `epoch` (epochs only ever advance: re-validating a region at the
+  /// current drift epoch must never demote it to a stale one).
   void Put(uint64_t fingerprint, uint64_t offset, uint32_t argmax,
-           const Vec& lo, const Vec& hi);
+           const Vec& lo, const Vec& hi, uint32_t epoch = 0);
 
   bool Contains(uint64_t fingerprint) const {
     return by_fingerprint_.count(fingerprint) > 0;
@@ -54,11 +56,17 @@ class RegionDirectory {
   /// Copies `fingerprint`'s box into *lo / *hi; false when absent.
   bool GetBox(uint64_t fingerprint, Vec* lo, Vec* hi) const;
 
-  /// Appends the log offsets of every entry whose box contains x —
-  /// entries whose argmax equals `first_argmax` first, then the remaining
-  /// partitions in ascending argmax order.
+  /// Drift epoch of `fingerprint`'s entry; false when absent.
+  bool GetEpoch(uint64_t fingerprint, uint32_t* epoch) const;
+
+  /// Appends the log offsets of every entry whose box contains x AND
+  /// whose epoch is at least `min_epoch` (stale-epoch regions describe a
+  /// model the endpoint no longer serves — they are invalidated, not
+  /// offered) — entries whose argmax equals `first_argmax` first, then
+  /// the remaining partitions in ascending argmax order.
   void CollectCandidates(const Vec& x, size_t first_argmax,
-                         std::vector<uint64_t>* offsets) const;
+                         std::vector<uint64_t>* offsets,
+                         uint32_t min_epoch = 0) const;
 
   size_t size() const { return entries_.size(); }
   size_t dim() const { return dim_; }
@@ -71,11 +79,13 @@ class RegionDirectory {
     uint64_t fingerprint = 0;
     uint64_t offset = 0;
     uint32_t argmax = 0;
+    uint32_t epoch = 0;
   };
 
   bool BoxContains(size_t entry_index, const Vec& x) const;
-  void CollectPartition(const std::vector<uint32_t>& partition,
-                        const Vec& x, std::vector<uint64_t>* offsets) const;
+  void CollectPartition(const std::vector<uint32_t>& partition, const Vec& x,
+                        uint32_t min_epoch,
+                        std::vector<uint64_t>* offsets) const;
 
   const size_t dim_;
   std::vector<Entry> entries_;

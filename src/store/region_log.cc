@@ -40,7 +40,7 @@ uint64_t ReadU64(const char* p) {
 std::string EncodeHeader(size_t dim, size_t num_classes) {
   std::string header(kLogMagic, sizeof(kLogMagic));
   AppendU32(kLogVersion, &header);
-  AppendU32(0, &header);
+  AppendU32(0, &header);  // base epoch: fresh logs start at epoch 0
   AppendU64(dim, &header);
   AppendU64(num_classes, &header);
   return header;
@@ -68,6 +68,7 @@ Result<std::unique_ptr<RegionLog>> RegionLog::Open(
           static_cast<unsigned>(version),
           static_cast<unsigned>(kLogVersion)));
     }
+    const uint32_t base_epoch = ReadU32(content.data() + 12);
     const uint64_t file_dim = ReadU64(content.data() + 16);
     const uint64_t file_classes = ReadU64(content.data() + 24);
     if (file_dim != dim || file_classes != num_classes) {
@@ -108,6 +109,7 @@ Result<std::unique_ptr<RegionLog>> RegionLog::Open(
     auto log = std::unique_ptr<RegionLog>(
         new RegionLog(std::move(file), path, dim, num_classes));
     log->record_count_ = record_count;
+    log->base_epoch_ = base_epoch;
     log->recovery_ = recovery;
     return log;
   }

@@ -14,7 +14,10 @@
 //
 //   u8[8]  magic   "OARLOG1\n"
 //   u32    version (currently 1)
-//   u32    reserved (0)
+//   u32    base epoch (drift epoch floor of the whole log; written as 0
+//          at creation — pre-drift logs carry 0 here — and honored at
+//          recovery: the store's current epoch resumes at
+//          max(base epoch, every record's epoch))
 //   u64    dim
 //   u64    num_classes
 //   ...framed records (region_record.h)
@@ -83,6 +86,10 @@ class RegionLog {
   size_t num_classes() const { return num_classes_; }
   uint64_t record_count() const { return record_count_; }
   const RecoveryStats& recovery_stats() const { return recovery_; }
+  /// Drift-epoch floor from the file header (0 on fresh and pre-drift
+  /// logs). The store's recovered epoch is the max of this and every
+  /// replayed record's epoch.
+  uint32_t base_epoch() const { return base_epoch_; }
 
  private:
   RegionLog(util::File file, std::string path, size_t dim,
@@ -95,6 +102,7 @@ class RegionLog {
   size_t dim_;
   size_t num_classes_;
   uint64_t record_count_ = 0;
+  uint32_t base_epoch_ = 0;
   RecoveryStats recovery_;
 };
 

@@ -79,7 +79,7 @@ void EncodeRecord(const RegionRecord& record, size_t dim,
   payload.reserve(RecordPayloadSize(dim, num_classes));
   AppendU64(record.fingerprint, &payload);
   AppendU32(record.argmax, &payload);
-  AppendU32(0, &payload);
+  AppendU32(record.epoch, &payload);
   AppendDoubles(record.anchor.data(), dim, &payload);
   AppendDoubles(record.lo.data(), dim, &payload);
   AppendDoubles(record.hi.data(), dim, &payload);
@@ -122,6 +122,7 @@ Result<RegionRecord> DecodeRecord(std::string_view data, size_t offset,
   RegionRecord record;
   record.fingerprint = ReadU64(payload);
   record.argmax = ReadU32(payload + 8);
+  record.epoch = ReadU32(payload + 12);
   const char* p = payload + 16;
   record.anchor.resize(dim);
   ReadDoubles(p, dim, record.anchor.data());

@@ -21,7 +21,9 @@
 //   u8[] payload:
 //        u64  fingerprint
 //        u32  argmax
-//        u32  reserved (0)
+//        u32  epoch (drift epoch the record was persisted at; the field
+//             was written as reserved-0 before drift tracking, so old
+//             logs decode as epoch 0 — the store's initial epoch)
 //        f64  anchor[dim]
 //        f64  lo[dim], hi[dim]
 //        f64  weights[dim * num_classes]   (row-major, row = input dim)
@@ -54,6 +56,11 @@ inline constexpr uint32_t kRecordMagic = 0x314e4752u;  // "RGN1"
 struct RegionRecord {
   uint64_t fingerprint = 0;
   uint32_t argmax = 0;
+  /// Drift epoch this record belongs to. RegionStore::Put stamps it with
+  /// the store's current epoch; records from an older epoch (the
+  /// endpoint's model changed under the cache) are excluded from reload
+  /// candidates rather than served.
+  uint32_t epoch = 0;
   Vec anchor;
   Vec lo;
   Vec hi;

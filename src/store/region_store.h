@@ -56,15 +56,19 @@ class RegionStore {
   RegionStore& operator=(const RegionStore&) = delete;
 
   /// Persists `record`, deduplicating by fingerprint: appends when the
-  /// fingerprint is new OR its box grew beyond the stored one (directory
-  /// box unioned either way). Returns true when bytes were appended.
+  /// fingerprint is new, its box grew beyond the stored one (directory
+  /// box unioned either way), or the stored entry carries a stale drift
+  /// epoch (a freshly revalidated region must become reloadable again).
+  /// The appended record is stamped with max(record.epoch, current
+  /// epoch). Returns true when bytes were appended.
   Result<bool> Put(const RegionRecord& record) EXCLUDES(mutex_);
 
   /// True when `fingerprint` has a persisted record.
   bool Contains(uint64_t fingerprint) const EXCLUDES(mutex_);
 
-  /// Log offsets of every persisted region whose learned box contains x,
-  /// the `first_argmax` partition first (the session's lookup heuristic).
+  /// Log offsets of every persisted region whose learned box contains x
+  /// AND whose entry is at the current drift epoch, the `first_argmax`
+  /// partition first (the session's lookup heuristic).
   void CollectCandidates(const Vec& x, size_t first_argmax,
                          std::vector<uint64_t>* offsets) const
       EXCLUDES(mutex_);
@@ -84,15 +88,28 @@ class RegionStore {
   /// Approximate resident bytes of the in-memory directory.
   size_t directory_bytes() const EXCLUDES(mutex_);
 
+  /// Current drift epoch. Recovered at Open() as the max of the log
+  /// header's base epoch and every replayed record's epoch, so a restart
+  /// resumes where drift tracking left off.
+  uint32_t current_epoch() const EXCLUDES(mutex_);
+  /// Advances the drift epoch by one and returns the new value. Called by
+  /// the session when its validation pair catches the endpoint serving a
+  /// different model: every entry below the new epoch stops being a
+  /// reload candidate (invalidated, not served). Durability is via
+  /// records — the next Put stamps the new epoch — which is safe because
+  /// disk reloads always revalidate against a live validation pair.
+  uint32_t BumpEpoch() EXCLUDES(mutex_);
+
   size_t dim() const { return dim_; }
   size_t num_classes() const { return num_classes_; }
   const std::string& path() const { return path_; }
 
  private:
   RegionStore(std::unique_ptr<RegionLog> log, RegionDirectory directory,
-              size_t dim, size_t num_classes)
+              size_t dim, size_t num_classes, uint32_t epoch)
       : dim_(dim), num_classes_(num_classes), path_(log->path()),
-        log_(std::move(log)), directory_(std::move(directory)) {}
+        log_(std::move(log)), directory_(std::move(directory)),
+        epoch_(epoch) {}
 
   const size_t dim_;
   const size_t num_classes_;
@@ -102,6 +119,7 @@ class RegionStore {
   std::unique_ptr<RegionLog> log_ GUARDED_BY(mutex_);
   RegionDirectory directory_ GUARDED_BY(mutex_);
   uint64_t appended_records_ GUARDED_BY(mutex_) = 0;
+  uint32_t epoch_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace openapi::store

@@ -1,0 +1,28 @@
+#include "util/clock.h"
+
+#include <thread>
+
+namespace openapi::util {
+namespace {
+
+class RealClock final : public Clock {
+ public:
+  TimePoint Now() const override {
+    return std::chrono::steady_clock::now();
+  }
+
+  void SleepFor(double seconds) const override {
+    if (seconds > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    }
+  }
+};
+
+}  // namespace
+
+const Clock* Clock::Real() {
+  static const RealClock kReal;
+  return &kReal;
+}
+
+}  // namespace openapi::util

@@ -1,0 +1,86 @@
+// Injectable time source. Serving code that waits (retry backoff) or
+// measures (deadlines, latency EWMAs) takes a `const Clock*` so tests can
+// substitute a FakeClock and assert timing behavior deterministically —
+// no real sleeps, no CI flakes.
+
+#ifndef OPENAPI_UTIL_CLOCK_H_
+#define OPENAPI_UTIL_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace openapi::util {
+
+/// Monotonic time source. `Real()` wraps std::chrono::steady_clock and
+/// really sleeps; FakeClock advances a counter instead.
+class Clock {
+ public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  virtual ~Clock() = default;
+
+  virtual TimePoint Now() const = 0;
+
+  /// Blocks (or pretends to) for `seconds`. Non-positive durations return
+  /// immediately.
+  virtual void SleepFor(double seconds) const = 0;
+
+  /// Process-wide real steady_clock instance. Never null.
+  static const Clock* Real();
+};
+
+/// Deterministic clock for tests: Now() reads an atomic nanosecond
+/// counter, SleepFor()/Advance() bump it. Safe to share across threads
+/// (each mutation is one atomic RMW), though concurrent advancement
+/// interleaves like real time would.
+class FakeClock final : public Clock {
+ public:
+  /// Starts at an arbitrary fixed origin (steady_clock epoch + 1h, so
+  /// subtracting small offsets can never underflow the time_point).
+  FakeClock() : nanos_(kOriginNanos) {}
+
+  TimePoint Now() const override {
+    return TimePoint(std::chrono::nanoseconds(
+        nanos_.load(std::memory_order_acquire)));
+  }
+
+  void SleepFor(double seconds) const override {
+    if (seconds > 0.0) AdvanceNanos(ToNanos(seconds));
+  }
+
+  /// Moves time forward by `seconds` (test driver side).
+  void Advance(double seconds) const {
+    if (seconds > 0.0) AdvanceNanos(ToNanos(seconds));
+  }
+
+  /// Total simulated sleep/advance since construction, in seconds.
+  double ElapsedSeconds() const {
+    return static_cast<double>(nanos_.load(std::memory_order_acquire) -
+                               kOriginNanos) *
+           1e-9;
+  }
+
+ private:
+  static constexpr int64_t kOriginNanos = 3600LL * 1000000000LL;
+
+  static int64_t ToNanos(double seconds) {
+    return static_cast<int64_t>(seconds * 1e9 + 0.5);
+  }
+
+  void AdvanceNanos(int64_t nanos) const {
+    nanos_.fetch_add(nanos, std::memory_order_acq_rel);
+  }
+
+  mutable std::atomic<int64_t> nanos_;
+};
+
+/// `clock` if non-null, else the real clock — the convention every
+/// clock-accepting API uses so callers can leave the field defaulted.
+inline const Clock* EffectiveClock(const Clock* clock) {
+  return clock != nullptr ? clock : Clock::Real();
+}
+
+}  // namespace openapi::util
+
+#endif  // OPENAPI_UTIL_CLOCK_H_

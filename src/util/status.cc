@@ -26,6 +26,14 @@ const char* StatusCodeName(StatusCode code) {
       return "Cancelled";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kTransient:
+      return "Transient";
+    case StatusCode::kThrottled:
+      return "Throttled";
+    case StatusCode::kTimeout:
+      return "Timeout";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
     case StatusCode::kUnknown:
       return "Unknown";
   }

@@ -32,6 +32,10 @@ enum class StatusCode {
   kBudgetExhausted,   // per-request query budget would be overspent
   kCancelled,         // caller revoked the request via its CancelToken
   kDeadlineExceeded,  // per-request wall-clock deadline passed
+  kTransient,         // endpoint failed this call; retrying may succeed
+  kThrottled,         // endpoint is shedding load; back off before retrying
+  kTimeout,           // endpoint did not answer in time; retrying may succeed
+  kUnavailable,       // retries exhausted without an answer
   kUnknown,
 };
 
@@ -74,6 +78,18 @@ class Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  static Status Transient(std::string msg) {
+    return Status(StatusCode::kTransient, std::move(msg));
+  }
+  static Status Throttled(std::string msg) {
+    return Status(StatusCode::kThrottled, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -107,6 +123,17 @@ class Status {
     return code() == StatusCode::kFailedPrecondition;
   }
   bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsTransient() const { return code() == StatusCode::kTransient; }
+  bool IsThrottled() const { return code() == StatusCode::kThrottled; }
+  bool IsTimeout() const { return code() == StatusCode::kTimeout; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+
+  /// A failure class a caller may retry (transient / throttled / timeout).
+  /// Everything else — including kUnavailable, which marks retries already
+  /// exhausted — is terminal for the attempt.
+  bool IsRetryable() const {
+    return IsTransient() || IsThrottled() || IsTimeout();
+  }
 
  private:
   struct Rep {

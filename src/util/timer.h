@@ -1,27 +1,35 @@
-// Wall-clock stopwatch used by the benchmark harnesses.
+// Wall-clock stopwatch used by the benchmark harnesses and the serving
+// path's latency accounting. Takes an optional util::Clock so tests can
+// drive it from a FakeClock.
 
 #ifndef OPENAPI_UTIL_TIMER_H_
 #define OPENAPI_UTIL_TIMER_H_
 
 #include <chrono>
 
+#include "util/clock.h"
+
 namespace openapi::util {
 
 class Timer {
  public:
-  Timer() : start_(Clock::now()) {}
+  Timer() : clock_(Clock::Real()), start_(clock_->Now()) {}
 
-  void Reset() { start_ = Clock::now(); }
+  /// `clock` may be null (falls back to the real clock).
+  explicit Timer(const Clock* clock)
+      : clock_(EffectiveClock(clock)), start_(clock_->Now()) {}
+
+  void Reset() { start_ = clock_->Now(); }
 
   double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return std::chrono::duration<double>(clock_->Now() - start_).count();
   }
 
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  const Clock* clock_;
+  Clock::TimePoint start_;
 };
 
 }  // namespace openapi::util

@@ -110,5 +110,64 @@ TEST(LatencyEstimateTest, ConcurrentReadsSeeConsistentValues) {
   EXPECT_LE(estimate.seconds_per_row(), kHigh);
 }
 
+// Reset under load: Reset() is an atomic exchange, callable from serving
+// code while other threads keep folding observations. After the dust
+// settles the estimate must be either still-cold or a valid fold of
+// post-reset observations — never NaN, never a torn double, never a
+// negative or out-of-hull value — and a final Reset always restores the
+// cold state exactly.
+TEST(LatencyEstimateTest, ResetUnderLoadLeavesConsistentState) {
+  LatencyEstimate estimate;
+  constexpr double kLow = 0.001;
+  constexpr double kHigh = 0.004;
+  constexpr int kRounds = 2000;
+  std::atomic<bool> stop{false};
+  std::atomic<int> bad_reads{0};
+
+  // Writers fold rates inside [kLow, kHigh] the whole time.
+  std::vector<std::thread> writers;
+  writers.reserve(3);
+  for (int w = 0; w < 3; ++w) {
+    writers.emplace_back([&estimate, &stop, w] {
+      const double rate = kLow * (w + 1);
+      while (!stop.load(std::memory_order_relaxed)) {
+        estimate.Record(/*rows=*/2, /*seconds=*/2 * rate, /*alpha=*/0.25);
+      }
+    });
+  }
+  // A reader polices the hull invariant THROUGH the resets: 0.0 (cold or
+  // just-reset) or a convex fold of real observations.
+  std::thread reader([&estimate, &stop, &bad_reads] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const double value = estimate.seconds_per_row();
+      const bool ok = value == 0.0 || (value >= kLow && value <= kHigh);
+      if (!ok || std::isnan(value)) bad_reads.fetch_add(1);
+    }
+  });
+  // The load-bearing thread: hammer Reset against the live writers.
+  for (int i = 0; i < kRounds; ++i) {
+    estimate.Reset();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : writers) t.join();
+  reader.join();
+  EXPECT_EQ(bad_reads.load(), 0);
+
+  // Post-race state is a valid fold (resets raced records, so either a
+  // re-seeded estimate or cold-with-samples transients have settled into
+  // the hull — samples and value are each internally consistent).
+  const double value = estimate.seconds_per_row();
+  EXPECT_FALSE(std::isnan(value));
+  EXPECT_TRUE(value == 0.0 || (value >= kLow && value <= kHigh));
+
+  // A quiescent Reset restores the exact cold state.
+  estimate.Reset();
+  EXPECT_EQ(estimate.seconds_per_row(), 0.0);
+  EXPECT_EQ(estimate.samples(), 0u);
+  estimate.Record(1, kLow, 0.5);  // and the next Record re-seeds directly
+  EXPECT_DOUBLE_EQ(estimate.seconds_per_row(), kLow);
+  EXPECT_EQ(estimate.samples(), 1u);
+}
+
 }  // namespace
 }  // namespace openapi::api

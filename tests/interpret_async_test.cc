@@ -289,5 +289,25 @@ TEST(SharedPoolTest, ConcurrentInterpretAllCallsShareOnePool) {
   EXPECT_EQ(session_b->stats().queries, api_b.query_count());
 }
 
+// Teardown race: a caller that get()s its future and immediately
+// destroys session + engine + endpoint must never lose them under a
+// pool worker still unwinding the submitted task. The workers' session
+// references are released before EndAsyncTask opens the engine
+// destructor's drain gate, so the last ~EndpointSession always runs
+// against a live engine. (This leaked as a rare ~1% use-after-scope
+// crash before the ordering fix; the tight loop makes it reproducible.)
+TEST(SubmitAsyncTest, TeardownRightAfterGetRacesNoWorker) {
+  lmt::LogisticModelTree tree = MakeTree(2);
+  for (int round = 0; round < 200; ++round) {
+    api::PredictionApi api(&tree);
+    InterpretationEngine engine;
+    auto session = engine.OpenSession(api);
+    util::Rng rng(static_cast<uint64_t>(round) + 1);
+    Vec x0 = rng.UniformVector(5, 0.2, 0.8);
+    auto future = session->SubmitAsync({x0, 0}, /*seed=*/23, 0);
+    ASSERT_TRUE(future.get().result.ok());
+  }  // session, engine, api all die here, racing the worker's unwind
+}
+
 }  // namespace
 }  // namespace openapi::interpret

@@ -4,13 +4,15 @@
 // predictive rejection of requests whose first chunk already blows the
 // deadline (queries == 0), cancellation stopping at a chunk boundary
 // mid-batch with exact consumed counts, and bit-parity of chunked vs
-// unchunked dispatch on unconstrained requests. Runs in the CI
-// ThreadSanitizer job: the replica-set test exercises concurrent
+// unchunked dispatch on unconstrained requests. The timing tests run on
+// an injected util::FakeClock — the slow endpoint advances the same
+// clock the dispatch plans and measures against, so every elapsed-time
+// assertion is deterministic: no real sleeps, no CI flakes. Runs in the
+// CI ThreadSanitizer job: the replica-set test exercises concurrent
 // deadlined traffic against the shared per-endpoint latency EWMA.
 
+#include <atomic>
 #include <chrono>
-#include <future>
-#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -18,37 +20,61 @@
 #include "api/api_replica_set.h"
 #include "interpret/interpretation_engine.h"
 #include "nn/plnn.h"
-#include "util/timer.h"
+#include "util/clock.h"
 
 namespace openapi::interpret {
 namespace {
 
 using std::chrono::milliseconds;
 
-/// Endpoint test double with configurable per-row latency: every row —
-/// single or batched — sleeps `per_row` before the model runs, the way a
-/// remote endpoint's serving stack costs wall time per sample. All the
-/// real PredictionApi machinery (query counter, noise tickets) still
-/// runs, so accounting assertions stay exact.
+/// Endpoint test double with configurable per-row latency on an injected
+/// clock: every row — single or batched — advances the clock by
+/// `per_row` before the model runs, the way a remote endpoint's serving
+/// stack costs wall time per sample. Against a util::FakeClock the cost
+/// is simulated, not slept, so the tests run instantly AND
+/// deterministically. All the real PredictionApi machinery (query
+/// counter, noise tickets) still runs, so accounting assertions stay
+/// exact. Latency lives on the failing surface (TryPredictBatch) — the
+/// single entry point retry-aware dispatch actually uses.
 class SlowPredictionApi : public api::PredictionApi {
  public:
-  SlowPredictionApi(const api::Plm* model, milliseconds per_row,
-                    double noise_stddev = 0.0)
+  SlowPredictionApi(const api::Plm* model, const util::Clock* clock,
+                    milliseconds per_row, double noise_stddev = 0.0)
       : PredictionApi(model, /*round_digits=*/0, noise_stddev),
-        per_row_(per_row) {}
+        clock_(clock),
+        per_row_seconds_(static_cast<double>(per_row.count()) * 1e-3) {}
 
   Vec Predict(const Vec& x) const override {
-    std::this_thread::sleep_for(per_row_);
+    clock_->SleepFor(per_row_seconds_);
     return PredictionApi::Predict(x);
   }
 
-  std::vector<Vec> PredictBatch(const std::vector<Vec>& xs) const override {
-    std::this_thread::sleep_for(per_row_ * xs.size());
-    return PredictionApi::PredictBatch(xs);
+  Result<std::vector<Vec>> TryPredictBatch(
+      const std::vector<Vec>& xs, uint64_t* rows_consumed) const override {
+    clock_->SleepFor(per_row_seconds_ * static_cast<double>(xs.size()));
+    auto result = PredictionApi::TryPredictBatch(xs, rows_consumed);
+    const uint64_t served =
+        rows_served_.fetch_add(xs.size(), std::memory_order_relaxed) +
+        xs.size();
+    if (cancel_at_ > 0 && served >= cancel_at_) cancel_.RequestCancel();
+    return result;
+  }
+
+  /// Arms cooperative cancellation: the batch that brings the total rows
+  /// served to `after_rows` (or past it) fires `token` right after it is
+  /// served, so the NEXT chunk boundary observes the cancellation — the
+  /// deterministic stand-in for "a client gives up mid-request".
+  void CancelAfter(uint64_t after_rows, util::CancelToken token) {
+    cancel_at_ = after_rows;
+    cancel_ = std::move(token);
   }
 
  private:
-  milliseconds per_row_;
+  const util::Clock* clock_;
+  double per_row_seconds_;
+  uint64_t cancel_at_ = 0;
+  util::CancelToken cancel_;
+  mutable std::atomic<uint64_t> rows_served_{0};
 };
 
 nn::Plnn MakeNet(size_t d, uint64_t seed) {
@@ -65,16 +91,17 @@ TEST(ChunkedDeadlineTest, OvershootIsBoundedByOneChunk) {
   // request stops within one small chunk of the deadline.
   const size_t d = 24;
   nn::Plnn net = MakeNet(d, 11);
-  SlowPredictionApi api(&net, milliseconds(5), /*noise_stddev=*/1e-3);
+  util::FakeClock clock;
+  SlowPredictionApi api(&net, &clock, milliseconds(5), /*noise_stddev=*/1e-3);
   OpenApiInterpreter interpreter;
   util::Rng rng(13);
   Vec x0 = rng.UniformVector(d, 0.2, 0.8);
 
   uint64_t consumed = 0;
-  util::Timer timer;
   auto result = interpreter.InterpretCounted(
-      api, x0, 0, &rng, &consumed, RequestOptions::WithTimeout(milliseconds(50)));
-  const double elapsed_ms = timer.ElapsedMillis();
+      api, x0, 0, &rng, &consumed,
+      RequestOptions::WithTimeout(milliseconds(50), &clock));
+  const double elapsed_ms = clock.ElapsedSeconds() * 1e3;
 
   ASSERT_FALSE(result.ok());
   EXPECT_TRUE(result.status().IsDeadlineExceeded())
@@ -85,11 +112,11 @@ TEST(ChunkedDeadlineTest, OvershootIsBoundedByOneChunk) {
   EXPECT_GE(consumed, 1u);
   // ...but the request never finished even its first 25-probe batch.
   EXPECT_LT(consumed, 1u + d + 1);
-  // The tightness claim: with the EWMA at ~5 ms/row, every chunk targets
-  // <= 25% of the remaining window (<= ~12.5 ms), so the overshoot is a
-  // fraction of what one full batch (125 ms) would have cost. 95 ms
-  // leaves CI scheduling slack while still failing hard if dispatch ever
-  // regresses to whole batches (>= 130 ms).
+  // The tightness claim: with the EWMA at exactly 5 ms/row on the fake
+  // clock, every chunk targets <= 25% of the remaining window
+  // (<= ~12.5 ms), so the overshoot is a fraction of what one full batch
+  // (125 ms) would have cost — and deterministic, failing hard if
+  // dispatch ever regresses to whole batches (>= 130 ms).
   EXPECT_LT(elapsed_ms, 95.0);
 }
 
@@ -101,14 +128,16 @@ TEST(ChunkedDeadlineTest, FirstChunkPredictedPastDeadlineRejectsAtZeroQueries) {
   // dispatching traffic it cannot finish.
   const size_t d = 6;
   nn::Plnn net = MakeNet(d, 17);
-  SlowPredictionApi api(&net, milliseconds(5));
+  util::FakeClock clock;
+  SlowPredictionApi api(&net, &clock, milliseconds(5));
   OpenApiInterpreter interpreter;
   util::Rng rng(19);
   Vec x0 = rng.UniformVector(d, 0.2, 0.8);
 
   uint64_t consumed = 0;
   auto result = interpreter.InterpretCounted(
-      api, x0, 0, &rng, &consumed, RequestOptions::WithTimeout(milliseconds(5)));
+      api, x0, 0, &rng, &consumed,
+      RequestOptions::WithTimeout(milliseconds(5), &clock));
   ASSERT_FALSE(result.ok());
   EXPECT_TRUE(result.status().IsDeadlineExceeded())
       << result.status().ToString();
@@ -122,14 +151,15 @@ TEST(ChunkedDeadlineTest, EngineRejectsPreBlownFirstChunkBeforeValidation) {
   // gate fires there and the envelope reports queries == 0.
   const size_t d = 6;
   nn::Plnn net = MakeNet(d, 23);
-  SlowPredictionApi api(&net, milliseconds(5));
+  util::FakeClock clock;
+  SlowPredictionApi api(&net, &clock, milliseconds(5));
   EngineConfig config;
   config.num_threads = 1;
   InterpretationEngine engine(config);
   auto session = engine.OpenSession(api);
   util::Rng rng(29);
   EngineRequest request{rng.UniformVector(d, 0.2, 0.8), 0,
-                        RequestOptions::WithTimeout(milliseconds(5))};
+                        RequestOptions::WithTimeout(milliseconds(5), &clock)};
   auto response = session->Interpret(request, /*seed=*/31, 0);
   ASSERT_FALSE(response.result.ok());
   EXPECT_TRUE(response.result.status().IsDeadlineExceeded())
@@ -140,46 +170,46 @@ TEST(ChunkedDeadlineTest, EngineRejectsPreBlownFirstChunkBeforeValidation) {
 }
 
 TEST(ChunkedDeadlineTest, CancellationStopsAtAChunkBoundaryMidBatch) {
-  // Cancel while the first 17-probe batch (85 ms unchunked) is in
-  // flight. The old dispatch would have finished the whole batch before
-  // noticing; chunked dispatch reacts at the next chunk boundary
+  // Cancellation fired by the endpoint itself once 5 rows have been
+  // served — i.e. while the first 17-probe batch is in flight. The old
+  // dispatch would have finished the whole batch before noticing;
+  // chunked dispatch reacts at the next chunk boundary
   // (cancel_chunk_seconds bounds the reaction), and the consumed count
-  // covers exactly the chunks that ran.
+  // covers exactly the chunks that ran. Fully deterministic: the fake
+  // clock replaces the old real-sleep + racing-thread arrangement.
   const size_t d = 16;
   nn::Plnn net = MakeNet(d, 37);
-  SlowPredictionApi api(&net, milliseconds(5), /*noise_stddev=*/1e-3);
+  util::FakeClock clock;
+  SlowPredictionApi api(&net, &clock, milliseconds(5), /*noise_stddev=*/1e-3);
   OpenApiInterpreter interpreter;
   util::CancelToken token = util::CancelToken::Cancellable();
+  api.CancelAfter(/*after_rows=*/5, token);
   // A roomy deadline alongside the token: cancellation must keep its
   // cancel_chunk_seconds reaction bound, not inherit the deadline's
   // whole-batch-sized chunks.
-  RequestOptions options = RequestOptions::WithTimeout(std::chrono::seconds(10));
+  RequestOptions options =
+      RequestOptions::WithTimeout(std::chrono::seconds(10), &clock);
   options.cancel = token;
   util::Rng rng(41);
   Vec x0 = rng.UniformVector(d, 0.2, 0.8);
 
   uint64_t consumed = 0;
-  util::Timer timer;
-  auto pending = std::async(std::launch::async, [&] {
-    return interpreter.InterpretCounted(api, x0, 0, &rng, &consumed, options);
-  });
-  std::this_thread::sleep_for(milliseconds(25));
-  token.RequestCancel();
-  auto result = pending.get();
-  const double elapsed_ms = timer.ElapsedMillis();
+  auto result =
+      interpreter.InterpretCounted(api, x0, 0, &rng, &consumed, options);
+  const double elapsed_ms = clock.ElapsedSeconds() * 1e3;
 
   ASSERT_FALSE(result.ok());
   EXPECT_TRUE(result.status().IsCancelled()) << result.status().ToString();
   // Exact partial consumption: anchor plus the chunks that completed.
   EXPECT_EQ(consumed, api.query_count());
-  EXPECT_GE(consumed, 1u);
-  // Cancelled at ~25 ms, i.e. mid-first-batch: the request must NOT have
-  // consumed the full 17-probe batch the old dispatch would have
-  // finished.
+  // The cancel fired at 5 rows, so at least those were served...
+  EXPECT_GE(consumed, 5u);
+  // ...but the request must NOT have consumed the full 17-probe batch
+  // the old dispatch would have finished.
   EXPECT_LT(consumed, 1u + d + 1);
-  // Reaction bound: cancel lands at 25 ms, each chunk targets
-  // cancel_chunk_seconds (10 ms) => return well before the 90 ms the
-  // unchunked batch would have needed.
+  // Reaction bound: with the EWMA at 5 ms/row each chunk targets
+  // cancel_chunk_seconds (10 ms) => the request returns well before the
+  // 90 ms the unchunked anchor + batch would have cost.
   EXPECT_LT(elapsed_ms, 70.0);
 }
 
