@@ -31,6 +31,7 @@
 #include "bench_perf_csv.h"
 #include "linalg/qr.h"
 #include "store/region_store.h"
+#include "util/check.h"
 #include "util/clock.h"
 #include "util/file_io.h"
 
@@ -471,8 +472,11 @@ void CandidateScanAtScale(benchmark::State& state, bool indexed,
   auto session = engine.OpenSession(api);
   for (size_t i = 0; i < k; ++i) {
     for (size_t j = 0; j < k; ++j) {
-      session->ImportRegion(grid.CellModel(i, j), grid.CellCenter(i, j),
-                            grid.CellHalfEdge());
+      OPENAPI_CHECK(session
+                        ->ImportRegion(grid.CellModel(i, j),
+                                       grid.CellCenter(i, j),
+                                       grid.CellHalfEdge())
+                        .ok());  // seeding must not silently fail
     }
   }
   // Nudge dim 2 (cells extend over dims 0/1 only): fresh raw bits every
@@ -561,7 +565,7 @@ void StoreColdFill(benchmark::State& state) {
   interpret::InterpretationEngine engine(config);
   const std::string path = StoreBenchPath(target_regions);
   for (auto _ : state) {
-    util::RemoveFile(path);
+    (void)util::RemoveFile(path);  // best-effort scratch cleanup
     auto store = store::RegionStore::Open(path, d, c);
     if (!store.ok()) {
       state.SkipWithError(store.status().ToString().c_str());
@@ -572,8 +576,11 @@ void StoreColdFill(benchmark::State& state) {
     auto session = engine.OpenSession(api, options);
     for (size_t i = 0; i < k; ++i) {
       for (size_t j = 0; j < k; ++j) {
-        session->ImportRegion(grid.CellModel(i, j), grid.CellCenter(i, j),
-                              grid.CellHalfEdge());
+        OPENAPI_CHECK(session
+                          ->ImportRegion(grid.CellModel(i, j),
+                                         grid.CellCenter(i, j),
+                                         grid.CellHalfEdge())
+                          .ok());  // seeding must not silently fail
       }
     }
     benchmark::DoNotOptimize(session->cache_size());
@@ -581,7 +588,7 @@ void StoreColdFill(benchmark::State& state) {
   state.SetItemsProcessed(
       static_cast<int64_t>(state.iterations() * k * k));
   state.counters["regions"] = static_cast<double>(k * k);
-  util::RemoveFile(path);
+  (void)util::RemoveFile(path);  // best-effort scratch cleanup
 }
 
 void StoreLogReload(benchmark::State& state) {
@@ -597,7 +604,7 @@ void StoreLogReload(benchmark::State& state) {
   interpret::InterpretationEngine engine(config);
   // Build the log once; the measured loop replays it.
   const std::string path = StoreBenchPath(target_regions);
-  util::RemoveFile(path);
+  (void)util::RemoveFile(path);  // best-effort scratch cleanup
   {
     auto store = store::RegionStore::Open(path, d, c);
     if (!store.ok()) {
@@ -609,8 +616,11 @@ void StoreLogReload(benchmark::State& state) {
     auto session = engine.OpenSession(api, options);
     for (size_t i = 0; i < k; ++i) {
       for (size_t j = 0; j < k; ++j) {
-        session->ImportRegion(grid.CellModel(i, j), grid.CellCenter(i, j),
-                              grid.CellHalfEdge());
+        OPENAPI_CHECK(session
+                          ->ImportRegion(grid.CellModel(i, j),
+                                         grid.CellCenter(i, j),
+                                         grid.CellHalfEdge())
+                          .ok());  // seeding must not silently fail
       }
     }
   }
@@ -641,7 +651,7 @@ void StoreLogReload(benchmark::State& state) {
   state.SetItemsProcessed(
       static_cast<int64_t>(state.iterations() * recovered));
   state.counters["regions"] = static_cast<double>(recovered);
-  util::RemoveFile(path);
+  (void)util::RemoveFile(path);  // best-effort scratch cleanup
 }
 
 BENCHMARK(StoreColdFill)

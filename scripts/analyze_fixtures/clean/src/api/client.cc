@@ -1,0 +1,9 @@
+#include "api/prediction_api.h"
+
+namespace fx {
+
+// src/api/ is the probe boundary's own plumbing: direct calls are legal
+// here without a waiver.
+int WarmUp(const api::PredictionApi& api) { return api.Predict(0); }
+
+}  // namespace fx

@@ -1,0 +1,15 @@
+#include "core/ordered.h"
+
+namespace fx {
+
+util::Status Ordered::Refresh() {
+  util::MutexLock outer_lock(outer_mutex_);
+  util::MutexLock inner_lock(inner_mutex_);  // matches the declared order
+  detail_ = state_ + config_;
+  util::Status status = util::Status();
+  if (!status.ok()) return status;
+  (void)util::Status();  // sanctioned suppression
+  return status;
+}
+
+}  // namespace fx

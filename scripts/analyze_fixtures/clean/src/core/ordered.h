@@ -1,0 +1,31 @@
+// Negative control: exercises every rule's clean path at once. The
+// nested acquisition matches the DECLARED order (ACQUIRED_AFTER), every
+// mutable member is annotated or carries a documented waiver, Status
+// results are handled or explicitly voided, and the only direct probe
+// call lives in src/api/ where it is legal. The analyzer must report
+// ZERO violations here.
+#pragma once
+
+#include <atomic>
+
+#include "util/mutex.h"
+#include "util/status.h"
+
+namespace fx {
+
+class Ordered {
+ public:
+  util::Status Refresh();
+
+ private:
+  util::Mutex outer_mutex_;
+  util::Mutex inner_mutex_ ACQUIRED_AFTER(outer_mutex_);
+  int state_ GUARDED_BY(outer_mutex_) = 0;
+  int detail_ GUARDED_BY(inner_mutex_) = 0;
+  // analyze: unguarded(written once in the constructor before the object
+  // is shared; immutable afterwards)
+  int config_ = 0;
+  std::atomic<int> generation_{0};
+};
+
+}  // namespace fx

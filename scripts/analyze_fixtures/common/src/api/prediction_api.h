@@ -1,0 +1,16 @@
+// Fixture stand-in for src/api/prediction_api.h: the probe-confinement
+// rule keys on calls to this surface through an API-typed receiver.
+#pragma once
+
+namespace api {
+
+class PredictionApi {
+ public:
+  int Predict(int x) const;
+  int PredictBatch(int x) const;
+  int PredictBatchReserved(int x, int budget) const;
+  int TryPredictBatch(int x) const;
+  int TryPredictBatchReserved(int x, int budget) const;
+};
+
+}  // namespace api

@@ -1,0 +1,59 @@
+// Fixture stand-in for the real src/util/mutex.h: just enough surface
+// (annotation macros, mutex wrappers, scoped guards) for the analyzer's
+// structural frontend to see the same shapes it sees in the real tree.
+// The analyzer special-cases the path "src/util/mutex.h" as the
+// annotation source, exactly as it does for the real wrapper layer.
+#pragma once
+
+#define CAPABILITY(x)
+#define SCOPED_CAPABILITY
+#define GUARDED_BY(x)
+#define PT_GUARDED_BY(x)
+#define ACQUIRED_AFTER(...)
+#define ACQUIRED_BEFORE(...)
+#define REQUIRES(...)
+#define REQUIRES_SHARED(...)
+#define ACQUIRE(...)
+#define RELEASE(...)
+#define EXCLUDES(...)
+#define NO_THREAD_SAFETY_ANALYSIS
+
+namespace util {
+
+class CAPABILITY("mutex") Mutex {
+ public:
+  void Lock() ACQUIRE();
+  void Unlock() RELEASE();
+};
+
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  void Lock() ACQUIRE();
+  void Unlock() RELEASE();
+};
+
+class CondVar {
+ public:
+  void Wait(Mutex& mu);
+  void NotifyAll();
+};
+
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu);
+  ~MutexLock() RELEASE();
+};
+
+class SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) ACQUIRE(mu);
+  ~WriterMutexLock() RELEASE();
+};
+
+class SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) ACQUIRE(mu);
+  ~ReaderMutexLock() RELEASE();
+};
+
+}  // namespace util

@@ -1,0 +1,23 @@
+// Fixture stand-in for src/util/status.h: the must-use registry keys on
+// declarations returning util::Status / util::Result<T>.
+#pragma once
+
+namespace util {
+
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  bool ok() const { return true; }
+};
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(value) {}
+  bool ok() const { return true; }
+
+ private:
+  T value_;
+};
+
+}  // namespace util

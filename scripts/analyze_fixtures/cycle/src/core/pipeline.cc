@@ -1,0 +1,17 @@
+#include "core/pipeline.h"
+
+namespace fx {
+
+void Pipeline::FillForward() {
+  util::MutexLock head_lock(head_mutex_);
+  util::MutexLock tail_lock(tail_mutex_);  // observed: head -> tail
+  tail_ = head_;
+}
+
+void Pipeline::DrainBackward() {
+  util::MutexLock tail_lock(tail_mutex_);
+  util::MutexLock head_lock(head_mutex_);  // observed: tail -> head. ABBA.
+  head_ = tail_;
+}
+
+}  // namespace fx

@@ -1,0 +1,23 @@
+// Seeded violation: the two stage methods acquire the same pair of
+// mutexes in opposite orders — the classic ABBA deadlock the lock-order
+// rule exists to catch. Everything else in this fixture is clean so the
+// analyzer fires this rule and only this rule.
+#pragma once
+
+#include "util/mutex.h"
+
+namespace fx {
+
+class Pipeline {
+ public:
+  void FillForward();
+  void DrainBackward();
+
+ private:
+  util::Mutex head_mutex_;
+  util::Mutex tail_mutex_;
+  int head_ GUARDED_BY(head_mutex_) = 0;
+  int tail_ GUARDED_BY(tail_mutex_) = 0;
+};
+
+}  // namespace fx

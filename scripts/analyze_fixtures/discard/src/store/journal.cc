@@ -1,0 +1,26 @@
+#include "store/journal.h"
+
+namespace fx {
+
+util::Status Journal::Append(int record) {
+  (void)record;
+  return util::Status();
+}
+
+util::Result<int> Journal::Flush() { return util::Result<int>(42); }
+
+util::Status RemoveJournalFile(int id) {
+  (void)id;
+  return util::Status();
+}
+
+void Journal::Tick() {
+  Append(1);                         // VIOLATION: Status discarded
+  Flush();                           // VIOLATION: Result discarded
+  RemoveJournalFile(0), Append(2);   // VIOLATION: dropped left of comma
+  (void)Append(3);                   // fine: sanctioned suppression
+  util::Status kept = Append(4);     // fine: handled
+  if (!kept.ok()) return;
+}
+
+}  // namespace fx

@@ -1,0 +1,20 @@
+// Seeded violations: callers that drop util::Status / util::Result<T>
+// return values on the floor — as bare expression statements and on the
+// left of a comma operator. The (void)-cast and assigned calls are the
+// negative space: they must NOT be flagged.
+#pragma once
+
+#include "util/status.h"
+
+namespace fx {
+
+class Journal {
+ public:
+  util::Status Append(int record);
+  util::Result<int> Flush();
+  void Tick();
+};
+
+util::Status RemoveJournalFile(int id);
+
+}  // namespace fx

@@ -1,0 +1,17 @@
+// Seeded violations: direct PredictionApi probe calls from library code
+// outside src/api/ and the probe dispatcher. The waived call is the
+// negative space: it must NOT be flagged.
+#include "api/prediction_api.h"
+
+namespace fx {
+
+int SampleAround(const api::PredictionApi& api, int x) {
+  int y = api.Predict(x);          // VIOLATION: typed API receiver
+  int z = api.TryPredictBatch(x);  // VIOLATION: Try* is conclusive alone
+  // analyze: direct-probe(fixture: baseline probe loop that predates the
+  // dispatcher, kept verbatim for comparison against the paper)
+  int w = api.PredictBatch(x);  // fine: waived with a reason
+  return y + z + w;
+}
+
+}  // namespace fx

@@ -1,0 +1,11 @@
+#include "core/registry.h"
+
+namespace fx {
+
+int Registry::Lookup(int key) {
+  util::MutexLock lock(mutex_);
+  hits_ += key;
+  return table_;
+}
+
+}  // namespace fx

@@ -1,0 +1,27 @@
+// Seeded violations: a mutex-owning class with one mutable member that
+// is neither annotated nor waived, and one whose waiver has an empty
+// reason. The annotated, const, and atomic members are the negative
+// space: they must NOT be flagged.
+#pragma once
+
+#include <atomic>
+
+#include "util/mutex.h"
+
+namespace fx {
+
+class Registry {
+ public:
+  int Lookup(int key);
+
+ private:
+  util::Mutex mutex_;
+  int table_ GUARDED_BY(mutex_) = 0;
+  int hits_ = 0;  // VIOLATION: mutable, unannotated, unwaived
+  // analyze: unguarded()
+  int misses_ = 0;  // VIOLATION: waiver carries no reason
+  const int capacity_ = 64;
+  std::atomic<int> epoch_{0};
+};
+
+}  // namespace fx

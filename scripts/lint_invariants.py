@@ -92,9 +92,19 @@ from pathlib import Path
 # --------------------------------------------------------------------------
 
 
+RAW_STRING_OPEN = re.compile(r'R"([^ ()\\\t\v\f\n]{0,16})\(')
+
+
 def strip_comments_and_strings(text: str) -> str:
     """Blanks out comments, string and char literals, preserving newlines
-    (and therefore line numbers) so rule hits report real locations."""
+    (and therefore line numbers) so rule hits report real locations.
+
+    C++ raw string literals (R"( ... )", with an optional delimiter as in
+    R"delim( ... )delim") are handled as a unit: their payload may contain
+    unescaped quotes and backslashes, so feeding them through the ordinary
+    string state machine desyncs it — the embedded `"` would terminate the
+    literal early and everything after it would be classified as code
+    (false positives) or swallowed as string (false negatives)."""
     out = []
     i, n = 0, len(text)
     state = "code"
@@ -110,6 +120,27 @@ def strip_comments_and_strings(text: str) -> str:
                 state = "block_comment"
                 out.append("  ")
                 i += 2
+            elif c == "R" and nxt == '"' and not (
+                    i > 0 and (text[i - 1].isalnum() or text[i - 1] == "_")):
+                m = RAW_STRING_OPEN.match(text, i)
+                if m:
+                    # Blank everything up to and including the matching
+                    # )delim" terminator; newlines survive (raw strings may
+                    # span lines and line numbers must stay stable). An
+                    # unterminated raw string blanks to EOF, like an
+                    # unterminated block comment.
+                    close = ")" + m.group(1) + '"'
+                    end = text.find(close, m.end())
+                    end = n if end == -1 else end + len(close)
+                    for ch in text[i:end]:
+                        out.append(ch if ch == "\n" else " ")
+                    i = end
+                else:
+                    # R"..." that is not a valid raw-string opener (e.g. a
+                    # delimiter over 16 chars): treat R as ordinary code and
+                    # let the quote start a normal string.
+                    out.append(c)
+                    i += 1
             elif c == '"':
                 state = "string"
                 out.append(" ")

@@ -46,6 +46,54 @@ class StripTest(unittest.TestCase):
         self.assertNotIn("std::mutex", stripped)
         self.assertIn("int x;", stripped)
 
+    def test_raw_string_payload_is_blanked(self):
+        src = 'const char* s = R"(std::mutex mu;)";\nint x;\n'
+        stripped = lint.strip_comments_and_strings(src)
+        self.assertNotIn("std::mutex", stripped)
+        self.assertIn("int x;", stripped)
+
+    def test_raw_string_embedded_quote_does_not_desync(self):
+        # The embedded `"` inside the raw payload must NOT terminate the
+        # literal: with the old state machine everything after it leaked
+        # back into "code", so the payload's std::mutex was reported and
+        # the real code after the literal could be swallowed.
+        src = ('const char* json = R"({"k": "v", "m": "std::mutex"})";\n'
+               'std::mutex real_violation;\n')
+        stripped = lint.strip_comments_and_strings(src)
+        lines = stripped.splitlines()
+        self.assertNotIn("std::mutex", lines[0])
+        self.assertIn("std::mutex real_violation;", lines[1])
+
+    def test_raw_string_with_delimiter(self):
+        src = ('const char* s = R"delim(payload )" std::mutex )delim";\n'
+               'int after;\n')
+        stripped = lint.strip_comments_and_strings(src)
+        # The plain `)"` inside the delimited payload is not a terminator.
+        self.assertNotIn("std::mutex", stripped)
+        self.assertIn("int after;", stripped)
+
+    def test_raw_string_spans_lines_preserving_line_count(self):
+        src = ('auto s = R"(line one\n'
+               'std::lock_guard<std::mutex> l(m);\n'
+               'line three)";\n'
+               'std::mutex tail;\n')
+        stripped = lint.strip_comments_and_strings(src)
+        self.assertEqual(src.count("\n"), stripped.count("\n"))
+        self.assertNotIn("lock_guard", stripped)
+        self.assertIn("std::mutex tail;", stripped.splitlines()[3])
+
+    def test_identifier_ending_in_R_is_not_raw_string(self):
+        src = 'int VAR"x";\n'.replace("VAR", "myR")  # myR"x" is not R"..."
+        stripped = lint.strip_comments_and_strings(src)
+        self.assertIn("int myR", stripped)
+
+    def test_unterminated_raw_string_blanks_to_eof(self):
+        src = 'auto s = R"(never closed std::mutex\nint not_code;\n'
+        stripped = lint.strip_comments_and_strings(src)
+        self.assertNotIn("std::mutex", stripped)
+        self.assertNotIn("not_code", stripped)
+        self.assertEqual(src.count("\n"), stripped.count("\n"))
+
 
 class RawSyncPrimitiveTest(unittest.TestCase):
     def test_fires_on_std_mutex_member(self):

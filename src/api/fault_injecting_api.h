@@ -141,7 +141,7 @@ class FaultInjectingApi : public PredictionApi {
   /// failure, and reports whether a latency spike should be served.
   Status Decide(uint64_t key, bool* spike) const;
 
-  FaultConfig config_;
+  const FaultConfig config_;
   std::atomic<PredictionApi*> inner_;
 
   mutable util::Mutex mutex_;

@@ -5,6 +5,9 @@ namespace openapi::extract {
 bool MatchesLocalModel(const api::PredictionApi& api,
                        const LocalLinearModel& model, const linalg::Vec& x,
                        double tol) {
+  // analyze: direct-probe(exact-predicate validation probe: one point,
+  // one query, compared verbatim against the local model — the 2-query
+  // accounting of the paper's Theorem 1 counts it explicitly)
   linalg::Vec from_api = api.Predict(x);
   linalg::Vec from_model = PredictWithLocalModel(model, x);
   double worst = 0.0;

@@ -58,6 +58,9 @@ FidelityReport MeasureFidelity(const SurrogatePlm& surrogate,
   size_t agree = 0;
   double gap_sum = 0.0;
   for (const Vec& x : probes) {
+    // analyze: direct-probe(offline fidelity evaluation harness; its
+    // point of existence is comparing raw endpoint answers to the
+    // surrogate, so it must not be rewritten by retry/chunk machinery)
     linalg::Vec from_api = api.Predict(x);
     linalg::Vec from_surrogate = surrogate.Predict(x);
     if (linalg::ArgMax(from_api) == linalg::ArgMax(from_surrogate)) {

@@ -336,6 +336,8 @@ class SessionStream {
     std::deque<Item> completed GUARDED_BY(mutex);
     /// Stable storage for workers: written once by InterpretStream before
     /// any task is submitted, immutable afterwards — read lock-free.
+    // analyze: unguarded(written once before any worker task is
+    // submitted, immutable afterwards; Submit's queue mutex publishes it)
     std::vector<EngineRequest> requests;
   };
 
@@ -698,14 +700,14 @@ class EndpointSession
   /// form must be re-extracted, never served. Takes the writer lock.
   void InvalidateStaleRegions() const EXCLUDES(cache_mutex_);
 
-  const InterpretationEngine* engine_;
+  const InterpretationEngine* const engine_;
   /// Co-owned engine aggregate counters. Sessions may legally outlive
   /// their engine (a shared_ptr session + outstanding futures past the
   /// engine's scope is a supported teardown order); shared ownership
   /// keeps the aggregate alive for the destructor's gauge subtraction
   /// instead of reaching through a possibly-dead engine_.
   const std::shared_ptr<StatCounters> engine_stats_;
-  const api::PredictionApi* api_;
+  const api::PredictionApi* const api_;
   const size_t capacity_;     // region-count cap; 0 = unbounded
   const size_t byte_budget_;  // resident-byte cap; 0 = unbounded
   /// The persistent tier (nullptr = RAM-only). The pointee has its own
@@ -831,15 +833,24 @@ class InterpretationEngine {
   void ReleaseWorkspace(SolverWorkspace* workspace) const
       EXCLUDES(workspace_mutex_);
 
-  EngineConfig config_;
+  const EngineConfig config_;
+  // analyze: unguarded(set once in the constructor, before the engine is
+  // visible to any other thread; immutable for the engine's lifetime)
   std::unique_ptr<util::ThreadPool> owned_pool_;  // only if num_threads > 0
+  // analyze: unguarded(set once in the constructor alongside owned_pool_;
+  // immutable for the engine's lifetime)
   util::ThreadPool* pool_ = nullptr;              // owned or shared
 
   mutable util::Mutex async_mutex_;
   mutable util::CondVar async_idle_;
   mutable size_t async_outstanding_ GUARDED_BY(async_mutex_) = 0;
 
-  mutable util::Mutex workspace_mutex_;
+  /// Declared lock order for the one class owning two locks: if a path
+  /// ever needs both, the async lock comes first. No current path nests
+  /// them (the analyzer's observed graph is edge-free); the declaration
+  /// pins the policy for future code, and analyze_semantics.py rejects
+  /// any observed nesting that contradicts or extends it undeclared.
+  mutable util::Mutex workspace_mutex_ ACQUIRED_AFTER(async_mutex_);
   mutable std::vector<std::unique_ptr<SolverWorkspace>> workspaces_
       GUARDED_BY(workspace_mutex_);
   mutable std::vector<SolverWorkspace*> free_workspaces_
@@ -848,7 +859,7 @@ class InterpretationEngine {
   /// Engine-wide aggregate, co-owned by every session it opened (see
   /// EndpointSession::engine_stats_): the counters outlive whichever
   /// side is destroyed last.
-  std::shared_ptr<EndpointSession::StatCounters> stats_ =
+  const std::shared_ptr<EndpointSession::StatCounters> stats_ =
       std::make_shared<EndpointSession::StatCounters>();
 };
 

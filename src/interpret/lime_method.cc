@@ -33,6 +33,8 @@ Result<Interpretation> LimeInterpreter::Interpret(
   batch.reserve(n + 1);
   batch.push_back(x0);
   for (const Vec& p : probes) batch.push_back(p);
+  // analyze: direct-probe(published LIME baseline predates the
+  // dispatcher; one raw batch keeps its query count comparable)
   std::vector<Vec> predictions = api.PredictBatch(batch);
 
   std::vector<CoreParameters> pairs;

@@ -27,6 +27,8 @@ Result<Interpretation> NaiveInterpreter::Interpret(
   batch.reserve(probes.size() + 1);
   batch.push_back(x0);
   for (const Vec& p : probes) batch.push_back(p);
+  // analyze: direct-probe(paper's naive d+1-query baseline predates the
+  // dispatcher; one raw batch keeps its query count comparable)
   std::vector<Vec> predictions = api.PredictBatch(batch);
 
   // One LU factorization of the shared (d+1)x(d+1) coefficient matrix,

@@ -19,6 +19,8 @@ Result<Interpretation> ZooInterpreter::Interpret(
   }
   const double h = config_.perturbation_distance;
 
+  // analyze: direct-probe(published ZOO baseline predates the dispatcher
+  // and is measured on its own raw query count; accounting is external)
   const Vec y0 = api.Predict(x0);
 
   // Probe both directions along every axis; predictions are reused for all
@@ -34,6 +36,8 @@ Result<Interpretation> ZooInterpreter::Interpret(
     minus[j] -= h;
     probes.push_back(std::move(minus));
   }
+  // analyze: direct-probe(published ZOO baseline; single raw batch as in
+  // the original method, outside the dispatcher's retry/chunk contract)
   std::vector<Vec> batch_pred = api.PredictBatch(probes);
   std::vector<Vec> plus_pred(d), minus_pred(d);
   for (size_t j = 0; j < d; ++j) {

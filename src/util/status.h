@@ -43,7 +43,11 @@ enum class StatusCode {
 const char* StatusCodeName(StatusCode code);
 
 /// A success-or-error value. OK statuses carry no allocation.
-class Status {
+/// [[nodiscard]] on the class makes every function returning a Status by
+/// value must-use: dropping one silently swallows an error (enforced at
+/// compile time via -Werror=unused-result and again, across comma
+/// operators and macro bodies, by scripts/analyze_semantics.py).
+class [[nodiscard]] Status {
  public:
   Status() = default;  // OK
 
@@ -150,7 +154,7 @@ class Status {
 /// Either a value of type T or an error Status. Never holds an OK status
 /// without a value.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Intentionally implicit so `return value;` and `return status;` both work
   // inside functions returning Result<T>.

@@ -62,6 +62,9 @@ class ThreadPool {
  private:
   void WorkerLoop() EXCLUDES(mutex_);
 
+  // analyze: unguarded(populated in the constructor before any worker
+  // runs and joined in the destructor after shutdown; never touched
+  // while workers execute)
   std::vector<std::thread> workers_;
   Mutex mutex_;
   std::queue<std::function<void()>> queue_ GUARDED_BY(mutex_);

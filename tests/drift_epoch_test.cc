@@ -225,7 +225,7 @@ TEST(DriftEpochTest, ChecksFireEveryNthMemoHit) {
 TEST(DriftEpochTest, StoreEpochFiltersStaleEntriesAndPersists) {
   constexpr size_t kD = 3, kC = 2;
   const std::string path = TempPath("drift_epoch_store.rlog");
-  util::RemoveFile(path);
+  (void)util::RemoveFile(path);  // best-effort scratch cleanup
 
   store::RegionRecord record;
   record.fingerprint = 0xfeedULL;
@@ -292,7 +292,7 @@ TEST(DriftEpochTest, StoreEpochFiltersStaleEntriesAndPersists) {
 // ---------------------------------------------------------------------------
 TEST(DriftEpochTest, DriftBumpPropagatesToStoreAndSurvivesReopen) {
   const std::string path = TempPath("drift_epoch_session.rlog");
-  util::RemoveFile(path);
+  (void)util::RemoveFile(path);  // best-effort scratch cleanup
 
   util::Rng rng_a(41), rng_b(42);
   GridPlm grid_a(kDim, kClasses, kGrid, &rng_a);

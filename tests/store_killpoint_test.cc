@@ -89,7 +89,7 @@ void ExpectBitIdentical(const RegionRecord& a, const RegionRecord& b) {
 TEST(StoreKillpointTest, EveryTruncationOfTheFinalRecordRecovers) {
   constexpr size_t kDim = 3, kClasses = 2, kRecords = 4;
   const std::string path = TempPath("killpoint_master.rlog");
-  util::RemoveFile(path);
+  (void)util::RemoveFile(path);  // best-effort scratch cleanup
 
   std::vector<RegionRecord> written;
   std::vector<uint64_t> offsets;
@@ -113,7 +113,7 @@ TEST(StoreKillpointTest, EveryTruncationOfTheFinalRecordRecovers) {
   const std::string scratch = TempPath("killpoint_scratch.rlog");
   for (uint64_t t = final_start; t < file_size; ++t) {
     SCOPED_TRACE("kill point at byte " + std::to_string(t));
-    util::RemoveFile(scratch);
+    (void)util::RemoveFile(scratch);  // best-effort scratch cleanup
     ASSERT_TRUE(
         util::WriteStringToFile(scratch, full->substr(0, t)).ok());
 
@@ -165,7 +165,7 @@ TEST(StoreKillpointTest, EveryTruncationOfTheFinalRecordRecovers) {
 TEST(StoreKillpointTest, StoreOpenRecoversDirectoryFromTruncatedLog) {
   constexpr size_t kDim = 3, kClasses = 2, kRecords = 3;
   const std::string path = TempPath("killpoint_store.rlog");
-  util::RemoveFile(path);
+  (void)util::RemoveFile(path);  // best-effort scratch cleanup
 
   std::vector<RegionRecord> written;
   uint64_t final_start = 0;
@@ -187,7 +187,7 @@ TEST(StoreKillpointTest, StoreOpenRecoversDirectoryFromTruncatedLog) {
   // covers the rest at the log layer).
   const uint64_t t = final_start + (full->size() - final_start) / 2;
   const std::string scratch = TempPath("killpoint_store_scratch.rlog");
-  util::RemoveFile(scratch);
+  (void)util::RemoveFile(scratch);  // best-effort scratch cleanup
   ASSERT_TRUE(util::WriteStringToFile(scratch, full->substr(0, t)).ok());
 
   auto store = RegionStore::Open(scratch, kDim, kClasses);

@@ -120,7 +120,7 @@ TEST(RegionRecordTest, DecodeClassifiesTornVersusCorrupt) {
 
 TEST(RegionLogTest, FreshLogOpensEmptyAndAppendsReturnOffsets) {
   const std::string path = TempPath("fresh.rlog");
-  util::RemoveFile(path);
+  (void)util::RemoveFile(path);  // best-effort scratch cleanup
   auto log = RegionLog::Open(path, /*dim=*/4, /*num_classes=*/3);
   ASSERT_TRUE(log.ok()) << log.status().ToString();
   EXPECT_EQ((*log)->record_count(), 0u);
@@ -143,7 +143,7 @@ TEST(RegionLogTest, FreshLogOpensEmptyAndAppendsReturnOffsets) {
 
 TEST(RegionLogTest, ReopenReplaysIntactRecordsInAppendOrder) {
   const std::string path = TempPath("replay.rlog");
-  util::RemoveFile(path);
+  (void)util::RemoveFile(path);  // best-effort scratch cleanup
   const size_t dim = 4, num_classes = 3;
   std::vector<uint64_t> offsets;
   {
@@ -177,7 +177,7 @@ TEST(RegionLogTest, ReopenReplaysIntactRecordsInAppendOrder) {
 
 TEST(RegionLogTest, TornTailIsTruncatedAndIntactPrefixSurvives) {
   const std::string path = TempPath("torn.rlog");
-  util::RemoveFile(path);
+  (void)util::RemoveFile(path);  // best-effort scratch cleanup
   const size_t dim = 3, num_classes = 2;
   const uint64_t frame = RecordFrameSize(dim, num_classes);
   {
@@ -217,7 +217,7 @@ TEST(RegionLogTest, TornTailIsTruncatedAndIntactPrefixSurvives) {
 
 TEST(RegionLogTest, CorruptChecksumDropsTheRecordAndEverythingAfter) {
   const std::string path = TempPath("corrupt.rlog");
-  util::RemoveFile(path);
+  (void)util::RemoveFile(path);  // best-effort scratch cleanup
   const size_t dim = 3, num_classes = 2;
   const uint64_t frame = RecordFrameSize(dim, num_classes);
   {
@@ -254,7 +254,7 @@ TEST(RegionLogTest, CorruptChecksumDropsTheRecordAndEverythingAfter) {
 
 TEST(RegionLogTest, HeaderMismatchRefusesToOpen) {
   const std::string path = TempPath("shape.rlog");
-  util::RemoveFile(path);
+  (void)util::RemoveFile(path);  // best-effort scratch cleanup
   {
     auto log = RegionLog::Open(path, /*dim=*/4, /*num_classes=*/3);
     ASSERT_TRUE(log.ok());
@@ -282,7 +282,7 @@ TEST(RegionLogTest, NonLogFileRefusesToOpen) {
 
 TEST(RegionLogTest, ReadAtRejectsBogusOffsets) {
   const std::string path = TempPath("readat.rlog");
-  util::RemoveFile(path);
+  (void)util::RemoveFile(path);  // best-effort scratch cleanup
   auto log = RegionLog::Open(path, /*dim=*/3, /*num_classes=*/2);
   ASSERT_TRUE(log.ok());
   Result<uint64_t> offset = (*log)->Append(MakeRecord(3, 2, 5));

@@ -111,7 +111,7 @@ TEST(StoreRestartTest, WarmRestartServesHistoryWithoutExtraction) {
   constexpr size_t kGrid = 100;  // 10^4 cells
   constexpr size_t kDim = 4, kClasses = 3, kStep = 7;
   const std::string path = TempPath("warm_restart.rlog");
-  util::RemoveFile(path);
+  (void)util::RemoveFile(path);  // best-effort scratch cleanup
 
   util::Rng model_rng(2024);
   GridPlm grid(kDim, kClasses, kGrid, &model_rng);
@@ -217,7 +217,7 @@ TEST(StoreRestartTest, ByteCeilingIsNeverExceeded) {
   constexpr size_t kGrid = 20, kDim = 4, kClasses = 3;
   constexpr size_t kBudget = 64 * 1024;
   const std::string path = TempPath("byte_ceiling.rlog");
-  util::RemoveFile(path);
+  (void)util::RemoveFile(path);  // best-effort scratch cleanup
 
   util::Rng model_rng(7);
   GridPlm grid(kDim, kClasses, kGrid, &model_rng);
@@ -279,7 +279,7 @@ TEST(StoreRestartTest, ByteCeilingIsNeverExceeded) {
 TEST(StoreRestartTest, EvictedRegionComesBackAsDiskHit) {
   constexpr size_t kGrid = 4, kDim = 4, kClasses = 3;
   const std::string path = TempPath("evicted_diskhit.rlog");
-  util::RemoveFile(path);
+  (void)util::RemoveFile(path);  // best-effort scratch cleanup
 
   util::Rng model_rng(17);
   GridPlm grid(kDim, kClasses, kGrid, &model_rng);
@@ -335,7 +335,7 @@ TEST(StoreRestartTest, EvictedRegionComesBackAsDiskHit) {
 TEST(StoreRestartTest, BypassDiskTierForcesExtraction) {
   constexpr size_t kGrid = 4, kDim = 4, kClasses = 3;
   const std::string path = TempPath("bypass.rlog");
-  util::RemoveFile(path);
+  (void)util::RemoveFile(path);  // best-effort scratch cleanup
 
   util::Rng model_rng(23);
   GridPlm grid(kDim, kClasses, kGrid, &model_rng);
@@ -387,7 +387,7 @@ TEST(StoreRestartTest, BypassDiskTierForcesExtraction) {
 TEST(StoreRestartTest, GrownLearnedBoxSurvivesRestart) {
   constexpr size_t kGrid = 4, kDim = 4, kClasses = 3;
   const std::string path = TempPath("grown_box.rlog");
-  util::RemoveFile(path);
+  (void)util::RemoveFile(path);  // best-effort scratch cleanup
 
   util::Rng model_rng(29);
   GridPlm grid(kDim, kClasses, kGrid, &model_rng);
@@ -468,7 +468,7 @@ TEST(StoreRestartTest, GrownLearnedBoxSurvivesRestart) {
 TEST(StoreRestartTest, ConcurrentChurnOverSharedStoreStaysCoherent) {
   constexpr size_t kGrid = 8, kDim = 4, kClasses = 3;
   const std::string path = TempPath("concurrent_store.rlog");
-  util::RemoveFile(path);
+  (void)util::RemoveFile(path);  // best-effort scratch cleanup
 
   util::Rng model_rng(31);
   GridPlm grid(kDim, kClasses, kGrid, &model_rng);
